@@ -1,0 +1,109 @@
+// Substrate microbenchmarks: SM-11 interpreter speed, assembler speed,
+// device stepping, MMU translation. These are the cost model under every
+// other experiment.
+#include <benchmark/benchmark.h>
+
+#include "src/core/kernel_system.h"
+#include "src/machine/devices.h"
+#include "src/machine/machine.h"
+#include "src/sm11asm/assembler.h"
+
+namespace sep {
+namespace {
+
+std::unique_ptr<Machine> BareMachine() {
+  MachineConfig config;
+  config.memory_words = 1u << 15;
+  auto machine = std::make_unique<Machine>(config);
+  for (int page = 0; page < 4; ++page) {
+    machine->mmu().SetPage(CpuMode::kKernel, page,
+                           {static_cast<PhysAddr>(page) * kPageWords, kPageWords,
+                            PageAccess::kReadWrite});
+  }
+  return machine;
+}
+
+void BM_InstructionThroughput(benchmark::State& state) {
+  auto machine = BareMachine();
+  Result<AssembledProgram> program = Assemble(R"(
+LOOP:   INC R0
+        ADD R0, R1
+        MOV R1, @0x200
+        CMP #0, R1
+        BNE LOOP
+        BR LOOP
+)");
+  machine->memory().LoadImage(0, program->words);
+  machine->cpu().set_sp(0x1000);
+  for (auto _ : state) {
+    machine->StepCpuPhase();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstructionThroughput);
+
+void BM_FullMachineStep(benchmark::State& state) {
+  auto machine = BareMachine();
+  for (int d = 0; d < state.range(0); ++d) {
+    machine->AddDevice(std::make_unique<SerialLine>("slu" + std::to_string(d), 16 + d, 4, 2));
+  }
+  Result<AssembledProgram> program = Assemble("LOOP: INC R0\n      BR LOOP\n");
+  machine->memory().LoadImage(0, program->words);
+  machine->cpu().set_sp(0x1000);
+  for (auto _ : state) {
+    machine->Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " devices");
+}
+BENCHMARK(BM_FullMachineStep)->Arg(0)->Arg(2)->Arg(8);
+
+void BM_MmuTranslate(benchmark::State& state) {
+  Mmu mmu;
+  mmu.SetPage(CpuMode::kUser, 0, {0x1000, kPageWords, PageAccess::kReadWrite});
+  VirtAddr addr = 0;
+  for (auto _ : state) {
+    auto result = mmu.Translate(CpuMode::kUser, addr, AccessKind::kReadData);
+    benchmark::DoNotOptimize(result.translation);
+    addr = (addr + 7) & (kPageWords - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MmuTranslate);
+
+void BM_Assembler(benchmark::State& state) {
+  std::string source;
+  for (int i = 0; i < 100; ++i) {
+    source += "L" + std::to_string(i) + ": MOV #" + std::to_string(i) + ", R0\n";
+    source += "     ADD R0, R1\n";
+    source += "     BNE L" + std::to_string(i) + "\n";
+  }
+  for (auto _ : state) {
+    Result<AssembledProgram> program = Assemble(source);
+    benchmark::DoNotOptimize(program.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 300);  // instructions assembled
+}
+BENCHMARK(BM_Assembler);
+
+void BM_StateHash(benchmark::State& state) {
+  auto machine = BareMachine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine->StateHash());
+  }
+}
+BENCHMARK(BM_StateHash);
+
+void BM_SnapshotFull(benchmark::State& state) {
+  auto machine = BareMachine();
+  for (auto _ : state) {
+    std::vector<Word> snapshot = machine->SnapshotFull();
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+}
+BENCHMARK(BM_SnapshotFull);
+
+}  // namespace
+}  // namespace sep
+
+BENCHMARK_MAIN();

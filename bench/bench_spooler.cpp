@@ -1,0 +1,152 @@
+// E7 — the spooler dilemma, quantified.
+//
+// Table: three architectures for the same print workload:
+//   (a) conventional kernelized spooler at system-high, plain BLP:
+//       delete-after-print DENIED -> spool files accumulate;
+//   (b) the same with the trusted-process exemption: deletions succeed,
+//       but only by exempting the spooler from the *-property;
+//   (c) the paper's distributed printer-server: per-level subjects, zero
+//       denials, zero exemptions, empty spool.
+// Benchmarks: printer-server throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/components/printserver.h"
+#include "src/security/blp.h"
+
+namespace sep {
+namespace {
+
+struct KernelizedSpoolerOutcome {
+  std::size_t jobs = 0;
+  std::size_t deletions_denied = 0;
+  std::size_t exemptions_used = 0;
+  std::size_t spool_residue = 0;
+};
+
+// Models the conventional architecture: one spooler subject at system-high
+// reading spool files of all levels, then attempting to delete them.
+KernelizedSpoolerOutcome RunKernelizedSpooler(bool trusted, int jobs) {
+  CategoryRegistry::Instance().Reset();
+  BlpMonitor monitor;
+  (void)monitor.AddSubject({"spooler", SecurityLevel::SystemHigh(), SecurityLevel::SystemHigh(),
+                            trusted});
+  KernelizedSpoolerOutcome out;
+  for (int j = 0; j < jobs; ++j) {
+    const SecurityLevel level(static_cast<Classification>(j % 4));
+    const std::string file = "spool/job" + std::to_string(j);
+    (void)monitor.AddObject({file, level});
+    // Read to print: granted (system-high dominates everything).
+    (void)monitor.Check("spooler", file, AccessMode::kRead);
+    // Delete after print:
+    AccessDecision d = monitor.Check("spooler", file, AccessMode::kDelete);
+    if (d.granted) {
+      if (d.rule.find("trusted-exemption") != std::string::npos) {
+        ++out.exemptions_used;
+      }
+      (void)monitor.RemoveObject(file);
+    } else {
+      ++out.deletions_denied;
+      ++out.spool_residue;
+    }
+    ++out.jobs;
+  }
+  return out;
+}
+
+void PrintTable() {
+  const int jobs = 64;
+  std::printf("== E7 Table: three architectures for one print workload (%d jobs) ==\n", jobs);
+  std::printf("%-34s %-10s %-12s %-12s %-10s\n", "architecture", "printed", "del denied",
+              "exemptions", "residue");
+
+  KernelizedSpoolerOutcome plain = RunKernelizedSpooler(false, jobs);
+  std::printf("%-34s %-10zu %-12zu %-12zu %-10zu\n", "kernelized spooler, plain BLP",
+              plain.jobs, plain.deletions_denied, plain.exemptions_used, plain.spool_residue);
+
+  KernelizedSpoolerOutcome trusted = RunKernelizedSpooler(true, jobs);
+  std::printf("%-34s %-10zu %-12zu %-12zu %-10zu\n", "kernelized spooler, trusted proc",
+              trusted.jobs, trusted.deletions_denied, trusted.exemptions_used,
+              trusted.spool_residue);
+
+  // The distributed printer-server.
+  {
+    CategoryRegistry::Instance().Reset();
+    Network net;
+    std::vector<PrintUser> users;
+    std::vector<std::vector<std::string>> job_lists(4);
+    for (int u = 0; u < 4; ++u) {
+      users.push_back({"user" + std::to_string(u),
+                       SecurityLevel(static_cast<Classification>(u))});
+      for (int j = 0; j < jobs / 4; ++j) {
+        job_lists[static_cast<std::size_t>(u)].push_back("job " + std::to_string(j));
+      }
+    }
+    auto server_owned = std::make_unique<PrintServer>(users, /*print_rate=*/16);
+    PrintServer* server = server_owned.get();
+    int server_node = net.AddNode(std::move(server_owned));
+    for (int u = 0; u < 4; ++u) {
+      int node = net.AddNode(std::make_unique<PrintClient>(users[static_cast<std::size_t>(u)].name,
+                                                           job_lists[static_cast<std::size_t>(u)]));
+      net.Connect(node, server_node);
+      net.Connect(server_node, node);
+    }
+    net.Run(20000);
+    std::size_t exemptions = 0;
+    for (const AuditRecord& record : server->monitor().audit()) {
+      if (record.rule.find("trusted-exemption") != std::string::npos) {
+        ++exemptions;
+      }
+    }
+    std::printf("%-34s %-10zu %-12zu %-12zu %-10zu\n", "distributed printer-server",
+                server->jobs_completed(), server->monitor().denied_count(), exemptions,
+                server->spool_backlog());
+  }
+  std::printf("(the paper's architecture needs neither denials nor exemptions: the\n");
+  std::printf(" per-job subject works entirely at the job's own level)\n\n");
+}
+
+void BM_PrintServerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    CategoryRegistry::Instance().Reset();
+    Network net;
+    auto server_owned = std::make_unique<PrintServer>(
+        std::vector<PrintUser>{{"u", SecurityLevel(Classification::kSecret)}},
+        /*print_rate=*/static_cast<int>(state.range(0)));
+    PrintServer* server = server_owned.get();
+    int server_node = net.AddNode(std::move(server_owned));
+    int node = net.AddNode(std::make_unique<PrintClient>(
+        "u", std::vector<std::string>(16, "data data data data")));
+    net.Connect(node, server_node);
+    net.Connect(server_node, node);
+    net.Run(8000);
+    benchmark::DoNotOptimize(server->jobs_completed());
+  }
+  state.SetLabel("rate=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PrintServerThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BlpDecision(benchmark::State& state) {
+  CategoryRegistry::Instance().Reset();
+  BlpMonitor monitor;
+  (void)monitor.AddSubject({"s", SecurityLevel(Classification::kSecret),
+                            SecurityLevel(Classification::kSecret), false});
+  (void)monitor.AddObject({"o", SecurityLevel(Classification::kUnclassified)});
+  for (auto _ : state) {
+    AccessDecision d = monitor.Check("s", "o", AccessMode::kRead);
+    benchmark::DoNotOptimize(d.granted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlpDecision);
+
+}  // namespace
+}  // namespace sep
+
+int main(int argc, char** argv) {
+  sep::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

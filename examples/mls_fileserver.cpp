@@ -1,0 +1,136 @@
+// The paper's Section 2 idealized multilevel-secure service: users on
+// private machines, dedicated lines, ONE trusted component (the MLS
+// file-server) — plus the printer-server and authentication service that a
+// real deployment adds.
+//
+//   $ ./build/examples/mls_fileserver
+#include <cstdio>
+
+#include "src/components/auth.h"
+#include "src/components/fileserver.h"
+#include "src/components/printserver.h"
+
+int main() {
+  using namespace sep;
+  CategoryRegistry::Instance().Reset();
+
+  const SecurityLevel unclass(Classification::kUnclassified);
+  const SecurityLevel secret(Classification::kSecret);
+  const SecurityLevel topsecret(Classification::kTopSecret);
+
+  // --- authentication -------------------------------------------------------
+  {
+    Network net;
+    auto auth_owned = std::make_unique<AuthServer>(
+        std::vector<AuthUser>{{"alice", "s3cret", topsecret}, {"bob", "hunter2", unclass}},
+        AuthOptions{});
+    AuthServer* auth = auth_owned.get();
+    int auth_node = net.AddNode(std::move(auth_owned));
+
+    struct Terminal : Process {
+      Frame request;
+      Frame reply{0, {}};
+      bool sent = false;
+      FrameReader reader;
+      FrameWriter writer;
+      explicit Terminal(Frame r) : request(std::move(r)) {}
+      std::string name() const override { return "terminal"; }
+      void Step(NodeContext& ctx) override {
+        reader.Poll(ctx, 0);
+        if (auto f = reader.Next()) {
+          reply = *f;
+        }
+        if (!sent) {
+          writer.Queue(request);
+          sent = true;
+        }
+        writer.Flush(ctx, 0);
+      }
+    };
+    auto term_owned =
+        std::make_unique<Terminal>(AuthLoginRequest(secret, "alice", "s3cret"));
+    Terminal* term = term_owned.get();
+    int term_node = net.AddNode(std::move(term_owned));
+    net.Connect(term_node, auth_node);
+    net.Connect(auth_node, term_node);
+    net.Run(100);
+
+    std::printf("auth: alice logs in at SECRET -> %s\n",
+                term->reply.type == kAuthGranted ? "granted" : "denied");
+    if (term->reply.type == kAuthGranted) {
+      AuthServer::SessionInfo info = auth->Validate(term->reply.fields[0]);
+      std::printf("auth: token validates to user=%s level=%s\n", info.user.c_str(),
+                  info.level.ToString().c_str());
+    }
+  }
+
+  // --- the MLS file-server ---------------------------------------------------
+  {
+    Network net;
+    auto server_owned = std::make_unique<FileServer>(std::vector<FileServerUser>{
+        {"alice", secret}, {"bob", unclass}});
+    FileServer* server = server_owned.get();
+    int server_node = net.AddNode(std::move(server_owned));
+
+    auto alice = std::make_unique<FileClient>(
+        "alice",
+        std::vector<Frame>{FsCreate(secret, "warplan"), FsWrite("warplan", {0xBAD, 0xC0DE}),
+                           FsRead("warplan", 0, 2)});
+    auto bob = std::make_unique<FileClient>(
+        "bob",
+        std::vector<Frame>{FsCreate(unclass, "memo"), FsWrite("memo", {1, 2}),
+                           FsRead("warplan", 0, 2),  // no read up!
+                           FsWrite("warplan", {7})}, // blind write up: fine
+        /*start_delay=*/40);
+    FileClient* alice_ptr = alice.get();
+    FileClient* bob_ptr = bob.get();
+    int a = net.AddNode(std::move(alice));
+    int b = net.AddNode(std::move(bob));
+    net.Connect(a, server_node);
+    net.Connect(server_node, a);
+    net.Connect(b, server_node);
+    net.Connect(server_node, b);
+    net.Run(3000);
+
+    std::printf("\nfile-server: %zu files, %llu requests, %zu denials\n", server->file_count(),
+                static_cast<unsigned long long>(server->requests_served()),
+                server->monitor().denied_count());
+    std::printf("  alice read her warplan back: %s\n",
+                (alice_ptr->replies().size() == 3 && alice_ptr->replies()[2].type == kFsData)
+                    ? "yes"
+                    : "no");
+    std::printf("  bob's read-up of warplan: %s\n",
+                (bob_ptr->replies().size() >= 3 && bob_ptr->replies()[2].type == kFsErr)
+                    ? "denied (indistinguishable from not-found)"
+                    : "GRANTED (BROKEN!)");
+    std::printf("  bob's blind write-up: %s\n",
+                (bob_ptr->replies().size() >= 4 && bob_ptr->replies()[3].type == kFsOk)
+                    ? "accepted"
+                    : "rejected");
+  }
+
+  // --- the printer-server ------------------------------------------------------
+  {
+    Network net;
+    auto server_owned = std::make_unique<PrintServer>(
+        std::vector<PrintUser>{{"alice", secret}, {"bob", unclass}});
+    PrintServer* server = server_owned.get();
+    int server_node = net.AddNode(std::move(server_owned));
+    int a = net.AddNode(
+        std::make_unique<PrintClient>("alice", std::vector<std::string>{"attack at dawn"}));
+    int b = net.AddNode(
+        std::make_unique<PrintClient>("bob", std::vector<std::string>{"lunch menu"}));
+    net.Connect(a, server_node);
+    net.Connect(server_node, a);
+    net.Connect(b, server_node);
+    net.Connect(server_node, b);
+    net.Run(2000);
+
+    std::printf("\nprinter-server: %zu jobs completed, %zu BLP denials, spool backlog %zu\n",
+                server->jobs_completed(), server->monitor().denied_count(),
+                server->spool_backlog());
+    std::printf("--- printed output ---\n%s----------------------\n",
+                server->printed().c_str());
+  }
+  return 0;
+}

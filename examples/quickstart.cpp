@@ -1,0 +1,92 @@
+// Quickstart: build a two-regime separation-kernel system, run it, and
+// check the six Proof-of-Separability conditions.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the complete public API surface in ~100 lines:
+//   1. SystemBuilder — declare regimes (SM-11 assembly), devices, channels;
+//   2. KernelizedSystem — run the shared machine under the kernel;
+//   3. CheckSeparability — verify the kernel provides isolation.
+#include <cstdio>
+
+#include "src/core/kernel_system.h"
+#include "src/core/separability.h"
+
+namespace {
+
+// RED: counts up and streams the counter to BLACK over the kernel channel.
+constexpr char kRedProgram[] = R"(
+START:  CLR R3
+LOOP:   INC R3
+        MOV R3, R1      ; word to send
+        CLR R0          ; channel 0
+        TRAP 1          ; SEND (drop on backpressure)
+        TRAP 0          ; SWAP: yield the processor
+        CMP #20, R3
+        BNE LOOP
+        TRAP 7          ; HALT: this regime is done
+)";
+
+// BLACK: receives words and accumulates them at partition address 0x80.
+constexpr char kBlackProgram[] = R"(
+START:  CLR R5          ; running sum
+LOOP:   CLR R0          ; channel 0
+        TRAP 2          ; RECV -> R0 status, R1 word
+        TST R0
+        BEQ YIELD
+        ADD R1, R5
+        MOV R5, @0x80
+        BR LOOP
+YIELD:  TRAP 0          ; SWAP
+        BR LOOP
+)";
+
+}  // namespace
+
+int main() {
+  using namespace sep;
+
+  // 1. Declare the system: two regimes, one one-directional channel.
+  SystemBuilder builder;
+  Result<int> red = builder.AddRegime("red", /*mem_words=*/512, kRedProgram);
+  Result<int> black = builder.AddRegime("black", /*mem_words=*/512, kBlackProgram);
+  if (!red.ok() || !black.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n", (!red.ok() ? red : black).error().c_str());
+    return 1;
+  }
+  builder.AddChannel("red->black", *red, *black, /*capacity=*/8);
+
+  Result<std::unique_ptr<KernelizedSystem>> system = builder.Build();
+  if (!system.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", system.error().c_str());
+    return 1;
+  }
+
+  // 2. Run the shared machine until RED halts (BLACK idles forever).
+  (*system)->Run(5000);
+  const auto& regimes = (*system)->kernel().config().regimes;
+  const Word sum = (*system)->machine().memory().Read(regimes[1].mem_base + 0x80);
+  std::printf("black's accumulated sum: %u (expected 1+2+...+20 = 210)\n", sum);
+  std::printf("kernel stats: %llu swaps, %llu kernel calls\n",
+              static_cast<unsigned long long>((*system)->kernel().SwapCount()),
+              static_cast<unsigned long long>((*system)->kernel().KernelCallCount()));
+
+  // 3. Verify separability on the wire-cut variant of the same system
+  //    (Section 4 of the paper: cut the channels, prove total isolation).
+  SystemBuilder cut_builder;
+  (void)cut_builder.AddRegime("red", 512, kRedProgram);
+  (void)cut_builder.AddRegime("black", 512, kBlackProgram);
+  cut_builder.AddChannel("red->black", 0, 1, 8);
+  cut_builder.CutChannels(true);
+  Result<std::unique_ptr<KernelizedSystem>> cut_system = cut_builder.Build();
+  if (!cut_system.ok()) {
+    std::fprintf(stderr, "boot (cut) failed: %s\n", cut_system.error().c_str());
+    return 1;
+  }
+
+  CheckerOptions options;
+  options.trace_steps = 600;
+  SeparabilityReport report = CheckSeparability(**cut_system, options);
+  std::printf("proof of separability: %s\n", report.Summary().c_str());
+  return report.Passed() ? 0 : 2;
+}

@@ -1,0 +1,61 @@
+// FNV-1a hashing utilities.
+//
+// The Proof-of-Separability checker compares abstract states by value. For
+// large state vectors (whole memory partitions) it first compares 64-bit
+// digests, falling back to full comparison on digest equality only in debug
+// checks. FNV-1a is used because it is simple, deterministic across
+// platforms, and fast enough at the word granularity the simulator uses.
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sep {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+class Hasher {
+ public:
+  Hasher() = default;
+
+  Hasher& Mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (value >> (8 * i)) & 0xFF;
+      digest_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  Hasher& MixBytes(std::string_view bytes) {
+    for (unsigned char b : bytes) {
+      digest_ ^= b;
+      digest_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  template <typename T>
+  Hasher& MixRange(const std::vector<T>& values) {
+    Mix(values.size());
+    for (const T& v : values) {
+      Mix(static_cast<std::uint64_t>(v));
+    }
+    return *this;
+  }
+
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::uint64_t digest_ = kFnvOffset;
+};
+
+inline std::uint64_t HashBytes(std::string_view bytes) {
+  return Hasher().MixBytes(bytes).digest();
+}
+
+}  // namespace sep
+
+#endif  // SRC_BASE_HASH_H_

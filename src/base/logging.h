@@ -1,0 +1,62 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and most diagnostics flow through explicit
+// trace objects, so logging is reserved for configuration errors and for the
+// optional verbose mode of example binaries. The global level defaults to
+// kWarning so tests and benches stay quiet.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sep {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: emits a finished message. Exposed for the macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sep
+
+#define SEP_LOG(level) ::sep::LogLine(::sep::LogLevel::level, __FILE__, __LINE__)
+
+// Fatal invariant failure: prints and aborts. Used for programming errors
+// (corrupt simulator state), never for guest-observable conditions.
+#define SEP_CHECK(cond)                                                            \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::sep::LogMessage(::sep::LogLevel::kError, __FILE__, __LINE__,               \
+                        std::string("CHECK failed: ") + #cond);                    \
+      ::std::abort();                                                              \
+    }                                                                              \
+  } while (0)
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,78 @@
+// A small result type for fallible operations.
+//
+// The simulator and kernel never throw across module boundaries; fallible
+// APIs return Result<T> (or Result<> for void results). This mirrors the
+// zx::result / fit::result idiom used in OS codebases: the error arm carries
+// a short diagnostic string because the consumers of these errors are tests,
+// benches and example programs rather than recovery logic.
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sep {
+
+struct Error {
+  std::string message;
+};
+
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+template <typename T = void>
+class Result;
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return Err("bad address");
+  //   return some_word;
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(storage_); }
+  T& value() & { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const std::string& error() const { return std::get<Error>(storage_).message; }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::string& error() const { return error_->message; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Result<> Ok() { return Result<>(); }
+
+}  // namespace sep
+
+#endif  // SRC_BASE_RESULT_H_

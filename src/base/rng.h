@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized activity in the repository — checker trace sampling,
+// workload generation, device jitter — draws from an explicitly seeded Rng so
+// that all experiments are reproducible bit-for-bit. The generator is
+// xoshiro256** seeded via splitmix64, both public-domain algorithms,
+// implemented here so the repository has no dependency on host library
+// distribution details (std::mt19937 streams differ in subtle ways across
+// standard libraries when used through distributions).
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling so the
+  // distribution is exactly uniform.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with probability numer/denom. Requires denom > 0.
+  bool NextChance(std::uint64_t numer, std::uint64_t denom);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Derive an independent child generator. Used to give each subsystem its
+  // own stream so adding draws in one place does not perturb another.
+  Rng Fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sep
+
+#endif  // SRC_BASE_RNG_H_

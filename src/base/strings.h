@@ -1,0 +1,40 @@
+// Small string helpers shared across the assembler, the IFA front end and
+// the reporting code. Kept deliberately minimal: only what the repository
+// actually uses.
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sep {
+
+// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+// Formats a 16-bit word as a 6-digit octal literal (PDP-11 listing style).
+std::string Octal(std::uint16_t word);
+
+// Formats a 16-bit word as 0xHHHH.
+std::string Hex(std::uint16_t word);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sep
+
+#endif  // SRC_BASE_STRINGS_H_

@@ -1,0 +1,121 @@
+#include "src/components/auth.h"
+
+namespace sep {
+
+AuthServer::AuthServer(std::vector<AuthUser> users, AuthOptions options)
+    : users_(std::move(users)), options_(options) {
+  const int lines = options_.terminal_lines + options_.validator_lines;
+  readers_.resize(static_cast<std::size_t>(lines));
+  writers_.resize(static_cast<std::size_t>(lines));
+  line_state_.resize(static_cast<std::size_t>(options_.terminal_lines));
+  for (const AuthUser& user : users_) {
+    // Only the digest is retained; the cleartext password is not stored.
+    digests_[user.name] = Digest(user.name, user.password);
+  }
+}
+
+void AuthServer::Step(NodeContext& ctx) {
+  const int lines = options_.terminal_lines + options_.validator_lines;
+  for (int line = 0; line < lines; ++line) {
+    readers_[static_cast<std::size_t>(line)].Poll(ctx, line);
+    if (std::optional<Frame> request = readers_[static_cast<std::size_t>(line)].Next()) {
+      Frame reply;
+      if (line < options_.terminal_lines && request->type == kAuthLogin) {
+        reply = HandleLogin(line, *request, ctx.now());
+      } else if (line >= options_.terminal_lines && request->type == kAuthValidate) {
+        reply = HandleValidate(*request);
+      } else {
+        reply = Frame{kAuthDenied, {kAuthReasonBadCredentials}};
+      }
+      writers_[static_cast<std::size_t>(line)].Queue(reply);
+    }
+    writers_[static_cast<std::size_t>(line)].Flush(ctx, line);
+  }
+}
+
+Frame AuthServer::HandleLogin(int line, const Frame& request, Tick now) {
+  LineState& state = line_state_[static_cast<std::size_t>(line)];
+  if (now < state.locked_until) {
+    ++denied_;
+    return Frame{kAuthDenied, {kAuthReasonLockedOut}};
+  }
+  if (request.fields.size() < 2) {
+    ++denied_;
+    return Frame{kAuthDenied, {kAuthReasonBadCredentials}};
+  }
+  const SecurityLevel requested = DecodeLevel(request.fields[0]);
+  const Word name_len = request.fields[1];
+  if (request.fields.size() < static_cast<std::size_t>(name_len) + 2) {
+    ++denied_;
+    return Frame{kAuthDenied, {kAuthReasonBadCredentials}};
+  }
+  const std::string user = WordsToString(request.fields, 2, name_len);
+  const std::string password =
+      WordsToString(request.fields, 2 + static_cast<std::size_t>(name_len));
+
+  auto digest = digests_.find(user);
+  if (digest == digests_.end() || digest->second != Digest(user, password)) {
+    ++denied_;
+    if (++state.failures >= options_.max_failures) {
+      state.locked_until = now + options_.lockout_steps;
+      state.failures = 0;
+    }
+    return Frame{kAuthDenied, {kAuthReasonBadCredentials}};
+  }
+
+  const AuthUser* record = nullptr;
+  for (const AuthUser& u : users_) {
+    if (u.name == user) {
+      record = &u;
+    }
+  }
+  if (!record->clearance.Dominates(requested)) {
+    ++denied_;
+    return Frame{kAuthDenied, {kAuthReasonLevelExceedsClearance}};
+  }
+
+  state.failures = 0;
+  const Word token = next_token_++;
+  sessions_[token] = Session{user, requested};
+  ++granted_;
+  return Frame{kAuthGranted, {token, EncodeLevel(requested)}};
+}
+
+Frame AuthServer::HandleValidate(const Frame& request) {
+  if (request.fields.empty()) {
+    return Frame{kAuthInfo, {0}};
+  }
+  SessionInfo info = Validate(request.fields[0]);
+  if (!info.valid) {
+    return Frame{kAuthInfo, {0}};
+  }
+  Frame reply{kAuthInfo, {1, EncodeLevel(info.level)}};
+  for (unsigned char c : info.user) {
+    reply.fields.push_back(c);
+  }
+  return reply;
+}
+
+AuthServer::SessionInfo AuthServer::Validate(Word token) const {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    return {};
+  }
+  return {true, it->second.user, it->second.level};
+}
+
+Frame AuthLoginRequest(const SecurityLevel& level, const std::string& user,
+                       const std::string& password) {
+  Frame f{kAuthLogin, {EncodeLevel(level), static_cast<Word>(user.size())}};
+  for (unsigned char c : user) {
+    f.fields.push_back(c);
+  }
+  for (unsigned char c : password) {
+    f.fields.push_back(c);
+  }
+  return f;
+}
+
+Frame AuthValidateRequest(Word token) { return Frame{kAuthValidate, {token}}; }
+
+}  // namespace sep

@@ -1,0 +1,113 @@
+// The authentication component of the paper's Section 2:
+//
+//   "There must ... be some additional mechanism to authenticate the
+//    identities of users as they log in to the single-user machines and to
+//    inform the file and printer-servers of the security classifications
+//    associated with each user."
+//
+// The AuthServer holds the user registry (name, salted password digest,
+// clearance), serves LOGIN requests from terminal lines and VALIDATE
+// requests from sibling servers over their own dedicated lines. Tokens are
+// single-session capabilities: (user, session level) with an expiry step.
+// Repeated failures lock a line out for a configurable period.
+//
+// Frames:
+//   terminal -> auth   kAuthLogin    : [level_code, name_len, name...,
+//                                       password...]
+//   auth -> terminal   kAuthGranted  : [token, level_code]
+//                      kAuthDenied   : [reason]
+//   server -> auth     kAuthValidate : [token]
+//   auth -> server     kAuthInfo     : [valid, level_code, name...]
+#ifndef SRC_COMPONENTS_AUTH_H_
+#define SRC_COMPONENTS_AUTH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+#include "src/security/level.h"
+
+namespace sep {
+
+inline constexpr Word kAuthLogin = 0x41;
+inline constexpr Word kAuthGranted = 0x42;
+inline constexpr Word kAuthDenied = 0x43;
+inline constexpr Word kAuthValidate = 0x44;
+inline constexpr Word kAuthInfo = 0x45;
+
+inline constexpr Word kAuthReasonBadCredentials = 1;
+inline constexpr Word kAuthReasonLevelExceedsClearance = 2;
+inline constexpr Word kAuthReasonLockedOut = 3;
+
+struct AuthUser {
+  std::string name;
+  std::string password;
+  SecurityLevel clearance;
+};
+
+struct AuthOptions {
+  int max_failures = 3;
+  Tick lockout_steps = 50;
+  int terminal_lines = 1;   // ports [0, terminal_lines) are terminals
+  int validator_lines = 0;  // ports [terminal_lines, +validator_lines) are servers
+};
+
+class AuthServer : public Process {
+ public:
+  AuthServer(std::vector<AuthUser> users, AuthOptions options);
+
+  std::string name() const override { return "auth-server"; }
+  void Step(NodeContext& ctx) override;
+
+  std::size_t sessions_active() const { return sessions_.size(); }
+  std::uint64_t logins_granted() const { return granted_; }
+  std::uint64_t logins_denied() const { return denied_; }
+
+  // Direct validation for in-process composition (the kernelized examples
+  // where the auth data is consulted without a network hop).
+  struct SessionInfo {
+    bool valid = false;
+    std::string user;
+    SecurityLevel level;
+  };
+  SessionInfo Validate(Word token) const;
+
+ private:
+  static std::uint64_t Digest(const std::string& user, const std::string& password) {
+    return HashBytes(user + "\x01" + password + "\x02sep-auth-salt");
+  }
+
+  Frame HandleLogin(int line, const Frame& request, Tick now);
+  Frame HandleValidate(const Frame& request);
+
+  std::vector<AuthUser> users_;
+  AuthOptions options_;
+  std::map<std::string, std::uint64_t> digests_;
+  struct Session {
+    std::string user;
+    SecurityLevel level;
+  };
+  std::map<Word, Session> sessions_;
+  struct LineState {
+    int failures = 0;
+    Tick locked_until = 0;
+  };
+  std::vector<LineState> line_state_;
+  std::vector<FrameReader> readers_;
+  std::vector<FrameWriter> writers_;
+  Word next_token_ = 0x100;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+// Request constructors.
+Frame AuthLoginRequest(const SecurityLevel& level, const std::string& user,
+                       const std::string& password);
+Frame AuthValidateRequest(Word token);
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_AUTH_H_

@@ -1,0 +1,199 @@
+#include "src/components/fileserver.h"
+
+#include "src/base/logging.h"
+
+namespace sep {
+
+FileServer::FileServer(std::vector<FileServerUser> users) : users_(std::move(users)) {
+  readers_.resize(users_.size());
+  writers_.resize(users_.size());
+  for (const FileServerUser& user : users_) {
+    // Users arrive pre-authenticated by their dedicated line; the monitor
+    // subject is created at the line's level.
+    SEP_CHECK(monitor_.AddSubject({user.name, user.level, user.level, false}).ok());
+  }
+}
+
+std::vector<Word> FileServer::FileContents(const std::string& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? std::vector<Word>{} : it->second.data;
+}
+
+void FileServer::Step(NodeContext& ctx) {
+  for (std::size_t line = 0; line < users_.size(); ++line) {
+    const int port = static_cast<int>(line);
+    readers_[line].Poll(ctx, port);
+    // Bounded work per quantum: at most one request per line per step.
+    if (std::optional<Frame> request = readers_[line].Next()) {
+      Frame reply = Handle(static_cast<int>(line), *request);
+      ++requests_served_;
+      writers_[line].Queue(reply);
+    }
+    writers_[line].Flush(ctx, port);
+  }
+}
+
+Frame FileServer::Handle(int line, const Frame& request) {
+  const FileServerUser& user = users_[static_cast<std::size_t>(line)];
+  switch (request.type) {
+    case kFsCreate: {
+      if (request.fields.empty()) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      const SecurityLevel level = DecodeLevel(request.fields[0]);
+      const std::string file = WordsToString(request.fields, 1);
+      if (file.empty()) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      if (files_.count(file) != 0) {
+        return ErrorReply(request.type, kFsEExists);
+      }
+      // Creating a file makes its name visible at `level`: the requested
+      // level must dominate the creator's (a blind "create up" is the
+      // append rule; creating DOWN would move the fact of creation down).
+      if (!level.Dominates(user.level)) {
+        return ErrorReply(request.type, kFsEDenied);
+      }
+      SEP_CHECK(monitor_.AddObject({file, level}).ok());
+      files_.emplace(file, StoredFile{});
+      return Frame{kFsOk, {request.type}};
+    }
+    case kFsWrite: {
+      if (request.fields.empty()) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      const Word name_len = request.fields[0];
+      if (request.fields.size() < static_cast<std::size_t>(name_len) + 1) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      const std::string file = WordsToString(request.fields, 1, name_len);
+      if (files_.count(file) == 0) {
+        return ErrorReply(request.type, kFsENotFound);
+      }
+      if (!monitor_.Check(user.name, file, AccessMode::kAppend).granted) {
+        return ErrorReply(request.type, kFsEDenied);
+      }
+      StoredFile& stored = files_[file];
+      stored.data.insert(stored.data.end(), request.fields.begin() + 1 + name_len,
+                         request.fields.end());
+      return Frame{kFsOk, {request.type}};
+    }
+    case kFsRead: {
+      if (request.fields.size() < 3) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      const Word name_len = request.fields[0];
+      if (request.fields.size() < static_cast<std::size_t>(name_len) + 3) {
+        return ErrorReply(request.type, kFsEBadRequest);
+      }
+      const std::string file = WordsToString(request.fields, 1, name_len);
+      const Word offset = request.fields[1 + name_len];
+      const Word count = request.fields[2 + name_len];
+      if (files_.count(file) == 0) {
+        // Existence itself is information: users who cannot read the file
+        // get the same answer whether or not it exists.
+        return ErrorReply(request.type, kFsENotFound);
+      }
+      if (!monitor_.Check(user.name, file, AccessMode::kRead).granted) {
+        return ErrorReply(request.type, kFsENotFound);
+      }
+      const StoredFile& stored = files_[file];
+      Frame reply{kFsData, {request.type}};
+      for (Word i = 0; i < count; ++i) {
+        const std::size_t index = static_cast<std::size_t>(offset) + i;
+        if (index >= stored.data.size()) {
+          break;
+        }
+        reply.fields.push_back(stored.data[index]);
+      }
+      return reply;
+    }
+    case kFsDelete: {
+      const std::string file = WordsToString(request.fields, 0);
+      if (files_.count(file) == 0) {
+        return ErrorReply(request.type, kFsENotFound);
+      }
+      if (!monitor_.Check(user.name, file, AccessMode::kDelete).granted) {
+        return ErrorReply(request.type, kFsEDenied);
+      }
+      files_.erase(file);
+      SEP_CHECK(monitor_.RemoveObject(file).ok());
+      return Frame{kFsOk, {request.type}};
+    }
+    case kFsList: {
+      Frame reply{kFsData, {request.type}};
+      for (const auto& [file, stored] : files_) {
+        if (monitor_.Check(user.name, file, AccessMode::kRead).granted) {
+          reply.fields.push_back(static_cast<Word>(file.size()));
+          for (unsigned char c : file) {
+            reply.fields.push_back(c);
+          }
+        }
+      }
+      return reply;
+    }
+    default:
+      return ErrorReply(request.type, kFsEBadRequest);
+  }
+}
+
+// --- FileClient ----------------------------------------------------------------
+
+void FileClient::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> reply = reader_.Next()) {
+    replies_.push_back(*reply);
+  }
+  // Serialize: the next request goes out only after the previous one was
+  // answered (and after the configured start delay).
+  if (ctx.now() >= start_delay_ && next_ < script_.size() && writer_.idle() &&
+      replies_.size() == next_) {
+    writer_.Queue(script_[next_++]);
+  }
+  writer_.Flush(ctx, 0);
+}
+
+bool FileClient::Finished() const {
+  return next_ >= script_.size() && writer_.idle() && replies_.size() >= script_.size();
+}
+
+// --- request constructors --------------------------------------------------------
+
+Frame FsCreate(const SecurityLevel& level, const std::string& file) {
+  Frame f{kFsCreate, {EncodeLevel(level)}};
+  for (unsigned char c : file) {
+    f.fields.push_back(c);
+  }
+  return f;
+}
+
+Frame FsWrite(const std::string& file, const std::vector<Word>& data) {
+  Frame f{kFsWrite, {static_cast<Word>(file.size())}};
+  for (unsigned char c : file) {
+    f.fields.push_back(c);
+  }
+  f.fields.insert(f.fields.end(), data.begin(), data.end());
+  return f;
+}
+
+Frame FsRead(const std::string& file, Word offset, Word count) {
+  Frame f{kFsRead, {static_cast<Word>(file.size())}};
+  for (unsigned char c : file) {
+    f.fields.push_back(c);
+  }
+  f.fields.push_back(offset);
+  f.fields.push_back(count);
+  return f;
+}
+
+Frame FsDelete(const std::string& file) {
+  Frame f{kFsDelete, {}};
+  for (unsigned char c : file) {
+    f.fields.push_back(c);
+  }
+  return f;
+}
+
+Frame FsList() { return Frame{kFsList, {}}; }
+
+}  // namespace sep

@@ -1,0 +1,125 @@
+// The multilevel secure file-server — the single trusted component of the
+// paper's Section 2 idealized system:
+//
+//   "each user is given his own private, physically isolated, single-user
+//    machine and a dedicated communication line to a common, shared
+//    file-server. The only component of this system that needs to be
+//    trusted is the file-server."
+//
+// Identity is by LINE, not by credential: in-port i and out-port i form the
+// dedicated line of one configured user at one security level, exactly as
+// a dedicated physical wire authenticates its endpoint. Every operation
+// passes the Bell-LaPadula monitor; the audit trail is exposed for the E12
+// experiment.
+//
+// Request frames (client -> server):
+//   kFsCreate : [level_code, name chars...]        create empty file
+//   kFsWrite  : [name_len, name..., data words...] append (blind write up ok)
+//   kFsRead   : [name_len, name..., offset, count] read
+//   kFsDelete : [name chars...]                    delete (same level only)
+//   kFsList   : []                                 list readable files
+// Reply frames (server -> client):
+//   kFsOk     : [request_type]
+//   kFsErr    : [request_type, error_code]
+//   kFsData   : [request_type, payload...]
+#ifndef SRC_COMPONENTS_FILESERVER_H_
+#define SRC_COMPONENTS_FILESERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+#include "src/security/blp.h"
+
+namespace sep {
+
+inline constexpr Word kFsCreate = 0x11;
+inline constexpr Word kFsWrite = 0x12;
+inline constexpr Word kFsRead = 0x13;
+inline constexpr Word kFsDelete = 0x14;
+inline constexpr Word kFsList = 0x15;
+inline constexpr Word kFsOk = 0x21;
+inline constexpr Word kFsErr = 0x22;
+inline constexpr Word kFsData = 0x23;
+
+// Error codes carried by kFsErr.
+inline constexpr Word kFsEDenied = 1;
+inline constexpr Word kFsENotFound = 2;
+inline constexpr Word kFsEExists = 3;
+inline constexpr Word kFsEBadRequest = 4;
+
+struct FileServerUser {
+  std::string name;
+  SecurityLevel level;
+};
+
+class FileServer : public Process {
+ public:
+  // users[i] is bound to line i (in-port i, out-port i).
+  explicit FileServer(std::vector<FileServerUser> users);
+
+  std::string name() const override { return "file-server"; }
+  void Step(NodeContext& ctx) override;
+
+  // --- inspection for tests/benches ---
+  const BlpMonitor& monitor() const { return monitor_; }
+  std::size_t file_count() const { return files_.size(); }
+  bool HasFile(const std::string& file) const { return files_.count(file) != 0; }
+  std::vector<Word> FileContents(const std::string& file) const;
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct StoredFile {
+    std::vector<Word> data;
+  };
+
+  Frame Handle(int line, const Frame& request);
+  Frame ErrorReply(Word request_type, Word code) {
+    return Frame{kFsErr, {request_type, code}};
+  }
+
+  std::vector<FileServerUser> users_;
+  BlpMonitor monitor_;
+  std::map<std::string, StoredFile> files_;
+  std::vector<FrameReader> readers_;
+  std::vector<FrameWriter> writers_;
+  std::uint64_t requests_served_ = 0;
+};
+
+// A scriptable file-server client for tests and workloads: submits the
+// script one request at a time, waiting for each reply before sending the
+// next, and records every reply. `start_delay` holds the first request back
+// (used to order scenarios across independent clients).
+class FileClient : public Process {
+ public:
+  FileClient(std::string name, std::vector<Frame> script, Tick start_delay = 0)
+      : name_(std::move(name)), script_(std::move(script)), start_delay_(start_delay) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override;
+  bool Finished() const override;
+
+  const std::vector<Frame>& replies() const { return replies_; }
+
+ private:
+  std::string name_;
+  std::vector<Frame> script_;
+  Tick start_delay_;
+  std::size_t next_ = 0;
+  std::vector<Frame> replies_;
+  FrameReader reader_;
+  FrameWriter writer_;
+};
+
+// Convenience constructors for request frames.
+Frame FsCreate(const SecurityLevel& level, const std::string& file);
+Frame FsWrite(const std::string& file, const std::vector<Word>& data);
+Frame FsRead(const std::string& file, Word offset, Word count);
+Frame FsDelete(const std::string& file);
+Frame FsList();
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_FILESERVER_H_

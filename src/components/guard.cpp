@@ -1,0 +1,93 @@
+#include "src/components/guard.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+ReviewVerdict DefaultWatchOfficer(const std::string& message) {
+  if (StartsWith(message, "UNCLAS:")) {
+    return {ReviewOutcome::kRelease, {}};
+  }
+  if (StartsWith(message, "REVIEW:")) {
+    // Declassify by redaction: digit runs (coordinates, designators) are
+    // masked before release.
+    std::string redacted = message.substr(7);
+    for (char& c : redacted) {
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        c = '#';
+      }
+    }
+    return {ReviewOutcome::kRedact, redacted};
+  }
+  return {ReviewOutcome::kDeny, {}};
+}
+
+Guard::Guard(ReviewPolicy policy, Tick review_delay)
+    : policy_(std::move(policy)), review_delay_(review_delay) {}
+
+void Guard::Step(NodeContext& ctx) {
+  // LOW -> HIGH: unhindered.
+  from_low_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = from_low_.Next()) {
+    if (frame->type == kGuardMsg) {
+      to_high_.Queue(*frame);
+      ++stats_.low_to_high;
+      audit_.push_back("L>H pass: " + WordsToString(frame->fields));
+    }
+  }
+
+  // HIGH -> LOW: into the review queue.
+  from_high_.Poll(ctx, 1);
+  while (std::optional<Frame> frame = from_high_.Next()) {
+    if (frame->type == kGuardMsg) {
+      review_queue_.push_back({WordsToString(frame->fields), ctx.now() + review_delay_});
+    }
+  }
+
+  // The watch officer works through the queue in order, one verdict per
+  // quantum once the review delay has elapsed.
+  if (!review_queue_.empty() && review_queue_.front().ready_at <= ctx.now()) {
+    PendingReview review = std::move(review_queue_.front());
+    review_queue_.pop_front();
+    ReviewVerdict verdict = policy_(review.text);
+    switch (verdict.outcome) {
+      case ReviewOutcome::kRelease:
+        to_low_.Queue(Frame{kGuardMsg, StringToWords(review.text)});
+        ++stats_.high_to_low_released;
+        audit_.push_back("H>L release: " + review.text);
+        break;
+      case ReviewOutcome::kRedact:
+        to_low_.Queue(Frame{kGuardMsg, StringToWords(verdict.redacted_text)});
+        ++stats_.high_to_low_redacted;
+        audit_.push_back("H>L redact: " + review.text + " -> " + verdict.redacted_text);
+        break;
+      case ReviewOutcome::kDeny:
+        ++stats_.high_to_low_denied;
+        audit_.push_back("H>L deny: " + review.text);
+        break;
+    }
+  }
+
+  to_low_.Flush(ctx, 0);
+  to_high_.Flush(ctx, 1);
+}
+
+void MessageSource::Step(NodeContext& ctx) {
+  if (next_ < messages_.size() && writer_.idle()) {
+    writer_.Queue(Frame{kGuardMsg, StringToWords(messages_[next_++])});
+  }
+  writer_.Flush(ctx, 0);
+}
+
+void MessageSink::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (frame->type == kGuardMsg) {
+      received_.push_back(WordsToString(frame->fields));
+    }
+  }
+}
+
+}  // namespace sep

@@ -1,0 +1,118 @@
+// The ACCAT-style Guard (paper Section 1, experiment E8).
+//
+//   "Messages from the LOW system to the HIGH one are allowed through the
+//    Guard without hindrance, but messages from HIGH to LOW must be
+//    displayed to a human 'Security Watch Officer' who has to decide
+//    whether they may be declassified."
+//
+// Built here the way the paper says it SHOULD be built: as a self-contained
+// component enforcing different rules per direction, rather than a
+// multilevel kernel plus trusted processes fighting the *-property.
+//
+// The Security Watch Officer — human and unavailable to a simulation — is
+// substituted by a scripted ReviewPolicy (see DESIGN.md §6): a rule set
+// over the message text producing RELEASE / DENY / REDACT(text) verdicts,
+// which preserves exactly what matters to the security argument: every
+// HIGH->LOW transfer passes through a single decision point, and nothing
+// reaches LOW except a verdict's output.
+//
+// Ports: in0 = from LOW, in1 = from HIGH; out0 = to LOW, out1 = to HIGH.
+// Frames: kGuardMsg : [message chars...] both directions.
+#ifndef SRC_COMPONENTS_GUARD_H_
+#define SRC_COMPONENTS_GUARD_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+
+namespace sep {
+
+inline constexpr Word kGuardMsg = 0x51;
+
+enum class ReviewOutcome : std::uint8_t { kRelease, kDeny, kRedact };
+
+struct ReviewVerdict {
+  ReviewOutcome outcome = ReviewOutcome::kDeny;
+  std::string redacted_text;  // used when outcome == kRedact
+};
+
+using ReviewPolicy = std::function<ReviewVerdict(const std::string& message)>;
+
+// The default scripted watch officer: releases messages explicitly marked
+// "UNCLAS:"; redacts digit runs from messages marked "REVIEW:" (substituting
+// '#'); denies everything else.
+ReviewVerdict DefaultWatchOfficer(const std::string& message);
+
+struct GuardStats {
+  std::uint64_t low_to_high = 0;
+  std::uint64_t high_to_low_released = 0;
+  std::uint64_t high_to_low_redacted = 0;
+  std::uint64_t high_to_low_denied = 0;
+};
+
+class Guard : public Process {
+ public:
+  // review_delay: steps each HIGH->LOW message spends "on the officer's
+  // screen" before the verdict applies.
+  Guard(ReviewPolicy policy, Tick review_delay = 5);
+
+  std::string name() const override { return "guard"; }
+  void Step(NodeContext& ctx) override;
+
+  const GuardStats& stats() const { return stats_; }
+  const std::vector<std::string>& audit() const { return audit_; }
+  std::size_t review_backlog() const { return review_queue_.size(); }
+
+ private:
+  ReviewPolicy policy_;
+  Tick review_delay_;
+  FrameReader from_low_;
+  FrameReader from_high_;
+  FrameWriter to_low_;
+  FrameWriter to_high_;
+  struct PendingReview {
+    std::string text;
+    Tick ready_at;
+  };
+  std::deque<PendingReview> review_queue_;
+  GuardStats stats_;
+  std::vector<std::string> audit_;
+};
+
+// Message source/sink endpoints for guard scenarios.
+class MessageSource : public Process {
+ public:
+  MessageSource(std::string name, std::vector<std::string> messages)
+      : name_(std::move(name)), messages_(std::move(messages)) {}
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override;
+  bool Finished() const override { return next_ >= messages_.size() && writer_.idle(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> messages_;
+  std::size_t next_ = 0;
+  FrameWriter writer_;
+};
+
+class MessageSink : public Process {
+ public:
+  explicit MessageSink(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override;
+
+  const std::vector<std::string>& received() const { return received_; }
+
+ private:
+  std::string name_;
+  FrameReader reader_;
+  std::vector<std::string> received_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_GUARD_H_

@@ -1,0 +1,97 @@
+#include "src/components/printserver.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace sep {
+
+PrintServer::PrintServer(std::vector<PrintUser> users, int print_rate)
+    : users_(std::move(users)), print_rate_(print_rate) {
+  readers_.resize(users_.size());
+  writers_.resize(users_.size());
+  // The server acts as one subject PER LEVEL it handles: "printer@<user>"
+  // running at the submitting user's level. That is the whole point — it
+  // never needs a subject that observes high data and alters low data.
+  for (const PrintUser& user : users_) {
+    SEP_CHECK(monitor_.AddSubject({"printer@" + user.name, user.level, user.level, false}).ok());
+  }
+}
+
+void PrintServer::Step(NodeContext& ctx) {
+  // Accept new submissions (at most one per line per quantum).
+  for (std::size_t line = 0; line < users_.size(); ++line) {
+    readers_[line].Poll(ctx, static_cast<int>(line));
+    if (std::optional<Frame> frame = readers_[line].Next()) {
+      if (frame->type == kPrSubmit) {
+        const PrintUser& user = users_[line];
+        Job job;
+        job.line = static_cast<int>(line);
+        job.spool_name = Format("spool/%s-%d", user.name.c_str(), next_job_id_++);
+        job.body = WordsToString(frame->fields);
+        // The spool object is classified at the submitter's level.
+        SEP_CHECK(monitor_.AddObject({job.spool_name, user.level}).ok());
+        // Spooling = writing the job into the spool file (same level).
+        SEP_CHECK(
+            monitor_.Require("printer@" + user.name, job.spool_name, AccessMode::kWrite).ok());
+        queue_.push_back(std::move(job));
+      }
+    }
+  }
+
+  if (!printing_ && !queue_.empty()) {
+    StartNextJob();
+  }
+
+  // Print `print_rate_` characters of the current job per quantum; jobs are
+  // strictly serialized, so no interleaving is possible by construction.
+  if (printing_) {
+    for (int i = 0; i < print_rate_ && render_pos_ < render_.size(); ++i) {
+      printed_.push_back(render_[render_pos_++]);
+    }
+    if (render_pos_ >= render_.size()) {
+      // Job finished: delete the spool file. The per-level subject deletes
+      // an object AT ITS OWN LEVEL — BLP-legal, no exemption involved.
+      const PrintUser& user = users_[static_cast<std::size_t>(current_.line)];
+      SEP_CHECK(
+          monitor_.Require("printer@" + user.name, current_.spool_name, AccessMode::kDelete)
+              .ok());
+      SEP_CHECK(monitor_.RemoveObject(current_.spool_name).ok());
+      writers_[static_cast<std::size_t>(current_.line)].Queue(
+          Frame{kPrDone, {static_cast<Word>(jobs_completed_ + 1)}});
+      ++jobs_completed_;
+      printing_ = false;
+    }
+  }
+
+  for (std::size_t line = 0; line < users_.size(); ++line) {
+    writers_[line].Flush(ctx, static_cast<int>(line));
+  }
+}
+
+void PrintServer::StartNextJob() {
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  const PrintUser& user = users_[static_cast<std::size_t>(current_.line)];
+  // Reading the spool back for printing: same-level read.
+  SEP_CHECK(monitor_.Require("printer@" + user.name, current_.spool_name, AccessMode::kRead).ok());
+  render_ = Format("=== %s === user:%s ===\n", user.level.ToString().c_str(), user.name.c_str()) +
+            current_.body + "\n=== END OF JOB ===\n";
+  render_pos_ = 0;
+  printing_ = true;
+}
+
+void PrintClient::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (frame->type == kPrDone) {
+      ++done_;
+    }
+  }
+  if (submitted_ < jobs_.size() && writer_.idle()) {
+    Frame f{kPrSubmit, StringToWords(jobs_[submitted_++])};
+    writer_.Queue(f);
+  }
+  writer_.Flush(ctx, 0);
+}
+
+}  // namespace sep

@@ -1,0 +1,105 @@
+// The self-contained printer-server of the paper's Section 2.
+//
+// Each user submits jobs over a dedicated line at a fixed level (like the
+// file-server's lines). The server spools each job AT THE SUBMITTER'S
+// LEVEL, prints it with a banner page carrying the correct classification,
+// and deletes the spool entry afterwards — legally, because the server
+// processes each job at the job's own level. This is the distributed
+// resolution of the Section 1 spooler dilemma: no trusted-process
+// exemption anywhere (asserted by the tests via the audit trail).
+//
+// Security obligations implemented (the paper's list):
+//   * the banner carries the job's true classification;
+//   * jobs are serialized — no interleaving of one job inside another;
+//   * no feedback of one user's data to another (replies carry only the
+//     submitter's own job ids);
+//   * spool files are deleted after printing, without any *-property
+//     violation.
+//
+// Frames:
+//   client -> server  kPrSubmit : [job chars...]
+//   server -> client  kPrDone   : [job_id]
+#ifndef SRC_COMPONENTS_PRINTSERVER_H_
+#define SRC_COMPONENTS_PRINTSERVER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+#include "src/security/blp.h"
+
+namespace sep {
+
+inline constexpr Word kPrSubmit = 0x31;
+inline constexpr Word kPrDone = 0x32;
+
+struct PrintUser {
+  std::string name;
+  SecurityLevel level;
+};
+
+class PrintServer : public Process {
+ public:
+  // users[i] bound to line i; print_rate = characters per step.
+  PrintServer(std::vector<PrintUser> users, int print_rate = 4);
+
+  std::string name() const override { return "printer-server"; }
+  void Step(NodeContext& ctx) override;
+
+  // Everything that has reached the (simulated) paper so far.
+  const std::string& printed() const { return printed_; }
+  // BLP decisions the server made about its own spool handling.
+  const BlpMonitor& monitor() const { return monitor_; }
+  std::size_t jobs_completed() const { return jobs_completed_; }
+  std::size_t spool_backlog() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    int line;
+    std::string spool_name;
+    std::string body;
+  };
+
+  void StartNextJob();
+
+  std::vector<PrintUser> users_;
+  int print_rate_;
+  BlpMonitor monitor_;
+  std::vector<FrameReader> readers_;
+  std::vector<FrameWriter> writers_;
+  std::deque<Job> queue_;
+  bool printing_ = false;
+  Job current_;
+  std::string render_;          // banner + body of the current job
+  std::size_t render_pos_ = 0;
+  std::string printed_;
+  std::size_t jobs_completed_ = 0;
+  int next_job_id_ = 1;
+};
+
+// Submits a fixed set of print jobs and waits for completions.
+class PrintClient : public Process {
+ public:
+  PrintClient(std::string name, std::vector<std::string> jobs)
+      : name_(std::move(name)), jobs_(std::move(jobs)) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override;
+  bool Finished() const override { return done_ >= jobs_.size(); }
+
+  std::size_t completions() const { return done_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> jobs_;
+  std::size_t submitted_ = 0;
+  std::size_t done_ = 0;
+  FrameReader reader_;
+  FrameWriter writer_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_PRINTSERVER_H_

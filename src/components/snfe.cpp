@@ -1,0 +1,309 @@
+#include "src/components/snfe.h"
+
+#include "src/machine/devices.h"
+
+namespace sep {
+
+// --- RedHost ---------------------------------------------------------------------
+
+void RedHost::Step(NodeContext& ctx) {
+  from_host_.Poll(ctx, 0);
+  if (std::optional<Frame> packet = from_host_.Next()) {
+    if (packet->type == kPktHost && packet->fields.size() >= 3) {
+      Frame header{kPktHdr,
+                   {packet->fields[0], packet->fields[1], packet->fields[2]}};
+      Frame payload{kPktPayload,
+                    {packet->fields.begin() + 3, packet->fields.end()}};
+      to_crypto_.Queue(payload);
+      to_bypass_.Queue(header);
+    }
+  }
+  to_crypto_.Flush(ctx, 0);
+  to_bypass_.Flush(ctx, 1);
+}
+
+// --- EvilRedHost -----------------------------------------------------------------
+
+void EvilRedHost::Step(NodeContext& ctx) {
+  from_host_.Poll(ctx, 0);
+  while (std::optional<Frame> packet = from_host_.Next()) {
+    if (packet->type == kPktHost && packet->fields.size() >= 3) {
+      host_backlog_.push_back(*packet);
+    }
+  }
+
+  if (!host_backlog_.empty() && ctx.now() >= wait_until_) {
+    Frame packet = std::move(host_backlog_.front());
+    host_backlog_.pop_front();
+
+    const int bit =
+        next_bit_ < secret_.size() ? secret_[next_bit_] : 0;
+    Word dest = packet.fields[0];
+    Word length = packet.fields[1];
+    Word flags = packet.fields[2];
+    switch (mode_) {
+      case LeakMode::kFlagEncoding:
+        // The secret bit rides in the discretionary flags field.
+        flags = static_cast<Word>(bit);
+        break;
+      case LeakMode::kLengthEncoding:
+        // The secret bit rides in the parity of the advertised length.
+        length = static_cast<Word>((length & ~1u) | static_cast<Word>(bit));
+        break;
+      case LeakMode::kTimingEncoding:
+        // The secret bit rides in the spacing to the NEXT header.
+        wait_until_ = ctx.now() + (bit != 0 ? 6 : 2);
+        break;
+    }
+    if (next_bit_ < secret_.size()) {
+      ++next_bit_;
+    }
+
+    to_bypass_.Queue(Frame{kPktHdr, {dest, length, flags}});
+    to_crypto_.Queue(Frame{kPktPayload, {packet.fields.begin() + 3, packet.fields.end()}});
+  }
+
+  to_crypto_.Flush(ctx, 0);
+  to_bypass_.Flush(ctx, 1);
+}
+
+// --- CryptoBox -------------------------------------------------------------------
+
+void CryptoBox::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (frame->type != kPktPayload) {
+      continue;  // the crypto passes nothing it does not understand
+    }
+    Frame cipher{kPktCipher, {}};
+    cipher.fields.reserve(frame->fields.size());
+    for (Word w : frame->fields) {
+      cipher.fields.push_back(static_cast<Word>(w ^ CryptoUnit::Keystream(key_, counter_++)));
+    }
+    writer_.Queue(cipher);
+  }
+  writer_.Flush(ctx, 0);
+}
+
+// --- Censor ----------------------------------------------------------------------
+
+const char* CensorStrictnessName(CensorStrictness s) {
+  switch (s) {
+    case CensorStrictness::kOff:
+      return "off";
+    case CensorStrictness::kSyntax:
+      return "syntax";
+    case CensorStrictness::kCanonical:
+      return "canonical";
+    case CensorStrictness::kRateLimited:
+      return "rate-limited";
+  }
+  return "?";
+}
+
+bool Censor::SyntaxValid(const Frame& frame) const {
+  if (frame.type != kPktHdr) {
+    return false;
+  }
+  if (frame.fields.size() != 3) {
+    return false;
+  }
+  const Word dest = frame.fields[0];
+  const Word length = frame.fields[1];
+  const Word flags = frame.fields[2];
+  return dest < kMaxDest && length <= kMaxLength && flags <= 1;
+}
+
+void Censor::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (strictness_ == CensorStrictness::kOff) {
+      delay_queue_.push_back(*frame);
+      continue;
+    }
+    if (!SyntaxValid(*frame)) {
+      ++stats_.dropped;
+      continue;
+    }
+    Frame accepted = *frame;
+    if (strictness_ == CensorStrictness::kCanonical ||
+        strictness_ == CensorStrictness::kRateLimited) {
+      // Canonicalization: discretionary fields are rewritten to fixed
+      // values, and the advertised length is rounded up to a bucket — the
+      // procedural checks that make the surviving fields carry as little
+      // sender-chosen information as possible.
+      if (accepted.fields[2] != 0) {
+        accepted.fields[2] = 0;
+        ++stats_.rewritten;
+      }
+      const Word rounded = static_cast<Word>(((accepted.fields[1] + 15) / 16) * 16);
+      if (rounded != accepted.fields[1]) {
+        accepted.fields[1] = rounded;
+        ++stats_.rewritten;
+      }
+    }
+    delay_queue_.push_back(accepted);
+  }
+
+  // Forwarding, possibly rate-limited to flatten timing channels.
+  if (!delay_queue_.empty()) {
+    const bool gate_open = strictness_ != CensorStrictness::kRateLimited ||
+                           ctx.now() >= last_forward_ + min_gap_;
+    if (gate_open) {
+      writer_.Queue(delay_queue_.front());
+      delay_queue_.pop_front();
+      last_forward_ = ctx.now();
+      ++stats_.forwarded;
+    } else {
+      ++stats_.delayed;
+    }
+  }
+  writer_.Flush(ctx, 0);
+}
+
+// --- BlackHost -------------------------------------------------------------------
+
+void BlackHost::Step(NodeContext& ctx) {
+  from_censor_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = from_censor_.Next()) {
+    if (frame->type == kPktHdr && frame->fields.size() == 3) {
+      headers_.push_back(*frame);
+    }
+  }
+  from_crypto_.Poll(ctx, 1);
+  while (std::optional<Frame> frame = from_crypto_.Next()) {
+    if (frame->type == kPktCipher) {
+      payloads_.push_back(*frame);
+    }
+  }
+
+  if (!headers_.empty() && !payloads_.empty()) {
+    Frame header = std::move(headers_.front());
+    headers_.pop_front();
+    Frame payload = std::move(payloads_.front());
+    payloads_.pop_front();
+    Frame net{kPktNet, {header.fields[0], header.fields[1], header.fields[2]}};
+    net.fields.insert(net.fields.end(), payload.fields.begin(), payload.fields.end());
+    to_network_.Queue(net);
+  }
+  to_network_.Flush(ctx, 0);
+}
+
+// --- HostSource ------------------------------------------------------------------
+
+HostSource::HostSource(int packet_count, std::uint64_t seed, int payload_words) {
+  Rng rng(seed);
+  for (int i = 0; i < packet_count; ++i) {
+    Frame packet{kPktHost,
+                 {static_cast<Word>(rng.NextBelow(kMaxDest)),
+                  static_cast<Word>(payload_words), 0}};
+    for (int w = 0; w < payload_words; ++w) {
+      packet.fields.push_back(static_cast<Word>(rng.Next() & 0xFFFF));
+    }
+    packets_.push_back(std::move(packet));
+  }
+}
+
+void HostSource::Step(NodeContext& ctx) {
+  if (sent_ < packets_.size() && writer_.idle()) {
+    writer_.Queue(packets_[sent_++]);
+  }
+  writer_.Flush(ctx, 0);
+}
+
+// --- NetworkSink -----------------------------------------------------------------
+
+void NetworkSink::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (frame->type == kPktNet) {
+      packets_.push_back(*frame);
+      arrivals_.push_back(ctx.now());
+    }
+  }
+}
+
+bool NetworkSink::ContainsCleartext(const std::vector<Word>& needle, std::size_t min_run) const {
+  if (needle.size() < min_run) {
+    return false;
+  }
+  for (const Frame& packet : packets_) {
+    const std::vector<Word>& hay = packet.fields;
+    for (std::size_t start = 0; start + min_run <= hay.size(); ++start) {
+      for (std::size_t n = 0; n + min_run <= needle.size(); ++n) {
+        std::size_t match = 0;
+        while (start + match < hay.size() && n + match < needle.size() &&
+               hay[start + match] == needle[n + match]) {
+          ++match;
+        }
+        if (match >= min_run) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> NetworkSink::DecodeFlagBits() const {
+  std::vector<int> bits;
+  for (const Frame& packet : packets_) {
+    bits.push_back(packet.fields.size() > 2 && packet.fields[2] != 0 ? 1 : 0);
+  }
+  return bits;
+}
+
+std::vector<int> NetworkSink::DecodeLengthBits() const {
+  std::vector<int> bits;
+  for (const Frame& packet : packets_) {
+    bits.push_back(packet.fields.size() > 1 ? static_cast<int>(packet.fields[1] & 1) : 0);
+  }
+  return bits;
+}
+
+std::vector<int> NetworkSink::DecodeTimingBits() const {
+  std::vector<int> bits;
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    bits.push_back(arrivals_[i] - arrivals_[i - 1] >= 5 ? 1 : 0);
+  }
+  return bits;
+}
+
+std::size_t MatchingPrefixBits(const std::vector<int>& sent, const std::vector<int>& received) {
+  std::size_t n = 0;
+  while (n < sent.size() && n < received.size() && sent[n] == received[n]) {
+    ++n;
+  }
+  return n;
+}
+
+// --- BuildSnfe -------------------------------------------------------------------
+
+SnfeTopology BuildSnfe(Network& net, CensorStrictness strictness, bool evil,
+                       std::vector<int> secret_bits, LeakMode mode, int packet_count,
+                       std::uint64_t key, Tick censor_gap) {
+  SnfeTopology topo;
+  topo.host = net.AddNode(std::make_unique<HostSource>(packet_count, /*seed=*/42));
+  if (evil) {
+    topo.red = net.AddNode(std::make_unique<EvilRedHost>(std::move(secret_bits), mode));
+  } else {
+    topo.red = net.AddNode(std::make_unique<RedHost>());
+  }
+  topo.crypto = net.AddNode(std::make_unique<CryptoBox>(key));
+  topo.censor = net.AddNode(std::make_unique<Censor>(strictness, censor_gap));
+  topo.black = net.AddNode(std::make_unique<BlackHost>());
+  topo.network = net.AddNode(std::make_unique<NetworkSink>());
+
+  // The paper's exact line set — and nothing else. Port numbering is by
+  // declaration order per node: red's out0 feeds the crypto and out1 the
+  // bypass; black's in0 comes from the censor and in1 from the crypto.
+  net.Connect(topo.host, topo.red, 512, 1, "host-line");
+  net.Connect(topo.red, topo.crypto, 512, 1, "red-crypto");
+  net.Connect(topo.red, topo.censor, 512, 1, "bypass");
+  net.Connect(topo.censor, topo.black, 512, 1, "censor-black");
+  net.Connect(topo.crypto, topo.black, 512, 1, "crypto-black");
+  net.Connect(topo.black, topo.network, 512, 1, "network-line");
+  return topo;
+}
+
+}  // namespace sep

@@ -1,0 +1,236 @@
+// The Secure Network Front End of the paper's Section 2 (experiments E1
+// and E9).
+//
+//   host === [ RED ] ---payload---> [ CRYPTO ] ---cipher---> [ BLACK ] === net
+//              |                                                ^
+//              +------ cleartext bypass ----> [ CENSOR ] -------+
+//
+// The security requirement: user data from the host must not reach the
+// network in cleartext. The red software is "too large and complex to
+// verify", so a CENSOR performs rigid procedural checks on the bypass; the
+// system's remaining security comes from the physical separation of the
+// four boxes and the absence of any other line — which experiment E1
+// audits over the declared topology.
+//
+// Frames:
+//   host -> red        kPktHost    : [dest, length, flags, payload...]
+//   red -> crypto      kPktPayload : [payload words...]
+//   crypto -> black    kPktCipher  : [encrypted payload words...]
+//   red -> censor      kPktHdr     : [dest, length, flags]
+//   censor -> black    kPktHdr
+//   black -> network   kPktNet     : [dest, length, flags, cipher...]
+#ifndef SRC_COMPONENTS_SNFE_H_
+#define SRC_COMPONENTS_SNFE_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+
+namespace sep {
+
+inline constexpr Word kPktHost = 0x61;
+inline constexpr Word kPktPayload = 0x62;
+inline constexpr Word kPktCipher = 0x63;
+inline constexpr Word kPktHdr = 0x64;
+inline constexpr Word kPktNet = 0x65;
+
+// Bounds the censor enforces on header fields.
+inline constexpr Word kMaxDest = 64;
+inline constexpr Word kMaxLength = 128;
+
+// --- red side ------------------------------------------------------------------
+
+// The honest red component: splits each host packet into a payload (to the
+// crypto, port 0) and a protocol header (to the bypass, port 1).
+class RedHost : public Process {
+ public:
+  RedHost() = default;
+  std::string name() const override { return "red"; }
+  void Step(NodeContext& ctx) override;
+
+ private:
+  FrameReader from_host_;
+  FrameWriter to_crypto_;
+  FrameWriter to_bypass_;
+};
+
+// The dishonest red component for E9: additionally encodes a secret bit
+// string into the bypass traffic.
+enum class LeakMode : std::uint8_t {
+  kFlagEncoding,    // secret bit -> header flags field
+  kLengthEncoding,  // secret bit -> parity of the advertised length field
+  kTimingEncoding,  // secret bit -> gap (1 or 2 idle steps) between headers
+};
+
+class EvilRedHost : public Process {
+ public:
+  EvilRedHost(std::vector<int> secret_bits, LeakMode mode)
+      : secret_(std::move(secret_bits)), mode_(mode) {}
+  std::string name() const override { return "red(evil)"; }
+  void Step(NodeContext& ctx) override;
+
+  std::size_t bits_encoded() const { return next_bit_; }
+
+ private:
+  FrameReader from_host_;
+  FrameWriter to_crypto_;
+  FrameWriter to_bypass_;
+  std::vector<int> secret_;
+  LeakMode mode_;
+  std::size_t next_bit_ = 0;
+  Tick wait_until_ = 0;
+  std::deque<Frame> host_backlog_;
+};
+
+// --- crypto --------------------------------------------------------------------
+
+// The trusted crypto box: encrypts the FIELDS of kPktPayload frames with a
+// keyed word-stream cipher, preserving framing (a link encryptor). Shares
+// its keystream definition with the machine-level CryptoUnit device.
+class CryptoBox : public Process {
+ public:
+  explicit CryptoBox(std::uint64_t key) : key_(key) {}
+  std::string name() const override { return "crypto"; }
+  void Step(NodeContext& ctx) override;
+
+  std::uint64_t words_encrypted() const { return counter_; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_ = 0;
+  FrameReader reader_;
+  FrameWriter writer_;
+};
+
+// --- censor --------------------------------------------------------------------
+
+enum class CensorStrictness : std::uint8_t {
+  kOff,         // forward everything (the unprotected baseline)
+  kSyntax,      // frame type/shape/field-range checks
+  kCanonical,   // syntax + rewrite discretionary fields to canonical values
+  kRateLimited, // canonical + minimum gap between forwarded headers
+};
+
+const char* CensorStrictnessName(CensorStrictness s);
+
+struct CensorStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rewritten = 0;
+  std::uint64_t delayed = 0;
+};
+
+class Censor : public Process {
+ public:
+  explicit Censor(CensorStrictness strictness, Tick min_gap = 4)
+      : strictness_(strictness), min_gap_(min_gap) {}
+
+  std::string name() const override { return "censor"; }
+  void Step(NodeContext& ctx) override;
+
+  const CensorStats& stats() const { return stats_; }
+
+ private:
+  bool SyntaxValid(const Frame& frame) const;
+
+  CensorStrictness strictness_;
+  Tick min_gap_;
+  Tick last_forward_ = 0;
+  std::deque<Frame> delay_queue_;
+  FrameReader reader_;
+  FrameWriter writer_;
+  CensorStats stats_;
+};
+
+// --- black side ------------------------------------------------------------------
+
+// Pairs a header (port 0, from the censor) with a ciphertext payload
+// (port 1, from the crypto) and emits a network packet.
+class BlackHost : public Process {
+ public:
+  BlackHost() = default;
+  std::string name() const override { return "black"; }
+  void Step(NodeContext& ctx) override;
+
+ private:
+  FrameReader from_censor_;
+  FrameReader from_crypto_;
+  FrameWriter to_network_;
+  std::deque<Frame> headers_;
+  std::deque<Frame> payloads_;
+};
+
+// --- endpoints -------------------------------------------------------------------
+
+// Generates deterministic host packets.
+class HostSource : public Process {
+ public:
+  HostSource(int packet_count, std::uint64_t seed, int payload_words = 8);
+  std::string name() const override { return "host"; }
+  void Step(NodeContext& ctx) override;
+  bool Finished() const override { return sent_ >= packets_.size() && writer_.idle(); }
+
+  const std::vector<Frame>& packets() const { return packets_; }
+
+ private:
+  std::vector<Frame> packets_;
+  std::size_t sent_ = 0;
+  FrameWriter writer_;
+};
+
+// Collects network packets; can audit them for cleartext leakage and decode
+// covert channels.
+class NetworkSink : public Process {
+ public:
+  NetworkSink() = default;
+  std::string name() const override { return "network"; }
+  void Step(NodeContext& ctx) override;
+
+  const std::vector<Frame>& packets() const { return packets_; }
+  // Arrival step of each header (for timing-channel decoding).
+  const std::vector<Tick>& arrival_times() const { return arrivals_; }
+
+  // True if any `needle` run of >= min_run consecutive words appears in any
+  // received packet payload — the cleartext-on-the-wire detector.
+  bool ContainsCleartext(const std::vector<Word>& needle, std::size_t min_run = 4) const;
+
+  // Covert decoders matching EvilRedHost's encodings. Return the bit string
+  // an adversary on the network side would recover.
+  std::vector<int> DecodeFlagBits() const;
+  std::vector<int> DecodeLengthBits() const;
+  std::vector<int> DecodeTimingBits() const;
+
+ private:
+  FrameReader reader_;
+  std::vector<Frame> packets_;
+  std::vector<Tick> arrivals_;
+};
+
+// Counts the number of leading positions where the two bit strings agree —
+// the covert channel's delivered payload.
+std::size_t MatchingPrefixBits(const std::vector<int>& sent, const std::vector<int>& received);
+
+// --- assembled system ------------------------------------------------------------
+
+struct SnfeTopology {
+  int host = -1;
+  int red = -1;
+  int crypto = -1;
+  int censor = -1;
+  int black = -1;
+  int network = -1;
+};
+
+// Builds the complete SNFE into `net` with the paper's exact line set.
+// `evil` selects the dishonest red; secret/mode configure its channel.
+SnfeTopology BuildSnfe(Network& net, CensorStrictness strictness, bool evil = false,
+                       std::vector<int> secret_bits = {}, LeakMode mode = LeakMode::kFlagEncoding,
+                       int packet_count = 32, std::uint64_t key = 0xC0FFEE, Tick censor_gap = 4);
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_SNFE_H_

@@ -1,0 +1,89 @@
+#include "src/components/snfe_receive.h"
+
+namespace sep {
+
+void BlackReceiver::Step(NodeContext& ctx) {
+  from_network_.Poll(ctx, 0);
+  if (std::optional<Frame> packet = from_network_.Next()) {
+    if (packet->type == kPktNet && packet->fields.size() >= 3) {
+      to_bypass_.Queue(Frame{kPktHdr,
+                             {packet->fields[0], packet->fields[1], packet->fields[2]}});
+      to_crypto_.Queue(Frame{kPktPayload,
+                             {packet->fields.begin() + 3, packet->fields.end()}});
+    }
+  }
+  to_crypto_.Flush(ctx, 0);
+  to_bypass_.Flush(ctx, 1);
+}
+
+void RedReceiver::Step(NodeContext& ctx) {
+  from_censor_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = from_censor_.Next()) {
+    if (frame->type == kPktHdr && frame->fields.size() == 3) {
+      headers_.push_back(*frame);
+    }
+  }
+  from_crypto_.Poll(ctx, 1);
+  while (std::optional<Frame> frame = from_crypto_.Next()) {
+    if (frame->type == kPktCipher) {
+      payloads_.push_back(*frame);
+    }
+  }
+  if (!headers_.empty() && !payloads_.empty()) {
+    Frame header = std::move(headers_.front());
+    headers_.pop_front();
+    Frame payload = std::move(payloads_.front());
+    payloads_.pop_front();
+    Frame host{kPktHost, {header.fields[0], header.fields[1], header.fields[2]}};
+    host.fields.insert(host.fields.end(), payload.fields.begin(), payload.fields.end());
+    to_host_.Queue(host);
+  }
+  to_host_.Flush(ctx, 0);
+}
+
+void HostSink::Step(NodeContext& ctx) {
+  reader_.Poll(ctx, 0);
+  while (std::optional<Frame> frame = reader_.Next()) {
+    if (frame->type == kPktHost) {
+      packets_.push_back(*frame);
+    }
+  }
+}
+
+SnfePairTopology BuildSnfePair(Network& net, CensorStrictness strictness, int packet_count,
+                               std::uint64_t key) {
+  SnfePairTopology topo;
+
+  // Transmit side (like BuildSnfe, but the network line continues onward).
+  topo.transmit.host = net.AddNode(std::make_unique<HostSource>(packet_count, /*seed=*/42));
+  topo.transmit.red = net.AddNode(std::make_unique<RedHost>());
+  topo.transmit.crypto = net.AddNode(std::make_unique<CryptoBox>(key));
+  topo.transmit.censor = net.AddNode(std::make_unique<Censor>(strictness));
+  topo.transmit.black = net.AddNode(std::make_unique<BlackHost>());
+
+  // Receive side.
+  topo.black_rx = net.AddNode(std::make_unique<BlackReceiver>());
+  topo.crypto_rx = net.AddNode(std::make_unique<CryptoBox>(key));  // shared key: decrypts
+  topo.censor_rx = net.AddNode(std::make_unique<Censor>(strictness));
+  topo.red_rx = net.AddNode(std::make_unique<RedReceiver>());
+  topo.host_rx = net.AddNode(std::make_unique<HostSink>());
+  topo.transmit.network = topo.black_rx;  // "the network" ends at the peer
+
+  // Transmit lines.
+  net.Connect(topo.transmit.host, topo.transmit.red, 512, 1, "host-line");
+  net.Connect(topo.transmit.red, topo.transmit.crypto, 512, 1, "red-crypto");
+  net.Connect(topo.transmit.red, topo.transmit.censor, 512, 1, "bypass-tx");
+  net.Connect(topo.transmit.censor, topo.transmit.black, 512, 1, "censor-black");
+  net.Connect(topo.transmit.crypto, topo.transmit.black, 512, 1, "crypto-black");
+  // The network itself.
+  net.Connect(topo.transmit.black, topo.black_rx, 512, 3, "the-network");
+  // Receive lines (mirrored).
+  net.Connect(topo.black_rx, topo.crypto_rx, 512, 1, "blackrx-crypto");
+  net.Connect(topo.black_rx, topo.censor_rx, 512, 1, "bypass-rx");
+  net.Connect(topo.censor_rx, topo.red_rx, 512, 1, "censor-redrx");
+  net.Connect(topo.crypto_rx, topo.red_rx, 512, 1, "crypto-redrx");
+  net.Connect(topo.red_rx, topo.host_rx, 512, 1, "host-line-rx");
+  return topo;
+}
+
+}  // namespace sep

@@ -1,0 +1,129 @@
+// Framing and encoding helpers shared by the trusted components.
+//
+// Components exchange flat word streams (that is all a communication line
+// carries); structured requests ride on a trivial framing protocol:
+//
+//   [length][type][field words ...]     length = 1 + #fields
+//
+// FrameReader reassembles frames from an in-port; FrameWriter queues frames
+// toward an out-port, respecting link backpressure. Security levels travel
+// as one word: classification in the low 2 bits, the first 14 category bits
+// above them.
+#ifndef SRC_COMPONENTS_WIRE_H_
+#define SRC_COMPONENTS_WIRE_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/distributed/network.h"
+#include "src/security/level.h"
+
+namespace sep {
+
+struct Frame {
+  Word type = 0;
+  std::vector<Word> fields;
+
+  bool operator==(const Frame& other) const = default;
+};
+
+class FrameWriter {
+ public:
+  void Queue(const Frame& frame) {
+    pending_.push_back(static_cast<Word>(1 + frame.fields.size()));
+    pending_.push_back(frame.type);
+    for (Word w : frame.fields) {
+      pending_.push_back(w);
+    }
+  }
+
+  // Pushes as many queued words as the link accepts.
+  void Flush(NodeContext& ctx, int port) {
+    while (!pending_.empty() && ctx.Send(port, pending_.front())) {
+      pending_.pop_front();
+    }
+  }
+
+  bool idle() const { return pending_.empty(); }
+  std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  std::deque<Word> pending_;
+};
+
+class FrameReader {
+ public:
+  // Consumes every word currently available on the port.
+  void Poll(NodeContext& ctx, int port) {
+    while (std::optional<Word> w = ctx.Receive(port)) {
+      buffer_.push_back(*w);
+    }
+  }
+
+  // Feeds one raw word (for non-network uses).
+  void Feed(Word w) { buffer_.push_back(w); }
+
+  std::optional<Frame> Next() {
+    if (buffer_.empty()) {
+      return std::nullopt;
+    }
+    const Word length = buffer_.front();
+    if (length == 0) {
+      // Malformed: resynchronise by dropping the word.
+      buffer_.pop_front();
+      return std::nullopt;
+    }
+    if (buffer_.size() < static_cast<std::size_t>(length) + 1) {
+      return std::nullopt;  // incomplete
+    }
+    Frame frame;
+    buffer_.pop_front();  // length
+    frame.type = buffer_.front();
+    buffer_.pop_front();
+    for (Word i = 1; i < length; ++i) {
+      frame.fields.push_back(buffer_.front());
+      buffer_.pop_front();
+    }
+    return frame;
+  }
+
+ private:
+  std::deque<Word> buffer_;
+};
+
+// --- small encodings ---------------------------------------------------------
+
+inline Word EncodeLevel(const SecurityLevel& level) {
+  return static_cast<Word>(static_cast<Word>(level.classification()) |
+                           ((level.categories().bits() & 0x3FFF) << 2));
+}
+
+inline SecurityLevel DecodeLevel(Word code) {
+  return SecurityLevel(static_cast<Classification>(code & 0x3),
+                       CategorySet(static_cast<std::uint16_t>(code >> 2)));
+}
+
+inline std::vector<Word> StringToWords(const std::string& text) {
+  std::vector<Word> out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string WordsToString(const std::vector<Word>& words, std::size_t begin = 0,
+                                 std::size_t count = static_cast<std::size_t>(-1)) {
+  std::string out;
+  for (std::size_t i = begin; i < words.size() && out.size() < count; ++i) {
+    out.push_back(static_cast<char>(words[i] & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace sep
+
+#endif  // SRC_COMPONENTS_WIRE_H_

@@ -1,0 +1,233 @@
+#include "src/core/exhaustive.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+namespace {
+
+class ExhaustiveRun {
+ public:
+  ExhaustiveRun(const SharedSystem& initial, const ExhaustiveOptions& options)
+      : options_(options), initial_(initial.Clone()) {}
+
+  ExhaustiveReport Run() {
+    if (!initial_->FullState().has_value()) {
+      report_.violations.push_back(
+          {0, kColourNone, 0, "system does not support FullState(); exhaustive mode needs it"});
+      return std::move(report_);
+    }
+
+    Explore();
+    if (report_.complete || states_.size() <= options_.max_states) {
+      CheckPairs();
+    }
+    report_.states_explored = states_.size();
+    return std::move(report_);
+  }
+
+ private:
+  void Check(int condition, int colour, bool ok, const std::string& description) {
+    auto& stats = report_.conditions[static_cast<std::size_t>(condition)];
+    ++stats.checks;
+    if (!ok) {
+      ++stats.violations;
+      if (static_cast<int>(report_.violations.size()) < options_.max_violations) {
+        report_.violations.push_back({condition, colour, 0, description});
+      }
+    }
+  }
+
+  // Registers a state if new; returns its index or -1 on budget overflow.
+  int Intern(std::unique_ptr<SharedSystem> state) {
+    std::optional<std::vector<Word>> key = state->FullState();
+    auto [it, inserted] = index_.try_emplace(std::move(*key), static_cast<int>(states_.size()));
+    if (!inserted) {
+      return it->second;
+    }
+    if (states_.size() >= options_.max_states) {
+      overflowed_ = true;
+      index_.erase(it);
+      return -1;
+    }
+    states_.push_back(std::move(state));
+    frontier_.push_back(it->second);
+    return it->second;
+  }
+
+  // One successor: apply `mutate` to a clone of states_[from]; check the
+  // per-transition conditions; intern the result.
+  template <typename Mutate, typename PerColourCheck>
+  void Successor(int from, Mutate mutate, PerColourCheck check) {
+    std::unique_ptr<SharedSystem> next = states_[static_cast<std::size_t>(from)]->Clone();
+    mutate(*next);
+    check(*states_[static_cast<std::size_t>(from)], *next);
+    ++report_.transitions;
+    Intern(std::move(next));
+  }
+
+  void Explore() {
+    Intern(initial_->Clone());
+    const int colours = initial_->ColourCount();
+    const int units = initial_->UnitCount();
+
+    while (!frontier_.empty() && !Done()) {
+      const int current = frontier_.front();
+      frontier_.pop_front();
+      SharedSystem& s = *states_[static_cast<std::size_t>(current)];
+
+      // (a) the operation NEXTOP(s).
+      const int active = s.Colour();
+      Successor(
+          current, [](SharedSystem& sys) { sys.ExecuteOperation(); },
+          [&](const SharedSystem& before, const SharedSystem& after) {
+            for (int c = 0; c < colours; ++c) {
+              if (c != active) {
+                Check(2, c, before.Abstract(c) == after.Abstract(c),
+                      Format("operation of colour %d changed Φ of colour %d", active, c));
+              }
+            }
+          });
+
+      // (b) every input in the alphabet, into every unit.
+      for (int unit = 0; unit < units; ++unit) {
+        const int owner = s.UnitColour(unit);
+        for (int value = 1; value <= options_.inputs_per_unit; ++value) {
+          Successor(
+              current,
+              [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
+              [&](const SharedSystem& before, const SharedSystem& after) {
+                for (int c = 0; c < colours; ++c) {
+                  if (c != owner) {
+                    Check(4, c, before.Abstract(c) == after.Abstract(c),
+                          Format("input to unit %d visible to colour %d", unit, c));
+                  }
+                }
+              });
+        }
+      }
+
+      // (c) every unit's activity.
+      for (int unit = 0; unit < units; ++unit) {
+        const int owner = s.UnitColour(unit);
+        Successor(
+            current,
+            [&](SharedSystem& sys) {
+              sys.StepUnit(unit);
+              (void)sys.DrainOutput(unit);  // keep the state space bounded
+            },
+            [&](const SharedSystem& before, const SharedSystem& after) {
+              for (int c = 0; c < colours; ++c) {
+                if (c != owner) {
+                  Check(4, c, before.Abstract(c) == after.Abstract(c),
+                        Format("activity of unit %d visible to colour %d", unit, c));
+                }
+              }
+            });
+      }
+    }
+    report_.complete = frontier_.empty() && !overflowed_ && !Done();
+  }
+
+  // Conditions with a two-state antecedent, over every Φ-equal pair.
+  void CheckPairs() {
+    const int colours = initial_->ColourCount();
+    const int units = initial_->UnitCount();
+
+    for (int c = 0; c < colours && !Done(); ++c) {
+      // Group reachable states by Φ^c.
+      std::map<std::vector<Word>, std::vector<int>> groups;
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        groups[states_[i]->Abstract(c).words].push_back(static_cast<int>(i));
+      }
+
+      for (const auto& [phi, members] : groups) {
+        std::size_t pairs = 0;
+        for (std::size_t a = 0; a < members.size() && !Done(); ++a) {
+          for (std::size_t b = a + 1; b < members.size() && !Done(); ++b) {
+            if (++pairs > options_.max_pairs_per_group) {
+              break;
+            }
+            ++report_.pairs_checked;
+            SharedSystem& sa = *states_[static_cast<std::size_t>(members[a])];
+            SharedSystem& sb = *states_[static_cast<std::size_t>(members[b])];
+
+            // Conditions 6 and 1: same colour + same Φ^c.
+            if (sa.Colour() == c && sb.Colour() == c) {
+              Check(6, c, sa.NextOperation() == sb.NextOperation(),
+                    Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
+                           sa.NextOperation().ToString().c_str(),
+                           sb.NextOperation().ToString().c_str()));
+              std::unique_ptr<SharedSystem> ta = sa.Clone();
+              std::unique_ptr<SharedSystem> tb = sb.Clone();
+              ta->ExecuteOperation();
+              tb->ExecuteOperation();
+              Check(1, c, ta->Abstract(c) == tb->Abstract(c),
+                    Format("operation effect on colour %d differs across Φ-equal states", c));
+            }
+
+            // Conditions 3 and 5 for each unit of colour c.
+            for (int unit = 0; unit < units; ++unit) {
+              if (sa.UnitColour(unit) != c) {
+                continue;
+              }
+              for (int value = 1; value <= options_.inputs_per_unit; ++value) {
+                std::unique_ptr<SharedSystem> ta = sa.Clone();
+                std::unique_ptr<SharedSystem> tb = sb.Clone();
+                ta->InjectInput(unit, static_cast<Word>(value));
+                tb->InjectInput(unit, static_cast<Word>(value));
+                Check(3, c, ta->Abstract(c) == tb->Abstract(c),
+                      Format("input effect on colour %d differs across Φ-equal states", c));
+              }
+              std::unique_ptr<SharedSystem> ta = sa.Clone();
+              std::unique_ptr<SharedSystem> tb = sb.Clone();
+              ta->StepUnit(unit);
+              tb->StepUnit(unit);
+              Check(3, c, ta->Abstract(c) == tb->Abstract(c),
+                    Format("unit activity on colour %d differs across Φ-equal states", c));
+              Check(5, c, ta->DrainOutput(unit) == tb->DrainOutput(unit),
+                    Format("output of colour %d differs across Φ-equal states", c));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool Done() const {
+    return static_cast<int>(report_.violations.size()) >= options_.max_violations;
+  }
+
+  const ExhaustiveOptions& options_;
+  std::unique_ptr<SharedSystem> initial_;
+  std::vector<std::unique_ptr<SharedSystem>> states_;
+  std::map<std::vector<Word>, int> index_;
+  std::deque<int> frontier_;
+  bool overflowed_ = false;
+  ExhaustiveReport report_;
+};
+
+}  // namespace
+
+std::string ExhaustiveReport::Summary() const {
+  std::string out = Format("%zu states, %zu transitions, %zu pairs, %s: ", states_explored,
+                           transitions, pairs_checked, complete ? "COMPLETE" : "partial");
+  for (int cond = 1; cond <= 6; ++cond) {
+    const ConditionStats& s = conditions[static_cast<std::size_t>(cond)];
+    out += Format("C%d %llu/%llu ", cond, static_cast<unsigned long long>(s.violations),
+                  static_cast<unsigned long long>(s.checks));
+  }
+  out += Passed() ? "=> SEPARABLE" : "=> VIOLATIONS";
+  return out;
+}
+
+ExhaustiveReport CheckSeparabilityExhaustive(const SharedSystem& system,
+                                             const ExhaustiveOptions& options) {
+  return ExhaustiveRun(system, options).Run();
+}
+
+}  // namespace sep

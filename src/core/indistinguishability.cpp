@@ -1,0 +1,184 @@
+#include "src/core/indistinguishability.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/kernel_system.h"
+#include "src/machine/devices.h"
+
+namespace sep {
+
+namespace {
+
+// One deployment under measurement: some number of kernelized systems (one
+// per guest when distributed, exactly one when kernelized), plus the wiring
+// between serial devices and the output logs.
+struct Deployment {
+  std::vector<std::unique_ptr<KernelizedSystem>> systems;
+  // Guest i's device: (system index, device slot).
+  struct DevRef {
+    int system;
+    int slot;
+  };
+  std::vector<DevRef> devices;
+  std::vector<GuestTrace> traces;
+
+  Device& GuestDevice(int guest) {
+    const DevRef& ref = devices[static_cast<std::size_t>(guest)];
+    return systems[static_cast<std::size_t>(ref.system)]->machine().device(ref.slot);
+  }
+};
+
+Result<Deployment> BuildDistributed(const IndistConfig& config) {
+  Deployment out;
+  for (std::size_t g = 0; g < config.guests.size(); ++g) {
+    const IndistGuest& guest = config.guests[g];
+    SystemBuilder builder;
+    int slot = builder.AddDevice(
+        std::make_unique<SerialLine>("slu-" + guest.name, 16, 4, /*transmit_delay=*/2));
+    Result<int> regime = builder.AddRegime(guest.name, guest.mem_words, guest.source, {slot});
+    if (!regime.ok()) {
+      return Err(regime.error());
+    }
+    Result<std::unique_ptr<KernelizedSystem>> system = builder.Build();
+    if (!system.ok()) {
+      return Err(system.error());
+    }
+    out.systems.push_back(std::move(system.value()));
+    out.devices.push_back({static_cast<int>(g), slot});
+  }
+  out.traces.resize(config.guests.size());
+  return out;
+}
+
+Result<Deployment> BuildKernelized(const IndistConfig& config) {
+  Deployment out;
+  SystemBuilder builder;
+  std::vector<int> slots;
+  for (const IndistGuest& guest : config.guests) {
+    slots.push_back(builder.AddDevice(
+        std::make_unique<SerialLine>("slu-" + guest.name, 16 + static_cast<int>(slots.size()) * 2,
+                                     4, /*transmit_delay=*/2)));
+  }
+  for (std::size_t g = 0; g < config.guests.size(); ++g) {
+    const IndistGuest& guest = config.guests[g];
+    Result<int> regime =
+        builder.AddRegime(guest.name, guest.mem_words, guest.source, {slots[g]});
+    if (!regime.ok()) {
+      return Err(regime.error());
+    }
+  }
+  Result<std::unique_ptr<KernelizedSystem>> system = builder.Build();
+  if (!system.ok()) {
+    return Err(system.error());
+  }
+  out.systems.push_back(std::move(system.value()));
+  for (std::size_t g = 0; g < config.guests.size(); ++g) {
+    out.devices.push_back({0, slots[g]});
+  }
+  out.traces.resize(config.guests.size());
+  return out;
+}
+
+// Runs one deployment to quiescence; fills traces; returns rounds used.
+std::size_t RunDeployment(Deployment& deployment, const IndistConfig& config) {
+  // Round 0 stimulus.
+  for (const IndistConfig::Stimulus& stimulus : config.stimuli) {
+    for (Word w : stimulus.words) {
+      deployment.GuestDevice(stimulus.guest).InjectInput(w);
+    }
+  }
+
+  std::size_t quiet = 0;
+  std::size_t round = 0;
+  for (; round < config.max_rounds && quiet < config.quiescent_rounds; ++round) {
+    bool all_halted = true;
+    for (auto& system : deployment.systems) {
+      system->machine().Step();
+      all_halted = all_halted && system->machine().halted();
+    }
+
+    // Wire shuttling: move transmitted words to the peer's receiver, and
+    // log them as the guest's observable output.
+    bool activity = false;
+    for (std::size_t g = 0; g < config.guests.size(); ++g) {
+      std::vector<Word> sent = deployment.GuestDevice(static_cast<int>(g)).DrainOutput();
+      if (!sent.empty()) {
+        activity = true;
+      }
+      GuestTrace& trace = deployment.traces[g];
+      trace.output.insert(trace.output.end(), sent.begin(), sent.end());
+      for (const IndistConfig::Wire& wire : config.wires) {
+        if (wire.from == static_cast<int>(g)) {
+          for (Word w : sent) {
+            deployment.GuestDevice(wire.to).InjectInput(w);
+          }
+        }
+      }
+    }
+
+    if (all_halted) {
+      break;
+    }
+    quiet = activity ? 0 : quiet + 1;
+  }
+
+  // Final private memory per guest. In both deployments the guest is a
+  // regime of SOME kernel; its partition is found through that kernel's
+  // configuration.
+  for (std::size_t g = 0; g < config.guests.size(); ++g) {
+    const Deployment::DevRef& ref = deployment.devices[g];
+    KernelizedSystem& system = *deployment.systems[static_cast<std::size_t>(ref.system)];
+    const auto& regimes = system.kernel().config().regimes;
+    // Distributed: single regime 0. Kernelized: regime g.
+    const RegimeConfig& regime =
+        regimes.size() == 1 ? regimes[0] : regimes[g];
+    const std::uint32_t words =
+        std::min(config.guests[g].compare_words, regime.mem_words);
+    deployment.traces[g].final_memory =
+        system.machine().memory().SnapshotRange(regime.mem_base, words);
+    deployment.traces[g].halted =
+        system.kernel().RegimeHalted(regimes.size() == 1 ? 0 : static_cast<int>(g));
+  }
+  return round;
+}
+
+}  // namespace
+
+bool IndistResult::OutputsEqual() const {
+  for (std::size_t g = 0; g < distributed.size(); ++g) {
+    if (distributed[g].output != kernelized[g].output) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IndistResult::MemoriesEqual() const {
+  for (std::size_t g = 0; g < distributed.size(); ++g) {
+    if (distributed[g].final_memory != kernelized[g].final_memory) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<IndistResult> RunIndistinguishability(const IndistConfig& config) {
+  Result<Deployment> distributed = BuildDistributed(config);
+  if (!distributed.ok()) {
+    return Err(distributed.error());
+  }
+  Result<Deployment> kernelized = BuildKernelized(config);
+  if (!kernelized.ok()) {
+    return Err(kernelized.error());
+  }
+
+  IndistResult result;
+  result.distributed_rounds = RunDeployment(*distributed, config);
+  result.kernelized_rounds = RunDeployment(*kernelized, config);
+  result.distributed = std::move(distributed->traces);
+  result.kernelized = std::move(kernelized->traces);
+  return result;
+}
+
+}  // namespace sep

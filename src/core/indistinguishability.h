@@ -1,0 +1,90 @@
+// Experiment E11: the separation kernel's raison d'être, tested directly.
+//
+//   "its role is to provide each component of the system with an
+//    environment which is indistinguishable from that which would be
+//    provided by a truly and physically distributed system."
+//
+// The same guest programs (SM-11 assembly, each owning one serial line
+// unit) are run in two deployments:
+//
+//   * DISTRIBUTED — one private machine per guest. Each machine runs a
+//     separation kernel with a single regime: a degenerate kernel that
+//     provides the identical kernel-call ABI but multiplexes nothing.
+//   * KERNELIZED — one shared machine, all guests as regimes of one
+//     separation kernel.
+//
+// In both deployments the guests' serial devices are joined by the same
+// external wires, and the environment injects the same stimulus words.
+// The indistinguishability claim then takes an observable form: each
+// guest's transmitted word sequence and final private memory must be
+// IDENTICAL across deployments, even though the kernelized guests execute
+// interleaved with strangers. (Timing is not preserved — the shared
+// processor is slower — and the overhead ratio is reported.)
+#ifndef SRC_CORE_INDISTINGUISHABILITY_H_
+#define SRC_CORE_INDISTINGUISHABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+
+namespace sep {
+
+struct IndistGuest {
+  std::string name;
+  std::string source;  // SM-11 assembly; the guest's SLU is at virtual 0xE000
+  std::uint32_t mem_words = 1024;
+  // How many words of the partition (from 0) to compare across deployments.
+  // The guest's stack region must be excluded: interrupts arrive at
+  // different instruction boundaries in the two deployments, so the dead
+  // residue below the stack pointer (popped PC/PSW frames) legitimately
+  // differs — it is not observable behaviour, just exhaust.
+  std::uint32_t compare_words = 128;
+};
+
+struct IndistConfig {
+  std::vector<IndistGuest> guests;
+
+  // One-directional wires: everything guest `from` transmits arrives at
+  // guest `to`'s receiver. Declare two wires for a full-duplex line.
+  struct Wire {
+    int from;
+    int to;
+  };
+  std::vector<Wire> wires;
+
+  // Stimulus words injected into a guest's serial receiver at round 0.
+  struct Stimulus {
+    int guest;
+    std::vector<Word> words;
+  };
+  std::vector<Stimulus> stimuli;
+
+  std::size_t max_rounds = 30000;
+  // Stop after this many rounds with no external activity anywhere.
+  std::size_t quiescent_rounds = 64;
+};
+
+struct GuestTrace {
+  std::vector<Word> output;        // words the guest transmitted, in order
+  std::vector<Word> final_memory;  // its private partition at the end
+  bool halted = false;
+};
+
+struct IndistResult {
+  std::vector<GuestTrace> distributed;
+  std::vector<GuestTrace> kernelized;
+  std::size_t distributed_rounds = 0;
+  std::size_t kernelized_rounds = 0;
+
+  bool OutputsEqual() const;
+  bool MemoriesEqual() const;
+  bool Indistinguishable() const { return OutputsEqual() && MemoriesEqual(); }
+};
+
+Result<IndistResult> RunIndistinguishability(const IndistConfig& config);
+
+}  // namespace sep
+
+#endif  // SRC_CORE_INDISTINGUISHABILITY_H_

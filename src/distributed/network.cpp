@@ -1,0 +1,83 @@
+#include "src/distributed/network.h"
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+int Network::AddNode(std::unique_ptr<Process> process) {
+  nodes_.push_back(Node{std::move(process), {}, {}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Network::Connect(int from, int to, std::size_t capacity, Tick latency,
+                     const std::string& name) {
+  const int id = static_cast<int>(links_.size());
+  std::string link_name = name.empty()
+                              ? Format("%s->%s", nodes_[static_cast<std::size_t>(from)]
+                                                     .process->name()
+                                                     .c_str(),
+                                       nodes_[static_cast<std::size_t>(to)].process->name().c_str())
+                              : name;
+  links_.push_back(std::make_unique<Link>(link_name, capacity, latency));
+  nodes_[static_cast<std::size_t>(from)].out_links.push_back(id);
+  nodes_[static_cast<std::size_t>(to)].in_links.push_back(id);
+  edges_.push_back(Edge{from, to, link_name});
+  return id;
+}
+
+bool Network::Step() {
+  ++now_;
+  for (auto& link : links_) {
+    link->Advance(now_);
+  }
+  bool any_alive = false;
+  for (Node& node : nodes_) {
+    if (node.process->Finished()) {
+      continue;
+    }
+    any_alive = true;
+    std::vector<Link*> in;
+    in.reserve(node.in_links.size());
+    for (int id : node.in_links) {
+      in.push_back(links_[static_cast<std::size_t>(id)].get());
+    }
+    std::vector<Link*> out;
+    out.reserve(node.out_links.size());
+    for (int id : node.out_links) {
+      out.push_back(links_[static_cast<std::size_t>(id)].get());
+    }
+    NodeContext ctx(std::move(in), std::move(out), now_);
+    node.process->Step(ctx);
+  }
+  return any_alive;
+}
+
+std::size_t Network::Run(std::size_t max_steps) {
+  std::size_t steps = 0;
+  while (steps < max_steps && Step()) {
+    ++steps;
+  }
+  return steps;
+}
+
+bool Network::Reachable(int from, int to) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<int> frontier = {from};
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!frontier.empty()) {
+    int current = frontier.back();
+    frontier.pop_back();
+    if (current == to) {
+      return true;
+    }
+    for (const Edge& edge : edges_) {
+      if (edge.from == current && !seen[static_cast<std::size_t>(edge.to)]) {
+        seen[static_cast<std::size_t>(edge.to)] = true;
+        frontier.push_back(edge.to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sep

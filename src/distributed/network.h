@@ -1,0 +1,180 @@
+// The "ideal physically distributed system" of the paper's Section 2.
+//
+// Each trusted component runs on its own Node — a private machine — and
+// communicates exclusively over explicitly-declared one-directional Links
+// (the "dedicated communication lines"). There is no shared state of any
+// kind between nodes: the ONLY way information moves is a declared link.
+// Security analyses of component compositions can therefore enumerate the
+// communication topology — which is the paper's central structural claim,
+// and what experiment E1 checks for the SNFE.
+//
+// Execution is deterministic: Network::Step() first advances every link
+// (delivering words whose latency has elapsed), then gives every node's
+// process one quantum, in node order.
+#ifndef SRC_DISTRIBUTED_NETWORK_H_
+#define SRC_DISTRIBUTED_NETWORK_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+
+namespace sep {
+
+class NodeContext;
+
+// A component: stepped cooperatively, interacts with the world only
+// through its node's ports.
+class Process {
+ public:
+  virtual ~Process() = default;
+  virtual std::string name() const = 0;
+  // One quantum of execution. Implementations should do a bounded amount
+  // of work (e.g. handle at most a few words/frames) per call.
+  virtual void Step(NodeContext& ctx) = 0;
+  // True once the process will never act again (lets runs terminate early).
+  virtual bool Finished() const { return false; }
+};
+
+// One-directional word pipe with capacity and delivery latency.
+class Link {
+ public:
+  Link(std::string name, std::size_t capacity, Tick latency)
+      : name_(std::move(name)), capacity_(capacity), latency_(latency) {}
+
+  const std::string& name() const { return name_; }
+
+  bool Push(Word w, Tick now) {
+    if (in_flight_.size() + ready_.size() >= capacity_) {
+      return false;
+    }
+    in_flight_.push_back({w, now + latency_});
+    return true;
+  }
+
+  std::optional<Word> Pop() {
+    if (ready_.empty()) {
+      return std::nullopt;
+    }
+    Word w = ready_.front();
+    ready_.pop_front();
+    return w;
+  }
+
+  std::size_t ReadyCount() const { return ready_.size(); }
+  std::size_t Space() const { return capacity_ - in_flight_.size() - ready_.size(); }
+
+  void Advance(Tick now) {
+    while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {
+      ready_.push_back(in_flight_.front().word);
+      in_flight_.pop_front();
+    }
+  }
+
+  std::uint64_t total_pushed() const { return total_pushed_; }
+  void CountPush() { ++total_pushed_; }
+
+ private:
+  struct InFlight {
+    Word word;
+    Tick deliver_at;
+  };
+  std::string name_;
+  std::size_t capacity_;
+  Tick latency_;
+  std::deque<InFlight> in_flight_;
+  std::deque<Word> ready_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+// The services a process sees during a step: its node's ports.
+class NodeContext {
+ public:
+  NodeContext(std::vector<Link*> in, std::vector<Link*> out, Tick now)
+      : in_(std::move(in)), out_(std::move(out)), now_(now) {}
+
+  int in_port_count() const { return static_cast<int>(in_.size()); }
+  int out_port_count() const { return static_cast<int>(out_.size()); }
+
+  bool Send(int port, Word w) {
+    Link* link = out_.at(static_cast<std::size_t>(port));
+    if (!link->Push(w, now_)) {
+      return false;
+    }
+    link->CountPush();
+    return true;
+  }
+
+  std::optional<Word> Receive(int port) { return in_.at(static_cast<std::size_t>(port))->Pop(); }
+
+  std::size_t Available(int port) const {
+    return in_.at(static_cast<std::size_t>(port))->ReadyCount();
+  }
+  std::size_t SendSpace(int port) const {
+    return out_.at(static_cast<std::size_t>(port))->Space();
+  }
+
+  Tick now() const { return now_; }
+
+ private:
+  std::vector<Link*> in_;
+  std::vector<Link*> out_;
+  Tick now_;
+};
+
+// The distributed system: nodes + links + deterministic stepping.
+class Network {
+ public:
+  // Adds a node hosting `process`; returns the node id.
+  int AddNode(std::unique_ptr<Process> process);
+
+  // Declares a link from an out-port of `from` to an in-port of `to`;
+  // port numbers are assigned in declaration order per node. Returns the
+  // link id.
+  int Connect(int from, int to, std::size_t capacity = 64, Tick latency = 1,
+              const std::string& name = "");
+
+  // One global step. Returns false once every process is Finished.
+  bool Step();
+
+  // Runs until everything is finished or `max_steps` elapse; returns steps.
+  std::size_t Run(std::size_t max_steps);
+
+  Tick now() const { return now_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Process& process(int node) { return *nodes_[static_cast<std::size_t>(node)].process; }
+  Link& link(int id) { return *links_[static_cast<std::size_t>(id)]; }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  // The declared communication topology: (from, to) node pairs per link —
+  // the object experiment E1 audits.
+  struct Edge {
+    int from;
+    int to;
+    std::string name;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Transitive reachability over declared links (does information from
+  // `from` have ANY declared path to `to`?).
+  bool Reachable(int from, int to) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Process> process;
+    std::vector<int> in_links;
+    std::vector<int> out_links;
+  };
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Edge> edges_;
+  Tick now_ = 0;
+};
+
+}  // namespace sep
+
+#endif  // SRC_DISTRIBUTED_NETWORK_H_

@@ -1,0 +1,85 @@
+#include "src/ifa/analyzer.h"
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Program& program) : program_(program) {}
+
+  FlowReport Run() {
+    CheckBlock(program_.statements, FlowClass::Low());
+    return std::move(report_);
+  }
+
+ private:
+  FlowClass ExprClass(const Expr& expr) const {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber:
+        return FlowClass::Low();
+      case Expr::Kind::kVariable: {
+        const VarDecl* decl = program_.FindVariable(expr.variable);
+        return decl != nullptr ? decl->security_class : FlowClass::Low();
+      }
+      case Expr::Kind::kBinary:
+        return ExprClass(*expr.lhs).Join(ExprClass(*expr.rhs));
+      case Expr::Kind::kUnary:
+        return ExprClass(*expr.lhs);
+    }
+    return FlowClass::Low();
+  }
+
+  void CheckBlock(const std::vector<StmtPtr>& block, FlowClass pc) {
+    for (const StmtPtr& stmt : block) {
+      CheckStmt(*stmt, pc);
+    }
+  }
+
+  void CheckStmt(const Stmt& stmt, FlowClass pc) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign: {
+        ++report_.statements_checked;
+        const VarDecl* decl = program_.FindVariable(stmt.target);
+        const FlowClass target = decl->security_class;
+        const FlowClass rhs = ExprClass(*stmt.value);
+        if (!rhs.FlowsTo(target)) {
+          report_.violations.push_back({stmt.line, stmt.target, program_.atoms.Describe(rhs),
+                                        program_.atoms.Describe(target), false});
+        }
+        if (!pc.FlowsTo(target)) {
+          report_.violations.push_back({stmt.line, stmt.target, program_.atoms.Describe(pc),
+                                        program_.atoms.Describe(target), true});
+        }
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        const FlowClass guard = pc.Join(ExprClass(*stmt.condition));
+        CheckBlock(stmt.body, guard);
+        CheckBlock(stmt.orelse, guard);
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        const FlowClass guard = pc.Join(ExprClass(*stmt.condition));
+        CheckBlock(stmt.body, guard);
+        return;
+      }
+    }
+  }
+
+  const Program& program_;
+  FlowReport report_;
+};
+
+}  // namespace
+
+std::string FlowViolation::ToString() const {
+  return Format("line %d: %s flow %s -> %s (into %s)", line, implicit ? "implicit" : "explicit",
+                flow_from.c_str(), flow_to.c_str(), target.c_str());
+}
+
+FlowReport AnalyzeFlows(const Program& program) { return Analyzer(program).Run(); }
+
+}  // namespace sep

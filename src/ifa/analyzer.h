@@ -1,0 +1,48 @@
+// Denning-Denning information flow certification for SIMPL programs.
+//
+// The certification rules [8]:
+//   * class(expr) = join of the classes of the variables it reads;
+//   * an assignment x := e is certified iff class(e) ⊔ pc ⊑ class(x),
+//     where pc is the join of the classes of every condition guarding the
+//     statement (implicit flows);
+//   * if/while raise pc by the class of their condition for the guarded
+//     statements.
+//
+// This is the "syntactic" technique the paper's Section 4 examines: it is
+// sound (no certified program leaks) but incomplete in a specific,
+// consequential way — it reasons about the CLASSES of storage locations,
+// never their VALUES or the disjointness of the times at which they hold
+// information of different colours. The kernel SWAP operation is its
+// canonical false positive, reproduced in tests/ifa_test.cpp and
+// bench_ifa_vs_pos (experiment E6).
+#ifndef SRC_IFA_ANALYZER_H_
+#define SRC_IFA_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ifa/ast.h"
+
+namespace sep {
+
+struct FlowViolation {
+  int line = 0;
+  std::string target;       // variable assigned
+  std::string flow_from;    // description of the offending class
+  std::string flow_to;      // target's class
+  bool implicit = false;    // via a guard rather than the right-hand side
+  std::string ToString() const;
+};
+
+struct FlowReport {
+  std::vector<FlowViolation> violations;
+  std::size_t statements_checked = 0;
+
+  bool Certified() const { return violations.empty(); }
+};
+
+FlowReport AnalyzeFlows(const Program& program);
+
+}  // namespace sep
+
+#endif  // SRC_IFA_ANALYZER_H_

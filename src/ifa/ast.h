@@ -1,0 +1,96 @@
+// Abstract syntax for SIMPL, the small imperative language used to
+// reproduce the paper's information-flow-analysis arguments.
+//
+// SIMPL programs declare variables with security classes and manipulate
+// them with assignments, conditionals and loops:
+//
+//   var reg0 : RED|BLACK;
+//   var red_save : RED;
+//   var black_save : BLACK;
+//   red_save := reg0;
+//   reg0 := black_save;
+//
+// The analyzer (analyzer.h) certifies programs by Denning's rules; the
+// interpreter (interpreter.h) executes them concretely so that tests can
+// contrast "what IFA says" with "what the program actually does".
+#ifndef SRC_IFA_AST_H_
+#define SRC_IFA_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ifa/lattice.h"
+
+namespace sep {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+struct Expr {
+  enum class Kind : std::uint8_t { kNumber, kVariable, kBinary, kUnary } kind = Kind::kNumber;
+  std::int64_t number = 0;      // kNumber
+  std::string variable;         // kVariable
+  BinOp bin_op = BinOp::kAdd;   // kBinary
+  UnOp un_op = UnOp::kNeg;      // kUnary
+  ExprPtr lhs;                  // kBinary / kUnary operand
+  ExprPtr rhs;                  // kBinary
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t { kAssign, kIf, kWhile } kind = Kind::kAssign;
+  std::string target;           // kAssign
+  ExprPtr value;                // kAssign
+  ExprPtr condition;            // kIf / kWhile
+  std::vector<StmtPtr> body;    // kIf then-branch / kWhile body
+  std::vector<StmtPtr> orelse;  // kIf else-branch
+  int line = 0;
+};
+
+struct VarDecl {
+  std::string name;
+  FlowClass security_class;
+  int line = 0;
+};
+
+struct Program {
+  FlowAtoms atoms;
+  std::vector<VarDecl> variables;
+  std::vector<StmtPtr> statements;
+
+  const VarDecl* FindVariable(const std::string& name) const {
+    for (const VarDecl& v : variables) {
+      if (v.name == name) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace sep
+
+#endif  // SRC_IFA_AST_H_

@@ -1,0 +1,33 @@
+// Concrete interpreter for SIMPL.
+//
+// Used to demonstrate that programs IFA rejects (like the kernel SWAP) are
+// functionally correct and leak nothing: tests run the program from
+// environments differing only in "other-coloured" values and compare the
+// colour-projected results — a miniature of the Proof-of-Separability
+// two-run argument, at the language level.
+#ifndef SRC_IFA_INTERPRETER_H_
+#define SRC_IFA_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/ifa/ast.h"
+
+namespace sep {
+
+using SimplEnv = std::map<std::string, std::int64_t>;
+
+struct InterpOptions {
+  std::size_t max_steps = 100000;  // guards against runaway loops
+};
+
+// Runs the program over `env` (missing variables default to 0); returns the
+// final environment. Errors on division by zero or step exhaustion.
+Result<SimplEnv> RunSimpl(const Program& program, SimplEnv env,
+                          const InterpOptions& options = {});
+
+}  // namespace sep
+
+#endif  // SRC_IFA_INTERPRETER_H_

@@ -1,0 +1,176 @@
+#include "src/ifa/kernel_programs.h"
+
+namespace sep {
+
+const std::vector<CatalogEntry>& KernelProgramCatalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {
+          "swap/regs-high",
+          "SWAP with the shared CPU registers labelled RED|BLACK (system high)",
+          R"(
+var reg0 : RED|BLACK;        // the physical CPU register
+var reg1 : RED|BLACK;
+var red_save0 : RED;         // RED's save area
+var red_save1 : RED;
+var black_save0 : BLACK;     // BLACK's save area
+var black_save1 : BLACK;
+
+// Context switch from RED to BLACK:
+red_save0 := reg0;           // IFA: RED|BLACK -> RED rejected
+red_save1 := reg1;
+reg0 := black_save0;
+reg1 := black_save1;
+)",
+          /*ifa_certifies=*/false,
+          /*actually_leaks=*/false,
+          // Does anything about BLACK reach RED's world? Vary BLACK's save
+          // area, observe RED's. (At switch time the registers hold RED
+          // data; the save captures them BEFORE the reload, so no.)
+          {"black_save0", "black_save1"},
+          {"red_save0", "red_save1"},
+      },
+      {
+          "swap/regs-red",
+          "SWAP with the shared CPU registers labelled RED",
+          R"(
+var reg0 : RED;
+var reg1 : RED;
+var red_save0 : RED;
+var red_save1 : RED;
+var black_save0 : BLACK;
+var black_save1 : BLACK;
+
+red_save0 := reg0;
+red_save1 := reg1;
+reg0 := black_save0;         // IFA: BLACK -> RED rejected
+reg1 := black_save1;
+)",
+          false,
+          false,
+          {"black_save0", "black_save1"},
+          {"red_save0", "red_save1"},
+      },
+      {
+          "swap/leaky",
+          "defective SWAP that reloads only one register: a REAL leak",
+          R"(
+var reg0 : RED|BLACK;
+var reg1 : RED|BLACK;
+var red_save0 : RED;
+var red_save1 : RED;
+var black_in0 : BLACK;       // what BLACK observes in the registers
+var black_in1 : BLACK;
+var black_save0 : BLACK;
+var black_save1 : BLACK;
+
+red_save0 := reg0;
+red_save1 := reg1;
+reg0 := black_save0;
+// reg1 reload forgotten: BLACK resumes seeing RED's reg1
+black_in0 := reg0;
+black_in1 := reg1;           // RED's value arrives in BLACK's world
+)",
+          false,
+          true,
+          {"reg1"},  // reg1 holds RED data at entry
+          {"black_in0", "black_in1"},
+      },
+      {
+          "copy/within-colour",
+          "plain data movement inside one colour",
+          R"(
+var red_a : RED;
+var red_b : RED;
+red_b := red_a + 1;
+)",
+          true,
+          false,
+          {},
+          {},
+      },
+      {
+          "copy/up",
+          "write-up: LOW data into a HIGH container (allowed both ways of looking)",
+          R"(
+var low_word : LOW;
+var high_word : RED|BLACK;
+high_word := low_word;
+)",
+          true,
+          false,
+          {},
+          {},
+      },
+      {
+          "leak/explicit",
+          "direct copy-down: the classic explicit flow",
+          R"(
+var red_secret : RED;
+var black_out : BLACK;
+black_out := red_secret;
+)",
+          false,
+          true,
+          {"red_secret"},
+          {"black_out"},
+      },
+      {
+          "leak/implicit",
+          "branch on a secret, assign a constant: the classic implicit flow",
+          R"(
+var red_secret : RED;
+var black_out : BLACK;
+if red_secret % 2 == 1 {
+  black_out := 1;
+} else {
+  black_out := 0;
+}
+)",
+          false,
+          true,
+          {"red_secret"},
+          {"black_out"},
+      },
+      {
+          "leak/loop-timing",
+          "loop bound carries one bit into a BLACK counter",
+          R"(
+var red_secret : RED;
+var black_count : BLACK;
+var i : RED;
+i := 0;
+black_count := 0;
+while i < red_secret % 8 {
+  i := i + 1;
+  black_count := black_count + 1;
+}
+)",
+          false,
+          true,
+          {"red_secret"},
+          {"black_count"},
+      },
+      {
+          "interrupt/pending-mask",
+          "kernel interrupt bookkeeping confined to one colour",
+          R"(
+var red_pending : RED;
+var red_vector : RED;
+var red_pc : RED;
+var red_stack0 : RED;
+if red_pending != 0 && red_vector != 0 {
+  red_stack0 := red_pc;
+  red_pc := red_vector;
+  red_pending := 0;
+}
+)",
+          true,
+          false,
+          {},
+          {},
+      },
+  };
+  return kCatalog;
+}
+
+}  // namespace sep

@@ -1,0 +1,33 @@
+// The catalogue of kernel-style SIMPL programs behind experiment E6: for
+// each program we know the syntactic IFA verdict AND the semantic ground
+// truth, so the table contrasting them (bench_ifa_vs_pos) is reproducible
+// and self-checking.
+//
+// The stars of the catalogue are the SWAP variants from the paper's
+// Section 4: the context-switch "must access both RED and BLACK values",
+// so IFA rejects it under any labelling of the shared registers, although
+// it is manifestly secure.
+#ifndef SRC_IFA_KERNEL_PROGRAMS_H_
+#define SRC_IFA_KERNEL_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+namespace sep {
+
+struct CatalogEntry {
+  std::string name;
+  std::string description;
+  std::string source;                     // SIMPL text
+  bool ifa_certifies;                     // expected syntactic verdict
+  bool actually_leaks;                    // expected semantic ground truth
+  std::vector<std::string> secrets;      // two-run experiment: varied inputs
+  std::vector<std::string> observables;  // two-run experiment: compared outputs
+};
+
+// The full catalogue, in presentation order.
+const std::vector<CatalogEntry>& KernelProgramCatalog();
+
+}  // namespace sep
+
+#endif  // SRC_IFA_KERNEL_PROGRAMS_H_

@@ -1,0 +1,43 @@
+#include "src/ifa/lattice.h"
+
+namespace sep {
+
+Result<FlowClass> FlowAtoms::GetOrRegister(const std::string& name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return FlowClass(1u << i);
+    }
+  }
+  if (names_.size() >= 32) {
+    return Err("too many security atoms (32 max): " + name);
+  }
+  names_.push_back(name);
+  return FlowClass(1u << (names_.size() - 1));
+}
+
+Result<FlowClass> FlowAtoms::Lookup(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return FlowClass(1u << i);
+    }
+  }
+  return Err("unknown security class: " + name);
+}
+
+std::string FlowAtoms::Describe(const FlowClass& cls) const {
+  if (cls.IsLow()) {
+    return "LOW";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if ((cls.atoms() >> i) & 1) {
+      if (!out.empty()) {
+        out += "|";
+      }
+      out += names_[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace sep

@@ -1,0 +1,58 @@
+// The security-class lattice for information flow analysis.
+//
+// Denning-style certification [8] needs a lattice of security classes with
+// a partial order ⊑ ("may flow to") and least upper bounds. We use the
+// powerset lattice over named atomic principals: a class is a set of
+// atoms, A ⊑ B iff A ⊆ B, lub = union. LOW is the empty set; anything
+// flows into a superset. This is exactly the structure needed to model the
+// paper's RED/BLACK examples (RED, BLACK, RED|BLACK as "system high").
+#ifndef SRC_IFA_LATTICE_H_
+#define SRC_IFA_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace sep {
+
+class FlowClass {
+ public:
+  FlowClass() = default;
+  explicit FlowClass(std::uint32_t atoms) : atoms_(atoms) {}
+
+  static FlowClass Low() { return FlowClass(); }
+
+  bool FlowsTo(const FlowClass& other) const { return (atoms_ & ~other.atoms_) == 0; }
+  FlowClass Join(const FlowClass& other) const { return FlowClass(atoms_ | other.atoms_); }
+  FlowClass Meet(const FlowClass& other) const { return FlowClass(atoms_ & other.atoms_); }
+
+  bool IsLow() const { return atoms_ == 0; }
+  std::uint32_t atoms() const { return atoms_; }
+  bool operator==(const FlowClass& other) const = default;
+
+ private:
+  std::uint32_t atoms_ = 0;
+};
+
+// Per-program registry mapping atom names to lattice bits.
+class FlowAtoms {
+ public:
+  // Returns the single-atom class for `name`, registering it if new.
+  Result<FlowClass> GetOrRegister(const std::string& name);
+
+  // Existing atom or error.
+  Result<FlowClass> Lookup(const std::string& name) const;
+
+  std::string Describe(const FlowClass& cls) const;
+
+  int count() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_IFA_LATTICE_H_

@@ -1,0 +1,453 @@
+#include "src/ifa/parser.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kPunct,  // one of ":= ; : | { } ( ) + - * / % == != < <= > >= && || !"
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0 ||
+                                      src_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent, src_.substr(start, pos_ - start), 0, line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t start = pos_;
+        while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0) {
+          ++pos_;
+        }
+        Token t{TokKind::kNumber, src_.substr(start, pos_ - start), 0, line_};
+        t.number = std::stoll(t.text);
+        out.push_back(t);
+        continue;
+      }
+      // Multi-character punctuation first.
+      static const char* kTwo[] = {":=", "==", "!=", "<=", ">=", "&&", "||"};
+      bool matched = false;
+      for (const char* two : kTwo) {
+        if (src_.compare(pos_, 2, two) == 0) {
+          out.push_back({TokKind::kPunct, two, 0, line_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+      static const std::string kOne = ";:|{}()+-*/%<>!";
+      if (kOne.find(c) != std::string::npos) {
+        out.push_back({TokKind::kPunct, std::string(1, c), 0, line_});
+        ++pos_;
+        continue;
+      }
+      return Err(Format("line %d: unexpected character '%c'", line_, c));
+    }
+    out.push_back({TokKind::kEnd, "", 0, line_});
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Program>> Run() {
+    auto program = std::make_unique<Program>();
+    program_ = program.get();
+    while (!AtEnd()) {
+      if (PeekIdent("var")) {
+        if (Result<> r = ParseDecl(); !r.ok()) {
+          return Err(r.error());
+        }
+      } else {
+        Result<StmtPtr> stmt = ParseStmt();
+        if (!stmt.ok()) {
+          return Err(stmt.error());
+        }
+        program->statements.push_back(std::move(stmt.value()));
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool PeekIdent(const std::string& word) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == word;
+  }
+  bool PeekPunct(const std::string& p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  bool MatchPunct(const std::string& p) {
+    if (PeekPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<> ExpectPunct(const std::string& p) {
+    if (!MatchPunct(p)) {
+      return Err(Format("line %d: expected '%s', found '%s'", Peek().line, p.c_str(),
+                        Peek().text.c_str()));
+    }
+    return Ok();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Err(Format("line %d: expected identifier, found '%s'", Peek().line,
+                        Peek().text.c_str()));
+    }
+    return Advance().text;
+  }
+
+  Result<> ParseDecl() {
+    const int line = Peek().line;
+    Advance();  // var
+    Result<std::string> name = ExpectIdent();
+    if (!name.ok()) {
+      return Err(name.error());
+    }
+    if (program_->FindVariable(*name) != nullptr) {
+      return Err(Format("line %d: duplicate variable %s", line, name->c_str()));
+    }
+    if (Result<> r = ExpectPunct(":"); !r.ok()) {
+      return r;
+    }
+    FlowClass cls;
+    if (PeekIdent("LOW")) {
+      Advance();
+    } else {
+      while (true) {
+        Result<std::string> atom = ExpectIdent();
+        if (!atom.ok()) {
+          return Err(atom.error());
+        }
+        Result<FlowClass> bit = program_->atoms.GetOrRegister(*atom);
+        if (!bit.ok()) {
+          return Err(bit.error());
+        }
+        cls = cls.Join(*bit);
+        if (!MatchPunct("|")) {
+          break;
+        }
+      }
+    }
+    if (Result<> r = ExpectPunct(";"); !r.ok()) {
+      return r;
+    }
+    program_->variables.push_back({*name, cls, line});
+    return Ok();
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    const int line = Peek().line;
+    if (PeekIdent("if")) {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kIf;
+      stmt->line = line;
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return Err(cond.error());
+      }
+      stmt->condition = std::move(cond.value());
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) {
+        return Err(body.error());
+      }
+      stmt->body = std::move(body.value());
+      if (PeekIdent("else")) {
+        Advance();
+        Result<std::vector<StmtPtr>> orelse = ParseBlock();
+        if (!orelse.ok()) {
+          return Err(orelse.error());
+        }
+        stmt->orelse = std::move(orelse.value());
+      }
+      return stmt;
+    }
+    if (PeekIdent("while")) {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kWhile;
+      stmt->line = line;
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return Err(cond.error());
+      }
+      stmt->condition = std::move(cond.value());
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) {
+        return Err(body.error());
+      }
+      stmt->body = std::move(body.value());
+      return stmt;
+    }
+    // Assignment.
+    Result<std::string> target = ExpectIdent();
+    if (!target.ok()) {
+      return Err(target.error());
+    }
+    if (program_->FindVariable(*target) == nullptr) {
+      return Err(Format("line %d: assignment to undeclared variable %s", line, target->c_str()));
+    }
+    if (Result<> r = ExpectPunct(":="); !r.ok()) {
+      return Err(r.error());
+    }
+    Result<ExprPtr> value = ParseExpr();
+    if (!value.ok()) {
+      return Err(value.error());
+    }
+    if (Result<> r = ExpectPunct(";"); !r.ok()) {
+      return Err(r.error());
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->line = line;
+    stmt->target = *target;
+    stmt->value = std::move(value.value());
+    return stmt;
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    if (Result<> r = ExpectPunct("{"); !r.ok()) {
+      return Err(r.error());
+    }
+    std::vector<StmtPtr> body;
+    while (!PeekPunct("}")) {
+      if (AtEnd()) {
+        return Err("unterminated block");
+      }
+      Result<StmtPtr> stmt = ParseStmt();
+      if (!stmt.ok()) {
+        return Err(stmt.error());
+      }
+      body.push_back(std::move(stmt.value()));
+    }
+    Advance();  // }
+    return body;
+  }
+
+  ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin_op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    e->line = line;
+    return e;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = std::move(lhs.value());
+    while (PeekPunct("||")) {
+      int line = Advance().line;
+      Result<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      acc = MakeBinary(BinOp::kOr, std::move(acc), std::move(rhs.value()), line);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> lhs = ParseCompare();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = std::move(lhs.value());
+    while (PeekPunct("&&")) {
+      int line = Advance().line;
+      Result<ExprPtr> rhs = ParseCompare();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      acc = MakeBinary(BinOp::kAnd, std::move(acc), std::move(rhs.value()), line);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseCompare() {
+    Result<ExprPtr> lhs = ParseSum();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = std::move(lhs.value());
+    static const std::pair<const char*, BinOp> kOps[] = {
+        {"==", BinOp::kEq}, {"!=", BinOp::kNe}, {"<=", BinOp::kLe},
+        {">=", BinOp::kGe}, {"<", BinOp::kLt},  {">", BinOp::kGt},
+    };
+    for (const auto& [text, op] : kOps) {
+      if (PeekPunct(text)) {
+        int line = Advance().line;
+        Result<ExprPtr> rhs = ParseSum();
+        if (!rhs.ok()) {
+          return rhs;
+        }
+        return MakeBinary(op, std::move(acc), std::move(rhs.value()), line);
+      }
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseSum() {
+    Result<ExprPtr> lhs = ParseTerm();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = std::move(lhs.value());
+    while (PeekPunct("+") || PeekPunct("-")) {
+      Token t = Advance();
+      Result<ExprPtr> rhs = ParseTerm();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      acc = MakeBinary(t.text == "+" ? BinOp::kAdd : BinOp::kSub, std::move(acc),
+                       std::move(rhs.value()), t.line);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    Result<ExprPtr> lhs = ParseFactor();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr acc = std::move(lhs.value());
+    while (PeekPunct("*") || PeekPunct("/") || PeekPunct("%")) {
+      Token t = Advance();
+      Result<ExprPtr> rhs = ParseFactor();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      BinOp op = t.text == "*" ? BinOp::kMul : (t.text == "/" ? BinOp::kDiv : BinOp::kMod);
+      acc = MakeBinary(op, std::move(acc), std::move(rhs.value()), t.line);
+    }
+    return acc;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kNumber) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNumber;
+      e->number = t.number;
+      e->line = t.line;
+      return e;
+    }
+    if (t.kind == TokKind::kIdent) {
+      Advance();
+      if (program_->FindVariable(t.text) == nullptr) {
+        return Err(Format("line %d: undeclared variable %s", t.line, t.text.c_str()));
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kVariable;
+      e->variable = t.text;
+      e->line = t.line;
+      return e;
+    }
+    if (PeekPunct("(")) {
+      Advance();
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) {
+        return inner;
+      }
+      if (Result<> r = ExpectPunct(")"); !r.ok()) {
+        return Err(r.error());
+      }
+      return std::move(inner.value());
+    }
+    if (PeekPunct("-") || PeekPunct("!")) {
+      Token op = Advance();
+      Result<ExprPtr> inner = ParseFactor();
+      if (!inner.ok()) {
+        return inner;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->un_op = op.text == "-" ? UnOp::kNeg : UnOp::kNot;
+      e->lhs = std::move(inner.value());
+      e->line = op.line;
+      return e;
+    }
+    return Err(Format("line %d: expected expression, found '%s'", t.line, t.text.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program* program_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Program>> ParseSimpl(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lexer(source).Run();
+  if (!tokens.ok()) {
+    return Err(tokens.error());
+  }
+  return Parser(std::move(tokens.value())).Run();
+}
+
+}  // namespace sep

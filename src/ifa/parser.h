@@ -1,0 +1,28 @@
+// Lexer and recursive-descent parser for SIMPL.
+//
+// Grammar:
+//   program   := item*
+//   item      := "var" IDENT ":" classexpr ";" | stmt
+//   classexpr := "LOW" | IDENT ("|" IDENT)*
+//   stmt      := IDENT ":=" expr ";"
+//              | "if" expr block ("else" block)?
+//              | "while" expr block
+//   block     := "{" stmt* "}"
+//   expr      := orexpr; usual precedence: ! - ; * / % ; + - ; comparisons ;
+//                && ; ||
+// Comments run from "//" to end of line.
+#ifndef SRC_IFA_PARSER_H_
+#define SRC_IFA_PARSER_H_
+
+#include <string>
+
+#include "src/base/result.h"
+#include "src/ifa/ast.h"
+
+namespace sep {
+
+Result<std::unique_ptr<Program>> ParseSimpl(const std::string& source);
+
+}  // namespace sep
+
+#endif  // SRC_IFA_PARSER_H_

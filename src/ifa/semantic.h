@@ -1,0 +1,34 @@
+// Ground-truth leak detection by the two-run experiment, at the SIMPL
+// language level.
+//
+// A program leaks from `secrets` to `observables` iff two runs whose
+// initial environments agree everywhere except on `secrets` can end with
+// different values in `observables`. This is the semantic fact that
+// syntactic IFA approximates — and over-approximates: the kernel SWAP is
+// rejected by IFA but passes this test, which is exactly the paper's
+// Section 4 argument in executable form.
+#ifndef SRC_IFA_SEMANTIC_H_
+#define SRC_IFA_SEMANTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ifa/ast.h"
+
+namespace sep {
+
+struct LeakProbeOptions {
+  std::uint64_t seed = 1;
+  int trials = 200;
+  std::int64_t value_range = 1000;  // secrets and publics drawn from [0, range)
+};
+
+// True if any trial exhibits an observable difference caused by secrets.
+bool SemanticallyLeaks(const Program& program, const std::vector<std::string>& secrets,
+                       const std::vector<std::string>& observables,
+                       const LeakProbeOptions& options = {});
+
+}  // namespace sep
+
+#endif  // SRC_IFA_SEMANTIC_H_

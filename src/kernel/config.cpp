@@ -1,0 +1,125 @@
+#include "src/kernel/config.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/machine/mmu.h"
+
+namespace sep {
+
+namespace {
+
+std::uint32_t ChannelStride(const ChannelConfig& channel) {
+  return 2 * (2 + channel.capacity);
+}
+
+}  // namespace
+
+std::uint32_t RequiredKernelWords(const KernelConfig& config) {
+  std::uint32_t words =
+      kSaveAreaBase + static_cast<std::uint32_t>(config.regimes.size()) * kSaveAreaStride;
+  for (const ChannelConfig& channel : config.channels) {
+    words += ChannelStride(channel);
+  }
+  return words;
+}
+
+std::uint32_t ChannelRingOffset(const KernelConfig& config, int index, int which) {
+  std::uint32_t offset =
+      kSaveAreaBase + static_cast<std::uint32_t>(config.regimes.size()) * kSaveAreaStride;
+  for (int i = 0; i < index; ++i) {
+    offset += ChannelStride(config.channels[i]);
+  }
+  if (config.cut_channels && which == 1) {
+    offset += 2 + config.channels[index].capacity;
+  }
+  return offset;
+}
+
+Result<> ValidateConfig(const KernelConfig& config, std::size_t memory_words, int device_count) {
+  if (config.regimes.empty()) {
+    return Err("no regimes configured");
+  }
+  if (config.regimes.size() > kMaxRegimes) {
+    return Err(Format("too many regimes (%zu > %d)", config.regimes.size(), kMaxRegimes));
+  }
+  if (RequiredKernelWords(config) > config.kernel_words) {
+    return Err(Format("kernel partition too small: need %u words, have %u",
+                      RequiredKernelWords(config), config.kernel_words));
+  }
+
+  // Collect all partitions (kernel's included) and check pairwise overlap.
+  struct Extent {
+    PhysAddr base;
+    std::uint32_t words;
+    std::string name;
+  };
+  std::vector<Extent> extents;
+  extents.push_back({config.kernel_base, config.kernel_words, "kernel"});
+  for (const RegimeConfig& regime : config.regimes) {
+    if (regime.mem_words == 0) {
+      return Err("regime " + regime.name + " has an empty partition");
+    }
+    if (regime.mem_words > kPageWords) {
+      return Err("regime " + regime.name + " partition exceeds one MMU page (8192 words)");
+    }
+    if (regime.entry >= regime.mem_words) {
+      return Err("regime " + regime.name + " entry point outside its partition");
+    }
+    extents.push_back({regime.mem_base, regime.mem_words, regime.name});
+  }
+  for (const Extent& e : extents) {
+    if (e.base + e.words > memory_words) {
+      return Err("partition of " + e.name + " extends past physical memory");
+    }
+  }
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    for (std::size_t j = i + 1; j < extents.size(); ++j) {
+      const Extent& a = extents[i];
+      const Extent& b = extents[j];
+      if (a.base < b.base + b.words && b.base < a.base + a.words) {
+        return Err("partitions of " + a.name + " and " + b.name + " overlap");
+      }
+    }
+  }
+
+  // Devices: exclusive, contiguous per regime.
+  std::vector<int> owner(static_cast<std::size_t>(device_count), -1);
+  for (std::size_t r = 0; r < config.regimes.size(); ++r) {
+    const RegimeConfig& regime = config.regimes[r];
+    if (regime.device_slots.size() > kMaxDevicesPerRegime) {
+      return Err("regime " + regime.name + " owns too many devices");
+    }
+    for (std::size_t k = 0; k < regime.device_slots.size(); ++k) {
+      int slot = regime.device_slots[k];
+      if (slot < 0 || slot >= device_count) {
+        return Err(Format("regime %s references nonexistent device slot %d", regime.name.c_str(),
+                          slot));
+      }
+      if (owner[static_cast<std::size_t>(slot)] != -1) {
+        return Err(Format("device slot %d allocated to two regimes", slot));
+      }
+      owner[static_cast<std::size_t>(slot)] = static_cast<int>(r);
+      if (k > 0 && slot != regime.device_slots[k - 1] + 1) {
+        return Err("device slots of regime " + regime.name + " are not contiguous");
+      }
+    }
+  }
+
+  // Channels: endpoints must be distinct, existing regimes.
+  for (const ChannelConfig& channel : config.channels) {
+    if (channel.sender < 0 || channel.sender >= static_cast<int>(config.regimes.size()) ||
+        channel.receiver < 0 || channel.receiver >= static_cast<int>(config.regimes.size())) {
+      return Err("channel " + channel.name + " has an out-of-range endpoint");
+    }
+    if (channel.sender == channel.receiver) {
+      return Err("channel " + channel.name + " connects a regime to itself");
+    }
+    if (channel.capacity == 0 || channel.capacity > 4096) {
+      return Err("channel " + channel.name + " has unreasonable capacity");
+    }
+  }
+  return Ok();
+}
+
+}  // namespace sep

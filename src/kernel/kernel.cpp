@@ -1,0 +1,709 @@
+#include "src/kernel/kernel.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace sep {
+
+SeparationKernel::SeparationKernel(Machine& machine, KernelConfig config)
+    : machine_(machine), config_(std::move(config)) {}
+
+Result<> SeparationKernel::Boot() {
+  if (Result<> r = ValidateConfig(config_, machine_.memory().size(), machine_.device_count());
+      !r.ok()) {
+    return r;
+  }
+
+  // Zero the kernel partition: save areas, channel rings, counters.
+  machine_.memory().Fill(config_.kernel_base, config_.kernel_words, 0);
+
+  // Permanently allocate devices to their regimes.
+  for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+    for (int slot : config_.regimes[r].device_slots) {
+      machine_.device(slot).set_owner(static_cast<RegimeId>(r));
+    }
+  }
+
+  // Initialize every regime's save area: PC at entry, stack at partition
+  // top, user mode, priority 0, no pending interrupts.
+  for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+    const RegimeConfig& regime = config_.regimes[r];
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      SaveWrite(static_cast<int>(r), kSaveRegs + i, 0);
+    }
+    SaveWrite(static_cast<int>(r), kSaveRegs + kSp, static_cast<Word>(regime.mem_words));
+    SaveWrite(static_cast<int>(r), kSaveRegs + kPc, regime.entry);
+    Psw psw;
+    psw.set_mode(CpuMode::kUser);
+    SaveWrite(static_cast<int>(r), kSavePsw, psw.bits());
+  }
+
+  // Channel ring headers are already zero (head = 0, count = 0).
+
+  machine_.mmu().DisableAll(CpuMode::kKernel);
+  machine_.set_client(this);
+  booted_ = true;
+  KWrite(kOffCurrentRegime, kIdleRegime);
+  DispatchNext(0);
+  return Ok();
+}
+
+Result<> SeparationKernel::LoadRegimeImage(int regime, Word base,
+                                           const std::vector<Word>& words) {
+  if (regime < 0 || regime >= static_cast<int>(config_.regimes.size())) {
+    return Err("no such regime");
+  }
+  const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(regime)];
+  if (static_cast<std::uint32_t>(base) + words.size() > rc.mem_words) {
+    return Err("image does not fit in partition of " + rc.name);
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    machine_.PhysWrite(rc.mem_base + base + static_cast<PhysAddr>(i), words[i]);
+  }
+  return Ok();
+}
+
+bool SeparationKernel::AllRegimesHalted() const {
+  for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+    if (!RegimeHalted(static_cast<int>(r))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Word SeparationKernel::ChannelCount(int channel, int end) const {
+  return KRead(ChannelRingOffset(config_, channel, end) + 1);
+}
+
+int SeparationKernel::DeviceOwner(int slot) const {
+  for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+    for (int s : config_.regimes[r].device_slots) {
+      if (s == slot) {
+        return static_cast<int>(r);
+      }
+    }
+  }
+  return -1;
+}
+
+int SeparationKernel::LocalDeviceIndex(int regime, int slot) const {
+  const auto& slots = config_.regimes[static_cast<std::size_t>(regime)].device_slots;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == slot) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool SeparationKernel::RegimeVirtToPhys(int regime, VirtAddr vaddr, PhysAddr* out) const {
+  const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(regime)];
+  if (vaddr >= rc.mem_words) {
+    return false;  // only page 0 (the partition) backs regime stacks
+  }
+  *out = rc.mem_base + vaddr;
+  return true;
+}
+
+// --- context switching -------------------------------------------------------
+
+void SeparationKernel::SaveCurrentContext() {
+  const Word cur = CurrentRegime();
+  if (cur == kIdleRegime) {
+    return;
+  }
+  if (config_.faults.skip_register_save) {
+    return;  // injected defect: outgoing context is lost
+  }
+  const int r = cur;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    SaveWrite(r, kSaveRegs + i, machine_.cpu().regs[i]);
+  }
+  SaveWrite(r, kSavePsw, machine_.cpu().psw.bits());
+}
+
+void SeparationKernel::ProgramMmuFor(int regime) {
+  const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(regime)];
+  Mmu& mmu = machine_.mmu();
+  mmu.DisableAll(CpuMode::kUser);
+  mmu.SetPage(CpuMode::kUser, 0, {rc.mem_base, rc.mem_words, PageAccess::kReadWrite});
+  if (!rc.device_slots.empty()) {
+    const PhysAddr base = machine_.DeviceRegBase(rc.device_slots.front());
+    const std::uint32_t span =
+        static_cast<std::uint32_t>(rc.device_slots.size()) * kDeviceRegSpan;
+    mmu.SetPage(CpuMode::kUser, 7, {base, span, PageAccess::kReadWrite});
+  }
+  if (config_.faults.shared_mmu_window && regime != 0) {
+    // Injected defect: a read window onto regime 0's partition.
+    const RegimeConfig& victim = config_.regimes[0];
+    mmu.SetPage(CpuMode::kUser, 1, {victim.mem_base, victim.mem_words, PageAccess::kReadOnly});
+  }
+}
+
+void SeparationKernel::RestoreContext(int regime) {
+  ProgramMmuFor(regime);
+  CpuState& cpu = machine_.cpu();
+  const Word old_psw_bits = cpu.psw.bits();
+
+  const int first_reg = config_.faults.skip_register_restore ? kSp : 0;
+  for (int i = first_reg; i < 8; ++i) {
+    cpu.regs[i] = SaveRead(regime, kSaveRegs + static_cast<std::uint32_t>(i));
+  }
+
+  Psw psw(SaveRead(regime, kSavePsw));
+  psw.set_mode(CpuMode::kUser);  // regimes never run privileged
+  if (config_.faults.leak_condition_codes) {
+    // Injected defect: condition codes bleed across the switch.
+    psw.set_bits(static_cast<Word>((psw.bits() & ~0x000F) | (old_psw_bits & 0x000F)));
+  }
+  cpu.psw = psw;
+
+  KWrite(kOffCurrentRegime, static_cast<Word>(regime));
+  machine_.set_waiting(false);
+
+  // AWAIT completion (writing the pending mask into R0, vectoring into the
+  // handler) is DEFERRED to the regime's own first CPU phase: this dispatch
+  // may be running under another regime's SWAP, and performing visible work
+  // on the incoming regime here would make one colour's operation change
+  // another colour's abstract state. Φ^c treats awaiting and resume-work as
+  // the same abstract "blocked in AWAIT" value, so this flag flip is
+  // invisible to the regime's abstraction.
+  Word flags = SaveRead(regime, kSaveFlags);
+  if (flags & kFlagAwaiting) {
+    SaveWrite(regime, kSaveFlags,
+              static_cast<Word>((flags & ~kFlagAwaiting) | kFlagResumeWork));
+  }
+}
+
+bool SeparationKernel::RegimeRunnable(int regime) const {
+  const Word flags = SaveRead(regime, kSaveFlags);
+  if (flags & kFlagHalted) {
+    return false;
+  }
+  if ((flags & kFlagAwaiting) && SaveRead(regime, kSavePending) == 0) {
+    return false;
+  }
+  return true;
+}
+
+bool SeparationKernel::HasDeliverableVector(int regime) const {
+  const Word pending = SaveRead(regime, kSavePending);
+  for (int d = 0; d < kMaxDevicesPerRegime; ++d) {
+    if (((pending >> d) & 1) &&
+        SaveRead(regime, kSaveVectors + static_cast<std::uint32_t>(d)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SeparationKernel::HasDeferredWork() const {
+  if (!booted_) {
+    return false;
+  }
+  const Word cur = CurrentRegime();
+  if (cur == kIdleRegime) {
+    return false;
+  }
+  const Word flags = SaveRead(cur, kSaveFlags);
+  if (flags & kFlagResumeWork) {
+    return true;
+  }
+  return (flags & kFlagInHandler) == 0 && HasDeliverableVector(cur);
+}
+
+bool SeparationKernel::OnBeforeExecute() {
+  if (!HasDeferredWork()) {
+    return false;
+  }
+  const int cur = CurrentRegime();
+  const Word flags = SaveRead(cur, kSaveFlags);
+  if (flags & kFlagResumeWork) {
+    SaveWrite(cur, kSaveFlags, static_cast<Word>(flags & ~kFlagResumeWork));
+    // AWAIT return ABI: R0 receives the pending mask.
+    machine_.cpu().regs[0] = SaveRead(cur, kSavePending);
+    if ((SaveRead(cur, kSaveFlags) & kFlagInHandler) == 0) {
+      DeliverPendingInterrupt(cur);
+    }
+    return true;
+  }
+  DeliverPendingInterrupt(cur);
+  return true;
+}
+
+void SeparationKernel::DispatchNext(int start_from) {
+  const int n = static_cast<int>(config_.regimes.size());
+  for (int i = 0; i < n; ++i) {
+    const int candidate = ((start_from + i) % n + n) % n;
+    if (RegimeRunnable(candidate)) {
+      Bump64(kOffSwapCountLo);
+      RestoreContext(candidate);
+      return;
+    }
+  }
+  EnterIdle();
+}
+
+void SeparationKernel::EnterIdle() {
+  KWrite(kOffCurrentRegime, kIdleRegime);
+  machine_.mmu().DisableAll(CpuMode::kUser);
+  Psw idle;
+  idle.set_mode(CpuMode::kKernel);
+  idle.set_priority(0);
+  machine_.cpu().psw = idle;
+  if (AllRegimesHalted()) {
+    machine_.set_halted(true);
+  } else {
+    machine_.set_waiting(true);
+  }
+}
+
+// --- interrupt forwarding ----------------------------------------------------
+
+void SeparationKernel::DeliverPendingInterrupt(int regime) {
+  const Word pending = SaveRead(regime, kSavePending);
+  int local = -1;
+  Word vector = 0;
+  for (int d = 0; d < kMaxDevicesPerRegime; ++d) {
+    if ((pending >> d) & 1) {
+      Word v = SaveRead(regime, kSaveVectors + static_cast<std::uint32_t>(d));
+      if (v != 0) {
+        local = d;
+        vector = v;
+        break;
+      }
+    }
+  }
+  if (local < 0) {
+    return;  // nothing deliverable; bits stay pending
+  }
+
+  // Push PSW then PC onto the regime's own stack, enter its handler. This is
+  // the "minor assistance" the paper says return-from-interrupt needs.
+  CpuState& cpu = machine_.cpu();
+  PhysAddr phys = 0;
+  Word sp = cpu.sp();
+  sp = static_cast<Word>(sp - 1);
+  if (!RegimeVirtToPhys(regime, sp, &phys)) {
+    FaultRegime("stack overflow during interrupt delivery");
+    return;
+  }
+  machine_.PhysWrite(phys, cpu.psw.bits());
+  sp = static_cast<Word>(sp - 1);
+  if (!RegimeVirtToPhys(regime, sp, &phys)) {
+    FaultRegime("stack overflow during interrupt delivery");
+    return;
+  }
+  machine_.PhysWrite(phys, cpu.pc());
+  cpu.set_sp(sp);
+  cpu.set_pc(vector);
+
+  SaveWrite(regime, kSavePending, static_cast<Word>(pending & ~(1u << local)));
+  SaveWrite(regime, kSaveFlags,
+            static_cast<Word>(SaveRead(regime, kSaveFlags) | kFlagInHandler));
+}
+
+void SeparationKernel::OnInterrupt(int device_index) {
+  SEP_CHECK(booted_);
+  const int owner = DeviceOwner(device_index);
+  if (owner < 0) {
+    return;  // unowned device: interrupt dropped (config forbids this)
+  }
+  Bump64(kOffIrqForwardLo);
+
+  const int local = LocalDeviceIndex(owner, device_index);
+  SaveWrite(owner, kSavePending,
+            static_cast<Word>(SaveRead(owner, kSavePending) | (1u << local)));
+
+  if (config_.faults.broadcast_interrupts) {
+    // Injected defect: every regime learns of every interrupt.
+    for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+      SaveWrite(static_cast<int>(r), kSavePending,
+                static_cast<Word>(SaveRead(static_cast<int>(r), kSavePending) | 1u));
+    }
+  }
+
+  const Word cur = CurrentRegime();
+  if (cur == static_cast<Word>(owner) &&
+      (SaveRead(owner, kSaveFlags) & kFlagInHandler) == 0) {
+    DeliverPendingInterrupt(owner);
+  } else if (cur == kIdleRegime && RegimeRunnable(owner)) {
+    RestoreContext(owner);
+  }
+}
+
+// --- traps / kernel calls ----------------------------------------------------
+
+void SeparationKernel::OnTrap(const TrapInfo& info) {
+  SEP_CHECK(booted_);
+  SEP_CHECK(CurrentRegime() != kIdleRegime);
+
+  switch (info.kind) {
+    case TrapInfo::Kind::kIllegalInstruction:
+      FaultRegime("illegal instruction");
+      return;
+    case TrapInfo::Kind::kMmuFault:
+      FaultRegime(Format("memory violation at %04X", info.fault_addr));
+      return;
+    case TrapInfo::Kind::kTrapInstruction:
+      break;
+  }
+
+  Bump64(kOffKernelCallLo);
+  switch (info.code) {
+    case kCallSwap:
+      CallSwap();
+      return;
+    case kCallSend:
+      CallSend();
+      return;
+    case kCallRecv:
+      CallRecv();
+      return;
+    case kCallStat:
+      CallStat();
+      return;
+    case kCallSetVec:
+      CallSetVec();
+      return;
+    case kCallReti:
+      CallReti();
+      return;
+    case kCallAwait:
+      CallAwait();
+      return;
+    case kCallHalt:
+      CallHaltRegime();
+      return;
+    case kCallGetId:
+      CallGetId();
+      return;
+    default:
+      FaultRegime(Format("unknown kernel call %u", info.code));
+      return;
+  }
+}
+
+void SeparationKernel::FaultRegime(const std::string& reason) {
+  const int cur = CurrentRegime();
+  SEP_LOG(kInfo) << "regime " << config_.regimes[static_cast<std::size_t>(cur)].name
+                 << " faulted: " << reason;
+  SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) | kFlagHalted));
+  DispatchNext(cur + 1);
+}
+
+void SeparationKernel::CallSwap() {
+  const int cur = CurrentRegime();
+  SaveCurrentContext();
+  DispatchNext(cur + 1);
+}
+
+std::uint32_t SeparationKernel::RingBase(int channel, int end) const {
+  return ChannelRingOffset(config_, channel, end);
+}
+
+bool SeparationKernel::RingPush(std::uint32_t ring_base, std::uint32_t capacity, Word value) {
+  const Word head = KRead(ring_base);
+  const Word count = KRead(ring_base + 1);
+  if (count >= capacity) {
+    return false;
+  }
+  KWrite(ring_base + 2 + (head + count) % capacity, value);
+  KWrite(ring_base + 1, static_cast<Word>(count + 1));
+  return true;
+}
+
+bool SeparationKernel::RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value) {
+  const Word head = KRead(ring_base);
+  const Word count = KRead(ring_base + 1);
+  if (count == 0) {
+    return false;
+  }
+  *value = KRead(ring_base + 2 + head % capacity);
+  KWrite(ring_base, static_cast<Word>((head + 1) % capacity));
+  KWrite(ring_base + 1, static_cast<Word>(count - 1));
+  return true;
+}
+
+void SeparationKernel::CallSend() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int channel = cpu.regs[0];
+  if (channel >= static_cast<int>(config_.channels.size()) ||
+      config_.channels[static_cast<std::size_t>(channel)].sender != cur) {
+    FaultRegime(Format("SEND on channel %d not owned as sender", channel));
+    return;
+  }
+  int target = channel;
+  if (config_.faults.misroute_channels && config_.channels.size() > 1) {
+    target = (channel + 1) % static_cast<int>(config_.channels.size());
+  }
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(target)].capacity;
+  cpu.regs[0] = RingPush(RingBase(target, 0), cap, cpu.regs[1]) ? 1 : 0;
+}
+
+void SeparationKernel::CallRecv() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int channel = cpu.regs[0];
+  if (channel >= static_cast<int>(config_.channels.size()) ||
+      config_.channels[static_cast<std::size_t>(channel)].receiver != cur) {
+    FaultRegime(Format("RECV on channel %d not owned as receiver", channel));
+    return;
+  }
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(channel)].capacity;
+  Word value = 0;
+  if (RingPop(RingBase(channel, 1), cap, &value)) {
+    cpu.regs[0] = 1;
+    cpu.regs[1] = value;
+  } else {
+    cpu.regs[0] = 0;
+  }
+}
+
+void SeparationKernel::CallStat() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int channel = cpu.regs[0];
+  if (channel >= static_cast<int>(config_.channels.size())) {
+    FaultRegime(Format("STAT on nonexistent channel %d", channel));
+    return;
+  }
+  const ChannelConfig& cc = config_.channels[static_cast<std::size_t>(channel)];
+  if (cc.sender != cur && cc.receiver != cur) {
+    FaultRegime(Format("STAT on channel %d without endpoint rights", channel));
+    return;
+  }
+  cpu.regs[0] = (cc.receiver == cur) ? KRead(RingBase(channel, 1) + 1) : 0;
+  cpu.regs[1] = (cc.sender == cur)
+                    ? static_cast<Word>(cc.capacity - KRead(RingBase(channel, 0) + 1))
+                    : 0;
+}
+
+void SeparationKernel::CallSetVec() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const Word local = cpu.regs[0];
+  if (local >= config_.regimes[static_cast<std::size_t>(cur)].device_slots.size()) {
+    FaultRegime(Format("SETVEC for nonexistent local device %u", local));
+    return;
+  }
+  SaveWrite(cur, kSaveVectors + local, cpu.regs[1]);
+}
+
+void SeparationKernel::CallReti() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  if ((SaveRead(cur, kSaveFlags) & kFlagInHandler) == 0) {
+    FaultRegime("RETI outside interrupt handler");
+    return;
+  }
+  PhysAddr phys = 0;
+  Word sp = cpu.sp();
+  if (!RegimeVirtToPhys(cur, sp, &phys)) {
+    FaultRegime("stack underflow in RETI");
+    return;
+  }
+  const Word pc = machine_.PhysRead(phys);
+  sp = static_cast<Word>(sp + 1);
+  if (!RegimeVirtToPhys(cur, sp, &phys)) {
+    FaultRegime("stack underflow in RETI");
+    return;
+  }
+  const Word psw_bits = machine_.PhysRead(phys);
+  sp = static_cast<Word>(sp + 1);
+
+  cpu.set_sp(sp);
+  cpu.set_pc(pc);
+  Psw psw(psw_bits);
+  psw.set_mode(CpuMode::kUser);
+  cpu.psw = psw;
+  SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) & ~kFlagInHandler));
+
+  // Chain delivery if more interrupts arrived meanwhile.
+  if (SaveRead(cur, kSavePending) != 0) {
+    DeliverPendingInterrupt(cur);
+  }
+}
+
+void SeparationKernel::CallAwait() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const Word pending = SaveRead(cur, kSavePending);
+  if (pending != 0) {
+    cpu.regs[0] = pending;
+    if ((SaveRead(cur, kSaveFlags) & kFlagInHandler) == 0) {
+      DeliverPendingInterrupt(cur);
+    }
+    return;
+  }
+  SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) | kFlagAwaiting));
+  SaveCurrentContext();
+  DispatchNext(cur + 1);
+}
+
+void SeparationKernel::CallHaltRegime() {
+  const int cur = CurrentRegime();
+  SaveCurrentContext();
+  SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) | kFlagHalted));
+  DispatchNext(cur + 1);
+}
+
+void SeparationKernel::CallGetId() { machine_.cpu().regs[0] = CurrentRegime(); }
+
+// --- checker support ----------------------------------------------------------
+
+Result<> SeparationKernel::Adopt() {
+  if (Result<> r = ValidateConfig(config_, machine_.memory().size(), machine_.device_count());
+      !r.ok()) {
+    return r;
+  }
+  machine_.set_client(this);
+  booted_ = true;
+  return Ok();
+}
+
+void SeparationKernel::AppendRingLogical(int channel, int end, std::vector<Word>& out) const {
+  const std::uint32_t base = ChannelRingOffset(config_, channel, end);
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(channel)].capacity;
+  const Word head = KRead(base);
+  const Word count = KRead(base + 1);
+  out.push_back(count);
+  for (Word k = 0; k < count && k < cap; ++k) {
+    out.push_back(KRead(base + 2 + (head + k) % cap));
+  }
+}
+
+std::vector<Word> SeparationKernel::AbstractProjection(int colour) const {
+  std::vector<Word> out;
+  const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(colour)];
+  out.reserve(rc.mem_words + 64);
+
+  // 1. The regime's private memory partition.
+  for (std::uint32_t i = 0; i < rc.mem_words; ++i) {
+    out.push_back(machine_.memory().Read(rc.mem_base + i));
+  }
+
+  // 2. Register VALUES — live when active, from the save area otherwise.
+  // The abstraction is location-independent: this is exactly why the SWAP
+  // operation, which moves values between the CPU and the save areas, is
+  // secure even though syntactic flow analysis rejects it.
+  const bool active = CurrentRegime() == static_cast<Word>(colour);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(active ? machine_.cpu().regs[i]
+                         : SaveRead(colour, kSaveRegs + static_cast<std::uint32_t>(i)));
+  }
+  out.push_back(active ? machine_.cpu().psw.bits() : SaveRead(colour, kSavePsw));
+
+  // 3. Scheduling flags, normalized: "awaiting" and "resume-work" are the
+  // same abstract blocked-in-AWAIT state.
+  const Word flags = SaveRead(colour, kSaveFlags);
+  out.push_back((flags & kFlagHalted) ? 1 : 0);
+  out.push_back((flags & (kFlagAwaiting | kFlagResumeWork)) ? 1 : 0);
+  out.push_back((flags & kFlagInHandler) ? 1 : 0);
+  out.push_back(SaveRead(colour, kSavePending));
+  for (std::uint32_t d = 0; d < kMaxDevicesPerRegime; ++d) {
+    out.push_back(SaveRead(colour, kSaveVectors + d));
+  }
+
+  // 4. The regime's devices (registers, countdowns, environment queues,
+  // interrupt line).
+  for (int slot : rc.device_slots) {
+    std::vector<Word> ds = machine_.device(slot).SnapshotState();
+    out.push_back(static_cast<Word>(ds.size()));
+    out.insert(out.end(), ds.begin(), ds.end());
+  }
+
+  // 5. The regime's channel ends, as logical queue contents.
+  for (std::size_t i = 0; i < config_.channels.size(); ++i) {
+    const ChannelConfig& ch = config_.channels[i];
+    if (ch.sender == colour) {
+      AppendRingLogical(static_cast<int>(i), 0, out);
+    }
+    if (ch.receiver == colour) {
+      AppendRingLogical(static_cast<int>(i), 1, out);
+    }
+  }
+  return out;
+}
+
+void SeparationKernel::PerturbRing(int channel, int end, Rng& rng) {
+  const std::uint32_t base = ChannelRingOffset(config_, channel, end);
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(channel)].capacity;
+  KWrite(base, static_cast<Word>(rng.NextBelow(cap)));
+  KWrite(base + 1, static_cast<Word>(rng.NextBelow(cap + 1)));
+  for (std::uint32_t k = 0; k < cap; ++k) {
+    KWrite(base + 2 + k, static_cast<Word>(rng.Next() & 0xFFFF));
+  }
+}
+
+void SeparationKernel::PerturbNonColour(int colour, Rng& rng) {
+  const Word cur = CurrentRegime();
+
+  for (std::size_t r = 0; r < config_.regimes.size(); ++r) {
+    if (static_cast<int>(r) == colour) {
+      continue;
+    }
+    const RegimeConfig& rc = config_.regimes[r];
+    for (std::uint32_t i = 0; i < rc.mem_words; ++i) {
+      machine_.PhysWrite(rc.mem_base + i, static_cast<Word>(rng.Next() & 0xFFFF));
+    }
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      SaveWrite(static_cast<int>(r), kSaveRegs + i, static_cast<Word>(rng.Next() & 0xFFFF));
+    }
+    SaveWrite(static_cast<int>(r), kSavePsw,
+              static_cast<Word>((rng.Next() & 0x00FF) | 0x8000));
+    SaveWrite(static_cast<int>(r), kSaveFlags, static_cast<Word>(rng.Next() & 0xF));
+    SaveWrite(static_cast<int>(r), kSavePending,
+              static_cast<Word>(rng.Next() & ((1u << rc.device_slots.size()) - 1)));
+    for (std::uint32_t d = 0; d < kMaxDevicesPerRegime; ++d) {
+      SaveWrite(static_cast<int>(r), kSaveVectors + d,
+                static_cast<Word>(rng.NextBelow(rc.mem_words)));
+    }
+    for (int slot : rc.device_slots) {
+      machine_.device(slot).Perturb(rng);
+    }
+  }
+
+  // Channel rings not in colour's view.
+  for (std::size_t i = 0; i < config_.channels.size(); ++i) {
+    const ChannelConfig& ch = config_.channels[i];
+    const bool mine = ch.sender == colour || ch.receiver == colour;
+    if (config_.cut_channels) {
+      if (ch.sender != colour) {
+        PerturbRing(static_cast<int>(i), 0, rng);
+      }
+      if (ch.receiver != colour) {
+        PerturbRing(static_cast<int>(i), 1, rng);
+      }
+    } else if (!mine) {
+      PerturbRing(static_cast<int>(i), 0, rng);
+    }
+  }
+
+  // Kernel-internal counters are in nobody's abstract view.
+  KWrite(kOffSwapCountLo, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffSwapCountHi, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffIrqForwardLo, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffIrqForwardHi, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffKernelCallLo, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffKernelCallHi, static_cast<Word>(rng.Next() & 0xFFFF));
+
+  // Live CPU registers belong to the current regime (or to nobody, when
+  // idle). Keep the PSW priority/mode so interrupt deliverability — and
+  // hence COLOUR(s) — is preserved.
+  if (cur != static_cast<Word>(colour)) {
+    CpuState& cpu = machine_.cpu();
+    for (int i = 0; i < 8; ++i) {
+      cpu.regs[i] = static_cast<Word>(rng.Next() & 0xFFFF);
+    }
+    if (cur != kIdleRegime) {
+      Psw psw = cpu.psw;
+      psw.set_bits(static_cast<Word>((psw.bits() & ~0x000F) | (rng.Next() & 0xF)));
+      cpu.psw = psw;
+    }
+  }
+}
+
+}  // namespace sep

@@ -1,0 +1,188 @@
+// The separation kernel.
+//
+// A faithful reconstruction of the structure of RSRE's SUE ("Secure User
+// Environment") as the paper describes it:
+//
+//   * a fixed, small number of regimes, each permanently allocated a fixed
+//     partition of real memory; no paging, no virtual-memory management;
+//   * no scheduling: regimes get control round-robin and run until they
+//     suspend voluntarily (SWAP / AWAIT kernel calls);
+//   * no DMA anywhere in the system; devices are driven exclusively through
+//     their memory-mapped registers, which the MMU places in the owning
+//     regime's address space — so almost all I/O responsibility leaves the
+//     kernel;
+//   * the kernel's only I/O duties are fielding interrupts (the hardware
+//     vectors them through kernel space) and forwarding them to the owning
+//     regime, plus the small assist needed to return from a regime's
+//     interrupt handler;
+//   * kernel-mediated one-directional channels are the only communication
+//     between regimes.
+//
+// The kernel knows NOTHING about security policy: no labels, no lattice, no
+// subjects or objects. Its one job is making the shared machine
+// indistinguishable, from each regime's viewpoint, from a private machine
+// plus explicit communication lines.
+//
+// Like SUE's PDP-11 core image, ALL dynamic kernel state (current regime,
+// register save areas, pending-interrupt masks, channel rings) lives inside
+// the machine's physical memory, in the kernel's own partition. The C++
+// object holds only immutable configuration. Cloning the machine and
+// attaching an identically-configured kernel therefore reproduces behaviour
+// exactly — which is what lets the Proof-of-Separability checker treat
+// "machine state" as the complete concrete state.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/kernel/config.h"
+#include "src/machine/machine.h"
+
+namespace sep {
+
+class SeparationKernel : public MachineClient {
+ public:
+  // The kernel drives `machine`; both must outlive the kernel. Boot() must
+  // be called before stepping the machine.
+  SeparationKernel(Machine& machine, KernelConfig config);
+
+  // Validates the configuration, initializes the kernel partition, loads
+  // nothing (callers load regime images), programs device ownership and
+  // dispatches regime 0. Installs itself as the machine client.
+  Result<> Boot();
+
+  // Attaches to an already-initialized machine (a clone of a booted system)
+  // WITHOUT reinitializing anything. Because all dynamic kernel state lives
+  // in the machine's memory, the adopted kernel behaves identically to the
+  // one the original machine ran under.
+  Result<> Adopt();
+
+  // Loads a program image into a regime's partition (before or after Boot).
+  Result<> LoadRegimeImage(int regime, Word base, const std::vector<Word>& words);
+
+  const KernelConfig& config() const { return config_; }
+
+  // --- introspection (used by the checker, benches and tests) ---
+
+  // Regime currently executing, or kIdleRegime.
+  Word CurrentRegime() const { return KRead(kOffCurrentRegime); }
+
+  bool RegimeHalted(int regime) const { return (SaveRead(regime, kSaveFlags) & kFlagHalted) != 0; }
+  bool AllRegimesHalted() const;
+
+  Word RegimeSavedReg(int regime, int reg) const {
+    return SaveRead(regime, kSaveRegs + static_cast<std::uint32_t>(reg));
+  }
+  Word RegimePendingMask(int regime) const { return SaveRead(regime, kSavePending); }
+
+  std::uint64_t SwapCount() const { return Count64(kOffSwapCountLo); }
+  std::uint64_t IrqForwardCount() const { return Count64(kOffIrqForwardLo); }
+  std::uint64_t KernelCallCount() const { return Count64(kOffKernelCallLo); }
+
+  // Channel occupancy of the ring the given end uses (0 = sender, 1 = recv).
+  Word ChannelCount(int channel, int end) const;
+
+  // Owner regime of a machine device slot, or -1.
+  int DeviceOwner(int slot) const;
+
+  // Number of distinct kernel entry points (trap codes + interrupt + fault
+  // paths); reported by the kernel-size experiment E10.
+  static int EntryPointCount() { return 9 + 3; }
+
+  // True when the current regime has deferred kernel work (AWAIT completion
+  // or delivery of an interrupt that arrived while it was switched out).
+  // Mirrors what OnBeforeExecute() would do, without doing it.
+  bool HasDeferredWork() const;
+
+  // Φ^c: the colour's complete abstract machine state, encoded location-
+  // independently (register VALUES whether live or saved; channel contents
+  // as logical queues, not ring buffers; awaiting and resume-work flags
+  // normalized to one abstract "blocked in AWAIT" bit).
+  std::vector<Word> AbstractProjection(int colour) const;
+
+  // Randomizes everything outside colour c's abstract view, within kernel
+  // representation invariants and without changing COLOUR(s). See
+  // SharedSystem::PerturbOthers.
+  void PerturbNonColour(int colour, Rng& rng);
+
+  // --- MachineClient ---
+  void OnTrap(const TrapInfo& info) override;
+  void OnInterrupt(int device_index) override;
+  bool OnBeforeExecute() override;
+
+ private:
+  // Kernel-partition word access.
+  Word KRead(std::uint32_t offset) const { return machine_.PhysRead(config_.kernel_base + offset); }
+  void KWrite(std::uint32_t offset, Word value) {
+    machine_.PhysWrite(config_.kernel_base + offset, value);
+  }
+  std::uint32_t SaveOffset(int regime, std::uint32_t field) const {
+    return kSaveAreaBase + static_cast<std::uint32_t>(regime) * kSaveAreaStride + field;
+  }
+  Word SaveRead(int regime, std::uint32_t field) const { return KRead(SaveOffset(regime, field)); }
+  void SaveWrite(int regime, std::uint32_t field, Word value) {
+    KWrite(SaveOffset(regime, field), value);
+  }
+  std::uint64_t Count64(std::uint32_t lo_offset) const {
+    return static_cast<std::uint64_t>(KRead(lo_offset)) |
+           (static_cast<std::uint64_t>(KRead(lo_offset + 1)) << 16);
+  }
+  void Bump64(std::uint32_t lo_offset) {
+    Word lo = KRead(lo_offset);
+    KWrite(lo_offset, static_cast<Word>(lo + 1));
+    if (lo == 0xFFFF) {
+      KWrite(lo_offset + 1, static_cast<Word>(KRead(lo_offset + 1) + 1));
+    }
+  }
+
+  // Translation of a regime virtual address to physical, page-0 only (used
+  // when the kernel touches a regime's stack on its behalf).
+  bool RegimeVirtToPhys(int regime, VirtAddr vaddr, PhysAddr* out) const;
+
+  // Context switching.
+  void SaveCurrentContext();
+  void ProgramMmuFor(int regime);
+  void RestoreContext(int regime);
+  void DispatchNext(int start_from);
+  void EnterIdle();
+  bool RegimeRunnable(int regime) const;
+
+  // Interrupt forwarding.
+  void DeliverPendingInterrupt(int regime);
+  bool HasDeliverableVector(int regime) const;
+
+  // Appends the logical contents of a channel ring (count + words in queue
+  // order) to `out` — the location-independent view used by Φ^c.
+  void AppendRingLogical(int channel, int end, std::vector<Word>& out) const;
+  void PerturbRing(int channel, int end, Rng& rng);
+
+  // Kernel calls.
+  void CallSwap();
+  void CallSend();
+  void CallRecv();
+  void CallStat();
+  void CallSetVec();
+  void CallReti();
+  void CallAwait();
+  void CallHaltRegime();
+  void CallGetId();
+  void FaultRegime(const std::string& reason);
+
+  // Channel ring helpers (operate on kernel partition words).
+  std::uint32_t RingBase(int channel, int end) const;
+  bool RingPush(std::uint32_t ring_base, std::uint32_t capacity, Word value);
+  bool RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value);
+
+  int LocalDeviceIndex(int regime, int slot) const;
+
+  Machine& machine_;
+  KernelConfig config_;
+  bool booted_ = false;
+};
+
+}  // namespace sep
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,220 @@
+#include "src/machine/isa.h"
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+namespace {
+
+bool IsZeroOp(std::uint8_t op) { return op <= 0x04; }
+bool IsTwoOp(std::uint8_t op) { return op >= 0x10 && op <= 0x17; }
+bool IsOneOp(std::uint8_t op) { return op >= 0x20 && op <= 0x29; }
+bool IsBranch(std::uint8_t op) { return op >= 0x30 && op <= 0x3C; }
+
+}  // namespace
+
+std::optional<OperandCount> OpcodeShape(std::uint8_t op) {
+  if (IsZeroOp(op)) {
+    return OperandCount::kZero;
+  }
+  if (op == 0x05) {
+    return OperandCount::kTrap;
+  }
+  if (IsTwoOp(op)) {
+    return OperandCount::kTwo;
+  }
+  if (IsOneOp(op)) {
+    return OperandCount::kOne;
+  }
+  if (IsBranch(op)) {
+    return OperandCount::kBranch;
+  }
+  return std::nullopt;
+}
+
+std::optional<DecodedInsn> Decode(Word insn) {
+  const std::uint8_t op = static_cast<std::uint8_t>(insn >> 10);
+  std::optional<OperandCount> shape = OpcodeShape(op);
+  if (!shape.has_value()) {
+    return std::nullopt;
+  }
+
+  DecodedInsn out;
+  out.opcode = static_cast<Opcode>(op);
+  switch (*shape) {
+    case OperandCount::kZero:
+      break;
+    case OperandCount::kTrap:
+      out.trap_code = insn & 0x03FF;
+      break;
+    case OperandCount::kBranch:
+      out.branch_offset = static_cast<std::int16_t>(static_cast<std::int8_t>(insn & 0xFF));
+      break;
+    case OperandCount::kOne:
+      out.dst.mode = static_cast<AddrMode>((insn >> 3) & 0x3);
+      out.dst.reg = insn & 0x7;
+      if (out.dst.NeedsExtension()) {
+        ++out.length;
+      }
+      break;
+    case OperandCount::kTwo:
+      out.src.mode = static_cast<AddrMode>((insn >> 8) & 0x3);
+      out.src.reg = (insn >> 5) & 0x7;
+      out.dst.mode = static_cast<AddrMode>((insn >> 3) & 0x3);
+      out.dst.reg = insn & 0x7;
+      if (out.src.NeedsExtension()) {
+        ++out.length;
+      }
+      if (out.dst.NeedsExtension()) {
+        ++out.length;
+      }
+      break;
+  }
+  return out;
+}
+
+Word EncodeZeroOp(Opcode op) { return static_cast<Word>(static_cast<Word>(op) << 10); }
+
+Word EncodeTrap(std::uint16_t code) {
+  return static_cast<Word>((static_cast<Word>(Opcode::kTrap) << 10) | (code & 0x03FF));
+}
+
+Word EncodeBranch(Opcode op, std::int16_t word_offset) {
+  return static_cast<Word>((static_cast<Word>(op) << 10) |
+                           (static_cast<Word>(word_offset) & 0xFF));
+}
+
+Word EncodeOneOp(Opcode op, OperandSpec dst) {
+  return static_cast<Word>((static_cast<Word>(op) << 10) |
+                           ((static_cast<Word>(dst.mode) & 0x3) << 3) | (dst.reg & 0x7));
+}
+
+Word EncodeTwoOp(Opcode op, OperandSpec src, OperandSpec dst) {
+  return static_cast<Word>((static_cast<Word>(op) << 10) |
+                           ((static_cast<Word>(src.mode) & 0x3) << 8) |
+                           ((static_cast<Word>(src.reg) & 0x7) << 5) |
+                           ((static_cast<Word>(dst.mode) & 0x3) << 3) | (dst.reg & 0x7));
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHalt:
+      return "HALT";
+    case Opcode::kNop:
+      return "NOP";
+    case Opcode::kWait:
+      return "WAIT";
+    case Opcode::kRti:
+      return "RTI";
+    case Opcode::kRts:
+      return "RTS";
+    case Opcode::kTrap:
+      return "TRAP";
+    case Opcode::kMov:
+      return "MOV";
+    case Opcode::kAdd:
+      return "ADD";
+    case Opcode::kSub:
+      return "SUB";
+    case Opcode::kCmp:
+      return "CMP";
+    case Opcode::kBit:
+      return "BIT";
+    case Opcode::kBic:
+      return "BIC";
+    case Opcode::kBis:
+      return "BIS";
+    case Opcode::kXor:
+      return "XOR";
+    case Opcode::kClr:
+      return "CLR";
+    case Opcode::kInc:
+      return "INC";
+    case Opcode::kDec:
+      return "DEC";
+    case Opcode::kNeg:
+      return "NEG";
+    case Opcode::kCom:
+      return "COM";
+    case Opcode::kTst:
+      return "TST";
+    case Opcode::kAsr:
+      return "ASR";
+    case Opcode::kAsl:
+      return "ASL";
+    case Opcode::kJmp:
+      return "JMP";
+    case Opcode::kJsr:
+      return "JSR";
+    case Opcode::kBr:
+      return "BR";
+    case Opcode::kBeq:
+      return "BEQ";
+    case Opcode::kBne:
+      return "BNE";
+    case Opcode::kBmi:
+      return "BMI";
+    case Opcode::kBpl:
+      return "BPL";
+    case Opcode::kBcs:
+      return "BCS";
+    case Opcode::kBcc:
+      return "BCC";
+    case Opcode::kBvs:
+      return "BVS";
+    case Opcode::kBvc:
+      return "BVC";
+    case Opcode::kBlt:
+      return "BLT";
+    case Opcode::kBge:
+      return "BGE";
+    case Opcode::kBgt:
+      return "BGT";
+    case Opcode::kBle:
+      return "BLE";
+  }
+  return "???";
+}
+
+namespace {
+
+std::string OperandText(const OperandSpec& spec, Word ext, bool is_dst) {
+  switch (spec.mode) {
+    case AddrMode::kReg:
+      return Format("R%d", spec.reg);
+    case AddrMode::kRegDeferred:
+      return Format("(R%d)", spec.reg);
+    case AddrMode::kImmediate:
+      return is_dst ? Format("@%s", Octal(ext).c_str()) : Format("#%s", Octal(ext).c_str());
+    case AddrMode::kIndexed:
+      return Format("%s(R%d)", Octal(ext).c_str(), spec.reg);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const DecodedInsn& insn, Word ext1, Word ext2) {
+  std::optional<OperandCount> shape = OpcodeShape(static_cast<std::uint8_t>(insn.opcode));
+  if (!shape.has_value()) {
+    return "???";
+  }
+  switch (*shape) {
+    case OperandCount::kZero:
+      return OpcodeName(insn.opcode);
+    case OperandCount::kTrap:
+      return Format("TRAP %u", insn.trap_code);
+    case OperandCount::kBranch:
+      return Format("%s %+d", OpcodeName(insn.opcode), insn.branch_offset);
+    case OperandCount::kOne:
+      return std::string(OpcodeName(insn.opcode)) + " " + OperandText(insn.dst, ext1, true);
+    case OperandCount::kTwo: {
+      Word dst_ext = insn.src.NeedsExtension() ? ext2 : ext1;
+      return std::string(OpcodeName(insn.opcode)) + " " + OperandText(insn.src, ext1, false) +
+             ", " + OperandText(insn.dst, dst_ext, true);
+    }
+  }
+  return "???";
+}
+
+}  // namespace sep

@@ -1,0 +1,143 @@
+// The SM-11 instruction set architecture.
+//
+// The SM-11 is a 16-bit word-addressed machine inspired by the PDP-11/34 on
+// which the SUE separation kernel ran. It is deliberately *not* a cycle- or
+// encoding-accurate PDP-11: the reproduction needs a machine with the same
+// security-relevant anatomy (two processor modes, per-mode memory mapping,
+// memory-mapped device registers, vectored interrupts, trap instruction for
+// kernel calls, and no DMA), not binary compatibility.
+//
+// Encoding
+// --------
+// Every instruction is one word, optionally followed by up to two extension
+// words (source first, then destination).
+//
+//   [15:10] opcode
+//   [ 9: 8] source addressing mode   (two-operand forms)
+//   [ 7: 5] source register
+//   [ 4: 3] destination addressing mode
+//   [ 2: 0] destination register
+//
+// Branch instructions carry a signed 8-bit word offset in [7:0].
+// TRAP carries a 10-bit kernel-call code in [9:0].
+//
+// Addressing modes:
+//   0 kReg         operand is the register itself
+//   1 kRegDeferred operand is the word addressed by the register
+//   2 kImmediate   (source) extension word is the operand value;
+//     kAbsolute    (destination) extension word is the operand address
+//   3 kIndexed     extension word + register = operand address
+#ifndef SRC_MACHINE_ISA_H_
+#define SRC_MACHINE_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/base/types.h"
+
+namespace sep {
+
+enum class Opcode : std::uint8_t {
+  // Zero-operand.
+  kHalt = 0x00,
+  kNop = 0x01,
+  kWait = 0x02,
+  kRti = 0x03,
+  kRts = 0x04,
+  kTrap = 0x05,  // 10-bit code in [9:0]
+
+  // Two-operand.
+  kMov = 0x10,
+  kAdd = 0x11,
+  kSub = 0x12,
+  kCmp = 0x13,  // src - dst, condition codes only
+  kBit = 0x14,  // src & dst, condition codes only
+  kBic = 0x15,  // dst &= ~src
+  kBis = 0x16,  // dst |= src
+  kXor = 0x17,
+
+  // One-operand (destination field only).
+  kClr = 0x20,
+  kInc = 0x21,
+  kDec = 0x22,
+  kNeg = 0x23,
+  kCom = 0x24,
+  kTst = 0x25,
+  kAsr = 0x26,
+  kAsl = 0x27,
+  kJmp = 0x28,
+  kJsr = 0x29,
+
+  // Branches (signed 8-bit word offset in [7:0]).
+  kBr = 0x30,
+  kBeq = 0x31,
+  kBne = 0x32,
+  kBmi = 0x33,
+  kBpl = 0x34,
+  kBcs = 0x35,
+  kBcc = 0x36,
+  kBvs = 0x37,
+  kBvc = 0x38,
+  kBlt = 0x39,
+  kBge = 0x3A,
+  kBgt = 0x3B,
+  kBle = 0x3C,
+};
+
+enum class AddrMode : std::uint8_t {
+  kReg = 0,
+  kRegDeferred = 1,
+  kImmediate = 2,  // kAbsolute when used as a destination
+  kIndexed = 3,
+};
+
+// Register numbers. R6 is the stack pointer, R7 the program counter.
+inline constexpr int kSp = 6;
+inline constexpr int kPc = 7;
+
+struct OperandSpec {
+  AddrMode mode = AddrMode::kReg;
+  std::uint8_t reg = 0;
+
+  bool NeedsExtension() const {
+    return mode == AddrMode::kImmediate || mode == AddrMode::kIndexed;
+  }
+};
+
+struct DecodedInsn {
+  Opcode opcode = Opcode::kNop;
+  OperandSpec src;
+  OperandSpec dst;
+  std::int16_t branch_offset = 0;  // words, for branch opcodes
+  std::uint16_t trap_code = 0;     // for kTrap
+  int length = 1;                  // total words including extensions
+};
+
+enum class OperandCount : std::uint8_t { kZero, kOne, kTwo, kBranch, kTrap };
+
+// Classification of an opcode's operand shape; nullopt for invalid opcodes.
+std::optional<OperandCount> OpcodeShape(std::uint8_t opcode_bits);
+
+// Decodes an instruction word (without reading extension words; length is
+// still filled in from the operand specs). Returns nullopt on an invalid
+// opcode, which the CPU turns into an illegal-instruction trap.
+std::optional<DecodedInsn> Decode(Word insn);
+
+// Instruction assembly helpers used by the assembler back end and by tests
+// that build code words directly.
+Word EncodeZeroOp(Opcode op);
+Word EncodeTrap(std::uint16_t code);
+Word EncodeBranch(Opcode op, std::int16_t word_offset);
+Word EncodeOneOp(Opcode op, OperandSpec dst);
+Word EncodeTwoOp(Opcode op, OperandSpec src, OperandSpec dst);
+
+const char* OpcodeName(Opcode op);
+
+// Renders a decoded instruction (extension-word values must be supplied by
+// the caller since they live in memory after the instruction word).
+std::string Disassemble(const DecodedInsn& insn, Word ext1, Word ext2);
+
+}  // namespace sep
+
+#endif  // SRC_MACHINE_ISA_H_

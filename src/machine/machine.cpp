@@ -1,0 +1,297 @@
+#include "src/machine/machine.h"
+
+#include "src/base/logging.h"
+
+namespace sep {
+
+// The bus the CPU sees: MMU translation, then RAM or I/O-page routing.
+class MachineBus : public Bus {
+ public:
+  explicit MachineBus(Machine& m) : m_(m) {}
+
+  bool Read(VirtAddr addr, AccessKind kind, Word* out) override {
+    auto tr = m_.mmu_.Translate(m_.cpu_.psw.mode(), addr, kind);
+    if (!tr.translation.has_value()) {
+      return false;
+    }
+    return PhysAccess(tr.translation->phys, /*write=*/false, out, 0);
+  }
+
+  bool Write(VirtAddr addr, Word value) override {
+    auto tr = m_.mmu_.Translate(m_.cpu_.psw.mode(), addr, AccessKind::kWriteData);
+    if (!tr.translation.has_value()) {
+      return false;
+    }
+    return PhysAccess(tr.translation->phys, /*write=*/true, nullptr, value);
+  }
+
+ private:
+  bool PhysAccess(PhysAddr phys, bool write, Word* out, Word value) {
+    if (phys >= m_.config_.io_base) {
+      const PhysAddr off = phys - m_.config_.io_base;
+      const int slot = static_cast<int>(off / kDeviceRegSpan);
+      const int reg = static_cast<int>(off % kDeviceRegSpan);
+      if (slot >= static_cast<int>(m_.devices_.size()) ||
+          reg >= m_.devices_[slot]->register_count()) {
+        return false;  // bus timeout: nonexistent device register
+      }
+      if (write) {
+        m_.devices_[slot]->WriteRegister(reg, value);
+      } else {
+        *out = m_.devices_[slot]->ReadRegister(reg);
+      }
+      return true;
+    }
+    if (!m_.memory_.InRange(phys)) {
+      return false;
+    }
+    if (write) {
+      m_.memory_.Write(phys, value);
+    } else {
+      *out = m_.memory_.Read(phys);
+    }
+    return true;
+  }
+
+  Machine& m_;
+};
+
+Machine::Machine(const MachineConfig& config) : config_(config), memory_(config.memory_words) {
+  SEP_CHECK(config.io_base >= config.memory_words);
+}
+
+std::unique_ptr<Machine> Machine::Clone() const {
+  auto copy = std::make_unique<Machine>(config_);
+  copy->memory_ = memory_;
+  copy->mmu_ = mmu_;
+  copy->cpu_ = cpu_;
+  for (const auto& dev : devices_) {
+    copy->devices_.push_back(dev->Clone());
+  }
+  copy->halted_ = halted_;
+  copy->waiting_ = waiting_;
+  copy->tick_ = tick_;
+  return copy;
+}
+
+int Machine::AddDevice(std::unique_ptr<Device> device) {
+  devices_.push_back(std::move(device));
+  return static_cast<int>(devices_.size()) - 1;
+}
+
+Device* Machine::FindDevice(const std::string& name) {
+  for (auto& dev : devices_) {
+    if (dev->name() == name) {
+      return dev.get();
+    }
+  }
+  return nullptr;
+}
+
+Word Machine::PhysRead(PhysAddr addr) const {
+  if (addr >= config_.io_base) {
+    const PhysAddr off = addr - config_.io_base;
+    const int slot = static_cast<int>(off / kDeviceRegSpan);
+    const int reg = static_cast<int>(off % kDeviceRegSpan);
+    SEP_CHECK(slot < static_cast<int>(devices_.size()));
+    // Register reads can have side effects, so a const machine must go
+    // through the non-const overload; tests use device accessors instead.
+    return const_cast<Device&>(*devices_[slot]).ReadRegister(reg);
+  }
+  return memory_.Read(addr);
+}
+
+void Machine::PhysWrite(PhysAddr addr, Word value) {
+  if (addr >= config_.io_base) {
+    const PhysAddr off = addr - config_.io_base;
+    const int slot = static_cast<int>(off / kDeviceRegSpan);
+    const int reg = static_cast<int>(off % kDeviceRegSpan);
+    SEP_CHECK(slot < static_cast<int>(devices_.size()));
+    devices_[slot]->WriteRegister(reg, value);
+    return;
+  }
+  memory_.Write(addr, value);
+}
+
+int Machine::PendingInterrupt() const {
+  int best = -1;
+  int best_priority = cpu_.psw.priority();
+  for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
+    if (devices_[i]->interrupt_pending() && devices_[i]->priority() > best_priority) {
+      best = i;
+      best_priority = devices_[i]->priority();
+    }
+  }
+  return best;
+}
+
+void Machine::HardwareVector(PhysAddr vector) {
+  // Save old context, load new PC/PSW from the vector, push old PSW/PC on
+  // the (new) stack. This path is only used without a native client.
+  const Word old_pc = cpu_.pc();
+  const Word old_psw = cpu_.psw.bits();
+  cpu_.set_pc(memory_.Read(vector));
+  cpu_.psw.set_bits(memory_.Read(vector + 1));
+  // Push through the MMU-less kernel view: vectored entry runs in kernel
+  // mode and the standalone programs that use this path map kernel space
+  // identity, so physical pushes are faithful.
+  cpu_.set_sp(static_cast<Word>(cpu_.sp() - 1));
+  memory_.Write(cpu_.sp(), old_psw);
+  cpu_.set_sp(static_cast<Word>(cpu_.sp() - 1));
+  memory_.Write(cpu_.sp(), old_pc);
+}
+
+void Machine::DispatchTrap(const TrapInfo& info) {
+  if (client_ != nullptr) {
+    client_->OnTrap(info);
+    return;
+  }
+  switch (info.kind) {
+    case TrapInfo::Kind::kIllegalInstruction:
+      HardwareVector(kVectorIllegal);
+      break;
+    case TrapInfo::Kind::kMmuFault:
+      HardwareVector(kVectorMmuFault);
+      break;
+    case TrapInfo::Kind::kTrapInstruction:
+      HardwareVector(kVectorTrap);
+      break;
+  }
+}
+
+StepEvent Machine::Step() {
+  StepEvent event = StepCpuPhase();
+  for (int i = 0; i < static_cast<int>(devices_.size()); ++i) {
+    StepDevicePhase(i);
+  }
+  ++tick_;
+  return event;
+}
+
+StepEvent Machine::StepCpuPhase() {
+  StepEvent event;
+
+  // Deferred client work takes precedence over everything else; it belongs
+  // to the current context and must complete before the next instruction.
+  if (client_ != nullptr && !halted_ && client_->OnBeforeExecute()) {
+    event.kind = StepEvent::Kind::kKernelWork;
+    return event;
+  }
+
+  // Interrupt delivery or instruction execution.
+  const int irq = PendingInterrupt();
+  if (irq >= 0) {
+    waiting_ = false;
+    devices_[irq]->ClearInterrupt();
+    event.kind = StepEvent::Kind::kInterrupt;
+    event.device = irq;
+    if (client_ != nullptr) {
+      client_->OnInterrupt(irq);
+    } else {
+      HardwareVector(static_cast<PhysAddr>(devices_[irq]->vector()));
+    }
+  } else if (halted_ || waiting_) {
+    event.kind = StepEvent::Kind::kIdle;
+  } else {
+    MachineBus bus(*this);
+    CpuEvent cpu_event = ExecuteOne(cpu_, bus);
+    switch (cpu_event.kind) {
+      case CpuEventKind::kOk:
+        event.kind = StepEvent::Kind::kInstruction;
+        break;
+      case CpuEventKind::kHalt:
+        halted_ = true;
+        event.kind = StepEvent::Kind::kInstruction;
+        if (client_ != nullptr) {
+          client_->OnHalt();
+        }
+        break;
+      case CpuEventKind::kWait:
+        waiting_ = true;
+        event.kind = StepEvent::Kind::kInstruction;
+        break;
+      case CpuEventKind::kIllegalInstruction:
+        event.kind = StepEvent::Kind::kTrap;
+        event.trap = TrapInfo{TrapInfo::Kind::kIllegalInstruction, 0, 0};
+        DispatchTrap(event.trap);
+        break;
+      case CpuEventKind::kBusFault:
+        event.kind = StepEvent::Kind::kTrap;
+        event.trap = TrapInfo{TrapInfo::Kind::kMmuFault, 0, cpu_event.fault_addr};
+        DispatchTrap(event.trap);
+        break;
+      case CpuEventKind::kTrap:
+        event.kind = StepEvent::Kind::kTrap;
+        event.trap = TrapInfo{TrapInfo::Kind::kTrapInstruction, cpu_event.trap_code, 0};
+        DispatchTrap(event.trap);
+        break;
+    }
+  }
+  return event;
+}
+
+void Machine::StepDevicePhase(int slot) { devices_[slot]->Step(); }
+
+std::optional<Word> Machine::PeekVirt(VirtAddr addr) const {
+  auto tr = mmu_.Translate(cpu_.psw.mode(), addr, AccessKind::kReadInstruction);
+  if (!tr.translation.has_value()) {
+    return std::nullopt;
+  }
+  const PhysAddr phys = tr.translation->phys;
+  if (phys >= config_.io_base || !memory_.InRange(phys)) {
+    return std::nullopt;
+  }
+  return memory_.Read(phys);
+}
+
+std::size_t Machine::Run(std::size_t max_steps) {
+  std::size_t steps = 0;
+  while (steps < max_steps && !halted_) {
+    Step();
+    ++steps;
+  }
+  return steps;
+}
+
+std::uint64_t Machine::StateHash() const {
+  Hasher h;
+  memory_.AppendHash(h);
+  mmu_.AppendHash(h);
+  cpu_.AppendHash(h);
+  for (const auto& dev : devices_) {
+    dev->AppendHash(h);
+  }
+  h.Mix(static_cast<std::uint64_t>(halted_)).Mix(static_cast<std::uint64_t>(waiting_));
+  return h.digest();
+}
+
+std::vector<Word> Machine::SnapshotFull() const {
+  std::vector<Word> out;
+  out.reserve(memory_.size() + 64);
+  const std::vector<Word>& ram = memory_.raw();
+  out.insert(out.end(), ram.begin(), ram.end());
+  for (int mode = 0; mode < 2; ++mode) {
+    for (int page = 0; page < kPagesPerMode; ++page) {
+      const PageRegister& pr = mmu_.page(static_cast<CpuMode>(mode), page);
+      out.push_back(static_cast<Word>(pr.base & 0xFFFF));
+      out.push_back(static_cast<Word>(pr.base >> 16));
+      out.push_back(static_cast<Word>(pr.length & 0xFFFF));
+      out.push_back(static_cast<Word>(pr.length >> 16));
+      out.push_back(static_cast<Word>(pr.access));
+    }
+  }
+  for (Word r : cpu_.regs) {
+    out.push_back(r);
+  }
+  out.push_back(cpu_.psw.bits());
+  for (const auto& dev : devices_) {
+    std::vector<Word> ds = dev->SnapshotState();
+    out.push_back(static_cast<Word>(ds.size()));
+    out.insert(out.end(), ds.begin(), ds.end());
+  }
+  out.push_back(static_cast<Word>(halted_));
+  out.push_back(static_cast<Word>(waiting_));
+  return out;
+}
+
+}  // namespace sep

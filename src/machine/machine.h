@@ -1,0 +1,190 @@
+// The complete SM-11 machine: CPU + MMU + physical memory + devices.
+//
+// The machine is the "concrete machine" of the paper's Section 4. Its
+// complete state — memory, CPU registers, MMU registers, device state,
+// pending interrupts — is what the Proof-of-Separability abstraction
+// functions project per colour. The machine is deep-cloneable so the checker
+// can replay operations from identical or Φ-equivalent states.
+//
+// Control transfers (traps, kernel-call TRAPs, interrupts) can be handled in
+// two ways:
+//   * a native MachineClient (the separation kernel implemented in C++,
+//     playing the role SUE's machine code played) intercepts them and
+//     manipulates machine state directly; or
+//   * with no client installed, the machine vectors through the in-memory
+//     vector table like real hardware — used by standalone SM-11 programs
+//     and assembler tests.
+//
+// IMPORTANT INVARIANT for verification: a MachineClient must keep ALL of its
+// dynamic state inside the machine's physical memory (its kernel partition),
+// exactly as SUE's data lived in PDP-11 core. Then cloning the machine and
+// attaching an identically-configured client reproduces behaviour exactly,
+// and "the whole concrete state" really is the machine state.
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/types.h"
+#include "src/machine/cpu.h"
+#include "src/machine/device.h"
+#include "src/machine/memory.h"
+#include "src/machine/mmu.h"
+
+namespace sep {
+
+// Hardware vector table layout (physical word addresses) used when no native
+// client is installed. Each vector is two words: new PC, new PSW.
+inline constexpr PhysAddr kVectorIllegal = 2;
+inline constexpr PhysAddr kVectorMmuFault = 4;
+inline constexpr PhysAddr kVectorTrap = 6;
+// Device vectors are assigned per device at construction (>= 16).
+
+// Each device owns an 8-word block of the I/O page.
+inline constexpr int kDeviceRegSpan = 8;
+
+struct MachineConfig {
+  std::size_t memory_words = 1u << 16;
+  PhysAddr io_base = 0x40000;  // device registers live at io_base + slot*8
+};
+
+struct TrapInfo {
+  enum class Kind : std::uint8_t { kTrapInstruction, kIllegalInstruction, kMmuFault } kind =
+      Kind::kTrapInstruction;
+  std::uint16_t code = 0;    // kernel-call code for kTrapInstruction
+  VirtAddr fault_addr = 0;   // for kMmuFault
+};
+
+class Machine;
+
+class MachineClient {
+ public:
+  virtual ~MachineClient() = default;
+  virtual void OnTrap(const TrapInfo& info) = 0;
+  virtual void OnInterrupt(int device_index) = 0;
+  virtual void OnHalt() {}
+  // Called at the top of every CPU phase. A client that has deferred work
+  // for the current context (e.g. the separation kernel completing an AWAIT
+  // or delivering a queued interrupt) performs it and returns true; the
+  // phase then ends without executing an instruction. This keeps every
+  // kernel action attributable to the regime on whose behalf it runs — the
+  // property the Proof-of-Separability colouring relies on.
+  virtual bool OnBeforeExecute() { return false; }
+};
+
+// One machine step, reported for tracing.
+struct StepEvent {
+  enum class Kind : std::uint8_t {
+    kInstruction,
+    kInterrupt,
+    kTrap,
+    kIdle,        // halted or waiting
+    kKernelWork,  // client performed deferred work instead of an instruction
+  } kind = Kind::kInstruction;
+  TrapInfo trap;       // for kTrap
+  int device = -1;     // for kInterrupt
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // Deep clone. Devices are cloned; the client is NOT (attach your own).
+  std::unique_ptr<Machine> Clone() const;
+
+  // --- configuration ---
+
+  // Adds a device; returns its slot index. Register block: io_base + slot*8.
+  int AddDevice(std::unique_ptr<Device> device);
+
+  PhysAddr DeviceRegBase(int slot) const {
+    return config_.io_base + static_cast<PhysAddr>(slot) * kDeviceRegSpan;
+  }
+
+  void set_client(MachineClient* client) { client_ = client; }
+
+  // --- state access ---
+
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  Mmu& mmu() { return mmu_; }
+  const Mmu& mmu() const { return mmu_; }
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  Device& device(int slot) { return *devices_[slot]; }
+  const Device& device(int slot) const { return *devices_[slot]; }
+  Device* FindDevice(const std::string& name);
+
+  bool halted() const { return halted_; }
+  void set_halted(bool halted) { halted_ = halted; }
+  bool waiting() const { return waiting_; }
+  void set_waiting(bool waiting) { waiting_ = waiting; }
+  Tick tick() const { return tick_; }
+
+  const MachineConfig& config() const { return config_; }
+
+  // Privileged physical access (native-kernel use; bypasses the MMU exactly
+  // as kernel-mode code with identity mapping would).
+  Word PhysRead(PhysAddr addr) const;
+  void PhysWrite(PhysAddr addr, Word value);
+
+  // Side-effect-free read through the current mode's mapping: RAM words are
+  // returned as stored; device-register and unmapped addresses yield
+  // nullopt (never touching device state). Used to compute NEXTOP identity.
+  std::optional<Word> PeekVirt(VirtAddr addr) const;
+
+  // --- execution ---
+
+  // One machine step: deliver at most one interrupt or execute one
+  // instruction, then give every device one activity slot.
+  StepEvent Step();
+
+  // The two phases of Step(), separately invokable. The
+  // Proof-of-Separability checker drives them individually: the CPU phase is
+  // the formal model's "operation", each device phase is one unit of I/O
+  // device activity (the Appendix's conditions 3-6).
+  StepEvent StepCpuPhase();
+  void StepDevicePhase(int slot);
+
+  // Highest-priority deliverable interrupt, or -1. Public so the model
+  // adapter can compute COLOUR(s): an operation that will deliver an
+  // interrupt is performed on behalf of the interrupting device's owner.
+  int PendingInterrupt() const;
+
+  // Runs until halted or `max_steps` exhausted; returns steps taken.
+  std::size_t Run(std::size_t max_steps);
+
+  // Hash over the complete machine state (excluding the step counter, which
+  // is bookkeeping rather than architectural state).
+  std::uint64_t StateHash() const;
+
+  // Complete state serialization; two machines are architecturally equal iff
+  // their serializations are equal.
+  std::vector<Word> SnapshotFull() const;
+
+ private:
+  friend class MachineBus;
+
+  void HardwareVector(PhysAddr vector);
+  void DispatchTrap(const TrapInfo& info);
+
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  Mmu mmu_;
+  CpuState cpu_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  MachineClient* client_ = nullptr;
+  bool halted_ = false;
+  bool waiting_ = false;
+  Tick tick_ = 0;
+};
+
+}  // namespace sep
+
+#endif  // SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,76 @@
+// Physical memory for the SM-11.
+//
+// A flat array of 16-bit words. The memory itself enforces nothing — all
+// protection comes from the MMU — but reads and writes are bounds-checked so
+// that simulator bugs surface as hard errors rather than silent corruption.
+#ifndef SRC_MACHINE_MEMORY_H_
+#define SRC_MACHINE_MEMORY_H_
+
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/base/types.h"
+
+namespace sep {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::size_t words) : words_(words, 0) {}
+
+  std::size_t size() const { return words_.size(); }
+
+  Word Read(PhysAddr addr) const {
+    SEP_CHECK(addr < words_.size());
+    return words_[addr];
+  }
+
+  void Write(PhysAddr addr, Word value) {
+    SEP_CHECK(addr < words_.size());
+    words_[addr] = value;
+  }
+
+  bool InRange(PhysAddr addr) const { return addr < words_.size(); }
+
+  // Bulk load used by program loaders; addresses beyond the end are an error.
+  void LoadImage(PhysAddr base, const std::vector<Word>& image) {
+    SEP_CHECK(base + image.size() <= words_.size());
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      words_[base + i] = image[i];
+    }
+  }
+
+  void Fill(PhysAddr base, std::size_t count, Word value) {
+    SEP_CHECK(base + count <= words_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      words_[base + i] = value;
+    }
+  }
+
+  const std::vector<Word>& raw() const { return words_; }
+
+  void AppendHash(Hasher& hasher) const { hasher.MixRange(words_); }
+
+  // Hash of a subrange; used by per-regime abstraction functions.
+  std::uint64_t HashRange(PhysAddr base, std::size_t count) const {
+    Hasher h;
+    for (std::size_t i = 0; i < count; ++i) {
+      h.Mix(words_[base + i]);
+    }
+    return h.digest();
+  }
+
+  std::vector<Word> SnapshotRange(PhysAddr base, std::size_t count) const {
+    SEP_CHECK(base + count <= words_.size());
+    return std::vector<Word>(words_.begin() + base, words_.begin() + base + count);
+  }
+
+  bool operator==(const PhysicalMemory& other) const = default;
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_MACHINE_MEMORY_H_

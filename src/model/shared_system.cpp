@@ -1,0 +1,29 @@
+#include "src/model/shared_system.h"
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+std::string OperationId::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kIdle:
+      out = "idle";
+      break;
+    case Kind::kInstruction:
+      out = "insn";
+      break;
+    case Kind::kInterrupt:
+      out = "irq";
+      break;
+    case Kind::kKernelWork:
+      out = "kwork";
+      break;
+  }
+  for (Word w : detail) {
+    out += Format(" %04X", w);
+  }
+  return out;
+}
+
+}  // namespace sep

@@ -1,0 +1,108 @@
+// Small hand-built SharedSystem implementations with known security
+// status, shared by tests and benches. They serve two purposes:
+//   * validating the checkers themselves (a verifier that cannot refute a
+//     known-leaky system proves nothing by passing a kernel);
+//   * exercising the model interface independent of the machine stack.
+#ifndef SRC_MODEL_TOY_SYSTEMS_H_
+#define SRC_MODEL_TOY_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/model/shared_system.h"
+
+namespace sep {
+
+// Two users with 2-bit private counters and 2-bit I/O cells, alternating
+// scheduler, fully finite state space (a few thousand reachable states).
+// `leak` couples the counters through the operation.
+class TinyTwoUserSystem : public SharedSystem {
+ public:
+  explicit TinyTwoUserSystem(bool leak) : leak_(leak) {}
+
+  std::unique_ptr<SharedSystem> Clone() const override {
+    return std::make_unique<TinyTwoUserSystem>(*this);
+  }
+
+  int ColourCount() const override { return 2; }
+  std::string ColourName(int colour) const override { return colour == 0 ? "red" : "black"; }
+  int Colour() const override { return turn_; }
+
+  OperationId NextOperation() const override {
+    return OperationId{OperationId::Kind::kInstruction,
+                       {static_cast<Word>(counter_[turn_] & 1)}};
+  }
+
+  void ExecuteOperation() override {
+    const int c = turn_;
+    counter_[c] = static_cast<Word>((counter_[c] + 1) & 0x3);
+    if (leak_ && counter_[1 - c] != 0) {
+      counter_[c] = static_cast<Word>((counter_[c] + counter_[1 - c]) & 0x3);
+    }
+    turn_ = 1 - turn_;
+  }
+
+  AbstractState Abstract(int colour) const override {
+    return AbstractState{{counter_[colour], cell_[colour], inbox_[colour]}};
+  }
+
+  int UnitCount() const override { return 2; }
+  int UnitColour(int unit) const override { return unit; }
+  std::string UnitName(int unit) const override { return "cell" + std::to_string(unit); }
+
+  void StepUnit(int unit) override {
+    if (inbox_[unit] != 0) {
+      out_[unit] = cell_[unit];
+      has_out_[unit] = true;
+      cell_[unit] = static_cast<Word>(inbox_[unit] & 0x3);
+      inbox_[unit] = 0;
+    }
+  }
+
+  void InjectInput(int unit, Word value) override {
+    inbox_[unit] = static_cast<Word>(value & 0x3);
+  }
+
+  std::vector<Word> DrainOutput(int unit) override {
+    if (!has_out_[unit]) {
+      return {};
+    }
+    has_out_[unit] = false;
+    return {out_[unit]};
+  }
+
+  void PerturbOthers(int colour, Rng& rng) override {
+    const int other = 1 - colour;
+    counter_[other] = static_cast<Word>(rng.Next() & 0x3);
+    cell_[other] = static_cast<Word>(rng.Next() & 0x3);
+    inbox_[other] = static_cast<Word>(rng.Next() & 0x3);
+    has_out_[other] = false;
+  }
+
+  std::optional<std::vector<Word>> FullState() const override {
+    return std::vector<Word>{static_cast<Word>(turn_),
+                             counter_[0],
+                             counter_[1],
+                             cell_[0],
+                             cell_[1],
+                             inbox_[0],
+                             inbox_[1],
+                             out_[0],
+                             out_[1],
+                             static_cast<Word>(has_out_[0]),
+                             static_cast<Word>(has_out_[1])};
+  }
+
+ private:
+  bool leak_;
+  int turn_ = 0;
+  Word counter_[2] = {0, 0};
+  Word cell_[2] = {0, 0};
+  Word inbox_[2] = {0, 0};
+  Word out_[2] = {0, 0};
+  bool has_out_[2] = {false, false};
+};
+
+}  // namespace sep
+
+#endif  // SRC_MODEL_TOY_SYSTEMS_H_

@@ -1,0 +1,159 @@
+#include "src/security/blp.h"
+
+namespace sep {
+
+const char* AccessModeName(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead:
+      return "read";
+    case AccessMode::kAppend:
+      return "append";
+    case AccessMode::kWrite:
+      return "write";
+    case AccessMode::kExecute:
+      return "execute";
+    case AccessMode::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+Result<> BlpMonitor::AddSubject(Subject subject) {
+  if (!subject.clearance.Dominates(subject.current_level)) {
+    return Err("subject " + subject.name + " current level exceeds clearance");
+  }
+  if (subjects_.count(subject.name) != 0) {
+    return Err("duplicate subject: " + subject.name);
+  }
+  subjects_.emplace(subject.name, std::move(subject));
+  return Ok();
+}
+
+Result<> BlpMonitor::AddObject(Object object) {
+  if (objects_.count(object.name) != 0) {
+    return Err("duplicate object: " + object.name);
+  }
+  objects_.emplace(object.name, std::move(object));
+  return Ok();
+}
+
+Result<> BlpMonitor::RemoveObject(const std::string& name) {
+  if (objects_.erase(name) == 0) {
+    return Err("no such object: " + name);
+  }
+  return Ok();
+}
+
+const Object* BlpMonitor::FindObject(const std::string& name) const {
+  auto it = objects_.find(name);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const Subject* BlpMonitor::FindSubject(const std::string& name) const {
+  auto it = subjects_.find(name);
+  return it == subjects_.end() ? nullptr : &it->second;
+}
+
+Result<> BlpMonitor::SetCurrentLevel(const std::string& subject, const SecurityLevel& level) {
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) {
+    return Err("no such subject: " + subject);
+  }
+  if (!it->second.clearance.Dominates(level)) {
+    return Err("requested level " + level.ToString() + " exceeds clearance of " + subject);
+  }
+  it->second.current_level = level;
+  return Ok();
+}
+
+AccessDecision BlpMonitor::Decide(const Subject& s, const Object& o, AccessMode mode) const {
+  const SecurityLevel& sl = s.current_level;
+  const SecurityLevel& ol = o.classification;
+  switch (mode) {
+    case AccessMode::kExecute:
+      // Pure execute neither observes nor alters in the BLP sense.
+      return {true, "execute-always"};
+    case AccessMode::kRead:
+      // ss-property: simple security — no read up.
+      if (sl.Dominates(ol)) {
+        return {true, "ss-property"};
+      }
+      return {false, "ss-property: subject level does not dominate object"};
+    case AccessMode::kAppend:
+      // Blind write: *-property requires the object level to dominate the
+      // subject level (writes may flow up).
+      if (ol.Dominates(sl)) {
+        return {true, "*-property(append)"};
+      }
+      if (s.trusted && sl.Dominates(ol)) {
+        // The exemption reaches only DOWNWARD: a trusted subject may alter
+        // objects it could observe, never incomparable ones.
+        return {true, "trusted-exemption(append)"};
+      }
+      return {false, "*-property: append down denied"};
+    case AccessMode::kWrite:
+      // Observe-and-alter: levels must be equal (both properties at once).
+      if (sl == ol) {
+        return {true, "ss+*-property(write)"};
+      }
+      if (s.trusted && sl.Dominates(ol)) {
+        return {true, "trusted-exemption(write)"};
+      }
+      if (sl.Dominates(ol)) {
+        return {false, "*-property: write down denied"};
+      }
+      return {false, "ss-property: write up would observe unseen object"};
+    case AccessMode::kDelete:
+      // Deleting an object alters it (and its container); the *-property
+      // therefore forbids deleting objects *below* the subject's level. This
+      // is exactly the spooler dilemma of the paper's Section 1.
+      if (sl == ol) {
+        return {true, "ss+*-property(delete)"};
+      }
+      if (s.trusted && sl.Dominates(ol)) {
+        return {true, "trusted-exemption(delete)"};
+      }
+      if (sl.Dominates(ol)) {
+        return {false, "*-property: delete down denied"};
+      }
+      return {false, "ss-property: delete up denied"};
+  }
+  return {false, "unknown mode"};
+}
+
+AccessDecision BlpMonitor::Check(const std::string& subject, const std::string& object,
+                                 AccessMode mode) {
+  AccessDecision decision;
+  auto s = subjects_.find(subject);
+  auto o = objects_.find(object);
+  if (s == subjects_.end()) {
+    decision = {false, "no such subject"};
+  } else if (o == objects_.end()) {
+    decision = {false, "no such object"};
+  } else {
+    decision = Decide(s->second, o->second, mode);
+  }
+  audit_.push_back({subject, object, mode, decision.granted, decision.rule});
+  return decision;
+}
+
+Result<> BlpMonitor::Require(const std::string& subject, const std::string& object,
+                             AccessMode mode) {
+  AccessDecision d = Check(subject, object, mode);
+  if (!d.granted) {
+    return Err(subject + " " + AccessModeName(mode) + " " + object + " denied: " + d.rule);
+  }
+  return Ok();
+}
+
+std::size_t BlpMonitor::denied_count() const {
+  std::size_t n = 0;
+  for (const AuditRecord& r : audit_) {
+    if (!r.granted) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace sep

@@ -1,0 +1,99 @@
+// A Bell-LaPadula reference monitor.
+//
+// This is the policy engine used *inside* trusted components (the MLS
+// file-server most prominently). It implements the ss-property (no read up),
+// the *-property (no write down) and strong tranquility, with an audit trail
+// of every decision. It also exposes the exemption mechanism ("trusted
+// subject") so that the paper's spooler dilemma — a spooler that must delete
+// lowly-classified spool files while running system-high — can be reproduced
+// exactly: under plain BLP the deletion is denied; conventional kernelized
+// systems resolve this by exempting the spooler from the *-property, which
+// is precisely the 'trusted process' escape hatch the paper criticises.
+#ifndef SRC_SECURITY_BLP_H_
+#define SRC_SECURITY_BLP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/security/level.h"
+
+namespace sep {
+
+enum class AccessMode : std::uint8_t {
+  kRead,     // observe only
+  kAppend,   // alter only (blind write)
+  kWrite,    // observe and alter
+  kExecute,  // neither observe nor alter (in the BLP sense)
+  kDelete,   // alter of the containing directory; treated as alter of object
+};
+
+const char* AccessModeName(AccessMode mode);
+
+struct Subject {
+  std::string name;
+  SecurityLevel clearance;      // maximum level
+  SecurityLevel current_level;  // level this session runs at; must be dominated by clearance
+  bool trusted = false;         // exempt from the *-property (the escape hatch)
+};
+
+struct Object {
+  std::string name;
+  SecurityLevel classification;
+};
+
+struct AccessDecision {
+  bool granted = false;
+  std::string rule;  // which rule granted/denied, for the audit trail
+};
+
+struct AuditRecord {
+  std::string subject;
+  std::string object;
+  AccessMode mode;
+  bool granted;
+  std::string rule;
+};
+
+class BlpMonitor {
+ public:
+  BlpMonitor() = default;
+
+  Result<> AddSubject(Subject subject);
+  Result<> AddObject(Object object);
+  Result<> RemoveObject(const std::string& name);
+
+  bool HasObject(const std::string& name) const { return objects_.count(name) != 0; }
+  const Object* FindObject(const std::string& name) const;
+  const Subject* FindSubject(const std::string& name) const;
+
+  // Changes a subject's current level (login at a lower level). Denied if the
+  // new level is not dominated by the clearance.
+  Result<> SetCurrentLevel(const std::string& subject, const SecurityLevel& level);
+
+  // The reference-monitor decision. Pure: does not mutate object state.
+  AccessDecision Check(const std::string& subject, const std::string& object,
+                       AccessMode mode);
+
+  // Convenience wrapper returning a Result<>.
+  Result<> Require(const std::string& subject, const std::string& object, AccessMode mode);
+
+  const std::vector<AuditRecord>& audit() const { return audit_; }
+  void ClearAudit() { audit_.clear(); }
+
+  // Number of decisions that were denied; used by experiment summaries.
+  std::size_t denied_count() const;
+
+ private:
+  AccessDecision Decide(const Subject& s, const Object& o, AccessMode mode) const;
+
+  std::map<std::string, Subject> subjects_;
+  std::map<std::string, Object> objects_;
+  std::vector<AuditRecord> audit_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_SECURITY_BLP_H_

@@ -1,0 +1,137 @@
+#include "src/security/level.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace sep {
+
+const char* ClassificationName(Classification c) {
+  switch (c) {
+    case Classification::kUnclassified:
+      return "UNCLASSIFIED";
+    case Classification::kConfidential:
+      return "CONFIDENTIAL";
+    case Classification::kSecret:
+      return "SECRET";
+    case Classification::kTopSecret:
+      return "TOP-SECRET";
+  }
+  return "?";
+}
+
+bool SecurityLevel::Dominates(const SecurityLevel& other) const {
+  return classification_ >= other.classification_ && categories_.Contains(other.categories_);
+}
+
+SecurityLevel SecurityLevel::LeastUpperBound(const SecurityLevel& other) const {
+  return SecurityLevel(std::max(classification_, other.classification_),
+                       categories_.Union(other.categories_));
+}
+
+SecurityLevel SecurityLevel::GreatestLowerBound(const SecurityLevel& other) const {
+  return SecurityLevel(std::min(classification_, other.classification_),
+                       categories_.Intersect(other.categories_));
+}
+
+std::string SecurityLevel::ToString() const {
+  std::string out = ClassificationName(classification_);
+  if (!categories_.empty()) {
+    out += " {";
+    bool first = true;
+    for (int bit = 0; bit < 16; ++bit) {
+      if ((categories_.bits() >> bit) & 1) {
+        if (!first) {
+          out += ",";
+        }
+        out += CategoryRegistry::Instance().NameOf(bit);
+        first = false;
+      }
+    }
+    out += "}";
+  }
+  return out;
+}
+
+Result<SecurityLevel> SecurityLevel::Parse(const std::string& text) {
+  std::string trimmed = Trim(text);
+  std::string class_part = trimmed;
+  std::string cat_part;
+  std::size_t brace = trimmed.find('{');
+  if (brace != std::string::npos) {
+    std::size_t close = trimmed.find('}', brace);
+    if (close == std::string::npos) {
+      return Err("unterminated category set in security level: " + text);
+    }
+    class_part = Trim(trimmed.substr(0, brace));
+    cat_part = trimmed.substr(brace + 1, close - brace - 1);
+  }
+
+  std::string upper = ToUpper(class_part);
+  Classification classification;
+  if (upper == "UNCLASSIFIED" || upper == "U") {
+    classification = Classification::kUnclassified;
+  } else if (upper == "CONFIDENTIAL" || upper == "C") {
+    classification = Classification::kConfidential;
+  } else if (upper == "SECRET" || upper == "S") {
+    classification = Classification::kSecret;
+  } else if (upper == "TOP-SECRET" || upper == "TS") {
+    classification = Classification::kTopSecret;
+  } else {
+    return Err("unknown classification: " + class_part);
+  }
+
+  CategorySet categories;
+  if (!cat_part.empty()) {
+    for (const std::string& raw : Split(cat_part, ',')) {
+      std::string name = Trim(raw);
+      if (name.empty()) {
+        continue;
+      }
+      Result<CategorySet> cat = CategoryRegistry::Instance().GetOrRegister(ToUpper(name));
+      if (!cat.ok()) {
+        return Err(cat.error());
+      }
+      categories = categories.Union(*cat);
+    }
+  }
+  return SecurityLevel(classification, categories);
+}
+
+SecurityLevel SecurityLevel::SystemHigh() {
+  return SecurityLevel(Classification::kTopSecret, CategorySet(0xFFFF));
+}
+
+CategoryRegistry& CategoryRegistry::Instance() {
+  static CategoryRegistry registry;
+  return registry;
+}
+
+Result<CategorySet> CategoryRegistry::GetOrRegister(const std::string& name) {
+  for (int i = 0; i < count_; ++i) {
+    if (names_[i] == name) {
+      return CategorySet(static_cast<std::uint16_t>(1u << i));
+    }
+  }
+  if (count_ >= 16) {
+    return Err("category registry full (16 max); cannot register " + name);
+  }
+  names_[count_] = name;
+  return CategorySet(static_cast<std::uint16_t>(1u << count_++));
+}
+
+std::string CategoryRegistry::NameOf(int bit) const {
+  if (bit < 0 || bit >= count_) {
+    return "?";
+  }
+  return names_[bit];
+}
+
+void CategoryRegistry::Reset() {
+  for (auto& n : names_) {
+    n.clear();
+  }
+  count_ = 0;
+}
+
+}  // namespace sep

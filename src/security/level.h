@@ -1,0 +1,119 @@
+// Security levels and the military security lattice.
+//
+// A security level is a pair (hierarchical classification, category set),
+// ordered by the usual dominance relation: L1 dominates L2 iff L1's
+// classification is >= L2's and L1's categories are a superset of L2's.
+// This is the lattice underlying Bell-LaPadula [6] and the multilevel
+// policies the paper's trusted components (file-server, printer-server,
+// guard) enforce. The separation kernel itself knows nothing of it — that is
+// the paper's central point — so this module is used only by components and
+// by the policy-level tests.
+#ifndef SRC_SECURITY_LEVEL_H_
+#define SRC_SECURITY_LEVEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+
+namespace sep {
+
+// Hierarchical classifications in ascending order of sensitivity.
+enum class Classification : std::uint8_t {
+  kUnclassified = 0,
+  kConfidential = 1,
+  kSecret = 2,
+  kTopSecret = 3,
+};
+
+const char* ClassificationName(Classification c);
+
+// A compartment/category set, stored as a bitmask. Up to 16 named categories
+// may be registered; the default registry provides NATO-flavoured examples.
+class CategorySet {
+ public:
+  CategorySet() = default;
+  explicit CategorySet(std::uint16_t bits) : bits_(bits) {}
+
+  static CategorySet None() { return CategorySet(); }
+
+  bool Contains(const CategorySet& other) const { return (bits_ & other.bits_) == other.bits_; }
+  CategorySet Union(const CategorySet& other) const { return CategorySet(bits_ | other.bits_); }
+  CategorySet Intersect(const CategorySet& other) const { return CategorySet(bits_ & other.bits_); }
+
+  bool empty() const { return bits_ == 0; }
+  std::uint16_t bits() const { return bits_; }
+
+  bool operator==(const CategorySet& other) const = default;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+// A point in the security lattice.
+class SecurityLevel {
+ public:
+  SecurityLevel() = default;
+  SecurityLevel(Classification classification, CategorySet categories = CategorySet::None())
+      : classification_(classification), categories_(categories) {}
+
+  Classification classification() const { return classification_; }
+  const CategorySet& categories() const { return categories_; }
+
+  // The dominance partial order: *this >= other in the lattice.
+  bool Dominates(const SecurityLevel& other) const;
+
+  bool StrictlyDominates(const SecurityLevel& other) const {
+    return Dominates(other) && !(*this == other);
+  }
+
+  // Two levels may be incomparable (disjoint category sets).
+  bool ComparableWith(const SecurityLevel& other) const {
+    return Dominates(other) || other.Dominates(*this);
+  }
+
+  // Least upper bound / greatest lower bound. Always defined: the lattice is
+  // a complete product of a chain and a powerset lattice.
+  SecurityLevel LeastUpperBound(const SecurityLevel& other) const;
+  SecurityLevel GreatestLowerBound(const SecurityLevel& other) const;
+
+  bool operator==(const SecurityLevel& other) const = default;
+
+  // Renders e.g. "SECRET {NUC,CRYPTO}".
+  std::string ToString() const;
+
+  // Parses the ToString format; used by configuration files in examples.
+  static Result<SecurityLevel> Parse(const std::string& text);
+
+  static SecurityLevel SystemLow() { return SecurityLevel(Classification::kUnclassified); }
+  static SecurityLevel SystemHigh();
+
+ private:
+  Classification classification_ = Classification::kUnclassified;
+  CategorySet categories_;
+};
+
+// Registry of category names (bit -> name). A fixed global registry keeps
+// levels value-typed and cheap; tests register their own names as needed.
+class CategoryRegistry {
+ public:
+  static CategoryRegistry& Instance();
+
+  // Returns the bitmask for `name`, registering it if new. At most 16
+  // categories can exist; exceeding that is a configuration error.
+  Result<CategorySet> GetOrRegister(const std::string& name);
+
+  // Name for a single-bit mask; "?" if unknown.
+  std::string NameOf(int bit) const;
+
+  void Reset();
+
+ private:
+  CategoryRegistry() = default;
+  std::string names_[16];
+  int count_ = 0;
+};
+
+}  // namespace sep
+
+#endif  // SRC_SECURITY_LEVEL_H_

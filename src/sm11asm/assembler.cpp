@@ -1,0 +1,680 @@
+#include "src/sm11asm/assembler.h"
+
+#include <cctype>
+#include <optional>
+
+#include "src/base/strings.h"
+#include "src/machine/isa.h"
+
+namespace sep {
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::string label;
+  std::string mnemonic;      // upper-cased
+  std::string operand_text;  // untrimmed remainder (may hold several operands)
+  std::string raw;
+};
+
+// --- expression evaluation -------------------------------------------------
+
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const std::map<std::string, Word>& symbols, Word location)
+      : symbols_(symbols), location_(location) {}
+
+  Result<Word> Eval(std::string_view text) {
+    text_ = text;
+    pos_ = 0;
+    Result<long> value = ParseSum();
+    if (!value.ok()) {
+      return Err(value.error());
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters in expression: " + std::string(text_));
+    }
+    return static_cast<Word>(*value & 0xFFFF);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Result<long> ParseSum() {
+    Result<long> left = ParseTerm();
+    if (!left.ok()) {
+      return left;
+    }
+    long acc = *left;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || (text_[pos_] != '+' && text_[pos_] != '-')) {
+        return acc;
+      }
+      char op = text_[pos_++];
+      Result<long> right = ParseTerm();
+      if (!right.ok()) {
+        return right;
+      }
+      acc = (op == '+') ? acc + *right : acc - *right;
+    }
+  }
+
+  Result<long> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Err("expected operand in expression");
+    }
+    char c = text_[pos_];
+    if (c == '-') {
+      ++pos_;
+      Result<long> inner = ParseTerm();
+      if (!inner.ok()) {
+        return inner;
+      }
+      return -*inner;
+    }
+    if (c == '.') {
+      ++pos_;
+      return static_cast<long>(location_);
+    }
+    if (c == '\'') {
+      if (pos_ + 2 >= text_.size() || text_[pos_ + 2] != '\'') {
+        return Err("bad character literal");
+      }
+      long v = static_cast<unsigned char>(text_[pos_ + 1]);
+      pos_ += 3;
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return ParseNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                                     text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string name = ToUpper(text_.substr(start, pos_ - start));
+      auto it = symbols_.find(name);
+      if (it == symbols_.end()) {
+        return Err("undefined symbol: " + name);
+      }
+      return static_cast<long>(it->second);
+    }
+    return Err(std::string("unexpected character in expression: ") + c);
+  }
+
+  Result<long> ParseNumber() {
+    int base = 10;
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size()) {
+      char next = static_cast<char>(std::tolower(static_cast<unsigned char>(text_[pos_ + 1])));
+      if (next == 'x') {
+        base = 16;
+        pos_ += 2;
+      } else if (next == 'o') {
+        base = 8;
+        pos_ += 2;
+      }
+    }
+    long value = 0;
+    bool any = false;
+    while (pos_ < text_.size()) {
+      char c = static_cast<char>(std::tolower(static_cast<unsigned char>(text_[pos_])));
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        break;
+      }
+      if (digit >= base) {
+        return Err("digit out of range for base");
+      }
+      value = value * base + digit;
+      any = true;
+      ++pos_;
+    }
+    if (!any) {
+      return Err("malformed number");
+    }
+    return value;
+  }
+
+  const std::map<std::string, Word>& symbols_;
+  Word location_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --- operand parsing ---------------------------------------------------------
+
+struct ParsedOperand {
+  OperandSpec spec;
+  bool has_ext = false;
+  bool pc_relative = false;  // extension word holds target - (ext_addr + 1)
+  std::string ext_expr;      // evaluated in pass 2
+};
+
+std::optional<int> ParseRegisterName(std::string_view text) {
+  std::string t = ToUpper(Trim(text));
+  if (t == "SP") {
+    return kSp;
+  }
+  if (t == "PC") {
+    return kPc;
+  }
+  if (t.size() == 2 && t[0] == 'R' && t[1] >= '0' && t[1] <= '7') {
+    return t[1] - '0';
+  }
+  return std::nullopt;
+}
+
+// Parses an operand. Position matters because the CPU's addressing mode 2
+// means "immediate value" for sources and "absolute address" for
+// destinations:
+//   * `#expr` — immediate; sources only.
+//   * `@expr` / bare `expr` as destination — absolute address (mode 2).
+//   * `@expr` / bare `expr` as source — memory read, synthesized as
+//     PC-relative indexed addressing (ext = target - PC), since mode 2
+//     cannot express an absolute read.
+Result<ParsedOperand> ParseOperand(std::string_view raw, bool is_src) {
+  std::string text = Trim(raw);
+  if (text.empty()) {
+    return Err("empty operand");
+  }
+  ParsedOperand out;
+
+  if (std::optional<int> reg = ParseRegisterName(text); reg.has_value()) {
+    out.spec = {AddrMode::kReg, static_cast<std::uint8_t>(*reg)};
+    return out;
+  }
+  if (text.front() == '(' && text.back() == ')') {
+    std::optional<int> reg = ParseRegisterName(text.substr(1, text.size() - 2));
+    if (!reg.has_value()) {
+      return Err("bad register in deferred operand: " + text);
+    }
+    out.spec = {AddrMode::kRegDeferred, static_cast<std::uint8_t>(*reg)};
+    return out;
+  }
+  if (text.front() == '#') {
+    if (!is_src) {
+      return Err("immediate (#) operand is only valid as a source: " + text);
+    }
+    out.spec = {AddrMode::kImmediate, 0};
+    out.has_ext = true;
+    out.ext_expr = text.substr(1);
+    return out;
+  }
+  // expr(Rn) indexed form?
+  if (text.back() == ')') {
+    std::size_t open = text.rfind('(');
+    if (open == std::string::npos || open == 0) {
+      return Err("malformed indexed operand: " + text);
+    }
+    std::optional<int> reg = ParseRegisterName(text.substr(open + 1, text.size() - open - 2));
+    if (!reg.has_value()) {
+      return Err("bad register in indexed operand: " + text);
+    }
+    out.spec = {AddrMode::kIndexed, static_cast<std::uint8_t>(*reg)};
+    out.has_ext = true;
+    out.ext_expr = text.substr(0, open);
+    return out;
+  }
+  // `@expr` or bare expression: a memory operand at an absolute address.
+  std::string expr = text.front() == '@' ? text.substr(1) : text;
+  if (is_src) {
+    out.spec = {AddrMode::kIndexed, static_cast<std::uint8_t>(kPc)};
+    out.pc_relative = true;
+  } else {
+    out.spec = {AddrMode::kImmediate, 0};
+  }
+  out.has_ext = true;
+  out.ext_expr = expr;
+  return out;
+}
+
+// Splits an operand field on commas that are not inside quotes/parens.
+std::vector<std::string> SplitOperands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  bool in_quote = false;
+  for (char c : text) {
+    if (c == '"') {
+      in_quote = !in_quote;
+    }
+    if (!in_quote) {
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        out.push_back(Trim(current));
+        current.clear();
+        continue;
+      }
+    }
+    current.push_back(c);
+  }
+  std::string last = Trim(current);
+  if (!last.empty() || !out.empty()) {
+    out.push_back(last);
+  }
+  return out;
+}
+
+std::optional<Opcode> LookupMnemonic(const std::string& name) {
+  static const std::map<std::string, Opcode> kTable = {
+      {"HALT", Opcode::kHalt}, {"NOP", Opcode::kNop},   {"WAIT", Opcode::kWait},
+      {"RTI", Opcode::kRti},   {"RTS", Opcode::kRts},   {"TRAP", Opcode::kTrap},
+      {"MOV", Opcode::kMov},   {"ADD", Opcode::kAdd},   {"SUB", Opcode::kSub},
+      {"CMP", Opcode::kCmp},   {"BIT", Opcode::kBit},   {"BIC", Opcode::kBic},
+      {"BIS", Opcode::kBis},   {"XOR", Opcode::kXor},   {"CLR", Opcode::kClr},
+      {"INC", Opcode::kInc},   {"DEC", Opcode::kDec},   {"NEG", Opcode::kNeg},
+      {"COM", Opcode::kCom},   {"TST", Opcode::kTst},   {"ASR", Opcode::kAsr},
+      {"ASL", Opcode::kAsl},   {"JMP", Opcode::kJmp},   {"JSR", Opcode::kJsr},
+      {"BR", Opcode::kBr},     {"BEQ", Opcode::kBeq},   {"BNE", Opcode::kBne},
+      {"BMI", Opcode::kBmi},   {"BPL", Opcode::kBpl},   {"BCS", Opcode::kBcs},
+      {"BCC", Opcode::kBcc},   {"BVS", Opcode::kBvs},   {"BVC", Opcode::kBvc},
+      {"BLT", Opcode::kBlt},   {"BGE", Opcode::kBge},   {"BGT", Opcode::kBgt},
+      {"BLE", Opcode::kBle},
+  };
+  auto it = kTable.find(name);
+  return it == kTable.end() ? std::nullopt : std::optional<Opcode>(it->second);
+}
+
+Result<Line> Lex(int number, const std::string& raw) {
+  Line line;
+  line.number = number;
+  line.raw = raw;
+
+  std::string text = raw;
+  // Strip comment (respecting string literals).
+  bool in_quote = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '"') {
+      in_quote = !in_quote;
+    } else if (text[i] == ';' && !in_quote) {
+      text = text.substr(0, i);
+      break;
+    }
+  }
+  text = Trim(text);
+  if (text.empty()) {
+    return line;
+  }
+
+  // Label?
+  in_quote = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '"') {
+      in_quote = !in_quote;
+    } else if (text[i] == ':' && !in_quote) {
+      line.label = ToUpper(Trim(text.substr(0, i)));
+      text = Trim(text.substr(i + 1));
+      break;
+    }
+  }
+  if (text.empty()) {
+    return line;
+  }
+
+  std::size_t space = text.find_first_of(" \t");
+  if (space == std::string::npos) {
+    line.mnemonic = ToUpper(text);
+  } else {
+    line.mnemonic = ToUpper(text.substr(0, space));
+    line.operand_text = Trim(text.substr(space + 1));
+  }
+  return line;
+}
+
+struct Chunk {
+  Word address = 0;
+  std::vector<Word> words;
+};
+
+class Assembler {
+ public:
+  Result<AssembledProgram> Run(const std::string& source) {
+    std::vector<std::string> raw_lines = Split(source, '\n');
+    std::vector<Line> lines;
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      Result<Line> line = Lex(static_cast<int>(i + 1), raw_lines[i]);
+      if (!line.ok()) {
+        return Err(Format("line %zu: %s", i + 1, line.error().c_str()));
+      }
+      lines.push_back(*line);
+    }
+
+    // Pass 1: layout + symbol table.
+    if (Result<> r = Pass1(lines); !r.ok()) {
+      return Err(r.error());
+    }
+    // Pass 2: encode.
+    if (Result<> r = Pass2(lines); !r.ok()) {
+      return Err(r.error());
+    }
+
+    // Merge chunks into one contiguous image.
+    AssembledProgram program;
+    program.symbols = symbols_;
+    program.listing = listing_;
+    if (chunks_.empty()) {
+      return program;
+    }
+    Word lo = 0xFFFF;
+    Word hi = 0;
+    for (const Chunk& c : chunks_) {
+      if (c.words.empty()) {
+        continue;
+      }
+      lo = std::min<Word>(lo, c.address);
+      hi = std::max<Word>(hi, static_cast<Word>(c.address + c.words.size()));
+    }
+    if (hi <= lo) {
+      return program;
+    }
+    program.base = lo;
+    program.words.assign(hi - lo, 0);
+    for (const Chunk& c : chunks_) {
+      for (std::size_t i = 0; i < c.words.size(); ++i) {
+        program.words[c.address - lo + i] = c.words[i];
+      }
+    }
+    return program;
+  }
+
+ private:
+  Result<Word> Eval(const std::string& expr, Word location) {
+    return ExprEvaluator(symbols_, location).Eval(expr);
+  }
+
+  // Word length of an instruction line (pass 1).
+  Result<int> InstructionLength(const Line& line) {
+    std::optional<Opcode> op = LookupMnemonic(line.mnemonic);
+    if (!op.has_value()) {
+      return Err("unknown mnemonic: " + line.mnemonic);
+    }
+    std::optional<OperandCount> shape = OpcodeShape(static_cast<std::uint8_t>(*op));
+    std::vector<std::string> operands = SplitOperands(line.operand_text);
+    switch (*shape) {
+      case OperandCount::kZero:
+        return 1;
+      case OperandCount::kTrap:
+      case OperandCount::kBranch:
+        return 1;
+      case OperandCount::kOne: {
+        if (operands.size() != 1) {
+          return Err(line.mnemonic + " takes one operand");
+        }
+        Result<ParsedOperand> dst = ParseOperand(operands[0], /*is_src=*/false);
+        if (!dst.ok()) {
+          return Err(dst.error());
+        }
+        return 1 + (dst->has_ext ? 1 : 0);
+      }
+      case OperandCount::kTwo: {
+        if (operands.size() != 2) {
+          return Err(line.mnemonic + " takes two operands");
+        }
+        Result<ParsedOperand> src = ParseOperand(operands[0], /*is_src=*/true);
+        if (!src.ok()) {
+          return Err(src.error());
+        }
+        Result<ParsedOperand> dst = ParseOperand(operands[1], /*is_src=*/false);
+        if (!dst.ok()) {
+          return Err(dst.error());
+        }
+        return 1 + (src->has_ext ? 1 : 0) + (dst->has_ext ? 1 : 0);
+      }
+    }
+    return Err("bad opcode shape");
+  }
+
+  Result<> Pass1(const std::vector<Line>& lines) {
+    Word location = 0;
+    for (const Line& line : lines) {
+      if (!line.label.empty()) {
+        if (symbols_.count(line.label) != 0) {
+          return Err(Format("line %d: duplicate symbol %s", line.number, line.label.c_str()));
+        }
+        symbols_[line.label] = location;
+      }
+      if (line.mnemonic.empty()) {
+        continue;
+      }
+      if (line.mnemonic == ".ORG") {
+        Result<Word> addr = Eval(line.operand_text, location);
+        if (!addr.ok()) {
+          return Err(Format("line %d: %s", line.number, addr.error().c_str()));
+        }
+        location = *addr;
+        // A label on a .ORG line names the *new* location.
+        if (!line.label.empty()) {
+          symbols_[line.label] = location;
+        }
+        continue;
+      }
+      if (line.mnemonic == ".EQU") {
+        std::vector<std::string> parts = SplitOperands(line.operand_text);
+        if (parts.size() != 2) {
+          return Err(Format("line %d: .EQU needs NAME, VALUE", line.number));
+        }
+        Result<Word> value = Eval(parts[1], location);
+        if (!value.ok()) {
+          return Err(Format("line %d: %s", line.number, value.error().c_str()));
+        }
+        symbols_[ToUpper(parts[0])] = *value;
+        continue;
+      }
+      if (line.mnemonic == ".WORD") {
+        location = static_cast<Word>(location + SplitOperands(line.operand_text).size());
+        continue;
+      }
+      if (line.mnemonic == ".ASCII") {
+        std::string text = Trim(line.operand_text);
+        if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+          return Err(Format("line %d: .ASCII needs a quoted string", line.number));
+        }
+        location = static_cast<Word>(location + text.size() - 2);
+        continue;
+      }
+      if (line.mnemonic == ".BLKW") {
+        Result<Word> count = Eval(line.operand_text, location);
+        if (!count.ok()) {
+          return Err(Format("line %d: %s", line.number, count.error().c_str()));
+        }
+        location = static_cast<Word>(location + *count);
+        continue;
+      }
+      Result<int> len = InstructionLength(line);
+      if (!len.ok()) {
+        return Err(Format("line %d: %s", line.number, len.error().c_str()));
+      }
+      location = static_cast<Word>(location + *len);
+    }
+    return Ok();
+  }
+
+  void Emit(Word word) { current_->words.push_back(word); }
+
+  Word Here() const {
+    return static_cast<Word>(current_->address + current_->words.size());
+  }
+
+  void StartChunk(Word address) {
+    chunks_.push_back(Chunk{address, {}});
+    current_ = &chunks_.back();
+  }
+
+  Result<> Pass2(const std::vector<Line>& lines) {
+    StartChunk(0);
+    for (const Line& line : lines) {
+      if (line.mnemonic.empty()) {
+        continue;
+      }
+      const Word line_start = Here();
+      if (line.mnemonic == ".ORG") {
+        Result<Word> addr = Eval(line.operand_text, Here());
+        if (!addr.ok()) {
+          return Err(Format("line %d: %s", line.number, addr.error().c_str()));
+        }
+        StartChunk(*addr);
+        continue;
+      }
+      if (line.mnemonic == ".EQU") {
+        continue;  // handled in pass 1
+      }
+      if (line.mnemonic == ".WORD") {
+        for (const std::string& expr : SplitOperands(line.operand_text)) {
+          Result<Word> value = Eval(expr, Here());
+          if (!value.ok()) {
+            return Err(Format("line %d: %s", line.number, value.error().c_str()));
+          }
+          Emit(*value);
+        }
+      } else if (line.mnemonic == ".ASCII") {
+        std::string text = Trim(line.operand_text);
+        for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+          Emit(static_cast<Word>(static_cast<unsigned char>(text[i])));
+        }
+      } else if (line.mnemonic == ".BLKW") {
+        Result<Word> count = Eval(line.operand_text, Here());
+        if (!count.ok()) {
+          return Err(Format("line %d: %s", line.number, count.error().c_str()));
+        }
+        for (Word i = 0; i < *count; ++i) {
+          Emit(0);
+        }
+      } else {
+        if (Result<> r = EncodeInstruction(line); !r.ok()) {
+          return r;
+        }
+      }
+      listing_.push_back(Format("%s  %-30s ; words %u..%u", Octal(line_start).c_str(),
+                                Trim(line.raw).c_str(), line_start,
+                                static_cast<unsigned>(Here()) - 1));
+    }
+    return Ok();
+  }
+
+  // Emits an operand extension word. PC-relative operands store the target
+  // displaced by the PC value the CPU will hold after fetching this word.
+  Result<> EmitExtension(const ParsedOperand& operand, const Line& line) {
+    Result<Word> value = Eval(operand.ext_expr, Here());
+    if (!value.ok()) {
+      return Err(Format("line %d: %s", line.number, value.error().c_str()));
+    }
+    Word word = *value;
+    if (operand.pc_relative) {
+      word = static_cast<Word>(word - (Here() + 1));
+    }
+    Emit(word);
+    return Ok();
+  }
+
+  Result<> EncodeInstruction(const Line& line) {
+    std::optional<Opcode> op = LookupMnemonic(line.mnemonic);
+    if (!op.has_value()) {
+      return Err(Format("line %d: unknown mnemonic %s", line.number, line.mnemonic.c_str()));
+    }
+    std::optional<OperandCount> shape = OpcodeShape(static_cast<std::uint8_t>(*op));
+    std::vector<std::string> operands = SplitOperands(line.operand_text);
+
+    switch (*shape) {
+      case OperandCount::kZero:
+        if (!operands.empty() && !(operands.size() == 1 && operands[0].empty())) {
+          return Err(Format("line %d: %s takes no operands", line.number, line.mnemonic.c_str()));
+        }
+        Emit(EncodeZeroOp(*op));
+        return Ok();
+      case OperandCount::kTrap: {
+        Result<Word> code = Eval(line.operand_text, Here());
+        if (!code.ok()) {
+          return Err(Format("line %d: %s", line.number, code.error().c_str()));
+        }
+        if (*code > 0x3FF) {
+          return Err(Format("line %d: trap code out of range", line.number));
+        }
+        Emit(EncodeTrap(*code));
+        return Ok();
+      }
+      case OperandCount::kBranch: {
+        Result<Word> target = Eval(line.operand_text, Here());
+        if (!target.ok()) {
+          return Err(Format("line %d: %s", line.number, target.error().c_str()));
+        }
+        // Offset is relative to the PC after the (one-word) instruction.
+        int offset = static_cast<int>(static_cast<Word>(*target)) - (Here() + 1);
+        if (offset < -128 || offset > 127) {
+          return Err(Format("line %d: branch target out of range (%d words)", line.number,
+                            offset));
+        }
+        Emit(EncodeBranch(*op, static_cast<std::int16_t>(offset)));
+        return Ok();
+      }
+      case OperandCount::kOne: {
+        if (operands.size() != 1) {
+          return Err(Format("line %d: %s takes one operand", line.number, line.mnemonic.c_str()));
+        }
+        Result<ParsedOperand> dst = ParseOperand(operands[0], /*is_src=*/false);
+        if (!dst.ok()) {
+          return Err(Format("line %d: %s", line.number, dst.error().c_str()));
+        }
+        Emit(EncodeOneOp(*op, dst->spec));
+        if (dst->has_ext) {
+          if (Result<> r = EmitExtension(*dst, line); !r.ok()) {
+            return r;
+          }
+        }
+        return Ok();
+      }
+      case OperandCount::kTwo: {
+        if (operands.size() != 2) {
+          return Err(Format("line %d: %s takes two operands", line.number, line.mnemonic.c_str()));
+        }
+        Result<ParsedOperand> src = ParseOperand(operands[0], /*is_src=*/true);
+        if (!src.ok()) {
+          return Err(Format("line %d: %s", line.number, src.error().c_str()));
+        }
+        Result<ParsedOperand> dst = ParseOperand(operands[1], /*is_src=*/false);
+        if (!dst.ok()) {
+          return Err(Format("line %d: %s", line.number, dst.error().c_str()));
+        }
+        Emit(EncodeTwoOp(*op, src->spec, dst->spec));
+        if (src->has_ext) {
+          if (Result<> r = EmitExtension(*src, line); !r.ok()) {
+            return r;
+          }
+        }
+        if (dst->has_ext) {
+          if (Result<> r = EmitExtension(*dst, line); !r.ok()) {
+            return r;
+          }
+        }
+        return Ok();
+      }
+    }
+    return Err("unreachable");
+  }
+
+  std::map<std::string, Word> symbols_;
+  std::vector<Chunk> chunks_;
+  Chunk* current_ = nullptr;
+  std::vector<std::string> listing_;
+};
+
+}  // namespace
+
+Result<AssembledProgram> Assemble(const std::string& source) { return Assembler().Run(source); }
+
+}  // namespace sep

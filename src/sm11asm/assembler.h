@@ -1,0 +1,55 @@
+// A two-pass assembler for SM-11 assembly language.
+//
+// Regime programs in the examples and tests are written as assembly text so
+// that they are realistic machine-code guests of the separation kernel, not
+// C++ callbacks. The language is a compact MACRO-11 dialect:
+//
+//   ; comment to end of line
+//   LABEL:  MOV #5, R0        ; immediate
+//           MOV R0, (R1)      ; register deferred
+//           ADD 2(R2), R3     ; indexed
+//           MOV @0x3F00, R0   ; absolute
+//           CMP R0, #10
+//           BNE LOOP          ; branch to label
+//           JSR SUB           ; bare expression = absolute target
+//           TRAP 3            ; kernel call
+//           HALT
+//   BUF:    .WORD 0, 12, 0xFF ; literal words
+//   MSG:    .ASCII "HI"       ; one word per character
+//           .BLKW 16          ; reserve 16 zeroed words
+//           .ORG 0x0100       ; set location counter (word address)
+//           .EQU NAME, 42     ; define a symbol
+//
+// Expressions: decimal, 0x hex, 0o octal, 'c' character literals, symbols,
+// '.' (current location), and left-associative + and -.
+#ifndef SRC_SM11ASM_ASSEMBLER_H_
+#define SRC_SM11ASM_ASSEMBLER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+
+namespace sep {
+
+struct AssembledProgram {
+  Word base = 0;                        // load address of the first word
+  std::vector<Word> words;              // contiguous image from `base`
+  std::map<std::string, Word> symbols;  // labels and .EQU definitions
+  std::vector<std::string> listing;     // address/code/source lines
+
+  Word EntryPoint() const { return base; }
+  Word SymbolOr(const std::string& name, Word fallback) const {
+    auto it = symbols.find(name);
+    return it == symbols.end() ? fallback : it->second;
+  }
+};
+
+// Assembles `source`; on failure the error names the offending line.
+Result<AssembledProgram> Assemble(const std::string& source);
+
+}  // namespace sep
+
+#endif  // SRC_SM11ASM_ASSEMBLER_H_

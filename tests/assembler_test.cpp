@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/isa.h"
+#include "src/sm11asm/assembler.h"
+
+namespace sep {
+namespace {
+
+TEST(Assembler, EmptyProgram) {
+  auto p = Assemble("; nothing but comments\n\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_TRUE(p->words.empty());
+}
+
+TEST(Assembler, MovImmediate) {
+  auto p = Assemble("MOV #5, R0\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 2u);
+  auto insn = Decode(p->words[0]);
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->opcode, Opcode::kMov);
+  EXPECT_EQ(insn->src.mode, AddrMode::kImmediate);
+  EXPECT_EQ(p->words[1], 5);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  auto p = Assemble(R"(
+START:  CLR R0
+LOOP:   INC R0
+        CMP #3, R0
+        BNE LOOP
+        HALT
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_EQ(p->SymbolOr("START", 99), 0);
+  EXPECT_EQ(p->SymbolOr("LOOP", 99), 1);
+}
+
+TEST(Assembler, NumberBases) {
+  auto p = Assemble(".WORD 10, 0x10, 0o10, 'A'\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 4u);
+  EXPECT_EQ(p->words[0], 10);
+  EXPECT_EQ(p->words[1], 16);
+  EXPECT_EQ(p->words[2], 8);
+  EXPECT_EQ(p->words[3], 'A');
+}
+
+TEST(Assembler, ExpressionsWithSymbols) {
+  auto p = Assemble(R"(
+        .EQU BASE, 0x100
+        .WORD BASE + 2, BASE - 1
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_EQ(p->words[0], 0x102);
+  EXPECT_EQ(p->words[1], 0x0FF);
+}
+
+TEST(Assembler, AsciiAndBlkw) {
+  auto p = Assemble(R"(
+MSG:    .ASCII "HI"
+BUF:    .BLKW 3
+END:    .WORD 0xFFFF
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 6u);
+  EXPECT_EQ(p->words[0], 'H');
+  EXPECT_EQ(p->words[1], 'I');
+  EXPECT_EQ(p->SymbolOr("BUF", 99), 2);
+  EXPECT_EQ(p->SymbolOr("END", 99), 5);
+}
+
+TEST(Assembler, OrgSetsLocation) {
+  auto p = Assemble(R"(
+        .ORG 0x10
+        .WORD 1
+        .ORG 0x20
+HERE:   .WORD 2
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_EQ(p->base, 0x10);
+  EXPECT_EQ(p->words.size(), 0x11u);  // 0x10..0x20 inclusive
+  EXPECT_EQ(p->words[0], 1);
+  EXPECT_EQ(p->words[0x10], 2);
+  EXPECT_EQ(p->SymbolOr("HERE", 0), 0x20);
+}
+
+TEST(Assembler, BranchOutOfRangeRejected) {
+  std::string source = "START: NOP\n";
+  for (int i = 0; i < 200; ++i) {
+    source += "       NOP\n";
+  }
+  source += "       BR START\n";
+  auto p = Assemble(source);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().find("out of range"), std::string::npos);
+}
+
+TEST(Assembler, UndefinedSymbolRejected) {
+  auto p = Assemble("BR NOWHERE\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().find("undefined symbol"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  auto p = Assemble("A: NOP\nA: NOP\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().find("duplicate"), std::string::npos);
+}
+
+TEST(Assembler, ImmediateDestinationRejected) {
+  auto p = Assemble("MOV R0, #5\n");
+  ASSERT_FALSE(p.ok());
+}
+
+TEST(Assembler, PcRelativeSourceReadsMemory) {
+  // MOV VAR, R0 assembles to indexed-on-PC; the extension word holds the
+  // displacement from the post-fetch PC to VAR.
+  auto p = Assemble(R"(
+        MOV VAR, R0
+        HALT
+VAR:    .WORD 77
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 4u);
+  auto insn = Decode(p->words[0]);
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->src.mode, AddrMode::kIndexed);
+  EXPECT_EQ(insn->src.reg, kPc);
+  // ext at address 1; PC after fetching it = 2; VAR = 3 -> displacement 1.
+  EXPECT_EQ(p->words[1], 1);
+}
+
+TEST(Assembler, TrapCodes) {
+  auto p = Assemble("TRAP 7\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  auto insn = Decode(p->words[0]);
+  EXPECT_EQ(insn->trap_code, 7);
+  EXPECT_FALSE(Assemble("TRAP 0x400\n").ok());  // > 10 bits
+}
+
+TEST(Assembler, IndexedOperands) {
+  auto p = Assemble("MOV 2(R3), 4(R4)\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 3u);
+  EXPECT_EQ(p->words[1], 2);
+  EXPECT_EQ(p->words[2], 4);
+}
+
+TEST(Assembler, SpAndPcAliases) {
+  auto p = Assemble("MOV SP, R0\nMOV PC, R1\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  auto i0 = Decode(p->words[0]);
+  EXPECT_EQ(i0->src.reg, kSp);
+  auto i1 = Decode(p->words[1]);
+  EXPECT_EQ(i1->src.reg, kPc);
+}
+
+TEST(Assembler, CommentsInsideStrings) {
+  auto p = Assemble(".ASCII \"A;B\"\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 3u);
+  EXPECT_EQ(p->words[1], ';');
+}
+
+TEST(Assembler, ListingProduced) {
+  auto p = Assemble("START: MOV #1, R0\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_FALSE(p->listing.empty());
+  EXPECT_NE(p->listing[0].find("MOV"), std::string::npos);
+}
+
+
+TEST(Assembler, UnaryMinusInExpressions) {
+  auto p = Assemble(".WORD -1, -0x10, 5 + -2\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 3u);
+  EXPECT_EQ(p->words[0], 0xFFFF);
+  EXPECT_EQ(p->words[1], static_cast<Word>(-16));
+  EXPECT_EQ(p->words[2], 3);
+}
+
+TEST(Assembler, NegativeImmediates) {
+  auto p = Assemble("MOV #-1, R0\n");
+  ASSERT_TRUE(p.ok()) << p.error();
+  ASSERT_EQ(p->words.size(), 2u);
+  EXPECT_EQ(p->words[1], 0xFFFF);
+}
+
+}  // namespace
+}  // namespace sep

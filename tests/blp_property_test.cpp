@@ -1,0 +1,114 @@
+// Property sweeps of the Bell-LaPadula reference monitor over randomized
+// lattice points: the decision rules as algebraic laws.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/security/blp.h"
+
+namespace sep {
+namespace {
+
+SecurityLevel RandomLevel(Rng& rng) {
+  return SecurityLevel(static_cast<Classification>(rng.NextBelow(4)),
+                       CategorySet(static_cast<std::uint16_t>(rng.Next() & 0x000F)));
+}
+
+class BlpLawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlpLawSweep, DecisionRulesMatchLatticeExactly) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const SecurityLevel subject_level = RandomLevel(rng);
+    const SecurityLevel object_level = RandomLevel(rng);
+
+    BlpMonitor monitor;
+    ASSERT_TRUE(monitor.AddSubject({"s", subject_level, subject_level, false}).ok());
+    ASSERT_TRUE(monitor.AddObject({"o", object_level}).ok());
+
+    // ss-property: read iff subject dominates object.
+    EXPECT_EQ(monitor.Check("s", "o", AccessMode::kRead).granted,
+              subject_level.Dominates(object_level));
+    // *-property: append iff object dominates subject.
+    EXPECT_EQ(monitor.Check("s", "o", AccessMode::kAppend).granted,
+              object_level.Dominates(subject_level));
+    // write iff levels equal.
+    EXPECT_EQ(monitor.Check("s", "o", AccessMode::kWrite).granted,
+              subject_level == object_level);
+    // delete iff levels equal (untrusted).
+    EXPECT_EQ(monitor.Check("s", "o", AccessMode::kDelete).granted,
+              subject_level == object_level);
+    // execute always.
+    EXPECT_TRUE(monitor.Check("s", "o", AccessMode::kExecute).granted);
+  }
+}
+
+TEST_P(BlpLawSweep, NoReadWritePairEverCrossesLevels) {
+  // The composition law behind "no leak": if s can READ o1 and WRITE/APPEND
+  // o2, then level(o2) dominates level(o1) — information can only move up.
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 300; ++trial) {
+    const SecurityLevel s = RandomLevel(rng);
+    const SecurityLevel o1 = RandomLevel(rng);
+    const SecurityLevel o2 = RandomLevel(rng);
+
+    BlpMonitor monitor;
+    ASSERT_TRUE(monitor.AddSubject({"s", s, s, false}).ok());
+    ASSERT_TRUE(monitor.AddObject({"o1", o1}).ok());
+    ASSERT_TRUE(monitor.AddObject({"o2", o2}).ok());
+
+    const bool can_read = monitor.Check("s", "o1", AccessMode::kRead).granted;
+    const bool can_alter = monitor.Check("s", "o2", AccessMode::kAppend).granted ||
+                           monitor.Check("s", "o2", AccessMode::kWrite).granted;
+    if (can_read && can_alter) {
+      EXPECT_TRUE(o2.Dominates(o1))
+          << "leak path: read " << o1.ToString() << " -> alter " << o2.ToString()
+          << " at subject level " << s.ToString();
+    }
+  }
+}
+
+TEST_P(BlpLawSweep, TrustedExemptionOnlyWidensAlterDown) {
+  // A trusted subject gains exactly the downward alterations; reads are
+  // unchanged (trust does not breach the ss-property).
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 300; ++trial) {
+    const SecurityLevel s = RandomLevel(rng);
+    const SecurityLevel o = RandomLevel(rng);
+
+    BlpMonitor plain;
+    ASSERT_TRUE(plain.AddSubject({"s", s, s, false}).ok());
+    ASSERT_TRUE(plain.AddObject({"o", o}).ok());
+    BlpMonitor trusted;
+    ASSERT_TRUE(trusted.AddSubject({"s", s, s, true}).ok());
+    ASSERT_TRUE(trusted.AddObject({"o", o}).ok());
+
+    EXPECT_EQ(plain.Check("s", "o", AccessMode::kRead).granted,
+              trusted.Check("s", "o", AccessMode::kRead).granted);
+    // Everything plain grants, trusted also grants (monotone).
+    for (AccessMode mode : {AccessMode::kAppend, AccessMode::kWrite, AccessMode::kDelete}) {
+      if (plain.Check("s", "o", mode).granted) {
+        EXPECT_TRUE(trusted.Check("s", "o", mode).granted);
+      }
+    }
+    // And any extra grant is a downward alteration.
+    for (AccessMode mode : {AccessMode::kAppend, AccessMode::kWrite, AccessMode::kDelete}) {
+      BlpMonitor p2;
+      ASSERT_TRUE(p2.AddSubject({"s", s, s, false}).ok());
+      ASSERT_TRUE(p2.AddObject({"o", o}).ok());
+      BlpMonitor t2;
+      ASSERT_TRUE(t2.AddSubject({"s", s, s, true}).ok());
+      ASSERT_TRUE(t2.AddObject({"o", o}).ok());
+      const bool plain_grant = p2.Check("s", "o", mode).granted;
+      const bool trusted_grant = t2.Check("s", "o", mode).granted;
+      if (trusted_grant && !plain_grant) {
+        EXPECT_TRUE(s.Dominates(o));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlpLawSweep, ::testing::Values(1u, 17u, 4242u));
+
+// Link FIFO property across latency/capacity combinations.
+}  // namespace
+}  // namespace sep

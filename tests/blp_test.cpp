@@ -1,0 +1,138 @@
+// Bell-LaPadula reference-monitor tests, including the paper's Section 1
+// spooler dilemma (experiment E7): a system-high spooler cannot delete
+// lowly-classified spool files without a trusted-process exemption.
+#include <gtest/gtest.h>
+
+#include "src/security/blp.h"
+
+namespace sep {
+namespace {
+
+SecurityLevel Unc() { return SecurityLevel(Classification::kUnclassified); }
+SecurityLevel Sec() { return SecurityLevel(Classification::kSecret); }
+SecurityLevel Top() { return SecurityLevel(Classification::kTopSecret); }
+
+class BlpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CategoryRegistry::Instance().Reset();
+    ASSERT_TRUE(monitor_.AddSubject({"low", Unc(), Unc(), false}).ok());
+    ASSERT_TRUE(monitor_.AddSubject({"mid", Sec(), Sec(), false}).ok());
+    ASSERT_TRUE(monitor_.AddSubject({"high", Top(), Top(), false}).ok());
+    ASSERT_TRUE(monitor_.AddObject({"file.u", Unc()}).ok());
+    ASSERT_TRUE(monitor_.AddObject({"file.s", Sec()}).ok());
+    ASSERT_TRUE(monitor_.AddObject({"file.ts", Top()}).ok());
+  }
+
+  BlpMonitor monitor_;
+};
+
+TEST_F(BlpTest, SsPropertyNoReadUp) {
+  EXPECT_FALSE(monitor_.Check("low", "file.s", AccessMode::kRead).granted);
+  EXPECT_FALSE(monitor_.Check("mid", "file.ts", AccessMode::kRead).granted);
+  EXPECT_TRUE(monitor_.Check("high", "file.u", AccessMode::kRead).granted);
+  EXPECT_TRUE(monitor_.Check("mid", "file.s", AccessMode::kRead).granted);
+}
+
+TEST_F(BlpTest, StarPropertyNoWriteDown) {
+  EXPECT_FALSE(monitor_.Check("high", "file.u", AccessMode::kWrite).granted);
+  EXPECT_FALSE(monitor_.Check("mid", "file.u", AccessMode::kWrite).granted);
+  EXPECT_TRUE(monitor_.Check("mid", "file.s", AccessMode::kWrite).granted);
+}
+
+TEST_F(BlpTest, AppendUpAllowed) {
+  // Blind append flows information upward only: permitted.
+  EXPECT_TRUE(monitor_.Check("low", "file.ts", AccessMode::kAppend).granted);
+  EXPECT_FALSE(monitor_.Check("high", "file.u", AccessMode::kAppend).granted);
+}
+
+TEST_F(BlpTest, WriteUpDeniedBySsProperty) {
+  // Write implies observation, so writing up is denied too.
+  EXPECT_FALSE(monitor_.Check("low", "file.ts", AccessMode::kWrite).granted);
+}
+
+TEST_F(BlpTest, ExecuteAlwaysAllowed) {
+  EXPECT_TRUE(monitor_.Check("low", "file.ts", AccessMode::kExecute).granted);
+}
+
+TEST_F(BlpTest, UnknownSubjectOrObjectDenied) {
+  EXPECT_FALSE(monitor_.Check("ghost", "file.u", AccessMode::kRead).granted);
+  EXPECT_FALSE(monitor_.Check("low", "ghost", AccessMode::kRead).granted);
+}
+
+TEST_F(BlpTest, CurrentLevelLogin) {
+  // A TS-cleared user logging in at UNCLASSIFIED may write low files.
+  ASSERT_TRUE(monitor_.SetCurrentLevel("high", Unc()).ok());
+  EXPECT_TRUE(monitor_.Check("high", "file.u", AccessMode::kWrite).granted);
+  EXPECT_FALSE(monitor_.Check("high", "file.ts", AccessMode::kRead).granted);
+}
+
+TEST_F(BlpTest, CurrentLevelCannotExceedClearance) {
+  EXPECT_FALSE(monitor_.SetCurrentLevel("low", Top()).ok());
+}
+
+TEST_F(BlpTest, AuditTrailRecordsEverything) {
+  monitor_.ClearAudit();
+  monitor_.Check("low", "file.s", AccessMode::kRead);
+  monitor_.Check("mid", "file.s", AccessMode::kRead);
+  ASSERT_EQ(monitor_.audit().size(), 2u);
+  EXPECT_FALSE(monitor_.audit()[0].granted);
+  EXPECT_TRUE(monitor_.audit()[1].granted);
+  EXPECT_EQ(monitor_.denied_count(), 1u);
+}
+
+// --- E7: the spooler dilemma -------------------------------------------------
+
+class SpoolerDilemmaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CategoryRegistry::Instance().Reset();
+    // The spooler runs system-high so it can read spool files of all
+    // classifications (the paper's Section 1 setup).
+    ASSERT_TRUE(monitor_.AddSubject({"spooler", Top(), Top(), false}).ok());
+    ASSERT_TRUE(monitor_.AddObject({"spool/low-job", Unc()}).ok());
+    ASSERT_TRUE(monitor_.AddObject({"spool/high-job", Top()}).ok());
+  }
+
+  BlpMonitor monitor_;
+};
+
+TEST_F(SpoolerDilemmaTest, SpoolerCanReadAllSpoolFiles) {
+  EXPECT_TRUE(monitor_.Check("spooler", "spool/low-job", AccessMode::kRead).granted);
+  EXPECT_TRUE(monitor_.Check("spooler", "spool/high-job", AccessMode::kRead).granted);
+}
+
+TEST_F(SpoolerDilemmaTest, DeleteAfterPrintViolatesStarProperty) {
+  // The dilemma itself: after printing the low job, the high spooler cannot
+  // delete its spool file — deletion is an alteration of a lower object.
+  AccessDecision d = monitor_.Check("spooler", "spool/low-job", AccessMode::kDelete);
+  EXPECT_FALSE(d.granted);
+  EXPECT_NE(d.rule.find("*-property"), std::string::npos);
+}
+
+TEST_F(SpoolerDilemmaTest, TrustedProcessExemptionResolvesItBadly) {
+  // The conventional-kernel escape hatch: mark the spooler trusted. The
+  // deletion is now granted — and the kernel is no longer the sole arbiter
+  // of security, which is the paper's complaint.
+  BlpMonitor m;
+  ASSERT_TRUE(m.AddSubject({"spooler", Top(), Top(), /*trusted=*/true}).ok());
+  ASSERT_TRUE(m.AddObject({"spool/low-job", Unc()}).ok());
+  AccessDecision d = m.Check("spooler", "spool/low-job", AccessMode::kDelete);
+  EXPECT_TRUE(d.granted);
+  EXPECT_NE(d.rule.find("trusted-exemption"), std::string::npos);
+}
+
+TEST_F(SpoolerDilemmaTest, DistributedPrinterServerNeedsNoExemption) {
+  // The paper's resolution: a dedicated printer-server owns the spool files
+  // at its own level per job — file operations happen at matching levels,
+  // so plain BLP suffices with no trusted exemption anywhere.
+  BlpMonitor m;
+  ASSERT_TRUE(m.AddSubject({"printer-server@low", Top(), Unc(), false}).ok());
+  ASSERT_TRUE(m.AddObject({"spool/low-job", Unc()}).ok());
+  EXPECT_TRUE(m.Check("printer-server@low", "spool/low-job", AccessMode::kRead).granted);
+  EXPECT_TRUE(m.Check("printer-server@low", "spool/low-job", AccessMode::kDelete).granted);
+  EXPECT_EQ(m.denied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sep

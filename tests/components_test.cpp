@@ -1,0 +1,274 @@
+// Printer-server (E7's distributed resolution), auth server, and guard
+// (E8) behaviour tests.
+#include <gtest/gtest.h>
+
+#include "src/components/auth.h"
+#include "src/components/guard.h"
+#include "src/components/printserver.h"
+
+namespace sep {
+namespace {
+
+SecurityLevel Unc() { return SecurityLevel(Classification::kUnclassified); }
+SecurityLevel Sec() { return SecurityLevel(Classification::kSecret); }
+
+// --- printer-server ----------------------------------------------------------
+
+struct PrintRig {
+  Network net;
+  PrintServer* server = nullptr;
+  std::vector<PrintClient*> clients;
+
+  PrintRig(std::vector<PrintUser> users, std::vector<std::vector<std::string>> jobs) {
+    auto owned = std::make_unique<PrintServer>(users);
+    server = owned.get();
+    int server_node = net.AddNode(std::move(owned));
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      auto client = std::make_unique<PrintClient>(users[i].name, jobs[i]);
+      clients.push_back(client.get());
+      int node = net.AddNode(std::move(client));
+      net.Connect(node, server_node);
+      net.Connect(server_node, node);
+    }
+  }
+};
+
+TEST(PrintServer, BannerCarriesClassification) {
+  CategoryRegistry::Instance().Reset();
+  PrintRig rig({{"alice", Sec()}}, {{"the payload"}});
+  rig.net.Run(500);
+  EXPECT_EQ(rig.server->jobs_completed(), 1u);
+  EXPECT_NE(rig.server->printed().find("=== SECRET ==="), std::string::npos);
+  EXPECT_NE(rig.server->printed().find("the payload"), std::string::npos);
+}
+
+TEST(PrintServer, JobsAreSerializedNotInterleaved) {
+  CategoryRegistry::Instance().Reset();
+  PrintRig rig({{"a", Unc()}, {"b", Sec()}},
+               {{"AAAAAAAAAAAAAAAAAAAA"}, {"BBBBBBBBBBBBBBBBBBBB"}});
+  rig.net.Run(1000);
+  EXPECT_EQ(rig.server->jobs_completed(), 2u);
+  const std::string& out = rig.server->printed();
+  // Once a B appears, no later A may appear within the body region (and
+  // vice versa): check there is no "AB+A" or "BA+B" interleaving.
+  std::size_t first_b = out.find('B');
+  std::size_t last_a = out.rfind('A');
+  std::size_t first_a = out.find('A');
+  std::size_t last_b = out.rfind('B');
+  const bool a_then_b = last_a < first_b;
+  const bool b_then_a = last_b < first_a;
+  EXPECT_TRUE(a_then_b || b_then_a) << out;
+}
+
+TEST(PrintServer, SpoolDeletedAfterPrintWithoutExemption) {
+  CategoryRegistry::Instance().Reset();
+  PrintRig rig({{"low", Unc()}}, {{"job text"}});
+  rig.net.Run(500);
+  EXPECT_EQ(rig.server->spool_backlog(), 0u);
+  EXPECT_EQ(rig.server->jobs_completed(), 1u);
+  // THE point of E7: every spool operation (write, read, delete) was
+  // granted by plain BLP — zero denials, zero trusted exemptions.
+  EXPECT_EQ(rig.server->monitor().denied_count(), 0u);
+  for (const AuditRecord& record : rig.server->monitor().audit()) {
+    EXPECT_EQ(record.rule.find("trusted-exemption"), std::string::npos);
+  }
+}
+
+TEST(PrintServer, CompletionNoticesGoOnlyToSubmitter) {
+  CategoryRegistry::Instance().Reset();
+  PrintRig rig({{"a", Unc()}, {"b", Sec()}}, {{"one", "two"}, {}});
+  rig.net.Run(1000);
+  EXPECT_EQ(rig.clients[0]->completions(), 2u);
+  EXPECT_EQ(rig.clients[1]->completions(), 0u);
+}
+
+// --- auth server -------------------------------------------------------------
+
+struct AuthRig {
+  Network net;
+  AuthServer* server = nullptr;
+  MessageSink* unused = nullptr;
+
+  struct Terminal : Process {
+    std::vector<Frame> script;
+    std::size_t next = 0;
+    std::vector<Frame> replies;
+    FrameReader reader;
+    FrameWriter writer;
+    Tick send_every;
+    explicit Terminal(std::vector<Frame> s, Tick interval = 1)
+        : script(std::move(s)), send_every(interval) {}
+    std::string name() const override { return "terminal"; }
+    void Step(NodeContext& ctx) override {
+      reader.Poll(ctx, 0);
+      while (auto f = reader.Next()) {
+        replies.push_back(*f);
+      }
+      if (next < script.size() && writer.idle() && ctx.now() % send_every == 0) {
+        writer.Queue(script[next++]);
+      }
+      writer.Flush(ctx, 0);
+    }
+  };
+
+  Terminal* terminal = nullptr;
+
+  AuthRig(std::vector<AuthUser> users, std::vector<Frame> script, AuthOptions options = {},
+          Tick interval = 1) {
+    auto owned = std::make_unique<AuthServer>(std::move(users), options);
+    server = owned.get();
+    int server_node = net.AddNode(std::move(owned));
+    auto term = std::make_unique<Terminal>(std::move(script), interval);
+    terminal = term.get();
+    int term_node = net.AddNode(std::move(term));
+    net.Connect(term_node, server_node);
+    net.Connect(server_node, term_node);
+  }
+};
+
+TEST(AuthServer, GrantsValidLogin) {
+  CategoryRegistry::Instance().Reset();
+  AuthRig rig({{"alice", "hunter2", Sec()}},
+              {AuthLoginRequest(Sec(), "alice", "hunter2")});
+  rig.net.Run(100);
+  ASSERT_EQ(rig.terminal->replies.size(), 1u);
+  EXPECT_EQ(rig.terminal->replies[0].type, kAuthGranted);
+  const Word token = rig.terminal->replies[0].fields[0];
+  AuthServer::SessionInfo info = rig.server->Validate(token);
+  EXPECT_TRUE(info.valid);
+  EXPECT_EQ(info.user, "alice");
+  EXPECT_EQ(info.level, Sec());
+}
+
+TEST(AuthServer, RejectsWrongPassword) {
+  CategoryRegistry::Instance().Reset();
+  AuthRig rig({{"alice", "hunter2", Sec()}},
+              {AuthLoginRequest(Sec(), "alice", "password1")});
+  rig.net.Run(100);
+  ASSERT_EQ(rig.terminal->replies.size(), 1u);
+  EXPECT_EQ(rig.terminal->replies[0].type, kAuthDenied);
+  EXPECT_EQ(rig.terminal->replies[0].fields[0], kAuthReasonBadCredentials);
+}
+
+TEST(AuthServer, RejectsLevelAboveClearance) {
+  CategoryRegistry::Instance().Reset();
+  AuthRig rig({{"bob", "pw", Unc()}}, {AuthLoginRequest(Sec(), "bob", "pw")});
+  rig.net.Run(100);
+  ASSERT_EQ(rig.terminal->replies.size(), 1u);
+  EXPECT_EQ(rig.terminal->replies[0].fields[0], kAuthReasonLevelExceedsClearance);
+}
+
+TEST(AuthServer, LoginBelowClearanceAllowed) {
+  CategoryRegistry::Instance().Reset();
+  AuthRig rig({{"alice", "hunter2", Sec()}},
+              {AuthLoginRequest(Unc(), "alice", "hunter2")});
+  rig.net.Run(100);
+  ASSERT_EQ(rig.terminal->replies.size(), 1u);
+  EXPECT_EQ(rig.terminal->replies[0].type, kAuthGranted);
+  EXPECT_EQ(DecodeLevel(rig.terminal->replies[0].fields[1]), Unc());
+}
+
+TEST(AuthServer, LockoutAfterRepeatedFailures) {
+  CategoryRegistry::Instance().Reset();
+  AuthOptions options;
+  options.max_failures = 3;
+  options.lockout_steps = 1000;
+  AuthRig rig({{"alice", "hunter2", Sec()}},
+              {AuthLoginRequest(Sec(), "alice", "a"), AuthLoginRequest(Sec(), "alice", "b"),
+               AuthLoginRequest(Sec(), "alice", "c"),
+               AuthLoginRequest(Sec(), "alice", "hunter2")},  // correct, but locked out
+              options);
+  rig.net.Run(200);
+  ASSERT_EQ(rig.terminal->replies.size(), 4u);
+  EXPECT_EQ(rig.terminal->replies[3].type, kAuthDenied);
+  EXPECT_EQ(rig.terminal->replies[3].fields[0], kAuthReasonLockedOut);
+}
+
+TEST(AuthServer, UnknownTokenInvalid) {
+  CategoryRegistry::Instance().Reset();
+  AuthRig rig({{"alice", "hunter2", Sec()}}, {});
+  EXPECT_FALSE(rig.server->Validate(0x9999).valid);
+}
+
+// --- guard (E8) ---------------------------------------------------------------
+
+struct GuardRig {
+  Network net;
+  Guard* guard = nullptr;
+  MessageSink* low_sink = nullptr;
+  MessageSink* high_sink = nullptr;
+
+  GuardRig(std::vector<std::string> low_msgs, std::vector<std::string> high_msgs,
+           ReviewPolicy policy = DefaultWatchOfficer) {
+    auto owned = std::make_unique<Guard>(std::move(policy));
+    guard = owned.get();
+    int guard_node = net.AddNode(std::move(owned));
+    int low_src = net.AddNode(std::make_unique<MessageSource>("low-sys", std::move(low_msgs)));
+    int high_src = net.AddNode(std::make_unique<MessageSource>("high-sys", std::move(high_msgs)));
+    auto low_owned = std::make_unique<MessageSink>("low-sink");
+    low_sink = low_owned.get();
+    int low_sink_node = net.AddNode(std::move(low_owned));
+    auto high_owned = std::make_unique<MessageSink>("high-sink");
+    high_sink = high_owned.get();
+    int high_sink_node = net.AddNode(std::move(high_owned));
+
+    net.Connect(low_src, guard_node);    // guard in0 = from LOW
+    net.Connect(high_src, guard_node);   // guard in1 = from HIGH
+    net.Connect(guard_node, low_sink_node);   // guard out0 = to LOW
+    net.Connect(guard_node, high_sink_node);  // guard out1 = to HIGH
+  }
+};
+
+TEST(Guard, LowToHighPassesUnhindered) {
+  GuardRig rig({"status report 1", "status report 2"}, {});
+  rig.net.Run(300);
+  ASSERT_EQ(rig.high_sink->received().size(), 2u);
+  EXPECT_EQ(rig.high_sink->received()[0], "status report 1");
+  EXPECT_EQ(rig.guard->stats().low_to_high, 2u);
+}
+
+TEST(Guard, HighToLowRequiresReview) {
+  GuardRig rig({}, {"UNCLAS:weather is fine", "TOP SECRET battle plan"});
+  rig.net.Run(300);
+  ASSERT_EQ(rig.low_sink->received().size(), 1u);
+  EXPECT_EQ(rig.low_sink->received()[0], "UNCLAS:weather is fine");
+  EXPECT_EQ(rig.guard->stats().high_to_low_released, 1u);
+  EXPECT_EQ(rig.guard->stats().high_to_low_denied, 1u);
+}
+
+TEST(Guard, RedactionMasksDigits) {
+  GuardRig rig({}, {"REVIEW:convoy at grid 1234 5678"});
+  rig.net.Run(300);
+  ASSERT_EQ(rig.low_sink->received().size(), 1u);
+  EXPECT_EQ(rig.low_sink->received()[0], "convoy at grid #### ####");
+  EXPECT_EQ(rig.guard->stats().high_to_low_redacted, 1u);
+}
+
+TEST(Guard, ReviewDelayHoldsMessages) {
+  GuardRig rig({}, {"UNCLAS:ping"});
+  // The review delay is 5 steps; within the first few, nothing emerges.
+  for (int i = 0; i < 4; ++i) {
+    rig.net.Step();
+  }
+  EXPECT_TRUE(rig.low_sink->received().empty());
+  rig.net.Run(100);
+  EXPECT_EQ(rig.low_sink->received().size(), 1u);
+}
+
+TEST(Guard, AuditRecordsEveryVerdict) {
+  GuardRig rig({"up"}, {"UNCLAS:ok", "secret stuff"});
+  rig.net.Run(300);
+  ASSERT_EQ(rig.guard->audit().size(), 3u);
+}
+
+TEST(Guard, CustomPolicyApplies) {
+  // A paranoid officer who denies everything.
+  GuardRig rig({}, {"UNCLAS:anything"},
+               [](const std::string&) { return ReviewVerdict{ReviewOutcome::kDeny, {}}; });
+  rig.net.Run(300);
+  EXPECT_TRUE(rig.low_sink->received().empty());
+  EXPECT_EQ(rig.guard->stats().high_to_low_denied, 1u);
+}
+
+}  // namespace
+}  // namespace sep

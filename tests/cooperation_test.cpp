@@ -1,0 +1,112 @@
+// The paper's Section 2 "special services" argument, made concrete:
+//
+//   "the printer-server may need to co-operate with the file-server and may
+//    require services from the file-server that are different from those
+//    provided to ordinary users (for example, the ability to delete spool
+//    files of all security classifications)."
+//
+// The crucial design point: the special service is NOT an exemption from
+// the rules. The printer-server holds one dedicated line to the file-server
+// PER LEVEL it prints; each line is an ordinary subject at that one level.
+// "Deleting spool files of all classifications" decomposes into N perfectly
+// ordinary same-level deletions — precisely specifiable, fully understood.
+#include <gtest/gtest.h>
+
+#include "src/components/fileserver.h"
+
+namespace sep {
+namespace {
+
+SecurityLevel LevelOf(int i) { return SecurityLevel(static_cast<Classification>(i)); }
+
+TEST(Cooperation, PrinterDeletesSpoolOfEveryLevelViaPerLevelLines) {
+  CategoryRegistry::Instance().Reset();
+
+  // File-server lines: four user lines (one per level) and four
+  // printer-service lines (one per level).
+  std::vector<FileServerUser> users;
+  for (int level = 0; level < 4; ++level) {
+    users.push_back({"user" + std::to_string(level), LevelOf(level)});
+  }
+  for (int level = 0; level < 4; ++level) {
+    users.push_back({"printer@" + std::to_string(level), LevelOf(level)});
+  }
+
+  // Each user spools one job (a file at the user's level); each printer
+  // line later reads and deletes the spool at ITS level.
+  std::vector<std::vector<Frame>> scripts;
+  for (int level = 0; level < 4; ++level) {
+    const std::string spool = "spool/job" + std::to_string(level);
+    scripts.push_back({FsCreate(LevelOf(level), spool), FsWrite(spool, {0x100, 0x200})});
+  }
+  for (int level = 0; level < 4; ++level) {
+    const std::string spool = "spool/job" + std::to_string(level);
+    scripts.push_back({FsRead(spool, 0, 2), FsDelete(spool)});
+  }
+
+  Network net;
+  auto server_owned = std::make_unique<FileServer>(users);
+  FileServer* server = server_owned.get();
+  int server_node = net.AddNode(std::move(server_owned));
+  std::vector<FileClient*> clients;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    // Printer lines start later so the spools exist first.
+    const Tick delay = i >= 4 ? 60 : 0;
+    auto client = std::make_unique<FileClient>(users[i].name, scripts[i], delay);
+    clients.push_back(client.get());
+    int node = net.AddNode(std::move(client));
+    net.Connect(node, server_node);
+    net.Connect(server_node, node);
+  }
+  net.Run(5000);
+
+  // Every spool was read and deleted by the printer's matching-level line.
+  EXPECT_EQ(server->file_count(), 0u);
+  for (int level = 0; level < 4; ++level) {
+    const auto& replies = clients[static_cast<std::size_t>(4 + level)]->replies();
+    ASSERT_EQ(replies.size(), 2u) << "printer line " << level;
+    EXPECT_EQ(replies[0].type, kFsData) << "printer read at level " << level;
+    EXPECT_EQ(replies[1].type, kFsOk) << "printer delete at level " << level;
+  }
+  // And not a single denial or exemption was needed anywhere.
+  EXPECT_EQ(server->monitor().denied_count(), 0u);
+}
+
+TEST(Cooperation, SingleHighPrinterLineCannotDoTheJob) {
+  // The contrast: ONE printer line at system-high can read every spool but
+  // can delete none below its level — the kernelized spooler dilemma
+  // reappears the moment the per-level structure is given up.
+  CategoryRegistry::Instance().Reset();
+  std::vector<FileServerUser> users = {
+      {"user0", LevelOf(0)},
+      {"printer@high", SecurityLevel(Classification::kTopSecret)},
+  };
+  std::vector<std::vector<Frame>> scripts = {
+      {FsCreate(LevelOf(0), "spool/low")},
+      {FsRead("spool/low", 0, 1), FsDelete("spool/low")},
+  };
+
+  Network net;
+  auto server_owned = std::make_unique<FileServer>(users);
+  FileServer* server = server_owned.get();
+  int server_node = net.AddNode(std::move(server_owned));
+  std::vector<FileClient*> clients;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    auto client = std::make_unique<FileClient>(users[i].name, scripts[i], i == 1 ? 40 : 0);
+    clients.push_back(client.get());
+    int node = net.AddNode(std::move(client));
+    net.Connect(node, server_node);
+    net.Connect(server_node, node);
+  }
+  net.Run(3000);
+
+  const auto& replies = clients[1]->replies();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].type, kFsData);  // reading down: fine
+  EXPECT_EQ(replies[1].type, kFsErr);   // deleting down: the dilemma
+  EXPECT_TRUE(server->HasFile("spool/low"));
+  EXPECT_GE(server->monitor().denied_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/cpu.h"
+#include "tests/test_util.h"
+
+namespace sep {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : bus_(4096) {}
+
+  // Loads words at address 0 and points the PC there.
+  void Load(const std::vector<Word>& words) {
+    bus_.Load(0, words);
+    state_.set_pc(0);
+  }
+
+  CpuEvent Step() { return ExecuteOne(state_, bus_); }
+
+  CpuState state_;
+  FlatBus bus_;
+};
+
+TEST_F(CpuTest, MovImmediateToRegister) {
+  Load({EncodeTwoOp(Opcode::kMov, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 2}), 1234});
+  EXPECT_EQ(Step().kind, CpuEventKind::kOk);
+  EXPECT_EQ(state_.regs[2], 1234);
+  EXPECT_EQ(state_.pc(), 2);
+  EXPECT_FALSE(state_.psw.z());
+  EXPECT_FALSE(state_.psw.n());
+}
+
+TEST_F(CpuTest, MovSetsNZ) {
+  Load({EncodeTwoOp(Opcode::kMov, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 0}), 0x8000});
+  Step();
+  EXPECT_TRUE(state_.psw.n());
+  EXPECT_FALSE(state_.psw.z());
+}
+
+TEST_F(CpuTest, AddCarryAndOverflow) {
+  state_.regs[1] = 0xFFFF;
+  Load({EncodeTwoOp(Opcode::kAdd, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 1}), 1});
+  Step();
+  EXPECT_EQ(state_.regs[1], 0);
+  EXPECT_TRUE(state_.psw.z());
+  EXPECT_TRUE(state_.psw.c());
+  EXPECT_FALSE(state_.psw.v());
+}
+
+TEST_F(CpuTest, AddSignedOverflow) {
+  state_.regs[1] = 0x7FFF;
+  Load({EncodeTwoOp(Opcode::kAdd, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 1}), 1});
+  Step();
+  EXPECT_EQ(state_.regs[1], 0x8000);
+  EXPECT_TRUE(state_.psw.v());
+  EXPECT_TRUE(state_.psw.n());
+  EXPECT_FALSE(state_.psw.c());
+}
+
+TEST_F(CpuTest, SubBorrow) {
+  state_.regs[1] = 3;
+  Load({EncodeTwoOp(Opcode::kSub, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 1}), 5});
+  Step();
+  EXPECT_EQ(state_.regs[1], static_cast<Word>(-2));
+  EXPECT_TRUE(state_.psw.c());  // borrow
+  EXPECT_TRUE(state_.psw.n());
+}
+
+TEST_F(CpuTest, CmpDoesNotWrite) {
+  state_.regs[2] = 9;
+  Load({EncodeTwoOp(Opcode::kCmp, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 2}), 9});
+  Step();
+  EXPECT_EQ(state_.regs[2], 9);
+  EXPECT_TRUE(state_.psw.z());
+}
+
+TEST_F(CpuTest, LogicalOps) {
+  state_.regs[0] = 0b1100;
+  Load({EncodeTwoOp(Opcode::kBic, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 0}), 0b0100});
+  Step();
+  EXPECT_EQ(state_.regs[0], 0b1000);
+
+  state_.regs[1] = 0b0001;
+  Load({EncodeTwoOp(Opcode::kBis, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 1}), 0b0110});
+  Step();
+  EXPECT_EQ(state_.regs[1], 0b0111);
+
+  state_.regs[2] = 0b1010;
+  Load({EncodeTwoOp(Opcode::kXor, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 2}), 0b0110});
+  Step();
+  EXPECT_EQ(state_.regs[2], 0b1100);
+}
+
+TEST_F(CpuTest, RegisterDeferredReadWrite) {
+  bus_[100] = 7;
+  state_.regs[3] = 100;
+  // INC (R3)
+  Load({EncodeOneOp(Opcode::kInc, {AddrMode::kRegDeferred, 3})});
+  Step();
+  Word w = 0;
+  bus_.Read(100, AccessKind::kReadData, &w);
+  EXPECT_EQ(w, 8);
+}
+
+TEST_F(CpuTest, IndexedAddressing) {
+  bus_[205] = 42;
+  state_.regs[4] = 200;
+  // MOV 5(R4), R0
+  Load({EncodeTwoOp(Opcode::kMov, {AddrMode::kIndexed, 4}, {AddrMode::kReg, 0}), 5});
+  Step();
+  EXPECT_EQ(state_.regs[0], 42);
+}
+
+TEST_F(CpuTest, AbsoluteDestination) {
+  state_.regs[0] = 11;
+  // MOV R0, @300
+  Load({EncodeTwoOp(Opcode::kMov, {AddrMode::kReg, 0}, {AddrMode::kImmediate, 0}), 300});
+  Step();
+  Word w = 0;
+  bus_.Read(300, AccessKind::kReadData, &w);
+  EXPECT_EQ(w, 11);
+}
+
+TEST_F(CpuTest, ClrTstNegComAsrAsl) {
+  state_.regs[0] = 77;
+  Load({EncodeOneOp(Opcode::kClr, {AddrMode::kReg, 0})});
+  Step();
+  EXPECT_EQ(state_.regs[0], 0);
+  EXPECT_TRUE(state_.psw.z());
+
+  state_.regs[1] = 5;
+  Load({EncodeOneOp(Opcode::kNeg, {AddrMode::kReg, 1})});
+  Step();
+  EXPECT_EQ(state_.regs[1], static_cast<Word>(-5));
+  EXPECT_TRUE(state_.psw.c());
+
+  state_.regs[2] = 0x00FF;
+  Load({EncodeOneOp(Opcode::kCom, {AddrMode::kReg, 2})});
+  Step();
+  EXPECT_EQ(state_.regs[2], 0xFF00);
+  EXPECT_TRUE(state_.psw.c());
+
+  state_.regs[3] = 0b110;
+  Load({EncodeOneOp(Opcode::kAsr, {AddrMode::kReg, 3})});
+  Step();
+  EXPECT_EQ(state_.regs[3], 0b011);
+  EXPECT_FALSE(state_.psw.c());
+
+  state_.regs[4] = 0x8001;
+  Load({EncodeOneOp(Opcode::kAsr, {AddrMode::kReg, 4})});
+  Step();
+  EXPECT_EQ(state_.regs[4], 0xC000);  // arithmetic: sign preserved
+  EXPECT_TRUE(state_.psw.c());
+
+  state_.regs[5] = 0x4001;
+  Load({EncodeOneOp(Opcode::kAsl, {AddrMode::kReg, 5})});
+  Step();
+  EXPECT_EQ(state_.regs[5], 0x8002);
+}
+
+TEST_F(CpuTest, BranchesTakenAndNot) {
+  // BEQ +3 with Z clear: not taken.
+  state_.psw.SetFlags(false, false, false, false);
+  Load({EncodeBranch(Opcode::kBeq, 3)});
+  Step();
+  EXPECT_EQ(state_.pc(), 1);
+  // BEQ +3 with Z set: taken (offset from instruction end).
+  state_.psw.SetFlags(false, true, false, false);
+  Load({EncodeBranch(Opcode::kBeq, 3)});
+  Step();
+  EXPECT_EQ(state_.pc(), 4);
+}
+
+TEST_F(CpuTest, SignedBranches) {
+  // BLT taken iff N^V.
+  state_.psw.SetFlags(true, false, false, false);
+  Load({EncodeBranch(Opcode::kBlt, 2)});
+  Step();
+  EXPECT_EQ(state_.pc(), 3);
+  state_.psw.SetFlags(true, false, true, false);  // N and V: not less-than
+  Load({EncodeBranch(Opcode::kBlt, 2)});
+  Step();
+  EXPECT_EQ(state_.pc(), 1);
+}
+
+TEST_F(CpuTest, JsrRtsRoundTrip) {
+  state_.set_sp(1000);
+  // JSR @500 ; target returns with RTS
+  Load({EncodeOneOp(Opcode::kJsr, {AddrMode::kImmediate, 0}), 500});
+  bus_[500] = EncodeZeroOp(Opcode::kRts);
+  Step();
+  EXPECT_EQ(state_.pc(), 500);
+  EXPECT_EQ(state_.sp(), 999);
+  Step();  // RTS
+  EXPECT_EQ(state_.pc(), 2);
+  EXPECT_EQ(state_.sp(), 1000);
+}
+
+TEST_F(CpuTest, JmpRegisterModeIllegal) {
+  Load({EncodeOneOp(Opcode::kJmp, {AddrMode::kReg, 1})});
+  EXPECT_EQ(Step().kind, CpuEventKind::kIllegalInstruction);
+}
+
+TEST_F(CpuTest, TrapReturnsCode) {
+  Load({EncodeTrap(42)});
+  CpuEvent e = Step();
+  EXPECT_EQ(e.kind, CpuEventKind::kTrap);
+  EXPECT_EQ(e.trap_code, 42);
+  EXPECT_EQ(state_.pc(), 1);  // committed past the TRAP
+}
+
+TEST_F(CpuTest, PrivilegedOpsFaultInUserMode) {
+  state_.psw.set_mode(CpuMode::kUser);
+  Load({EncodeZeroOp(Opcode::kHalt)});
+  EXPECT_EQ(Step().kind, CpuEventKind::kIllegalInstruction);
+  Load({EncodeZeroOp(Opcode::kWait)});
+  EXPECT_EQ(Step().kind, CpuEventKind::kIllegalInstruction);
+  Load({EncodeZeroOp(Opcode::kRti)});
+  EXPECT_EQ(Step().kind, CpuEventKind::kIllegalInstruction);
+}
+
+TEST_F(CpuTest, FaultLeavesStateUntouched) {
+  state_.regs[1] = 77;
+  state_.set_sp(500);
+  // MOV R1, @9999 — out of bus range.
+  Load({EncodeTwoOp(Opcode::kMov, {AddrMode::kReg, 1}, {AddrMode::kImmediate, 0}), 9999});
+  CpuEvent e = Step();
+  EXPECT_EQ(e.kind, CpuEventKind::kBusFault);
+  EXPECT_EQ(e.fault_addr, 9999u);
+  EXPECT_EQ(state_.pc(), 0);  // not committed
+  EXPECT_EQ(state_.regs[1], 77);
+}
+
+TEST_F(CpuTest, RtiRestoresPswAndPc) {
+  state_.set_sp(998);
+  bus_[998] = 700;     // saved PC (top of stack)
+  bus_[999] = 0x000C;  // saved PSW: N and Z set
+  Load({EncodeZeroOp(Opcode::kRti)});
+  EXPECT_EQ(Step().kind, CpuEventKind::kOk);
+  EXPECT_EQ(state_.pc(), 700);
+  EXPECT_TRUE(state_.psw.n());
+  EXPECT_TRUE(state_.psw.z());
+  EXPECT_EQ(state_.sp(), 1000);
+}
+
+TEST_F(CpuTest, IncDecOverflowFlags) {
+  state_.regs[0] = 0x7FFF;
+  Load({EncodeOneOp(Opcode::kInc, {AddrMode::kReg, 0})});
+  Step();
+  EXPECT_TRUE(state_.psw.v());
+  state_.regs[0] = 0x8000;
+  Load({EncodeOneOp(Opcode::kDec, {AddrMode::kReg, 0})});
+  Step();
+  EXPECT_TRUE(state_.psw.v());
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,168 @@
+// E12: the MLS file-server as the sole trusted component.
+#include <gtest/gtest.h>
+
+#include "src/components/fileserver.h"
+
+namespace sep {
+namespace {
+
+SecurityLevel Unc() { return SecurityLevel(Classification::kUnclassified); }
+SecurityLevel Sec() { return SecurityLevel(Classification::kSecret); }
+
+struct Rig {
+  Network net;
+  FileServer* server = nullptr;
+  std::vector<FileClient*> clients;
+
+  // users[i] paired with scripts[i]; delays[i] holds back client i's first
+  // request so cross-client scenarios are ordered deterministically.
+  Rig(std::vector<FileServerUser> users, std::vector<std::vector<Frame>> scripts,
+      std::vector<Tick> delays = {}) {
+    auto server_owned = std::make_unique<FileServer>(users);
+    server = server_owned.get();
+    int server_node = net.AddNode(std::move(server_owned));
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const Tick delay = i < delays.size() ? delays[i] : 0;
+      auto client = std::make_unique<FileClient>(users[i].name, scripts[i], delay);
+      clients.push_back(client.get());
+      int node = net.AddNode(std::move(client));
+      // Line i: client -> server must be the server's in-port i, so connect
+      // in user order; replies go back on out-port i.
+      net.Connect(node, server_node);
+      net.Connect(server_node, node);
+    }
+  }
+
+  void Run(std::size_t steps = 3000) { net.Run(steps); }
+};
+
+TEST(FileServer, CreateWriteReadAtOwnLevel) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"alice", Sec()}},
+          {{FsCreate(Sec(), "notes"), FsWrite("notes", {10, 20, 30}), FsRead("notes", 0, 8)}});
+  rig.Run();
+  const auto& replies = rig.clients[0]->replies();
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].type, kFsOk);
+  EXPECT_EQ(replies[1].type, kFsOk);
+  ASSERT_EQ(replies[2].type, kFsData);
+  EXPECT_EQ(replies[2].fields, (std::vector<Word>{kFsRead, 10, 20, 30}));
+}
+
+TEST(FileServer, NoReadUp) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"secret-user", Sec()}, {"low-user", Unc()}},
+          {{FsCreate(Sec(), "warplan"), FsWrite("warplan", {1, 2, 3, 4})},
+           {FsRead("warplan", 0, 4)}},
+          {0, 20});
+  rig.Run();
+  const auto& low_replies = rig.clients[1]->replies();
+  ASSERT_EQ(low_replies.size(), 1u);
+  EXPECT_EQ(low_replies[0].type, kFsErr);
+  // Denial is indistinguishable from nonexistence for the low user.
+  EXPECT_EQ(low_replies[0].fields[1], kFsENotFound);
+}
+
+TEST(FileServer, NoWriteDown) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"low-user", Unc()}, {"secret-user", Sec()}},
+          {{FsCreate(Unc(), "bulletin")},
+           {FsWrite("bulletin", {0xDEAD})}});
+  rig.Run();
+  const auto& high_replies = rig.clients[1]->replies();
+  ASSERT_EQ(high_replies.size(), 1u);
+  EXPECT_EQ(high_replies[0].type, kFsErr);
+  EXPECT_EQ(high_replies[0].fields[1], kFsEDenied);
+  EXPECT_TRUE(rig.server->FileContents("bulletin").empty());
+}
+
+TEST(FileServer, BlindWriteUpAllowed) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"secret-user", Sec()}, {"low-user", Unc()}},
+          {{FsCreate(Sec(), "dropbox")},
+           {FsWrite("dropbox", {42}), FsRead("dropbox", 0, 1)}},
+          {0, 20});
+  rig.Run();
+  const auto& low_replies = rig.clients[1]->replies();
+  ASSERT_EQ(low_replies.size(), 2u);
+  EXPECT_EQ(low_replies[0].type, kFsOk);        // append up: allowed
+  EXPECT_EQ(low_replies[1].type, kFsErr);       // read back: denied
+  EXPECT_EQ(rig.server->FileContents("dropbox"), (std::vector<Word>{42}));
+}
+
+TEST(FileServer, CreateDownDenied) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"secret-user", Sec()}}, {{FsCreate(Unc(), "leak-by-name")}});
+  rig.Run();
+  ASSERT_EQ(rig.clients[0]->replies().size(), 1u);
+  EXPECT_EQ(rig.clients[0]->replies()[0].type, kFsErr);
+  EXPECT_FALSE(rig.server->HasFile("leak-by-name"));
+}
+
+TEST(FileServer, DeleteRequiresSameLevel) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"low-user", Unc()}, {"secret-user", Sec()}},
+          {{FsCreate(Unc(), "junk")},
+           {FsDelete("junk")}},
+          {0, 20});
+  rig.Run();
+  ASSERT_EQ(rig.clients[1]->replies().size(), 1u);
+  EXPECT_EQ(rig.clients[1]->replies()[0].type, kFsErr);
+  EXPECT_TRUE(rig.server->HasFile("junk"));
+}
+
+TEST(FileServer, ListShowsOnlyReadableFiles) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"secret-user", Sec()}, {"low-user", Unc()}},
+          {{FsCreate(Sec(), "s-file")},
+           {FsCreate(Unc(), "u-file"), FsList()}},
+          {0, 20});
+  rig.Run();
+  const auto& low_replies = rig.clients[1]->replies();
+  ASSERT_EQ(low_replies.size(), 2u);
+  ASSERT_EQ(low_replies[1].type, kFsData);
+  // Listing contains u-file only: [len=6]['u''-''f''i''l''e'].
+  std::string names = WordsToString(low_replies[1].fields, 1);
+  EXPECT_NE(names.find("u-file"), std::string::npos);
+  EXPECT_EQ(names.find("s-file"), std::string::npos);
+}
+
+TEST(FileServer, HighUserSeesEverything) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"low-user", Unc()}, {"secret-user", Sec()}},
+          {{FsCreate(Unc(), "low-data"), FsWrite("low-data", {7})},
+           {FsRead("low-data", 0, 1)}},
+          {0, 40});
+  rig.Run();
+  const auto& high_replies = rig.clients[1]->replies();
+  ASSERT_EQ(high_replies.size(), 1u);
+  ASSERT_EQ(high_replies[0].type, kFsData);
+  EXPECT_EQ(high_replies[0].fields, (std::vector<Word>{kFsRead, 7}));
+}
+
+TEST(FileServer, AuditTrailRecordsDenials) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"secret-user", Sec()}, {"low-user", Unc()}},
+          {{FsCreate(Sec(), "x"), FsWrite("x", {1})},
+           {FsRead("x", 0, 1), FsRead("x", 0, 1)}},
+          {0, 20});
+  rig.Run();
+  EXPECT_GE(rig.server->monitor().denied_count(), 2u);
+}
+
+TEST(FileServer, MalformedRequestsRejectedSafely) {
+  CategoryRegistry::Instance().Reset();
+  Rig rig({{"user", Unc()}},
+          {{Frame{kFsCreate, {}}, Frame{kFsWrite, {50}}, Frame{0x7F, {1, 2}},
+            Frame{kFsRead, {2, 'h', 'i'}}}});
+  rig.Run();
+  const auto& replies = rig.clients[0]->replies();
+  ASSERT_EQ(replies.size(), 4u);
+  for (const Frame& reply : replies) {
+    EXPECT_EQ(reply.type, kFsErr);
+  }
+  EXPECT_EQ(rig.server->file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sep

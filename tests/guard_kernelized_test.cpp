@@ -1,0 +1,273 @@
+// The ACCAT-style Guard deployed on the separation kernel: low-interface,
+// high-interface and guard as SM-11 regimes, kernel channels as the only
+// lines. The paper's Section 1 criticises the real Guard for sitting on a
+// multilevel kernel (KSOS) that its HIGH->LOW path had to fight; here it
+// gets the kernel the paper recommends — one that enforces no policy at
+// all, while the guard regime enforces exactly its own.
+//
+// Message protocol on every channel: [len][len words...]. The guard
+// forwards LOW->HIGH unhindered; HIGH->LOW messages are released only when
+// the first word is the 'U' (unclassified) marker — the scripted stand-in
+// for the Security Watch Officer, as in the native-component Guard.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_system.h"
+#include "src/core/separability.h"
+
+namespace sep {
+namespace {
+
+// Channels: 0 low->guard, 1 high->guard, 2 guard->low, 3 guard->high.
+constexpr char kGuardRegime[] = R"(
+        .EQU FROM_LOW, 0
+        .EQU FROM_HIGH, 1
+        .EQU TO_LOW, 2
+        .EQU TO_HIGH, 3
+
+MAIN:   ; --- LOW -> HIGH: pass through unhindered ---
+        MOV #FROM_LOW, R0
+        TRAP 2
+        TST R0
+        BEQ TRYHI
+        MOV R1, R3          ; len
+        MOV #TO_HIGH, R0
+        JSR SENDB
+CPY:    TST R3
+        BEQ TRYHI
+LRCV:   MOV #FROM_LOW, R0
+        TRAP 2
+        TST R0
+        BEQ LWAIT
+        MOV #TO_HIGH, R0
+        JSR SENDB
+        DEC R3
+        BR CPY
+LWAIT:  TRAP 0
+        BR LRCV
+
+TRYHI:  ; --- HIGH -> LOW: buffer, review, release or deny ---
+        MOV #FROM_HIGH, R0
+        TRAP 2
+        TST R0
+        BEQ YIELD
+        MOV R1, R3          ; len
+        MOV #BUF, R4
+        MOV R3, R5          ; remaining
+HRCV:   TST R5
+        BEQ REVIEW
+HRCV2:  MOV #FROM_HIGH, R0
+        TRAP 2
+        TST R0
+        BEQ HWAIT
+        MOV R1, (R4)
+        INC R4
+        DEC R5
+        BR HRCV
+HWAIT:  TRAP 0
+        BR HRCV2
+REVIEW: MOV BUF, R2         ; the watch-officer rule: first word is 'U'?
+        CMP #'U', R2
+        BNE DENY
+        MOV R3, R1          ; release: len, then the words
+        MOV #TO_LOW, R0
+        JSR SENDB
+        MOV #BUF, R4
+RLOOP:  TST R3
+        BEQ YIELD
+        MOV (R4), R1
+        MOV #TO_LOW, R0
+        JSR SENDB
+        INC R4
+        DEC R3
+        BR RLOOP
+DENY:   MOV DENIED, R2
+        INC R2
+        MOV R2, @DENIED
+YIELD:  TRAP 0
+        BR MAIN
+
+; blocking send: word in R1, channel in R0; clobbers R0, R2
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+
+DENIED: .WORD 0
+BUF:    .BLKW 32
+)";
+
+// Sends one message, then collects everything the guard forwards to it.
+constexpr char kLowSide[] = R"(
+        ; send [2,'H','I'] on channel 0
+        MOV #2, R1
+        CLR R0
+        JSR SENDB
+        MOV #'H', R1
+        CLR R0
+        JSR SENDB
+        MOV #'I', R1
+        CLR R0
+        JSR SENDB
+        MOV #0x100, R4
+RLOOP:  MOV #2, R0          ; channel 2: guard -> low
+        TRAP 2
+        TST R0
+        BEQ RYIELD
+        MOV R1, (R4)
+        INC R4
+        BR RLOOP
+RYIELD: TRAP 0
+        BR RLOOP
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+)";
+
+// Sends a releasable message and a secret one, then collects LOW->HIGH
+// traffic.
+constexpr char kHighSide[] = R"(
+        ; message 1: [3,'U','O','K'] - marked releasable
+        MOV #3, R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'U', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'O', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'K', R1
+        MOV #1, R0
+        JSR SENDB
+        ; message 2: [3,'S','E','C'] - not marked: must be denied
+        MOV #3, R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'S', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'E', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'C', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #0x100, R4
+RLOOP:  MOV #3, R0          ; channel 3: guard -> high
+        TRAP 2
+        TST R0
+        BEQ RYIELD
+        MOV R1, (R4)
+        INC R4
+        BR RLOOP
+RYIELD: TRAP 0
+        BR RLOOP
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+)";
+
+struct KernelizedGuard {
+  std::unique_ptr<KernelizedSystem> system;
+
+  KernelizedGuard() {
+    SystemBuilder builder;
+    EXPECT_TRUE(builder.AddRegime("guard", 512, kGuardRegime).ok());
+    EXPECT_TRUE(builder.AddRegime("low", 512, kLowSide).ok());
+    EXPECT_TRUE(builder.AddRegime("high", 512, kHighSide).ok());
+    builder.AddChannel("low->guard", 1, 0, 16);
+    builder.AddChannel("high->guard", 2, 0, 16);
+    builder.AddChannel("guard->low", 0, 1, 16);
+    builder.AddChannel("guard->high", 0, 2, 16);
+    auto built = builder.Build();
+    EXPECT_TRUE(built.ok()) << built.error();
+    system = std::move(built.value());
+  }
+
+  Word LowMem(Word offset) {
+    const auto& regime = system->kernel().config().regimes[1];
+    return system->machine().memory().Read(regime.mem_base + offset);
+  }
+  Word HighMem(Word offset) {
+    const auto& regime = system->kernel().config().regimes[2];
+    return system->machine().memory().Read(regime.mem_base + offset);
+  }
+  Word GuardDenied() {
+    Result<AssembledProgram> program = Assemble(kGuardRegime);
+    EXPECT_TRUE(program.ok());
+    const auto& regime = system->kernel().config().regimes[0];
+    return system->machine().memory().Read(regime.mem_base +
+                                           program->SymbolOr("DENIED", 0));
+  }
+};
+
+TEST(KernelizedGuard, LowToHighPassesUnhindered) {
+  KernelizedGuard rig;
+  rig.system->Run(30000);
+  // High side received [2,'H','I'] at 0x100.
+  EXPECT_EQ(rig.HighMem(0x100), 2);
+  EXPECT_EQ(rig.HighMem(0x101), 'H');
+  EXPECT_EQ(rig.HighMem(0x102), 'I');
+}
+
+TEST(KernelizedGuard, HighToLowFiltersUnmarkedMessages) {
+  KernelizedGuard rig;
+  rig.system->Run(30000);
+  // Low side received ONLY the 'U'-marked message.
+  EXPECT_EQ(rig.LowMem(0x100), 3);
+  EXPECT_EQ(rig.LowMem(0x101), 'U');
+  EXPECT_EQ(rig.LowMem(0x102), 'O');
+  EXPECT_EQ(rig.LowMem(0x103), 'K');
+  EXPECT_EQ(rig.LowMem(0x104), 0);  // nothing after it: SEC never arrived
+  EXPECT_EQ(rig.GuardDenied(), 1);
+}
+
+TEST(KernelizedGuard, NoDirectLowHighChannelExists) {
+  KernelizedGuard rig;
+  const auto& channels = rig.system->kernel().config().channels;
+  for (const ChannelConfig& channel : channels) {
+    // Regimes: 0 = guard, 1 = low, 2 = high. Every line touches the guard.
+    EXPECT_TRUE(channel.sender == 0 || channel.receiver == 0) << channel.name;
+    EXPECT_FALSE(channel.sender == 1 && channel.receiver == 2);
+    EXPECT_FALSE(channel.sender == 2 && channel.receiver == 1);
+  }
+}
+
+TEST(KernelizedGuard, CutVariantSatisfiesSeparability) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("guard", 512, kGuardRegime).ok());
+  ASSERT_TRUE(builder.AddRegime("low", 512, kLowSide).ok());
+  ASSERT_TRUE(builder.AddRegime("high", 512, kHighSide).ok());
+  builder.AddChannel("low->guard", 1, 0, 16);
+  builder.AddChannel("high->guard", 2, 0, 16);
+  builder.AddChannel("guard->low", 0, 1, 16);
+  builder.AddChannel("guard->high", 0, 2, 16);
+  builder.CutChannels(true);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+
+  CheckerOptions options;
+  options.trace_steps = 500;
+  options.sample_every = 7;
+  SeparabilityReport report = CheckSeparability(**sys, options);
+  EXPECT_TRUE(report.Passed()) << report.Summary() << "\nfirst: "
+                               << (report.violations.empty() ? ""
+                                                             : report.violations[0].description);
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,135 @@
+// Machine-level interrupt arbitration: priorities, PSW masking, WAIT
+// semantics — the hardware behaviour the kernel's fielding relies on.
+#include <gtest/gtest.h>
+
+#include "src/machine/devices.h"
+#include "src/machine/machine.h"
+#include "src/sm11asm/assembler.h"
+#include "tests/test_util.h"
+
+namespace sep {
+namespace {
+
+// Records which device's interrupt the client saw, in order.
+struct RecordingClient : MachineClient {
+  std::vector<int> interrupts;
+  std::vector<TrapInfo::Kind> traps;
+  void OnTrap(const TrapInfo& info) override { traps.push_back(info.kind); }
+  void OnInterrupt(int device_index) override { interrupts.push_back(device_index); }
+};
+
+TEST(InterruptPriority, HigherPriorityDeviceWinsArbitration) {
+  auto m = MakeBareMachine();
+  int low = m->AddDevice(std::make_unique<LineClock>("low", 20, /*priority=*/3, 2));
+  int high = m->AddDevice(std::make_unique<LineClock>("high", 22, /*priority=*/6, 2));
+  RecordingClient client;
+  m->set_client(&client);
+
+  // Enable both clocks; both fire on the same step.
+  m->device(low).WriteRegister(0, kCsrIe);
+  m->device(high).WriteRegister(0, kCsrIe);
+  Result<AssembledProgram> p = Assemble("LOOP: NOP\n      BR LOOP\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+  m->cpu().set_sp(0x1000);
+
+  m->Run(10);
+  ASSERT_GE(client.interrupts.size(), 2u);
+  EXPECT_EQ(client.interrupts[0], high);
+  EXPECT_EQ(client.interrupts[1], low);
+}
+
+TEST(InterruptPriority, PswPriorityMasksLowerDevices) {
+  auto m = MakeBareMachine();
+  int clk = m->AddDevice(std::make_unique<LineClock>("clk", 20, /*priority=*/4, 2));
+  RecordingClient client;
+  m->set_client(&client);
+  m->device(clk).WriteRegister(0, kCsrIe);
+
+  Result<AssembledProgram> p = Assemble("LOOP: NOP\n      BR LOOP\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+  m->cpu().psw.set_priority(7);  // masks priority-4 devices
+
+  m->Run(20);
+  EXPECT_TRUE(client.interrupts.empty());
+
+  m->cpu().psw.set_priority(3);  // unmask
+  m->Run(10);
+  EXPECT_FALSE(client.interrupts.empty());
+}
+
+TEST(InterruptPriority, EqualPriorityIsMasked) {
+  // A device interrupts only if its priority EXCEEDS the processor's.
+  auto m = MakeBareMachine();
+  int clk = m->AddDevice(std::make_unique<LineClock>("clk", 20, 4, 2));
+  RecordingClient client;
+  m->set_client(&client);
+  m->device(clk).WriteRegister(0, kCsrIe);
+  Result<AssembledProgram> p = Assemble("LOOP: NOP\n      BR LOOP\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+  m->cpu().psw.set_priority(4);
+  m->Run(20);
+  EXPECT_TRUE(client.interrupts.empty());
+}
+
+TEST(InterruptPriority, WaitIdlesUntilInterrupt) {
+  auto m = MakeBareMachine();
+  int clk = m->AddDevice(std::make_unique<LineClock>("clk", 20, 5, /*interval=*/8));
+  RecordingClient client;
+  m->set_client(&client);
+  m->device(clk).WriteRegister(0, kCsrIe);
+
+  Result<AssembledProgram> p = Assemble("WAIT\nHALT\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+
+  m->Step();  // executes WAIT
+  EXPECT_TRUE(m->waiting());
+  std::size_t idle_steps = 0;
+  while (client.interrupts.empty() && idle_steps < 20) {
+    m->Step();
+    ++idle_steps;
+  }
+  EXPECT_FALSE(client.interrupts.empty());
+  EXPECT_FALSE(m->waiting());  // delivery cleared the wait
+}
+
+TEST(InterruptPriority, DevicesKeepRunningWhileCpuWaits) {
+  auto m = MakeBareMachine();
+  int lp = m->AddDevice(std::make_unique<LinePrinter>("lp", 20, 3, /*print_delay=*/3));
+  m->device(lp).WriteRegister(1, 'Z');  // start a print, no interrupts enabled
+  Result<AssembledProgram> p = Assemble("WAIT\nHALT\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+  m->Run(10);
+  // The CPU never woke (no IE), but the device finished its work.
+  EXPECT_TRUE(m->waiting());
+  std::vector<Word> out = m->device(lp).DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 'Z');
+}
+
+TEST(InterruptPriority, InterruptClearsDeviceLineOnDelivery) {
+  auto m = MakeBareMachine();
+  int clk = m->AddDevice(std::make_unique<LineClock>("clk", 20, 5, 3));
+  RecordingClient client;
+  m->set_client(&client);
+  m->device(clk).WriteRegister(0, kCsrIe);
+  Result<AssembledProgram> p = Assemble("LOOP: NOP\n      BR LOOP\n");
+  ASSERT_TRUE(p.ok());
+  m->memory().LoadImage(0x100, p->words);
+  m->cpu().set_pc(0x100);
+  m->Run(4);
+  ASSERT_EQ(client.interrupts.size(), 1u);
+  EXPECT_FALSE(m->device(clk).interrupt_pending());
+}
+
+}  // namespace
+}  // namespace sep

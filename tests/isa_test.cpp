@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/isa.h"
+
+namespace sep {
+namespace {
+
+TEST(IsaShape, Classification) {
+  EXPECT_EQ(OpcodeShape(0x00), OperandCount::kZero);   // HALT
+  EXPECT_EQ(OpcodeShape(0x05), OperandCount::kTrap);   // TRAP
+  EXPECT_EQ(OpcodeShape(0x10), OperandCount::kTwo);    // MOV
+  EXPECT_EQ(OpcodeShape(0x20), OperandCount::kOne);    // CLR
+  EXPECT_EQ(OpcodeShape(0x30), OperandCount::kBranch); // BR
+  EXPECT_FALSE(OpcodeShape(0x0F).has_value());
+  EXPECT_FALSE(OpcodeShape(0x3F).has_value());
+}
+
+TEST(IsaDecode, TwoOpRoundTrip) {
+  OperandSpec src{AddrMode::kImmediate, 0};
+  OperandSpec dst{AddrMode::kRegDeferred, 3};
+  Word w = EncodeTwoOp(Opcode::kAdd, src, dst);
+  auto insn = Decode(w);
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->opcode, Opcode::kAdd);
+  EXPECT_EQ(insn->src.mode, AddrMode::kImmediate);
+  EXPECT_EQ(insn->src.reg, 0);
+  EXPECT_EQ(insn->dst.mode, AddrMode::kRegDeferred);
+  EXPECT_EQ(insn->dst.reg, 3);
+  EXPECT_EQ(insn->length, 2);  // one extension word for the immediate
+}
+
+TEST(IsaDecode, LengthCountsBothExtensions) {
+  OperandSpec src{AddrMode::kImmediate, 0};
+  OperandSpec dst{AddrMode::kIndexed, 2};
+  auto insn = Decode(EncodeTwoOp(Opcode::kMov, src, dst));
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->length, 3);
+}
+
+TEST(IsaDecode, OneOpRoundTrip) {
+  auto insn = Decode(EncodeOneOp(Opcode::kInc, {AddrMode::kReg, 5}));
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->opcode, Opcode::kInc);
+  EXPECT_EQ(insn->dst.reg, 5);
+  EXPECT_EQ(insn->length, 1);
+}
+
+TEST(IsaDecode, BranchOffsetSignExtension) {
+  auto fwd = Decode(EncodeBranch(Opcode::kBne, 5));
+  ASSERT_TRUE(fwd.has_value());
+  EXPECT_EQ(fwd->branch_offset, 5);
+  auto back = Decode(EncodeBranch(Opcode::kBr, -3));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->branch_offset, -3);
+}
+
+TEST(IsaDecode, TrapCode) {
+  auto insn = Decode(EncodeTrap(0x2A5));
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->opcode, Opcode::kTrap);
+  EXPECT_EQ(insn->trap_code, 0x2A5);
+}
+
+TEST(IsaDecode, AllValidOpcodesRoundTrip) {
+  for (int op = 0; op < 64; ++op) {
+    auto shape = OpcodeShape(static_cast<std::uint8_t>(op));
+    Word w = static_cast<Word>(op << 10);
+    auto insn = Decode(w);
+    EXPECT_EQ(insn.has_value(), shape.has_value()) << "opcode " << op;
+    if (insn.has_value()) {
+      EXPECT_EQ(static_cast<int>(insn->opcode), op);
+    }
+  }
+}
+
+TEST(IsaDisasm, Renders) {
+  auto mov = Decode(EncodeTwoOp(Opcode::kMov, {AddrMode::kImmediate, 0}, {AddrMode::kReg, 1}));
+  ASSERT_TRUE(mov.has_value());
+  EXPECT_EQ(Disassemble(*mov, 5, 0), "MOV #000005, R1");
+  auto trap = Decode(EncodeTrap(3));
+  EXPECT_EQ(Disassemble(*trap, 0, 0), "TRAP 3");
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,301 @@
+// Kernel edge cases: malformed kernel calls, stack abuse, device-window
+// boundaries, STAT semantics, AWAIT corner cases. A separation kernel's
+// security includes being unimpressed by hostile regimes.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_system.h"
+#include "src/machine/devices.h"
+
+namespace sep {
+namespace {
+
+constexpr char kIdle[] = "LOOP: TRAP 0\n      BR LOOP\n";
+
+TEST(KernelEdge, RetiOutsideHandlerHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("rogue", 256, "TRAP 5\n").ok());
+  ASSERT_TRUE(builder.AddRegime("peer", 256, kIdle).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+}
+
+TEST(KernelEdge, UnknownKernelCallHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("rogue", 256, "TRAP 999\n").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelEdge, SetvecForNonexistentDeviceHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("rogue", 256, R"(
+        MOV #3, R0      ; no local device 3
+        MOV #0x10, R1
+        TRAP 4
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelEdge, InterruptDeliveryWithCorruptStackHaltsRegimeOnly) {
+  SystemBuilder builder;
+  int clk = builder.AddDevice(std::make_unique<LineClock>("clk", 20, 6, 5));
+  ASSERT_TRUE(builder.AddRegime("corrupt", 512, R"(
+        .EQU CLK, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4
+        MOV #0x7000, SP ; point the stack outside the partition
+        MOV #CLK, R4
+        MOV #0x40, (R4) ; enable interrupts
+LOOP:   NOP
+        BR LOOP
+HANDLER:
+        TRAP 5
+)", {clk}).ok());
+  ASSERT_TRUE(builder.AddRegime("peer", 256, kIdle).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  // The interrupt could not be delivered (stack outside the partition);
+  // the offending regime is contained, the peer unharmed.
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+  EXPECT_FALSE((*sys)->machine().halted());
+}
+
+TEST(KernelEdge, StatReportsBothEndsCorrectly) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("sender", 512, R"(
+        ; send 3 words, then publish STAT
+        MOV #3, R3
+LOOP:   MOV #7, R1
+        CLR R0
+        TRAP 1
+        DEC R3
+        BNE LOOP
+        CLR R0
+        TRAP 3          ; STAT -> R0 readable (0 for sender), R1 space
+        MOV R0, @0x40
+        MOV R1, @0x42
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("receiver", 512, R"(
+        ; wait until data arrives, then publish STAT
+WAIT:   CLR R0
+        TRAP 3          ; STAT -> R0 readable, R1 space (0 for receiver)
+        TST R0
+        BEQ YIELD
+        CMP #3, R0
+        BNE YIELD
+        MOV R0, @0x40
+        MOV R1, @0x42
+        TRAP 7
+YIELD:  TRAP 0
+        BR WAIT
+)").ok());
+  builder.AddChannel("c", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(1000);
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[0].mem_base + 0x40), 0);  // sender readable
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[0].mem_base + 0x42), 5);  // space 8-3
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x40), 3);  // receiver readable
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x42), 0);  // receiver space
+}
+
+TEST(KernelEdge, StatWithoutEndpointRightsHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("a", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("b", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("snoop", 256, R"(
+        CLR R0
+        TRAP 3          ; STAT on a channel snoop is no endpoint of
+)").ok());
+  builder.AddChannel("a2b", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(2));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelEdge, AwaitWithAlreadyPendingReturnsImmediately) {
+  SystemBuilder builder;
+  int slu = builder.AddDevice(std::make_unique<SerialLine>("slu", 16, 4, 1));
+  ASSERT_TRUE(builder.AddRegime("drv", 512, R"(
+        .EQU DEV, 0xE000
+START:  MOV #DEV, R4
+        MOV #0x40, (R4) ; IE on; no handler installed
+        ; spin a while so the interrupt is fielded and left pending
+        MOV #20, R3
+SPIN:   DEC R3
+        BNE SPIN
+        TRAP 6          ; AWAIT: pending already set -> immediate return
+        MOV R0, @0x50   ; publish the pending mask we were handed
+        TRAP 7
+)", {slu}).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->machine().device(slu).InjectInput('A');
+  (*sys)->Run(200);
+  const auto& regime = (*sys)->kernel().config().regimes[0];
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_EQ((*sys)->machine().memory().Read(regime.mem_base + 0x50), 1);  // local device 0
+}
+
+TEST(KernelEdge, DeviceWindowEndsAtOwnedRegisters) {
+  // The regime owns one serial line (8-word block). Reading past the block
+  // must fault even though the address is within page 7.
+  SystemBuilder builder;
+  int slu = builder.AddDevice(std::make_unique<SerialLine>("slu", 16, 4, 1));
+  builder.AddDevice(std::make_unique<SerialLine>("other", 18, 4, 1));  // unowned
+  ASSERT_TRUE(builder.AddRegime("drv", 256, R"(
+        MOV #0xE008, R4 ; first word of the NEXT device's block
+        MOV (R4), R0
+)", {slu}).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(50);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelEdge, RegisterValuesSurviveManySwaps) {
+  // Ping-pong 100 times; each regime's full register file must round-trip
+  // perfectly through the save areas every time.
+  SystemBuilder builder;
+  for (const char* name : {"a", "b"}) {
+    ASSERT_TRUE(builder.AddRegime(name, 512, R"(
+START:  MOV #0x1111, R0
+        MOV #0x2222, R1
+        MOV #0x3333, R2
+        CLR R3
+LOOP:   INC R3
+        TRAP 0
+        CMP #100, R3
+        BNE LOOP
+        ; verify nothing was disturbed across 100 switches
+        CMP #0x1111, R0
+        BNE BAD
+        CMP #0x2222, R1
+        BNE BAD
+        CMP #0x3333, R2
+        BNE BAD
+        MOV #1, R4
+        MOV R4, @0x60   ; success marker
+        TRAP 7
+BAD:    TRAP 7
+)").ok());
+  }
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(5000);
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[0].mem_base + 0x60), 1);
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x60), 1);
+}
+
+TEST(KernelEdge, SingleRegimeSystemRunsAlone) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("solo", 256, R"(
+        CLR R3
+LOOP:   INC R3
+        TRAP 0          ; SWAP with nobody else: comes straight back
+        CMP #5, R3
+        BNE LOOP
+        MOV R3, @0x40
+        TRAP 7
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  EXPECT_TRUE((*sys)->machine().halted());
+  EXPECT_EQ((*sys)->machine().memory().Read(0x40), 5);
+}
+
+TEST(KernelEdge, IdleMachineWakesOnInterrupt) {
+  SystemBuilder builder;
+  int clk = builder.AddDevice(std::make_unique<LineClock>("clk", 20, 6, 25));
+  ASSERT_TRUE(builder.AddRegime("sleeper", 512, R"(
+        .EQU CLK, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4
+        MOV #CLK, R4
+        MOV #0x40, (R4)
+        TRAP 6          ; AWAIT: nothing pending -> the machine goes idle
+        MOV #1, R2
+        MOV R2, @0x40
+        TRAP 7
+HANDLER:
+        TRAP 5
+)", {clk}).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_EQ((*sys)->machine().memory().Read(0x40), 1);
+}
+
+// Parameterized sweep: channel capacity edge cases all preserve FIFO order
+// and exact counts.
+class ChannelCapacitySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChannelCapacitySweep, FifoExactlyOnce) {
+  const std::uint32_t capacity = GetParam();
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 512, R"(
+        CLR R3
+LOOP:   INC R3
+        MOV R3, R1
+SRETRY: CLR R0
+        TRAP 1
+        TST R0
+        BNE NEXT
+        TRAP 0
+        BR SRETRY
+NEXT:   CMP #30, R3
+        BNE LOOP
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+        MOV #0x80, R4
+        CLR R3
+LOOP:   CLR R0
+        TRAP 2
+        TST R0
+        BEQ YIELD
+        MOV R1, (R4)
+        INC R4
+        INC R3
+        CMP #30, R3
+        BNE LOOP
+        TRAP 7
+YIELD:  TRAP 0
+        BR LOOP
+)").ok());
+  builder.AddChannel("c", 0, 1, capacity);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(20000);
+  EXPECT_TRUE((*sys)->machine().halted());
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  for (Word i = 0; i < 30; ++i) {
+    ASSERT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x80 + i), i + 1)
+        << "capacity " << capacity << " position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ChannelCapacitySweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 29u, 30u, 31u, 64u));
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,324 @@
+// Functional tests of the separation kernel: partition isolation, SWAP
+// round-robin, kernel-mediated channels, interrupt forwarding, fault
+// containment.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_system.h"
+#include "src/machine/devices.h"
+
+namespace sep {
+namespace {
+
+// A regime that counts in R3 and yields each iteration, publishing the
+// counter at partition word 0x40.
+constexpr char kCounter[] = R"(
+        .ORG 0x10
+START:  CLR R3
+LOOP:   INC R3
+        MOV R3, @0x40
+        TRAP 0          ; SWAP
+        BR LOOP
+)";
+
+TEST(KernelBoot, TwoRegimesRunRoundRobin) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("red", 512, kCounter).ok());
+  ASSERT_TRUE(builder.AddRegime("black", 512, kCounter).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+
+  (*sys)->Run(200);
+  // Both regimes made comparable progress.
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  Word red_count = (*sys)->machine().memory().Read(regimes[0].mem_base + 0x40);
+  Word black_count = (*sys)->machine().memory().Read(regimes[1].mem_base + 0x40);
+  EXPECT_GT(red_count, 3);
+  EXPECT_GT(black_count, 3);
+  EXPECT_NEAR(red_count, black_count, 2);
+  EXPECT_GT((*sys)->kernel().SwapCount(), 5u);
+}
+
+TEST(KernelBoot, EntryPointHonoursOrg) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("solo", 512, R"(
+        .ORG 0x20
+        MOV #7, R1
+        MOV R1, @0x40
+        TRAP 7          ; HALT
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(50);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_EQ((*sys)->machine().memory().Read(0x40), 7);
+}
+
+TEST(KernelIsolation, CrossPartitionReadFaultsAndHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("spy", 512, R"(
+        MOV #0x2000, R4
+        MOV (R4), R0    ; page 1 is unmapped: MMU abort
+        MOV #1, R1      ; never reached
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("victim", 512, kCounter).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+  // The spy never got past the faulting instruction.
+  EXPECT_EQ((*sys)->kernel().RegimeSavedReg(0, 1), 0);
+}
+
+TEST(KernelIsolation, WriteToKernelPartitionFaults) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("attacker", 256, R"(
+        MOV #0x3000, R4
+        MOV #0xDEAD, R0
+        MOV R0, (R4)    ; outside the 256-word partition
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(50);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelIsolation, PrivilegedInstructionHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("rogue", 256, "HALT\n").ok());
+  ASSERT_TRUE(builder.AddRegime("peer", 256, kCounter).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->machine().halted());
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+}
+
+TEST(KernelChannels, SendReceiveInOrder) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 512, R"(
+        CLR R3
+LOOP:   INC R3
+        MOV R3, R1
+        CLR R0          ; channel 0
+        TRAP 1          ; SEND
+        TRAP 0          ; SWAP
+        CMP #8, R3
+        BNE LOOP
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+        MOV #0x80, R4   ; store incoming words from 0x80
+LOOP:   CLR R0
+        TRAP 2          ; RECV
+        TST R0
+        BEQ YIELD
+        MOV R1, (R4)
+        INC R4
+        BR LOOP
+YIELD:  TRAP 0
+        BR LOOP
+)").ok());
+  builder.AddChannel("p2c", 0, 1, 4);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(2000);
+
+  // The consumer stored 1..8 in order.
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  for (Word i = 0; i < 8; ++i) {
+    EXPECT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x80 + i), i + 1)
+        << "word " << i;
+  }
+}
+
+TEST(KernelChannels, BackpressureWhenFull) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("flooder", 512, R"(
+        CLR R3          ; successful sends
+        CLR R5          ; rejected sends
+        CLR R2          ; attempts
+LOOP:   MOV #1, R1
+        CLR R0
+        TRAP 1          ; SEND (receiver never drains)
+        TST R0
+        BEQ FULL
+        INC R3
+        BR NEXT
+FULL:   INC R5
+NEXT:   INC R2
+        CMP #10, R2
+        BNE LOOP
+        MOV R3, @0x40
+        MOV R5, @0x42
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("sleeper", 512, "LOOP: TRAP 0\n       BR LOOP\n").ok());
+  builder.AddChannel("c", 0, 1, 4);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(2000);
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  Word sent = (*sys)->machine().memory().Read(regimes[0].mem_base + 0x40);
+  Word rejected = (*sys)->machine().memory().Read(regimes[0].mem_base + 0x42);
+  EXPECT_EQ(sent, 4);       // capacity
+  EXPECT_EQ(rejected, 6);   // the rest bounced
+}
+
+TEST(KernelChannels, SendWithoutRightsHaltsRegime) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("a", 256, R"(
+        CLR R0
+        TRAP 1          ; SEND on a channel owned by b->a: denied
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("b", 256, kCounter).ok());
+  builder.AddChannel("b2a", 1, 0, 4);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelInterrupts, ForwardedToOwningRegime) {
+  SystemBuilder builder;
+  int slu = builder.AddDevice(std::make_unique<SerialLine>("slu", 16, 4, 1));
+  ASSERT_TRUE(builder.AddRegime("driver", 512, R"(
+        .EQU DEV, 0xE000
+START:  CLR R0          ; local device 0
+        MOV #HANDLER, R1
+        TRAP 4          ; SETVEC
+        MOV #DEV, R4
+        MOV #0x40, (R4) ; RCSR interrupt enable
+LOOP:   TRAP 6          ; AWAIT
+        BR LOOP
+HANDLER:
+        MOV #DEV, R4
+        MOV 1(R4), R2   ; read RBUF
+        MOV R2, @0x60   ; publish
+        TRAP 5          ; RETI
+)", {slu}).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+
+  (*sys)->machine().device(slu).InjectInput('X');
+  (*sys)->Run(100);
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[0].mem_base + 0x60), 'X');
+  EXPECT_GE((*sys)->kernel().IrqForwardCount(), 1u);
+}
+
+TEST(KernelInterrupts, AwaitBlocksUntilInterrupt) {
+  SystemBuilder builder;
+  int clk = builder.AddDevice(std::make_unique<LineClock>("clk", 20, 6, 10));
+  ASSERT_TRUE(builder.AddRegime("ticker", 512, R"(
+        .EQU CLK, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4          ; SETVEC
+        MOV #CLK, R4
+        MOV #0x40, (R4) ; enable clock interrupts
+LOOP:   TRAP 6          ; AWAIT
+        BR LOOP
+HANDLER:
+        MOV TICKS, R2
+        INC R2
+        MOV R2, @TICKS
+        MOV #CLK, R4
+        MOV #0x40, (R4) ; clear DONE, keep IE
+        TRAP 5          ; RETI
+TICKS:  .WORD 0
+)", {clk}).ok());
+  ASSERT_TRUE(builder.AddRegime("busy", 512, kCounter).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(300);
+
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  Word ticks_addr = 0;
+  // TICKS label address: look it up by assembling again.
+  Result<AssembledProgram> p = Assemble(R"(
+        .EQU CLK, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4
+        MOV #CLK, R4
+        MOV #0x40, (R4)
+LOOP:   TRAP 6
+        BR LOOP
+HANDLER:
+        MOV TICKS, R2
+        INC R2
+        MOV R2, @TICKS
+        MOV #CLK, R4
+        MOV #0x40, (R4)
+        TRAP 5
+TICKS:  .WORD 0
+)");
+  ASSERT_TRUE(p.ok());
+  ticks_addr = p->SymbolOr("TICKS", 0);
+  Word ticks = (*sys)->machine().memory().Read(regimes[0].mem_base + ticks_addr);
+  EXPECT_GE(ticks, 5);   // clock fires every 10 steps over a 300-step run
+  EXPECT_LE(ticks, 40);
+}
+
+TEST(KernelLifecycle, AllHaltedStopsMachine) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("one", 256, "TRAP 7\n").ok());
+  ASSERT_TRUE(builder.AddRegime("two", 256, "TRAP 7\n").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->machine().halted());
+  EXPECT_TRUE((*sys)->kernel().AllRegimesHalted());
+}
+
+TEST(KernelLifecycle, GetIdReturnsOwnIndex) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("zero", 256, R"(
+        TRAP 8
+        MOV R0, @0x40
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("one", 256, R"(
+        TRAP 8
+        MOV R0, @0x40
+        TRAP 7
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[0].mem_base + 0x40), 0);
+  EXPECT_EQ((*sys)->machine().memory().Read(regimes[1].mem_base + 0x40), 1);
+}
+
+TEST(KernelConfigValidation, OverlappingPartitionsRejected) {
+  KernelConfig config;
+  config.kernel_base = 0x4000;
+  config.kernel_words = 1024;
+  config.regimes.push_back({"a", 0, 512, 0, {}});
+  config.regimes.push_back({"b", 256, 512, 0, {}});  // overlaps a
+  EXPECT_FALSE(ValidateConfig(config, 1u << 15, 0).ok());
+}
+
+TEST(KernelConfigValidation, SharedDeviceRejected) {
+  KernelConfig config;
+  config.kernel_base = 0x4000;
+  config.kernel_words = 1024;
+  config.regimes.push_back({"a", 0, 512, 0, {0}});
+  config.regimes.push_back({"b", 1024, 512, 0, {0}});
+  EXPECT_FALSE(ValidateConfig(config, 1u << 15, 1).ok());
+}
+
+TEST(KernelConfigValidation, SelfChannelRejected) {
+  KernelConfig config;
+  config.kernel_base = 0x4000;
+  config.kernel_words = 1024;
+  config.regimes.push_back({"a", 0, 512, 0, {}});
+  config.channels.push_back({"loop", 0, 0, 8});
+  EXPECT_FALSE(ValidateConfig(config, 1u << 15, 0).ok());
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/security/level.h"
+
+namespace sep {
+namespace {
+
+class LevelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CategoryRegistry::Instance().Reset(); }
+
+  CategorySet Cat(const std::string& name) {
+    return *CategoryRegistry::Instance().GetOrRegister(name);
+  }
+};
+
+TEST_F(LevelTest, ClassificationChainDominance) {
+  SecurityLevel u(Classification::kUnclassified);
+  SecurityLevel c(Classification::kConfidential);
+  SecurityLevel s(Classification::kSecret);
+  SecurityLevel ts(Classification::kTopSecret);
+  EXPECT_TRUE(ts.Dominates(s));
+  EXPECT_TRUE(s.Dominates(c));
+  EXPECT_TRUE(c.Dominates(u));
+  EXPECT_FALSE(u.Dominates(c));
+  EXPECT_TRUE(s.Dominates(s));
+}
+
+TEST_F(LevelTest, CategoriesInduceIncomparability) {
+  SecurityLevel nuc(Classification::kSecret, Cat("NUC"));
+  SecurityLevel crypto(Classification::kSecret, Cat("CRYPTO"));
+  EXPECT_FALSE(nuc.Dominates(crypto));
+  EXPECT_FALSE(crypto.Dominates(nuc));
+  EXPECT_FALSE(nuc.ComparableWith(crypto));
+}
+
+TEST_F(LevelTest, HigherClassificationDoesNotOvercomeMissingCategory) {
+  SecurityLevel ts_plain(Classification::kTopSecret);
+  SecurityLevel s_nuc(Classification::kSecret, Cat("NUC"));
+  EXPECT_FALSE(ts_plain.Dominates(s_nuc));
+}
+
+TEST_F(LevelTest, LubGlbAreBounds) {
+  SecurityLevel a(Classification::kSecret, Cat("NUC"));
+  SecurityLevel b(Classification::kConfidential, Cat("CRYPTO"));
+  SecurityLevel lub = a.LeastUpperBound(b);
+  SecurityLevel glb = a.GreatestLowerBound(b);
+  EXPECT_TRUE(lub.Dominates(a));
+  EXPECT_TRUE(lub.Dominates(b));
+  EXPECT_TRUE(a.Dominates(glb));
+  EXPECT_TRUE(b.Dominates(glb));
+  EXPECT_EQ(lub.classification(), Classification::kSecret);
+  EXPECT_EQ(glb.classification(), Classification::kConfidential);
+  EXPECT_TRUE(glb.categories().empty());
+}
+
+TEST_F(LevelTest, LatticeAbsorption) {
+  // a ⊔ (a ⊓ b) == a and a ⊓ (a ⊔ b) == a.
+  SecurityLevel a(Classification::kSecret, Cat("NUC").Union(Cat("CRYPTO")));
+  SecurityLevel b(Classification::kTopSecret, Cat("NUC"));
+  EXPECT_EQ(a.LeastUpperBound(a.GreatestLowerBound(b)), a);
+  EXPECT_EQ(a.GreatestLowerBound(a.LeastUpperBound(b)), a);
+}
+
+TEST_F(LevelTest, SystemHighDominatesEverything) {
+  SecurityLevel high = SecurityLevel::SystemHigh();
+  EXPECT_TRUE(high.Dominates(SecurityLevel(Classification::kTopSecret, Cat("NUC"))));
+  EXPECT_TRUE(high.Dominates(SecurityLevel::SystemLow()));
+}
+
+TEST_F(LevelTest, ParseRoundTrip) {
+  Result<SecurityLevel> parsed = SecurityLevel::Parse("SECRET {NUC,CRYPTO}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->classification(), Classification::kSecret);
+  EXPECT_EQ(parsed->ToString(), "SECRET {NUC,CRYPTO}");
+}
+
+TEST_F(LevelTest, ParseShortForms) {
+  EXPECT_EQ(SecurityLevel::Parse("TS")->classification(), Classification::kTopSecret);
+  EXPECT_EQ(SecurityLevel::Parse("u")->classification(), Classification::kUnclassified);
+}
+
+TEST_F(LevelTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SecurityLevel::Parse("MEDIUM").ok());
+  EXPECT_FALSE(SecurityLevel::Parse("SECRET {NUC").ok());
+}
+
+TEST_F(LevelTest, RegistryCapacity) {
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(CategoryRegistry::Instance().GetOrRegister("C" + std::to_string(i)).ok());
+  }
+  EXPECT_FALSE(CategoryRegistry::Instance().GetOrRegister("ONE-TOO-MANY").ok());
+  // Existing names still resolve.
+  EXPECT_TRUE(CategoryRegistry::Instance().GetOrRegister("C3").ok());
+}
+
+TEST_F(LevelTest, DominanceIsPartialOrder) {
+  // Reflexive, antisymmetric, transitive over a sample of levels.
+  std::vector<SecurityLevel> levels = {
+      SecurityLevel(Classification::kUnclassified),
+      SecurityLevel(Classification::kSecret, Cat("NUC")),
+      SecurityLevel(Classification::kSecret, Cat("CRYPTO")),
+      SecurityLevel(Classification::kTopSecret, Cat("NUC").Union(Cat("CRYPTO"))),
+  };
+  for (const auto& a : levels) {
+    EXPECT_TRUE(a.Dominates(a));
+    for (const auto& b : levels) {
+      if (a.Dominates(b) && b.Dominates(a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const auto& c : levels) {
+        if (a.Dominates(b) && b.Dominates(c)) {
+          EXPECT_TRUE(a.Dominates(c));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,88 @@
+// A meta-check on the MLS file-server (experiment E12 hardened): drive it
+// with a randomized multi-user workload, then verify a global information
+// flow law over the resulting state — provenance-tagged content never
+// becomes visible below its writer's level.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/components/fileserver.h"
+
+namespace sep {
+namespace {
+
+// A sharper version: drive the workload, then probe as a system-high user
+// and confirm no BLACK-categorised content ever landed in a file a
+// NUC-only user could read. (Content tags: each user writes words tagged
+// with its own index; readable(file) x writer(user) pairs must satisfy the
+// lattice.)
+TEST(MlsAudit, ContentNeverFlowsDownTheLattice) {
+  CategoryRegistry::Instance().Reset();
+  Rng rng(7);
+
+  const SecurityLevel low(Classification::kUnclassified);
+  const SecurityLevel mid(Classification::kSecret);
+  const SecurityLevel high(Classification::kTopSecret);
+  std::vector<FileServerUser> users = {{"low", low}, {"mid", mid}, {"high", high}};
+
+  // Every user tags its written words with (index+1) << 12.
+  std::vector<std::vector<Frame>> scripts(3);
+  std::vector<std::string> pool = {"a", "b", "c", "d"};
+  for (int u = 0; u < 3; ++u) {
+    for (int op = 0; op < 16; ++op) {
+      const std::string& file = pool[rng.NextBelow(pool.size())];
+      switch (rng.NextBelow(3)) {
+        case 0: {
+          const SecurityLevel levels[] = {low, mid, high};
+          scripts[static_cast<std::size_t>(u)].push_back(
+              FsCreate(levels[rng.NextBelow(3)], file));
+          break;
+        }
+        default:
+          scripts[static_cast<std::size_t>(u)].push_back(
+              FsWrite(file, {static_cast<Word>(((u + 1) << 12) | (rng.Next() & 0xFFF))}));
+          break;
+      }
+    }
+  }
+
+  Network net;
+  auto server_owned = std::make_unique<FileServer>(users);
+  FileServer* server = server_owned.get();
+  int server_node = net.AddNode(std::move(server_owned));
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    int node = net.AddNode(std::make_unique<FileClient>(users[u].name, scripts[u]));
+    net.Connect(node, server_node);
+    net.Connect(server_node, node);
+  }
+  net.Run(20000);
+
+  // Decode provenance: if a file is readable by `low`, then no word in it
+  // may carry a mid/high tag UNLESS that user wrote at low... but writes
+  // only land at levels >= the writer (append rule), so a low-readable
+  // file contains only low-written words. Verify by inspection.
+  BlpMonitor probe;
+  ASSERT_TRUE(probe.AddSubject({"low-probe", low, low, false}).ok());
+  for (const std::string& file : pool) {
+    if (!server->HasFile(file)) {
+      continue;
+    }
+    // Determine the file's level by testing readability for each user...
+    // the server's monitor knows; emulate: low can read iff low dominates
+    // the file level, i.e. the file is at UNCLASSIFIED.
+    const Object* object = server->monitor().FindObject(file);
+    ASSERT_NE(object, nullptr);
+    if (!low.Dominates(object->classification)) {
+      continue;  // not low-readable; no constraint
+    }
+    for (Word w : server->FileContents(file)) {
+      const int writer_tag = (w >> 12) & 0xF;
+      EXPECT_EQ(writer_tag, 1) << "word written by user " << writer_tag
+                               << " visible in low-readable file " << file;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/components/wire.h"
+#include "src/distributed/network.h"
+
+namespace sep {
+namespace {
+
+// Emits 1..n on out-port 0, one word per step.
+class Emitter : public Process {
+ public:
+  explicit Emitter(Word n) : n_(n) {}
+  std::string name() const override { return "emitter"; }
+  void Step(NodeContext& ctx) override {
+    if (next_ <= n_) {
+      if (ctx.Send(0, next_)) {
+        ++next_;
+      }
+    }
+  }
+  bool Finished() const override { return next_ > n_; }
+
+ private:
+  Word n_;
+  Word next_ = 1;
+};
+
+class Collector : public Process {
+ public:
+  std::string name() const override { return "collector"; }
+  void Step(NodeContext& ctx) override {
+    if (ctx.in_port_count() == 0) {
+      return;
+    }
+    while (std::optional<Word> w = ctx.Receive(0)) {
+      got_.push_back(*w);
+    }
+  }
+  const std::vector<Word>& got() const { return got_; }
+
+ private:
+  std::vector<Word> got_;
+};
+
+TEST(Network, DeliversInOrder) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(10));
+  int b = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b);
+  net.Run(100);
+  auto& collector = static_cast<Collector&>(net.process(b));
+  ASSERT_EQ(collector.got().size(), 10u);
+  for (Word i = 0; i < 10; ++i) {
+    EXPECT_EQ(collector.got()[i], i + 1);
+  }
+}
+
+TEST(Network, LatencyDelaysDelivery) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(1));
+  int b = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b, 64, /*latency=*/10);
+  auto& collector = static_cast<Collector&>(net.process(b));
+  for (int i = 0; i < 5; ++i) {
+    net.Step();
+  }
+  EXPECT_TRUE(collector.got().empty());
+  for (int i = 0; i < 20; ++i) {
+    net.Step();
+  }
+  EXPECT_EQ(collector.got().size(), 1u);
+}
+
+TEST(Network, CapacityExertsBackpressure) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(100));
+  int b = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b, /*capacity=*/4, /*latency=*/1);
+  net.Run(500);
+  auto& collector = static_cast<Collector&>(net.process(b));
+  EXPECT_EQ(collector.got().size(), 100u);  // all eventually arrive
+}
+
+TEST(Network, NoLinkMeansNoFlow) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(5));
+  int b = net.AddNode(std::make_unique<Collector>());
+  int c = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b);
+  net.Run(50);
+  EXPECT_FALSE(net.Reachable(a, c));
+  EXPECT_TRUE(net.Reachable(a, b));
+  auto& lonely = static_cast<Collector&>(net.process(c));
+  EXPECT_TRUE(lonely.got().empty());
+}
+
+TEST(Network, ReachabilityIsTransitive) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(1));
+  int b = net.AddNode(std::make_unique<Collector>());
+  int c = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b);
+  net.Connect(b, c);
+  EXPECT_TRUE(net.Reachable(a, c));
+  EXPECT_FALSE(net.Reachable(c, a));
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [] {
+    Network net;
+    int a = net.AddNode(std::make_unique<Emitter>(50));
+    int b = net.AddNode(std::make_unique<Collector>());
+    net.Connect(a, b, 8, 3);
+    net.Run(1000);
+    return static_cast<Collector&>(net.process(b)).got();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Wire, FrameRoundTrip) {
+  FrameWriter writer;
+  writer.Queue(Frame{7, {1, 2, 3}});
+  writer.Queue(Frame{9, {}});
+
+  // Shuttle through a reader manually.
+  FrameReader reader;
+  // Flush via a fake context is awkward; use a direct link instead.
+  Network net;
+  struct Pipe : Process {
+    FrameWriter* w;
+    explicit Pipe(FrameWriter* writer) : w(writer) {}
+    std::string name() const override { return "pipe"; }
+    void Step(NodeContext& ctx) override { w->Flush(ctx, 0); }
+  };
+  struct Sink : Process {
+    FrameReader reader;
+    std::vector<Frame> frames;
+    std::string name() const override { return "sink"; }
+    void Step(NodeContext& ctx) override {
+      reader.Poll(ctx, 0);
+      while (auto f = reader.Next()) {
+        frames.push_back(*f);
+      }
+    }
+  };
+  int a = net.AddNode(std::make_unique<Pipe>(&writer));
+  int b = net.AddNode(std::make_unique<Sink>());
+  net.Connect(a, b);
+  net.Run(20);
+  auto& sink = static_cast<Sink&>(net.process(b));
+  ASSERT_EQ(sink.frames.size(), 2u);
+  EXPECT_EQ(sink.frames[0], (Frame{7, {1, 2, 3}}));
+  EXPECT_EQ(sink.frames[1], (Frame{9, {}}));
+  (void)reader;
+}
+
+TEST(Wire, LevelCodeRoundTrip) {
+  CategoryRegistry::Instance().Reset();
+  CategorySet nuc = *CategoryRegistry::Instance().GetOrRegister("NUC");
+  SecurityLevel level(Classification::kSecret, nuc);
+  EXPECT_EQ(DecodeLevel(EncodeLevel(level)), level);
+}
+
+TEST(Wire, StringEncodingRoundTrip) {
+  std::vector<Word> words = StringToWords("hello");
+  EXPECT_EQ(WordsToString(words), "hello");
+  EXPECT_EQ(WordsToString(words, 1, 3), "ell");
+}
+
+TEST(Wire, PartialFrameWaits) {
+  FrameReader reader;
+  reader.Feed(3);  // frame of length 3 announced
+  reader.Feed(7);
+  EXPECT_FALSE(reader.Next().has_value());
+  reader.Feed(1);
+  reader.Feed(2);
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 7);
+  EXPECT_EQ(frame->fields, (std::vector<Word>{1, 2}));
+}
+
+}  // namespace
+}  // namespace sep

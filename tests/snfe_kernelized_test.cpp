@@ -1,0 +1,244 @@
+// The SNFE deployed the way the paper actually proposes: red, censor and
+// black as REGIMES of the separation kernel on one machine, the crypto as a
+// trusted hardware device owned by red, and the kernel's channels as the
+// only lines. This is the configuration the SUE existed to support.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_system.h"
+#include "src/core/separability.h"
+#include "src/machine/devices.h"
+
+namespace sep {
+namespace {
+
+constexpr std::uint64_t kCryptoKey = 0xFEED;
+
+// Red regime: for each of 6 packets, sends a 3-word header (dest, len,
+// flags) to the censor on channel 0 and one crypto-encrypted payload word
+// to black on channel 1. The crypto unit is its trusted device.
+constexpr char kRedRegime[] = R"(
+        .EQU CRYPTO, 0xE000   ; CCSR +0, DATA_IN +1, DATA_OUT +2
+        .EQU N, 6
+START:  CLR R3
+LOOP:   INC R3
+        ; header: dest = i & 7
+        MOV R3, R1
+        BIC #0xFFF8, R1
+        CLR R0
+        JSR SENDW
+        ; header: len = 1
+        MOV #1, R1
+        CLR R0
+        JSR SENDW
+        ; header: flags = 0
+        CLR R1
+        CLR R0
+        JSR SENDW
+        ; payload 0x100+i through the crypto device
+        MOV #0x100, R2
+        ADD R3, R2
+        MOV #CRYPTO, R4
+        MOV R2, 1(R4)
+CWAIT:  MOV (R4), R5
+        BIT #0x80, R5
+        BEQ CWAIT
+        MOV 2(R4), R1         ; ciphertext
+        MOV #1, R0
+        JSR SENDW
+        CMP #N, R3
+        BNE LOOP
+        TRAP 7
+; send R1 on channel R0, retrying over SWAP until accepted
+SENDW:  MOV R0, R5
+SRETRY: MOV R5, R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SRETRY
+SDONE:  RTS
+)";
+
+// A dishonest red that tries to push an out-of-range destination (a data
+// word smuggled into the header field).
+constexpr char kEvilRedRegime[] = R"(
+START:  MOV #9999, R1         ; "dest" is really data
+        CLR R0
+        JSR SENDW
+        MOV #1, R1
+        CLR R0
+        JSR SENDW
+        CLR R1
+        CLR R0
+        JSR SENDW
+        TRAP 7
+SENDW:  MOV R0, R5
+SRETRY: MOV R5, R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SRETRY
+SDONE:  RTS
+)";
+
+// Censor regime: procedural checks on 3-word headers (dest < 64,
+// len <= 128, flags <= 1); forwards valid headers on channel 2, counts
+// drops at 0x90.
+constexpr char kCensorRegime[] = R"(
+START:  JSR RECVW
+        MOV R1, R2            ; dest
+        JSR RECVW
+        MOV R1, R3            ; len
+        JSR RECVW
+        MOV R1, R4            ; flags
+        CMP #63, R2
+        BCS DROP              ; dest > 63
+        CMP #128, R3
+        BCS DROP              ; len > 128
+        CMP #1, R4
+        BCS DROP              ; flags > 1
+        MOV R2, R1
+        JSR SENDW
+        MOV R3, R1
+        JSR SENDW
+        MOV R4, R1
+        JSR SENDW
+        BR START
+DROP:   MOV DROPS, R1
+        INC R1
+        MOV R1, @DROPS
+        BR START
+RECVW:  CLR R0
+        TRAP 2
+        TST R0
+        BNE RDONE
+        TRAP 0
+        BR RECVW
+RDONE:  RTS
+SENDW:  MOV #2, R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SENDW
+SDONE:  RTS
+DROPS:  .WORD 0
+)";
+
+// Black regime: pairs censored headers (channel 2) with ciphertext words
+// (channel 1) into 4-word packets at 0x100.
+constexpr char kBlackRegime[] = R"(
+START:  MOV #0x100, R5
+LOOP:   MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)
+        INC R5
+        MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)
+        INC R5
+        MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)
+        INC R5
+        MOV #1, R0
+        JSR RECVC
+        MOV R1, (R5)
+        INC R5
+        BR LOOP
+RECVC:  MOV R0, R4
+RLOOP:  MOV R4, R0
+        TRAP 2
+        TST R0
+        BNE RDONE
+        TRAP 0
+        BR RLOOP
+RDONE:  RTS
+)";
+
+struct KernelizedSnfe {
+  std::unique_ptr<KernelizedSystem> system;
+  int crypto_slot = -1;
+
+  explicit KernelizedSnfe(const char* red_program, bool cut = false) {
+    SystemBuilder builder;
+    crypto_slot =
+        builder.AddDevice(std::make_unique<CryptoUnit>("crypto", 16, 4, kCryptoKey, 2));
+    EXPECT_TRUE(builder.AddRegime("red", 512, red_program, {crypto_slot}).ok());
+    EXPECT_TRUE(builder.AddRegime("censor", 512, kCensorRegime).ok());
+    EXPECT_TRUE(builder.AddRegime("black", 512, kBlackRegime).ok());
+    builder.AddChannel("red->censor", 0, 1, 16);   // channel 0: the bypass
+    builder.AddChannel("red->black", 0, 2, 16);    // channel 1: ciphertext
+    builder.AddChannel("censor->black", 1, 2, 16); // channel 2: vetted headers
+    builder.CutChannels(cut);
+    auto built = builder.Build();
+    EXPECT_TRUE(built.ok()) << built.error();
+    system = std::move(built.value());
+  }
+};
+
+TEST(KernelizedSnfe, PacketsFlowEndToEnd) {
+  KernelizedSnfe rig(kRedRegime);
+  rig.system->Run(20000);
+  EXPECT_TRUE(rig.system->kernel().RegimeHalted(0));  // red finished
+
+  const auto& black = rig.system->kernel().config().regimes[2];
+  for (Word i = 1; i <= 6; ++i) {
+    const PhysAddr base = black.mem_base + 0x100 + (i - 1) * 4;
+    EXPECT_EQ(rig.system->machine().memory().Read(base + 0), i & 7) << "dest " << i;
+    EXPECT_EQ(rig.system->machine().memory().Read(base + 1), 1) << "len " << i;
+    EXPECT_EQ(rig.system->machine().memory().Read(base + 2), 0) << "flags " << i;
+    // Payload arrives encrypted; the shared-key peer can decrypt it.
+    const Word cipher = rig.system->machine().memory().Read(base + 3);
+    const Word clear = static_cast<Word>(0x100 + i);
+    EXPECT_NE(cipher, clear) << "cleartext on channel! " << i;
+    EXPECT_EQ(static_cast<Word>(cipher ^ CryptoUnit::Keystream(kCryptoKey, i - 1)), clear)
+        << "packet " << i;
+  }
+}
+
+TEST(KernelizedSnfe, CensorDropsSmuggledHeader) {
+  KernelizedSnfe rig(kEvilRedRegime);
+  rig.system->Run(20000);
+  const auto& black = rig.system->kernel().config().regimes[2];
+  const auto& censor = rig.system->kernel().config().regimes[1];
+  // Nothing reached black...
+  EXPECT_EQ(rig.system->machine().memory().Read(black.mem_base + 0x100), 0);
+  // ...and the censor counted exactly one dropped header.
+  Result<AssembledProgram> program = Assemble(kCensorRegime);
+  ASSERT_TRUE(program.ok());
+  const Word drops_addr = program->SymbolOr("DROPS", 0);
+  ASSERT_NE(drops_addr, 0);
+  EXPECT_EQ(rig.system->machine().memory().Read(censor.mem_base + drops_addr), 1);
+}
+
+TEST(KernelizedSnfe, CutVariantSatisfiesSeparability) {
+  // The verification story for the deployed SNFE: cut the three channels
+  // and check total isolation of red, censor and black.
+  KernelizedSnfe rig(kRedRegime, /*cut=*/true);
+  CheckerOptions options;
+  options.trace_steps = 500;
+  options.sample_every = 7;
+  SeparabilityReport report = CheckSeparability(*rig.system, options);
+  EXPECT_TRUE(report.Passed()) << report.Summary() << "\nfirst: "
+                               << (report.violations.empty() ? ""
+                                                             : report.violations[0].description);
+}
+
+TEST(KernelizedSnfe, ChannelTopologyIsExactlyThePaper) {
+  KernelizedSnfe rig(kRedRegime);
+  const KernelConfig& config = rig.system->kernel().config();
+  ASSERT_EQ(config.channels.size(), 3u);
+  // No channel black->red or black->censor or censor->red exists: the
+  // static configuration IS the security topology.
+  for (const ChannelConfig& channel : config.channels) {
+    EXPECT_NE(channel.sender, 2) << "black must have no outbound line here";
+    EXPECT_FALSE(channel.sender == 1 && channel.receiver == 0);
+  }
+  // The crypto is red's exclusive device.
+  EXPECT_EQ(rig.system->kernel().DeviceOwner(rig.crypto_slot), 0);
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,117 @@
+// End-to-end encryption around the network (paper Section 2): a transmit
+// SNFE and a receive SNFE with a shared key, hosts on both ends, ciphertext
+// in the middle.
+#include <gtest/gtest.h>
+
+#include "src/components/snfe_receive.h"
+
+namespace sep {
+namespace {
+
+TEST(SnfePair, HostToHostDelivery) {
+  Network net;
+  SnfePairTopology topo = BuildSnfePair(net, CensorStrictness::kSyntax, 12);
+  net.Run(20000);
+
+  auto& source = static_cast<HostSource&>(net.process(topo.transmit.host));
+  auto& sink = static_cast<HostSink&>(net.process(topo.host_rx));
+  ASSERT_EQ(sink.packets().size(), source.packets().size());
+  for (std::size_t i = 0; i < source.packets().size(); ++i) {
+    // The receiving host gets the ORIGINAL cleartext packet back.
+    EXPECT_EQ(sink.packets()[i].fields, source.packets()[i].fields) << "packet " << i;
+  }
+}
+
+TEST(SnfePair, OnlyCiphertextCrossesTheNetwork) {
+  Network net;
+  SnfePairTopology topo = BuildSnfePair(net, CensorStrictness::kSyntax, 8);
+
+  // Tap "the-network" link by monitoring the words in flight: run the
+  // system and capture everything the transmit black emits by checking
+  // that no cleartext run appears in any network-bound frame. We re-run
+  // the transmit side standalone for the tap.
+  net.Run(20000);
+  auto& source = static_cast<HostSource&>(net.process(topo.transmit.host));
+  auto& sink = static_cast<HostSink&>(net.process(topo.host_rx));
+  ASSERT_FALSE(sink.packets().empty());
+
+  // Build a tap variant: transmit side only, ending at a NetworkSink.
+  Network tap_net;
+  SnfeTopology tap = BuildSnfe(tap_net, CensorStrictness::kSyntax, false, {}, {}, 8);
+  tap_net.Run(20000);
+  auto& tap_sink = static_cast<NetworkSink&>(tap_net.process(tap.network));
+  for (const Frame& packet : source.packets()) {
+    std::vector<Word> cleartext(packet.fields.begin() + 3, packet.fields.end());
+    EXPECT_FALSE(tap_sink.ContainsCleartext(cleartext));
+  }
+}
+
+TEST(SnfePair, ReceiveSideCensorGuardsTheInboundBypass) {
+  // The receive bypass is censored too: a malformed header arriving from
+  // the network is dropped before it reaches the red side.
+  Network net;
+  struct EvilNetwork : Process {
+    FrameWriter writer;
+    bool sent = false;
+    std::string name() const override { return "evil-net"; }
+    void Step(NodeContext& ctx) override {
+      if (!sent) {
+        // dest out of range; payload word smuggled into the packet.
+        Frame net_packet{kPktNet, {9999, 8, 0, 0xAAAA}};
+        writer.Queue(net_packet);
+        sent = true;
+      }
+      writer.Flush(ctx, 0);
+    }
+  };
+  int evil = net.AddNode(std::make_unique<EvilNetwork>());
+  int black_rx = net.AddNode(std::make_unique<BlackReceiver>());
+  int crypto_rx = net.AddNode(std::make_unique<CryptoBox>(1));
+  int censor_rx = net.AddNode(std::make_unique<Censor>(CensorStrictness::kSyntax));
+  int red_rx = net.AddNode(std::make_unique<RedReceiver>());
+  auto host_owned = std::make_unique<HostSink>();
+  HostSink* host = host_owned.get();
+  int host_rx = net.AddNode(std::move(host_owned));
+  net.Connect(evil, black_rx);
+  net.Connect(black_rx, crypto_rx);
+  net.Connect(black_rx, censor_rx);
+  net.Connect(censor_rx, red_rx);
+  net.Connect(crypto_rx, red_rx);
+  net.Connect(red_rx, host_rx);
+  net.Run(500);
+
+  // The decrypted payload waits forever for a header that never clears
+  // review: the host receives nothing.
+  EXPECT_TRUE(host->packets().empty());
+  auto& censor = static_cast<Censor&>(net.process(censor_rx));
+  EXPECT_EQ(censor.stats().dropped, 1u);
+}
+
+TEST(SnfePair, TopologyHasNoCleartextPathAroundTheCrypto) {
+  Network net;
+  SnfePairTopology topo = BuildSnfePair(net, CensorStrictness::kSyntax, 4);
+  // Structural audit: every path from the transmit red to the receive host
+  // passes through either a crypto or a censor node. Equivalently: remove
+  // crypto+censor nodes and red must not reach the receive host. Our
+  // Network has no node-removal; audit edges directly instead — red's only
+  // outbound lines go to crypto and censor.
+  int red_out = 0;
+  for (const auto& edge : net.edges()) {
+    if (edge.from == topo.transmit.red) {
+      ++red_out;
+      EXPECT_TRUE(edge.to == topo.transmit.crypto || edge.to == topo.transmit.censor)
+          << "unexpected red outbound line: " << edge.name;
+    }
+  }
+  EXPECT_EQ(red_out, 2);
+  // And the receive red's only inbound lines come from its crypto/censor.
+  for (const auto& edge : net.edges()) {
+    if (edge.to == topo.red_rx) {
+      EXPECT_TRUE(edge.from == topo.crypto_rx || edge.from == topo.censor_rx)
+          << "unexpected red-rx inbound line: " << edge.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sep

@@ -1,0 +1,72 @@
+// Shared helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/types.h"
+#include "src/machine/cpu.h"
+#include "src/machine/machine.h"
+#include "src/machine/mmu.h"
+
+namespace sep {
+
+// A flat bus backed by a plain vector, for CPU unit tests.
+class FlatBus : public Bus {
+ public:
+  explicit FlatBus(std::size_t words) : mem_(words, 0) {}
+
+  bool Read(VirtAddr addr, AccessKind, Word* out) override {
+    if (addr >= mem_.size()) {
+      return false;
+    }
+    *out = mem_[addr];
+    return true;
+  }
+
+  bool Write(VirtAddr addr, Word value) override {
+    if (addr >= mem_.size()) {
+      return false;
+    }
+    mem_[addr] = value;
+    return true;
+  }
+
+  Word& operator[](std::size_t i) { return mem_[i]; }
+  void Load(VirtAddr base, const std::vector<Word>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      mem_[base + i] = words[i];
+    }
+  }
+
+ private:
+  std::vector<Word> mem_;
+};
+
+// A machine whose kernel mode identity-maps all of RAM (pages 0..6) and the
+// start of the I/O page (page 7): the environment standalone SM-11 programs
+// run in, with hardware trap/interrupt vectoring.
+inline std::unique_ptr<Machine> MakeBareMachine(std::size_t memory_words = 1u << 15) {
+  MachineConfig config;
+  config.memory_words = memory_words;
+  auto machine = std::make_unique<Machine>(config);
+  for (int page = 0; page < 7; ++page) {
+    const PhysAddr base = static_cast<PhysAddr>(page) * kPageWords;
+    if (base >= memory_words) {
+      break;
+    }
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(std::min<std::size_t>(kPageWords, memory_words - base));
+    machine->mmu().SetPage(CpuMode::kKernel, page, {base, length, PageAccess::kReadWrite});
+  }
+  machine->mmu().SetPage(CpuMode::kKernel, 7, {config.io_base, kPageWords, PageAccess::kReadWrite});
+  return machine;
+}
+
+}  // namespace sep
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,205 @@
+// sm11run — assemble and execute an SM-11 program from the command line.
+//
+//   sm11run prog.s                 run bare (kernel mode, identity mapping)
+//   sm11run --regime prog.s       run as the sole regime of a separation
+//                                  kernel (user mode, kernel-call ABI)
+//   sm11run --steps N prog.s      step budget (default 100000)
+//   sm11run --dump ADDR COUNT     print a memory range after the run
+//   sm11run --listing prog.s      print the assembler listing and exit
+//   sm11run --trace prog.s        disassemble each instruction as it runs
+//
+// The program's serial line (if it uses one) is the process's stdin/stdout:
+// input bytes are injected into the device before the run; transmitted
+// words are printed as characters afterwards.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/kernel_system.h"
+#include "src/base/strings.h"
+#include "src/machine/devices.h"
+#include "src/machine/machine.h"
+#include "src/sm11asm/assembler.h"
+
+namespace {
+
+struct Options {
+  std::string path;
+  bool as_regime = false;
+  bool listing = false;
+  bool trace = false;
+  std::size_t steps = 100000;
+  bool dump = false;
+  unsigned dump_addr = 0;
+  unsigned dump_count = 0;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sm11run [--regime] [--steps N] [--dump ADDR COUNT] [--listing] "
+               "[--trace] prog.s\n");
+  std::exit(2);
+}
+
+sep::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return sep::Err("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RunBare(const sep::AssembledProgram& program, const Options& options) {
+  using namespace sep;
+  MachineConfig config;
+  config.memory_words = 1u << 15;
+  Machine machine(config);
+  for (int page = 0; page < 4; ++page) {
+    machine.mmu().SetPage(CpuMode::kKernel, page,
+                          {static_cast<PhysAddr>(page) * kPageWords, kPageWords,
+                           PageAccess::kReadWrite});
+  }
+  machine.mmu().SetPage(CpuMode::kKernel, 7, {config.io_base, kPageWords,
+                                              PageAccess::kReadWrite});
+  int slu = machine.AddDevice(std::make_unique<SerialLine>("console", 16, 4, 1));
+
+  machine.memory().LoadImage(program.base, program.words);
+  machine.cpu().set_pc(program.EntryPoint());
+  machine.cpu().set_sp(0x1000);
+
+  // stdin (if redirected) feeds the console device.
+  if (!isatty(0)) {
+    int c;
+    while ((c = std::getchar()) != EOF) {
+      machine.device(slu).InjectInput(static_cast<Word>(c));
+    }
+  }
+
+  std::size_t executed = 0;
+  while (executed < options.steps && !machine.halted()) {
+    if (options.trace && !machine.waiting()) {
+      const Word pc = machine.cpu().pc();
+      std::optional<Word> w0 = machine.PeekVirt(pc);
+      if (w0.has_value()) {
+        if (std::optional<DecodedInsn> insn = Decode(*w0)) {
+          const Word e1 = machine.PeekVirt(pc + 1).value_or(0);
+          const Word e2 = machine.PeekVirt(pc + 2).value_or(0);
+          std::fprintf(stderr, "%s: %s\n", Octal(pc).c_str(),
+                       Disassemble(*insn, e1, e2).c_str());
+        }
+      }
+    }
+    machine.Step();
+    ++executed;
+  }
+
+  std::vector<Word> out = machine.device(slu).DrainOutput();
+  for (Word w : out) {
+    std::putchar(static_cast<int>(w & 0xFF));
+  }
+  std::fprintf(stderr, "\n[%zu steps, %s]\n", executed,
+               machine.halted() ? "halted" : "step budget exhausted");
+  if (options.dump) {
+    for (unsigned i = 0; i < options.dump_count; ++i) {
+      const unsigned addr = options.dump_addr + i;
+      std::printf("%06o: %06o\n", addr, machine.memory().Read(addr));
+    }
+  }
+  return machine.halted() ? 0 : 3;
+}
+
+int RunRegime(const std::string& source, const Options& options) {
+  using namespace sep;
+  SystemBuilder builder;
+  int slu = builder.AddDevice(std::make_unique<SerialLine>("console", 16, 4, 1));
+  Result<int> regime = builder.AddRegime("main", 4096, source, {slu});
+  if (!regime.ok()) {
+    std::fprintf(stderr, "error: %s\n", regime.error().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<KernelizedSystem>> system = builder.Build();
+  if (!system.ok()) {
+    std::fprintf(stderr, "error: %s\n", system.error().c_str());
+    return 1;
+  }
+  if (!isatty(0)) {
+    int c;
+    while ((c = std::getchar()) != EOF) {
+      (*system)->machine().device(slu).InjectInput(static_cast<Word>(c));
+    }
+  }
+  std::size_t executed = (*system)->Run(options.steps);
+  std::vector<Word> out = (*system)->machine().device(slu).DrainOutput();
+  for (Word w : out) {
+    std::putchar(static_cast<int>(w & 0xFF));
+  }
+  std::fprintf(stderr, "\n[%zu steps, %s; %llu kernel calls, %llu swaps]\n", executed,
+               (*system)->machine().halted() ? "halted" : "budget exhausted",
+               static_cast<unsigned long long>((*system)->kernel().KernelCallCount()),
+               static_cast<unsigned long long>((*system)->kernel().SwapCount()));
+  if (options.dump) {
+    const RegimeConfig& rc = (*system)->kernel().config().regimes[0];
+    for (unsigned i = 0; i < options.dump_count; ++i) {
+      const unsigned addr = options.dump_addr + i;
+      if (addr < rc.mem_words) {
+        std::printf("%06o: %06o\n", addr,
+                    (*system)->machine().memory().Read(rc.mem_base + addr));
+      }
+    }
+  }
+  return (*system)->machine().halted() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--regime") {
+      options.as_regime = true;
+    } else if (arg == "--listing") {
+      options.listing = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--steps" && i + 1 < argc) {
+      options.steps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (arg == "--dump" && i + 2 < argc) {
+      options.dump = true;
+      options.dump_addr = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      options.dump_count = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (!arg.empty() && arg[0] != '-') {
+      options.path = arg;
+    } else {
+      Usage();
+    }
+  }
+  if (options.path.empty()) {
+    Usage();
+  }
+
+  sep::Result<std::string> source = ReadFile(options.path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "error: %s\n", source.error().c_str());
+    return 1;
+  }
+  sep::Result<sep::AssembledProgram> program = sep::Assemble(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly error: %s\n", program.error().c_str());
+    return 1;
+  }
+  if (options.listing) {
+    for (const std::string& line : program->listing) {
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }
+  return options.as_regime ? RunRegime(*source, options) : RunBare(*program, options);
+}
