@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ifa_vs_pos.cpp" "bench/CMakeFiles/bench_ifa_vs_pos.dir/bench_ifa_vs_pos.cpp.o" "gcc" "bench/CMakeFiles/bench_ifa_vs_pos.dir/bench_ifa_vs_pos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ifa/CMakeFiles/sep_ifa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sep_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sep_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm11asm/CMakeFiles/sep_sm11asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sep_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sep_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ifa_vs_pos.dir/bench_ifa_vs_pos.cpp.o"
+  "CMakeFiles/bench_ifa_vs_pos.dir/bench_ifa_vs_pos.cpp.o.d"
+  "bench_ifa_vs_pos"
+  "bench_ifa_vs_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ifa_vs_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

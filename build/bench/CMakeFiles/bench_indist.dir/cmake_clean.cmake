@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indist.dir/bench_indist.cpp.o"
+  "CMakeFiles/bench_indist.dir/bench_indist.cpp.o.d"
+  "bench_indist"
+  "bench_indist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_size.dir/bench_kernel_size.cpp.o"
+  "CMakeFiles/bench_kernel_size.dir/bench_kernel_size.cpp.o.d"
+  "bench_kernel_size"
+  "bench_kernel_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

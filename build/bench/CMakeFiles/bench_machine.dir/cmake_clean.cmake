@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine.dir/bench_machine.cpp.o"
+  "CMakeFiles/bench_machine.dir/bench_machine.cpp.o.d"
+  "bench_machine"
+  "bench_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separability.dir/bench_separability.cpp.o"
+  "CMakeFiles/bench_separability.dir/bench_separability.cpp.o.d"
+  "bench_separability"
+  "bench_separability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

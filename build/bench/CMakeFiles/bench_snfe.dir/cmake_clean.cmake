@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snfe.dir/bench_snfe.cpp.o"
+  "CMakeFiles/bench_snfe.dir/bench_snfe.cpp.o.d"
+  "bench_snfe"
+  "bench_snfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

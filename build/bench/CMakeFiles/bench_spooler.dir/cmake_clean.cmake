@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spooler.dir/bench_spooler.cpp.o"
+  "CMakeFiles/bench_spooler.dir/bench_spooler.cpp.o.d"
+  "bench_spooler"
+  "bench_spooler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spooler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wirecut.dir/bench_wirecut.cpp.o"
+  "CMakeFiles/bench_wirecut.dir/bench_wirecut.cpp.o.d"
+  "bench_wirecut"
+  "bench_wirecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wirecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

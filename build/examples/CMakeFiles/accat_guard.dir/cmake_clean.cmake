@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accat_guard.dir/accat_guard.cpp.o"
+  "CMakeFiles/accat_guard.dir/accat_guard.cpp.o.d"
+  "accat_guard"
+  "accat_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accat_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

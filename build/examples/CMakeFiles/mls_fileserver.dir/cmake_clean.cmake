@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_fileserver.dir/mls_fileserver.cpp.o"
+  "CMakeFiles/mls_fileserver.dir/mls_fileserver.cpp.o.d"
+  "mls_fileserver"
+  "mls_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mls_fileserver.
+# This may be replaced when dependencies are built.

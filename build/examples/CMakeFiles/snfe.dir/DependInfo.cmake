@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/snfe.cpp" "examples/CMakeFiles/snfe.dir/snfe.cpp.o" "gcc" "examples/CMakeFiles/snfe.dir/snfe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/components/CMakeFiles/sep_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/sep_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/sep_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sep_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sep_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfe.dir/snfe.cpp.o"
+  "CMakeFiles/snfe.dir/snfe.cpp.o.d"
+  "snfe"
+  "snfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("security")
+subdirs("machine")
+subdirs("sm11asm")
+subdirs("kernel")
+subdirs("model")
+subdirs("core")
+subdirs("ifa")
+subdirs("distributed")
+subdirs("components")

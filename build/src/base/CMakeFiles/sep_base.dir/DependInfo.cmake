@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cpp" "src/base/CMakeFiles/sep_base.dir/logging.cpp.o" "gcc" "src/base/CMakeFiles/sep_base.dir/logging.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/base/CMakeFiles/sep_base.dir/rng.cpp.o" "gcc" "src/base/CMakeFiles/sep_base.dir/rng.cpp.o.d"
+  "/root/repo/src/base/strings.cpp" "src/base/CMakeFiles/sep_base.dir/strings.cpp.o" "gcc" "src/base/CMakeFiles/sep_base.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

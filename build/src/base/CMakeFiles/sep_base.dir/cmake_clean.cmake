@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_base.dir/logging.cpp.o"
+  "CMakeFiles/sep_base.dir/logging.cpp.o.d"
+  "CMakeFiles/sep_base.dir/rng.cpp.o"
+  "CMakeFiles/sep_base.dir/rng.cpp.o.d"
+  "CMakeFiles/sep_base.dir/strings.cpp.o"
+  "CMakeFiles/sep_base.dir/strings.cpp.o.d"
+  "libsep_base.a"
+  "libsep_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

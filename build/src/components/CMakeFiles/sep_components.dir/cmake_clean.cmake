@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_components.dir/auth.cpp.o"
+  "CMakeFiles/sep_components.dir/auth.cpp.o.d"
+  "CMakeFiles/sep_components.dir/fileserver.cpp.o"
+  "CMakeFiles/sep_components.dir/fileserver.cpp.o.d"
+  "CMakeFiles/sep_components.dir/guard.cpp.o"
+  "CMakeFiles/sep_components.dir/guard.cpp.o.d"
+  "CMakeFiles/sep_components.dir/printserver.cpp.o"
+  "CMakeFiles/sep_components.dir/printserver.cpp.o.d"
+  "CMakeFiles/sep_components.dir/snfe.cpp.o"
+  "CMakeFiles/sep_components.dir/snfe.cpp.o.d"
+  "CMakeFiles/sep_components.dir/snfe_receive.cpp.o"
+  "CMakeFiles/sep_components.dir/snfe_receive.cpp.o.d"
+  "libsep_components.a"
+  "libsep_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/sep_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/sep_core.dir/indistinguishability.cpp.o"
+  "CMakeFiles/sep_core.dir/indistinguishability.cpp.o.d"
+  "CMakeFiles/sep_core.dir/kernel_system.cpp.o"
+  "CMakeFiles/sep_core.dir/kernel_system.cpp.o.d"
+  "CMakeFiles/sep_core.dir/separability.cpp.o"
+  "CMakeFiles/sep_core.dir/separability.cpp.o.d"
+  "libsep_core.a"
+  "libsep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

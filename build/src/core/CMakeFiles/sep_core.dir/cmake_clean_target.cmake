@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsep_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_distributed.dir/network.cpp.o"
+  "CMakeFiles/sep_distributed.dir/network.cpp.o.d"
+  "libsep_distributed.a"
+  "libsep_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

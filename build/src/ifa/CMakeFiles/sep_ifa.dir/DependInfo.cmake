@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ifa/analyzer.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/analyzer.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/analyzer.cpp.o.d"
+  "/root/repo/src/ifa/interpreter.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/interpreter.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/interpreter.cpp.o.d"
+  "/root/repo/src/ifa/kernel_programs.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/kernel_programs.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/kernel_programs.cpp.o.d"
+  "/root/repo/src/ifa/lattice.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/lattice.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/lattice.cpp.o.d"
+  "/root/repo/src/ifa/parser.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/parser.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/parser.cpp.o.d"
+  "/root/repo/src/ifa/semantic.cpp" "src/ifa/CMakeFiles/sep_ifa.dir/semantic.cpp.o" "gcc" "src/ifa/CMakeFiles/sep_ifa.dir/semantic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sep_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

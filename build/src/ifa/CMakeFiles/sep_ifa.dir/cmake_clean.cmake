@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_ifa.dir/analyzer.cpp.o"
+  "CMakeFiles/sep_ifa.dir/analyzer.cpp.o.d"
+  "CMakeFiles/sep_ifa.dir/interpreter.cpp.o"
+  "CMakeFiles/sep_ifa.dir/interpreter.cpp.o.d"
+  "CMakeFiles/sep_ifa.dir/kernel_programs.cpp.o"
+  "CMakeFiles/sep_ifa.dir/kernel_programs.cpp.o.d"
+  "CMakeFiles/sep_ifa.dir/lattice.cpp.o"
+  "CMakeFiles/sep_ifa.dir/lattice.cpp.o.d"
+  "CMakeFiles/sep_ifa.dir/parser.cpp.o"
+  "CMakeFiles/sep_ifa.dir/parser.cpp.o.d"
+  "CMakeFiles/sep_ifa.dir/semantic.cpp.o"
+  "CMakeFiles/sep_ifa.dir/semantic.cpp.o.d"
+  "libsep_ifa.a"
+  "libsep_ifa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_ifa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

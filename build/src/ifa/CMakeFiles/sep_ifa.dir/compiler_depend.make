@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sep_ifa.
+# This may be replaced when dependencies are built.

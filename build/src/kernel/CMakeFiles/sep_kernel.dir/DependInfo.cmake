@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/config.cpp" "src/kernel/CMakeFiles/sep_kernel.dir/config.cpp.o" "gcc" "src/kernel/CMakeFiles/sep_kernel.dir/config.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/sep_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/sep_kernel.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sep_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sep_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_kernel.dir/config.cpp.o"
+  "CMakeFiles/sep_kernel.dir/config.cpp.o.d"
+  "CMakeFiles/sep_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/sep_kernel.dir/kernel.cpp.o.d"
+  "libsep_kernel.a"
+  "libsep_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

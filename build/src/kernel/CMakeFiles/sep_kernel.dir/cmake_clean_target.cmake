@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsep_kernel.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cpu.cpp" "src/machine/CMakeFiles/sep_machine.dir/cpu.cpp.o" "gcc" "src/machine/CMakeFiles/sep_machine.dir/cpu.cpp.o.d"
+  "/root/repo/src/machine/devices.cpp" "src/machine/CMakeFiles/sep_machine.dir/devices.cpp.o" "gcc" "src/machine/CMakeFiles/sep_machine.dir/devices.cpp.o.d"
+  "/root/repo/src/machine/isa.cpp" "src/machine/CMakeFiles/sep_machine.dir/isa.cpp.o" "gcc" "src/machine/CMakeFiles/sep_machine.dir/isa.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/sep_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/sep_machine.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sep_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

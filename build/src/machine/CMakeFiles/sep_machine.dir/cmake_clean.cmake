@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_machine.dir/cpu.cpp.o"
+  "CMakeFiles/sep_machine.dir/cpu.cpp.o.d"
+  "CMakeFiles/sep_machine.dir/devices.cpp.o"
+  "CMakeFiles/sep_machine.dir/devices.cpp.o.d"
+  "CMakeFiles/sep_machine.dir/isa.cpp.o"
+  "CMakeFiles/sep_machine.dir/isa.cpp.o.d"
+  "CMakeFiles/sep_machine.dir/machine.cpp.o"
+  "CMakeFiles/sep_machine.dir/machine.cpp.o.d"
+  "libsep_machine.a"
+  "libsep_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

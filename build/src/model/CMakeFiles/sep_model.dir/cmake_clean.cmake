@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_model.dir/shared_system.cpp.o"
+  "CMakeFiles/sep_model.dir/shared_system.cpp.o.d"
+  "libsep_model.a"
+  "libsep_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sep_model.
+# This may be replaced when dependencies are built.

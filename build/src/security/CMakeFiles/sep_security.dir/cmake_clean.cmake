@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_security.dir/blp.cpp.o"
+  "CMakeFiles/sep_security.dir/blp.cpp.o.d"
+  "CMakeFiles/sep_security.dir/level.cpp.o"
+  "CMakeFiles/sep_security.dir/level.cpp.o.d"
+  "libsep_security.a"
+  "libsep_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_sm11asm.dir/assembler.cpp.o"
+  "CMakeFiles/sep_sm11asm.dir/assembler.cpp.o.d"
+  "libsep_sm11asm.a"
+  "libsep_sm11asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_sm11asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sep_sm11asm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_test.dir/assembler_test.cpp.o"
+  "CMakeFiles/assembler_test.dir/assembler_test.cpp.o.d"
+  "assembler_test"
+  "assembler_test.pdb"
+  "assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

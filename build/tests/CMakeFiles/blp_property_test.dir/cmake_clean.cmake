@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blp_property_test.dir/blp_property_test.cpp.o"
+  "CMakeFiles/blp_property_test.dir/blp_property_test.cpp.o.d"
+  "blp_property_test"
+  "blp_property_test.pdb"
+  "blp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

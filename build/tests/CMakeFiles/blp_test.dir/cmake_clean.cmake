@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blp_test.dir/blp_test.cpp.o"
+  "CMakeFiles/blp_test.dir/blp_test.cpp.o.d"
+  "blp_test"
+  "blp_test.pdb"
+  "blp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_test.dir/components_test.cpp.o"
+  "CMakeFiles/components_test.dir/components_test.cpp.o.d"
+  "components_test"
+  "components_test.pdb"
+  "components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperation_test.dir/cooperation_test.cpp.o"
+  "CMakeFiles/cooperation_test.dir/cooperation_test.cpp.o.d"
+  "cooperation_test"
+  "cooperation_test.pdb"
+  "cooperation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

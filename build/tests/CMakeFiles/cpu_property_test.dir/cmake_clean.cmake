@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_property_test.dir/cpu_property_test.cpp.o"
+  "CMakeFiles/cpu_property_test.dir/cpu_property_test.cpp.o.d"
+  "cpu_property_test"
+  "cpu_property_test.pdb"
+  "cpu_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

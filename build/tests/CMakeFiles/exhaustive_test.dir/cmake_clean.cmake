@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_test.dir/exhaustive_test.cpp.o"
+  "CMakeFiles/exhaustive_test.dir/exhaustive_test.cpp.o.d"
+  "exhaustive_test"
+  "exhaustive_test.pdb"
+  "exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileserver_test.dir/fileserver_test.cpp.o"
+  "CMakeFiles/fileserver_test.dir/fileserver_test.cpp.o.d"
+  "fileserver_test"
+  "fileserver_test.pdb"
+  "fileserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guard_kernelized_test.dir/guard_kernelized_test.cpp.o"
+  "CMakeFiles/guard_kernelized_test.dir/guard_kernelized_test.cpp.o.d"
+  "guard_kernelized_test"
+  "guard_kernelized_test.pdb"
+  "guard_kernelized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_kernelized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

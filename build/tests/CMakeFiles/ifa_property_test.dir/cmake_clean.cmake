@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifa_property_test.dir/ifa_property_test.cpp.o"
+  "CMakeFiles/ifa_property_test.dir/ifa_property_test.cpp.o.d"
+  "ifa_property_test"
+  "ifa_property_test.pdb"
+  "ifa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

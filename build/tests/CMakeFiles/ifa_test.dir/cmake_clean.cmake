@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifa_test.dir/ifa_test.cpp.o"
+  "CMakeFiles/ifa_test.dir/ifa_test.cpp.o.d"
+  "ifa_test"
+  "ifa_test.pdb"
+  "ifa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

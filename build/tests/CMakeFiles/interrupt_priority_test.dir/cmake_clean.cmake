@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_priority_test.dir/interrupt_priority_test.cpp.o"
+  "CMakeFiles/interrupt_priority_test.dir/interrupt_priority_test.cpp.o.d"
+  "interrupt_priority_test"
+  "interrupt_priority_test.pdb"
+  "interrupt_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_edge_test.dir/kernel_edge_test.cpp.o"
+  "CMakeFiles/kernel_edge_test.dir/kernel_edge_test.cpp.o.d"
+  "kernel_edge_test"
+  "kernel_edge_test.pdb"
+  "kernel_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

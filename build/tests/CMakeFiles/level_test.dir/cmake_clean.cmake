@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_test.dir/level_test.cpp.o"
+  "CMakeFiles/level_test.dir/level_test.cpp.o.d"
+  "level_test"
+  "level_test.pdb"
+  "level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

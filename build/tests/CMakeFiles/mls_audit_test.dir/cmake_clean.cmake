@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_audit_test.dir/mls_audit_test.cpp.o"
+  "CMakeFiles/mls_audit_test.dir/mls_audit_test.cpp.o.d"
+  "mls_audit_test"
+  "mls_audit_test.pdb"
+  "mls_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mls_audit_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_conditions_test.dir/model_conditions_test.cpp.o"
+  "CMakeFiles/model_conditions_test.dir/model_conditions_test.cpp.o.d"
+  "model_conditions_test"
+  "model_conditions_test.pdb"
+  "model_conditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_property_test.dir/network_property_test.cpp.o"
+  "CMakeFiles/network_property_test.dir/network_property_test.cpp.o.d"
+  "network_property_test"
+  "network_property_test.pdb"
+  "network_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_test.dir/scheduling_test.cpp.o"
+  "CMakeFiles/scheduling_test.dir/scheduling_test.cpp.o.d"
+  "scheduling_test"
+  "scheduling_test.pdb"
+  "scheduling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separability_property_test.dir/separability_property_test.cpp.o"
+  "CMakeFiles/separability_property_test.dir/separability_property_test.cpp.o.d"
+  "separability_property_test"
+  "separability_property_test.pdb"
+  "separability_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

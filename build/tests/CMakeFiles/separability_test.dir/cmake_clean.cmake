@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separability_test.dir/separability_test.cpp.o"
+  "CMakeFiles/separability_test.dir/separability_test.cpp.o.d"
+  "separability_test"
+  "separability_test.pdb"
+  "separability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfe_kernelized_test.dir/snfe_kernelized_test.cpp.o"
+  "CMakeFiles/snfe_kernelized_test.dir/snfe_kernelized_test.cpp.o.d"
+  "snfe_kernelized_test"
+  "snfe_kernelized_test.pdb"
+  "snfe_kernelized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfe_kernelized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

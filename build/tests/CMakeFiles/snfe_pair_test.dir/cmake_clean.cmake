@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfe_pair_test.dir/snfe_pair_test.cpp.o"
+  "CMakeFiles/snfe_pair_test.dir/snfe_pair_test.cpp.o.d"
+  "snfe_pair_test"
+  "snfe_pair_test.pdb"
+  "snfe_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfe_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfe_test.dir/snfe_test.cpp.o"
+  "CMakeFiles/snfe_test.dir/snfe_test.cpp.o.d"
+  "snfe_test"
+  "snfe_test.pdb"
+  "snfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

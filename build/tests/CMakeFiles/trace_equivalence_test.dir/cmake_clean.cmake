@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_equivalence_test.dir/trace_equivalence_test.cpp.o"
+  "CMakeFiles/trace_equivalence_test.dir/trace_equivalence_test.cpp.o.d"
+  "trace_equivalence_test"
+  "trace_equivalence_test.pdb"
+  "trace_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wirecut_test.dir/wirecut_test.cpp.o"
+  "CMakeFiles/wirecut_test.dir/wirecut_test.cpp.o.d"
+  "wirecut_test"
+  "wirecut_test.pdb"
+  "wirecut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wirecut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[MlsAudit.ContentNeverFlowsDownTheLattice]=]  /root/repo/build/tests/mls_audit_test [==[--gtest_filter=MlsAudit.ContentNeverFlowsDownTheLattice]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MlsAudit.ContentNeverFlowsDownTheLattice]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  mls_audit_test_TESTS MlsAudit.ContentNeverFlowsDownTheLattice)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm11run.dir/sm11run.cpp.o"
+  "CMakeFiles/sm11run.dir/sm11run.cpp.o.d"
+  "sm11run"
+  "sm11run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm11run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

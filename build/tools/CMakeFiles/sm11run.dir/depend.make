@@ -1,0 +1,2 @@
+# Empty dependencies file for sm11run.
+# This may be replaced when dependencies are built.
