@@ -19,6 +19,8 @@
 #define SRC_COMPONENTS_SNFE_RECEIVE_H_
 
 #include "src/components/snfe.h"
+#include "src/distributed/faults.h"
+#include "src/distributed/reliable.h"
 
 namespace sep {
 
@@ -80,6 +82,21 @@ struct SnfePairTopology {
 // the crypto key: the complete end-to-end encrypted path host -> host.
 SnfePairTopology BuildSnfePair(Network& net, CensorStrictness strictness, int packet_count = 16,
                                std::uint64_t key = 0xC0FFEE);
+
+// The SNFE pair with a REAL network in the middle: the black->black-rx hop
+// runs through a reliable tunnel (src/distributed/reliable.h) whose data and
+// ACK lines carry the given fault schedule. With any fault rate the protocol
+// tolerates, the receiving host's packet stream is byte-identical to the
+// fault-free run — the chaos acceptance property.
+struct SnfeLossyTopology {
+  SnfePairTopology pair;
+  ReliableTunnel tunnel;
+};
+
+SnfeLossyTopology BuildSnfePairReliable(Network& net, CensorStrictness strictness,
+                                        const FaultSpec& net_faults, std::uint64_t fault_seed,
+                                        int packet_count = 16, std::uint64_t key = 0xC0FFEE,
+                                        const ReliableConfig& reliable = {});
 
 }  // namespace sep
 

@@ -1,0 +1,60 @@
+#include "src/distributed/faults.h"
+
+namespace sep {
+
+FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed) : spec_(spec), rng_(seed) {}
+
+FaultPlan::Decision FaultPlan::Decide() {
+  Decision d;
+  ++counters_.offered;
+  if (spec_.drop_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.drop_percent), 100)) {
+    d.drop = true;
+    ++counters_.dropped;
+    // A dropped word has no further fate; keep the draw count per word
+    // independent of the other categories by deciding them anyway.
+  }
+  if (spec_.duplicate_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.duplicate_percent), 100)) {
+    d.duplicate = !d.drop;
+    if (d.duplicate) {
+      ++counters_.duplicated;
+    }
+  }
+  if (spec_.corrupt_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.corrupt_percent), 100)) {
+    // Flip one to three bits: a nonzero mask, biased toward single-bit noise.
+    Word mask = static_cast<Word>(1u << rng_.NextBelow(16));
+    if (rng_.NextChance(1, 3)) {
+      mask = static_cast<Word>(mask | (1u << rng_.NextBelow(16)));
+    }
+    if (rng_.NextChance(1, 9)) {
+      mask = static_cast<Word>(mask | (1u << rng_.NextBelow(16)));
+    }
+    if (!d.drop) {
+      d.corrupt_mask = mask;
+      ++counters_.corrupted;
+    }
+  }
+  if (spec_.reorder_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.reorder_percent), 100)) {
+    d.reorder = !d.drop;
+    if (d.reorder) {
+      ++counters_.reordered;
+    }
+  }
+  if (spec_.delay_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.delay_percent), 100)) {
+    const Tick extra = static_cast<Tick>(
+        rng_.NextInRange(1, static_cast<std::int64_t>(spec_.max_extra_delay > 0
+                                                          ? spec_.max_extra_delay
+                                                          : 1)));
+    if (!d.drop) {
+      d.extra_delay = extra;
+      ++counters_.delayed;
+    }
+  }
+  return d;
+}
+
+}  // namespace sep

@@ -1,0 +1,105 @@
+// Deterministic fault injection for communication lines.
+//
+// The paper's structural claim — a secure system is components joined by
+// explicit communication lines — is only credible if the trusted components
+// degrade gracefully when those lines misbehave. Real lines drop, duplicate,
+// corrupt, reorder and delay words. A FaultPlan is a seeded, reproducible
+// schedule of such events, installable per-link via Network::InjectFaults():
+// every word pushed onto a faulted link consults the plan once, so a fixed
+// (topology, workload, seed) triple always produces the identical fault
+// history. Per-link FaultCounters record what the wire actually did, for
+// observability in tests and the chaos harness.
+//
+// Fault injection models the WIRE, not the endpoints: it can lose or mangle
+// words but it cannot create information. Nothing a FaultPlan does widens a
+// declared channel — which is why the reliable-channel protocol layered on
+// top (src/distributed/reliable.h) preserves the wire-cutting argument; see
+// docs/RESILIENCE.md.
+#ifndef SRC_DISTRIBUTED_FAULTS_H_
+#define SRC_DISTRIBUTED_FAULTS_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace sep {
+
+// Per-word fault probabilities, in percent. Each category is drawn
+// independently, so a single word can be e.g. both corrupted and delayed.
+struct FaultSpec {
+  int drop_percent = 0;       // word vanishes in flight
+  int duplicate_percent = 0;  // word is delivered twice
+  int corrupt_percent = 0;    // one or more bits flip
+  int reorder_percent = 0;    // word overtakes its predecessor
+  int delay_percent = 0;      // word takes extra_delay additional ticks
+  Tick max_extra_delay = 4;   // extra delay drawn uniformly from [1, max]
+
+  // A uniform profile: every fault category at `percent`.
+  static FaultSpec Uniform(int percent) {
+    FaultSpec spec;
+    spec.drop_percent = percent;
+    spec.duplicate_percent = percent;
+    spec.corrupt_percent = percent;
+    spec.reorder_percent = percent;
+    spec.delay_percent = percent;
+    return spec;
+  }
+
+  // The chaos harness's headline knob: drops and corruption only.
+  static FaultSpec DropCorrupt(int percent) {
+    FaultSpec spec;
+    spec.drop_percent = percent;
+    spec.corrupt_percent = percent;
+    return spec;
+  }
+
+  bool Any() const {
+    return drop_percent > 0 || duplicate_percent > 0 || corrupt_percent > 0 ||
+           reorder_percent > 0 || delay_percent > 0;
+  }
+};
+
+// What the wire did, cumulatively, since the plan was installed.
+struct FaultCounters {
+  std::uint64_t offered = 0;     // words presented to the link
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+
+  std::uint64_t total_faults() const {
+    return dropped + duplicated + corrupted + reordered + delayed;
+  }
+};
+
+// A seeded schedule of fault decisions. One Decide() call per pushed word.
+class FaultPlan {
+ public:
+  FaultPlan(FaultSpec spec, std::uint64_t seed);
+
+  // The fate of one word about to enter the wire.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    Word corrupt_mask = 0;  // XORed into the word; 0 = intact
+    Tick extra_delay = 0;
+  };
+
+  // Draws the next decision and updates the counters.
+  Decision Decide();
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_DISTRIBUTED_FAULTS_H_

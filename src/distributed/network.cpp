@@ -1,8 +1,48 @@
 #include "src/distributed/network.h"
 
+#include <utility>
+
 #include "src/base/strings.h"
 
 namespace sep {
+
+bool Link::Push(Word w, Tick now) {
+  if (Space() == 0) {
+    return false;
+  }
+  const Tick base_at = now + latency_;
+  if (!faults_) {
+    in_flight_.push_back({w, base_at});
+    return true;
+  }
+  const FaultPlan::Decision d = faults_->Decide();
+  if (d.drop) {
+    return true;  // accepted by the wire, lost in flight
+  }
+  const Word v = static_cast<Word>(w ^ d.corrupt_mask);
+  in_flight_.push_back({v, base_at + d.extra_delay});
+  if (d.reorder && in_flight_.size() >= 2) {
+    // The new word overtakes its predecessor: swap the two words while each
+    // keeps its delivery slot, so the earlier slot now carries the newer word.
+    std::swap(in_flight_[in_flight_.size() - 1].word, in_flight_[in_flight_.size() - 2].word);
+  }
+  if (d.duplicate) {
+    // The echo ignores capacity accounting — see Link::Space().
+    in_flight_.push_back({v, base_at + d.extra_delay + 1});
+  }
+  return true;
+}
+
+void Link::Advance(Tick now) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->deliver_at <= now) {
+      ready_.push_back(it->word);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 
 int Network::AddNode(std::unique_ptr<Process> process) {
   nodes_.push_back(Node{std::move(process), {}, {}});

@@ -22,6 +22,7 @@
 
 #include "src/base/result.h"
 #include "src/base/types.h"
+#include "src/distributed/faults.h"
 
 namespace sep {
 
@@ -40,7 +41,10 @@ class Process {
   virtual bool Finished() const { return false; }
 };
 
-// One-directional word pipe with capacity and delivery latency.
+// One-directional word pipe with capacity and delivery latency. A link may
+// carry an installed FaultPlan, in which case each pushed word can be
+// dropped, duplicated, corrupted, reordered or further delayed — the wire's
+// misbehaviour, never the endpoints'.
 class Link {
  public:
   Link(std::string name, std::size_t capacity, Tick latency)
@@ -48,13 +52,9 @@ class Link {
 
   const std::string& name() const { return name_; }
 
-  bool Push(Word w, Tick now) {
-    if (in_flight_.size() + ready_.size() >= capacity_) {
-      return false;
-    }
-    in_flight_.push_back({w, now + latency_});
-    return true;
-  }
+  // Accepts `w` into the wire unless the link is full. With faults
+  // installed, acceptance does not imply delivery.
+  bool Push(Word w, Tick now);
 
   std::optional<Word> Pop() {
     if (ready_.empty()) {
@@ -66,14 +66,30 @@ class Link {
   }
 
   std::size_t ReadyCount() const { return ready_.size(); }
-  std::size_t Space() const { return capacity_ - in_flight_.size() - ready_.size(); }
 
-  void Advance(Tick now) {
-    while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {
-      ready_.push_back(in_flight_.front().word);
-      in_flight_.pop_front();
-    }
+  // Remaining acceptance capacity, clamped: fault-injected duplication may
+  // transiently push occupancy past `capacity_` (wire noise does not respect
+  // buffer accounting), and the subtraction must not underflow.
+  std::size_t Space() const {
+    const std::size_t used = in_flight_.size() + ready_.size();
+    return used >= capacity_ ? 0 : capacity_ - used;
   }
+
+  // Moves every in-flight word whose delivery tick has elapsed to the ready
+  // queue. Scans the whole flight deque: fault-injected extra delay makes
+  // deliver_at non-monotone, and a delayed word must not hold up words
+  // behind it (that would turn "delay" into head-of-line blocking rather
+  // than reordering). Without faults deliver_at is monotone and this is
+  // exactly the old prefix pop.
+  void Advance(Tick now);
+
+  // --- fault injection -------------------------------------------------------
+
+  void InstallFaults(FaultSpec spec, std::uint64_t seed) {
+    faults_ = std::make_unique<FaultPlan>(spec, seed);
+  }
+  void ClearFaults() { faults_.reset(); }
+  const FaultPlan* faults() const { return faults_.get(); }
 
   std::uint64_t total_pushed() const { return total_pushed_; }
   void CountPush() { ++total_pushed_; }
@@ -89,6 +105,7 @@ class Link {
   std::deque<InFlight> in_flight_;
   std::deque<Word> ready_;
   std::uint64_t total_pushed_ = 0;
+  std::unique_ptr<FaultPlan> faults_;
 };
 
 // The services a process sees during a step: its node's ports.
@@ -149,6 +166,22 @@ class Network {
   Process& process(int node) { return *nodes_[static_cast<std::size_t>(node)].process; }
   Link& link(int id) { return *links_[static_cast<std::size_t>(id)]; }
   int link_count() const { return static_cast<int>(links_.size()); }
+
+  // Installs a seeded fault schedule on link `link_id`; every word pushed
+  // onto that link from now on is subject to the plan. Deterministic: the
+  // same (topology, workload, spec, seed) reproduces the fault history
+  // bit-for-bit.
+  void InjectFaults(int link_id, const FaultSpec& spec, std::uint64_t seed) {
+    link(link_id).InstallFaults(spec, seed);
+  }
+  void ClearFaults(int link_id) { link(link_id).ClearFaults(); }
+
+  // Observability: what the wire did to link `link_id`, or nullptr if no
+  // plan is installed there.
+  const FaultCounters* FaultCountersFor(int link_id) const {
+    const FaultPlan* plan = links_[static_cast<std::size_t>(link_id)]->faults();
+    return plan ? &plan->counters() : nullptr;
+  }
 
   // The declared communication topology: (from, to) node pairs per link —
   // the object experiment E1 audits.

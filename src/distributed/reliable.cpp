@@ -1,0 +1,260 @@
+#include "src/distributed/reliable.h"
+
+#include <algorithm>
+
+#include "src/base/hash.h"
+
+namespace sep {
+
+Word RelChecksum(const Word* data, std::size_t count) {
+  Hasher hasher;
+  for (std::size_t i = 0; i < count; ++i) {
+    hasher.Mix(data[i]);
+  }
+  const std::uint64_t digest = hasher.digest();
+  return static_cast<Word>((digest ^ (digest >> 16) ^ (digest >> 32) ^ (digest >> 48)) & 0xFFFF);
+}
+
+namespace {
+
+Word ChecksumDeque(const std::deque<Word>& buffer, std::size_t count) {
+  // The scan window is small (<= header + max segment); copy for contiguity.
+  std::vector<Word> span(buffer.begin(),
+                         buffer.begin() + static_cast<std::ptrdiff_t>(count));
+  return RelChecksum(span.data(), span.size());
+}
+
+}  // namespace
+
+// --- ReliableSender ----------------------------------------------------------
+
+ReliableSender::ReliableSender(ReliableConfig config)
+    : config_(config), rto_(config.initial_rto) {}
+
+void ReliableSender::SerializeSegment(const Segment& segment) {
+  std::vector<Word> frame;
+  frame.reserve(segment.payload.size() + 4);
+  frame.push_back(kRelData);
+  frame.push_back(segment.seq);
+  frame.push_back(static_cast<Word>(segment.payload.size()));
+  frame.insert(frame.end(), segment.payload.begin(), segment.payload.end());
+  frame.push_back(RelChecksum(frame.data(), frame.size()));
+  for (int copy = 0; copy < std::max(1, config_.redundancy); ++copy) {
+    tx_queue_.insert(tx_queue_.end(), frame.begin(), frame.end());
+  }
+}
+
+void ReliableSender::HandleAck(Word cumulative) {
+  bool progress = false;
+  while (!window_.empty() && !SeqBefore(cumulative, window_.front().seq)) {
+    window_.pop_front();
+    progress = true;
+  }
+  if (progress) {
+    retries_ = 0;
+    rto_ = config_.initial_rto;
+    deadline_ = 0;  // re-armed below if segments remain in flight
+    dup_acks_ = 0;
+    last_cum_ = cumulative;
+  } else if (!window_.empty() && cumulative == last_cum_) {
+    // The receiver saw SOMETHING valid but still waits for window front:
+    // our in-flight copy of it was lost or mangled.
+    ++dup_acks_;
+  } else {
+    last_cum_ = cumulative;
+  }
+}
+
+void ReliableSender::RetransmitWindow() {
+  tx_queue_.clear();  // retransmission supersedes any stale queued words
+  for (const Segment& segment : window_) {
+    SerializeSegment(segment);
+    ++stats_.retransmits;
+  }
+}
+
+void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) {
+  // 1. Ingest cumulative ACKs (the reverse line is lossy too: frames can be
+  // corrupt or missing; the checksum rejects mangled ones and retransmission
+  // covers lost ones).
+  while (std::optional<Word> w = ctx.Receive(ack_in_port)) {
+    ack_rx_.push_back(*w);
+  }
+  while (!ack_rx_.empty()) {
+    if (ack_rx_.front() != kRelAck) {
+      ack_rx_.pop_front();
+      continue;
+    }
+    if (ack_rx_.size() < 3) {
+      break;
+    }
+    if (ChecksumDeque(ack_rx_, 2) != ack_rx_[2]) {
+      ack_rx_.pop_front();
+      ++stats_.acks_rejected;
+      continue;
+    }
+    HandleAck(ack_rx_[1]);
+    ++stats_.acks_received;
+    ack_rx_.erase(ack_rx_.begin(), ack_rx_.begin() + 3);
+  }
+
+  if (dead_) {
+    return;  // the line was declared dead; nothing more will be sent
+  }
+
+  // 2. Pack queued payload words into new segments while the window allows.
+  while (!outbox_.empty() && window_.size() < config_.window_segments) {
+    Segment segment;
+    segment.seq = next_seq_++;
+    while (!outbox_.empty() && segment.payload.size() < config_.max_segment_words) {
+      segment.payload.push_back(outbox_.front());
+      outbox_.pop_front();
+    }
+    window_.push_back(std::move(segment));
+  }
+
+  // 3. First transmission of any segment not yet serialized.
+  for (Segment& segment : window_) {
+    if (!segment.queued) {
+      SerializeSegment(segment);
+      segment.queued = true;
+      ++stats_.segments_sent;
+    }
+  }
+  if (!window_.empty() && deadline_ == 0) {
+    deadline_ = ctx.now() + rto_;
+  }
+
+  // 4. Fast retransmit: duplicate cumulative ACKs prove the line is alive
+  // and the window front is missing; resend at round-trip cadence instead
+  // of waiting out the timer. Only when the previous round has fully left
+  // our queue, so a frame is never truncated mid-flush. The threshold must
+  // exceed redundancy-1: every ACK group arrives as `redundancy` copies,
+  // and the echo copies of a PROGRESS ack must not look like losses.
+  if (dup_acks_ >= std::max(2, config_.redundancy) && !window_.empty() &&
+      tx_queue_.empty()) {
+    dup_acks_ = 0;
+    ++stats_.fast_retransmits;
+    RetransmitWindow();
+    deadline_ = ctx.now() + rto_;
+  }
+
+  // 5. Retransmission timer: on expiry, back off and go-back-N.
+  if (!window_.empty() && deadline_ != 0 && ctx.now() >= deadline_) {
+    ++stats_.timeouts;
+    ++retries_;
+    if (config_.max_retries > 0 && retries_ > config_.max_retries) {
+      dead_ = true;
+      stats_.gave_up = 1;
+      tx_queue_.clear();
+      return;
+    }
+    rto_ = std::min<Tick>(rto_ * 2, config_.max_rto);
+    if (tx_queue_.empty()) {  // never truncate a partially flushed round
+      RetransmitWindow();
+    }
+    deadline_ = ctx.now() + rto_;
+  }
+
+  // 6. Flush as many wire words as the link accepts.
+  while (!tx_queue_.empty() && ctx.Send(data_out_port, tx_queue_.front())) {
+    tx_queue_.pop_front();
+  }
+}
+
+// --- ReliableReceiver --------------------------------------------------------
+
+ReliableReceiver::ReliableReceiver(ReliableConfig config) : config_(config) {}
+
+void ReliableReceiver::ParseFrames() {
+  while (!rx_buffer_.empty()) {
+    if (rx_buffer_.front() != kRelData) {
+      rx_buffer_.pop_front();
+      ++stats_.resyncs;
+      continue;
+    }
+    if (rx_buffer_.size() < 3) {
+      return;  // header incomplete; wait for more words
+    }
+    const Word count = rx_buffer_[2];
+    if (static_cast<std::size_t>(count) > config_.max_segment_words) {
+      // A corrupt length this large would make us wait forever; resync now.
+      rx_buffer_.pop_front();
+      ++stats_.corrupt_discarded;
+      continue;
+    }
+    const std::size_t need = 4 + static_cast<std::size_t>(count);
+    if (rx_buffer_.size() < need) {
+      return;  // frame incomplete
+    }
+    if (ChecksumDeque(rx_buffer_, need - 1) != rx_buffer_[need - 1]) {
+      rx_buffer_.pop_front();
+      ++stats_.corrupt_discarded;
+      continue;
+    }
+
+    const Word seq = rx_buffer_[1];
+    if (seq == expected_) {
+      for (std::size_t i = 0; i < count; ++i) {
+        delivered_.push_back(rx_buffer_[3 + i]);
+      }
+      ++expected_;
+      ++stats_.accepted;
+    } else if (SeqBefore(seq, expected_)) {
+      ++stats_.duplicates_discarded;  // retransmission of delivered data
+    } else {
+      // Go-back-N: a gap ahead of us; discard and let the sender replay.
+      ++stats_.out_of_order_discarded;
+    }
+    ack_pending_ = true;  // every valid frame triggers a (re-)ACK
+    rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + static_cast<std::ptrdiff_t>(need));
+  }
+}
+
+void ReliableReceiver::Pump(NodeContext& ctx, int data_in_port, int ack_out_port) {
+  while (std::optional<Word> w = ctx.Receive(data_in_port)) {
+    rx_buffer_.push_back(*w);
+  }
+  ParseFrames();
+
+  if (ack_pending_ && ack_tx_.empty()) {
+    const Word cumulative = static_cast<Word>(expected_ - 1);
+    Word frame[3] = {kRelAck, cumulative, 0};
+    frame[2] = RelChecksum(frame, 2);
+    for (int copy = 0; copy < std::max(1, config_.redundancy); ++copy) {
+      ack_tx_.insert(ack_tx_.end(), frame, frame + 3);
+    }
+    ack_pending_ = false;
+    ++stats_.acks_sent;
+  }
+  while (!ack_tx_.empty() && ctx.Send(ack_out_port, ack_tx_.front())) {
+    ack_tx_.pop_front();
+  }
+}
+
+// --- tunnel wiring -----------------------------------------------------------
+
+ReliableTunnel SpliceReliableTunnel(Network& net, int from, int to,
+                                    const ReliableConfig& config, std::size_t capacity,
+                                    Tick latency, const std::string& name) {
+  ReliableTunnel tunnel;
+  tunnel.ingress_node = net.AddNode(std::make_unique<ReliableIngress>(name + "-ingress", config));
+  tunnel.egress_node = net.AddNode(std::make_unique<ReliableEgress>(name + "-egress", config));
+  net.Connect(from, tunnel.ingress_node, 512, 1, name + "-feed");
+  tunnel.data_link =
+      net.Connect(tunnel.ingress_node, tunnel.egress_node, capacity, latency, name + "-data");
+  tunnel.ack_link =
+      net.Connect(tunnel.egress_node, tunnel.ingress_node, capacity, latency, name + "-ack");
+  net.Connect(tunnel.egress_node, to, 512, 1, name + "-deliver");
+  return tunnel;
+}
+
+const ReliableSenderStats& TunnelSenderStats(Network& net, const ReliableTunnel& tunnel) {
+  return static_cast<ReliableIngress&>(net.process(tunnel.ingress_node)).sender().stats();
+}
+
+const ReliableReceiverStats& TunnelReceiverStats(Network& net, const ReliableTunnel& tunnel) {
+  return static_cast<ReliableEgress&>(net.process(tunnel.egress_node)).receiver().stats();
+}
+
+}  // namespace sep

@@ -1,0 +1,269 @@
+// Reliable inter-node channels over faulty links.
+//
+// A communication line (Link) with an installed FaultPlan drops, duplicates,
+// corrupts, reorders and delays words. This header layers a word-level
+// reliable-delivery protocol on top of a PAIR of such lines (one data line,
+// one reverse ACK line) so that the application on each side sees exactly
+// the lossless FIFO stream it would have seen on a perfect line:
+//
+//   * payload words are packed into numbered segments
+//       DATA := [kRelData, seq, n, payload[0..n), checksum]
+//   * the receiver accepts segments strictly in order, answers with
+//     cumulative ACKs
+//       ACK  := [kRelAck, cumulative-seq, checksum]
+//     discards duplicates, and rejects any frame whose checksum fails
+//     (single resynchronisation step: drop one word, rescan);
+//   * the sender keeps a bounded window of unacknowledged segments and
+//     retransmits all of them when the retransmission timer expires, with
+//     capped exponential backoff (go-back-N); duplicate cumulative ACKs
+//     trigger the same retransmission immediately (fast retransmit), so a
+//     lossy-but-alive line recovers at round-trip cadence instead of
+//     timeout cadence.
+//
+// Segments are deliberately SMALL (see ReliableConfig::max_segment_words):
+// faults here are per-word, so a frame's survival probability decays
+// exponentially with its length, and a long frame repeatedly clipped by a
+// mid-frame corruption makes retransmission useless.
+//
+// Crucially, NOTHING here widens a declared channel: the protocol adds a
+// reverse line that must itself be declared in the topology (and therefore
+// shows up in every reachability audit), and retransmission only ever
+// re-sends words the sender was already entitled to send. The wire-cutting
+// argument applies end-to-end — see docs/RESILIENCE.md.
+//
+// ReliableSender / ReliableReceiver are port wrappers usable inside any
+// Process (the way FrameReader/FrameWriter are). ReliableIngress /
+// ReliableEgress are ready-made relay processes so an existing lossless hop
+// can be replaced by a reliable tunnel without touching the endpoints;
+// SpliceReliableTunnel() performs that rewiring.
+#ifndef SRC_DISTRIBUTED_RELIABLE_H_
+#define SRC_DISTRIBUTED_RELIABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/distributed/network.h"
+
+namespace sep {
+
+// Wire frame type markers (chosen to be unlikely payload values; the
+// checksum, not the marker, is what actually authenticates a frame).
+inline constexpr Word kRelData = 0xD47A;
+inline constexpr Word kRelAck = 0xAC4B;
+
+// Serial (wrap-around) sequence comparison: is `a` strictly before `b`?
+inline bool SeqBefore(Word a, Word b) {
+  return static_cast<std::int16_t>(static_cast<Word>(a - b)) < 0;
+}
+
+// FNV-folded 16-bit checksum over a word span.
+Word RelChecksum(const Word* data, std::size_t count);
+
+struct ReliableConfig {
+  // Payload words per DATA frame. Small on purpose: with independent
+  // per-word faults at rate f, a frame of n+4 wire words survives with
+  // probability ~(1-f)^(n+4), so short frames are what keeps goodput
+  // positive at the 10-20% rates the chaos envelope requires.
+  std::size_t max_segment_words = 2;
+  std::size_t window_segments = 8;    // unacked segments the sender tolerates
+  Tick initial_rto = 16;              // first retransmission timeout
+  Tick max_rto = 128;                 // backoff cap
+  // Copies of every DATA and ACK frame per transmission (frame-level
+  // repetition coding). With per-frame survival p one copy, a round
+  // succeeds with 1-(1-p)^redundancy; at the 20% per-word rates of the
+  // chaos envelope this is the difference between round-trip-paced and
+  // timeout-paced recovery. Duplicates are suppressed by sequence number.
+  int redundancy = 3;
+  // Consecutive timeouts of the same window before the sender declares the
+  // line dead. 0 = never give up.
+  int max_retries = 0;
+};
+
+struct ReliableSenderStats {
+  std::uint64_t segments_sent = 0;      // first transmissions
+  std::uint64_t retransmits = 0;        // re-transmissions (RetransmitCount)
+  std::uint64_t fast_retransmits = 0;   // rounds triggered by duplicate ACKs
+  std::uint64_t timeouts = 0;           // timer expiries
+  std::uint64_t acks_received = 0;      // valid ACK frames processed
+  std::uint64_t acks_rejected = 0;      // ACK frames failing the checksum
+  std::uint64_t gave_up = 0;            // 1 once the line is declared dead
+};
+
+struct ReliableReceiverStats {
+  std::uint64_t accepted = 0;              // in-order segments delivered
+  std::uint64_t duplicates_discarded = 0;  // already-delivered seq
+  std::uint64_t out_of_order_discarded = 0;
+  std::uint64_t corrupt_discarded = 0;     // checksum failures
+  std::uint64_t resyncs = 0;               // words skipped hunting for a frame
+  std::uint64_t acks_sent = 0;
+};
+
+// The sending end. Feed payload words with SendWord(); call Pump() once per
+// Step() with the node's data-out and ACK-in port numbers.
+class ReliableSender {
+ public:
+  explicit ReliableSender(ReliableConfig config = {});
+
+  void SendWord(Word w) { outbox_.push_back(w); }
+
+  void Pump(NodeContext& ctx, int data_out_port, int ack_in_port);
+
+  // True when every offered word has been sent AND acknowledged.
+  bool Idle() const { return outbox_.empty() && window_.empty() && tx_queue_.empty(); }
+
+  // True once max_retries was exceeded; the sender stops transmitting.
+  bool dead() const { return dead_; }
+
+  const ReliableSenderStats& stats() const { return stats_; }
+  std::size_t window_in_use() const { return window_.size(); }
+
+  // Oldest unacknowledged sequence number (diagnostics).
+  std::optional<Word> oldest_unacked() const {
+    return window_.empty() ? std::nullopt : std::optional<Word>(window_.front().seq);
+  }
+
+ private:
+  struct Segment {
+    Word seq = 0;
+    std::vector<Word> payload;
+    bool queued = false;  // serialized into tx_queue_ at least once
+  };
+
+  void SerializeSegment(const Segment& segment);
+  void HandleAck(Word cumulative);
+  void RetransmitWindow();
+
+  ReliableConfig config_;
+  std::deque<Word> outbox_;     // payload words not yet segmented
+  std::deque<Segment> window_;  // unacknowledged segments, oldest first
+  std::deque<Word> tx_queue_;   // serialized wire words awaiting link space
+  std::deque<Word> ack_rx_;     // raw words from the ACK line
+  Word next_seq_ = 1;
+  Tick rto_;
+  Tick deadline_ = 0;  // 0 = no timer armed
+  int retries_ = 0;
+  Word last_cum_ = 0;  // newest cumulative ACK value seen
+  int dup_acks_ = 0;   // consecutive ACKs repeating last_cum_ without progress
+  bool dead_ = false;
+  ReliableSenderStats stats_;
+};
+
+// The receiving end. Call Pump() once per Step(); drain the reconstructed
+// lossless stream with NextWord().
+class ReliableReceiver {
+ public:
+  explicit ReliableReceiver(ReliableConfig config = {});
+
+  void Pump(NodeContext& ctx, int data_in_port, int ack_out_port);
+
+  std::optional<Word> NextWord() {
+    if (delivered_.empty()) {
+      return std::nullopt;
+    }
+    Word w = delivered_.front();
+    delivered_.pop_front();
+    return w;
+  }
+
+  std::size_t pending_words() const { return delivered_.size(); }
+  const ReliableReceiverStats& stats() const { return stats_; }
+
+ private:
+  void ParseFrames();
+
+  ReliableConfig config_;
+  std::deque<Word> rx_buffer_;   // raw words off the data line
+  std::deque<Word> delivered_;   // in-order payload stream for the app
+  std::deque<Word> ack_tx_;      // serialized ACK words awaiting link space
+  Word expected_ = 1;            // next in-order sequence number
+  bool ack_pending_ = false;
+  ReliableReceiverStats stats_;
+};
+
+// --- relay processes -------------------------------------------------------
+
+// Sender-side relay. Ports (wire them in exactly this declaration order):
+//   in0  = plain words from the upstream component
+//   in1  = ACK words from the egress (reverse lossy line)
+//   out0 = framed data onto the lossy line
+class ReliableIngress : public Process {
+ public:
+  explicit ReliableIngress(std::string name = "rel-ingress", ReliableConfig config = {})
+      : name_(std::move(name)), sender_(config) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override {
+    while (std::optional<Word> w = ctx.Receive(0)) {
+      sender_.SendWord(*w);
+    }
+    sender_.Pump(ctx, /*data_out_port=*/0, /*ack_in_port=*/1);
+  }
+
+  const ReliableSender& sender() const { return sender_; }
+
+ private:
+  std::string name_;
+  ReliableSender sender_;
+};
+
+// Receiver-side relay. Ports (declaration order):
+//   in0  = framed data from the lossy line
+//   out0 = ACK words back to the ingress
+//   out1 = reconstructed plain words to the downstream component
+class ReliableEgress : public Process {
+ public:
+  explicit ReliableEgress(std::string name = "rel-egress", ReliableConfig config = {})
+      : name_(std::move(name)), receiver_(config) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override {
+    receiver_.Pump(ctx, /*data_in_port=*/0, /*ack_out_port=*/0);
+    while (true) {
+      if (!staged_.has_value()) {
+        staged_ = receiver_.NextWord();
+      }
+      if (!staged_.has_value() || !ctx.Send(1, *staged_)) {
+        break;  // downstream backpressure: retry the staged word next step
+      }
+      staged_.reset();
+    }
+  }
+
+  const ReliableReceiver& receiver() const { return receiver_; }
+
+ private:
+  std::string name_;
+  ReliableReceiver receiver_;
+  std::optional<Word> staged_;
+};
+
+// Node/link ids of a spliced tunnel, for fault injection and stats.
+struct ReliableTunnel {
+  int ingress_node = -1;
+  int egress_node = -1;
+  int data_link = -1;  // ingress -> egress (inject faults here)
+  int ack_link = -1;   // egress -> ingress (and/or here)
+};
+
+// Replaces what would have been Connect(from, to) with a reliable tunnel:
+//   from -> ingress ==data==> egress -> to, plus egress ==ack==> ingress.
+// The two lossy lines get `capacity`/`latency`; the local from->ingress and
+// egress->to hops are generously sized. Call this at the point in the wiring
+// order where Connect(from, to) would have been, so port numbering on `from`
+// and `to` is unchanged.
+ReliableTunnel SpliceReliableTunnel(Network& net, int from, int to,
+                                    const ReliableConfig& config = {},
+                                    std::size_t capacity = 512, Tick latency = 1,
+                                    const std::string& name = "tunnel");
+
+// Convenience accessors for tunnel statistics.
+const ReliableSenderStats& TunnelSenderStats(Network& net, const ReliableTunnel& tunnel);
+const ReliableReceiverStats& TunnelReceiverStats(Network& net, const ReliableTunnel& tunnel);
+
+}  // namespace sep
+
+#endif  // SRC_DISTRIBUTED_RELIABLE_H_

@@ -389,6 +389,7 @@ void SeparationKernel::FaultRegime(const std::string& reason) {
   const int cur = CurrentRegime();
   SEP_LOG(kInfo) << "regime " << config_.regimes[static_cast<std::size_t>(cur)].name
                  << " faulted: " << reason;
+  Bump64(kOffFaultCountLo);
   SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) | kFlagHalted));
   DispatchNext(cur + 1);
 }
@@ -412,6 +413,12 @@ bool SeparationKernel::RingPush(std::uint32_t ring_base, std::uint32_t capacity,
   KWrite(ring_base + 2 + (head + count) % capacity, value);
   KWrite(ring_base + 1, static_cast<Word>(count + 1));
   return true;
+}
+
+bool SeparationKernel::RingIntact(std::uint32_t ring_base, std::uint32_t capacity) const {
+  const Word head = KRead(ring_base);
+  const Word count = KRead(ring_base + 1);
+  return head < capacity && count <= capacity;
 }
 
 bool SeparationKernel::RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value) {
@@ -440,6 +447,10 @@ void SeparationKernel::CallSend() {
     target = (channel + 1) % static_cast<int>(config_.channels.size());
   }
   const std::uint32_t cap = config_.channels[static_cast<std::size_t>(target)].capacity;
+  if (!RingIntact(RingBase(target, 0), cap)) {
+    FaultRegime(Format("SEND found channel %d ring corrupted", target));
+    return;
+  }
   cpu.regs[0] = RingPush(RingBase(target, 0), cap, cpu.regs[1]) ? 1 : 0;
 }
 
@@ -453,6 +464,10 @@ void SeparationKernel::CallRecv() {
     return;
   }
   const std::uint32_t cap = config_.channels[static_cast<std::size_t>(channel)].capacity;
+  if (!RingIntact(RingBase(channel, 1), cap)) {
+    FaultRegime(Format("RECV found channel %d ring corrupted", channel));
+    return;
+  }
   Word value = 0;
   if (RingPop(RingBase(channel, 1), cap, &value)) {
     cpu.regs[0] = 1;
@@ -475,6 +490,11 @@ void SeparationKernel::CallStat() {
     FaultRegime(Format("STAT on channel %d without endpoint rights", channel));
     return;
   }
+  if ((cc.receiver == cur && !RingIntact(RingBase(channel, 1), cc.capacity)) ||
+      (cc.sender == cur && !RingIntact(RingBase(channel, 0), cc.capacity))) {
+    FaultRegime(Format("STAT found channel %d ring corrupted", channel));
+    return;
+  }
   cpu.regs[0] = (cc.receiver == cur) ? KRead(RingBase(channel, 1) + 1) : 0;
   cpu.regs[1] = (cc.sender == cur)
                     ? static_cast<Word>(cc.capacity - KRead(RingBase(channel, 0) + 1))
@@ -487,6 +507,12 @@ void SeparationKernel::CallSetVec() {
   const Word local = cpu.regs[0];
   if (local >= config_.regimes[static_cast<std::size_t>(cur)].device_slots.size()) {
     FaultRegime(Format("SETVEC for nonexistent local device %u", local));
+    return;
+  }
+  // A handler address outside the regime's own partition can never be
+  // executed; 0 is the "no handler" sentinel and stays legal.
+  if (cpu.regs[1] >= config_.regimes[static_cast<std::size_t>(cur)].mem_words) {
+    FaultRegime(Format("SETVEC handler %04X outside partition", cpu.regs[1]));
     return;
   }
   SaveWrite(cur, kSaveVectors + local, cpu.regs[1]);
@@ -689,6 +715,8 @@ void SeparationKernel::PerturbNonColour(int colour, Rng& rng) {
   KWrite(kOffIrqForwardHi, static_cast<Word>(rng.Next() & 0xFFFF));
   KWrite(kOffKernelCallLo, static_cast<Word>(rng.Next() & 0xFFFF));
   KWrite(kOffKernelCallHi, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffFaultCountLo, static_cast<Word>(rng.Next() & 0xFFFF));
+  KWrite(kOffFaultCountHi, static_cast<Word>(rng.Next() & 0xFFFF));
 
   // Live CPU registers belong to the current regime (or to nobody, when
   // idle). Keep the PSW priority/mode so interrupt deliverability — and

@@ -81,6 +81,9 @@ class SeparationKernel : public MachineClient {
   std::uint64_t SwapCount() const { return Count64(kOffSwapCountLo); }
   std::uint64_t IrqForwardCount() const { return Count64(kOffIrqForwardLo); }
   std::uint64_t KernelCallCount() const { return Count64(kOffKernelCallLo); }
+  // Regimes halted by the kernel's defensive checks (malformed call
+  // arguments, corrupted channel rings, MMU/illegal-instruction faults).
+  std::uint64_t FaultCount() const { return Count64(kOffFaultCountLo); }
 
   // Channel occupancy of the ring the given end uses (0 = sender, 1 = recv).
   Word ChannelCount(int channel, int end) const;
@@ -175,6 +178,10 @@ class SeparationKernel : public MachineClient {
   std::uint32_t RingBase(int channel, int end) const;
   bool RingPush(std::uint32_t ring_base, std::uint32_t capacity, Word value);
   bool RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value);
+  // Representation invariant of a ring header: head < capacity and
+  // count <= capacity. Violated only by memory corruption; every kernel
+  // call that consults a ring verifies this before trusting it.
+  bool RingIntact(std::uint32_t ring_base, std::uint32_t capacity) const;
 
   int LocalDeviceIndex(int regime, int slot) const;
 

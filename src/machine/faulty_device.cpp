@@ -1,0 +1,87 @@
+#include "src/machine/faulty_device.h"
+
+namespace sep {
+
+FaultyDevice::FaultyDevice(std::unique_ptr<Device> inner, DeviceFaultSpec spec,
+                           std::uint64_t seed)
+    : Device(inner->name(), inner->vector(), inner->priority(), inner->register_count()),
+      inner_(std::move(inner)),
+      spec_(spec),
+      rng_(seed) {}
+
+FaultyDevice::FaultyDevice(const FaultyDevice& other)
+    : Device(other.name(), other.vector(), other.priority(), other.register_count()),
+      inner_(other.inner_->Clone()),
+      spec_(other.spec_),
+      rng_(other.rng_),
+      counters_(other.counters_) {
+  other.CloneBaseInto(*this);
+}
+
+std::unique_ptr<Device> FaultyDevice::Clone() const {
+  return std::unique_ptr<Device>(new FaultyDevice(*this));
+}
+
+Word FaultyDevice::ReadRegister(int offset) {
+  Word value = inner_->ReadRegister(offset);
+  if (spec_.read_flip_percent > 0 && rng_.NextChance(spec_.read_flip_percent, 100)) {
+    value = static_cast<Word>(value ^ (Word{1} << rng_.NextBelow(16)));
+    ++counters_.read_flips;
+  }
+  return value;
+}
+
+void FaultyDevice::WriteRegister(int offset, Word value) {
+  inner_->WriteRegister(offset, value);
+}
+
+void FaultyDevice::Step() {
+  // The machine owns OUR env queues; the inner device's queues are a private
+  // backing store. Shuttle inputs down before the activity slot and outputs
+  // up after it, so the environment never sees the indirection.
+  while (!rx_from_env_.empty()) {
+    inner_->InjectInput(rx_from_env_.front());
+    rx_from_env_.pop_front();
+  }
+
+  const bool stalled =
+      spec_.stall_percent > 0 && rng_.NextChance(spec_.stall_percent, 100);
+  if (stalled) {
+    ++counters_.stalls;
+  } else {
+    inner_->Step();
+  }
+
+  for (Word w : inner_->DrainOutput()) {
+    tx_to_env_.push_back(w);
+  }
+
+  if (inner_->interrupt_pending()) {
+    inner_->ClearInterrupt();
+    RaiseInterrupt();
+  }
+  if (spec_.spurious_irq_percent > 0 &&
+      rng_.NextChance(spec_.spurious_irq_percent, 100)) {
+    RaiseInterrupt();
+    ++counters_.spurious_interrupts;
+  }
+}
+
+std::vector<Word> FaultyDevice::SnapshotState() const {
+  std::vector<Word> out = inner_->SnapshotState();
+  AppendQueue(out, rx_from_env_);
+  AppendQueue(out, tx_to_env_);
+  for (std::uint64_t c : {counters_.stalls, counters_.spurious_interrupts,
+                          counters_.read_flips}) {
+    out.push_back(static_cast<Word>(c & 0xFFFF));
+    out.push_back(static_cast<Word>((c >> 16) & 0xFFFF));
+  }
+  return out;
+}
+
+void FaultyDevice::Perturb(Rng& rng) {
+  Device::Perturb(rng);
+  inner_->Perturb(rng);
+}
+
+}  // namespace sep

@@ -1,0 +1,79 @@
+// A fault-injecting decorator for machine devices.
+//
+// Real hardware stalls, raises spurious interrupts, and returns flipped bits
+// from its registers. FaultyDevice wraps any Device and injects exactly
+// those failure modes on a seeded, deterministic schedule, so that kernel
+// and driver robustness can be exercised reproducibly:
+//
+//   * stall: the inner device loses its activity slot this step (its
+//     transmit countdowns, clock ticks etc. simply do not advance);
+//   * spurious interrupt: the wrapper raises an interrupt with no cause in
+//     the inner device — the owning regime's handler must cope with a DONE
+//     bit that is not set;
+//   * read bit-flip: a register read returns the inner value with one bit
+//     inverted (the stored device state is NOT modified — the flip is on
+//     the bus, as transient hardware noise would be).
+//
+// The decorator preserves the device framework's security discipline: the
+// wrapper has the same owner, vector and register window as the inner
+// device, so a faulty device can still only be observed by its owning
+// regime. Faults never move information across regimes — they only degrade
+// the owner's own view, which is precisely the paper's fault model for
+// trusted components ("degrade gracefully, never widen a channel").
+//
+// Note on SnapshotState(): the snapshot covers the inner device plus the
+// wrapper's fault counters but not the fault schedule's RNG state, so two
+// FaultyDevices that differ only in future fault timing compare equal. The
+// Proof-of-Separability checker should be run on un-decorated devices; the
+// decorator is for robustness testing (chaos_run, chaos_test).
+#ifndef SRC_MACHINE_FAULTY_DEVICE_H_
+#define SRC_MACHINE_FAULTY_DEVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/machine/device.h"
+
+namespace sep {
+
+struct DeviceFaultSpec {
+  int stall_percent = 0;         // chance per step the inner device stalls
+  int spurious_irq_percent = 0;  // chance per step of a causeless interrupt
+  int read_flip_percent = 0;     // chance per register read of a bit flip
+};
+
+struct DeviceFaultCounters {
+  std::uint64_t stalls = 0;
+  std::uint64_t spurious_interrupts = 0;
+  std::uint64_t read_flips = 0;
+};
+
+class FaultyDevice : public Device {
+ public:
+  FaultyDevice(std::unique_ptr<Device> inner, DeviceFaultSpec spec, std::uint64_t seed);
+
+  std::unique_ptr<Device> Clone() const override;
+  Word ReadRegister(int offset) override;
+  void WriteRegister(int offset, Word value) override;
+  void Step() override;
+  std::vector<Word> SnapshotState() const override;
+  void Perturb(Rng& rng) override;
+
+  const DeviceFaultCounters& fault_counters() const { return counters_; }
+  Device& inner() { return *inner_; }
+  const Device& inner() const { return *inner_; }
+
+ private:
+  FaultyDevice(const FaultyDevice& other);  // for Clone
+
+  std::unique_ptr<Device> inner_;
+  DeviceFaultSpec spec_;
+  Rng rng_;
+  DeviceFaultCounters counters_;
+};
+
+}  // namespace sep
+
+#endif  // SRC_MACHINE_FAULTY_DEVICE_H_

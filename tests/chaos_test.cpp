@@ -1,0 +1,475 @@
+// Chaos suite: fault injection on links, devices and kernel data, and the
+// reliable-channel protocol that must mask the link-level misbehaviour.
+//
+// The acceptance property throughout: with faults within the tolerated
+// envelope, every application-visible stream is BYTE-IDENTICAL to the
+// fault-free run — the wire may misbehave, the system may not.
+#include <gtest/gtest.h>
+
+#include "src/components/guard.h"
+#include "src/components/snfe_receive.h"
+#include "src/core/kernel_system.h"
+#include "src/distributed/faults.h"
+#include "src/distributed/reliable.h"
+#include "src/machine/devices.h"
+#include "src/machine/faulty_device.h"
+
+namespace sep {
+namespace {
+
+// --- reliable channel over a faulty line ------------------------------------
+
+// Emits a deterministic word stream (seeded, so corruption to any fixed
+// pattern is detectable) one word per step.
+class WordSource : public Process {
+ public:
+  explicit WordSource(int count, std::uint64_t seed) : rng_(seed) {
+    words_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      words_.push_back(static_cast<Word>(rng_.Next() & 0xFFFF));
+    }
+  }
+  std::string name() const override { return "word-source"; }
+  void Step(NodeContext& ctx) override {
+    if (next_ < words_.size() && ctx.Send(0, words_[next_])) {
+      ++next_;
+    }
+  }
+  bool Finished() const override { return next_ >= words_.size(); }
+  const std::vector<Word>& words() const { return words_; }
+
+ private:
+  Rng rng_;
+  std::vector<Word> words_;
+  std::size_t next_ = 0;
+};
+
+class WordSink : public Process {
+ public:
+  std::string name() const override { return "word-sink"; }
+  void Step(NodeContext& ctx) override {
+    while (std::optional<Word> w = ctx.Receive(0)) {
+      got_.push_back(*w);
+    }
+  }
+  const std::vector<Word>& got() const { return got_; }
+
+ private:
+  std::vector<Word> got_;
+};
+
+struct TunnelRun {
+  std::vector<Word> sent;
+  std::vector<Word> got;
+  ReliableSenderStats sender;
+  ReliableReceiverStats receiver;
+  bool dead = false;
+};
+
+TunnelRun RunTunnel(int count, const FaultSpec& spec, std::uint64_t fault_seed,
+                    ReliableConfig config = {}, std::size_t steps = 60000) {
+  Network net;
+  int src = net.AddNode(std::make_unique<WordSource>(count, /*seed=*/7));
+  int dst = net.AddNode(std::make_unique<WordSink>());
+  ReliableTunnel tunnel = SpliceReliableTunnel(net, src, dst, config,
+                                               /*capacity=*/64, /*latency=*/2);
+  if (spec.Any()) {
+    net.InjectFaults(tunnel.data_link, spec, fault_seed);
+    net.InjectFaults(tunnel.ack_link, spec, fault_seed ^ 0x1234567890ABCDEFULL);
+  }
+  net.Run(steps);
+
+  TunnelRun run;
+  run.sent = static_cast<WordSource&>(net.process(src)).words();
+  run.got = static_cast<WordSink&>(net.process(dst)).got();
+  run.sender = TunnelSenderStats(net, tunnel);
+  run.receiver = TunnelReceiverStats(net, tunnel);
+  run.dead =
+      static_cast<ReliableIngress&>(net.process(tunnel.ingress_node)).sender().dead();
+  return run;
+}
+
+TEST(ReliableChannel, CleanLineIsLosslessWithoutRetransmission) {
+  TunnelRun run = RunTunnel(200, FaultSpec{}, 1);
+  EXPECT_EQ(run.got, run.sent);
+  EXPECT_EQ(run.sender.retransmits, 0u);
+  EXPECT_EQ(run.sender.timeouts, 0u);
+  EXPECT_EQ(run.receiver.corrupt_discarded, 0u);
+}
+
+TEST(ReliableChannel, UniformFaultsAtTenPercentAreMasked) {
+  TunnelRun run = RunTunnel(200, FaultSpec::Uniform(10), 99);
+  EXPECT_EQ(run.got, run.sent);
+  EXPECT_GT(run.sender.retransmits, 0u);
+}
+
+TEST(ReliableChannel, DropAndCorruptAtTwentyPercentAreMasked) {
+  TunnelRun run = RunTunnel(200, FaultSpec::DropCorrupt(20), 4242);
+  EXPECT_EQ(run.got, run.sent);
+  EXPECT_GT(run.sender.retransmits, 0u);
+  EXPECT_GT(run.receiver.corrupt_discarded, 0u);
+}
+
+TEST(ReliableChannel, DeterministicGivenSeed) {
+  TunnelRun a = RunTunnel(100, FaultSpec::Uniform(15), 5);
+  TunnelRun b = RunTunnel(100, FaultSpec::Uniform(15), 5);
+  EXPECT_EQ(a.got, b.got);
+  EXPECT_EQ(a.sender.retransmits, b.sender.retransmits);
+  EXPECT_EQ(a.receiver.resyncs, b.receiver.resyncs);
+}
+
+TEST(ReliableChannel, SeveredLineGivesUpAfterMaxRetries) {
+  FaultSpec severed;
+  severed.drop_percent = 100;
+  ReliableConfig config;
+  config.max_retries = 3;
+  TunnelRun run = RunTunnel(20, severed, 3, config);
+  EXPECT_TRUE(run.dead);
+  EXPECT_EQ(run.sender.gave_up, 1u);
+  EXPECT_TRUE(run.got.empty());
+  // Backoff caps the retry count: exactly max_retries windows were retried.
+  EXPECT_EQ(run.sender.timeouts, 4u);  // 3 retries + the final give-up expiry
+}
+
+TEST(ReliableChannel, SeqBeforeHandlesWraparound) {
+  EXPECT_TRUE(SeqBefore(0xFFFF, 0x0000));
+  EXPECT_TRUE(SeqBefore(0xFFFE, 0x0001));
+  EXPECT_FALSE(SeqBefore(0x0000, 0xFFFF));
+  EXPECT_FALSE(SeqBefore(5, 5));
+  EXPECT_TRUE(SeqBefore(4, 5));
+}
+
+TEST(ReliableChannel, ChecksumDetectsSingleBitFlips) {
+  Word frame[5] = {kRelData, 1, 2, 0xBEEF, 0x1234};
+  const Word good = RelChecksum(frame, 5);
+  for (int word = 0; word < 5; ++word) {
+    for (int bit = 0; bit < 16; ++bit) {
+      frame[word] = static_cast<Word>(frame[word] ^ (1u << bit));
+      EXPECT_NE(RelChecksum(frame, 5), good) << "word " << word << " bit " << bit;
+      frame[word] = static_cast<Word>(frame[word] ^ (1u << bit));
+    }
+  }
+}
+
+// --- SNFE over a lossy network ----------------------------------------------
+
+std::vector<Frame> BaselinePackets(int count) {
+  Network net;
+  SnfePairTopology topo = BuildSnfePair(net, CensorStrictness::kSyntax, count);
+  net.Run(20000);
+  return static_cast<HostSink&>(net.process(topo.host_rx)).packets();
+}
+
+TEST(SnfeChaos, HostStreamByteIdenticalUnderEscalatingFaults) {
+  const int kPackets = 12;
+  const std::vector<Frame> baseline = BaselinePackets(kPackets);
+  ASSERT_EQ(baseline.size(), static_cast<std::size_t>(kPackets));
+
+  std::uint64_t prev_retransmits = 0;
+  for (int rate : {0, 5, 10, 20}) {
+    Network net;
+    SnfeLossyTopology topo = BuildSnfePairReliable(
+        net, CensorStrictness::kSyntax, FaultSpec::DropCorrupt(rate),
+        /*fault_seed=*/1000 + static_cast<std::uint64_t>(rate), kPackets);
+    net.Run(rate == 0 ? 30000 : 120000);
+
+    const auto& packets =
+        static_cast<HostSink&>(net.process(topo.pair.host_rx)).packets();
+    ASSERT_EQ(packets.size(), baseline.size()) << "fault rate " << rate << "%";
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(packets[i].fields, baseline[i].fields)
+          << "packet " << i << " at fault rate " << rate << "%";
+    }
+
+    const ReliableSenderStats& stats = TunnelSenderStats(net, topo.tunnel);
+    if (rate == 0) {
+      EXPECT_EQ(stats.retransmits, 0u);
+    } else {
+      EXPECT_GE(stats.retransmits, prev_retransmits)
+          << "retransmission effort should not shrink as the wire degrades";
+      prev_retransmits = stats.retransmits;
+    }
+  }
+}
+
+TEST(SnfeChaos, WireFaultCountersRecordTheInjectedMisbehaviour) {
+  Network net;
+  SnfeLossyTopology topo = BuildSnfePairReliable(
+      net, CensorStrictness::kSyntax, FaultSpec::DropCorrupt(20), /*fault_seed=*/9, 8);
+  net.Run(120000);
+  const FaultCounters* data = net.FaultCountersFor(topo.tunnel.data_link);
+  ASSERT_NE(data, nullptr);
+  EXPECT_GT(data->offered, 0u);
+  EXPECT_GT(data->dropped, 0u);
+  EXPECT_GT(data->corrupted, 0u);
+  EXPECT_EQ(data->total_faults(), data->dropped + data->duplicated + data->corrupted +
+                                      data->reordered + data->delayed);
+}
+
+// --- guard over a lossy line -------------------------------------------------
+
+struct GuardRun {
+  std::vector<std::string> low_received;
+  std::vector<std::string> high_received;
+  std::uint64_t retransmits = 0;
+};
+
+GuardRun RunGuardScenario(bool lossy) {
+  const std::vector<std::string> low_msgs = {"status query 1", "status query 2"};
+  const std::vector<std::string> high_msgs = {
+      "UNCLAS: convoy arrived",
+      "REVIEW: position 51.50 -0.12",
+      "operational plan bravo",  // denied
+      "UNCLAS: resupply complete",
+  };
+
+  Network net;
+  int low_src = net.AddNode(std::make_unique<MessageSource>("low-src", low_msgs));
+  int high_src = net.AddNode(std::make_unique<MessageSource>("high-src", high_msgs));
+  int guard = net.AddNode(std::make_unique<Guard>(DefaultWatchOfficer));
+  int low_sink = net.AddNode(std::make_unique<MessageSink>("low-sink"));
+  int high_sink = net.AddNode(std::make_unique<MessageSink>("high-sink"));
+
+  std::uint64_t retransmits = 0;
+  if (!lossy) {
+    net.Connect(low_src, guard);   // guard in0
+    net.Connect(high_src, guard);  // guard in1
+    net.Connect(guard, low_sink);  // guard out0
+    net.Connect(guard, high_sink); // guard out1
+    net.Run(20000);
+  } else {
+    // The HIGH->guard feed and the guard->LOW release line both run over
+    // faulty wires; splicing at the same wiring-order points keeps the
+    // guard's port numbering identical to the direct build.
+    net.Connect(low_src, guard);
+    ReliableTunnel high_line =
+        SpliceReliableTunnel(net, high_src, guard, {}, 64, 2, "high-line");
+    ReliableTunnel release_line =
+        SpliceReliableTunnel(net, guard, low_sink, {}, 64, 2, "release-line");
+    net.Connect(guard, high_sink);
+    const FaultSpec spec = FaultSpec::DropCorrupt(15);
+    net.InjectFaults(high_line.data_link, spec, 21);
+    net.InjectFaults(high_line.ack_link, spec, 22);
+    net.InjectFaults(release_line.data_link, spec, 23);
+    net.InjectFaults(release_line.ack_link, spec, 24);
+    net.Run(120000);
+    retransmits = TunnelSenderStats(net, high_line).retransmits +
+                  TunnelSenderStats(net, release_line).retransmits;
+  }
+
+  GuardRun run;
+  run.low_received = static_cast<MessageSink&>(net.process(low_sink)).received();
+  run.high_received = static_cast<MessageSink&>(net.process(high_sink)).received();
+  run.retransmits = retransmits;
+  return run;
+}
+
+TEST(GuardChaos, VerdictStreamIdenticalOverLossyLines) {
+  GuardRun baseline = RunGuardScenario(/*lossy=*/false);
+  GuardRun lossy = RunGuardScenario(/*lossy=*/true);
+  ASSERT_FALSE(baseline.low_received.empty());
+  EXPECT_EQ(lossy.low_received, baseline.low_received);
+  EXPECT_EQ(lossy.high_received, baseline.high_received);
+  EXPECT_GT(lossy.retransmits, 0u);
+}
+
+// --- faulty devices -----------------------------------------------------------
+
+TEST(FaultyDeviceTest, ZeroSpecIsTransparent) {
+  SerialLine bare("slu", 16, 4, /*transmit_delay=*/2);
+  FaultyDevice wrapped(std::make_unique<SerialLine>("slu", 16, 4, 2), DeviceFaultSpec{},
+                       /*seed=*/1);
+  for (Word w : {Word{0x11}, Word{0x22}, Word{0x33}}) {
+    bare.InjectInput(w);
+    wrapped.InjectInput(w);
+  }
+  for (int i = 0; i < 10; ++i) {
+    bare.Step();
+    wrapped.Step();
+    EXPECT_EQ(wrapped.ReadRegister(0), bare.ReadRegister(0)) << "step " << i;
+    if (bare.ReadRegister(0) & kCsrDone) {
+      EXPECT_EQ(wrapped.ReadRegister(1), bare.ReadRegister(1));
+    }
+  }
+  EXPECT_EQ(wrapped.fault_counters().stalls, 0u);
+  EXPECT_EQ(wrapped.fault_counters().read_flips, 0u);
+  EXPECT_EQ(wrapped.fault_counters().spurious_interrupts, 0u);
+}
+
+TEST(FaultyDeviceTest, ReadFlipsAreOnTheBusNotInTheDevice) {
+  DeviceFaultSpec spec;
+  spec.read_flip_percent = 100;
+  FaultyDevice dev(std::make_unique<SerialLine>("slu", 16, 4, 1), spec, /*seed=*/5);
+  for (int i = 0; i < 20; ++i) {
+    const Word flipped = dev.ReadRegister(0);   // RCSR: side-effect-free
+    const Word truth = dev.inner().ReadRegister(0);
+    EXPECT_EQ(__builtin_popcount(flipped ^ truth), 1) << "iteration " << i;
+  }
+  EXPECT_EQ(dev.fault_counters().read_flips, 20u);
+}
+
+TEST(FaultyDeviceTest, StallsFreezeTheInnerDevice) {
+  DeviceFaultSpec spec;
+  spec.stall_percent = 100;
+  FaultyDevice dev(std::make_unique<SerialLine>("slu", 16, 4, /*transmit_delay=*/1), spec,
+                   /*seed=*/5);
+  dev.WriteRegister(3, 0x42);  // start a transmission
+  for (int i = 0; i < 50; ++i) {
+    dev.Step();
+  }
+  // The transmitter never completed: no output, DONE still clear.
+  EXPECT_EQ(dev.pending_output(), 0u);
+  EXPECT_EQ(dev.inner().ReadRegister(2) & kCsrDone, 0);
+  EXPECT_EQ(dev.fault_counters().stalls, 50u);
+}
+
+TEST(FaultyDeviceTest, SpuriousInterruptsHaveNoInnerCause) {
+  DeviceFaultSpec spec;
+  spec.spurious_irq_percent = 50;
+  FaultyDevice dev(std::make_unique<SerialLine>("slu", 16, 4, 1), spec, /*seed=*/11);
+  std::uint64_t raised = 0;
+  for (int i = 0; i < 200; ++i) {
+    dev.Step();
+    if (dev.interrupt_pending()) {
+      ++raised;
+      dev.ClearInterrupt();
+      // No DONE bit anywhere: the interrupt is pure noise.
+      EXPECT_EQ(dev.inner().ReadRegister(0) & kCsrDone, 0);
+    }
+  }
+  EXPECT_GT(raised, 0u);
+  EXPECT_EQ(dev.fault_counters().spurious_interrupts, raised);
+}
+
+TEST(FaultyDeviceTest, CloneReplaysTheSameFaultSchedule) {
+  DeviceFaultSpec spec;
+  spec.read_flip_percent = 30;
+  FaultyDevice original(std::make_unique<SerialLine>("slu", 16, 4, 1), spec, /*seed=*/77);
+  std::unique_ptr<Device> clone = original.Clone();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(original.ReadRegister(0), clone->ReadRegister(0)) << "read " << i;
+  }
+}
+
+TEST(FaultyDeviceTest, KernelizedSystemSurvivesSpuriousClockInterrupts) {
+  DeviceFaultSpec spec;
+  spec.spurious_irq_percent = 25;
+  SystemBuilder builder;
+  int clk = builder.AddDevice(std::make_unique<FaultyDevice>(
+      std::make_unique<LineClock>("clk", 20, 6, /*interval=*/8), spec, /*seed=*/13));
+  ASSERT_TRUE(builder.AddRegime("driver", 512, R"(
+        .EQU CLK, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4          ; SETVEC
+        MOV #CLK, R4
+        MOV #0x40, (R4) ; enable clock interrupts
+LOOP:   INC R3
+        MOV R3, @0x40
+        TRAP 0          ; SWAP: give the peer its turn
+        BR LOOP
+HANDLER:
+        MOV @0x41, R2
+        INC R2
+        MOV R2, @0x41   ; count every delivery, spurious or real
+        MOV #0x40, (R4) ; clear DONE if set, keep IE
+        TRAP 5          ; RETI
+)", {clk}).ok());
+  ASSERT_TRUE(builder.AddRegime("peer", 256, R"(
+LOOP:   INC R3
+        MOV R3, @0x40
+        TRAP 0
+        BR LOOP
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(4000);
+
+  // Spurious interrupts were delivered and handled; nobody faulted and the
+  // peer regime was untouched by the noisy device.
+  const auto& regimes = (*sys)->kernel().config().regimes;
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+  EXPECT_EQ((*sys)->kernel().FaultCount(), 0u);
+  EXPECT_GT((*sys)->machine().memory().Read(regimes[0].mem_base + 0x41), 0u);
+  EXPECT_GT((*sys)->machine().memory().Read(regimes[1].mem_base + 0x40), 0u);
+  auto& device = static_cast<FaultyDevice&>((*sys)->machine().device(clk));
+  EXPECT_GT(device.fault_counters().spurious_interrupts, 0u);
+}
+
+// --- kernel defensive checks --------------------------------------------------
+
+TEST(KernelDefense, CorruptedChannelRingFaultsTheCaller) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 512, R"(
+LOOP:   MOV #5, R1
+        CLR R0
+        TRAP 1          ; SEND
+        TRAP 0          ; SWAP
+        BR LOOP
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+LOOP:   CLR R0
+        TRAP 2          ; RECV
+        TRAP 0
+        BR LOOP
+)").ok());
+  builder.AddChannel("c", 0, 1, 4);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  ASSERT_FALSE((*sys)->kernel().RegimeHalted(0));
+  ASSERT_EQ((*sys)->kernel().FaultCount(), 0u);
+
+  // Smash the ring's count word (a regime cannot do this through the MMU;
+  // this models a hardware fault in the kernel partition).
+  const KernelConfig& config = (*sys)->kernel().config();
+  (*sys)->machine().PhysWrite(config.kernel_base + ChannelRingOffset(config, 0, 0) + 1,
+                              0xFFFF);
+  (*sys)->Run(400);
+
+  // The kernel detected the broken representation invariant at the next
+  // SEND and faulted the caller instead of trusting the count.
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_GE((*sys)->kernel().FaultCount(), 1u);
+}
+
+TEST(KernelDefense, SetvecHandlerOutsidePartitionFaults) {
+  SystemBuilder builder;
+  int clk = builder.AddDevice(std::make_unique<LineClock>("clk", 20, 6, 5));
+  ASSERT_TRUE(builder.AddRegime("rogue", 512, R"(
+        CLR R0
+        MOV #0x1000, R1 ; far beyond the 512-word partition
+        TRAP 4          ; SETVEC
+        MOV #1, R3      ; never reached
+)", {clk}).ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(100);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_EQ((*sys)->kernel().FaultCount(), 1u);
+  EXPECT_EQ((*sys)->kernel().RegimeSavedReg(0, 3), 0);
+}
+
+TEST(KernelDefense, FaultCountTracksEveryDefensiveHalt) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("bad-call", 256, R"(
+        MOV #99, R0
+        TRAP 1          ; SEND on nonexistent channel
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("bad-insn", 256, "HALT\n").ok());
+  ASSERT_TRUE(builder.AddRegime("good", 256, R"(
+        MOV #1, R3
+        TRAP 7
+)").ok());
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(200);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(1));
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(2));  // clean TRAP 7 halt
+  EXPECT_EQ((*sys)->kernel().FaultCount(), 2u);   // only the two offenders
+}
+
+}  // namespace
+}  // namespace sep

@@ -105,6 +105,78 @@ TEST(Network, ReachabilityIsTransitive) {
   EXPECT_FALSE(net.Reachable(c, a));
 }
 
+TEST(Network, ReachabilityTerminatesOnCycles) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(1));
+  int b = net.AddNode(std::make_unique<Collector>());
+  int c = net.AddNode(std::make_unique<Collector>());
+  int d = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b);
+  net.Connect(b, c);
+  net.Connect(c, a);  // cycle a -> b -> c -> a
+  net.Connect(c, d);
+  EXPECT_TRUE(net.Reachable(a, d));
+  EXPECT_TRUE(net.Reachable(b, a));
+  EXPECT_TRUE(net.Reachable(a, a));
+  EXPECT_FALSE(net.Reachable(d, a));
+}
+
+TEST(Network, ZeroLatencyDeliversNextStep) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(1));
+  int b = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b, 64, /*latency=*/0);
+  auto& collector = static_cast<Collector&>(net.process(b));
+  net.Step();  // emitter pushes; links advance before nodes, so not yet seen
+  EXPECT_TRUE(collector.got().empty());
+  net.Step();
+  EXPECT_EQ(collector.got().size(), 1u);
+}
+
+TEST(Network, CapacityOneLinkStillDeliversEverything) {
+  Network net;
+  int a = net.AddNode(std::make_unique<Emitter>(20));
+  int b = net.AddNode(std::make_unique<Collector>());
+  net.Connect(a, b, /*capacity=*/1, /*latency=*/1);
+  net.Run(500);
+  auto& collector = static_cast<Collector&>(net.process(b));
+  ASSERT_EQ(collector.got().size(), 20u);
+  for (Word i = 0; i < 20; ++i) {
+    EXPECT_EQ(collector.got()[i], i + 1);
+  }
+}
+
+TEST(Network, SpaceNeverUnderflowsPastCapacity) {
+  // Fault-injected duplication can push occupancy beyond the declared
+  // capacity; Space() must clamp to zero rather than wrap around.
+  Link link("dup", /*capacity=*/3, /*latency=*/1);
+  FaultSpec spec;
+  spec.duplicate_percent = 100;
+  link.InstallFaults(spec, /*seed=*/1);
+  EXPECT_TRUE(link.Push(1, 0));  // occupies 2 slots (original + echo)
+  EXPECT_TRUE(link.Push(2, 0));  // occupancy now 4 > capacity 3
+  EXPECT_EQ(link.Space(), 0u);   // must clamp, not wrap around
+  EXPECT_FALSE(link.Push(3, 0));
+}
+
+TEST(Network, AdvanceDeliversDelayedWordsOutOfArrivalOrder) {
+  // Extra fault delay makes deliver_at non-monotone in the flight queue; a
+  // delayed word must not block the words pushed after it.
+  Link link("delay", 64, /*latency=*/1);
+  FaultSpec spec;
+  spec.delay_percent = 100;
+  spec.max_extra_delay = 8;
+  link.InstallFaults(spec, /*seed=*/3);
+  EXPECT_TRUE(link.Push(0xA, 0));  // delayed by some amount in [1, 8]
+  link.ClearFaults();
+  EXPECT_TRUE(link.Push(0xB, 0));  // normal latency 1
+  link.Advance(1);
+  ASSERT_EQ(link.ReadyCount(), 1u);  // 0xB overtook the delayed 0xA
+  EXPECT_EQ(link.Pop(), std::optional<Word>(0xB));
+  link.Advance(20);
+  EXPECT_EQ(link.Pop(), std::optional<Word>(0xA));
+}
+
 TEST(Network, DeterministicAcrossRuns) {
   auto run = [] {
     Network net;
