@@ -73,6 +73,9 @@ void PrintTable() {
     std::printf("%-24s %-12s %-12s %-12s %s\n", entry.name.c_str(),
                 flow.Certified() ? "certified" : "rejected", leaks ? "LEAKS" : "secure",
                 pos.c_str(), note);
+    // The violations behind a "rejected" verdict, in the shared finding
+    // format also used by tools/sepcheck.
+    std::printf("%s", FormatFindings(flow.ToFindings(entry.name), /*json=*/false).c_str());
   }
   std::printf("\n");
 }

@@ -1,55 +1,61 @@
-// Quickstart: build a two-regime separation-kernel system, run it, and
-// check the six Proof-of-Separability conditions.
+// Quickstart: statically certify a two-regime separation-kernel system,
+// run it, and check the six Proof-of-Separability conditions.
 //
 //   $ ./build/examples/quickstart
 //
 // This walks the complete public API surface in ~100 lines:
-//   1. SystemBuilder — declare regimes (SM-11 assembly), devices, channels;
-//   2. KernelizedSystem — run the shared machine under the kernel;
-//   3. CheckSeparability — verify the kernel provides isolation.
+//   1. sepcheck::AnalyzeSystem — certify the guest binaries before running;
+//   2. SystemBuilder — declare regimes (SM-11 assembly), devices, channels;
+//   3. KernelizedSystem — run the shared machine under the kernel;
+//   4. CheckSeparability — verify the kernel provides isolation.
+//
+// The guest sources (RED streams a counter to BLACK over the kernel
+// channel; BLACK accumulates at partition address 0x80) live in
+// src/sepcheck/guest_corpus.h so the analyzer, the tests and this example
+// all agree on what the programs are.
 #include <cstdio>
 
 #include "src/core/kernel_system.h"
 #include "src/core/separability.h"
-
-namespace {
-
-// RED: counts up and streams the counter to BLACK over the kernel channel.
-constexpr char kRedProgram[] = R"(
-START:  CLR R3
-LOOP:   INC R3
-        MOV R3, R1      ; word to send
-        CLR R0          ; channel 0
-        TRAP 1          ; SEND (drop on backpressure)
-        TRAP 0          ; SWAP: yield the processor
-        CMP #20, R3
-        BNE LOOP
-        TRAP 7          ; HALT: this regime is done
-)";
-
-// BLACK: receives words and accumulates them at partition address 0x80.
-constexpr char kBlackProgram[] = R"(
-START:  CLR R5          ; running sum
-LOOP:   CLR R0          ; channel 0
-        TRAP 2          ; RECV -> R0 status, R1 word
-        TST R0
-        BEQ YIELD
-        ADD R1, R5
-        MOV R5, @0x80
-        BR LOOP
-YIELD:  TRAP 0          ; SWAP
-        BR LOOP
-)";
-
-}  // namespace
+#include "src/sepcheck/analyzer.h"
+#include "src/sepcheck/guest_corpus.h"
 
 int main() {
   using namespace sep;
 
-  // 1. Declare the system: two regimes, one one-directional channel.
+  // 1. Statically certify the guests under the deployed (uncut) topology.
+  //    The shared channel ring is flagged by the syntactic pass and
+  //    discharged by the disjointness annotation in the RED source — the
+  //    paper's Section 4 wire-cutting argument, run by a machine.
+  sepcheck::SystemSpec spec;
+  spec.name = "quickstart";
+  spec.regimes = {{"red", sepcheck::kQuickstartRed, 512, 0},
+                  {"black", sepcheck::kQuickstartBlack, 512, 0}};
+  ChannelConfig wire;
+  wire.name = "red->black";
+  wire.sender = 0;
+  wire.receiver = 1;
+  wire.capacity = 8;
+  spec.channels = {wire};
+  spec.cut_channels = false;
+  Result<sepcheck::SystemAnalysis> analysis = sepcheck::AnalyzeSystem(spec);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "sepcheck failed: %s\n", analysis.error().c_str());
+    return 1;
+  }
+  std::printf("%s", FormatFindings(analysis->findings, /*json=*/false).c_str());
+  std::printf("static certification: %s\n",
+              analysis->certified ? "CERTIFIED" : "FLAGGED");
+  if (!analysis->certified) {
+    return 2;
+  }
+
+  // 2. Declare the system: two regimes, one one-directional channel.
   SystemBuilder builder;
-  Result<int> red = builder.AddRegime("red", /*mem_words=*/512, kRedProgram);
-  Result<int> black = builder.AddRegime("black", /*mem_words=*/512, kBlackProgram);
+  Result<int> red =
+      builder.AddRegime("red", /*mem_words=*/512, sepcheck::kQuickstartRed);
+  Result<int> black =
+      builder.AddRegime("black", /*mem_words=*/512, sepcheck::kQuickstartBlack);
   if (!red.ok() || !black.ok()) {
     std::fprintf(stderr, "assembly failed: %s\n", (!red.ok() ? red : black).error().c_str());
     return 1;
@@ -62,7 +68,7 @@ int main() {
     return 1;
   }
 
-  // 2. Run the shared machine until RED halts (BLACK idles forever).
+  // 3. Run the shared machine until RED halts (BLACK idles forever).
   (*system)->Run(5000);
   const auto& regimes = (*system)->kernel().config().regimes;
   const Word sum = (*system)->machine().memory().Read(regimes[1].mem_base + 0x80);
@@ -71,11 +77,11 @@ int main() {
               static_cast<unsigned long long>((*system)->kernel().SwapCount()),
               static_cast<unsigned long long>((*system)->kernel().KernelCallCount()));
 
-  // 3. Verify separability on the wire-cut variant of the same system
+  // 4. Verify separability on the wire-cut variant of the same system
   //    (Section 4 of the paper: cut the channels, prove total isolation).
   SystemBuilder cut_builder;
-  (void)cut_builder.AddRegime("red", 512, kRedProgram);
-  (void)cut_builder.AddRegime("black", 512, kBlackProgram);
+  (void)cut_builder.AddRegime("red", 512, sepcheck::kQuickstartRed);
+  (void)cut_builder.AddRegime("black", 512, sepcheck::kQuickstartBlack);
   cut_builder.AddChannel("red->black", 0, 1, 8);
   cut_builder.CutChannels(true);
   Result<std::unique_ptr<KernelizedSystem>> cut_system = cut_builder.Build();

@@ -1,0 +1,58 @@
+// Shared finding record for static-analysis tooling.
+//
+// Both the SIMPL information-flow analyzer (src/ifa) and the SM-11 binary
+// separability analyzer (src/sepcheck) report their results as `Finding`
+// values, so `tools/sepcheck` and `bench/bench_ifa_vs_pos` can render them
+// in one format (text or machine-readable JSON lines).
+#ifndef SEP_ANALYSIS_FINDING_H_
+#define SEP_ANALYSIS_FINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace sep {
+
+// Severity of a finding. A discharged finding is still reported (the
+// paper's point is that the syntactic flag is raised and then explicitly
+// argued away), but it does not block certification.
+enum class FindingSeverity {
+  kError,       // blocks certification
+  kDischarged,  // flagged syntactically, discharged by annotation
+  kInfo,        // advisory only
+};
+
+struct Finding {
+  std::string tool;   // "ifa" or "sepcheck"
+  std::string unit;   // program / regime name the finding is about
+  std::string kind;   // stable machine-readable kind, e.g. "explicit-flow",
+                      // "out-of-regime-write", "shared-channel-object"
+  int line = -1;      // 1-based source line, or -1 if unknown
+  int address = -1;   // machine address (word), or -1 if not applicable
+  std::string instruction;  // disassembled instruction or source statement
+  std::string region;       // offending region / object, if any
+  std::string message;      // human-readable description
+  std::vector<Word> witness;  // CFG witness path from entry (addresses)
+  FindingSeverity severity = FindingSeverity::kError;
+  std::string discharge_reason;  // non-empty when severity == kDischarged
+
+  bool Blocking() const { return severity == FindingSeverity::kError; }
+
+  // One-line human-readable rendering:
+  //   [sepcheck] black @0023 "MOV R1, (R5)": out-of-regime-write ...
+  std::string ToString() const;
+
+  // Single-line JSON object (machine-readable findings output).
+  std::string ToJson() const;
+};
+
+// Renders findings one per line. With `json` set, emits JSON lines.
+std::string FormatFindings(const std::vector<Finding>& findings, bool json);
+
+// True iff no finding blocks certification.
+bool Certified(const std::vector<Finding>& findings);
+
+}  // namespace sep
+
+#endif  // SEP_ANALYSIS_FINDING_H_

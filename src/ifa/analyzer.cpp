@@ -80,6 +80,24 @@ std::string FlowViolation::ToString() const {
                 flow_from.c_str(), flow_to.c_str(), target.c_str());
 }
 
+std::vector<Finding> FlowReport::ToFindings(const std::string& unit) const {
+  std::vector<Finding> out;
+  out.reserve(violations.size());
+  for (const FlowViolation& v : violations) {
+    Finding f;
+    f.tool = "ifa";
+    f.unit = unit;
+    f.kind = v.implicit ? "implicit-flow" : "explicit-flow";
+    f.line = v.line;
+    f.instruction = v.target + " := ...";
+    f.region = v.flow_to;
+    f.message = Format("%s flow %s -> %s (into %s)", v.implicit ? "implicit" : "explicit",
+                       v.flow_from.c_str(), v.flow_to.c_str(), v.target.c_str());
+    out.push_back(f);
+  }
+  return out;
+}
+
 FlowReport AnalyzeFlows(const Program& program) { return Analyzer(program).Run(); }
 
 }  // namespace sep

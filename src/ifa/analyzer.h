@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/finding.h"
 #include "src/ifa/ast.h"
 
 namespace sep {
@@ -39,6 +40,11 @@ struct FlowReport {
   std::size_t statements_checked = 0;
 
   bool Certified() const { return violations.empty(); }
+
+  // The violations in the shared static-analysis finding format
+  // (src/analysis/finding.h), so IFA verdicts render and serialize
+  // identically to sepcheck's. `unit` names the program analyzed.
+  std::vector<Finding> ToFindings(const std::string& unit) const;
 };
 
 FlowReport AnalyzeFlows(const Program& program);

@@ -1,0 +1,110 @@
+// Interval abstract domain for SM-11 register values.
+//
+// sepcheck needs just enough arithmetic precision to bound the addresses a
+// guest program can touch: constants (MOV #CRYPTO, R4), small joins from
+// different call sites (R0 in {0,1} -> [0,1]) and monotone pointer updates
+// (INC R4 in a loop, driven to TOP by widening). Anything it cannot bound
+// becomes TOP and downstream checks must treat the access as unprovable —
+// the domain is sound, never precise-by-luck. See docs/STATIC_ANALYSIS.md.
+#ifndef SEP_SEPCHECK_ABSDOMAIN_H_
+#define SEP_SEPCHECK_ABSDOMAIN_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/base/strings.h"
+#include "src/base/types.h"
+
+namespace sep::sepcheck {
+
+// A closed interval [lo, hi] of 16-bit unsigned values. There is no bottom
+// element; unreachable states are represented by AbsState::reachable.
+struct AbsVal {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0xFFFF;  // default-constructed value is TOP
+
+  static AbsVal Top() { return {0, 0xFFFF}; }
+  static AbsVal Const(Word w) { return {w, w}; }
+  static AbsVal Range(std::uint32_t lo, std::uint32_t hi) { return {lo, hi}; }
+
+  bool IsTop() const { return lo == 0 && hi == 0xFFFF; }
+  bool IsConst() const { return lo == hi; }
+  Word ConstVal() const { return static_cast<Word>(lo); }
+  std::uint32_t Width() const { return hi - lo; }
+
+  bool operator==(const AbsVal& o) const = default;
+
+  AbsVal Join(const AbsVal& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  // Classic interval widening: any bound that moved jumps to its extreme.
+  AbsVal WidenedFrom(const AbsVal& old) const {
+    return {lo < old.lo ? 0u : lo, hi > old.hi ? 0xFFFFu : hi};
+  }
+
+  // Machine arithmetic wraps mod 2^16; the abstract versions go to TOP
+  // instead of tracking wrapped intervals.
+  static AbsVal Add(const AbsVal& a, const AbsVal& b) {
+    if (a.hi + b.hi > 0xFFFF) return Top();
+    return {a.lo + b.lo, a.hi + b.hi};
+  }
+  static AbsVal Sub(const AbsVal& a, const AbsVal& b) {
+    if (a.lo < b.hi) return Top();
+    return {a.lo - b.hi, a.hi - b.lo};
+  }
+  // dst & ~mask for a constant mask: bounded above by both operands.
+  static AbsVal BicMask(const AbsVal& dst, Word mask) {
+    return {0, std::min<std::uint32_t>(dst.hi, static_cast<Word>(~mask))};
+  }
+  static AbsVal Asr(const AbsVal& a) {
+    if (a.hi >= 0x8000) return Top();  // arithmetic shift of "negative" values
+    return {a.lo >> 1, a.hi >> 1};
+  }
+  static AbsVal Asl(const AbsVal& a) {
+    if (a.hi * 2 > 0xFFFF) return Top();
+    return {a.lo * 2, a.hi * 2};
+  }
+
+  std::string ToString() const {
+    if (IsTop()) return "T";
+    if (IsConst()) return Format("0x%04X", lo);
+    return Format("[0x%04X,0x%04X]", lo, hi);
+  }
+};
+
+// Abstract register file at one program point. R7 (PC) is not tracked here;
+// its exact value is known from the instruction address.
+struct AbsState {
+  bool reachable = false;
+  std::array<AbsVal, 8> regs;
+
+  bool operator==(const AbsState& o) const = default;
+
+  // Joins `o` into this state; returns true if anything changed. Applies
+  // widening once a register has been joined more than `widen_after` times
+  // (callers pass a per-node counter).
+  bool JoinFrom(const AbsState& o, bool widen) {
+    if (!o.reachable) return false;
+    if (!reachable) {
+      *this = o;
+      return true;
+    }
+    bool changed = false;
+    for (int i = 0; i < 8; ++i) {
+      AbsVal joined = regs[i].Join(o.regs[i]);
+      if (widen) joined = joined.WidenedFrom(regs[i]);
+      if (!(joined == regs[i])) {
+        regs[i] = joined;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_ABSDOMAIN_H_

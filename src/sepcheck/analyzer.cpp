@@ -1,0 +1,657 @@
+#include "src/sepcheck/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "src/base/strings.h"
+#include "src/machine/machine.h"  // kDeviceRegSpan
+#include "src/sepcheck/absdomain.h"
+
+namespace sep::sepcheck {
+
+namespace {
+
+// Join budget before a node's in-state is widened. Small because guest
+// programs are small; correctness does not depend on the value.
+constexpr int kWidenAfter = 3;
+// Channel-index intervals wider than this are treated as unprovable rather
+// than enumerating their members.
+constexpr std::uint32_t kMaxChannelFanout = 64;
+// Handler-discovery iterations (SETVEC roots found by one dataflow round
+// feed the next lift).
+constexpr int kMaxLiftRounds = 8;
+
+// A resolved operand: a register, an immediate value, or a memory cell
+// whose address is abstractly known.
+struct OperandInfo {
+  enum class Kind { kNone, kReg, kImm, kMem } kind = Kind::kNone;
+  int reg = 0;
+  Word imm = 0;
+  AbsVal mem_addr;
+};
+
+AbsVal AddConstMod(const AbsVal& a, Word k) {
+  if (a.IsConst()) return AbsVal::Const(static_cast<Word>(a.ConstVal() + k));
+  return AbsVal::Add(a, AbsVal::Const(k));
+}
+
+class ProgramAnalyzer {
+ public:
+  ProgramAnalyzer(const AssembledProgram& program, const std::string& source,
+                  const RegimeView& view)
+      : program_(program), view_(view), annotations_(ParseAnnotations(source)) {}
+
+  ProgramAnalysis Run() {
+    std::vector<Word> roots = {program_.EntryPoint()};
+    for (int round = 0; round < kMaxLiftRounds; ++round) {
+      cfg_ = LiftCfg(program_, roots, view_.name);
+      Solve(roots);
+      std::vector<Word> discovered = DiscoverHandlers();
+      bool grew = false;
+      for (Word h : discovered) {
+        if (std::find(roots.begin(), roots.end(), h) == roots.end()) {
+          roots.push_back(h);
+          grew = true;
+        }
+      }
+      if (!grew) break;
+    }
+
+    ProgramAnalysis out;
+    for (const Finding& f : cfg_.findings) {
+      Report(f);  // lift-time findings (indirect jumps, invalid opcodes)
+    }
+    for (const auto& [addr, node] : cfg_.nodes) {
+      CheckNode(node);
+    }
+    out.cfg = std::move(cfg_);
+    out.findings = std::move(findings_);
+    out.ring_touches = std::move(ring_touches_);
+    return out;
+  }
+
+ private:
+  // --- dataflow ---------------------------------------------------------------
+
+  AbsState EntryState() const {
+    AbsState s;
+    s.reachable = true;
+    for (int i = 0; i < 6; ++i) s.regs[i] = AbsVal::Const(0);
+    s.regs[kSp] = AbsVal::Const(static_cast<Word>(view_.mem_words));
+    s.regs[kPc] = AbsVal::Top();  // PC is known per-node, not tracked
+    return s;
+  }
+
+  static AbsState HandlerState() {
+    // A handler can be entered from any point, with the interrupted
+    // context's registers: nothing is known.
+    AbsState s;
+    s.reachable = true;
+    return s;
+  }
+
+  void Solve(const std::vector<Word>& roots) {
+    in_.clear();
+    join_counts_.clear();
+    std::deque<Word> work;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      in_[roots[i]] = i == 0 ? EntryState() : HandlerState();
+      work.push_back(roots[i]);
+    }
+    std::size_t iterations = 0;
+    const std::size_t budget = (cfg_.nodes.size() + 1) * 256;
+    while (!work.empty() && iterations++ < budget) {
+      const Word addr = work.front();
+      work.pop_front();
+      auto node_it = cfg_.nodes.find(addr);
+      if (node_it == cfg_.nodes.end()) continue;
+      const CfgNode& node = node_it->second;
+      AbsState out = Transfer(node, in_[addr]);
+      if (!out.reachable) continue;
+      for (Word succ : node.succs) {
+        // Widening is counted per CFG *edge*: a loop re-joins its head
+        // through the same backedge, while a subroutine entry joined once
+        // from each of several JSR sites must not be widened to Top.
+        int& joins = join_counts_[{addr, succ}];
+        if (in_[succ].JoinFrom(out, joins >= kWidenAfter)) {
+          ++joins;
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  OperandInfo EvalOperand(const CfgNode& node, bool is_src, const AbsState& s) const {
+    const OperandSpec& spec = is_src ? node.insn.src : node.insn.dst;
+    const bool src_has_ext = node.insn.src.NeedsExtension();
+    const Word ext = is_src ? node.ext1 : (src_has_ext ? node.ext2 : node.ext1);
+    const Word ext_addr =
+        static_cast<Word>(node.addr + 1 + ((!is_src && src_has_ext) ? 1 : 0));
+    OperandInfo out;
+    switch (spec.mode) {
+      case AddrMode::kReg:
+        out.kind = OperandInfo::Kind::kReg;
+        out.reg = spec.reg;
+        break;
+      case AddrMode::kRegDeferred:
+        out.kind = OperandInfo::Kind::kMem;
+        out.mem_addr = spec.reg == kPc
+                           ? AbsVal::Const(static_cast<Word>(node.addr + 1))
+                           : s.regs[spec.reg];
+        break;
+      case AddrMode::kImmediate:
+        if (is_src) {
+          out.kind = OperandInfo::Kind::kImm;
+          out.imm = ext;
+        } else {  // absolute destination address
+          out.kind = OperandInfo::Kind::kMem;
+          out.mem_addr = AbsVal::Const(ext);
+        }
+        break;
+      case AddrMode::kIndexed:
+        out.kind = OperandInfo::Kind::kMem;
+        out.mem_addr = spec.reg == kPc
+                           ? AbsVal::Const(static_cast<Word>(ext + ext_addr + 1))
+                           : AddConstMod(s.regs[spec.reg], ext);
+        break;
+    }
+    return out;
+  }
+
+  AbsVal ReadValue(const OperandInfo& op, const AbsState& s) const {
+    switch (op.kind) {
+      case OperandInfo::Kind::kReg:
+        return op.reg == kPc ? AbsVal::Top() : s.regs[op.reg];
+      case OperandInfo::Kind::kImm:
+        return AbsVal::Const(op.imm);
+      default:
+        return AbsVal::Top();  // memory contents are not tracked
+    }
+  }
+
+  static void WriteValue(const OperandInfo& op, const AbsVal& v, AbsState& s) {
+    if (op.kind == OperandInfo::Kind::kReg) {
+      s.regs[op.reg] = v;
+    }
+  }
+
+  // Binary result helper: exact when both operands are constants.
+  template <typename F>
+  static AbsVal ConstOnly(const AbsVal& a, const AbsVal& b, F f) {
+    if (a.IsConst() && b.IsConst()) {
+      return AbsVal::Const(static_cast<Word>(f(a.ConstVal(), b.ConstVal())));
+    }
+    return AbsVal::Top();
+  }
+
+  AbsState Transfer(const CfgNode& node, const AbsState& in) const {
+    AbsState s = in;
+    if (!s.reachable) return s;
+    const Opcode op = node.insn.opcode;
+    switch (op) {
+      case Opcode::kMov: {
+        OperandInfo src = EvalOperand(node, true, s);
+        OperandInfo dst = EvalOperand(node, false, s);
+        WriteValue(dst, ReadValue(src, s), s);
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kBic:
+      case Opcode::kBis:
+      case Opcode::kXor: {
+        OperandInfo src = EvalOperand(node, true, s);
+        OperandInfo dst = EvalOperand(node, false, s);
+        const AbsVal a = ReadValue(src, s);
+        const AbsVal d = ReadValue(dst, s);
+        AbsVal r;
+        switch (op) {
+          case Opcode::kAdd:
+            r = AbsVal::Add(a, d);
+            break;
+          case Opcode::kSub:
+            r = AbsVal::Sub(d, a);
+            break;
+          case Opcode::kBic:
+            r = a.IsConst() ? AbsVal::BicMask(d, a.ConstVal())
+                            : ConstOnly(d, a, [](Word x, Word y) { return x & ~y; });
+            break;
+          case Opcode::kBis:
+            r = ConstOnly(d, a, [](Word x, Word y) { return x | y; });
+            break;
+          default:  // kXor
+            r = ConstOnly(d, a, [](Word x, Word y) { return x ^ y; });
+            break;
+        }
+        WriteValue(dst, r, s);
+        break;
+      }
+      case Opcode::kCmp:
+      case Opcode::kBit:
+        break;  // condition codes only (not tracked; no branch refinement)
+      case Opcode::kClr:
+        WriteValue(EvalOperand(node, false, s), AbsVal::Const(0), s);
+        break;
+      case Opcode::kInc: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        WriteValue(dst, AbsVal::Add(ReadValue(dst, s), AbsVal::Const(1)), s);
+        break;
+      }
+      case Opcode::kDec: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        WriteValue(dst, AbsVal::Sub(ReadValue(dst, s), AbsVal::Const(1)), s);
+        break;
+      }
+      case Opcode::kNeg: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        const AbsVal d = ReadValue(dst, s);
+        WriteValue(dst,
+                   d.IsConst() ? AbsVal::Const(static_cast<Word>(-d.ConstVal()))
+                               : AbsVal::Top(),
+                   s);
+        break;
+      }
+      case Opcode::kCom: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        const AbsVal d = ReadValue(dst, s);
+        WriteValue(dst,
+                   d.IsConst() ? AbsVal::Const(static_cast<Word>(~d.ConstVal()))
+                               : AbsVal::Top(),
+                   s);
+        break;
+      }
+      case Opcode::kTst:
+        break;
+      case Opcode::kAsr: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        WriteValue(dst, AbsVal::Asr(ReadValue(dst, s)), s);
+        break;
+      }
+      case Opcode::kAsl: {
+        OperandInfo dst = EvalOperand(node, false, s);
+        WriteValue(dst, AbsVal::Asl(ReadValue(dst, s)), s);
+        break;
+      }
+      case Opcode::kJsr:
+        s.regs[kSp] = AbsVal::Sub(s.regs[kSp], AbsVal::Const(1));
+        break;
+      case Opcode::kRts:
+        s.regs[kSp] = AbsVal::Add(s.regs[kSp], AbsVal::Const(1));
+        break;
+      case Opcode::kTrap:
+        TransferTrap(node.insn.trap_code, s);
+        break;
+      default:
+        break;  // HALT/WAIT/RTI/NOP/JMP/branches: no register effect
+    }
+    return s;
+  }
+
+  void TransferTrap(std::uint16_t code, AbsState& s) const {
+    if (view_.bare) {
+      // Vectors through the program's own kernel-mode handler; outside the
+      // per-regime model, so assume nothing afterwards.
+      for (int i = 0; i < 6; ++i) s.regs[i] = AbsVal::Top();
+      return;
+    }
+    switch (code) {
+      case kCallSend:
+        s.regs[0] = AbsVal::Range(0, 1);  // 1 = delivered, 0 = full
+        break;
+      case kCallRecv:
+        s.regs[0] = AbsVal::Range(0, 1);
+        s.regs[1] = AbsVal::Top();  // the received word
+        break;
+      case kCallStat:
+        s.regs[0] = AbsVal::Top();
+        s.regs[1] = AbsVal::Top();
+        break;
+      case kCallAwait:
+        s.regs[0] = AbsVal::Top();  // pending-interrupt mask
+        break;
+      case kCallGetId:
+        s.regs[0] = AbsVal::Const(static_cast<Word>(view_.index));
+        break;
+      default:
+        break;  // SWAP/SETVEC preserve registers; HALT/RETI do not return
+    }
+  }
+
+  // --- checks -----------------------------------------------------------------
+
+  void Report(Finding f) {
+    if (f.line < 0 && f.address >= 0) f.line = program_.LineOf(static_cast<Word>(f.address));
+    auto trusted = annotations_.trusted_lines.find(f.line);
+    if (trusted != annotations_.trusted_lines.end() &&
+        f.severity == FindingSeverity::kError) {
+      f.severity = FindingSeverity::kDischarged;
+      f.discharge_reason = trusted->second;
+    }
+    findings_.push_back(std::move(f));
+  }
+
+  Finding MakeFinding(const CfgNode& node, const std::string& kind,
+                      const std::string& message) const {
+    Finding f;
+    f.tool = "sepcheck";
+    f.unit = view_.name;
+    f.kind = kind;
+    f.address = node.addr;
+    f.instruction = node.text;
+    f.message = message;
+    f.witness = cfg_.WitnessTo(node.addr);
+    return f;
+  }
+
+  bool IntersectsCode(const AbsVal& a) const {
+    auto it = cfg_.code_words.lower_bound(static_cast<Word>(a.lo));
+    return it != cfg_.code_words.end() && *it <= a.hi;
+  }
+
+  std::string DescribeRegion(const AbsVal& a) const {
+    if (a.hi < 0x2000) {
+      return Format("page 0 beyond partition end 0x%04X",
+                    static_cast<unsigned>(view_.mem_words));
+    }
+    if (a.lo >= kDeviceWindowBase) {
+      return view_.device_window_words == 0 ? "device window (no devices owned)"
+                                            : "beyond device-register window";
+    }
+    return "unmapped address space";
+  }
+
+  void CheckAccess(const CfgNode& node, const AbsVal& a, bool write) {
+    const char* rw = write ? "write" : "read";
+    if (a.IsTop()) {
+      Finding f = MakeFinding(node, Format("unbounded-%s", rw),
+                              "address cannot be bounded by the abstract domain");
+      f.region = "unknown";
+      Report(std::move(f));
+      return;
+    }
+    if (a.hi < view_.mem_words) {
+      if (write && IntersectsCode(a)) {
+        Finding f = MakeFinding(node, "self-modifying-code",
+                                "store can overwrite the program's own instructions; "
+                                "rejected, not analyzed");
+        f.region = a.ToString() + " within code image";
+        Report(std::move(f));
+      }
+      return;  // own partition
+    }
+    if (view_.device_window_words > 0 && a.lo >= kDeviceWindowBase &&
+        a.hi < kDeviceWindowBase + view_.device_window_words) {
+      return;  // own device-register window
+    }
+    Finding f = MakeFinding(node, Format("out-of-regime-%s", rw),
+                            Format("%s outside the regime's memory map", rw));
+    f.region = a.ToString() + ": " + DescribeRegion(a);
+    Report(std::move(f));
+  }
+
+  void CheckChannelCall(const CfgNode& node, const AbsState& s, std::uint16_t code) {
+    const AbsVal chan = s.regs[0];
+    const int nchan = static_cast<int>(view_.channels.size());
+    const char* call = code == kCallSend ? "SEND" : code == kCallRecv ? "RECV" : "STAT";
+    if (chan.IsTop() || chan.Width() > kMaxChannelFanout) {
+      Finding f = MakeFinding(
+          node, "unprovable-channel",
+          Format("%s channel index cannot be bounded (R0 = %s)", call,
+                 chan.ToString().c_str()));
+      f.region = "kernel channel table";
+      Report(std::move(f));
+      return;
+    }
+    for (std::uint32_t k = chan.lo; k <= chan.hi; ++k) {
+      if (k >= static_cast<std::uint32_t>(nchan)) {
+        Finding f = MakeFinding(node, "channel-out-of-range",
+                                Format("%s on channel %u but only %d configured", call,
+                                       k, nchan));
+        f.region = "kernel channel table";
+        Report(std::move(f));
+        continue;
+      }
+      const ChannelConfig& cc = view_.channels[k];
+      const bool sends = code == kCallSend;
+      const bool recvs = code == kCallRecv;
+      const bool is_sender = cc.sender == view_.index;
+      const bool is_receiver = cc.receiver == view_.index;
+      if ((sends && !is_sender) || (recvs && !is_receiver) ||
+          (code == kCallStat && !is_sender && !is_receiver)) {
+        Finding f = MakeFinding(
+            node, "channel-not-owned",
+            Format("%s on channel %u (\"%s\") owned by other regimes", call, k,
+                   cc.name.c_str()));
+        f.region = Format("channel %u %s end", k, sends ? "sender" : "receiver");
+        Report(std::move(f));
+        continue;
+      }
+      if (sends || (code == kCallStat && is_sender)) {
+        ring_touches_.insert({static_cast<int>(k), 0});
+      }
+      if (recvs || (code == kCallStat && is_receiver)) {
+        ring_touches_.insert({static_cast<int>(k), 1});
+      }
+    }
+  }
+
+  void CheckTrap(const CfgNode& node, const AbsState& s) {
+    const std::uint16_t code = node.insn.trap_code;
+    if (view_.bare) return;
+    switch (code) {
+      case kCallSwap:
+      case kCallAwait:
+      case kCallReti:
+      case kCallHalt:
+      case kCallGetId:
+        break;
+      case kCallSend:
+      case kCallRecv:
+      case kCallStat:
+        CheckChannelCall(node, s, code);
+        break;
+      case kCallSetVec: {
+        const AbsVal dev = s.regs[0];
+        const AbsVal handler = s.regs[1];
+        if (dev.IsTop() ||
+            dev.hi >= static_cast<std::uint32_t>(view_.device_slots)) {
+          Finding f = MakeFinding(
+              node, "setvec-bad-device",
+              Format("SETVEC device index %s not within the regime's %d local devices",
+                     dev.ToString().c_str(), view_.device_slots));
+          f.region = "kernel vector table";
+          Report(std::move(f));
+        }
+        if (!handler.IsConst()) {
+          Finding f = MakeFinding(
+              node, "unprovable-handler",
+              Format("SETVEC handler address %s is not a static constant; handler "
+                     "code cannot be analyzed",
+                     handler.ToString().c_str()));
+          f.region = "kernel vector table";
+          Report(std::move(f));
+        } else if (handler.ConstVal() >= view_.mem_words) {
+          Finding f = MakeFinding(node, "setvec-bad-handler",
+                                  "SETVEC handler address outside the partition");
+          f.region = "kernel vector table";
+          Report(std::move(f));
+        }
+        break;
+      }
+      default: {
+        Finding f = MakeFinding(node, "unknown-kernel-call",
+                                Format("TRAP %u is not a kernel call; the kernel "
+                                       "faults the regime",
+                                       code));
+        f.region = "kernel entry table";
+        Report(std::move(f));
+        break;
+      }
+    }
+  }
+
+  void CheckNode(const CfgNode& node) {
+    const AbsState& s = in_[node.addr];
+    if (!s.reachable) return;
+    const Opcode op = node.insn.opcode;
+
+    if (!view_.bare &&
+        (op == Opcode::kHalt || op == Opcode::kWait || op == Opcode::kRti)) {
+      Report(MakeFinding(node, "privileged-instruction",
+                         Format("%s is privileged; in user mode it traps and the "
+                                "kernel faults the regime",
+                                OpcodeName(op))));
+      return;
+    }
+
+    // Writes to PC through data instructions are control flow the CFG does
+    // not model; reject them like indirect jumps.
+    const bool writes_dst = op == Opcode::kMov || op == Opcode::kAdd ||
+                            op == Opcode::kSub || op == Opcode::kBic ||
+                            op == Opcode::kBis || op == Opcode::kXor ||
+                            op == Opcode::kClr || op == Opcode::kInc ||
+                            op == Opcode::kDec || op == Opcode::kNeg ||
+                            op == Opcode::kCom || op == Opcode::kAsr ||
+                            op == Opcode::kAsl;
+    const bool reads_dst = writes_dst ? (op != Opcode::kMov && op != Opcode::kClr)
+                                      : (op == Opcode::kCmp || op == Opcode::kBit ||
+                                         op == Opcode::kTst);
+    const bool has_dst = writes_dst || reads_dst;
+    const bool has_src = op == Opcode::kMov || op == Opcode::kAdd ||
+                         op == Opcode::kSub || op == Opcode::kCmp ||
+                         op == Opcode::kBit || op == Opcode::kBic ||
+                         op == Opcode::kBis || op == Opcode::kXor;
+
+    if (has_src) {
+      OperandInfo src = EvalOperand(node, true, s);
+      if (src.kind == OperandInfo::Kind::kMem) {
+        CheckAccess(node, src.mem_addr, /*write=*/false);
+      }
+    }
+    if (has_dst) {
+      OperandInfo dst = EvalOperand(node, false, s);
+      if (dst.kind == OperandInfo::Kind::kMem) {
+        if (reads_dst) CheckAccess(node, dst.mem_addr, /*write=*/false);
+        if (writes_dst) CheckAccess(node, dst.mem_addr, /*write=*/true);
+      } else if (dst.kind == OperandInfo::Kind::kReg && dst.reg == kPc &&
+                 writes_dst) {
+        Report(MakeFinding(node, "pc-write",
+                           "data instruction targets PC; computed control flow is "
+                           "rejected, not analyzed"));
+      }
+    }
+
+    if (op == Opcode::kJsr) {
+      CheckAccess(node, AbsVal::Sub(s.regs[kSp], AbsVal::Const(1)), /*write=*/true);
+    } else if (op == Opcode::kRts) {
+      CheckAccess(node, s.regs[kSp], /*write=*/false);
+    } else if (op == Opcode::kTrap) {
+      CheckTrap(node, s);
+    }
+  }
+
+  std::vector<Word> DiscoverHandlers() {
+    std::vector<Word> out;
+    for (const auto& [addr, node] : cfg_.nodes) {
+      if (node.insn.opcode != Opcode::kTrap || node.insn.trap_code != kCallSetVec) {
+        continue;
+      }
+      const AbsState& s = in_[addr];
+      if (!s.reachable) continue;
+      if (s.regs[1].IsConst() && s.regs[1].ConstVal() < view_.mem_words) {
+        out.push_back(s.regs[1].ConstVal());
+      }
+    }
+    return out;
+  }
+
+  const AssembledProgram& program_;
+  const RegimeView& view_;
+  Annotations annotations_;
+  Cfg cfg_;
+  std::map<Word, AbsState> in_;
+  std::map<std::pair<Word, Word>, int> join_counts_;
+  std::vector<Finding> findings_;
+  std::set<std::pair<int, int>> ring_touches_;
+};
+
+}  // namespace
+
+ProgramAnalysis AnalyzeProgram(const AssembledProgram& program, const std::string& source,
+                               const RegimeView& view) {
+  return ProgramAnalyzer(program, source, view).Run();
+}
+
+Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec) {
+  SystemAnalysis out;
+  // Physical ring object -> set of regimes whose code addresses it. With
+  // cut channels the object is the (channel, end) pair; uncut, both ends
+  // collapse onto ring 0 — the paper's shared X.
+  std::map<std::pair<int, int>, std::set<int>> ring_users;
+  Annotations merged;
+
+  for (std::size_t r = 0; r < spec.regimes.size(); ++r) {
+    const SystemSpec::Regime& regime = spec.regimes[r];
+    Result<AssembledProgram> program = Assemble(regime.source);
+    if (!program.ok()) {
+      return Err(Format("regime %s: %s", regime.name.c_str(), program.error().c_str()));
+    }
+    RegimeView view;
+    view.name = regime.name;
+    view.index = static_cast<int>(r);
+    view.mem_words = regime.mem_words;
+    view.device_window_words =
+        static_cast<std::uint32_t>(regime.device_slots) * kDeviceRegSpan;
+    view.device_slots = regime.device_slots;
+    view.channels = spec.channels;
+    ProgramAnalysis pa = AnalyzeProgram(*program, regime.source, view);
+    for (Finding& f : pa.findings) out.findings.push_back(std::move(f));
+    for (const auto& [channel, end] : pa.ring_touches) {
+      const int object_end = spec.cut_channels ? end : 0;
+      ring_users[{channel, object_end}].insert(static_cast<int>(r));
+    }
+    Annotations ann = ParseAnnotations(regime.source);
+    for (const auto& [k, reason] : ann.disjoint_channels) {
+      merged.disjoint_channels.emplace(k, reason);
+    }
+  }
+
+  // Wire-cut discipline: every physical ring object may be addressed by at
+  // most one regime's code. Cut channels satisfy this by construction
+  // (X1 for the sender, X2 for the receiver); an uncut channel whose both
+  // ends are used collapses to one object with two users — flagged.
+  for (const auto& [object, users] : ring_users) {
+    if (users.size() <= 1) continue;
+    const auto& [channel, end] = object;
+    Finding f;
+    f.tool = "sepcheck";
+    f.unit = spec.name;
+    f.kind = "shared-channel-object";
+    std::string names;
+    for (int u : users) {
+      if (!names.empty()) names += ", ";
+      names += spec.regimes[static_cast<std::size_t>(u)].name;
+    }
+    const std::string channel_name =
+        channel < static_cast<int>(spec.channels.size())
+            ? spec.channels[static_cast<std::size_t>(channel)].name
+            : Format("#%d", channel);
+    f.region = Format("channel %d (\"%s\") ring %d", channel, channel_name.c_str(), end);
+    f.message = Format(
+        "uncut channel: one ring object is addressed by %zu regimes (%s); "
+        "syntactic separability cannot be concluded",
+        users.size(), names.c_str());
+    auto it = merged.disjoint_channels.find(channel);
+    if (it != merged.disjoint_channels.end()) {
+      f.severity = FindingSeverity::kDischarged;
+      f.discharge_reason = it->second;
+    }
+    out.findings.push_back(std::move(f));
+  }
+
+  out.certified = Certified(out.findings);
+  return out;
+}
+
+}  // namespace sep::sepcheck

@@ -1,0 +1,94 @@
+// Static separability analysis of assembled SM-11 guest programs.
+//
+// AnalyzeProgram proves, per instruction, which memory region every read
+// and write can touch, using a worklist dataflow over the CFG with the
+// interval domain of absdomain.h. Accesses that stay inside the regime's
+// own partition (or its mapped device-register window) are silent; anything
+// else — out-of-partition addresses, unprovable (TOP) addresses, writes over
+// the program's own code, kernel calls with unverifiable or foreign channel
+// arguments — becomes a Finding with a CFG witness path.
+//
+// AnalyzeSystem runs every regime of a configuration and then checks the
+// wire-cutting discipline of the paper's Section 4: each channel object is
+// split into an X1 (sender) and X2 (receiver) end, and the analysis proves
+// each side's code only ever addresses its own end. With cut_channels ==
+// false both ends alias one ring — the shared object X — and the analyzer
+// flags it, soundly but (as the semantic probe shows) incompletely: the
+// kernel's ring discipline keeps the ends time-disjoint. The flag is
+// discharged by an explicit `sepcheck: disjoint-channel` annotation.
+#ifndef SEP_SEPCHECK_ANALYZER_H_
+#define SEP_SEPCHECK_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/kernel/config.h"
+#include "src/sepcheck/annotations.h"
+#include "src/sepcheck/cfg.h"
+#include "src/sm11asm/assembler.h"
+
+namespace sep::sepcheck {
+
+// The memory map one regime's program runs under (ProgramMmuFor's layout)
+// plus the channel ends the kernel configuration grants it.
+struct RegimeView {
+  std::string name = "program";
+  int index = 0;                          // regime index in the configuration
+  std::uint32_t mem_words = 0;            // page 0: own partition, read-write
+  std::uint32_t device_window_words = 0;  // page 7 span; 0 = no devices
+  int device_slots = 0;                   // local devices (SETVEC bound)
+  std::vector<ChannelConfig> channels;    // full channel table of the config
+  // Bare machine mode: HALT/WAIT/RTI are legal and TRAPs vector to the
+  // program's own handlers instead of the kernel (used by tools on
+  // standalone programs; regime analysis leaves this false).
+  bool bare = false;
+};
+
+// Virtual base of the device-register window (MMU page 7).
+inline constexpr Word kDeviceWindowBase = 0xE000;
+
+struct ProgramAnalysis {
+  Cfg cfg;
+  std::vector<Finding> findings;
+  // (channel, end) pairs this program's kernel calls can address, where
+  // end 0 = X1/sender and 1 = X2/receiver. Input to the wire-cut check.
+  std::set<std::pair<int, int>> ring_touches;
+
+  bool Certified() const { return sep::Certified(findings); }
+};
+
+// Analyzes one program under `view`. `source` is the assembly text the
+// program came from; it supplies discharge annotations (and is optional —
+// an empty string means no annotations).
+ProgramAnalysis AnalyzeProgram(const AssembledProgram& program, const std::string& source,
+                               const RegimeView& view);
+
+// A whole system to analyze: regime sources plus the channel topology.
+struct SystemSpec {
+  struct Regime {
+    std::string name;
+    std::string source;        // SM-11 assembly
+    std::uint32_t mem_words = 512;
+    int device_slots = 0;
+  };
+  std::string name = "system";
+  std::vector<Regime> regimes;
+  std::vector<ChannelConfig> channels;
+  bool cut_channels = true;
+};
+
+struct SystemAnalysis {
+  std::vector<Finding> findings;  // per-regime findings + wire-cut findings
+  bool certified = false;
+};
+
+// Assembles and analyzes every regime, then applies the wire-cut check.
+// Fails (Err) only when a source does not assemble.
+Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_ANALYZER_H_

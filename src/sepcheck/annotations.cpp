@@ -1,0 +1,37 @@
+#include "src/sepcheck/annotations.h"
+
+#include <cstdlib>
+
+#include "src/base/strings.h"
+
+namespace sep::sepcheck {
+
+Annotations ParseAnnotations(const std::string& source) {
+  Annotations out;
+  std::vector<std::string> lines = Split(source, '\n');
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int line_number = static_cast<int>(i + 1);
+    const std::string& line = lines[i];
+    std::size_t comment = line.find(';');
+    if (comment == std::string::npos) continue;
+    std::string text = Trim(line.substr(comment + 1));
+    if (!StartsWith(text, "sepcheck:")) continue;
+    text = Trim(text.substr(std::string("sepcheck:").size()));
+
+    if (StartsWith(text, "trust")) {
+      std::string reason = Trim(text.substr(5));
+      out.trusted_lines[line_number] = reason.empty() ? "trusted by annotation" : reason;
+    } else if (StartsWith(text, "disjoint-channel")) {
+      std::string rest = Trim(text.substr(std::string("disjoint-channel").size()));
+      char* end = nullptr;
+      long channel = std::strtol(rest.c_str(), &end, 0);
+      if (end == rest.c_str() || channel < 0) continue;  // malformed: ignore
+      std::string reason = Trim(std::string(end));
+      out.disjoint_channels[static_cast<int>(channel)] =
+          reason.empty() ? "ends declared time-disjoint" : reason;
+    }
+  }
+  return out;
+}
+
+}  // namespace sep::sepcheck

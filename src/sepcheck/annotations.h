@@ -1,0 +1,39 @@
+// Analyst annotations embedded in SM-11 assembly comments.
+//
+// sepcheck's syntactic pass is sound but incomplete (the paper's Section 4
+// SWAP argument); when a flagged access is in fact secure, the analyst
+// records an explicit discharge in the source, next to the code it excuses:
+//
+//   MOV R1, (R5)   ; sepcheck: trust writes bounded by channel supply
+//   ; sepcheck: disjoint-channel 0 ends used time-disjointly (wire-cut arg)
+//
+// Annotations live in comments, so the assembled image — and therefore
+// every run-time behaviour — is byte-identical with or without them. The
+// finding is still reported, marked discharged, exactly like the paper's
+// flagged-then-argued-away SWAP.
+#ifndef SEP_SEPCHECK_ANNOTATIONS_H_
+#define SEP_SEPCHECK_ANNOTATIONS_H_
+
+#include <map>
+#include <string>
+
+namespace sep::sepcheck {
+
+struct Annotations {
+  // `trust` directives: source line -> analyst's reason. Findings whose
+  // instruction was emitted by that line are discharged.
+  std::map<int, std::string> trusted_lines;
+  // `disjoint-channel <k>` directives: channel index -> reason. Discharges
+  // the shared-channel-object finding for that channel (the SWAP analogue).
+  std::map<int, std::string> disjoint_channels;
+
+  bool Empty() const { return trusted_lines.empty() && disjoint_channels.empty(); }
+};
+
+// Scans assembly source for `sepcheck:` comment directives. Unknown
+// directives are ignored (they may belong to a future analyzer version).
+Annotations ParseAnnotations(const std::string& source);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_ANNOTATIONS_H_

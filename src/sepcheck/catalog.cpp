@@ -1,0 +1,289 @@
+#include "src/sepcheck/catalog.h"
+
+#include "src/machine/devices.h"
+#include "src/sepcheck/guest_corpus.h"
+
+namespace sep::sepcheck {
+
+namespace {
+
+// Negative fixtures: each one violates exactly the discipline named in its
+// catalogue entry. They are the analyzer's own regression corpus — if one
+// stops being flagged, sepcheck has gone blind.
+
+// Writes beyond its partition (page 0 length fault) and reads an unmapped
+// page.
+constexpr char kFixtureOutOfPartition[] = R"(
+START:  MOV #1, R1
+        MOV R1, @0x900      ; partition is 512 words; 0x900 is past the end
+        MOV @0x4000, R2     ; page 2 is unmapped for every regime
+        TRAP 7
+)";
+
+// Sends on a channel whose sender end belongs to the other regime.
+constexpr char kFixtureForeignSend[] = R"(
+START:  MOV #42, R1
+        CLR R0              ; channel 0 - but this regime is the RECEIVER
+        TRAP 1
+        TRAP 7
+)";
+
+// Computed jump: sepcheck rejects what it cannot follow.
+constexpr char kFixtureIndirectJump[] = R"(
+START:  MOV #DONE, R2
+        JMP (R2)
+DONE:   TRAP 7
+)";
+
+// Stores over its own first instruction.
+constexpr char kFixtureSelfModify[] = R"(
+START:  MOV #0, @START
+        TRAP 7
+)";
+
+// Statically certified, semantically leaky-by-design: ships its secret
+// word down the declared channel. The probe's true-positive control — the
+// two-run probe must see the secret-dependence that resource-level
+// separability analysis, by design, does not police.
+constexpr char kFixtureLeakySender[] = R"(
+; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4)
+START:  MOV SECRET, R1
+        CLR R0
+        TRAP 1
+        TRAP 0
+        TRAP 7
+        .ORG 0x40
+SECRET: .WORD 0
+)";
+
+// The quickstart pair WITHOUT the disjointness annotation: the raw
+// machine-level SWAP analogue. Uncut, the two channel ends alias one ring
+// object, the syntactic pass flags it, and nothing discharges it.
+constexpr char kQuickstartRedUnannotated[] = R"(
+START:  CLR R3
+LOOP:   INC R3
+        MOV R3, R1
+        CLR R0
+        TRAP 1
+        TRAP 0
+        CMP #20, R3
+        BNE LOOP
+        TRAP 7
+)";
+
+SystemSpec::Regime Regime(const std::string& name, const char* source,
+                          int device_slots = 0) {
+  SystemSpec::Regime r;
+  r.name = name;
+  r.source = source;
+  r.mem_words = 512;
+  r.device_slots = device_slots;
+  return r;
+}
+
+ChannelConfig Channel(const std::string& name, int sender, int receiver) {
+  ChannelConfig c;
+  c.name = name;
+  c.sender = sender;
+  c.receiver = receiver;
+  c.capacity = 16;
+  return c;
+}
+
+std::vector<CatalogEntry> BuildCatalog() {
+  std::vector<CatalogEntry> out;
+
+  // --- quickstart pair (examples/quickstart.cpp) ---
+  {
+    CatalogEntry e;
+    e.name = "quickstart";
+    e.spec.name = "quickstart";
+    e.spec.regimes = {Regime("red", kQuickstartRed), Regime("black", kQuickstartBlack)};
+    e.spec.channels = {Channel("red->black", 0, 1)};
+    e.spec.cut_channels = false;  // as deployed: the shared-X configuration
+    e.expect_certified = true;
+    e.expect_discharged = true;  // shared ring flagged, annotation discharges
+    e.has_probe = true;
+    e.probe.secret_regime = 0;
+    e.probe.secret_addrs = {0x1C0};  // a word red never reads or sends
+    e.probe.observer_regime = 1;
+    e.probe.steps = 6000;
+    e.probe_expect_leak = false;  // the flag is a false positive
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "quickstart-cut";
+    e.spec.name = "quickstart-cut";
+    e.spec.regimes = {Regime("red", kQuickstartRed), Regime("black", kQuickstartBlack)};
+    e.spec.channels = {Channel("red->black", 0, 1)};
+    e.spec.cut_channels = true;  // X split into X1/X2: nothing to discharge
+    e.expect_certified = true;
+    e.expect_discharged = false;
+    out.push_back(e);
+  }
+
+  // --- SNFE trio (tests/snfe_kernelized_test.cpp) ---
+  {
+    CatalogEntry e;
+    e.name = "snfe";
+    e.spec.name = "snfe";
+    e.spec.regimes = {Regime("red", kSnfeRed, /*device_slots=*/1),
+                      Regime("censor", kSnfeCensor), Regime("black", kSnfeBlack)};
+    e.device_kinds = {"crypto", "", ""};
+    e.spec.channels = {Channel("red->censor", 0, 1), Channel("red->black", 0, 2),
+                       Channel("censor->black", 1, 2)};
+    e.spec.cut_channels = false;
+    e.expect_certified = true;
+    e.expect_discharged = true;
+    e.has_probe = true;
+    e.probe.secret_regime = 0;
+    e.probe.secret_addrs = {0x1F0};  // scratch red never touches
+    e.probe.observer_regime = 2;     // black
+    e.probe.steps = 20000;
+    e.probe_expect_leak = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "snfe-cut";
+    e.spec.name = "snfe-cut";
+    e.spec.regimes = {Regime("red", kSnfeRed, /*device_slots=*/1),
+                      Regime("censor", kSnfeCensor), Regime("black", kSnfeBlack)};
+    e.device_kinds = {"crypto", "", ""};
+    e.spec.channels = {Channel("red->censor", 0, 1), Channel("red->black", 0, 2),
+                       Channel("censor->black", 1, 2)};
+    e.spec.cut_channels = true;
+    e.expect_certified = true;
+    e.expect_discharged = true;  // black's unbounded packet stores remain
+    out.push_back(e);
+  }
+
+  // --- ACCAT guard trio (tests/guard_kernelized_test.cpp) ---
+  {
+    CatalogEntry e;
+    e.name = "guard";
+    e.spec.name = "guard";
+    e.spec.regimes = {Regime("guard", kGuardGuard), Regime("low", kGuardLow),
+                      Regime("high", kGuardHigh)};
+    e.spec.channels = {Channel("low->guard", 1, 0), Channel("high->guard", 2, 0),
+                       Channel("guard->low", 0, 1), Channel("guard->high", 0, 2)};
+    e.spec.cut_channels = false;
+    e.expect_certified = true;
+    e.expect_discharged = true;
+    out.push_back(e);
+  }
+
+  // --- the raw SWAP analogue: flagged, undischarged ---
+  {
+    CatalogEntry e;
+    e.name = "swap-analogue-undischarged";
+    e.spec.name = "swap-analogue-undischarged";
+    e.spec.regimes = {Regime("red", kQuickstartRedUnannotated),
+                      Regime("black", kQuickstartBlack)};
+    e.spec.channels = {Channel("red->black", 0, 1)};
+    e.spec.cut_channels = false;
+    e.expect_certified = false;  // shared ring object, no annotation
+    e.has_probe = true;
+    e.probe.secret_regime = 0;
+    e.probe.secret_addrs = {0x1C0};
+    e.probe.observer_regime = 1;
+    e.probe.steps = 6000;
+    e.probe_expect_leak = false;  // ...yet semantically secure: false positive
+    out.push_back(e);
+  }
+
+  // --- probe true-positive control ---
+  {
+    CatalogEntry e;
+    e.name = "leaky-sender-control";
+    e.spec.name = "leaky-sender-control";
+    e.spec.regimes = {Regime("red", kFixtureLeakySender),
+                      Regime("black", kQuickstartBlack)};
+    e.spec.channels = {Channel("red->black", 0, 1)};
+    // Uncut: a cut wire starves the receiver and the probe would be
+    // vacuously "secure". The leak must travel the deployed channel.
+    e.spec.cut_channels = false;
+    e.expect_certified = true;  // every address is a static constant
+    e.expect_discharged = true;
+    e.has_probe = true;
+    e.probe.secret_regime = 0;
+    e.probe.secret_addrs = {0x40};  // SECRET — shipped down the channel
+    e.probe.observer_regime = 1;
+    e.probe.steps = 6000;
+    e.probe_expect_leak = true;
+    out.push_back(e);
+  }
+
+  // --- negative fixtures: must be flagged ---
+  {
+    CatalogEntry e;
+    e.name = "fixture-out-of-partition";
+    e.spec.name = "fixture-out-of-partition";
+    e.spec.regimes = {Regime("rogue", kFixtureOutOfPartition)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "fixture-foreign-send";
+    e.spec.name = "fixture-foreign-send";
+    e.spec.regimes = {Regime("sender", kQuickstartRed), Regime("rogue", kFixtureForeignSend)};
+    e.spec.channels = {Channel("sender->rogue", 0, 1)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "fixture-indirect-jump";
+    e.spec.name = "fixture-indirect-jump";
+    e.spec.regimes = {Regime("rogue", kFixtureIndirectJump)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "fixture-self-modify";
+    e.spec.name = "fixture-self-modify";
+    e.spec.regimes = {Regime("rogue", kFixtureSelfModify)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& Catalog() {
+  static const std::vector<CatalogEntry>* catalog =
+      new std::vector<CatalogEntry>(BuildCatalog());
+  return *catalog;
+}
+
+Result<std::unique_ptr<KernelizedSystem>> BuildEntrySystem(const CatalogEntry& entry) {
+  SystemBuilder builder;
+  for (std::size_t r = 0; r < entry.spec.regimes.size(); ++r) {
+    const SystemSpec::Regime& regime = entry.spec.regimes[r];
+    std::vector<int> slots;
+    const std::string kind =
+        r < entry.device_kinds.size() ? entry.device_kinds[r] : std::string();
+    if (kind == "crypto") {
+      slots.push_back(builder.AddDevice(
+          std::make_unique<CryptoUnit>("crypto", 16, 4, /*key=*/0xFEED, 2)));
+    } else if (!kind.empty()) {
+      return Err("unknown device kind: " + kind);
+    }
+    Result<int> added = builder.AddRegime(regime.name, regime.mem_words, regime.source, slots);
+    if (!added.ok()) {
+      return Err(added.error());
+    }
+  }
+  for (const ChannelConfig& c : entry.spec.channels) {
+    builder.AddChannel(c.name, c.sender, c.receiver, c.capacity);
+  }
+  builder.CutChannels(entry.spec.cut_channels);
+  return builder.Build();
+}
+
+}  // namespace sep::sepcheck

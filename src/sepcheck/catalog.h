@@ -1,0 +1,46 @@
+// The system catalogue `tools/sepcheck --all` lints.
+//
+// Every in-tree guest program (examples + kernelized tests, via
+// guest_corpus.h) appears here under its deployed channel topology, plus
+// intentional negative fixtures that MUST be flagged — so the CTest gate
+// fails both when a real guest stops certifying and when the analyzer goes
+// blind. Entries with a probe spec also carry the machine-level semantic
+// ground truth used by the E14 experiment.
+#ifndef SEP_SEPCHECK_CATALOG_H_
+#define SEP_SEPCHECK_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sepcheck/analyzer.h"
+#include "src/sepcheck/probe.h"
+
+namespace sep::sepcheck {
+
+struct CatalogEntry {
+  std::string name;
+  SystemSpec spec;
+  // Per-regime device kind ("" or "crypto"), parallel to spec.regimes;
+  // used when the entry is built into a runnable system for the probe.
+  std::vector<std::string> device_kinds;
+
+  bool expect_certified = true;
+  // Entry is expected to produce at least one annotation-discharged
+  // finding (the paper's flagged-then-argued-away pattern).
+  bool expect_discharged = false;
+
+  bool has_probe = false;
+  MachineProbeSpec probe;
+  bool probe_expect_leak = false;
+};
+
+const std::vector<CatalogEntry>& Catalog();
+
+// Builds the runnable kernelized system for an entry (for the semantic
+// probe and for tests that want to execute catalogue systems).
+Result<std::unique_ptr<KernelizedSystem>> BuildEntrySystem(const CatalogEntry& entry);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_CATALOG_H_

@@ -1,0 +1,196 @@
+#include "src/sepcheck/cfg.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/strings.h"
+#include "src/kernel/config.h"
+
+namespace sep::sepcheck {
+
+namespace {
+
+// Words outside the assembled image are zero in a freshly-loaded partition.
+Word ImageWord(const AssembledProgram& program, Word addr) {
+  if (addr >= program.base &&
+      static_cast<std::size_t>(addr - program.base) < program.words.size()) {
+    return program.words[addr - program.base];
+  }
+  return 0;
+}
+
+// Static jump target of a JMP/JSR destination operand, if resolvable.
+// `ext_addr` is the address of the operand's extension word (the CPU's PC
+// equals ext_addr + 1 once it has fetched that word).
+std::optional<Word> StaticJumpTarget(const OperandSpec& dst, Word ext, Word ext_addr) {
+  switch (dst.mode) {
+    case AddrMode::kImmediate:  // absolute target in the extension word
+      return ext;
+    case AddrMode::kIndexed:
+      if (dst.reg == kPc) {
+        return static_cast<Word>(ext + ext_addr + 1);
+      }
+      return std::nullopt;  // computed through a register
+    case AddrMode::kReg:
+    case AddrMode::kRegDeferred:
+      return std::nullopt;  // computed through a register
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Word> Cfg::WitnessTo(Word addr) const {
+  std::vector<Word> path;
+  Word at = addr;
+  while (true) {
+    path.push_back(at);
+    auto it = bfs_parent.find(at);
+    if (it == bfs_parent.end() || it->second == at) break;
+    at = it->second;
+    if (path.size() > 64) break;  // cycle guard; parents form a tree in practice
+  }
+  std::reverse(path.begin(), path.end());
+  // Long paths are abbreviated for reporting: keep the ends.
+  if (path.size() > 8) {
+    path.erase(path.begin() + 4, path.end() - 4);
+  }
+  return path;
+}
+
+Cfg LiftCfg(const AssembledProgram& program, const std::vector<Word>& roots,
+            const std::string& unit) {
+  Cfg cfg;
+  cfg.base = program.base;
+  cfg.roots = roots;
+
+  auto flag = [&](Word addr, const std::string& kind, const std::string& text,
+                  const std::string& message) {
+    Finding f;
+    f.tool = "sepcheck";
+    f.unit = unit;
+    f.kind = kind;
+    f.address = addr;
+    f.line = program.LineOf(addr);
+    f.instruction = text;
+    f.message = message;
+    cfg.findings.push_back(f);
+  };
+
+  std::vector<Word> work = roots;
+  while (!work.empty()) {
+    const Word addr = work.back();
+    work.pop_back();
+    if (cfg.nodes.count(addr) != 0) continue;
+
+    CfgNode node;
+    node.addr = addr;
+    const Word insn_word = ImageWord(program, addr);
+    std::optional<DecodedInsn> decoded = Decode(insn_word);
+    if (!decoded.has_value()) {
+      node.text = Format(".WORD 0x%04X", insn_word);
+      flag(addr, "invalid-opcode", node.text,
+           "control flow reaches a word that does not decode");
+      cfg.code_words.insert(addr);
+      cfg.nodes.emplace(addr, std::move(node));
+      continue;
+    }
+    node.insn = *decoded;
+    node.ext1 = ImageWord(program, static_cast<Word>(addr + 1));
+    node.ext2 = ImageWord(program, static_cast<Word>(addr + 2));
+    node.text = Disassemble(node.insn, node.ext1, node.ext2);
+    for (int i = 0; i < node.insn.length; ++i) {
+      cfg.code_words.insert(static_cast<Word>(addr + i));
+    }
+    const Word fall = static_cast<Word>(addr + node.insn.length);
+
+    switch (node.insn.opcode) {
+      case Opcode::kHalt:
+      case Opcode::kWait:
+      case Opcode::kRti:
+        // Terminators. (In user mode these are privileged; the analyzer
+        // reports that separately so the CFG stays reusable in bare mode.)
+        break;
+      case Opcode::kRts:
+        node.is_rts = true;  // successors wired after exploration
+        break;
+      case Opcode::kTrap:
+        if (node.insn.trap_code != kCallHalt && node.insn.trap_code != kCallReti) {
+          node.succs.push_back(fall);
+        }
+        break;
+      case Opcode::kJmp:
+      case Opcode::kJsr: {
+        std::optional<Word> target =
+            StaticJumpTarget(node.insn.dst, node.ext1, static_cast<Word>(addr + 1));
+        if (!target.has_value()) {
+          flag(addr, "indirect-jump", node.text,
+               "computed jump target cannot be resolved statically; rejected");
+          break;
+        }
+        node.succs.push_back(*target);
+        if (node.insn.opcode == Opcode::kJsr) {
+          node.is_jsr = true;
+          node.jsr_target = *target;
+          node.jsr_return = fall;
+          cfg.jsr_returns.push_back(fall);
+          work.push_back(fall);  // reachable via some RTS
+        }
+        break;
+      }
+      case Opcode::kBr:
+        node.succs.push_back(static_cast<Word>(addr + 1 + node.insn.branch_offset));
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBmi:
+      case Opcode::kBpl:
+      case Opcode::kBcs:
+      case Opcode::kBcc:
+      case Opcode::kBvs:
+      case Opcode::kBvc:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBgt:
+      case Opcode::kBle:
+        node.succs.push_back(static_cast<Word>(addr + 1 + node.insn.branch_offset));
+        node.succs.push_back(fall);
+        break;
+      default:
+        node.succs.push_back(fall);
+        break;
+    }
+
+    for (Word s : node.succs) work.push_back(s);
+    cfg.nodes.emplace(addr, std::move(node));
+  }
+
+  // Every RTS may return to the continuation of every JSR.
+  for (auto& [addr, node] : cfg.nodes) {
+    if (node.is_rts) {
+      node.succs = cfg.jsr_returns;
+    }
+  }
+
+  // Shortest-path tree for witness reporting (JSR return edges included so
+  // code after a call has a witness even though dataflow goes via RTS).
+  std::deque<Word> queue;
+  for (Word r : cfg.roots) {
+    if (cfg.bfs_parent.emplace(r, r).second) queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const Word at = queue.front();
+    queue.pop_front();
+    auto it = cfg.nodes.find(at);
+    if (it == cfg.nodes.end()) continue;
+    std::vector<Word> out = it->second.succs;
+    if (it->second.is_jsr) out.push_back(it->second.jsr_return);
+    if (it->second.is_rts) out.clear();  // witnesses use call edges, not returns
+    for (Word s : out) {
+      if (cfg.bfs_parent.emplace(s, at).second) queue.push_back(s);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace sep::sepcheck

@@ -1,0 +1,62 @@
+// Control-flow graph over decoded SM-11 instructions.
+//
+// The lifter explores the assembled image from a set of roots (the entry
+// point plus statically-known interrupt handler entries), decoding with
+// src/machine/isa.* and recording, per instruction, the successors a
+// run-time execution can take. Computed control flow it cannot resolve —
+// JMP/JSR through a register — is REJECTED (a finding, with no successors),
+// not analyzed: sepcheck refuses to certify what it cannot follow.
+//
+// RTS is modelled context-insensitively: every RTS may return to the
+// continuation of every JSR in the program. Sound (the real return address
+// is always one of them, absent stack smashing — which the stack-write
+// checks flag separately) but deliberately imprecise.
+#ifndef SEP_SEPCHECK_CFG_H_
+#define SEP_SEPCHECK_CFG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/machine/isa.h"
+#include "src/sm11asm/assembler.h"
+
+namespace sep::sepcheck {
+
+struct CfgNode {
+  Word addr = 0;
+  DecodedInsn insn;
+  Word ext1 = 0;  // source extension word (or the only one)
+  Word ext2 = 0;  // destination extension word of a two-ext instruction
+  std::vector<Word> succs;  // dataflow successors
+  bool is_jsr = false;
+  Word jsr_target = 0;
+  Word jsr_return = 0;
+  bool is_rts = false;
+  std::string text;  // disassembly, for findings
+};
+
+struct Cfg {
+  Word base = 0;
+  std::vector<Word> roots;
+  std::map<Word, CfgNode> nodes;
+  std::set<Word> code_words;      // every word occupied by an instruction
+  std::vector<Word> jsr_returns;  // continuation addresses of all JSRs
+  std::map<Word, Word> bfs_parent;  // shortest-path tree from the roots
+  std::vector<Finding> findings;    // indirect jumps, invalid opcodes, ...
+
+  // Shortest witness path from a root to `addr` (inclusive), for findings.
+  std::vector<Word> WitnessTo(Word addr) const;
+};
+
+// Lifts `program` into a CFG. `roots` must contain at least the entry
+// point; the analyzer adds interrupt-handler entries it discovers via
+// SETVEC and re-lifts. `unit` names the program in findings.
+Cfg LiftCfg(const AssembledProgram& program, const std::vector<Word>& roots,
+            const std::string& unit);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_CFG_H_

@@ -1,0 +1,332 @@
+#include "src/sepcheck/guest_corpus.h"
+
+namespace sep::sepcheck {
+
+// RED: counts up and streams the counter to BLACK over the kernel channel.
+const char kQuickstartRed[] = R"(
+; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4 wire-cut argument)
+START:  CLR R3
+LOOP:   INC R3
+        MOV R3, R1      ; word to send
+        CLR R0          ; channel 0
+        TRAP 1          ; SEND (drop on backpressure)
+        TRAP 0          ; SWAP: yield the processor
+        CMP #20, R3
+        BNE LOOP
+        TRAP 7          ; HALT: this regime is done
+)";
+
+// BLACK: receives words and accumulates them at partition address 0x80.
+const char kQuickstartBlack[] = R"(
+START:  CLR R5          ; running sum
+LOOP:   CLR R0          ; channel 0
+        TRAP 2          ; RECV -> R0 status, R1 word
+        TST R0
+        BEQ YIELD
+        ADD R1, R5
+        MOV R5, @0x80
+        BR LOOP
+YIELD:  TRAP 0          ; SWAP
+        BR LOOP
+)";
+
+// Red regime: for each of 6 packets, sends a 3-word header (dest, len,
+// flags) to the censor on channel 0 and one crypto-encrypted payload word
+// to black on channel 1. The crypto unit is its trusted device.
+const char kSnfeRed[] = R"(
+; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4)
+; sepcheck: disjoint-channel 1 kernel ring discipline keeps the ends time-disjoint (paper s4)
+        .EQU CRYPTO, 0xE000   ; CCSR +0, DATA_IN +1, DATA_OUT +2
+        .EQU N, 6
+START:  CLR R3
+LOOP:   INC R3
+        ; header: dest = i & 7
+        MOV R3, R1
+        BIC #0xFFF8, R1
+        CLR R0
+        JSR SENDW
+        ; header: len = 1
+        MOV #1, R1
+        CLR R0
+        JSR SENDW
+        ; header: flags = 0
+        CLR R1
+        CLR R0
+        JSR SENDW
+        ; payload 0x100+i through the crypto device
+        MOV #0x100, R2
+        ADD R3, R2
+        MOV #CRYPTO, R4
+        MOV R2, 1(R4)
+CWAIT:  MOV (R4), R5
+        BIT #0x80, R5
+        BEQ CWAIT
+        MOV 2(R4), R1         ; ciphertext
+        MOV #1, R0
+        JSR SENDW
+        CMP #N, R3
+        BNE LOOP
+        TRAP 7
+; send R1 on channel R0, retrying over SWAP until accepted
+SENDW:  MOV R0, R5
+SRETRY: MOV R5, R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SRETRY
+SDONE:  RTS
+)";
+
+// Censor regime: procedural checks on 3-word headers (dest < 64,
+// len <= 128, flags <= 1); forwards valid headers on channel 2, counts
+// drops at DROPS.
+const char kSnfeCensor[] = R"(
+; sepcheck: disjoint-channel 2 kernel ring discipline keeps the ends time-disjoint (paper s4)
+START:  JSR RECVW
+        MOV R1, R2            ; dest
+        JSR RECVW
+        MOV R1, R3            ; len
+        JSR RECVW
+        MOV R1, R4            ; flags
+        CMP #63, R2
+        BCS DROP              ; dest > 63
+        CMP #128, R3
+        BCS DROP              ; len > 128
+        CMP #1, R4
+        BCS DROP              ; flags > 1
+        MOV R2, R1
+        JSR SENDW
+        MOV R3, R1
+        JSR SENDW
+        MOV R4, R1
+        JSR SENDW
+        BR START
+DROP:   MOV DROPS, R1
+        INC R1
+        MOV R1, @DROPS
+        BR START
+RECVW:  CLR R0
+        TRAP 2
+        TST R0
+        BNE RDONE
+        TRAP 0
+        BR RECVW
+RDONE:  RTS
+SENDW:  MOV #2, R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SENDW
+SDONE:  RTS
+DROPS:  .WORD 0
+)";
+
+// Black regime: pairs censored headers (channel 2) with ciphertext words
+// (channel 1) into 4-word packets at 0x100. The packet pointer R5 grows
+// without a static bound, so each store carries a discharge: the channel
+// supply (6 packets in the deployed system) keeps it inside the partition.
+const char kSnfeBlack[] = R"(
+START:  MOV #0x100, R5
+LOOP:   MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
+        INC R5
+        MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
+        INC R5
+        MOV #2, R0
+        JSR RECVC
+        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
+        INC R5
+        MOV #1, R0
+        JSR RECVC
+        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
+        INC R5
+        BR LOOP
+RECVC:  MOV R0, R4
+RLOOP:  MOV R4, R0
+        TRAP 2
+        TST R0
+        BNE RDONE
+        TRAP 0
+        BR RLOOP
+RDONE:  RTS
+)";
+
+// Guard regime. The HIGH->LOW buffer walk (R4 over BUF) has no static
+// length bound — sepcheck genuinely cannot prove the copy stays inside
+// BUF's 32 words, and a HIGH peer sending len > 32 would overrun it (the
+// kernel's MMU would fault the guard at the partition edge; no isolation
+// breach, but a real robustness finding). The deployed peers bound
+// messages well below 32 words, recorded here as the discharge.
+const char kGuardGuard[] = R"(
+; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4)
+; sepcheck: disjoint-channel 1 kernel ring discipline keeps the ends time-disjoint (paper s4)
+; sepcheck: disjoint-channel 2 kernel ring discipline keeps the ends time-disjoint (paper s4)
+; sepcheck: disjoint-channel 3 kernel ring discipline keeps the ends time-disjoint (paper s4)
+        .EQU FROM_LOW, 0
+        .EQU FROM_HIGH, 1
+        .EQU TO_LOW, 2
+        .EQU TO_HIGH, 3
+
+MAIN:   ; --- LOW -> HIGH: pass through unhindered ---
+        MOV #FROM_LOW, R0
+        TRAP 2
+        TST R0
+        BEQ TRYHI
+        MOV R1, R3          ; len
+        MOV #TO_HIGH, R0
+        JSR SENDB
+CPY:    TST R3
+        BEQ TRYHI
+LRCV:   MOV #FROM_LOW, R0
+        TRAP 2
+        TST R0
+        BEQ LWAIT
+        MOV #TO_HIGH, R0
+        JSR SENDB
+        DEC R3
+        BR CPY
+LWAIT:  TRAP 0
+        BR LRCV
+
+TRYHI:  ; --- HIGH -> LOW: buffer, review, release or deny ---
+        MOV #FROM_HIGH, R0
+        TRAP 2
+        TST R0
+        BEQ YIELD
+        MOV R1, R3          ; len
+        MOV #BUF, R4
+        MOV R3, R5          ; remaining
+HRCV:   TST R5
+        BEQ REVIEW
+HRCV2:  MOV #FROM_HIGH, R0
+        TRAP 2
+        TST R0
+        BEQ HWAIT
+        MOV R1, (R4)        ; sepcheck: trust deployed peers bound len well below BUF's 32 words
+        INC R4
+        DEC R5
+        BR HRCV
+HWAIT:  TRAP 0
+        BR HRCV2
+REVIEW: MOV BUF, R2         ; the watch-officer rule: first word is 'U'?
+        CMP #'U', R2
+        BNE DENY
+        MOV R3, R1          ; release: len, then the words
+        MOV #TO_LOW, R0
+        JSR SENDB
+        MOV #BUF, R4
+RLOOP:  TST R3
+        BEQ YIELD
+        MOV (R4), R1        ; sepcheck: trust deployed peers bound len well below BUF's 32 words
+        MOV #TO_LOW, R0
+        JSR SENDB
+        INC R4
+        DEC R3
+        BR RLOOP
+DENY:   MOV DENIED, R2
+        INC R2
+        MOV R2, @DENIED
+YIELD:  TRAP 0
+        BR MAIN
+
+; blocking send: word in R1, channel in R0; clobbers R0, R2
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+
+DENIED: .WORD 0
+BUF:    .BLKW 32
+)";
+
+// Sends one message, then collects everything the guard forwards to it.
+const char kGuardLow[] = R"(
+        ; send [2,'H','I'] on channel 0
+        MOV #2, R1
+        CLR R0
+        JSR SENDB
+        MOV #'H', R1
+        CLR R0
+        JSR SENDB
+        MOV #'I', R1
+        CLR R0
+        JSR SENDB
+        MOV #0x100, R4
+RLOOP:  MOV #2, R0          ; channel 2: guard -> low
+        TRAP 2
+        TST R0
+        BEQ RYIELD
+        MOV R1, (R4)        ; sepcheck: trust guard releases at most one bounded message
+        INC R4
+        BR RLOOP
+RYIELD: TRAP 0
+        BR RLOOP
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+)";
+
+// Sends a releasable message and a secret one, then collects LOW->HIGH
+// traffic.
+const char kGuardHigh[] = R"(
+        ; message 1: [3,'U','O','K'] - marked releasable
+        MOV #3, R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'U', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'O', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'K', R1
+        MOV #1, R0
+        JSR SENDB
+        ; message 2: [3,'S','E','C'] - not marked: must be denied
+        MOV #3, R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'S', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'E', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #'C', R1
+        MOV #1, R0
+        JSR SENDB
+        MOV #0x100, R4
+RLOOP:  MOV #3, R0          ; channel 3: guard -> high
+        TRAP 2
+        TST R0
+        BEQ RYIELD
+        MOV R1, (R4)        ; sepcheck: trust low side sends one bounded message
+        INC R4
+        BR RLOOP
+RYIELD: TRAP 0
+        BR RLOOP
+SENDB:  MOV R0, R2
+SBLOOP: MOV R2, R0
+        TRAP 1
+        TST R0
+        BNE SBDONE
+        TRAP 0
+        BR SBLOOP
+SBDONE: RTS
+)";
+
+}  // namespace sep::sepcheck

@@ -1,0 +1,35 @@
+// The canonical in-tree SM-11 guest programs.
+//
+// One definition of each guest used by the examples and kernelized tests,
+// so that `tools/sepcheck --all` provably lints the same programs the test
+// suite runs. The sources carry `; sepcheck:` discharge annotations where
+// the syntactic analyzer flags accesses that are semantically fine (see
+// src/sepcheck/annotations.h) — annotations live in comments, so the
+// assembled images are identical to the originals.
+#ifndef SEP_SEPCHECK_GUEST_CORPUS_H_
+#define SEP_SEPCHECK_GUEST_CORPUS_H_
+
+namespace sep::sepcheck {
+
+// Quickstart pair (examples/quickstart.cpp): red streams a counter to
+// black over channel 0; black accumulates at 0x80.
+extern const char kQuickstartRed[];
+extern const char kQuickstartBlack[];
+
+// SNFE trio (tests/snfe_kernelized_test.cpp): red (crypto device owner,
+// channels 0 and 1), censor (vets headers, channel 0 -> 2), black (pairs
+// headers with ciphertext). Channels: 0 red->censor, 1 red->black,
+// 2 censor->black.
+extern const char kSnfeRed[];
+extern const char kSnfeCensor[];
+extern const char kSnfeBlack[];
+
+// ACCAT-guard trio (tests/guard_kernelized_test.cpp). Channels:
+// 0 low->guard, 1 high->guard, 2 guard->low, 3 guard->high.
+extern const char kGuardGuard[];
+extern const char kGuardLow[];
+extern const char kGuardHigh[];
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_GUEST_CORPUS_H_

@@ -1,0 +1,45 @@
+// Machine-level semantic two-run probe.
+//
+// The ground truth against which sepcheck's syntactic verdicts are judged,
+// lifting the src/ifa/semantic.* pattern from SIMPL programs to whole
+// kernelized machines: build the same system twice, differing only in
+// designated "secret" words of one regime's partition, run both for the
+// same number of steps, and compare the observing regime's abstract
+// projection Φ^observer. If the projections ever differ, information about
+// the secret reached the observer semantically; if they never differ over
+// all trials, a syntactic flag against this system is a false positive
+// (for these runs — the probe is a test, not a proof).
+#ifndef SEP_SEPCHECK_PROBE_H_
+#define SEP_SEPCHECK_PROBE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/core/kernel_system.h"
+
+namespace sep::sepcheck {
+
+struct MachineProbeSpec {
+  int secret_regime = 0;
+  // Partition-relative word addresses whose contents are the secret.
+  std::vector<Word> secret_addrs;
+  int observer_regime = 1;
+  std::size_t steps = 20000;  // whole machine steps per run
+  int trials = 6;
+  std::uint64_t seed = 0x5EC2;
+};
+
+// Builds a fresh system per run via `make`; run B of each trial gets random
+// values written into the secret words before execution. Returns true iff
+// any trial left the observer's abstract projection different from the
+// unmodified run's.
+Result<bool> MachineSemanticallyLeaks(
+    const std::function<Result<std::unique_ptr<KernelizedSystem>>()>& make,
+    const MachineProbeSpec& spec);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_PROBE_H_

@@ -385,11 +385,19 @@ class Assembler {
     }
     program.base = lo;
     program.words.assign(hi - lo, 0);
+    std::vector<bool> covered(hi - lo, false);
     for (const Chunk& c : chunks_) {
       for (std::size_t i = 0; i < c.words.size(); ++i) {
-        program.words[c.address - lo + i] = c.words[i];
+        std::size_t at = c.address - lo + i;
+        if (covered[at]) {
+          return Err(Format(".ORG overlap: address 0x%04X assembled twice",
+                            static_cast<unsigned>(lo + at)));
+        }
+        covered[at] = true;
+        program.words[at] = c.words[i];
       }
     }
+    program.source_lines = source_lines_;
     return program;
   }
 
@@ -563,6 +571,9 @@ class Assembler {
       listing_.push_back(Format("%s  %-30s ; words %u..%u", Octal(line_start).c_str(),
                                 Trim(line.raw).c_str(), line_start,
                                 static_cast<unsigned>(Here()) - 1));
+      if (Here() != line_start) {
+        source_lines_[line_start] = line.number;
+      }
     }
     return Ok();
   }
@@ -671,6 +682,7 @@ class Assembler {
   std::vector<Chunk> chunks_;
   Chunk* current_ = nullptr;
   std::vector<std::string> listing_;
+  std::map<Word, int> source_lines_;
 };
 
 }  // namespace

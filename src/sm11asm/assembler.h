@@ -25,6 +25,7 @@
 #ifndef SRC_SM11ASM_ASSEMBLER_H_
 #define SRC_SM11ASM_ASSEMBLER_H_
 
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,8 +40,17 @@ struct AssembledProgram {
   std::vector<Word> words;              // contiguous image from `base`
   std::map<std::string, Word> symbols;  // labels and .EQU definitions
   std::vector<std::string> listing;     // address/code/source lines
+  // First word address of every source line that emitted words, so static
+  // analysis can map a machine address back to the line (and its
+  // annotations). Well-defined because overlapping .ORG regions are errors.
+  std::map<Word, int> source_lines;
 
   Word EntryPoint() const { return base; }
+  // Source line that emitted the word at `addr`, or -1 if none did.
+  int LineOf(Word addr) const {
+    auto it = source_lines.upper_bound(addr);
+    return it == source_lines.begin() ? -1 : std::prev(it)->second;
+  }
   Word SymbolOr(const std::string& name, Word fallback) const {
     auto it = symbols.find(name);
     return it == symbols.end() ? fallback : it->second;

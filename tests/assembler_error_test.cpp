@@ -1,0 +1,128 @@
+// Error-path coverage for the SM-11 assembler: malformed operands,
+// unresolved symbols, directive misuse, range checks, and the `.ORG`
+// overlap check. Each test pins the failure mode (and enough of the
+// message to keep diagnostics useful), not exact wording.
+#include <gtest/gtest.h>
+
+#include "src/sm11asm/assembler.h"
+
+namespace sep {
+namespace {
+
+testing::AssertionResult FailsWith(const std::string& source, const std::string& needle) {
+  Result<AssembledProgram> program = Assemble(source);
+  if (program.ok()) {
+    return testing::AssertionFailure() << "assembled unexpectedly";
+  }
+  if (program.error().find(needle) == std::string::npos) {
+    return testing::AssertionFailure()
+           << "error \"" << program.error() << "\" does not mention \"" << needle << "\"";
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_TRUE(FailsWith("START: FROB R1\n", "unknown mnemonic"));
+}
+
+TEST(AssemblerErrors, ImmediateDestinationIsRejected) {
+  EXPECT_TRUE(FailsWith("START: MOV R1, #2\n", "only valid as a source"));
+}
+
+TEST(AssemblerErrors, BadRegisterInDeferredOperand) {
+  EXPECT_TRUE(FailsWith("START: MOV (R9), R1\n", "bad register in deferred operand"));
+}
+
+TEST(AssemblerErrors, BadRegisterInIndexedOperand) {
+  EXPECT_TRUE(FailsWith("START: MOV 3(R9), R1\n", "bad register in indexed operand"));
+}
+
+TEST(AssemblerErrors, MalformedIndexedOperand) {
+  // Ends with ')' but has no matching '(': not a valid indexed form.
+  EXPECT_TRUE(FailsWith("START: CLR 3R1)\n", "malformed indexed operand"));
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_TRUE(FailsWith("START: MOV R1\n", "takes two operands"));
+  EXPECT_TRUE(FailsWith("START: CLR R1, R2\n", "takes one operand"));
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_TRUE(FailsWith("START: MOV NOWHERE, R1\n", "undefined symbol: NOWHERE"));
+}
+
+TEST(AssemblerErrors, DuplicateSymbol) {
+  EXPECT_TRUE(FailsWith(
+      "A:  CLR R1\n"
+      "A:  CLR R2\n",
+      "duplicate symbol A"));
+}
+
+TEST(AssemblerErrors, TrapCodeOutOfRange) {
+  EXPECT_TRUE(FailsWith("START: TRAP 0x400\n", "trap code out of range"));
+}
+
+TEST(AssemblerErrors, BranchTargetOutOfRange) {
+  // A conditional branch has an 8-bit signed word offset; 0x200 words away
+  // is unreachable.
+  EXPECT_TRUE(FailsWith(
+      "START: BNE FAR\n"
+      "       .ORG 0x200\n"
+      "FAR:   CLR R1\n",
+      "branch target out of range"));
+}
+
+TEST(AssemblerErrors, MalformedNumber) {
+  EXPECT_TRUE(FailsWith("START: MOV #0xZZ, R1\n", "malformed number"));
+}
+
+TEST(AssemblerErrors, DigitOutOfRangeForBase) {
+  EXPECT_TRUE(FailsWith("START: MOV #0o9, R1\n", "digit out of range"));
+}
+
+TEST(AssemblerErrors, BadCharacterInExpression) {
+  EXPECT_TRUE(FailsWith("START: MOV #$5, R1\n", "unexpected character"));
+}
+
+TEST(AssemblerErrors, EquNeedsNameAndValue) {
+  EXPECT_TRUE(FailsWith(".EQU ONLYNAME\n", ".EQU needs NAME, VALUE"));
+}
+
+TEST(AssemblerErrors, AsciiNeedsQuotedString) {
+  EXPECT_TRUE(FailsWith("S: .ASCII unquoted\n", ".ASCII needs a quoted string"));
+}
+
+TEST(AssemblerErrors, OrgOverlapIsAnError) {
+  // Two chunks that assemble the same address must be rejected, not
+  // silently merged (last-writer-wins would hide real layout bugs).
+  EXPECT_TRUE(FailsWith(
+      "START: CLR R1\n"
+      "       CLR R2\n"
+      "       .ORG 0x1\n"
+      "       CLR R3\n",
+      ".ORG overlap"));
+}
+
+TEST(AssemblerErrors, DisjointOrgChunksStillAssemble) {
+  Result<AssembledProgram> program = Assemble(
+      "START: CLR R1\n"
+      "       .ORG 0x40\n"
+      "DATA:  .WORD 7\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  EXPECT_EQ(program->words.size(), 0x41u);
+  EXPECT_EQ(program->words[0x40], 7);
+}
+
+TEST(AssemblerErrors, SourceLineMapCoversEmittingLines) {
+  Result<AssembledProgram> program = Assemble(
+      "; comment only\n"
+      "START: CLR R1\n"
+      "       MOV #2, R2\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  EXPECT_EQ(program->LineOf(0), 2);  // CLR R1
+  EXPECT_EQ(program->LineOf(1), 3);  // MOV #2, R2 (opcode word)
+  EXPECT_EQ(program->LineOf(2), 3);  // ...and its extension word
+}
+
+}  // namespace
+}  // namespace sep

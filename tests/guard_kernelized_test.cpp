@@ -13,182 +13,25 @@
 
 #include "src/core/kernel_system.h"
 #include "src/core/separability.h"
+#include "src/sepcheck/guest_corpus.h"
 
 namespace sep {
 namespace {
 
+// The guest programs live in src/sepcheck/guest_corpus.h so the static
+// separability analyzer lints exactly what these tests execute.
 // Channels: 0 low->guard, 1 high->guard, 2 guard->low, 3 guard->high.
-constexpr char kGuardRegime[] = R"(
-        .EQU FROM_LOW, 0
-        .EQU FROM_HIGH, 1
-        .EQU TO_LOW, 2
-        .EQU TO_HIGH, 3
-
-MAIN:   ; --- LOW -> HIGH: pass through unhindered ---
-        MOV #FROM_LOW, R0
-        TRAP 2
-        TST R0
-        BEQ TRYHI
-        MOV R1, R3          ; len
-        MOV #TO_HIGH, R0
-        JSR SENDB
-CPY:    TST R3
-        BEQ TRYHI
-LRCV:   MOV #FROM_LOW, R0
-        TRAP 2
-        TST R0
-        BEQ LWAIT
-        MOV #TO_HIGH, R0
-        JSR SENDB
-        DEC R3
-        BR CPY
-LWAIT:  TRAP 0
-        BR LRCV
-
-TRYHI:  ; --- HIGH -> LOW: buffer, review, release or deny ---
-        MOV #FROM_HIGH, R0
-        TRAP 2
-        TST R0
-        BEQ YIELD
-        MOV R1, R3          ; len
-        MOV #BUF, R4
-        MOV R3, R5          ; remaining
-HRCV:   TST R5
-        BEQ REVIEW
-HRCV2:  MOV #FROM_HIGH, R0
-        TRAP 2
-        TST R0
-        BEQ HWAIT
-        MOV R1, (R4)
-        INC R4
-        DEC R5
-        BR HRCV
-HWAIT:  TRAP 0
-        BR HRCV2
-REVIEW: MOV BUF, R2         ; the watch-officer rule: first word is 'U'?
-        CMP #'U', R2
-        BNE DENY
-        MOV R3, R1          ; release: len, then the words
-        MOV #TO_LOW, R0
-        JSR SENDB
-        MOV #BUF, R4
-RLOOP:  TST R3
-        BEQ YIELD
-        MOV (R4), R1
-        MOV #TO_LOW, R0
-        JSR SENDB
-        INC R4
-        DEC R3
-        BR RLOOP
-DENY:   MOV DENIED, R2
-        INC R2
-        MOV R2, @DENIED
-YIELD:  TRAP 0
-        BR MAIN
-
-; blocking send: word in R1, channel in R0; clobbers R0, R2
-SENDB:  MOV R0, R2
-SBLOOP: MOV R2, R0
-        TRAP 1
-        TST R0
-        BNE SBDONE
-        TRAP 0
-        BR SBLOOP
-SBDONE: RTS
-
-DENIED: .WORD 0
-BUF:    .BLKW 32
-)";
-
-// Sends one message, then collects everything the guard forwards to it.
-constexpr char kLowSide[] = R"(
-        ; send [2,'H','I'] on channel 0
-        MOV #2, R1
-        CLR R0
-        JSR SENDB
-        MOV #'H', R1
-        CLR R0
-        JSR SENDB
-        MOV #'I', R1
-        CLR R0
-        JSR SENDB
-        MOV #0x100, R4
-RLOOP:  MOV #2, R0          ; channel 2: guard -> low
-        TRAP 2
-        TST R0
-        BEQ RYIELD
-        MOV R1, (R4)
-        INC R4
-        BR RLOOP
-RYIELD: TRAP 0
-        BR RLOOP
-SENDB:  MOV R0, R2
-SBLOOP: MOV R2, R0
-        TRAP 1
-        TST R0
-        BNE SBDONE
-        TRAP 0
-        BR SBLOOP
-SBDONE: RTS
-)";
-
-// Sends a releasable message and a secret one, then collects LOW->HIGH
-// traffic.
-constexpr char kHighSide[] = R"(
-        ; message 1: [3,'U','O','K'] - marked releasable
-        MOV #3, R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'U', R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'O', R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'K', R1
-        MOV #1, R0
-        JSR SENDB
-        ; message 2: [3,'S','E','C'] - not marked: must be denied
-        MOV #3, R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'S', R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'E', R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #'C', R1
-        MOV #1, R0
-        JSR SENDB
-        MOV #0x100, R4
-RLOOP:  MOV #3, R0          ; channel 3: guard -> high
-        TRAP 2
-        TST R0
-        BEQ RYIELD
-        MOV R1, (R4)
-        INC R4
-        BR RLOOP
-RYIELD: TRAP 0
-        BR RLOOP
-SENDB:  MOV R0, R2
-SBLOOP: MOV R2, R0
-        TRAP 1
-        TST R0
-        BNE SBDONE
-        TRAP 0
-        BR SBLOOP
-SBDONE: RTS
-)";
-
+using sepcheck::kGuardGuard;
+using sepcheck::kGuardHigh;
+using sepcheck::kGuardLow;
 struct KernelizedGuard {
   std::unique_ptr<KernelizedSystem> system;
 
   KernelizedGuard() {
     SystemBuilder builder;
-    EXPECT_TRUE(builder.AddRegime("guard", 512, kGuardRegime).ok());
-    EXPECT_TRUE(builder.AddRegime("low", 512, kLowSide).ok());
-    EXPECT_TRUE(builder.AddRegime("high", 512, kHighSide).ok());
+    EXPECT_TRUE(builder.AddRegime("guard", 512, kGuardGuard).ok());
+    EXPECT_TRUE(builder.AddRegime("low", 512, kGuardLow).ok());
+    EXPECT_TRUE(builder.AddRegime("high", 512, kGuardHigh).ok());
     builder.AddChannel("low->guard", 1, 0, 16);
     builder.AddChannel("high->guard", 2, 0, 16);
     builder.AddChannel("guard->low", 0, 1, 16);
@@ -207,7 +50,7 @@ struct KernelizedGuard {
     return system->machine().memory().Read(regime.mem_base + offset);
   }
   Word GuardDenied() {
-    Result<AssembledProgram> program = Assemble(kGuardRegime);
+    Result<AssembledProgram> program = Assemble(kGuardGuard);
     EXPECT_TRUE(program.ok());
     const auto& regime = system->kernel().config().regimes[0];
     return system->machine().memory().Read(regime.mem_base +
@@ -249,9 +92,9 @@ TEST(KernelizedGuard, NoDirectLowHighChannelExists) {
 
 TEST(KernelizedGuard, CutVariantSatisfiesSeparability) {
   SystemBuilder builder;
-  ASSERT_TRUE(builder.AddRegime("guard", 512, kGuardRegime).ok());
-  ASSERT_TRUE(builder.AddRegime("low", 512, kLowSide).ok());
-  ASSERT_TRUE(builder.AddRegime("high", 512, kHighSide).ok());
+  ASSERT_TRUE(builder.AddRegime("guard", 512, kGuardGuard).ok());
+  ASSERT_TRUE(builder.AddRegime("low", 512, kGuardLow).ok());
+  ASSERT_TRUE(builder.AddRegime("high", 512, kGuardHigh).ok());
   builder.AddChannel("low->guard", 1, 0, 16);
   builder.AddChannel("high->guard", 2, 0, 16);
   builder.AddChannel("guard->low", 0, 1, 16);

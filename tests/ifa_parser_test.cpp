@@ -1,0 +1,139 @@
+// Edge-case coverage for the SIMPL lexer/parser (src/ifa/parser.cpp):
+// malformed tokens, declaration errors, unterminated constructs, operator
+// precedence, and unary operators.
+#include <gtest/gtest.h>
+
+#include "src/ifa/parser.h"
+
+namespace sep {
+namespace {
+
+testing::AssertionResult RejectsWith(const std::string& source, const std::string& needle) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(source);
+  if (program.ok()) {
+    return testing::AssertionFailure() << "parsed unexpectedly";
+  }
+  if (program.error().find(needle) == std::string::npos) {
+    return testing::AssertionFailure()
+           << "error \"" << program.error() << "\" does not mention \"" << needle << "\"";
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(SimplParser, UnexpectedCharacter) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nx := 1 $ 2;\n", "unexpected character '$'"));
+}
+
+TEST(SimplParser, DuplicateVariable) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nvar x : LOW;\n", "duplicate variable x"));
+}
+
+TEST(SimplParser, AssignmentToUndeclaredVariable) {
+  EXPECT_TRUE(RejectsWith("y := 1;\n", "assignment to undeclared variable y"));
+}
+
+TEST(SimplParser, UndeclaredVariableInExpression) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nx := ghost;\n", "undeclared variable ghost"));
+}
+
+TEST(SimplParser, UnterminatedBlock) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nif x { x := 1;\n", "unterminated block"));
+}
+
+TEST(SimplParser, MissingSemicolon) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nx := 1\n", "expected ';'"));
+}
+
+TEST(SimplParser, MissingAssignOperator) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nx 1;\n", "expected ':='"));
+}
+
+TEST(SimplParser, DeclarationNeedsClass) {
+  EXPECT_TRUE(RejectsWith("var x;\n", "expected ':'"));
+}
+
+TEST(SimplParser, ExpressionNeedsOperand) {
+  EXPECT_TRUE(RejectsWith("var x : LOW;\nx := 1 + ;\n", "expected expression"));
+}
+
+TEST(SimplParser, ErrorsCarryLineNumbers) {
+  Result<std::unique_ptr<Program>> program =
+      ParseSimpl("var x : LOW;\nvar y : LOW;\nx := 1 $ 2;\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.error().find("line 3"), std::string::npos) << program.error();
+}
+
+TEST(SimplParser, CommentsRunToEndOfLine) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "// leading comment with $ % junk\n"
+      "var x : LOW; // trailing\n"
+      "x := 2;\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  ASSERT_EQ((*program)->statements.size(), 1u);
+}
+
+TEST(SimplParser, PrecedenceMulBindsTighterThanAdd) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "var x : LOW;\n"
+      "x := 1 + 2 * 3;\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  const Stmt& assign = *(*program)->statements[0];
+  ASSERT_EQ(assign.kind, Stmt::Kind::kAssign);
+  const Expr& top = *assign.value;
+  ASSERT_EQ(top.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(top.bin_op, BinOp::kAdd);
+  ASSERT_EQ(top.rhs->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(top.rhs->bin_op, BinOp::kMul);
+}
+
+TEST(SimplParser, ComparisonsBindTighterThanAnd) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "var x : LOW;\n"
+      "x := 1 < 2 && 3 < 4;\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  const Expr& top = *(*program)->statements[0]->value;
+  ASSERT_EQ(top.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(top.bin_op, BinOp::kAnd);
+  EXPECT_EQ(top.lhs->bin_op, BinOp::kLt);
+  EXPECT_EQ(top.rhs->bin_op, BinOp::kLt);
+}
+
+TEST(SimplParser, UnaryOperatorsNest) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "var x : LOW;\n"
+      "x := !-1;\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  const Expr& top = *(*program)->statements[0]->value;
+  ASSERT_EQ(top.kind, Expr::Kind::kUnary);
+  EXPECT_EQ(top.un_op, UnOp::kNot);
+  ASSERT_EQ(top.lhs->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(top.lhs->un_op, UnOp::kNeg);
+}
+
+TEST(SimplParser, IfElseAndWhileStructure) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "var x : LOW;\n"
+      "if x { x := 1; } else { x := 2; }\n"
+      "while x { x := x - 1; }\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  ASSERT_EQ((*program)->statements.size(), 2u);
+  const Stmt& cond = *(*program)->statements[0];
+  EXPECT_EQ(cond.kind, Stmt::Kind::kIf);
+  EXPECT_EQ(cond.body.size(), 1u);
+  EXPECT_EQ(cond.orelse.size(), 1u);
+  const Stmt& loop = *(*program)->statements[1];
+  EXPECT_EQ(loop.kind, Stmt::Kind::kWhile);
+  EXPECT_EQ(loop.body.size(), 1u);
+}
+
+TEST(SimplParser, MultiAtomClassExpression) {
+  Result<std::unique_ptr<Program>> program = ParseSimpl(
+      "var shared : RED|BLACK;\n"
+      "var red_only : RED;\n"
+      "shared := 1;\n");
+  ASSERT_TRUE(program.ok()) << program.error();
+  ASSERT_EQ((*program)->variables.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sep

@@ -7,57 +7,18 @@
 #include "src/core/kernel_system.h"
 #include "src/core/separability.h"
 #include "src/machine/devices.h"
+#include "src/sepcheck/guest_corpus.h"
 
 namespace sep {
 namespace {
 
-constexpr std::uint64_t kCryptoKey = 0xFEED;
+// The guest programs live in src/sepcheck/guest_corpus.h so the static
+// separability analyzer lints exactly what these tests execute.
+using sepcheck::kSnfeBlack;
+using sepcheck::kSnfeCensor;
+using sepcheck::kSnfeRed;
 
-// Red regime: for each of 6 packets, sends a 3-word header (dest, len,
-// flags) to the censor on channel 0 and one crypto-encrypted payload word
-// to black on channel 1. The crypto unit is its trusted device.
-constexpr char kRedRegime[] = R"(
-        .EQU CRYPTO, 0xE000   ; CCSR +0, DATA_IN +1, DATA_OUT +2
-        .EQU N, 6
-START:  CLR R3
-LOOP:   INC R3
-        ; header: dest = i & 7
-        MOV R3, R1
-        BIC #0xFFF8, R1
-        CLR R0
-        JSR SENDW
-        ; header: len = 1
-        MOV #1, R1
-        CLR R0
-        JSR SENDW
-        ; header: flags = 0
-        CLR R1
-        CLR R0
-        JSR SENDW
-        ; payload 0x100+i through the crypto device
-        MOV #0x100, R2
-        ADD R3, R2
-        MOV #CRYPTO, R4
-        MOV R2, 1(R4)
-CWAIT:  MOV (R4), R5
-        BIT #0x80, R5
-        BEQ CWAIT
-        MOV 2(R4), R1         ; ciphertext
-        MOV #1, R0
-        JSR SENDW
-        CMP #N, R3
-        BNE LOOP
-        TRAP 7
-; send R1 on channel R0, retrying over SWAP until accepted
-SENDW:  MOV R0, R5
-SRETRY: MOV R5, R0
-        TRAP 1
-        TST R0
-        BNE SDONE
-        TRAP 0
-        BR SRETRY
-SDONE:  RTS
-)";
+constexpr std::uint64_t kCryptoKey = 0xFEED;
 
 // A dishonest red that tries to push an out-of-range destination (a data
 // word smuggled into the header field).
@@ -82,81 +43,6 @@ SRETRY: MOV R5, R0
 SDONE:  RTS
 )";
 
-// Censor regime: procedural checks on 3-word headers (dest < 64,
-// len <= 128, flags <= 1); forwards valid headers on channel 2, counts
-// drops at 0x90.
-constexpr char kCensorRegime[] = R"(
-START:  JSR RECVW
-        MOV R1, R2            ; dest
-        JSR RECVW
-        MOV R1, R3            ; len
-        JSR RECVW
-        MOV R1, R4            ; flags
-        CMP #63, R2
-        BCS DROP              ; dest > 63
-        CMP #128, R3
-        BCS DROP              ; len > 128
-        CMP #1, R4
-        BCS DROP              ; flags > 1
-        MOV R2, R1
-        JSR SENDW
-        MOV R3, R1
-        JSR SENDW
-        MOV R4, R1
-        JSR SENDW
-        BR START
-DROP:   MOV DROPS, R1
-        INC R1
-        MOV R1, @DROPS
-        BR START
-RECVW:  CLR R0
-        TRAP 2
-        TST R0
-        BNE RDONE
-        TRAP 0
-        BR RECVW
-RDONE:  RTS
-SENDW:  MOV #2, R0
-        TRAP 1
-        TST R0
-        BNE SDONE
-        TRAP 0
-        BR SENDW
-SDONE:  RTS
-DROPS:  .WORD 0
-)";
-
-// Black regime: pairs censored headers (channel 2) with ciphertext words
-// (channel 1) into 4-word packets at 0x100.
-constexpr char kBlackRegime[] = R"(
-START:  MOV #0x100, R5
-LOOP:   MOV #2, R0
-        JSR RECVC
-        MOV R1, (R5)
-        INC R5
-        MOV #2, R0
-        JSR RECVC
-        MOV R1, (R5)
-        INC R5
-        MOV #2, R0
-        JSR RECVC
-        MOV R1, (R5)
-        INC R5
-        MOV #1, R0
-        JSR RECVC
-        MOV R1, (R5)
-        INC R5
-        BR LOOP
-RECVC:  MOV R0, R4
-RLOOP:  MOV R4, R0
-        TRAP 2
-        TST R0
-        BNE RDONE
-        TRAP 0
-        BR RLOOP
-RDONE:  RTS
-)";
-
 struct KernelizedSnfe {
   std::unique_ptr<KernelizedSystem> system;
   int crypto_slot = -1;
@@ -166,8 +52,8 @@ struct KernelizedSnfe {
     crypto_slot =
         builder.AddDevice(std::make_unique<CryptoUnit>("crypto", 16, 4, kCryptoKey, 2));
     EXPECT_TRUE(builder.AddRegime("red", 512, red_program, {crypto_slot}).ok());
-    EXPECT_TRUE(builder.AddRegime("censor", 512, kCensorRegime).ok());
-    EXPECT_TRUE(builder.AddRegime("black", 512, kBlackRegime).ok());
+    EXPECT_TRUE(builder.AddRegime("censor", 512, kSnfeCensor).ok());
+    EXPECT_TRUE(builder.AddRegime("black", 512, kSnfeBlack).ok());
     builder.AddChannel("red->censor", 0, 1, 16);   // channel 0: the bypass
     builder.AddChannel("red->black", 0, 2, 16);    // channel 1: ciphertext
     builder.AddChannel("censor->black", 1, 2, 16); // channel 2: vetted headers
@@ -179,7 +65,7 @@ struct KernelizedSnfe {
 };
 
 TEST(KernelizedSnfe, PacketsFlowEndToEnd) {
-  KernelizedSnfe rig(kRedRegime);
+  KernelizedSnfe rig(kSnfeRed);
   rig.system->Run(20000);
   EXPECT_TRUE(rig.system->kernel().RegimeHalted(0));  // red finished
 
@@ -206,7 +92,7 @@ TEST(KernelizedSnfe, CensorDropsSmuggledHeader) {
   // Nothing reached black...
   EXPECT_EQ(rig.system->machine().memory().Read(black.mem_base + 0x100), 0);
   // ...and the censor counted exactly one dropped header.
-  Result<AssembledProgram> program = Assemble(kCensorRegime);
+  Result<AssembledProgram> program = Assemble(kSnfeCensor);
   ASSERT_TRUE(program.ok());
   const Word drops_addr = program->SymbolOr("DROPS", 0);
   ASSERT_NE(drops_addr, 0);
@@ -216,7 +102,7 @@ TEST(KernelizedSnfe, CensorDropsSmuggledHeader) {
 TEST(KernelizedSnfe, CutVariantSatisfiesSeparability) {
   // The verification story for the deployed SNFE: cut the three channels
   // and check total isolation of red, censor and black.
-  KernelizedSnfe rig(kRedRegime, /*cut=*/true);
+  KernelizedSnfe rig(kSnfeRed, /*cut=*/true);
   CheckerOptions options;
   options.trace_steps = 500;
   options.sample_every = 7;
@@ -227,7 +113,7 @@ TEST(KernelizedSnfe, CutVariantSatisfiesSeparability) {
 }
 
 TEST(KernelizedSnfe, ChannelTopologyIsExactlyThePaper) {
-  KernelizedSnfe rig(kRedRegime);
+  KernelizedSnfe rig(kSnfeRed);
   const KernelConfig& config = rig.system->kernel().config();
   ASSERT_EQ(config.channels.size(), 3u);
   // No channel black->red or black->censor or censor->red exists: the

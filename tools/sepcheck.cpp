@@ -1,0 +1,185 @@
+// sepcheck: static separability linter for SM-11 guest programs.
+//
+//   sepcheck --all [--json] [--probe]     lint the in-tree guest catalogue
+//   sepcheck [options] program.s          lint one assembly file
+//
+// File-mode options:
+//   --words N     partition size in words (default 512)
+//   --devices N   local device slots mapped at 0xE000 (default 0)
+//   --bare        bare-machine program: HALT legal, TRAPs not kernel calls
+//   --json        machine-readable findings (JSON lines)
+//
+// --all exits 0 iff every catalogue entry meets its expectation: real
+// guests certify (possibly via discharged findings), negative fixtures are
+// flagged. With --probe it additionally runs the machine-level two-run
+// semantic probe on entries that carry one and checks the expected verdict
+// (the EXPERIMENTS.md E14 table).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/finding.h"
+#include "src/base/result.h"
+#include "src/sepcheck/catalog.h"
+
+namespace sep {
+namespace {
+
+using sepcheck::AnalyzeProgram;
+using sepcheck::AnalyzeSystem;
+using sepcheck::BuildEntrySystem;
+using sepcheck::Catalog;
+using sepcheck::CatalogEntry;
+using sepcheck::MachineSemanticallyLeaks;
+using sepcheck::RegimeView;
+using sepcheck::SystemAnalysis;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sepcheck --all [--json] [--probe]\n"
+               "       sepcheck [--words N] [--devices N] [--bare] [--json] program.s\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Err("cannot open " + path);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int DischargedCount(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == FindingSeverity::kDischarged) ++n;
+  }
+  return n;
+}
+
+int RunAll(bool json, bool probe) {
+  int failures = 0;
+  for (const CatalogEntry& entry : Catalog()) {
+    Result<SystemAnalysis> analysis = AnalyzeSystem(entry.spec);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: %s\n", entry.name.c_str(), analysis.error().c_str());
+      ++failures;
+      continue;
+    }
+    const int discharged = DischargedCount(analysis->findings);
+    bool ok = analysis->certified == entry.expect_certified &&
+              (!entry.expect_discharged || discharged > 0);
+
+    std::string semantic = "-";
+    if (probe && entry.has_probe) {
+      Result<bool> leaks =
+          MachineSemanticallyLeaks([&] { return BuildEntrySystem(entry); }, entry.probe);
+      if (!leaks.ok()) {
+        std::fprintf(stderr, "%s: probe: %s\n", entry.name.c_str(), leaks.error().c_str());
+        ok = false;
+      } else {
+        semantic = *leaks ? "leaks" : "secure";
+        if (*leaks != entry.probe_expect_leak) ok = false;
+      }
+    }
+
+    if (json) {
+      std::printf("%s", FormatFindings(analysis->findings, /*json=*/true).c_str());
+      std::printf(
+          "{\"entry\":\"%s\",\"certified\":%s,\"discharged\":%d,"
+          "\"semantic\":\"%s\",\"expected\":%s}\n",
+          entry.name.c_str(), analysis->certified ? "true" : "false", discharged,
+          semantic.c_str(), ok ? "true" : "false");
+    } else {
+      std::printf("== %s: %zu regime(s), %zu channel(s), %s\n", entry.name.c_str(),
+                  entry.spec.regimes.size(), entry.spec.channels.size(),
+                  entry.spec.cut_channels ? "cut" : "uncut");
+      std::printf("%s", FormatFindings(analysis->findings, /*json=*/false).c_str());
+      std::printf("   verdict: %s (%d discharged)%s%s — %s\n",
+                  analysis->certified ? "CERTIFIED" : "FLAGGED", discharged,
+                  probe && entry.has_probe ? ", semantic: " : "",
+                  probe && entry.has_probe ? semantic.c_str() : "",
+                  ok ? "as expected" : "UNEXPECTED");
+    }
+    if (!ok) ++failures;
+  }
+  if (!json) {
+    std::printf("%d of %zu catalogue entries off expectation\n", failures,
+                Catalog().size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunFile(const std::string& path, std::uint32_t words, int devices, bool bare,
+            bool json) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.error().c_str());
+    return 2;
+  }
+  Result<AssembledProgram> program = Assemble(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), program.error().c_str());
+    return 2;
+  }
+  RegimeView view;
+  view.name = path;
+  view.mem_words = words;
+  view.device_slots = devices;
+  view.device_window_words = static_cast<std::uint32_t>(devices) * 8;
+  view.bare = bare;
+  sepcheck::ProgramAnalysis analysis = AnalyzeProgram(*program, *source, view);
+  std::printf("%s", FormatFindings(analysis.findings, json).c_str());
+  if (!json) {
+    std::printf("%s: %s (%zu finding(s), %d discharged)\n", path.c_str(),
+                analysis.Certified() ? "CERTIFIED" : "FLAGGED",
+                analysis.findings.size(), DischargedCount(analysis.findings));
+  }
+  return analysis.Certified() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sep
+
+int main(int argc, char** argv) {
+  bool all = false;
+  bool json = false;
+  bool probe = false;
+  bool bare = false;
+  std::uint32_t words = 512;
+  int devices = 0;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--probe") {
+      probe = true;
+    } else if (arg == "--bare") {
+      bare = true;
+    } else if (arg == "--words" && i + 1 < argc) {
+      words = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--devices" && i + 1 < argc) {
+      devices = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      return sep::Usage();
+    }
+  }
+
+  if (all) {
+    return sep::RunAll(json, probe);
+  }
+  if (path.empty()) {
+    return sep::Usage();
+  }
+  return sep::RunFile(path, words, devices, bare, json);
+}
