@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string_view>
 
 #include "src/core/exhaustive.h"
 #include "src/core/kernel_system.h"
@@ -249,20 +250,52 @@ void BM_PerturbOthers(benchmark::State& state) {
 BENCHMARK(BM_PerturbOthers);
 
 void BM_ExhaustiveCheck(benchmark::State& state) {
+  std::size_t states = 0;
   for (auto _ : state) {
     ExhaustiveReport report = CheckSeparabilityExhaustive(TinyTwoUserSystem(false));
     benchmark::DoNotOptimize(report.states_explored);
+    states += report.states_explored;
   }
+  // items/sec == reachable states proven per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
 }
 BENCHMARK(BM_ExhaustiveCheck);
+
+void BM_ExhaustiveCheckParallel(benchmark::State& state) {
+  ExhaustiveOptions options;
+  options.threads = 0;  // all hardware threads
+  std::size_t states = 0;
+  for (auto _ : state) {
+    ExhaustiveReport report = CheckSeparabilityExhaustive(TinyTwoUserSystem(false), options);
+    benchmark::DoNotOptimize(report.states_explored);
+    states += report.states_explored;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
+}
+BENCHMARK(BM_ExhaustiveCheckParallel);
 
 }  // namespace
 }  // namespace sep
 
 int main(int argc, char** argv) {
-  sep::PrintTable1();
-  sep::PrintTable2();
-  sep::PrintTable3();
+  // --notables suppresses the experiment tables so machine consumers
+  // (tools/bench_report with --benchmark_format=json) get pure JSON.
+  bool tables = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--notables") {
+      tables = false;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  if (tables) {
+    sep::PrintTable1();
+    sep::PrintTable2();
+    sep::PrintTable3();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -59,4 +59,17 @@ class LogLine {
     }                                                                              \
   } while (0)
 
+// Debug-only variant for per-word hot paths (memory access, MMU walks) where
+// the check cost is measurable at interpreter scale. Compiled out whenever
+// NDEBUG is defined — which includes the default RelWithDebInfo build and the
+// Release benchmark configuration — but fully active in Debug builds. The
+// condition is never evaluated in release; keep side effects out of it.
+#ifdef NDEBUG
+#define SEP_DCHECK(cond) \
+  do {                   \
+  } while (false && (cond))
+#else
+#define SEP_DCHECK(cond) SEP_CHECK(cond)
+#endif
+
 #endif  // SRC_BASE_LOGGING_H_

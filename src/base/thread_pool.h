@@ -1,0 +1,66 @@
+// A small fixed-size worker pool with a blocking parallel-for.
+//
+// Built for the verification workloads in this repo (parallel exhaustive
+// frontier expansion, Φ-pair checking, sepcheck --jobs): the unit of work is
+// a pure function of index `i` writing only to its own output slot, and the
+// caller needs a barrier at the end. Determinism is the callers'
+// responsibility and their design: workers compute results into per-index
+// slots, and the caller merges them in canonical index order, so the report
+// produced is independent of scheduling (see src/core/exhaustive.cpp and
+// docs/PERFORMANCE.md).
+//
+// A pool of size 1 spawns no threads and runs bodies inline, so serial
+// configurations stay genuinely single-threaded.
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sep {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread;
+  // 0 means HardwareThreads(). The pool spawns threads - 1 workers.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes body(i) for every i in [0, n), in unspecified order on
+  // unspecified threads (including the caller), and returns once all calls
+  // completed. Not reentrant: body must not call ParallelFor on this pool.
+  // Bodies must not throw.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  static int HardwareThreads();
+
+ private:
+  void WorkerMain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals a new job epoch or shutdown
+  std::condition_variable done_cv_;  // signals workers drained from a job
+  std::uint64_t epoch_ = 0;          // bumped per ParallelFor (guarded by mu_)
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mu_
+  std::size_t n_ = 0;                                       // guarded by mu_
+  std::atomic<std::size_t> next_{0};
+  int active_ = 0;  // workers still inside the current job (guarded by mu_)
+  bool stop_ = false;
+};
+
+}  // namespace sep
+
+#endif  // SRC_BASE_THREAD_POOL_H_

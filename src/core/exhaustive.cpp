@@ -1,19 +1,67 @@
 #include "src/core/exhaustive.h"
 
+#include <algorithm>
 #include <deque>
-#include <map>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
+#include "src/base/hash.h"
+#include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/base/thread_pool.h"
 
 namespace sep {
 
 namespace {
 
+// The checker is parallel but its report is deterministic BY CONSTRUCTION,
+// not by locking: workers compute pure per-state / per-pair results into
+// preallocated slots, and a single merge thread replays those results in the
+// canonical order the serial checker would have produced them. All shared
+// structures (the intern table, the report, the frontier) are touched only by
+// the merge thread, or read-only while a ParallelFor is in flight. A run with
+// options.threads == 1 takes the same code path with an inline loop, so
+// "serial" is not a separate implementation that could drift.
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<Word>& key) const {
+    Hasher h;
+    h.MixRange(key);
+    return static_cast<std::size_t>(h.digest());
+  }
+};
+
+// One Check() call, precomputed on a worker. The description is built only
+// on failure; passing checks never surface it.
+struct CheckRecord {
+  int condition = 0;
+  int colour = kColourNone;
+  bool ok = true;
+  std::string description;
+};
+
+// One successor transition, precomputed on a worker.
+struct SuccessorRecord {
+  std::vector<CheckRecord> checks;
+  std::vector<Word> key;  // FullState() of the successor
+  // The successor itself; null if the worker already matched `key` against
+  // the (frozen) intern table and the clone could be dropped early.
+  std::unique_ptr<SharedSystem> state;
+};
+
+// States expanded per ParallelFor batch. Bounds both the memory held in
+// not-yet-merged clones and the work wasted past the max_violations cutoff.
+constexpr std::size_t kLevelChunk = 64;
+// Φ-equal pairs checked per ParallelFor batch.
+constexpr std::size_t kPairChunk = 512;
+
 class ExhaustiveRun {
  public:
   ExhaustiveRun(const SharedSystem& initial, const ExhaustiveOptions& options)
-      : options_(options), initial_(initial.Clone()) {}
+      : options_(options), initial_(initial.Clone()), pool_(options.threads) {
+    index_.reserve(std::min<std::size_t>(options_.max_states, std::size_t{1} << 20) + 1);
+  }
 
   ExhaustiveReport Run() {
     if (!initial_->FullState().has_value()) {
@@ -31,6 +79,8 @@ class ExhaustiveRun {
   }
 
  private:
+  // --- merge-thread-only state mutation ---
+
   void Check(int condition, int colour, bool ok, const std::string& description) {
     auto& stats = report_.conditions[static_cast<std::size_t>(condition)];
     ++stats.checks;
@@ -42,173 +92,287 @@ class ExhaustiveRun {
     }
   }
 
+  void Replay(const std::vector<CheckRecord>& checks) {
+    for (const CheckRecord& r : checks) {
+      Check(r.condition, r.colour, r.ok, r.description);
+    }
+  }
+
   // Registers a state if new; returns its index or -1 on budget overflow.
-  int Intern(std::unique_ptr<SharedSystem> state) {
-    std::optional<std::vector<Word>> key = state->FullState();
-    auto [it, inserted] = index_.try_emplace(std::move(*key), static_cast<int>(states_.size()));
-    if (!inserted) {
+  // `state` may be null only when the key is already interned.
+  int Intern(std::vector<Word> key, std::unique_ptr<SharedSystem> state) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
       return it->second;
     }
     if (states_.size() >= options_.max_states) {
       overflowed_ = true;
-      index_.erase(it);
       return -1;
     }
+    SEP_CHECK(state != nullptr);
+    const int id = static_cast<int>(states_.size());
     states_.push_back(std::move(state));
-    frontier_.push_back(it->second);
-    return it->second;
-  }
-
-  // One successor: apply `mutate` to a clone of states_[from]; check the
-  // per-transition conditions; intern the result.
-  template <typename Mutate, typename PerColourCheck>
-  void Successor(int from, Mutate mutate, PerColourCheck check) {
-    std::unique_ptr<SharedSystem> next = states_[static_cast<std::size_t>(from)]->Clone();
-    mutate(*next);
-    check(*states_[static_cast<std::size_t>(from)], *next);
-    ++report_.transitions;
-    Intern(std::move(next));
-  }
-
-  void Explore() {
-    Intern(initial_->Clone());
-    const int colours = initial_->ColourCount();
-    const int units = initial_->UnitCount();
-
-    while (!frontier_.empty() && !Done()) {
-      const int current = frontier_.front();
-      frontier_.pop_front();
-      SharedSystem& s = *states_[static_cast<std::size_t>(current)];
-
-      // (a) the operation NEXTOP(s).
-      const int active = s.Colour();
-      Successor(
-          current, [](SharedSystem& sys) { sys.ExecuteOperation(); },
-          [&](const SharedSystem& before, const SharedSystem& after) {
-            for (int c = 0; c < colours; ++c) {
-              if (c != active) {
-                Check(2, c, before.Abstract(c) == after.Abstract(c),
-                      Format("operation of colour %d changed Φ of colour %d", active, c));
-              }
-            }
-          });
-
-      // (b) every input in the alphabet, into every unit.
-      for (int unit = 0; unit < units; ++unit) {
-        const int owner = s.UnitColour(unit);
-        for (int value = 1; value <= options_.inputs_per_unit; ++value) {
-          Successor(
-              current,
-              [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
-              [&](const SharedSystem& before, const SharedSystem& after) {
-                for (int c = 0; c < colours; ++c) {
-                  if (c != owner) {
-                    Check(4, c, before.Abstract(c) == after.Abstract(c),
-                          Format("input to unit %d visible to colour %d", unit, c));
-                  }
-                }
-              });
-        }
-      }
-
-      // (c) every unit's activity.
-      for (int unit = 0; unit < units; ++unit) {
-        const int owner = s.UnitColour(unit);
-        Successor(
-            current,
-            [&](SharedSystem& sys) {
-              sys.StepUnit(unit);
-              (void)sys.DrainOutput(unit);  // keep the state space bounded
-            },
-            [&](const SharedSystem& before, const SharedSystem& after) {
-              for (int c = 0; c < colours; ++c) {
-                if (c != owner) {
-                  Check(4, c, before.Abstract(c) == after.Abstract(c),
-                        Format("activity of unit %d visible to colour %d", unit, c));
-                }
-              }
-            });
-      }
-    }
-    report_.complete = frontier_.empty() && !overflowed_ && !Done();
-  }
-
-  // Conditions with a two-state antecedent, over every Φ-equal pair.
-  void CheckPairs() {
-    const int colours = initial_->ColourCount();
-    const int units = initial_->UnitCount();
-
-    for (int c = 0; c < colours && !Done(); ++c) {
-      // Group reachable states by Φ^c.
-      std::map<std::vector<Word>, std::vector<int>> groups;
-      for (std::size_t i = 0; i < states_.size(); ++i) {
-        groups[states_[i]->Abstract(c).words].push_back(static_cast<int>(i));
-      }
-
-      for (const auto& [phi, members] : groups) {
-        std::size_t pairs = 0;
-        for (std::size_t a = 0; a < members.size() && !Done(); ++a) {
-          for (std::size_t b = a + 1; b < members.size() && !Done(); ++b) {
-            if (++pairs > options_.max_pairs_per_group) {
-              break;
-            }
-            ++report_.pairs_checked;
-            SharedSystem& sa = *states_[static_cast<std::size_t>(members[a])];
-            SharedSystem& sb = *states_[static_cast<std::size_t>(members[b])];
-
-            // Conditions 6 and 1: same colour + same Φ^c.
-            if (sa.Colour() == c && sb.Colour() == c) {
-              Check(6, c, sa.NextOperation() == sb.NextOperation(),
-                    Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
-                           sa.NextOperation().ToString().c_str(),
-                           sb.NextOperation().ToString().c_str()));
-              std::unique_ptr<SharedSystem> ta = sa.Clone();
-              std::unique_ptr<SharedSystem> tb = sb.Clone();
-              ta->ExecuteOperation();
-              tb->ExecuteOperation();
-              Check(1, c, ta->Abstract(c) == tb->Abstract(c),
-                    Format("operation effect on colour %d differs across Φ-equal states", c));
-            }
-
-            // Conditions 3 and 5 for each unit of colour c.
-            for (int unit = 0; unit < units; ++unit) {
-              if (sa.UnitColour(unit) != c) {
-                continue;
-              }
-              for (int value = 1; value <= options_.inputs_per_unit; ++value) {
-                std::unique_ptr<SharedSystem> ta = sa.Clone();
-                std::unique_ptr<SharedSystem> tb = sb.Clone();
-                ta->InjectInput(unit, static_cast<Word>(value));
-                tb->InjectInput(unit, static_cast<Word>(value));
-                Check(3, c, ta->Abstract(c) == tb->Abstract(c),
-                      Format("input effect on colour %d differs across Φ-equal states", c));
-              }
-              std::unique_ptr<SharedSystem> ta = sa.Clone();
-              std::unique_ptr<SharedSystem> tb = sb.Clone();
-              ta->StepUnit(unit);
-              tb->StepUnit(unit);
-              Check(3, c, ta->Abstract(c) == tb->Abstract(c),
-                    Format("unit activity on colour %d differs across Φ-equal states", c));
-              Check(5, c, ta->DrainOutput(unit) == tb->DrainOutput(unit),
-                    Format("output of colour %d differs across Φ-equal states", c));
-            }
-          }
-        }
-      }
-    }
+    frontier_.push_back(id);
+    index_.emplace(std::move(key), id);
+    return id;
   }
 
   bool Done() const {
     return static_cast<int>(report_.violations.size()) >= options_.max_violations;
   }
 
+  // --- worker-side pure computation ---
+
+  static void Record(std::vector<CheckRecord>& out, int condition, int colour, bool ok,
+                     std::string description_if_failed) {
+    out.push_back({condition, colour, ok, ok ? std::string() : std::move(description_if_failed)});
+  }
+
+  // One successor of `from`: apply `mutate` to a clone, record the
+  // per-transition checks, serialize the result. Reads shared state
+  // only through const methods; safe to run concurrently.
+  template <typename Mutate, typename PerColourCheck>
+  void Successor(const SharedSystem& from, std::vector<SuccessorRecord>& out, Mutate mutate,
+                 PerColourCheck check) const {
+    SuccessorRecord rec;
+    std::unique_ptr<SharedSystem> next = from.Clone();
+    mutate(*next);
+    check(from, *next, rec.checks);
+    std::optional<std::vector<Word>> key = next->FullState();
+    rec.key = std::move(*key);
+    // Drop clones of already-interned states early: the table is frozen
+    // during expansion, so a hit here is still a hit at merge time.
+    if (index_.find(rec.key) == index_.end()) {
+      rec.state = std::move(next);
+    }
+    out.push_back(std::move(rec));
+  }
+
+  // Every successor of one state, in the canonical order the serial checker
+  // generates them: the operation, then each input value into each unit,
+  // then each unit's activity.
+  void ExpandState(int from, std::vector<SuccessorRecord>& out) const {
+    const SharedSystem& s = *states_[static_cast<std::size_t>(from)];
+    const int colours = initial_->ColourCount();
+    const int units = initial_->UnitCount();
+
+    // (a) the operation NEXTOP(s).
+    const int active = s.Colour();
+    Successor(
+        s, out, [](SharedSystem& sys) { sys.ExecuteOperation(); },
+        [&](const SharedSystem& before, const SharedSystem& after,
+            std::vector<CheckRecord>& checks) {
+          for (int c = 0; c < colours; ++c) {
+            if (c != active) {
+              const bool ok = before.Abstract(c) == after.Abstract(c);
+              Record(checks, 2, c, ok,
+                     ok ? std::string()
+                        : Format("operation of colour %d changed Φ of colour %d", active, c));
+            }
+          }
+        });
+
+    // (b) every input in the alphabet, into every unit.
+    for (int unit = 0; unit < units; ++unit) {
+      const int owner = s.UnitColour(unit);
+      for (int value = 1; value <= options_.inputs_per_unit; ++value) {
+        Successor(
+            s, out, [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
+            [&](const SharedSystem& before, const SharedSystem& after,
+                std::vector<CheckRecord>& checks) {
+              for (int c = 0; c < colours; ++c) {
+                if (c != owner) {
+                  const bool ok = before.Abstract(c) == after.Abstract(c);
+                  Record(checks, 4, c, ok,
+                         ok ? std::string()
+                            : Format("input to unit %d visible to colour %d", unit, c));
+                }
+              }
+            });
+      }
+    }
+
+    // (c) every unit's activity.
+    for (int unit = 0; unit < units; ++unit) {
+      const int owner = s.UnitColour(unit);
+      Successor(
+          s, out,
+          [&](SharedSystem& sys) {
+            sys.StepUnit(unit);
+            (void)sys.DrainOutput(unit);  // keep the state space bounded
+          },
+          [&](const SharedSystem& before, const SharedSystem& after,
+              std::vector<CheckRecord>& checks) {
+            for (int c = 0; c < colours; ++c) {
+              if (c != owner) {
+                const bool ok = before.Abstract(c) == after.Abstract(c);
+                Record(checks, 4, c, ok,
+                       ok ? std::string()
+                          : Format("activity of unit %d visible to colour %d", unit, c));
+              }
+            }
+          });
+    }
+  }
+
+  void Explore() {
+    {
+      std::unique_ptr<SharedSystem> init = initial_->Clone();
+      std::optional<std::vector<Word>> key = init->FullState();
+      Intern(std::move(*key), std::move(init));
+    }
+
+    // Level-synchronous BFS. The serial checker pops a FIFO frontier, so
+    // expanding level by level and merging each level in frontier order
+    // assigns every state the same index the serial run would.
+    std::vector<int> level;
+    std::vector<std::vector<SuccessorRecord>> records;
+    while (!frontier_.empty() && !Done()) {
+      level.assign(frontier_.begin(), frontier_.end());
+      frontier_.clear();
+
+      for (std::size_t base = 0; base < level.size() && !Done(); base += kLevelChunk) {
+        const std::size_t count = std::min(kLevelChunk, level.size() - base);
+        records.clear();
+        records.resize(count);
+        pool_.ParallelFor(count,
+                          [&](std::size_t i) { ExpandState(level[base + i], records[i]); });
+        for (std::size_t i = 0; i < count && !Done(); ++i) {
+          for (SuccessorRecord& rec : records[i]) {
+            ++report_.transitions;
+            Replay(rec.checks);
+            Intern(std::move(rec.key), std::move(rec.state));
+          }
+        }
+      }
+    }
+    report_.complete = frontier_.empty() && !overflowed_ && !Done();
+  }
+
+  // The checks of conditions 6, 1, 3 and 5 for one Φ-equal pair, in the
+  // serial checker's order.
+  void CheckPair(int c, int a, int b, std::vector<CheckRecord>& out) const {
+    const int units = initial_->UnitCount();
+    const SharedSystem& sa = *states_[static_cast<std::size_t>(a)];
+    const SharedSystem& sb = *states_[static_cast<std::size_t>(b)];
+
+    // Conditions 6 and 1: same colour + same Φ^c.
+    if (sa.Colour() == c && sb.Colour() == c) {
+      const OperationId na = sa.NextOperation();
+      const OperationId nb = sb.NextOperation();
+      const bool same_op = na == nb;
+      Record(out, 6, c, same_op,
+             same_op ? std::string()
+                     : Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
+                              na.ToString().c_str(), nb.ToString().c_str()));
+      std::unique_ptr<SharedSystem> ta = sa.Clone();
+      std::unique_ptr<SharedSystem> tb = sb.Clone();
+      ta->ExecuteOperation();
+      tb->ExecuteOperation();
+      Record(out, 1, c, ta->Abstract(c) == tb->Abstract(c),
+             Format("operation effect on colour %d differs across Φ-equal states", c));
+    }
+
+    // Conditions 3 and 5 for each unit of colour c.
+    for (int unit = 0; unit < units; ++unit) {
+      if (sa.UnitColour(unit) != c) {
+        continue;
+      }
+      for (int value = 1; value <= options_.inputs_per_unit; ++value) {
+        std::unique_ptr<SharedSystem> ta = sa.Clone();
+        std::unique_ptr<SharedSystem> tb = sb.Clone();
+        ta->InjectInput(unit, static_cast<Word>(value));
+        tb->InjectInput(unit, static_cast<Word>(value));
+        Record(out, 3, c, ta->Abstract(c) == tb->Abstract(c),
+               Format("input effect on colour %d differs across Φ-equal states", c));
+      }
+      std::unique_ptr<SharedSystem> ta = sa.Clone();
+      std::unique_ptr<SharedSystem> tb = sb.Clone();
+      ta->StepUnit(unit);
+      tb->StepUnit(unit);
+      Record(out, 3, c, ta->Abstract(c) == tb->Abstract(c),
+             Format("unit activity on colour %d differs across Φ-equal states", c));
+      Record(out, 5, c, ta->DrainOutput(unit) == tb->DrainOutput(unit),
+             Format("output of colour %d differs across Φ-equal states", c));
+    }
+  }
+
+  // Conditions with a two-state antecedent, over every Φ-equal pair.
+  void CheckPairs() {
+    const int colours = initial_->ColourCount();
+
+    struct PairTask {
+      int a;
+      int b;
+    };
+    std::vector<std::vector<Word>> keys;
+    std::vector<PairTask> tasks;
+    std::vector<std::vector<CheckRecord>> outcomes;
+
+    for (int c = 0; c < colours && !Done(); ++c) {
+      // Group reachable states by Φ^c. Abstraction is the bulk of the
+      // grouping cost, so compute the keys in parallel first.
+      keys.assign(states_.size(), {});
+      pool_.ParallelFor(states_.size(),
+                        [&](std::size_t i) { keys[i] = states_[i]->Abstract(c).words; });
+      std::unordered_map<std::vector<Word>, std::vector<int>, KeyHash> groups;
+      groups.reserve(states_.size());
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        groups[keys[i]].push_back(static_cast<int>(i));
+      }
+
+      // Enumerate pairs in the serial order: groups by ascending Φ key (the
+      // order a std::map would iterate), pairs lexicographically within a
+      // group, capped per group.
+      std::vector<const std::vector<Word>*> order;
+      order.reserve(groups.size());
+      for (const auto& [phi, members] : groups) {
+        order.push_back(&phi);
+      }
+      std::sort(order.begin(), order.end(),
+                [](const std::vector<Word>* a, const std::vector<Word>* b) { return *a < *b; });
+
+      tasks.clear();
+      for (const std::vector<Word>* phi : order) {
+        const std::vector<int>& members = groups.find(*phi)->second;
+        std::size_t pairs = 0;
+        for (std::size_t a = 0; a < members.size(); ++a) {
+          for (std::size_t b = a + 1; b < members.size(); ++b) {
+            if (++pairs > options_.max_pairs_per_group) {
+              break;
+            }
+            tasks.push_back({members[a], members[b]});
+          }
+        }
+      }
+
+      for (std::size_t base = 0; base < tasks.size() && !Done(); base += kPairChunk) {
+        const std::size_t count = std::min(kPairChunk, tasks.size() - base);
+        outcomes.clear();
+        outcomes.resize(count);
+        pool_.ParallelFor(count, [&](std::size_t i) {
+          const PairTask& t = tasks[base + i];
+          CheckPair(c, t.a, t.b, outcomes[i]);
+        });
+        for (std::size_t i = 0; i < count; ++i) {
+          if (Done()) {
+            return;
+          }
+          ++report_.pairs_checked;
+          Replay(outcomes[i]);
+        }
+      }
+    }
+  }
+
   const ExhaustiveOptions& options_;
   std::unique_ptr<SharedSystem> initial_;
   std::vector<std::unique_ptr<SharedSystem>> states_;
-  std::map<std::vector<Word>, int> index_;
+  std::unordered_map<std::vector<Word>, int, KeyHash> index_;
   std::deque<int> frontier_;
   bool overflowed_ = false;
   ExhaustiveReport report_;
+  ThreadPool pool_;
 };
 
 }  // namespace

@@ -40,6 +40,11 @@ struct ExhaustiveOptions {
   // against quadratic blowup on degenerate abstractions).
   std::size_t max_pairs_per_group = 4096;
   int max_violations = 16;
+  // Worker threads for frontier expansion and pair checking (0 = all
+  // hardware threads). The report is byte-identical for every thread count:
+  // workers record check outcomes per state/pair and a sequential merge
+  // replays them in canonical order (see docs/PERFORMANCE.md).
+  int threads = 1;
 };
 
 struct ExhaustiveReport {

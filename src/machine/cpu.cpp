@@ -1,489 +1,15 @@
 #include "src/machine/cpu.h"
 
+#include "src/machine/interp.h"
+
 namespace sep {
 
-namespace {
-
-// Where an operand lives after address resolution.
-enum class Loc : std::uint8_t { kRegister, kMemory, kImmediate };
-
-struct Operand {
-  Loc loc = Loc::kRegister;
-  int reg = 0;         // kRegister
-  VirtAddr addr = 0;   // kMemory
-  Word imm = 0;        // kImmediate
-};
-
-struct Ctx {
-  CpuState st;  // scratch copy, committed on success
-  Bus& bus;
-  CpuEvent event;  // sticky fault record
-
-  bool failed() const { return event.kind != CpuEventKind::kOk; }
-
-  void Fail(CpuEventKind kind, VirtAddr addr = 0) {
-    if (!failed()) {
-      event.kind = kind;
-      event.fault_addr = addr;
-    }
-  }
-
-  Word FetchWord() {
-    Word w = 0;
-    if (!bus.Read(st.pc(), AccessKind::kReadInstruction, &w)) {
-      Fail(CpuEventKind::kBusFault, st.pc());
-      return 0;
-    }
-    st.set_pc(static_cast<Word>(st.pc() + 1));
-    return w;
-  }
-
-  Word ReadMem(VirtAddr addr) {
-    Word w = 0;
-    if (!bus.Read(addr, AccessKind::kReadData, &w)) {
-      Fail(CpuEventKind::kBusFault, addr);
-      return 0;
-    }
-    return w;
-  }
-
-  void WriteMem(VirtAddr addr, Word value) {
-    if (!bus.Write(addr, value)) {
-      Fail(CpuEventKind::kBusFault, addr);
-    }
-  }
-
-  void Push(Word value) {
-    st.set_sp(static_cast<Word>(st.sp() - 1));
-    WriteMem(st.sp(), value);
-  }
-
-  Word Pop() {
-    Word value = ReadMem(st.sp());
-    st.set_sp(static_cast<Word>(st.sp() + 1));
-    return value;
-  }
-
-  // Resolves an operand spec, fetching the extension word if needed.
-  Operand Resolve(const OperandSpec& spec, bool is_dst) {
-    Operand op;
-    switch (spec.mode) {
-      case AddrMode::kReg:
-        op.loc = Loc::kRegister;
-        op.reg = spec.reg;
-        return op;
-      case AddrMode::kRegDeferred:
-        op.loc = Loc::kMemory;
-        op.addr = st.regs[spec.reg];
-        return op;
-      case AddrMode::kImmediate: {
-        Word ext = FetchWord();
-        if (is_dst) {
-          op.loc = Loc::kMemory;  // absolute addressing
-          op.addr = ext;
-        } else {
-          op.loc = Loc::kImmediate;
-          op.imm = ext;
-        }
-        return op;
-      }
-      case AddrMode::kIndexed: {
-        Word ext = FetchWord();
-        op.loc = Loc::kMemory;
-        op.addr = static_cast<Word>(ext + st.regs[spec.reg]);
-        return op;
-      }
-    }
-    return op;
-  }
-
-  Word ReadOperand(const Operand& op) {
-    switch (op.loc) {
-      case Loc::kRegister:
-        return st.regs[op.reg];
-      case Loc::kMemory:
-        return ReadMem(op.addr);
-      case Loc::kImmediate:
-        return op.imm;
-    }
-    return 0;
-  }
-
-  void WriteOperand(const Operand& op, Word value) {
-    switch (op.loc) {
-      case Loc::kRegister:
-        st.regs[op.reg] = value;
-        return;
-      case Loc::kMemory:
-        WriteMem(op.addr, value);
-        return;
-      case Loc::kImmediate:
-        Fail(CpuEventKind::kIllegalInstruction);
-        return;
-    }
-  }
-
-  // Effective address for control transfer; register mode is illegal
-  // (matching the PDP-11's treatment of JMP Rn).
-  std::optional<VirtAddr> JumpTarget(const OperandSpec& spec) {
-    switch (spec.mode) {
-      case AddrMode::kReg:
-        Fail(CpuEventKind::kIllegalInstruction);
-        return std::nullopt;
-      case AddrMode::kRegDeferred:
-        return st.regs[spec.reg];
-      case AddrMode::kImmediate:
-        return FetchWord();
-      case AddrMode::kIndexed: {
-        Word ext = FetchWord();
-        return static_cast<Word>(ext + st.regs[spec.reg]);
-      }
-    }
-    return std::nullopt;
-  }
-};
-
-bool SignedOverflowAdd(Word a, Word b, Word r) {
-  return ((a ^ r) & (b ^ r) & 0x8000) != 0;
-}
-
-bool SignedOverflowSub(Word a, Word b, Word r) {
-  // r = a - b
-  return ((a ^ b) & (a ^ r) & 0x8000) != 0;
-}
-
-void ExecTwoOp(Ctx& ctx, const DecodedInsn& insn) {
-  Operand src = ctx.Resolve(insn.src, /*is_dst=*/false);
-  if (ctx.failed()) {
-    return;
-  }
-  Operand dst = ctx.Resolve(insn.dst, /*is_dst=*/true);
-  if (ctx.failed()) {
-    return;
-  }
-  Word s = ctx.ReadOperand(src);
-  if (ctx.failed()) {
-    return;
-  }
-
-  Psw& psw = ctx.st.psw;
-  switch (insn.opcode) {
-    case Opcode::kMov:
-      ctx.WriteOperand(dst, s);
-      psw.SetNZ(s, false, psw.c());
-      return;
-    case Opcode::kAdd: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d + s);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, SignedOverflowAdd(d, s, r), r < d);
-      return;
-    }
-    case Opcode::kSub: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d - s);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, SignedOverflowSub(d, s, r), d < s);
-      return;
-    }
-    case Opcode::kCmp: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(s - d);
-      psw.SetNZ(r, SignedOverflowSub(s, d, r), s < d);
-      return;
-    }
-    case Opcode::kBit: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(s & d);
-      psw.SetNZ(r, false, psw.c());
-      return;
-    }
-    case Opcode::kBic: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d & static_cast<Word>(~s));
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, false, psw.c());
-      return;
-    }
-    case Opcode::kBis: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d | s);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, false, psw.c());
-      return;
-    }
-    case Opcode::kXor: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d ^ s);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, false, psw.c());
-      return;
-    }
-    default:
-      ctx.Fail(CpuEventKind::kIllegalInstruction);
-      return;
-  }
-}
-
-void ExecOneOp(Ctx& ctx, const DecodedInsn& insn) {
-  Psw& psw = ctx.st.psw;
-
-  if (insn.opcode == Opcode::kJmp || insn.opcode == Opcode::kJsr) {
-    std::optional<VirtAddr> target = ctx.JumpTarget(insn.dst);
-    if (ctx.failed() || !target.has_value()) {
-      return;
-    }
-    if (insn.opcode == Opcode::kJsr) {
-      ctx.Push(ctx.st.pc());
-      if (ctx.failed()) {
-        return;
-      }
-    }
-    ctx.st.set_pc(static_cast<Word>(*target));
-    return;
-  }
-
-  Operand dst = ctx.Resolve(insn.dst, /*is_dst=*/true);
-  if (ctx.failed()) {
-    return;
-  }
-
-  switch (insn.opcode) {
-    case Opcode::kClr:
-      ctx.WriteOperand(dst, 0);
-      psw.SetFlags(false, true, false, false);
-      return;
-    case Opcode::kTst: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      psw.SetNZ(d, false, false);
-      return;
-    }
-    case Opcode::kInc: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d + 1);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, r == 0x8000, psw.c());
-      return;
-    }
-    case Opcode::kDec: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(d - 1);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, d == 0x8000, psw.c());
-      return;
-    }
-    case Opcode::kNeg: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(0 - d);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, r == 0x8000, r != 0);
-      return;
-    }
-    case Opcode::kCom: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      Word r = static_cast<Word>(~d);
-      ctx.WriteOperand(dst, r);
-      psw.SetNZ(r, false, true);
-      return;
-    }
-    case Opcode::kAsr: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      bool c = (d & 1) != 0;
-      Word r = static_cast<Word>((d >> 1) | (d & 0x8000));
-      ctx.WriteOperand(dst, r);
-      bool n = (r & 0x8000) != 0;
-      psw.SetFlags(n, r == 0, n != c, c);
-      return;
-    }
-    case Opcode::kAsl: {
-      Word d = ctx.ReadOperand(dst);
-      if (ctx.failed()) {
-        return;
-      }
-      bool c = (d & 0x8000) != 0;
-      Word r = static_cast<Word>(d << 1);
-      ctx.WriteOperand(dst, r);
-      bool n = (r & 0x8000) != 0;
-      psw.SetFlags(n, r == 0, n != c, c);
-      return;
-    }
-    default:
-      ctx.Fail(CpuEventKind::kIllegalInstruction);
-      return;
-  }
-}
-
-bool BranchTaken(Opcode op, const Psw& psw) {
-  const bool n = psw.n();
-  const bool z = psw.z();
-  const bool v = psw.v();
-  const bool c = psw.c();
-  switch (op) {
-    case Opcode::kBr:
-      return true;
-    case Opcode::kBeq:
-      return z;
-    case Opcode::kBne:
-      return !z;
-    case Opcode::kBmi:
-      return n;
-    case Opcode::kBpl:
-      return !n;
-    case Opcode::kBcs:
-      return c;
-    case Opcode::kBcc:
-      return !c;
-    case Opcode::kBvs:
-      return v;
-    case Opcode::kBvc:
-      return !v;
-    case Opcode::kBlt:
-      return n != v;
-    case Opcode::kBge:
-      return n == v;
-    case Opcode::kBgt:
-      return !z && (n == v);
-    case Opcode::kBle:
-      return z || (n != v);
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
+// The interpreter body lives in src/machine/interp.h as a template over the
+// bus type; this instantiation against the abstract Bus is the stable public
+// entry point. The Machine instantiates the same template with its concrete
+// bus for the devirtualized fast path.
 CpuEvent ExecuteOne(CpuState& state, Bus& bus) {
-  Ctx ctx{state, bus, {}};
-
-  Word insn_word = ctx.FetchWord();
-  if (ctx.failed()) {
-    return ctx.event;
-  }
-
-  std::optional<DecodedInsn> insn = Decode(insn_word);
-  if (!insn.has_value()) {
-    ctx.Fail(CpuEventKind::kIllegalInstruction);
-    return ctx.event;
-  }
-
-  const bool user_mode = ctx.st.psw.mode() == CpuMode::kUser;
-
-  switch (insn->opcode) {
-    case Opcode::kHalt:
-      if (user_mode) {
-        ctx.Fail(CpuEventKind::kIllegalInstruction);
-        return ctx.event;
-      }
-      state = ctx.st;
-      return {CpuEventKind::kHalt, 0, 0};
-    case Opcode::kNop:
-      break;
-    case Opcode::kWait:
-      if (user_mode) {
-        ctx.Fail(CpuEventKind::kIllegalInstruction);
-        return ctx.event;
-      }
-      state = ctx.st;
-      return {CpuEventKind::kWait, 0, 0};
-    case Opcode::kRti: {
-      if (user_mode) {
-        ctx.Fail(CpuEventKind::kIllegalInstruction);
-        return ctx.event;
-      }
-      Word pc = ctx.Pop();
-      Word psw = ctx.Pop();
-      if (ctx.failed()) {
-        return ctx.event;
-      }
-      ctx.st.set_pc(pc);
-      ctx.st.psw.set_bits(psw);
-      break;
-    }
-    case Opcode::kRts: {
-      Word pc = ctx.Pop();
-      if (ctx.failed()) {
-        return ctx.event;
-      }
-      ctx.st.set_pc(pc);
-      break;
-    }
-    case Opcode::kTrap:
-      state = ctx.st;
-      return {CpuEventKind::kTrap, insn->trap_code, 0};
-    case Opcode::kMov:
-    case Opcode::kAdd:
-    case Opcode::kSub:
-    case Opcode::kCmp:
-    case Opcode::kBit:
-    case Opcode::kBic:
-    case Opcode::kBis:
-    case Opcode::kXor:
-      ExecTwoOp(ctx, *insn);
-      break;
-    case Opcode::kClr:
-    case Opcode::kInc:
-    case Opcode::kDec:
-    case Opcode::kNeg:
-    case Opcode::kCom:
-    case Opcode::kTst:
-    case Opcode::kAsr:
-    case Opcode::kAsl:
-    case Opcode::kJmp:
-    case Opcode::kJsr:
-      ExecOneOp(ctx, *insn);
-      break;
-    default:
-      // Branches.
-      if (BranchTaken(insn->opcode, ctx.st.psw)) {
-        ctx.st.set_pc(static_cast<Word>(ctx.st.pc() + insn->branch_offset));
-      }
-      break;
-  }
-
-  if (ctx.failed()) {
-    return ctx.event;
-  }
-  state = ctx.st;
-  return ctx.event;
+  return interp::ExecuteOneT<Bus>(state, bus);
 }
 
 }  // namespace sep

@@ -1,11 +1,14 @@
 #include "src/machine/machine.h"
 
 #include "src/base/logging.h"
+#include "src/machine/interp.h"
 
 namespace sep {
 
 // The bus the CPU sees: MMU translation, then RAM or I/O-page routing.
-class MachineBus : public Bus {
+// `final` so the templated interpreter instantiation below devirtualizes
+// and inlines every access on the hot path.
+class MachineBus final : public Bus {
  public:
   explicit MachineBus(Machine& m) : m_(m) {}
 
@@ -55,6 +58,149 @@ class MachineBus : public Bus {
 
   Machine& m_;
 };
+
+namespace {
+
+// Handler indices for RunThreaded's dispatch table. kFormGeneric covers
+// every opcode without a direct handler (HALT/WAIT/RTI/RTS/TRAP/JMP/JSR)
+// and every instruction with an operand addressed through the PC register,
+// whose mid-instruction PC value only the generic scratch path models.
+enum DirectForm : std::uint8_t {
+  kFormGeneric = 0,
+  kFormNop,
+  kFormBr,
+  kFormBeq,
+  kFormBne,
+  kFormBmi,
+  kFormBpl,
+  kFormBcs,
+  kFormBcc,
+  kFormBvs,
+  kFormBvc,
+  kFormBlt,
+  kFormBge,
+  kFormBgt,
+  kFormBle,
+  kFormMov,
+  kFormAdd,
+  kFormSub,
+  kFormCmp,
+  kFormBit,
+  kFormBic,
+  kFormBis,
+  kFormXor,
+  kFormClr,
+  kFormInc,
+  kFormDec,
+  kFormNeg,
+  kFormCom,
+  kFormTst,
+  kFormAsr,
+  kFormAsl,
+};
+
+bool UsesPcOperand(const OperandSpec& spec) {
+  return (spec.mode == AddrMode::kReg || spec.mode == AddrMode::kRegDeferred ||
+          spec.mode == AddrMode::kIndexed) &&
+         spec.reg == kPc;
+}
+
+std::uint8_t ClassifyForm(const DecodedInsn& insn) {
+  switch (insn.opcode) {
+    case Opcode::kNop:
+      return kFormNop;
+    case Opcode::kBr:
+      return kFormBr;
+    case Opcode::kBeq:
+      return kFormBeq;
+    case Opcode::kBne:
+      return kFormBne;
+    case Opcode::kBmi:
+      return kFormBmi;
+    case Opcode::kBpl:
+      return kFormBpl;
+    case Opcode::kBcs:
+      return kFormBcs;
+    case Opcode::kBcc:
+      return kFormBcc;
+    case Opcode::kBvs:
+      return kFormBvs;
+    case Opcode::kBvc:
+      return kFormBvc;
+    case Opcode::kBlt:
+      return kFormBlt;
+    case Opcode::kBge:
+      return kFormBge;
+    case Opcode::kBgt:
+      return kFormBgt;
+    case Opcode::kBle:
+      return kFormBle;
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kCmp:
+    case Opcode::kBit:
+    case Opcode::kBic:
+    case Opcode::kBis:
+    case Opcode::kXor: {
+      if (UsesPcOperand(insn.src) || UsesPcOperand(insn.dst)) {
+        return kFormGeneric;
+      }
+      switch (insn.opcode) {
+        case Opcode::kMov:
+          return kFormMov;
+        case Opcode::kAdd:
+          return kFormAdd;
+        case Opcode::kSub:
+          return kFormSub;
+        case Opcode::kCmp:
+          return kFormCmp;
+        case Opcode::kBit:
+          return kFormBit;
+        case Opcode::kBic:
+          return kFormBic;
+        case Opcode::kBis:
+          return kFormBis;
+        default:
+          return kFormXor;
+      }
+    }
+    case Opcode::kClr:
+    case Opcode::kInc:
+    case Opcode::kDec:
+    case Opcode::kNeg:
+    case Opcode::kCom:
+    case Opcode::kTst:
+    case Opcode::kAsr:
+    case Opcode::kAsl: {
+      if (UsesPcOperand(insn.dst)) {
+        return kFormGeneric;
+      }
+      switch (insn.opcode) {
+        case Opcode::kClr:
+          return kFormClr;
+        case Opcode::kInc:
+          return kFormInc;
+        case Opcode::kDec:
+          return kFormDec;
+        case Opcode::kNeg:
+          return kFormNeg;
+        case Opcode::kCom:
+          return kFormCom;
+        case Opcode::kTst:
+          return kFormTst;
+        case Opcode::kAsr:
+          return kFormAsr;
+        default:
+          return kFormAsl;
+      }
+    }
+    default:
+      return kFormGeneric;
+  }
+}
+
+}  // namespace
 
 Machine::Machine(const MachineConfig& config) : config_(config), memory_(config.memory_words) {
   SEP_CHECK(config.io_base >= config.memory_words);
@@ -193,41 +339,163 @@ StepEvent Machine::StepCpuPhase() {
   } else if (halted_ || waiting_) {
     event.kind = StepEvent::Kind::kIdle;
   } else {
-    MachineBus bus(*this);
-    CpuEvent cpu_event = ExecuteOne(cpu_, bus);
-    switch (cpu_event.kind) {
-      case CpuEventKind::kOk:
-        event.kind = StepEvent::Kind::kInstruction;
-        break;
-      case CpuEventKind::kHalt:
-        halted_ = true;
-        event.kind = StepEvent::Kind::kInstruction;
-        if (client_ != nullptr) {
-          client_->OnHalt();
-        }
-        break;
-      case CpuEventKind::kWait:
-        waiting_ = true;
-        event.kind = StepEvent::Kind::kInstruction;
-        break;
-      case CpuEventKind::kIllegalInstruction:
-        event.kind = StepEvent::Kind::kTrap;
-        event.trap = TrapInfo{TrapInfo::Kind::kIllegalInstruction, 0, 0};
-        DispatchTrap(event.trap);
-        break;
-      case CpuEventKind::kBusFault:
-        event.kind = StepEvent::Kind::kTrap;
-        event.trap = TrapInfo{TrapInfo::Kind::kMmuFault, 0, cpu_event.fault_addr};
-        DispatchTrap(event.trap);
-        break;
-      case CpuEventKind::kTrap:
-        event.kind = StepEvent::Kind::kTrap;
-        event.trap = TrapInfo{TrapInfo::Kind::kTrapInstruction, cpu_event.trap_code, 0};
-        DispatchTrap(event.trap);
-        break;
-    }
+    event = ExecuteInstructionPhase();
   }
   return event;
+}
+
+StepEvent Machine::ExecuteInstructionPhase() { return ApplyCpuEvent(ExecuteCpu()); }
+
+StepEvent Machine::ApplyCpuEvent(const CpuEvent& cpu_event) {
+  StepEvent event;
+  switch (cpu_event.kind) {
+    case CpuEventKind::kOk:
+      event.kind = StepEvent::Kind::kInstruction;
+      break;
+    case CpuEventKind::kHalt:
+      halted_ = true;
+      event.kind = StepEvent::Kind::kInstruction;
+      if (client_ != nullptr) {
+        client_->OnHalt();
+      }
+      break;
+    case CpuEventKind::kWait:
+      waiting_ = true;
+      event.kind = StepEvent::Kind::kInstruction;
+      break;
+    case CpuEventKind::kIllegalInstruction:
+      event.kind = StepEvent::Kind::kTrap;
+      event.trap = TrapInfo{TrapInfo::Kind::kIllegalInstruction, 0, 0};
+      DispatchTrap(event.trap);
+      break;
+    case CpuEventKind::kBusFault:
+      event.kind = StepEvent::Kind::kTrap;
+      event.trap = TrapInfo{TrapInfo::Kind::kMmuFault, 0, cpu_event.fault_addr};
+      DispatchTrap(event.trap);
+      break;
+    case CpuEventKind::kTrap:
+      event.kind = StepEvent::Kind::kTrap;
+      event.trap = TrapInfo{TrapInfo::Kind::kTrapInstruction, cpu_event.trap_code, 0};
+      DispatchTrap(event.trap);
+      break;
+  }
+  return event;
+}
+
+__attribute__((noinline)) Machine::IcacheBlock& Machine::EnsureIcacheBlock(PhysAddr phys) {
+  if (icache_.empty()) {
+    icache_.resize((memory_.size() >> kIcacheBlockShift) + 1);
+  }
+  std::unique_ptr<IcacheBlock>& block = icache_[phys >> kIcacheBlockShift];
+  if (block == nullptr) {
+    block = std::make_unique<IcacheBlock>();
+  }
+  return *block;
+}
+
+CpuEvent Machine::ExecuteCpu() {
+  MachineBus bus(*this);
+  return ExecuteCpuT<false>(bus, cpu_);
+}
+
+// Cache miss (or stale entry): decode from memory and refill. Out of line to
+// keep ExecuteCpuFast small enough to inline into the Run loop.
+__attribute__((noinline)) CpuEvent Machine::ExecuteCpuMiss(MachineBus& bus,
+                                                           PredecodedInsn& entry, PhysAddr phys,
+                                                           std::uint32_t offset,
+                                                           std::uint32_t limit) {
+  ++predecode_misses_;
+  std::optional<DecodedInsn> decoded = Decode(memory_.Read(phys));
+  if (!decoded.has_value()) {
+    entry.version = 0;  // don't cache invalid opcodes
+    return interp::ExecuteOneT<MachineBus>(cpu_, bus);  // traps identically
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(decoded->length);
+  if (offset + length > limit || !memory_.InRange(phys + length - 1)) {
+    // Crosses the mapped page run (or into device space): the extension
+    // fetches need per-word translation. Leave it to the generic path.
+    entry.version = 0;
+    return interp::ExecuteOneT<MachineBus>(cpu_, bus);
+  }
+  entry.insn = *decoded;
+  for (int i = 1; i < decoded->length; ++i) {
+    entry.ext[i - 1] = memory_.Read(phys + static_cast<PhysAddr>(i));
+  }
+  entry.form = ClassifyForm(*decoded);
+  entry.handler = nullptr;  // re-resolved from `form` by the threaded loop
+  entry.version = memory_.PageVersion(phys);
+  entry.version_last = memory_.PageVersion(phys + length - 1);
+  return interp::ExecutePredecodedT<MachineBus>(cpu_, bus, entry.insn, entry.ext.data());
+}
+
+template <bool kLocalState>
+inline CpuEvent Machine::ExecuteCpuT(MachineBus& bus, CpuState& st) {
+  // Every out-of-line slow path executes against cpu_ proper; with a local
+  // register copy (kLocalState) it is bracketed by commit/reload so `st`'s
+  // address never leaves this function.
+  const auto generic = [&] {
+    if constexpr (kLocalState) cpu_ = st;
+    const CpuEvent event = interp::ExecuteOneT<MachineBus>(cpu_, bus);
+    if constexpr (kLocalState) st = cpu_;
+    return event;
+  };
+
+  if (!predecode_enabled_) [[unlikely]] {
+    return generic();
+  }
+
+  // Fast-path preconditions, re-established from the live MMU state every
+  // step so remaps can never serve a stale mapping: the whole instruction
+  // must lie in RAM inside one contiguously-mapped virtual page.
+  const VirtAddr pc = st.pc();
+  const PageRegister& pr =
+      mmu_.page(st.psw.mode(), static_cast<int>((pc >> kPageBits) & 0x7));
+  const std::uint32_t offset = pc & (kPageWords - 1);
+  const std::uint32_t limit = pr.length < kPageWords ? pr.length : kPageWords;
+  if (pr.access == PageAccess::kNone || offset >= limit) [[unlikely]] {
+    return generic();  // faults identically
+  }
+  const PhysAddr phys = pr.base + offset;
+  if (!memory_.InRange(phys)) [[unlikely]] {
+    return generic();  // device space / bus timeout
+  }
+
+  const std::size_t block_index = phys >> kIcacheBlockShift;
+  IcacheBlock* block =
+      block_index < icache_.size() ? icache_[block_index].get() : nullptr;
+  if (block == nullptr) [[unlikely]] {
+    block = &EnsureIcacheBlock(phys);
+  }
+  PredecodedInsn& entry = block->entries[phys & (kIcacheBlockWords - 1)];
+  const std::uint64_t version = memory_.PageVersion(phys);
+  bool valid = entry.version == version;
+  if (valid && entry.insn.length > 1) {
+    valid = entry.version_last ==
+            memory_.PageVersion(phys + static_cast<PhysAddr>(entry.insn.length) - 1);
+  }
+  if (!valid) [[unlikely]] {
+    if constexpr (kLocalState) cpu_ = st;
+    const CpuEvent event = ExecuteCpuMiss(bus, entry, phys, offset, limit);
+    if constexpr (kLocalState) st = cpu_;
+    return event;
+  }
+
+  ++predecode_hits_;
+  if (offset + static_cast<std::uint32_t>(entry.insn.length) > limit) [[unlikely]] {
+    // The mapping shrank since decode; the generic path reproduces the
+    // exact mid-instruction fault.
+    return generic();
+  }
+  CpuEvent event;
+  if (interp::ExecutePredecodedDirectT<MachineBus>(st, bus, entry.insn, entry.ext.data(),
+                                                   &event)) [[likely]] {
+    return event;
+  }
+  if constexpr (kLocalState) cpu_ = st;
+  const CpuEvent slow_event =
+      interp::ExecutePredecodedT<MachineBus>(cpu_, bus, entry.insn, entry.ext.data());
+  if constexpr (kLocalState) st = cpu_;
+  return slow_event;
 }
 
 void Machine::StepDevicePhase(int slot) { devices_[slot]->Step(); }
@@ -244,8 +512,244 @@ std::optional<Word> Machine::PeekVirt(VirtAddr addr) const {
   return memory_.Read(phys);
 }
 
+// The direct-threaded core of Run(). Shape: a dispatch sequence (macro,
+// replicated into the tail of every handler so each predecoded opcode gets
+// its own indirect-branch site — the classic threaded-code cure for the
+// single rotating dispatch jump that mispredicts once per step) validates
+// the fast-path preconditions exactly like ExecuteCpuT, then jumps through
+// the per-entry `form` byte. PC and PSW live in locals so the step-to-step
+// critical path never round-trips through memory; `st` is the same
+// never-escaping local register copy the non-threaded batched loop uses,
+// synced with cpu_ around every out-of-line slow path.
+std::size_t Machine::RunThreaded(std::size_t max_steps) {
+  MachineBus bus(*this);
+  CpuState st = cpu_;
+  Word pc = st.pc();
+  Psw psw = st.psw;
+  Word* const regs = st.regs.data();
+  std::size_t steps = 0;
+  std::uint64_t hits = 0;
+  PredecodedInsn* entry = nullptr;
+  PhysAddr phys = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t limit = 0;
+  CpuEvent event{};
+  // Current icache block, cached across steps: blocks never move once
+  // allocated (the vector holds owning pointers), so straight-line code
+  // revalidates with a register compare instead of re-walking the vector.
+  IcacheBlock* cur_block = nullptr;
+  std::size_t cur_block_index = static_cast<std::size_t>(-1);
+  // Current virtual code page, resolved through the MMU once and then
+  // revalidated with a register compare. Sound because nothing inside this
+  // loop can remap the MMU (no client, no devices, page registers are not
+  // guest-addressable) and direct handlers never flip the mode bit; every
+  // slow path that could (traps, RTI) goes through SEP_SYNC_IN, which drops
+  // the cached mapping. Self-modifying code is still caught per step by the
+  // page-version compare below — this caches the *mapping*, not the bytes.
+  std::uint32_t cur_vpage = ~0u;
+  PhysAddr cur_base = 0;
+  std::uint32_t cur_limit = 0;
+  const std::uint64_t* const page_versions = memory_.version_data();
+  const PhysAddr mem_size = static_cast<PhysAddr>(memory_.size());
+
+  // Order must match DirectForm.
+  static const void* const kForms[] = {
+      &&form_generic, &&form_nop, &&form_br,  &&form_beq, &&form_bne, &&form_bmi,
+      &&form_bpl,     &&form_bcs, &&form_bcc, &&form_bvs, &&form_bvc, &&form_blt,
+      &&form_bge,     &&form_bgt, &&form_ble, &&form_mov, &&form_add, &&form_sub,
+      &&form_cmp,     &&form_bit, &&form_bic, &&form_bis, &&form_xor, &&form_clr,
+      &&form_inc,     &&form_dec, &&form_neg, &&form_com, &&form_tst, &&form_asr,
+      &&form_asl,
+  };
+
+#define SEP_SYNC_OUT() (st.regs[kPc] = pc, st.psw = psw, cpu_ = st)
+#define SEP_SYNC_IN() (st = cpu_, pc = st.regs[kPc], psw = st.psw, cur_vpage = ~0u)
+
+  // The per-step validation from ExecuteCpuT, ending in the threaded jump.
+  // `steps`/`hits` are committed here so handlers and slow paths reached
+  // from the jump must not count them again.
+#define SEP_DISPATCH()                                                                 \
+  do {                                                                                 \
+    if (steps >= max_steps || halted_) goto run_done;                                  \
+    if (waiting_) [[unlikely]] goto run_idle;                                          \
+    const std::uint32_t vp = static_cast<std::uint32_t>(pc) >> kPageBits;              \
+    if (vp != cur_vpage) [[unlikely]] {                                                \
+      const PageRegister& pr = mmu_.page(psw.mode(), static_cast<int>(vp & 0x7));      \
+      cur_limit = pr.access == PageAccess::kNone                                       \
+                      ? 0                                                              \
+                      : (pr.length < kPageWords ? pr.length : kPageWords);             \
+      cur_base = pr.base;                                                              \
+      cur_vpage = vp;                                                                  \
+    }                                                                                  \
+    offset = pc & (kPageWords - 1);                                                    \
+    limit = cur_limit;                                                                 \
+    if (offset >= limit) [[unlikely]] goto run_generic;                                \
+    phys = cur_base + offset;                                                          \
+    if (phys >= mem_size) [[unlikely]] goto run_generic;                               \
+    const std::size_t bi = phys >> kIcacheBlockShift;                                  \
+    if (bi != cur_block_index) [[unlikely]] {                                          \
+      cur_block = bi < icache_.size() ? icache_[bi].get() : nullptr;                   \
+      if (cur_block == nullptr) cur_block = &EnsureIcacheBlock(phys);                  \
+      cur_block_index = bi;                                                            \
+    }                                                                                  \
+    entry = &cur_block->entries[phys & (kIcacheBlockWords - 1)];                       \
+    bool valid = entry->version == page_versions[phys >> PhysicalMemory::kVersionPageShift]; \
+    if (valid && entry->insn.length > 1)                                               \
+      valid = entry->version_last ==                                                   \
+              page_versions[(phys + static_cast<PhysAddr>(entry->insn.length) - 1) >>  \
+                            PhysicalMemory::kVersionPageShift];                        \
+    if (!valid) [[unlikely]] goto run_miss;                                            \
+    if (offset + static_cast<std::uint32_t>(entry->insn.length) > limit) [[unlikely]]  \
+      goto run_generic;                                                                \
+    ++hits;                                                                            \
+    ++steps;                                                                           \
+    if (entry->handler == nullptr) [[unlikely]] entry->handler = kForms[entry->form];  \
+    goto* entry->handler;                                                              \
+  } while (0)
+
+// One direct handler per predecoded opcode. The DirectStepT bail (PC
+// operand) cannot trigger here — ClassifyForm maps those to kFormGeneric —
+// but the fallback is kept so the handlers stay trivially equivalent to the
+// single-step path.
+#define SEP_HANDLER(label, OP)                                                        \
+  label:                                                                              \
+  event = {};                                                                         \
+  if (interp::DirectStepT<MachineBus, Opcode::OP>(regs, psw, pc, bus, entry->insn,    \
+                                                  entry->ext.data(), &event))         \
+      [[likely]] {                                                                    \
+    if (event.kind == CpuEventKind::kOk) [[likely]] SEP_DISPATCH();                   \
+    goto run_apply_event;                                                             \
+  }                                                                                   \
+  goto run_predecoded_slow;
+
+  SEP_DISPATCH();
+
+  SEP_HANDLER(form_nop, kNop)
+  SEP_HANDLER(form_br, kBr)
+  SEP_HANDLER(form_beq, kBeq)
+  SEP_HANDLER(form_bne, kBne)
+  SEP_HANDLER(form_bmi, kBmi)
+  SEP_HANDLER(form_bpl, kBpl)
+  SEP_HANDLER(form_bcs, kBcs)
+  SEP_HANDLER(form_bcc, kBcc)
+  SEP_HANDLER(form_bvs, kBvs)
+  SEP_HANDLER(form_bvc, kBvc)
+  SEP_HANDLER(form_blt, kBlt)
+  SEP_HANDLER(form_bge, kBge)
+  SEP_HANDLER(form_bgt, kBgt)
+  SEP_HANDLER(form_ble, kBle)
+  SEP_HANDLER(form_mov, kMov)
+  SEP_HANDLER(form_add, kAdd)
+  SEP_HANDLER(form_sub, kSub)
+  SEP_HANDLER(form_cmp, kCmp)
+  SEP_HANDLER(form_bit, kBit)
+  SEP_HANDLER(form_bic, kBic)
+  SEP_HANDLER(form_bis, kBis)
+  SEP_HANDLER(form_xor, kXor)
+  SEP_HANDLER(form_clr, kClr)
+  SEP_HANDLER(form_inc, kInc)
+  SEP_HANDLER(form_dec, kDec)
+  SEP_HANDLER(form_neg, kNeg)
+  SEP_HANDLER(form_com, kCom)
+  SEP_HANDLER(form_tst, kTst)
+  SEP_HANDLER(form_asr, kAsr)
+  SEP_HANDLER(form_asl, kAsl)
+
+#undef SEP_HANDLER
+
+form_generic:
+  // Cached but with no direct handler: run it through the scratch path.
+run_predecoded_slow:
+  SEP_SYNC_OUT();
+  event = interp::ExecutePredecodedT<MachineBus>(cpu_, bus, entry->insn, entry->ext.data());
+  SEP_SYNC_IN();
+  if (event.kind != CpuEventKind::kOk) [[unlikely]] goto run_apply_event;
+  SEP_DISPATCH();
+
+run_generic:
+  // Fast-path preconditions failed (cache off never reaches here; unmapped
+  // PC, device space, page-run crossing): full fetch-decode-execute, which
+  // reproduces the exact fault the real fetch would take.
+  SEP_SYNC_OUT();
+  event = interp::ExecuteOneT<MachineBus>(cpu_, bus);
+  SEP_SYNC_IN();
+  ++steps;
+  if (event.kind != CpuEventKind::kOk) [[unlikely]] goto run_apply_event;
+  SEP_DISPATCH();
+
+run_miss:
+  SEP_SYNC_OUT();
+  event = ExecuteCpuMiss(bus, *entry, phys, offset, limit);
+  SEP_SYNC_IN();
+  ++steps;
+  if (event.kind != CpuEventKind::kOk) [[unlikely]] goto run_apply_event;
+  SEP_DISPATCH();
+
+run_apply_event:
+  // The step that produced `event` is already counted. ApplyCpuEvent works
+  // on cpu_ (trap dispatch rewrites PC/PSW/stack), so sync around it.
+  SEP_SYNC_OUT();
+  (void)ApplyCpuEvent(event);
+  SEP_SYNC_IN();
+  SEP_DISPATCH();
+
+run_idle:
+  // Nothing can ever wake the CPU: the remaining steps are idle ticks.
+  SEP_SYNC_OUT();
+  predecode_hits_ += hits;
+  tick_ += max_steps;
+  return max_steps;
+
+run_done:
+  SEP_SYNC_OUT();
+  predecode_hits_ += hits;
+  tick_ += steps;
+  return steps;
+
+#undef SEP_DISPATCH
+#undef SEP_SYNC_OUT
+#undef SEP_SYNC_IN
+}
+
 std::size_t Machine::Run(std::size_t max_steps) {
   std::size_t steps = 0;
+
+  // Batched fast loops: with no client and no devices there is no deferred
+  // kernel work, no interrupt source and no device phase, so each step is
+  // exactly one instruction phase plus the tick — step-for-step identical
+  // to the generic loop below. With the predecode cache on, the
+  // direct-threaded loop runs; with it off, the bus and event plumbing are
+  // still hoisted out of the loop and ExecuteCpuT inlines here.
+  if (client_ == nullptr && devices_.empty()) {
+    if (predecode_enabled_) {
+      return RunThreaded(max_steps);
+    }
+    MachineBus bus(*this);
+    // Architectural registers live in a loop-local copy: its address never
+    // escapes, so guest memory stores provably cannot alias it and PC/PSW
+    // stay in machine registers across iterations. Synced with cpu_ around
+    // every slow path (ExecuteCpuT<true>) and event application.
+    CpuState st = cpu_;
+    while (steps < max_steps && !halted_) {
+      if (waiting_) [[unlikely]] {
+        // Nothing can ever wake the CPU: the remaining steps are idle ticks.
+        cpu_ = st;
+        tick_ += max_steps - steps;
+        return max_steps;
+      }
+      const CpuEvent cpu_event = ExecuteCpuT<true>(bus, st);
+      if (cpu_event.kind != CpuEventKind::kOk) [[unlikely]] {
+        cpu_ = st;
+        (void)ApplyCpuEvent(cpu_event);
+        st = cpu_;
+      }
+      ++tick_;
+      ++steps;
+    }
+    cpu_ = st;
+    return steps;
+  }
+
   while (steps < max_steps && !halted_) {
     Step();
     ++steps;

@@ -60,6 +60,7 @@ struct TrapInfo {
 };
 
 class Machine;
+class MachineBus;  // machine.cpp-internal concrete bus
 
 class MachineClient {
  public:
@@ -157,8 +158,33 @@ class Machine {
   // interrupt is performed on behalf of the interrupting device's owner.
   int PendingInterrupt() const;
 
-  // Runs until halted or `max_steps` exhausted; returns steps taken.
+  // Runs until halted or `max_steps` exhausted; returns steps taken. For
+  // machines with no client and no devices the loop is batched: per-step
+  // dispatch overhead (interrupt polling, device phases, event plumbing) is
+  // hoisted out of the inner loop while remaining step-for-step identical to
+  // repeated Step().
   std::size_t Run(std::size_t max_steps);
+
+  // --- predecoded-instruction cache ---
+  //
+  // The CPU phase serves decoded instructions from a flat cache keyed by the
+  // physical address of the instruction word. Entries are validated against
+  // PhysicalMemory page versions (self-modifying code) and the current MMU
+  // mapping (remaps) on every step, so traces are identical with the cache
+  // on or off; see docs/PERFORMANCE.md for the invalidation protocol. The
+  // cache is derived state: it is not cloned, hashed, or snapshotted.
+
+  void set_predecode_enabled(bool enabled) {
+    predecode_enabled_ = enabled;
+    if (!enabled) {
+      icache_.clear();
+    }
+  }
+  bool predecode_enabled() const { return predecode_enabled_; }
+
+  // Fast-path statistics (tests assert on invalidation behaviour).
+  std::uint64_t predecode_hits() const { return predecode_hits_; }
+  std::uint64_t predecode_misses() const { return predecode_misses_; }
 
   // Hash over the complete machine state (excluding the step counter, which
   // is bookkeeping rather than architectural state).
@@ -171,8 +197,72 @@ class Machine {
  private:
   friend class MachineBus;
 
+  // One predecoded instruction: the decode plus its extension words, valid
+  // while the page versions of the covered words are unchanged. `form`
+  // indexes the threaded Run loop's handler table (0 = generic slow path);
+  // it is derived from the decode at refill time.
+  struct PredecodedInsn {
+    DecodedInsn insn;
+    std::array<Word, 2> ext{};
+    std::uint8_t form = 0;
+    // Resolved handler label inside RunThreaded, filled lazily on first
+    // threaded dispatch (label addresses are stable for the process
+    // lifetime). Cleared on every refill; purely derived from `form`.
+    const void* handler = nullptr;
+    std::uint64_t version = 0;       // page version of the insn word; 0 = empty
+    std::uint64_t version_last = 0;  // page version of the last covered word
+  };
+
+  // Cache blocks are allocated lazily per touched code region so clones and
+  // non-executing machines pay nothing.
+  static constexpr int kIcacheBlockShift = 8;
+  static constexpr std::size_t kIcacheBlockWords = std::size_t{1} << kIcacheBlockShift;
+  struct IcacheBlock {
+    std::array<PredecodedInsn, kIcacheBlockWords> entries{};
+  };
+
   void HardwareVector(PhysAddr vector);
   void DispatchTrap(const TrapInfo& info);
+
+  // The instruction-execution half of StepCpuPhase (no client work, no
+  // interrupt was deliverable, not idle). Shared by StepCpuPhase and the
+  // batched Run loop.
+  StepEvent ExecuteInstructionPhase();
+
+  // Applies a CPU event to machine state (halt/wait latches, trap dispatch)
+  // and renders it as a step event.
+  StepEvent ApplyCpuEvent(const CpuEvent& cpu_event);
+
+  // Executes one instruction through the predecode cache, falling back to
+  // the generic fetch-decode-execute path whenever the fast-path
+  // preconditions do not hold (cache disabled, fetch would fault or touch
+  // device space, instruction crosses a page, invalid opcode).
+  CpuEvent ExecuteCpu();
+
+  // The hot core of ExecuteCpu against an already-constructed bus: inlined
+  // into the batched Run loop. Cache misses and every fallback are
+  // out-of-line in ExecuteCpuMiss / the generic interpreter.
+  //
+  // `st` is the architectural register state the instruction executes
+  // against. StepCpuPhase passes cpu_ itself (kLocalState = false). The
+  // batched Run loop instead keeps a function-local copy whose address
+  // never escapes — so the compiler can prove guest memory stores do not
+  // alias it and keep PC/PSW live across iterations — and kLocalState = true
+  // brackets every out-of-line slow path with a cpu_ commit/reload.
+  // Forced inline: if this stayed out of line, &st would escape into the
+  // call and the aliasing argument above would not hold.
+  template <bool kLocalState>
+  __attribute__((always_inline)) CpuEvent ExecuteCpuT(MachineBus& bus, CpuState& st);
+  CpuEvent ExecuteCpuMiss(MachineBus& bus, PredecodedInsn& entry, PhysAddr phys,
+                          std::uint32_t offset, std::uint32_t limit);
+
+  // The direct-threaded batched loop behind Run() when no client, no devices
+  // and the predecode cache are in play: every predecoded opcode dispatches
+  // to its own handler (own indirect-branch site) and PC/PSW live in locals
+  // across steps. Step-for-step identical to repeated Step().
+  std::size_t RunThreaded(std::size_t max_steps);
+
+  IcacheBlock& EnsureIcacheBlock(PhysAddr phys);
 
   MachineConfig config_;
   PhysicalMemory memory_;
@@ -183,6 +273,11 @@ class Machine {
   bool halted_ = false;
   bool waiting_ = false;
   Tick tick_ = 0;
+
+  std::vector<std::unique_ptr<IcacheBlock>> icache_;
+  bool predecode_enabled_ = true;
+  std::uint64_t predecode_hits_ = 0;
+  std::uint64_t predecode_misses_ = 0;
 };
 
 }  // namespace sep

@@ -3,9 +3,20 @@
 // A flat array of 16-bit words. The memory itself enforces nothing — all
 // protection comes from the MMU — but reads and writes are bounds-checked so
 // that simulator bugs surface as hard errors rather than silent corruption.
+// The per-word Read/Write checks are debug-only (SEP_DCHECK): they sit on the
+// interpreter's innermost path and every caller in the machine already guards
+// with InRange(); bulk operations keep the always-on SEP_CHECK.
+//
+// Write-generation tracking: every mutation bumps a global generation counter
+// and a per-page version (pages of 2^kVersionPageShift words). The machine's
+// predecoded-instruction cache validates entries against the page versions,
+// so self-modifying code and kernel loads invalidate exactly the affected
+// pages (see docs/PERFORMANCE.md). Versions are bookkeeping, not
+// architectural state: they are excluded from hashing and equality.
 #ifndef SRC_MACHINE_MEMORY_H_
 #define SRC_MACHINE_MEMORY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/base/hash.h"
@@ -16,38 +27,66 @@ namespace sep {
 
 class PhysicalMemory {
  public:
-  explicit PhysicalMemory(std::size_t words) : words_(words, 0) {}
+  // Version-tracking granularity: 64 words per page keeps a data store and a
+  // nearby instruction stream in separate pages for typical guest layouts,
+  // so steady-state data writes do not evict decoded code.
+  static constexpr int kVersionPageShift = 6;
+  static constexpr std::size_t kVersionPageWords = std::size_t{1} << kVersionPageShift;
+
+  explicit PhysicalMemory(std::size_t words)
+      : words_(words, 0), versions_(words / kVersionPageWords + 1, 1) {}
 
   std::size_t size() const { return words_.size(); }
 
   Word Read(PhysAddr addr) const {
-    SEP_CHECK(addr < words_.size());
+    SEP_DCHECK(addr < words_.size());
     return words_[addr];
   }
 
   void Write(PhysAddr addr, Word value) {
-    SEP_CHECK(addr < words_.size());
+    SEP_DCHECK(addr < words_.size());
     words_[addr] = value;
+    Touch(addr);
   }
 
   bool InRange(PhysAddr addr) const { return addr < words_.size(); }
 
   // Bulk load used by program loaders; addresses beyond the end are an error.
+  // Bounds are checked by subtraction so a large `base` cannot wrap the sum.
   void LoadImage(PhysAddr base, const std::vector<Word>& image) {
-    SEP_CHECK(base + image.size() <= words_.size());
+    SEP_CHECK(base <= words_.size() && image.size() <= words_.size() - base);
     for (std::size_t i = 0; i < image.size(); ++i) {
       words_[base + i] = image[i];
     }
+    TouchRange(base, image.size());
   }
 
   void Fill(PhysAddr base, std::size_t count, Word value) {
-    SEP_CHECK(base + count <= words_.size());
+    SEP_CHECK(base <= words_.size() && count <= words_.size() - base);
     for (std::size_t i = 0; i < count; ++i) {
       words_[base + i] = value;
     }
+    TouchRange(base, count);
   }
 
   const std::vector<Word>& raw() const { return words_; }
+
+  // --- write-generation tracking (predecode-cache invalidation) ---
+
+  // Monotone counter bumped by every mutation; cheap whole-memory staleness
+  // signal.
+  std::uint64_t generation() const { return generation_; }
+
+  // Version of the page containing `addr`; never 0 (cache code uses 0 as
+  // "no entry").
+  std::uint64_t PageVersion(PhysAddr addr) const {
+    return versions_[addr >> kVersionPageShift];
+  }
+
+  // Raw version table, indexed by addr >> kVersionPageShift. The table never
+  // reallocates after construction, so hot loops may hold the pointer across
+  // steps instead of re-walking the vector.
+  const std::uint64_t* version_data() const { return versions_.data(); }
 
   void AppendHash(Hasher& hasher) const { hasher.MixRange(words_); }
 
@@ -61,14 +100,35 @@ class PhysicalMemory {
   }
 
   std::vector<Word> SnapshotRange(PhysAddr base, std::size_t count) const {
-    SEP_CHECK(base + count <= words_.size());
+    SEP_CHECK(base <= words_.size() && count <= words_.size() - base);
     return std::vector<Word>(words_.begin() + base, words_.begin() + base + count);
   }
 
-  bool operator==(const PhysicalMemory& other) const = default;
+  // Architectural equality is over the stored words only; version counters
+  // record mutation history, not state.
+  bool operator==(const PhysicalMemory& other) const { return words_ == other.words_; }
 
  private:
+  void Touch(PhysAddr addr) {
+    ++generation_;
+    ++versions_[addr >> kVersionPageShift];
+  }
+
+  void TouchRange(PhysAddr base, std::size_t count) {
+    if (count == 0) {
+      return;
+    }
+    ++generation_;
+    const std::size_t first = base >> kVersionPageShift;
+    const std::size_t last = (base + count - 1) >> kVersionPageShift;
+    for (std::size_t page = first; page <= last; ++page) {
+      ++versions_[page];
+    }
+  }
+
   std::vector<Word> words_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace sep

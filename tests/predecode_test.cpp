@@ -1,0 +1,256 @@
+// The predecoded-instruction cache must be invisible: traces are identical
+// with the cache on or off, across self-modifying code, MMU remaps and the
+// batched Run loop. These tests drive cache-on and cache-off machines in
+// lockstep and compare complete state hashes every step.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/machine/machine.h"
+#include "src/sm11asm/assembler.h"
+#include "tests/test_util.h"
+
+namespace sep {
+namespace {
+
+void LoadProgram(Machine& m, const std::string& source) {
+  Result<AssembledProgram> p = Assemble(source);
+  ASSERT_TRUE(p.ok()) << p.error();
+  m.memory().LoadImage(p->base, p->words);
+  m.cpu().set_pc(p->EntryPoint());
+  m.cpu().set_sp(0x1000);
+}
+
+// Steps `cached` (predecode on) and `plain` (predecode off) in lockstep,
+// asserting identical step events and identical architectural state after
+// every step.
+void ExpectLockstepParity(Machine& cached, Machine& plain, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    StepEvent a = cached.Step();
+    StepEvent b = plain.Step();
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << "step " << i;
+    ASSERT_EQ(a.device, b.device) << "step " << i;
+    ASSERT_EQ(static_cast<int>(a.trap.kind), static_cast<int>(b.trap.kind)) << "step " << i;
+    ASSERT_EQ(cached.StateHash(), plain.StateHash()) << "state diverged at step " << i;
+  }
+}
+
+// A workload touching every fast-path form plus traps and a HALT: two-op
+// ALU, one-op ALU, shifts, memory operands, immediate operands, the whole
+// branch family, TRAP (vectored through memory) and RTI. Assembled away
+// from the vector table; the tests install the trap vector directly.
+constexpr char kMixedProgram[] = R"(
+        .ORG 0x100
+START:  CLR R0
+        CLR R5
+LOOP:   INC R0
+        ADD R0, R1
+        SUB #1, R2
+        MOV R1, @0x300
+        CMP #40, R0
+        BIT #1, R0
+        BNE SKIP
+        COM R3
+SKIP:   BIC #8, R1
+        BIS #2, R4
+        XOR R0, R3
+        NEG R3
+        ASL R1
+        ASR R1
+        DEC R2
+        TST R2
+        BMI NEG1
+NEG1:   BPL POS1
+POS1:   BCS CAR1
+CAR1:   BCC NOC1
+NOC1:   BVS OVF1
+OVF1:   BVC NOV1
+NOV1:   BLT LT1
+LT1:    BGE GE1
+GE1:    BGT GT1
+GT1:    BLE LE1
+LE1:    TRAP 3
+        CMP #40, R0
+        BNE LOOP
+        HALT
+        .ORG 0x200
+HANDLER:
+        INC R5
+        RTI
+)";
+
+void LoadMixedProgram(Machine& m) {
+  LoadProgram(m, kMixedProgram);
+  m.memory().Write(kVectorTrap, 0x200);      // handler PC
+  m.memory().Write(kVectorTrap + 1, 0);      // handler PSW: kernel, priority 0
+  m.cpu().set_pc(0x100);
+}
+
+TEST(PredecodeParity, MixedWorkloadLockstep) {
+  auto cached = MakeBareMachine();
+  auto plain = MakeBareMachine();
+  plain->set_predecode_enabled(false);
+  LoadMixedProgram(*cached);
+  LoadMixedProgram(*plain);
+  ExpectLockstepParity(*cached, *plain, 2000);
+  EXPECT_TRUE(cached->halted());
+  EXPECT_EQ(cached->cpu().regs[0], 40);  // the loop actually ran to completion
+  EXPECT_EQ(cached->cpu().regs[5], 40);  // every iteration trapped and returned
+  EXPECT_GT(cached->predecode_hits(), 0u);
+  EXPECT_EQ(plain->predecode_hits(), 0u);
+}
+
+TEST(PredecodeParity, RunMatchesRepeatedStep) {
+  auto batched = MakeBareMachine();
+  auto stepped = MakeBareMachine();
+  LoadMixedProgram(*batched);
+  LoadMixedProgram(*stepped);
+  const std::size_t ran = batched->Run(2000);
+  std::size_t stepped_count = 0;
+  for (; stepped_count < 2000 && !stepped->halted(); ++stepped_count) {
+    stepped->Step();
+  }
+  EXPECT_GT(ran, 100u);
+  EXPECT_EQ(ran, stepped_count);
+  EXPECT_EQ(batched->tick(), stepped->tick());
+  EXPECT_EQ(batched->StateHash(), stepped->StateHash());
+  EXPECT_TRUE(batched->halted());
+}
+
+// Self-modifying code: the loop rewrites the instruction ahead of it (an INC
+// becomes a DEC), so a stale cache entry would produce the wrong register
+// value. The page-version check must catch the store.
+TEST(PredecodeInvalidation, SelfModifyingCode) {
+  constexpr char kSelfMod[] = R"(
+START:  CLR R0
+        CLR R2
+LOOP:   INC R2
+PATCH:  INC R0
+        CMP #8, R2
+        BNE NEXT
+        MOV NEWOP, @PATCH       ; overwrite the INC R0 word with DEC R0
+NEXT:   CMP #16, R2
+        BNE LOOP
+        HALT
+NEWOP:  DEC R0
+)";
+  auto cached = MakeBareMachine();
+  auto plain = MakeBareMachine();
+  plain->set_predecode_enabled(false);
+  LoadProgram(*cached, kSelfMod);
+  LoadProgram(*plain, kSelfMod);
+  ExpectLockstepParity(*cached, *plain, 200);
+  ASSERT_TRUE(cached->halted());
+  // 8 iterations execute INC, then the patch lands and 8 execute DEC:
+  // R0 ends at 0. A stale cache entry that kept serving INC would leave 16.
+  EXPECT_EQ(cached->cpu().regs[0], 0);
+  // The patched word forces at least one refill beyond the cold misses: the
+  // PATCH entry is decoded, invalidated by the store, and decoded again.
+  EXPECT_GT(cached->predecode_misses(), 0u);
+}
+
+TEST(PredecodeInvalidation, SelfModifyingCodeUnderRun) {
+  constexpr char kSelfMod[] = R"(
+START:  CLR R0
+        CLR R2
+LOOP:   INC R2
+PATCH:  INC R0
+        CMP #8, R2
+        BNE NEXT
+        MOV NEWOP, @PATCH
+NEXT:   CMP #16, R2
+        BNE LOOP
+        HALT
+NEWOP:  DEC R0
+)";
+  auto batched = MakeBareMachine();
+  LoadProgram(*batched, kSelfMod);
+  (void)batched->Run(400);
+  ASSERT_TRUE(batched->halted());
+  EXPECT_EQ(batched->cpu().regs[0], 0);
+}
+
+// Remapping the executing page mid-run must serve instructions from the new
+// mapping immediately even though entries for the old physical frame are
+// still warm: the fast path re-translates from live MMU state every step.
+TEST(PredecodeInvalidation, MmuRemapSwitchesCode) {
+  auto cached = MakeBareMachine();
+  auto plain = MakeBareMachine();
+  plain->set_predecode_enabled(false);
+
+  // Frame A (phys page 0): spin incrementing R0. Frame B (phys page 1,
+  // virtually mapped at the same page-0 window): spin incrementing R1.
+  Result<AssembledProgram> a = Assemble("LOOP: INC R0\n      BR LOOP\n");
+  ASSERT_TRUE(a.ok()) << a.error();
+  Result<AssembledProgram> b = Assemble("LOOP: INC R1\n      BR LOOP\n");
+  ASSERT_TRUE(b.ok()) << b.error();
+  for (Machine* m : {cached.get(), plain.get()}) {
+    m->memory().LoadImage(0, a->words);
+    m->memory().LoadImage(kPageWords, b->words);
+    m->cpu().set_pc(0);
+    m->cpu().set_sp(0x1000);
+  }
+
+  ExpectLockstepParity(*cached, *plain, 50);
+  EXPECT_GT(cached->cpu().regs[0], 0);
+  EXPECT_EQ(cached->cpu().regs[1], 0);
+
+  // Swing virtual page 0 onto frame B. PC keeps its virtual value; the next
+  // fetch must decode frame B's INC R1.
+  for (Machine* m : {cached.get(), plain.get()}) {
+    m->mmu().SetPage(CpuMode::kKernel, 0, {kPageWords, kPageWords, PageAccess::kReadWrite});
+    m->cpu().set_pc(0);
+  }
+  const Word r0_at_remap = cached->cpu().regs[0];
+  ExpectLockstepParity(*cached, *plain, 50);
+  EXPECT_EQ(cached->cpu().regs[0], r0_at_remap);
+  EXPECT_GT(cached->cpu().regs[1], 0);
+}
+
+TEST(PredecodeInvalidation, MmuRemapUnderRun) {
+  auto m = MakeBareMachine();
+  Result<AssembledProgram> a = Assemble("LOOP: INC R0\n      BR LOOP\n");
+  Result<AssembledProgram> b = Assemble("LOOP: INC R1\n      BR LOOP\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  m->memory().LoadImage(0, a->words);
+  m->memory().LoadImage(kPageWords, b->words);
+  m->cpu().set_pc(0);
+  m->cpu().set_sp(0x1000);
+  EXPECT_EQ(m->Run(100), 100u);
+  const Word r0 = m->cpu().regs[0];
+  EXPECT_GT(r0, 0);
+  m->mmu().SetPage(CpuMode::kKernel, 0, {kPageWords, kPageWords, PageAccess::kReadWrite});
+  m->cpu().set_pc(0);
+  EXPECT_EQ(m->Run(100), 100u);
+  EXPECT_EQ(m->cpu().regs[0], r0);
+  EXPECT_GT(m->cpu().regs[1], 0);
+}
+
+// Disabling the cache mid-flight drops all entries; re-enabling starts cold.
+TEST(PredecodeInvalidation, DisableClearsCache) {
+  auto m = MakeBareMachine();
+  LoadProgram(*m, "LOOP: INC R0\n      BR LOOP\n");
+  (void)m->Run(100);
+  EXPECT_GT(m->predecode_hits(), 0u);
+  const std::uint64_t misses_warm = m->predecode_misses();
+  m->set_predecode_enabled(false);
+  (void)m->Run(10);
+  EXPECT_EQ(m->predecode_misses(), misses_warm);  // generic path, no refills
+  m->set_predecode_enabled(true);
+  (void)m->Run(10);
+  EXPECT_GT(m->predecode_misses(), misses_warm);  // cold again
+}
+
+using PredecodeDeathTest = ::testing::Test;
+
+TEST(PredecodeDeathTest, LoadImageBeyondEndAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto m = MakeBareMachine(1u << 12);
+  std::vector<Word> image(16, 0);
+  EXPECT_DEATH(m->memory().LoadImage((1u << 12) - 8, image), "CHECK failed");
+  // A base beyond the end with a small image must not wrap the sum.
+  EXPECT_DEATH(m->memory().LoadImage(0xFFFFFFF0u, image), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sep

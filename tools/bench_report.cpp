@@ -1,0 +1,257 @@
+// bench_report — one-shot performance report for the repo.
+//
+// Runs the google-benchmark binaries (bench_machine, bench_separability)
+// and the sepcheck static analyzer, distills the results into a small
+// schema-stable JSON document (schema "sep-bench-v1", committed at the repo
+// root as BENCH_<pr>.json), and can compare the fresh numbers against a
+// committed baseline, failing on regressions beyond a tolerance.
+//
+//   bench_report --bindir build-rel --out BENCH_3.json
+//   bench_report --bindir build-rel --smoke --compare BENCH_3.json
+//
+// Only `guarded_metrics` participate in the comparison: dimensionless ratios
+// (cache speedup, parallel speedup) that are stable across host speeds,
+// unlike absolute instructions/second. docs/PERFORMANCE.md documents every
+// metric.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string bindir = ".";
+  std::string out;
+  std::string compare;
+  double tolerance = 0.25;
+  bool smoke = false;
+  int jobs = 0;  // 0 = hardware_concurrency
+};
+
+// Runs `command`, returning its whole stdout; exits on failure. stderr is
+// left attached to ours so benchmark diagnostics stay visible.
+std::string Capture(const std::string& command) {
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot run: %s\n", command.c_str());
+    std::exit(2);
+  }
+  std::string output;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  if (status != 0) {
+    std::fprintf(stderr, "bench_report: command failed (%d): %s\n", status, command.c_str());
+    std::exit(2);
+  }
+  return output;
+}
+
+// Minimal extraction from google-benchmark's --benchmark_format=json output:
+// maps benchmark name -> items_per_second. Tolerant of leading non-JSON
+// noise (tables printed before benchmark::Initialize takes over).
+std::map<std::string, double> ParseItemsPerSecond(const std::string& json) {
+  std::map<std::string, double> result;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"name\":", pos)) != std::string::npos) {
+    const std::size_t open = json.find('"', pos + 7);
+    if (open == std::string::npos) break;
+    const std::size_t close = json.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string name = json.substr(open + 1, close - open - 1);
+    const std::size_t next_name = json.find("\"name\":", close);
+    const std::size_t ips = json.find("\"items_per_second\":", close);
+    pos = close;
+    if (ips != std::string::npos && (next_name == std::string::npos || ips < next_name)) {
+      result[name] = std::strtod(json.c_str() + ips + 19, nullptr);
+    }
+  }
+  return result;
+}
+
+// Wall-clock best-of-N of a command (min over runs: noise on a shared host
+// only ever adds time).
+double BestSeconds(const std::string& command, int runs) {
+  double best = 1e9;
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)Capture(command);
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+double Metric(const std::map<std::string, double>& table, const char* name) {
+  const auto it = table.find(name);
+  if (it == table.end() || it->second <= 0) {
+    std::fprintf(stderr, "bench_report: benchmark '%s' missing from output\n", name);
+    std::exit(2);
+  }
+  return it->second;
+}
+
+// Reads `key` out of a flat JSON metrics object ("key": value). Returns
+// false if absent — baselines may predate newly added metrics.
+bool JsonNumber(const std::string& json, const std::string& key, double* out) {
+  const std::size_t pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+  return true;
+}
+
+std::string ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string data;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = fread(buffer, 1, sizeof buffer, f)) > 0) data.append(buffer, got);
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_report: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bindir") {
+      opt.bindir = next();
+    } else if (arg == "--out") {
+      opt.out = next();
+    } else if (arg == "--compare") {
+      opt.compare = next();
+    } else if (arg == "--tolerance") {
+      opt.tolerance = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next().c_str());
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--bindir DIR] [--out FILE] [--compare FILE]\n"
+                   "                    [--tolerance F] [--jobs N] [--smoke]\n");
+      return 2;
+    }
+  }
+  const int threads = static_cast<int>(std::thread::hardware_concurrency());
+  const int jobs = opt.jobs > 0 ? opt.jobs : std::max(threads, 1);
+  // Smoke mode trades precision for runtime so CI can gate on it.
+  const char* min_time = opt.smoke ? "0.05" : "0.5";
+  const int sepcheck_runs = opt.smoke ? 3 : 15;
+
+  const std::string machine =
+      opt.bindir + "/bench/bench_machine --benchmark_format=json --benchmark_min_time=" +
+      min_time + " --benchmark_filter='BM_InstructionThroughput'";
+  const std::string separability =
+      opt.bindir +
+      "/bench/bench_separability --notables --benchmark_format=json --benchmark_min_time=" +
+      min_time + " --benchmark_filter='BM_ExhaustiveCheck'";
+
+  std::fprintf(stderr, "bench_report: running bench_machine...\n");
+  const std::map<std::string, double> m1 = ParseItemsPerSecond(Capture(machine));
+  std::fprintf(stderr, "bench_report: running bench_separability...\n");
+  const std::map<std::string, double> m2 = ParseItemsPerSecond(Capture(separability));
+  std::fprintf(stderr, "bench_report: timing sepcheck...\n");
+  const std::string sepcheck = opt.bindir + "/tools/sepcheck --all";
+  const double sepcheck_serial = BestSeconds(sepcheck + " > /dev/null", sepcheck_runs);
+  const double sepcheck_parallel =
+      BestSeconds(sepcheck + " --jobs " + std::to_string(jobs) + " > /dev/null", sepcheck_runs);
+
+  const double cached = Metric(m1, "BM_InstructionThroughput");
+  const double uncached = Metric(m1, "BM_InstructionThroughputNoCache");
+  const double ex_serial = Metric(m2, "BM_ExhaustiveCheck");
+  const double ex_parallel = Metric(m2, "BM_ExhaustiveCheckParallel");
+
+  std::map<std::string, double> metrics;
+  metrics["insn_throughput_cached_ips"] = cached;
+  metrics["insn_throughput_uncached_ips"] = uncached;
+  metrics["predecode_speedup"] = cached / uncached;
+  metrics["exhaustive_serial_sps"] = ex_serial;
+  metrics["exhaustive_parallel_sps"] = ex_parallel;
+  metrics["exhaustive_parallel_speedup"] = ex_parallel / ex_serial;
+  metrics["sepcheck_all_seconds"] = sepcheck_serial;
+  metrics["sepcheck_jobs_seconds"] = sepcheck_parallel;
+
+  // Ratios only: absolute rates swing with host speed, ratios are the
+  // design-level claims (the cache pays; parallelism pays given cores).
+  // exhaustive_parallel_speedup is deliberately unguarded — on a 1-core
+  // host it is honestly <= 1.
+  const std::vector<std::string> guarded = {"predecode_speedup"};
+
+  std::string json = "{\n  \"schema\": \"sep-bench-v1\",\n";
+  json += "  \"host\": {\"hardware_threads\": " + std::to_string(threads) + "},\n";
+  json += "  \"config\": {\"smoke\": " + std::string(opt.smoke ? "true" : "false") +
+          ", \"jobs\": " + std::to_string(jobs) + "},\n";
+  json += "  \"metrics\": {\n";
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%s    \"%s\": %.6g", first ? "" : ",\n", name.c_str(),
+                  value);
+    json += line;
+    first = false;
+  }
+  json += "\n  },\n  \"guarded_metrics\": [";
+  for (std::size_t i = 0; i < guarded.size(); ++i) {
+    json += (i ? ", \"" : "\"") + guarded[i] + "\"";
+  }
+  json += "]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!opt.out.empty()) {
+    FILE* f = std::fopen(opt.out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", opt.out.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+  if (!opt.compare.empty()) {
+    const std::string baseline = ReadFile(opt.compare);
+    int failures = 0;
+    for (const std::string& name : guarded) {
+      double base = 0;
+      if (!JsonNumber(baseline, name, &base) || base <= 0) {
+        std::fprintf(stderr, "bench_report: baseline lacks %s; skipping\n", name.c_str());
+        continue;
+      }
+      const double current = metrics[name];
+      const double floor = base * (1.0 - opt.tolerance);
+      if (current < floor) {
+        std::fprintf(stderr,
+                     "bench_report: REGRESSION %s: %.3f < %.3f (baseline %.3f - %.0f%%)\n",
+                     name.c_str(), current, floor, base, opt.tolerance * 100);
+        ++failures;
+      } else {
+        std::fprintf(stderr, "bench_report: ok %s: %.3f (baseline %.3f)\n", name.c_str(),
+                     current, base);
+      }
+    }
+    if (failures > 0) return 1;
+  }
+  return 0;
+}

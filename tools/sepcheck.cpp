@@ -1,7 +1,7 @@
 // sepcheck: static separability linter for SM-11 guest programs.
 //
-//   sepcheck --all [--json] [--probe]     lint the in-tree guest catalogue
-//   sepcheck [options] program.s          lint one assembly file
+//   sepcheck --all [--json] [--probe] [--jobs N]   lint the in-tree catalogue
+//   sepcheck [options] program.s                   lint one assembly file
 //
 // File-mode options:
 //   --words N     partition size in words (default 512)
@@ -13,12 +13,17 @@
 // guests certify (possibly via discharged findings), negative fixtures are
 // flagged. With --probe it additionally runs the machine-level two-run
 // semantic probe on entries that carry one and checks the expected verdict
-// (the EXPERIMENTS.md E14 table).
+// (the EXPERIMENTS.md E14 table). --jobs N analyzes entries on N threads
+// (0 = all hardware threads); output stays in catalogue order.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/base/thread_pool.h"
 
 #include "src/analysis/finding.h"
 #include "src/base/result.h"
@@ -38,7 +43,7 @@ using sepcheck::SystemAnalysis;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sepcheck --all [--json] [--probe]\n"
+               "usage: sepcheck --all [--json] [--probe] [--jobs N]\n"
                "       sepcheck [--words N] [--devices N] [--bare] [--json] program.s\n");
   return 2;
 }
@@ -61,55 +66,77 @@ int DischargedCount(const std::vector<Finding>& findings) {
   return n;
 }
 
-int RunAll(bool json, bool probe) {
-  int failures = 0;
-  for (const CatalogEntry& entry : Catalog()) {
-    Result<SystemAnalysis> analysis = AnalyzeSystem(entry.spec);
-    if (!analysis.ok()) {
-      std::fprintf(stderr, "%s: %s\n", entry.name.c_str(), analysis.error().c_str());
-      ++failures;
-      continue;
-    }
-    const int discharged = DischargedCount(analysis->findings);
-    bool ok = analysis->certified == entry.expect_certified &&
-              (!entry.expect_discharged || discharged > 0);
+// The outcome of analyzing one catalogue entry, buffered so entries can be
+// analyzed in parallel and still print in catalogue order.
+struct EntryOutcome {
+  std::string out;  // stdout text
+  std::string err;  // stderr text
+  bool ok = false;
+};
 
-    std::string semantic = "-";
-    if (probe && entry.has_probe) {
-      Result<bool> leaks =
-          MachineSemanticallyLeaks([&] { return BuildEntrySystem(entry); }, entry.probe);
-      if (!leaks.ok()) {
-        std::fprintf(stderr, "%s: probe: %s\n", entry.name.c_str(), leaks.error().c_str());
-        ok = false;
-      } else {
-        semantic = *leaks ? "leaks" : "secure";
-        if (*leaks != entry.probe_expect_leak) ok = false;
-      }
-    }
+EntryOutcome CheckEntry(const CatalogEntry& entry, bool json, bool probe) {
+  EntryOutcome r;
+  Result<SystemAnalysis> analysis = AnalyzeSystem(entry.spec);
+  if (!analysis.ok()) {
+    r.err = Format("%s: %s\n", entry.name.c_str(), analysis.error().c_str());
+    return r;
+  }
+  const int discharged = DischargedCount(analysis->findings);
+  r.ok = analysis->certified == entry.expect_certified &&
+         (!entry.expect_discharged || discharged > 0);
 
-    if (json) {
-      std::printf("%s", FormatFindings(analysis->findings, /*json=*/true).c_str());
-      std::printf(
-          "{\"entry\":\"%s\",\"certified\":%s,\"discharged\":%d,"
-          "\"semantic\":\"%s\",\"expected\":%s}\n",
-          entry.name.c_str(), analysis->certified ? "true" : "false", discharged,
-          semantic.c_str(), ok ? "true" : "false");
+  std::string semantic = "-";
+  if (probe && entry.has_probe) {
+    Result<bool> leaks =
+        MachineSemanticallyLeaks([&] { return BuildEntrySystem(entry); }, entry.probe);
+    if (!leaks.ok()) {
+      r.err += Format("%s: probe: %s\n", entry.name.c_str(), leaks.error().c_str());
+      r.ok = false;
     } else {
-      std::printf("== %s: %zu regime(s), %zu channel(s), %s\n", entry.name.c_str(),
-                  entry.spec.regimes.size(), entry.spec.channels.size(),
-                  entry.spec.cut_channels ? "cut" : "uncut");
-      std::printf("%s", FormatFindings(analysis->findings, /*json=*/false).c_str());
-      std::printf("   verdict: %s (%d discharged)%s%s — %s\n",
-                  analysis->certified ? "CERTIFIED" : "FLAGGED", discharged,
-                  probe && entry.has_probe ? ", semantic: " : "",
-                  probe && entry.has_probe ? semantic.c_str() : "",
-                  ok ? "as expected" : "UNEXPECTED");
+      semantic = *leaks ? "leaks" : "secure";
+      if (*leaks != entry.probe_expect_leak) r.ok = false;
     }
-    if (!ok) ++failures;
+  }
+
+  if (json) {
+    r.out = FormatFindings(analysis->findings, /*json=*/true);
+    r.out += Format(
+        "{\"entry\":\"%s\",\"certified\":%s,\"discharged\":%d,"
+        "\"semantic\":\"%s\",\"expected\":%s}\n",
+        entry.name.c_str(), analysis->certified ? "true" : "false", discharged,
+        semantic.c_str(), r.ok ? "true" : "false");
+  } else {
+    r.out = Format("== %s: %zu regime(s), %zu channel(s), %s\n", entry.name.c_str(),
+                   entry.spec.regimes.size(), entry.spec.channels.size(),
+                   entry.spec.cut_channels ? "cut" : "uncut");
+    r.out += FormatFindings(analysis->findings, /*json=*/false);
+    r.out += Format("   verdict: %s (%d discharged)%s%s — %s\n",
+                    analysis->certified ? "CERTIFIED" : "FLAGGED", discharged,
+                    probe && entry.has_probe ? ", semantic: " : "",
+                    probe && entry.has_probe ? semantic.c_str() : "",
+                    r.ok ? "as expected" : "UNEXPECTED");
+  }
+  return r;
+}
+
+int RunAll(bool json, bool probe, int jobs) {
+  // Materialize the catalogue before fanning out; entry analysis itself is
+  // pure (clone-based machine runs, no shared mutable state).
+  const std::vector<CatalogEntry>& catalog = Catalog();
+  std::vector<EntryOutcome> outcomes(catalog.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(catalog.size(), [&](std::size_t i) {
+    outcomes[i] = CheckEntry(catalog[i], json, probe);
+  });
+
+  int failures = 0;
+  for (const EntryOutcome& r : outcomes) {
+    if (!r.err.empty()) std::fputs(r.err.c_str(), stderr);
+    if (!r.out.empty()) std::fputs(r.out.c_str(), stdout);
+    if (!r.ok) ++failures;
   }
   if (!json) {
-    std::printf("%d of %zu catalogue entries off expectation\n", failures,
-                Catalog().size());
+    std::printf("%d of %zu catalogue entries off expectation\n", failures, catalog.size());
   }
   return failures == 0 ? 0 : 1;
 }
@@ -152,6 +179,7 @@ int main(int argc, char** argv) {
   bool bare = false;
   std::uint32_t words = 512;
   int devices = 0;
+  int jobs = 1;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -168,6 +196,8 @@ int main(int argc, char** argv) {
       words = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
     } else if (arg == "--devices" && i + 1 < argc) {
       devices = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -176,7 +206,7 @@ int main(int argc, char** argv) {
   }
 
   if (all) {
-    return sep::RunAll(json, probe);
+    return sep::RunAll(json, probe, jobs);
   }
   if (path.empty()) {
     return sep::Usage();
