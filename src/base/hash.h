@@ -56,6 +56,35 @@ inline std::uint64_t HashBytes(std::string_view bytes) {
   return Hasher().MixBytes(bytes).digest();
 }
 
+// splitmix64 finalizer: a full-avalanche mix of one 64-bit lane.
+inline constexpr std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Fast hash over a span of words, four words per mix round. The exhaustive
+// checker hashes whole serialized machine states (thousands of words) per
+// interned state and per open-addressing probe; the byte-at-a-time FNV
+// Hasher above would dominate that path. Digests are never persisted, so
+// this function only needs to be deterministic within one process.
+inline std::uint64_t HashWords(const std::uint16_t* words, std::size_t count) {
+  std::uint64_t h = Mix64(count + 0x9E3779B97F4A7C15ULL);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const std::uint64_t lane = static_cast<std::uint64_t>(words[i]) |
+                               (static_cast<std::uint64_t>(words[i + 1]) << 16) |
+                               (static_cast<std::uint64_t>(words[i + 2]) << 32) |
+                               (static_cast<std::uint64_t>(words[i + 3]) << 48);
+    h = Mix64(h ^ lane) + 0x9E3779B97F4A7C15ULL;
+  }
+  std::uint64_t tail = 0;
+  for (int shift = 0; i < count; ++i, shift += 16) {
+    tail |= static_cast<std::uint64_t>(words[i]) << shift;
+  }
+  return Mix64(h ^ tail);
+}
+
 }  // namespace sep
 
 #endif  // SRC_BASE_HASH_H_

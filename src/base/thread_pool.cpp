@@ -9,13 +9,15 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+thread_local int ThreadPool::worker_index_ = 0;
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = HardwareThreads();
   }
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, i] { WorkerMain(i + 1); });
   }
 }
 
@@ -30,17 +32,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
-  if (n == 0) {
-    return;
-  }
-  if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      body(i);
-    }
-    return;
-  }
-
+void ThreadPool::ParallelForPooled(std::size_t n, const std::function<void(std::size_t)>& body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     SEP_CHECK(body_ == nullptr);  // not reentrant
@@ -67,7 +59,8 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
   n_ = 0;
 }
 
-void ThreadPool::WorkerMain() {
+void ThreadPool::WorkerMain(int index) {
+  worker_index_ = index;
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* body = nullptr;

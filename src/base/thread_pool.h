@@ -41,12 +41,40 @@ class ThreadPool {
   // unspecified threads (including the caller), and returns once all calls
   // completed. Not reentrant: body must not call ParallelFor on this pool.
   // Bodies must not throw.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+  //
+  // With no workers or a single iteration the loop runs inline on the
+  // caller: no std::function is materialized, no task is posted and no
+  // condition-variable round trip happens, so single-thread hosts pay plain
+  // loop cost (BENCH_3's exhaustive_parallel_speedup 0.96 was exactly this
+  // overhead). Only the pooled path type-erases the body.
+  template <typename Body>
+  void ParallelFor(std::size_t n, Body&& body) {
+    if (n == 0) {
+      return;
+    }
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        body(i);
+      }
+      return;
+    }
+    const std::function<void(std::size_t)> fn = std::ref(body);
+    ParallelForPooled(n, fn);
+  }
+
+  // Index of the calling thread within this pool's parallelism: 0 for the
+  // thread that owns the pool (and runs inline / participates in jobs),
+  // 1..workers for pool workers. Callers use it to pick a scratch slot that
+  // is theirs for the duration of one ParallelFor body.
+  static int CurrentWorkerIndex() { return worker_index_; }
 
   static int HardwareThreads();
 
  private:
-  void WorkerMain();
+  void ParallelForPooled(std::size_t n, const std::function<void(std::size_t)>& body);
+  void WorkerMain(int index);
+
+  static thread_local int worker_index_;
 
   std::vector<std::thread> workers_;
 

@@ -1,11 +1,12 @@
 #include "src/core/exhaustive.h"
 
 #include <algorithm>
-#include <deque>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <utility>
 
+#include "src/base/arena.h"
 #include "src/base/hash.h"
 #include "src/base/logging.h"
 #include "src/base/strings.h"
@@ -19,17 +20,147 @@ namespace {
 // not by locking: workers compute pure per-state / per-pair results into
 // preallocated slots, and a single merge thread replays those results in the
 // canonical order the serial checker would have produced them. All shared
-// structures (the intern table, the report, the frontier) are touched only by
+// structures (the state store, the report, the frontier) are touched only by
 // the merge thread, or read-only while a ParallelFor is in flight. A run with
 // options.threads == 1 takes the same code path with an inline loop, so
 // "serial" is not a separate implementation that could drift.
+//
+// No live SharedSystem is retained per explored state. Each state exists
+// only as its serialized FullState() words in the StateStore below; workers
+// reconstruct live machines on demand (RestoreFullState) into per-worker
+// scratch instances. Peak memory is therefore O(serialized words) — and
+// because the store deduplicates content chunks across states, typically far
+// less than one full serialization per state.
 
-struct KeyHash {
-  std::size_t operator()(const std::vector<Word>& key) const {
-    Hasher h;
-    h.MixRange(key);
-    return static_cast<std::size_t>(h.digest());
+// Compact interned storage for serialized states.
+//
+// Layout: serializations are cut into kChunkWords-word chunks at fixed
+// offsets and each distinct chunk is stored once in a flat arena
+// (`chunk_words_`). A state is its sequence of chunk ids plus its exact word
+// count (serializations vary in length when device queues grow). Reachable
+// states of one system differ in a handful of memory pages, so chunk
+// interning stores the common content once; per state the store holds
+// ~(words / kChunkWords) chunk ids instead of the words themselves.
+//
+// Both hash tables keep precomputed 64-bit hashes in flat arrays
+// (`chunk_hashes_`, `state_hashes_`), so a probe compares hashes first and
+// never re-hashes stored content.
+class StateStore {
+ public:
+  static constexpr std::size_t kChunkWords = 64;
+
+  std::size_t size() const { return state_lens_.size(); }
+  std::uint64_t state_hash(std::int32_t id) const {
+    return state_hashes_[static_cast<std::size_t>(id)];
   }
+
+  // Read-only probe; safe concurrently with other probes (workers run it
+  // against the frozen store while a level expands).
+  std::int32_t Find(std::uint64_t hash, const Word* key, std::size_t count) const {
+    return state_index_.Find(
+        hash, [&](std::int32_t id) { return StateEquals(id, hash, key, count); });
+  }
+
+  // Merge-thread only. Returns the id of an equal existing state or interns
+  // a new one.
+  std::int32_t Intern(std::uint64_t hash, const Word* key, std::size_t count) {
+    const std::int32_t found = Find(hash, key, count);
+    if (found >= 0) {
+      return found;
+    }
+    const std::int32_t id = static_cast<std::int32_t>(size());
+    for (std::size_t base = 0; base < count; base += kChunkWords) {
+      state_chunks_.push_back(InternChunk(key + base, std::min(kChunkWords, count - base)));
+    }
+    state_offsets_.push_back(static_cast<std::uint32_t>(state_chunks_.size()));
+    state_lens_.push_back(static_cast<std::uint32_t>(count));
+    state_hashes_.push_back(hash);
+    state_index_.Insert(hash, id, [&](std::int32_t existing) {
+      return state_hashes_[static_cast<std::size_t>(existing)];
+    });
+    return id;
+  }
+
+  // Reconstructs state `id`'s serialized words into `out`.
+  void Materialize(std::int32_t id, std::vector<Word>& out) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    out.clear();
+    out.reserve(state_lens_[i]);
+    for (std::uint32_t c = (i == 0 ? 0 : state_offsets_[i - 1]); c < state_offsets_[i]; ++c) {
+      const std::uint32_t chunk = state_chunks_[c];
+      out.insert(out.end(), chunk_words_.begin() + chunk_offsets_[chunk],
+                 chunk_words_.begin() + chunk_offsets_[chunk + 1]);
+    }
+  }
+
+  // Resident footprint: arenas, per-state tables and hash indexes.
+  std::size_t bytes() const {
+    return chunk_words_.capacity() * sizeof(Word) +
+           chunk_offsets_.capacity() * sizeof(std::uint32_t) +
+           chunk_hashes_.capacity() * sizeof(std::uint64_t) +
+           state_chunks_.capacity() * sizeof(std::uint32_t) +
+           state_offsets_.capacity() * sizeof(std::uint32_t) +
+           state_lens_.capacity() * sizeof(std::uint32_t) +
+           state_hashes_.capacity() * sizeof(std::uint64_t) + state_index_.bytes() +
+           chunk_index_.bytes();
+  }
+
+ private:
+  bool StateEquals(std::int32_t id, std::uint64_t hash, const Word* key,
+                   std::size_t count) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    if (state_hashes_[i] != hash || state_lens_[i] != count) {
+      return false;
+    }
+    std::size_t pos = 0;
+    for (std::uint32_t c = (i == 0 ? 0 : state_offsets_[i - 1]); c < state_offsets_[i]; ++c) {
+      const std::uint32_t chunk = state_chunks_[c];
+      const std::size_t len = chunk_offsets_[chunk + 1] - chunk_offsets_[chunk];
+      if (std::memcmp(chunk_words_.data() + chunk_offsets_[chunk], key + pos,
+                      len * sizeof(Word)) != 0) {
+        return false;
+      }
+      pos += len;
+    }
+    return true;
+  }
+
+  std::uint32_t InternChunk(const Word* words, std::size_t count) {
+    const std::uint64_t hash = HashWords(words, count);
+    const std::int32_t found = chunk_index_.Find(hash, [&](std::int32_t id) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      return chunk_hashes_[i] == hash &&
+             chunk_offsets_[i + 1] - chunk_offsets_[i] == count &&
+             std::memcmp(chunk_words_.data() + chunk_offsets_[i], words,
+                         count * sizeof(Word)) == 0;
+    });
+    if (found >= 0) {
+      return static_cast<std::uint32_t>(found);
+    }
+    const std::int32_t id = static_cast<std::int32_t>(chunk_hashes_.size());
+    chunk_words_.insert(chunk_words_.end(), words, words + count);
+    chunk_offsets_.push_back(static_cast<std::uint32_t>(chunk_words_.size()));
+    chunk_hashes_.push_back(hash);
+    chunk_index_.Insert(hash, id, [&](std::int32_t existing) {
+      return chunk_hashes_[static_cast<std::size_t>(existing)];
+    });
+    return static_cast<std::uint32_t>(id);
+  }
+
+  // Chunk arena: chunk i occupies chunk_words_[chunk_offsets_[i] ..
+  // chunk_offsets_[i + 1]).
+  std::vector<Word> chunk_words_;
+  std::vector<std::uint32_t> chunk_offsets_{0};
+  std::vector<std::uint64_t> chunk_hashes_;
+  HashIndex chunk_index_;
+
+  // Per-state tables: state i's chunk ids occupy state_chunks_[
+  // state_offsets_[i - 1] .. state_offsets_[i]) (0 for i == 0).
+  std::vector<std::uint32_t> state_chunks_;
+  std::vector<std::uint32_t> state_offsets_;
+  std::vector<std::uint32_t> state_lens_;
+  std::vector<std::uint64_t> state_hashes_;
+  HashIndex state_index_;
 };
 
 // One Check() call, precomputed on a worker. The description is built only
@@ -41,17 +172,35 @@ struct CheckRecord {
   std::string description;
 };
 
-// One successor transition, precomputed on a worker.
-struct SuccessorRecord {
+// One successor transition, precomputed on a worker. The serialized
+// successor lives in the owning ExpandResult's flat `words` buffer unless
+// the worker already matched it against the frozen state store.
+struct SuccessorRec {
+  std::uint32_t check_begin = 0;
+  std::uint32_t check_end = 0;
+  std::int32_t frozen_id = -1;  // >= 0: already interned before this level
+  std::uint64_t hash = 0;
+  std::uint32_t key_begin = 0;
+  std::uint32_t key_end = 0;
+};
+
+// All successors of one expanded state. Flat buffers; cleared (capacity
+// retained) per chunk rather than reallocated.
+struct ExpandResult {
   std::vector<CheckRecord> checks;
-  std::vector<Word> key;  // FullState() of the successor
-  // The successor itself; null if the worker already matched `key` against
-  // the (frozen) intern table and the clone could be dropped early.
-  std::unique_ptr<SharedSystem> state;
+  std::vector<SuccessorRec> succs;
+  std::vector<Word> words;
+
+  void Clear() {
+    checks.clear();
+    succs.clear();
+    words.clear();
+  }
 };
 
 // States expanded per ParallelFor batch. Bounds both the memory held in
-// not-yet-merged clones and the work wasted past the max_violations cutoff.
+// not-yet-merged serializations and the work wasted past the max_violations
+// cutoff.
 constexpr std::size_t kLevelChunk = 64;
 // Φ-equal pairs checked per ParallelFor batch.
 constexpr std::size_t kPairChunk = 512;
@@ -60,25 +209,69 @@ class ExhaustiveRun {
  public:
   ExhaustiveRun(const SharedSystem& initial, const ExhaustiveOptions& options)
       : options_(options), initial_(initial.Clone()), pool_(options.threads) {
-    index_.reserve(std::min<std::size_t>(options_.max_states, std::size_t{1} << 20) + 1);
+    scratch_.resize(static_cast<std::size_t>(pool_.size()));
   }
 
   ExhaustiveReport Run() {
-    if (!initial_->FullState().has_value()) {
+    std::optional<std::vector<Word>> init_key = initial_->FullState();
+    if (!init_key.has_value()) {
       report_.violations.push_back(
           {0, kColourNone, 0, "system does not support FullState(); exhaustive mode needs it"});
       return std::move(report_);
     }
+    // Probe restore support once, by restoring the initial state onto a
+    // throwaway clone (self-restore would mask asymmetric encodings).
+    if (!initial_->Clone()->RestoreFullState(*init_key)) {
+      report_.violations.push_back({0, kColourNone, 0,
+                                    "system does not support RestoreFullState(); the compact "
+                                    "exhaustive checker needs it"});
+      return std::move(report_);
+    }
 
-    Explore();
-    if (report_.complete || states_.size() <= options_.max_states) {
+    Explore(*init_key);
+    if (report_.complete || store_.size() <= options_.max_states) {
       CheckPairs();
     }
-    report_.states_explored = states_.size();
+    report_.states_explored = store_.size();
+    report_.peak_state_bytes = store_.bytes();
+    for (const Scratch& sc : scratch_) {
+      report_.restore_count += sc.restores;
+    }
     return std::move(report_);
   }
 
  private:
+  // Per-worker scratch: two live systems reconstructed on demand plus the
+  // reusable buffers of every hot loop. Indexed by the pool's worker index;
+  // never touched by two threads at once.
+  struct Scratch {
+    std::unique_ptr<SharedSystem> base;  // the "from" / first-of-pair state
+    std::unique_ptr<SharedSystem> work;  // mutated per successor / per probe
+    std::vector<Word> key_a;             // materialized serializations
+    std::vector<Word> key_b;
+    std::vector<Word> ser;   // successor serialization scratch
+    std::vector<Word> phi_a;  // abstraction scratch
+    std::vector<Word> phi_b;
+    std::vector<std::vector<Word>> before_phi;  // per-colour Φ of the from state
+    std::uint64_t restores = 0;
+  };
+
+  Scratch& ScratchHere() {
+    Scratch& sc = scratch_[static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex())];
+    if (sc.base == nullptr) {
+      sc.base = initial_->Clone();
+      sc.work = initial_->Clone();
+      sc.before_phi.resize(static_cast<std::size_t>(initial_->ColourCount()));
+    }
+    return sc;
+  }
+
+  static void Restore(SharedSystem& sys, std::span<const Word> key, Scratch& sc) {
+    const bool ok = sys.RestoreFullState(key);
+    SEP_CHECK(ok);
+    ++sc.restores;
+  }
+
   // --- merge-thread-only state mutation ---
 
   void Check(int condition, int colour, bool ok, const std::string& description) {
@@ -92,29 +285,11 @@ class ExhaustiveRun {
     }
   }
 
-  void Replay(const std::vector<CheckRecord>& checks) {
-    for (const CheckRecord& r : checks) {
+  void Replay(const std::vector<CheckRecord>& checks, std::uint32_t begin, std::uint32_t end) {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const CheckRecord& r = checks[i];
       Check(r.condition, r.colour, r.ok, r.description);
     }
-  }
-
-  // Registers a state if new; returns its index or -1 on budget overflow.
-  // `state` may be null only when the key is already interned.
-  int Intern(std::vector<Word> key, std::unique_ptr<SharedSystem> state) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      return it->second;
-    }
-    if (states_.size() >= options_.max_states) {
-      overflowed_ = true;
-      return -1;
-    }
-    SEP_CHECK(state != nullptr);
-    const int id = static_cast<int>(states_.size());
-    states_.push_back(std::move(state));
-    frontier_.push_back(id);
-    index_.emplace(std::move(key), id);
-    return id;
   }
 
   bool Done() const {
@@ -123,69 +298,93 @@ class ExhaustiveRun {
 
   // --- worker-side pure computation ---
 
+  // Records one check outcome; the description is rendered only on failure.
+  template <typename MakeDescription>
   static void Record(std::vector<CheckRecord>& out, int condition, int colour, bool ok,
-                     std::string description_if_failed) {
-    out.push_back({condition, colour, ok, ok ? std::string() : std::move(description_if_failed)});
+                     MakeDescription&& description) {
+    out.push_back({condition, colour, ok, ok ? std::string() : description()});
   }
 
-  // One successor of `from`: apply `mutate` to a clone, record the
-  // per-transition checks, serialize the result. Reads shared state
-  // only through const methods; safe to run concurrently.
+  // Appends Φ^colour of `sys` into `buf` (cleared first) and compares it
+  // against `expected`.
+  static bool SamePhi(const SharedSystem& sys, int colour, std::vector<Word>& buf,
+                      const std::vector<Word>& expected) {
+    buf.clear();
+    sys.AppendAbstract(colour, buf);
+    return buf == expected;
+  }
+
+  // One successor of the state held in sc.base / sc.key_a: reconstruct it in
+  // sc.work, apply `mutate`, record the per-transition checks, serialize the
+  // result and match it against the frozen store. Reads shared state only
+  // through const methods; safe to run concurrently.
   template <typename Mutate, typename PerColourCheck>
-  void Successor(const SharedSystem& from, std::vector<SuccessorRecord>& out, Mutate mutate,
-                 PerColourCheck check) const {
-    SuccessorRecord rec;
-    std::unique_ptr<SharedSystem> next = from.Clone();
-    mutate(*next);
-    check(from, *next, rec.checks);
-    std::optional<std::vector<Word>> key = next->FullState();
-    rec.key = std::move(*key);
-    // Drop clones of already-interned states early: the table is frozen
-    // during expansion, so a hit here is still a hit at merge time.
-    if (index_.find(rec.key) == index_.end()) {
-      rec.state = std::move(next);
+  void Successor(Scratch& sc, ExpandResult& out, Mutate mutate, PerColourCheck check) {
+    Restore(*sc.work, sc.key_a, sc);
+    mutate(*sc.work);
+    SuccessorRec rec;
+    rec.check_begin = static_cast<std::uint32_t>(out.checks.size());
+    check(*sc.work, sc, out.checks);
+    rec.check_end = static_cast<std::uint32_t>(out.checks.size());
+    sc.ser.clear();
+    sc.work->AppendFullState(sc.ser);
+    rec.hash = HashWords(sc.ser.data(), sc.ser.size());
+    // Drop serializations of already-interned states early: the store is
+    // frozen during expansion, so a hit here is still a hit at merge time.
+    rec.frozen_id = store_.Find(rec.hash, sc.ser.data(), sc.ser.size());
+    if (rec.frozen_id < 0) {
+      rec.key_begin = static_cast<std::uint32_t>(out.words.size());
+      out.words.insert(out.words.end(), sc.ser.begin(), sc.ser.end());
+      rec.key_end = static_cast<std::uint32_t>(out.words.size());
     }
-    out.push_back(std::move(rec));
+    out.succs.push_back(rec);
   }
 
   // Every successor of one state, in the canonical order the serial checker
   // generates them: the operation, then each input value into each unit,
   // then each unit's activity.
-  void ExpandState(int from, std::vector<SuccessorRecord>& out) const {
-    const SharedSystem& s = *states_[static_cast<std::size_t>(from)];
+  void ExpandState(std::int32_t from, ExpandResult& out) {
+    Scratch& sc = ScratchHere();
+    store_.Materialize(from, sc.key_a);
+    Restore(*sc.base, sc.key_a, sc);
+
     const int colours = initial_->ColourCount();
     const int units = initial_->UnitCount();
+    for (int c = 0; c < colours; ++c) {
+      sc.before_phi[static_cast<std::size_t>(c)].clear();
+      sc.base->AppendAbstract(c, sc.before_phi[static_cast<std::size_t>(c)]);
+    }
 
     // (a) the operation NEXTOP(s).
-    const int active = s.Colour();
+    const int active = sc.base->Colour();
     Successor(
-        s, out, [](SharedSystem& sys) { sys.ExecuteOperation(); },
-        [&](const SharedSystem& before, const SharedSystem& after,
-            std::vector<CheckRecord>& checks) {
+        sc, out, [](SharedSystem& sys) { sys.ExecuteOperation(); },
+        [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
           for (int c = 0; c < colours; ++c) {
             if (c != active) {
-              const bool ok = before.Abstract(c) == after.Abstract(c);
-              Record(checks, 2, c, ok,
-                     ok ? std::string()
-                        : Format("operation of colour %d changed Φ of colour %d", active, c));
+              const bool ok =
+                  SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
+              Record(checks, 2, c, ok, [&] {
+                return Format("operation of colour %d changed Φ of colour %d", active, c);
+              });
             }
           }
         });
 
     // (b) every input in the alphabet, into every unit.
     for (int unit = 0; unit < units; ++unit) {
-      const int owner = s.UnitColour(unit);
+      const int owner = initial_->UnitColour(unit);
       for (int value = 1; value <= options_.inputs_per_unit; ++value) {
         Successor(
-            s, out, [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
-            [&](const SharedSystem& before, const SharedSystem& after,
-                std::vector<CheckRecord>& checks) {
+            sc, out, [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
+            [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
               for (int c = 0; c < colours; ++c) {
                 if (c != owner) {
-                  const bool ok = before.Abstract(c) == after.Abstract(c);
-                  Record(checks, 4, c, ok,
-                         ok ? std::string()
-                            : Format("input to unit %d visible to colour %d", unit, c));
+                  const bool ok =
+                      SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
+                  Record(checks, 4, c, ok, [&] {
+                    return Format("input to unit %d visible to colour %d", unit, c);
+                  });
                 }
               }
             });
@@ -194,54 +393,70 @@ class ExhaustiveRun {
 
     // (c) every unit's activity.
     for (int unit = 0; unit < units; ++unit) {
-      const int owner = s.UnitColour(unit);
+      const int owner = initial_->UnitColour(unit);
       Successor(
-          s, out,
+          sc, out,
           [&](SharedSystem& sys) {
             sys.StepUnit(unit);
             (void)sys.DrainOutput(unit);  // keep the state space bounded
           },
-          [&](const SharedSystem& before, const SharedSystem& after,
-              std::vector<CheckRecord>& checks) {
+          [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
             for (int c = 0; c < colours; ++c) {
               if (c != owner) {
-                const bool ok = before.Abstract(c) == after.Abstract(c);
-                Record(checks, 4, c, ok,
-                       ok ? std::string()
-                          : Format("activity of unit %d visible to colour %d", unit, c));
+                const bool ok =
+                    SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
+                Record(checks, 4, c, ok, [&] {
+                  return Format("activity of unit %d visible to colour %d", unit, c);
+                });
               }
             }
           });
     }
   }
 
-  void Explore() {
+  void Explore(const std::vector<Word>& init_key) {
     {
-      std::unique_ptr<SharedSystem> init = initial_->Clone();
-      std::optional<std::vector<Word>> key = init->FullState();
-      Intern(std::move(*key), std::move(init));
+      const std::uint64_t hash = HashWords(init_key.data(), init_key.size());
+      const std::int32_t id = store_.Intern(hash, init_key.data(), init_key.size());
+      frontier_.push_back(id);
     }
 
     // Level-synchronous BFS. The serial checker pops a FIFO frontier, so
     // expanding level by level and merging each level in frontier order
-    // assigns every state the same index the serial run would.
-    std::vector<int> level;
-    std::vector<std::vector<SuccessorRecord>> records;
-    while (!frontier_.empty() && !Done()) {
-      level.assign(frontier_.begin(), frontier_.end());
+    // assigns every state the same index the serial run would. Once the
+    // state budget overflows, expansion stops immediately — the rest of the
+    // level would only grow a report already marked incomplete.
+    std::vector<std::int32_t> level;
+    std::vector<ExpandResult> records(kLevelChunk);
+    while (!frontier_.empty() && !Done() && !overflowed_) {
+      level.swap(frontier_);
       frontier_.clear();
 
-      for (std::size_t base = 0; base < level.size() && !Done(); base += kLevelChunk) {
+      for (std::size_t base = 0; base < level.size() && !Done() && !overflowed_;
+           base += kLevelChunk) {
         const std::size_t count = std::min(kLevelChunk, level.size() - base);
-        records.clear();
-        records.resize(count);
-        pool_.ParallelFor(count,
-                          [&](std::size_t i) { ExpandState(level[base + i], records[i]); });
-        for (std::size_t i = 0; i < count && !Done(); ++i) {
-          for (SuccessorRecord& rec : records[i]) {
+        for (std::size_t i = 0; i < count; ++i) {
+          records[i].Clear();
+        }
+        pool_.ParallelFor(count, [&](std::size_t i) { ExpandState(level[base + i], records[i]); });
+        for (std::size_t i = 0; i < count && !Done() && !overflowed_; ++i) {
+          for (const SuccessorRec& rec : records[i].succs) {
             ++report_.transitions;
-            Replay(rec.checks);
-            Intern(std::move(rec.key), std::move(rec.state));
+            Replay(records[i].checks, rec.check_begin, rec.check_end);
+            if (rec.frozen_id >= 0) {
+              continue;  // known state; nothing to intern
+            }
+            const Word* key = records[i].words.data() + rec.key_begin;
+            const std::size_t len = rec.key_end - rec.key_begin;
+            const std::int32_t existing = store_.Find(rec.hash, key, len);
+            if (existing >= 0) {
+              continue;  // duplicate within this level
+            }
+            if (store_.size() >= options_.max_states) {
+              overflowed_ = true;
+              break;
+            }
+            frontier_.push_back(store_.Intern(rec.hash, key, len));
           }
         }
       }
@@ -250,106 +465,137 @@ class ExhaustiveRun {
   }
 
   // The checks of conditions 6, 1, 3 and 5 for one Φ-equal pair, in the
-  // serial checker's order.
-  void CheckPair(int c, int a, int b, std::vector<CheckRecord>& out) const {
+  // serial checker's order. `a` and `b` are reconstructed per probe; the
+  // previous implementation heap-cloned two live machines per probe instead.
+  void CheckPair(int c, std::int32_t a, std::int32_t b, std::vector<CheckRecord>& out) {
+    Scratch& sc = ScratchHere();
     const int units = initial_->UnitCount();
-    const SharedSystem& sa = *states_[static_cast<std::size_t>(a)];
-    const SharedSystem& sb = *states_[static_cast<std::size_t>(b)];
+    store_.Materialize(a, sc.key_a);
+    store_.Materialize(b, sc.key_b);
 
     // Conditions 6 and 1: same colour + same Φ^c.
-    if (sa.Colour() == c && sb.Colour() == c) {
-      const OperationId na = sa.NextOperation();
-      const OperationId nb = sb.NextOperation();
+    if (state_colours_[static_cast<std::size_t>(a)] == c &&
+        state_colours_[static_cast<std::size_t>(b)] == c) {
+      Restore(*sc.base, sc.key_a, sc);
+      Restore(*sc.work, sc.key_b, sc);
+      const OperationId na = sc.base->NextOperation();
+      const OperationId nb = sc.work->NextOperation();
       const bool same_op = na == nb;
-      Record(out, 6, c, same_op,
-             same_op ? std::string()
-                     : Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
-                              na.ToString().c_str(), nb.ToString().c_str()));
-      std::unique_ptr<SharedSystem> ta = sa.Clone();
-      std::unique_ptr<SharedSystem> tb = sb.Clone();
-      ta->ExecuteOperation();
-      tb->ExecuteOperation();
-      Record(out, 1, c, ta->Abstract(c) == tb->Abstract(c),
-             Format("operation effect on colour %d differs across Φ-equal states", c));
+      Record(out, 6, c, same_op, [&] {
+        return Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
+                      na.ToString().c_str(), nb.ToString().c_str());
+      });
+      sc.base->ExecuteOperation();
+      sc.work->ExecuteOperation();
+      sc.phi_a.clear();
+      sc.base->AppendAbstract(c, sc.phi_a);
+      Record(out, 1, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
+        return Format("operation effect on colour %d differs across Φ-equal states", c);
+      });
     }
 
     // Conditions 3 and 5 for each unit of colour c.
     for (int unit = 0; unit < units; ++unit) {
-      if (sa.UnitColour(unit) != c) {
+      if (initial_->UnitColour(unit) != c) {
         continue;
       }
       for (int value = 1; value <= options_.inputs_per_unit; ++value) {
-        std::unique_ptr<SharedSystem> ta = sa.Clone();
-        std::unique_ptr<SharedSystem> tb = sb.Clone();
-        ta->InjectInput(unit, static_cast<Word>(value));
-        tb->InjectInput(unit, static_cast<Word>(value));
-        Record(out, 3, c, ta->Abstract(c) == tb->Abstract(c),
-               Format("input effect on colour %d differs across Φ-equal states", c));
+        Restore(*sc.base, sc.key_a, sc);
+        Restore(*sc.work, sc.key_b, sc);
+        sc.base->InjectInput(unit, static_cast<Word>(value));
+        sc.work->InjectInput(unit, static_cast<Word>(value));
+        sc.phi_a.clear();
+        sc.base->AppendAbstract(c, sc.phi_a);
+        Record(out, 3, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
+          return Format("input effect on colour %d differs across Φ-equal states", c);
+        });
       }
-      std::unique_ptr<SharedSystem> ta = sa.Clone();
-      std::unique_ptr<SharedSystem> tb = sb.Clone();
-      ta->StepUnit(unit);
-      tb->StepUnit(unit);
-      Record(out, 3, c, ta->Abstract(c) == tb->Abstract(c),
-             Format("unit activity on colour %d differs across Φ-equal states", c));
-      Record(out, 5, c, ta->DrainOutput(unit) == tb->DrainOutput(unit),
-             Format("output of colour %d differs across Φ-equal states", c));
+      Restore(*sc.base, sc.key_a, sc);
+      Restore(*sc.work, sc.key_b, sc);
+      sc.base->StepUnit(unit);
+      sc.work->StepUnit(unit);
+      sc.phi_a.clear();
+      sc.base->AppendAbstract(c, sc.phi_a);
+      Record(out, 3, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
+        return Format("unit activity on colour %d differs across Φ-equal states", c);
+      });
+      Record(out, 5, c, sc.base->DrainOutput(unit) == sc.work->DrainOutput(unit), [&] {
+        return Format("output of colour %d differs across Φ-equal states", c);
+      });
     }
   }
 
   // Conditions with a two-state antecedent, over every Φ-equal pair.
   void CheckPairs() {
     const int colours = initial_->ColourCount();
+    const std::size_t n = store_.size();
 
     struct PairTask {
-      int a;
-      int b;
+      std::int32_t a;
+      std::int32_t b;
     };
-    std::vector<std::vector<Word>> keys;
+    // Hoisted across colours and chunks; cleared with capacity retained.
+    std::vector<std::vector<Word>> phis(n);
+    std::vector<int> order(n);
+    state_colours_.assign(n, kColourNone);
     std::vector<PairTask> tasks;
-    std::vector<std::vector<CheckRecord>> outcomes;
+    std::vector<std::vector<CheckRecord>> outcomes(kPairChunk);
+    bool colours_known = false;
 
     for (int c = 0; c < colours && !Done(); ++c) {
-      // Group reachable states by Φ^c. Abstraction is the bulk of the
-      // grouping cost, so compute the keys in parallel first.
-      keys.assign(states_.size(), {});
-      pool_.ParallelFor(states_.size(),
-                        [&](std::size_t i) { keys[i] = states_[i]->Abstract(c).words; });
-      std::unordered_map<std::vector<Word>, std::vector<int>, KeyHash> groups;
-      groups.reserve(states_.size());
-      for (std::size_t i = 0; i < states_.size(); ++i) {
-        groups[keys[i]].push_back(static_cast<int>(i));
-      }
+      // Group reachable states by Φ^c. Each worker reconstructs the state
+      // in its scratch system, computes Φ^c once into the per-state slot
+      // and (on the first colour) records COLOUR(s) so CheckPair can test
+      // its condition-6/1 antecedent without a restore.
+      pool_.ParallelFor(n, [&](std::size_t i) {
+        Scratch& sc = ScratchHere();
+        store_.Materialize(static_cast<std::int32_t>(i), sc.key_a);
+        Restore(*sc.base, sc.key_a, sc);
+        if (!colours_known) {
+          state_colours_[i] = static_cast<std::int8_t>(sc.base->Colour());
+        }
+        phis[i].clear();
+        sc.base->AppendAbstract(c, phis[i]);
+      });
+      colours_known = true;
 
       // Enumerate pairs in the serial order: groups by ascending Φ key (the
-      // order a std::map would iterate), pairs lexicographically within a
-      // group, capped per group.
-      std::vector<const std::vector<Word>*> order;
-      order.reserve(groups.size());
-      for (const auto& [phi, members] : groups) {
-        order.push_back(&phi);
+      // order a std::map would iterate), members by ascending state id,
+      // pairs lexicographically within a group, capped per group.
+      for (std::size_t i = 0; i < n; ++i) {
+        order[i] = static_cast<int>(i);
       }
-      std::sort(order.begin(), order.end(),
-                [](const std::vector<Word>* a, const std::vector<Word>* b) { return *a < *b; });
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (phis[static_cast<std::size_t>(a)] != phis[static_cast<std::size_t>(b)]) {
+          return phis[static_cast<std::size_t>(a)] < phis[static_cast<std::size_t>(b)];
+        }
+        return a < b;
+      });
 
       tasks.clear();
-      for (const std::vector<Word>* phi : order) {
-        const std::vector<int>& members = groups.find(*phi)->second;
+      for (std::size_t begin = 0; begin < n;) {
+        std::size_t end = begin + 1;
+        while (end < n && phis[static_cast<std::size_t>(order[end])] ==
+                              phis[static_cast<std::size_t>(order[begin])]) {
+          ++end;
+        }
         std::size_t pairs = 0;
-        for (std::size_t a = 0; a < members.size(); ++a) {
-          for (std::size_t b = a + 1; b < members.size(); ++b) {
+        for (std::size_t a = begin; a < end; ++a) {
+          for (std::size_t b = a + 1; b < end; ++b) {
             if (++pairs > options_.max_pairs_per_group) {
               break;
             }
-            tasks.push_back({members[a], members[b]});
+            tasks.push_back({order[a], order[b]});
           }
         }
+        begin = end;
       }
 
       for (std::size_t base = 0; base < tasks.size() && !Done(); base += kPairChunk) {
         const std::size_t count = std::min(kPairChunk, tasks.size() - base);
-        outcomes.clear();
-        outcomes.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          outcomes[i].clear();
+        }
         pool_.ParallelFor(count, [&](std::size_t i) {
           const PairTask& t = tasks[base + i];
           CheckPair(c, t.a, t.b, outcomes[i]);
@@ -359,7 +605,7 @@ class ExhaustiveRun {
             return;
           }
           ++report_.pairs_checked;
-          Replay(outcomes[i]);
+          Replay(outcomes[i], 0, static_cast<std::uint32_t>(outcomes[i].size()));
         }
       }
     }
@@ -367,12 +613,13 @@ class ExhaustiveRun {
 
   const ExhaustiveOptions& options_;
   std::unique_ptr<SharedSystem> initial_;
-  std::vector<std::unique_ptr<SharedSystem>> states_;
-  std::unordered_map<std::vector<Word>, int, KeyHash> index_;
-  std::deque<int> frontier_;
+  StateStore store_;
+  std::vector<std::int32_t> frontier_;
+  std::vector<std::int8_t> state_colours_;  // COLOUR(s) per state (CheckPairs)
   bool overflowed_ = false;
   ExhaustiveReport report_;
   ThreadPool pool_;
+  std::vector<Scratch> scratch_;
 };
 
 }  // namespace

@@ -18,7 +18,11 @@
 // any violation found is real).
 //
 // Requires SharedSystem::FullState() support (a canonical serialization of
-// the complete concrete state).
+// the complete concrete state) and its inverse RestoreFullState(): the
+// checker stores only the serialized words — deduplicated 64-word chunks in
+// a flat arena — and reconstructs live systems on demand into thread-local
+// scratch instances, so peak memory is O(serialized words), not O(live
+// machines).
 #ifndef SRC_CORE_EXHAUSTIVE_H_
 #define SRC_CORE_EXHAUSTIVE_H_
 
@@ -54,6 +58,14 @@ struct ExhaustiveReport {
   bool complete = false;
   std::array<ConditionStats, 7> conditions{};
   std::vector<Violation> violations;
+  // Resident footprint of the compact state store (serialized words, chunk
+  // tables and hash indexes) at the end of the run — the checker keeps no
+  // live machine per state, so this is the scaling-relevant number.
+  std::size_t peak_state_bytes = 0;
+  // Number of RestoreFullState calls: live systems reconstructed on demand
+  // into thread-local scratch instances. Deterministic for a given system
+  // and options (each expansion/pair task performs a fixed number).
+  std::uint64_t restore_count = 0;
 
   bool Passed() const { return violations.empty(); }
   std::string Summary() const;

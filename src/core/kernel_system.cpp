@@ -111,6 +111,18 @@ std::optional<std::vector<Word>> KernelizedSystem::FullState() const {
   return machine_->SnapshotFull();
 }
 
+void KernelizedSystem::AppendFullState(std::vector<Word>& out) const {
+  machine_->SnapshotFullInto(out);
+}
+
+bool KernelizedSystem::RestoreFullState(std::span<const Word> state) {
+  // The kernel keeps ALL of its dynamic state inside the machine's physical
+  // memory (the invariant Machine documents for MachineClients), so
+  // restoring the machine restores the kernel with it: the SeparationKernel
+  // object holds only immutable configuration.
+  return machine_->RestoreFull(state);
+}
+
 std::size_t KernelizedSystem::Run(std::size_t max_steps) {
   std::size_t steps = 0;
   while (steps < max_steps && !machine_->halted()) {

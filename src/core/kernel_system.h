@@ -44,6 +44,8 @@ class KernelizedSystem : public SharedSystem {
   void PerturbOthers(int colour, Rng& rng) override;
   bool Finished() const override;
   std::optional<std::vector<Word>> FullState() const override;
+  void AppendFullState(std::vector<Word>& out) const override;
+  bool RestoreFullState(std::span<const Word> state) override;
 
   // --- direct access for tests, benches and examples ---
   Machine& machine() { return *machine_; }

@@ -23,6 +23,7 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,21 @@ class Device {
   // Serialization of the complete internal state, queues included. The
   // encoding only needs to be injective per device type.
   virtual std::vector<Word> SnapshotState() const = 0;
+
+  // Inverse of SnapshotState(): overwrites the device's internal state from
+  // a serialization previously produced by the same device type with the
+  // same configuration. Returns false if the device type does not support
+  // restoration (e.g. FaultyDevice, whose fault schedule is outside the
+  // snapshot) or the payload is malformed; the device state is unspecified
+  // after a failed restore. Devices whose snapshot deliberately omits parts
+  // of their in-memory representation (LineClock and CryptoUnit leave the
+  // environment queues out because nothing ever reads them) reset the
+  // omitted parts to the canonical value, so
+  // SnapshotState ∘ RestoreState = id on the snapshot encoding.
+  virtual bool RestoreState(std::span<const Word> state) {
+    (void)state;
+    return false;
+  }
 
   // Randomizes internal state within the device's representation invariants,
   // leaving the interrupt line untouched (flipping it would change which
@@ -108,10 +124,31 @@ class Device {
  protected:
   void RaiseInterrupt() { irq_ = true; }
 
+  // For RestoreState implementations: the interrupt line is part of every
+  // snapshot and must be restorable in both directions.
+  void SetInterruptLine(bool raised) { irq_ = raised; }
+
   // Helpers for SnapshotState implementations.
   static void AppendQueue(std::vector<Word>& out, const std::deque<Word>& q) {
     out.push_back(static_cast<Word>(q.size()));
     out.insert(out.end(), q.begin(), q.end());
+  }
+
+  // Inverse of AppendQueue for RestoreState implementations: reads the
+  // length-prefixed queue at `*pos`, advancing it. Returns false (leaving
+  // the queue unspecified) if the payload is truncated.
+  static bool ReadQueue(std::span<const Word> in, std::size_t* pos, std::deque<Word>& q) {
+    if (*pos >= in.size()) {
+      return false;
+    }
+    const std::size_t count = in[*pos];
+    if (in.size() - *pos - 1 < count) {
+      return false;
+    }
+    q.assign(in.begin() + static_cast<std::ptrdiff_t>(*pos) + 1,
+             in.begin() + static_cast<std::ptrdiff_t>(*pos) + 1 + static_cast<std::ptrdiff_t>(count));
+    *pos += 1 + count;
+    return true;
   }
 
   void CloneBaseInto(Device& copy) const {

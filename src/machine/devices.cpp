@@ -101,6 +101,21 @@ std::vector<Word> SerialLine::SnapshotState() const {
   return out;
 }
 
+bool SerialLine::RestoreState(std::span<const Word> state) {
+  if (state.size() < 6) {
+    return false;
+  }
+  rcsr_ = state[0];
+  rbuf_ = state[1];
+  xcsr_ = state[2];
+  xbuf_ = state[3];
+  tx_countdown_ = static_cast<int>(state[4]);
+  SetInterruptLine(state[5] != 0);
+  std::size_t pos = 6;
+  return ReadQueue(state, &pos, rx_from_env_) && ReadQueue(state, &pos, tx_to_env_) &&
+         pos == state.size();
+}
+
 // --- LineClock ---
 
 LineClock::LineClock(std::string name, int vector, int priority, int interval)
@@ -135,6 +150,20 @@ void LineClock::Step() {
 
 std::vector<Word> LineClock::SnapshotState() const {
   return {lks_, static_cast<Word>(countdown_), static_cast<Word>(interrupt_pending())};
+}
+
+bool LineClock::RestoreState(std::span<const Word> state) {
+  if (state.size() != 3) {
+    return false;
+  }
+  lks_ = state[0];
+  countdown_ = static_cast<int>(state[1]);
+  SetInterruptLine(state[2] != 0);
+  // The snapshot omits the environment queues because nothing ever reads a
+  // clock's queues; restore to the canonical (empty) representation.
+  rx_from_env_.clear();
+  tx_to_env_.clear();
+  return true;
 }
 
 // --- LinePrinter ---
@@ -193,6 +222,19 @@ std::vector<Word> LinePrinter::SnapshotState() const {
   AppendQueue(out, rx_from_env_);
   AppendQueue(out, tx_to_env_);
   return out;
+}
+
+bool LinePrinter::RestoreState(std::span<const Word> state) {
+  if (state.size() < 4) {
+    return false;
+  }
+  lps_ = state[0];
+  pending_char_ = state[1];
+  countdown_ = static_cast<int>(state[2]);
+  SetInterruptLine(state[3] != 0);
+  std::size_t pos = 4;
+  return ReadQueue(state, &pos, rx_from_env_) && ReadQueue(state, &pos, tx_to_env_) &&
+         pos == state.size();
 }
 
 // --- CryptoUnit ---
@@ -279,6 +321,26 @@ std::vector<Word> CryptoUnit::SnapshotState() const {
           static_cast<Word>((op_count_ >> 32) & 0xFFFF),
           static_cast<Word>((op_count_ >> 48) & 0xFFFF),
           static_cast<Word>(interrupt_pending())};
+}
+
+bool CryptoUnit::RestoreState(std::span<const Word> state) {
+  if (state.size() != 10) {
+    return false;
+  }
+  ccsr_ = state[0];
+  data_out_ = state[1];
+  pending_in_ = state[2];
+  busy_ = state[3] != 0;
+  countdown_ = static_cast<int>(state[4]);
+  op_count_ = static_cast<std::uint64_t>(state[5]) | (static_cast<std::uint64_t>(state[6]) << 16) |
+              (static_cast<std::uint64_t>(state[7]) << 32) |
+              (static_cast<std::uint64_t>(state[8]) << 48);
+  SetInterruptLine(state[9] != 0);
+  // Like LineClock, the crypto unit does its I/O through registers; the
+  // unused environment queues are not in the snapshot.
+  rx_from_env_.clear();
+  tx_to_env_.clear();
+  return true;
 }
 
 }  // namespace sep

@@ -43,6 +43,7 @@ class SerialLine : public Device {
   void WriteRegister(int offset, Word value) override;
   void Step() override;
   std::vector<Word> SnapshotState() const override;
+  bool RestoreState(std::span<const Word> state) override;
   void Perturb(Rng& rng) override;
 
  private:
@@ -67,6 +68,7 @@ class LineClock : public Device {
   void WriteRegister(int offset, Word value) override;
   void Step() override;
   std::vector<Word> SnapshotState() const override;
+  bool RestoreState(std::span<const Word> state) override;
   void Perturb(Rng& rng) override;
 
  private:
@@ -91,6 +93,7 @@ class LinePrinter : public Device {
   void WriteRegister(int offset, Word value) override;
   void Step() override;
   std::vector<Word> SnapshotState() const override;
+  bool RestoreState(std::span<const Word> state) override;
   void Perturb(Rng& rng) override;
 
  private:
@@ -123,6 +126,7 @@ class CryptoUnit : public Device {
   void WriteRegister(int offset, Word value) override;
   void Step() override;
   std::vector<Word> SnapshotState() const override;
+  bool RestoreState(std::span<const Word> state) override;
   void Perturb(Rng& rng) override;
 
   // The keystream, exposed so tests and the SNFE receiver can model the

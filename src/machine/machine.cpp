@@ -771,9 +771,13 @@ std::uint64_t Machine::StateHash() const {
 
 std::vector<Word> Machine::SnapshotFull() const {
   std::vector<Word> out;
-  out.reserve(memory_.size() + 64);
-  const std::vector<Word>& ram = memory_.raw();
-  out.insert(out.end(), ram.begin(), ram.end());
+  SnapshotFullInto(out);
+  return out;
+}
+
+void Machine::SnapshotFullInto(std::vector<Word>& out) const {
+  out.reserve(out.size() + memory_.size() + 64);
+  memory_.AppendTo(out);
   for (int mode = 0; mode < 2; ++mode) {
     for (int page = 0; page < kPagesPerMode; ++page) {
       const PageRegister& pr = mmu_.page(static_cast<CpuMode>(mode), page);
@@ -795,7 +799,46 @@ std::vector<Word> Machine::SnapshotFull() const {
   }
   out.push_back(static_cast<Word>(halted_));
   out.push_back(static_cast<Word>(waiting_));
-  return out;
+}
+
+bool Machine::RestoreFull(std::span<const Word> snapshot) {
+  const std::size_t fixed_words =
+      memory_.size() + 2 * static_cast<std::size_t>(kPagesPerMode) * 5 + 8 + 1 + 2;
+  if (snapshot.size() < fixed_words + devices_.size()) {
+    return false;
+  }
+  memory_.RestoreWords(snapshot.subspan(0, memory_.size()));
+  std::size_t pos = memory_.size();
+  for (int mode = 0; mode < 2; ++mode) {
+    for (int page = 0; page < kPagesPerMode; ++page) {
+      PageRegister pr;
+      pr.base = static_cast<PhysAddr>(snapshot[pos]) |
+                (static_cast<PhysAddr>(snapshot[pos + 1]) << 16);
+      pr.length = static_cast<std::uint32_t>(snapshot[pos + 2]) |
+                  (static_cast<std::uint32_t>(snapshot[pos + 3]) << 16);
+      pr.access = static_cast<PageAccess>(snapshot[pos + 4]);
+      mmu_.SetPage(static_cast<CpuMode>(mode), page, pr);
+      pos += 5;
+    }
+  }
+  for (Word& r : cpu_.regs) {
+    r = snapshot[pos++];
+  }
+  cpu_.psw.set_bits(snapshot[pos++]);
+  for (const auto& dev : devices_) {
+    if (pos >= snapshot.size()) {
+      return false;
+    }
+    const std::size_t payload = snapshot[pos++];
+    if (snapshot.size() - pos < payload + 2 ||
+        !dev->RestoreState(snapshot.subspan(pos, payload))) {
+      return false;
+    }
+    pos += payload;
+  }
+  halted_ = snapshot[pos++] != 0;
+  waiting_ = snapshot[pos++] != 0;
+  return pos == snapshot.size();
 }
 
 }  // namespace sep

@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -193,6 +194,19 @@ class Machine {
   // Complete state serialization; two machines are architecturally equal iff
   // their serializations are equal.
   std::vector<Word> SnapshotFull() const;
+
+  // SnapshotFull appended to `out` — the exhaustive checker serializes one
+  // state per explored transition and reuses the buffer.
+  void SnapshotFullInto(std::vector<Word>& out) const;
+
+  // Inverse of SnapshotFull: overwrites the complete architectural state
+  // (memory, MMU, CPU, devices, halt/wait latches) from a serialization
+  // produced by an identically-configured machine. The step counter is
+  // bookkeeping, not architectural state, and is left alone; the predecode
+  // cache revalidates itself against the page versions RestoreWords bumps.
+  // Returns false — leaving the machine state unspecified — if the snapshot
+  // is malformed or a device does not support RestoreState.
+  bool RestoreFull(std::span<const Word> snapshot);
 
  private:
   friend class MachineBus;

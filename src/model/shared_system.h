@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,34 @@ class SharedSystem {
   // identically forever. Optional: only the exhaustive checker needs it;
   // systems that do not support it return nullopt.
   virtual std::optional<std::vector<Word>> FullState() const { return std::nullopt; }
+
+  // FullState() appended to `out` without the intermediate vector where the
+  // implementation can avoid it. Only called when FullState() is supported.
+  virtual void AppendFullState(std::vector<Word>& out) const {
+    std::optional<std::vector<Word>> full = FullState();
+    out.insert(out.end(), full->begin(), full->end());
+  }
+
+  // Inverse of FullState(): overwrites this system's complete concrete
+  // state from a serialization produced by FullState() on an identically
+  // CONFIGURED system (same build parameters; the dynamic state may be any
+  // reachable one). Returns false if the system does not support
+  // restoration; the state is unspecified after a failed restore. The
+  // exhaustive checker uses this to reconstruct live systems on demand from
+  // its compact state store instead of keeping every explored state
+  // resident as a clone.
+  virtual bool RestoreFullState(std::span<const Word> state) {
+    (void)state;
+    return false;
+  }
+
+  // Φ^colour(s) appended to `out` as raw words, without the AbstractState
+  // wrapper allocation. The checker calls this once per state per colour
+  // when grouping Φ-equal states.
+  virtual void AppendAbstract(int colour, std::vector<Word>& out) const {
+    const AbstractState a = Abstract(colour);
+    out.insert(out.end(), a.words.begin(), a.words.end());
+  }
 };
 
 }  // namespace sep

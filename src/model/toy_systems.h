@@ -93,7 +93,46 @@ class TinyTwoUserSystem : public SharedSystem {
                              static_cast<Word>(has_out_[1])};
   }
 
+  void AppendFullState(std::vector<Word>& out) const override {
+    const Word words[kFullStateWords] = {static_cast<Word>(turn_),
+                                         counter_[0],
+                                         counter_[1],
+                                         cell_[0],
+                                         cell_[1],
+                                         inbox_[0],
+                                         inbox_[1],
+                                         out_[0],
+                                         out_[1],
+                                         static_cast<Word>(has_out_[0]),
+                                         static_cast<Word>(has_out_[1])};
+    out.insert(out.end(), words, words + kFullStateWords);
+  }
+
+  bool RestoreFullState(std::span<const Word> state) override {
+    if (state.size() != kFullStateWords) {
+      return false;
+    }
+    turn_ = static_cast<int>(state[0]);
+    counter_[0] = state[1];
+    counter_[1] = state[2];
+    cell_[0] = state[3];
+    cell_[1] = state[4];
+    inbox_[0] = state[5];
+    inbox_[1] = state[6];
+    out_[0] = state[7];
+    out_[1] = state[8];
+    has_out_[0] = state[9] != 0;
+    has_out_[1] = state[10] != 0;
+    return true;
+  }
+
+  void AppendAbstract(int colour, std::vector<Word>& out) const override {
+    out.insert(out.end(), {counter_[colour], cell_[colour], inbox_[colour]});
+  }
+
  private:
+  static constexpr std::size_t kFullStateWords = 11;
+
   bool leak_;
   int turn_ = 0;
   Word counter_[2] = {0, 0};

@@ -86,6 +86,10 @@ void ExpectIdenticalReports(const ExhaustiveReport& serial, const ExhaustiveRepo
     EXPECT_EQ(serial.violations[i].step, parallel.violations[i].step) << i;
     EXPECT_EQ(serial.violations[i].description, parallel.violations[i].description) << i;
   }
+  // The state-store diagnostics are deterministic too: the merged store and
+  // the per-task restore counts are independent of worker scheduling.
+  EXPECT_EQ(serial.peak_state_bytes, parallel.peak_state_bytes);
+  EXPECT_EQ(serial.restore_count, parallel.restore_count);
   EXPECT_EQ(serial.Summary(), parallel.Summary());
 }
 

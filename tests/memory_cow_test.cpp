@@ -1,0 +1,180 @@
+// Copy-on-write PhysicalMemory: clones share unmodified pages, writes
+// isolate, and version counters (the predecode cache's invalidation signal)
+// move only when content actually changes.
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/machine/memory.h"
+#include "src/sm11asm/assembler.h"
+#include "tests/test_util.h"
+
+namespace sep {
+namespace {
+
+constexpr std::size_t kWords = 1u << 12;
+
+TEST(CowMemory, FreshMemoryOwnsNoPages) {
+  // Every page of a fresh memory is the shared zero page.
+  PhysicalMemory mem(kWords);
+  EXPECT_EQ(mem.PrivatePageCount(), 0u);
+  for (PhysAddr a : {PhysAddr{0}, PhysAddr{1000}, PhysAddr{kWords - 1}}) {
+    EXPECT_EQ(mem.Read(a), 0u);
+  }
+}
+
+TEST(CowMemory, CopySharesAllPages) {
+  PhysicalMemory mem(kWords);
+  mem.Write(100, 0xBEEF);
+  mem.Fill(512, 300, 7);
+  PhysicalMemory copy = mem;
+  // The copy holds references, not words: no page is exclusively owned by
+  // either side.
+  EXPECT_EQ(mem.PrivatePageCount(), 0u);
+  EXPECT_EQ(copy.PrivatePageCount(), 0u);
+  EXPECT_TRUE(mem == copy);
+}
+
+TEST(CowMemory, WriteAfterCopyIsolates) {
+  PhysicalMemory mem(kWords);
+  mem.Write(100, 1);
+  PhysicalMemory copy = mem;
+
+  copy.Write(100, 2);
+  EXPECT_EQ(mem.Read(100), 1u);
+  EXPECT_EQ(copy.Read(100), 2u);
+  EXPECT_FALSE(mem == copy);
+
+  // Exactly the written page was unshared — and with the copy diverged, the
+  // original is again sole owner of its version of that page.
+  EXPECT_EQ(copy.PrivatePageCount(), 1u);
+  EXPECT_EQ(mem.PrivatePageCount(), 1u);
+}
+
+TEST(CowMemory, FillAndLoadImageOnSharedPagesIsolate) {
+  PhysicalMemory mem(kWords);
+  PhysicalMemory copy = mem;
+  copy.Fill(0, PhysicalMemory::kCowPageWords * 2, 0xAA);
+  copy.LoadImage(PhysicalMemory::kCowPageWords * 3, {1, 2, 3});
+  EXPECT_EQ(mem.Read(0), 0u);
+  EXPECT_EQ(mem.Read(PhysicalMemory::kCowPageWords * 3), 0u);
+  EXPECT_EQ(copy.Read(0), 0xAAu);
+  EXPECT_EQ(copy.Read(PhysicalMemory::kCowPageWords * 3 + 2), 3u);
+}
+
+TEST(CowMemory, CowCopyDoesNotBumpVersions) {
+  PhysicalMemory mem(kWords);
+  mem.Write(0, 5);
+  PhysicalMemory copy = mem;
+  const std::uint64_t gen = copy.generation();
+  const std::uint64_t v0 = copy.PageVersion(0);
+  const std::uint64_t v1 = copy.PageVersion(PhysicalMemory::kVersionPageWords);
+  // Writing a NEIGHBOURING version page unshares the COW page (256 words)
+  // but must bump only the written version page, by one — the COW copy
+  // itself is not a content change.
+  copy.Write(PhysicalMemory::kVersionPageWords, 9);
+  EXPECT_EQ(copy.PageVersion(0), v0);
+  EXPECT_EQ(copy.PageVersion(PhysicalMemory::kVersionPageWords), v1 + 1);
+  EXPECT_EQ(copy.generation(), gen + 1);
+}
+
+TEST(CowMemory, RestoreWordsRoundTripsAndKeepsUnchangedVersions) {
+  PhysicalMemory mem(kWords);
+  mem.Fill(0, 64, 3);
+  mem.Write(2000, 0x1234);
+
+  std::vector<Word> snapshot;
+  mem.AppendTo(snapshot);
+  ASSERT_EQ(snapshot.size(), kWords);
+
+  // Restoring the state the memory is already in is version-neutral.
+  const std::uint64_t gen = mem.generation();
+  const std::uint64_t v_code = mem.PageVersion(0);
+  mem.RestoreWords(snapshot);
+  EXPECT_EQ(mem.generation(), gen);
+  EXPECT_EQ(mem.PageVersion(0), v_code);
+
+  // Mutate, then restore: content is back and only the pages that differed
+  // moved their versions.
+  mem.Write(2000, 0xFFFF);
+  mem.Write(2001, 0xEEEE);
+  const std::uint64_t v_far = mem.PageVersion(3000);
+  mem.RestoreWords(snapshot);
+  EXPECT_EQ(mem.Read(2000), 0x1234u);
+  EXPECT_EQ(mem.Read(2001), 0u);
+  EXPECT_EQ(mem.Read(0), 3u);
+  EXPECT_EQ(mem.PageVersion(0), v_code);    // untouched content, untouched version
+  EXPECT_EQ(mem.PageVersion(3000), v_far);  // never written at all
+  PhysicalMemory fresh(kWords);
+  fresh.Fill(0, 64, 3);
+  fresh.Write(2000, 0x1234);
+  EXPECT_TRUE(mem == fresh);
+}
+
+TEST(CowMemory, RestoredCodeKeepsPredecodedCacheValid) {
+  // A machine restored to a snapshot where its CODE is unchanged must keep
+  // executing correctly: RestoreWords may only leave a version untouched
+  // when the content is untouched, or the predecode cache would serve stale
+  // instructions.
+  auto m = MakeBareMachine();
+  Result<AssembledProgram> p = Assemble(R"(
+        CLR R0
+LOOP:   INC R0
+        CMP #5, R0
+        BNE LOOP
+        HALT
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  m->memory().LoadImage(p->base, p->words);
+  m->cpu().set_pc(p->EntryPoint());
+  m->cpu().set_sp(0x1000);
+
+  const std::vector<Word> boot = m->SnapshotFull();
+  m->Run(100);
+  EXPECT_TRUE(m->halted());
+  EXPECT_EQ(m->cpu().regs[0], 5);
+
+  // Restore to boot (same code, different registers/flags) and re-run: the
+  // predecoded loop body must still execute to the same result.
+  ASSERT_TRUE(m->RestoreFull(boot));
+  EXPECT_FALSE(m->halted());
+  EXPECT_EQ(m->cpu().regs[0], 0u);
+  m->Run(100);
+  EXPECT_TRUE(m->halted());
+  EXPECT_EQ(m->cpu().regs[0], 5);
+}
+
+TEST(CowMemory, ClonedMachinesDivergeIndependently) {
+  // Clone mid-run: both machines continue from the same state but must not
+  // observe each other's writes (the checker's per-transition isolation).
+  auto m = MakeBareMachine();
+  Result<AssembledProgram> p = Assemble(R"(
+        CLR R0
+LOOP:   INC R0
+        MOV R0, @0x300
+        CMP #8, R0
+        BNE LOOP
+        HALT
+)");
+  ASSERT_TRUE(p.ok()) << p.error();
+  m->memory().LoadImage(p->base, p->words);
+  m->cpu().set_pc(p->EntryPoint());
+  m->cpu().set_sp(0x1000);
+
+  m->Step();  // CLR
+  m->Step();  // first INC
+  auto clone = m->Clone();
+
+  m->Run(100);
+  EXPECT_TRUE(m->halted());
+  EXPECT_EQ(m->memory().Read(0x300), 8u);
+
+  // The clone is still parked before its first store.
+  EXPECT_FALSE(clone->halted());
+  EXPECT_EQ(clone->memory().Read(0x300), 0u);
+  clone->Run(100);
+  EXPECT_TRUE(clone->halted());
+  EXPECT_EQ(clone->memory().Read(0x300), 8u);
+}
+
+}  // namespace
+}  // namespace sep

@@ -57,9 +57,12 @@ std::string Capture(const std::string& command) {
 }
 
 // Minimal extraction from google-benchmark's --benchmark_format=json output:
-// maps benchmark name -> items_per_second. Tolerant of leading non-JSON
-// noise (tables printed before benchmark::Initialize takes over).
-std::map<std::string, double> ParseItemsPerSecond(const std::string& json) {
+// maps benchmark name -> the numeric `field` of its result object (e.g.
+// "items_per_second", or a user counter like "bytes_per_state"). Tolerant of
+// leading non-JSON noise (tables printed before benchmark::Initialize takes
+// over).
+std::map<std::string, double> ParseBenchField(const std::string& json, const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
   std::map<std::string, double> result;
   std::size_t pos = 0;
   while ((pos = json.find("\"name\":", pos)) != std::string::npos) {
@@ -69,13 +72,17 @@ std::map<std::string, double> ParseItemsPerSecond(const std::string& json) {
     if (close == std::string::npos) break;
     const std::string name = json.substr(open + 1, close - open - 1);
     const std::size_t next_name = json.find("\"name\":", close);
-    const std::size_t ips = json.find("\"items_per_second\":", close);
+    const std::size_t value = json.find(needle, close);
     pos = close;
-    if (ips != std::string::npos && (next_name == std::string::npos || ips < next_name)) {
-      result[name] = std::strtod(json.c_str() + ips + 19, nullptr);
+    if (value != std::string::npos && (next_name == std::string::npos || value < next_name)) {
+      result[name] = std::strtod(json.c_str() + value + needle.size(), nullptr);
     }
   }
   return result;
+}
+
+std::map<std::string, double> ParseItemsPerSecond(const std::string& json) {
+  return ParseBenchField(json, "items_per_second");
 }
 
 // Wall-clock best-of-N of a command (min over runs: noise on a shared host
@@ -167,12 +174,15 @@ int main(int argc, char** argv) {
   const std::string separability =
       opt.bindir +
       "/bench/bench_separability --notables --benchmark_format=json --benchmark_min_time=" +
-      min_time + " --benchmark_filter='BM_ExhaustiveCheck'";
+      min_time + " --benchmark_filter='BM_Exhaustive'";
 
   std::fprintf(stderr, "bench_report: running bench_machine...\n");
   const std::map<std::string, double> m1 = ParseItemsPerSecond(Capture(machine));
   std::fprintf(stderr, "bench_report: running bench_separability...\n");
-  const std::map<std::string, double> m2 = ParseItemsPerSecond(Capture(separability));
+  const std::string separability_json = Capture(separability);
+  const std::map<std::string, double> m2 = ParseItemsPerSecond(separability_json);
+  const std::map<std::string, double> m2_bytes =
+      ParseBenchField(separability_json, "bytes_per_state");
   std::fprintf(stderr, "bench_report: timing sepcheck...\n");
   const std::string sepcheck = opt.bindir + "/tools/sepcheck --all";
   const double sepcheck_serial = BestSeconds(sepcheck + " > /dev/null", sepcheck_runs);
@@ -183,6 +193,8 @@ int main(int argc, char** argv) {
   const double uncached = Metric(m1, "BM_InstructionThroughputNoCache");
   const double ex_serial = Metric(m2, "BM_ExhaustiveCheck");
   const double ex_parallel = Metric(m2, "BM_ExhaustiveCheckParallel");
+  const double ex_kernelized = Metric(m2, "BM_ExhaustiveKernelized");
+  const double bytes_per_state = Metric(m2_bytes, "BM_ExhaustiveKernelized");
 
   std::map<std::string, double> metrics;
   metrics["insn_throughput_cached_ips"] = cached;
@@ -191,14 +203,27 @@ int main(int argc, char** argv) {
   metrics["exhaustive_serial_sps"] = ex_serial;
   metrics["exhaustive_parallel_sps"] = ex_parallel;
   metrics["exhaustive_parallel_speedup"] = ex_parallel / ex_serial;
+  metrics["exhaustive_kernelized_sps"] = ex_kernelized;
+  // Compact-store density: full kernelized machine states per MiB of state
+  // store. A pure data-layout property, independent of host speed.
+  metrics["exhaustive_states_per_mib"] = (1024.0 * 1024.0) / bytes_per_state;
+  // Kernelized states proven per second, per million emulated instructions
+  // per second: normalizes checker throughput by the host's machine speed so
+  // the ratio tracks checker overhead, not the CPU it ran on.
+  metrics["exhaustive_sps_per_mips"] = ex_kernelized / (cached / 1e6);
   metrics["sepcheck_all_seconds"] = sepcheck_serial;
   metrics["sepcheck_jobs_seconds"] = sepcheck_parallel;
 
   // Ratios only: absolute rates swing with host speed, ratios are the
-  // design-level claims (the cache pays; parallelism pays given cores).
-  // exhaustive_parallel_speedup is deliberately unguarded — on a 1-core
-  // host it is honestly <= 1.
-  const std::vector<std::string> guarded = {"predecode_speedup"};
+  // design-level claims (the cache pays; the state store is compact; the
+  // checker's per-state overhead is bounded; parallelism pays given cores).
+  // Parallel-speedup guards are skipped when either the baseline host or
+  // this one has a single hardware thread — on such hosts the speedup is
+  // honestly <= 1 and says nothing about the design.
+  const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
+                                            "exhaustive_sps_per_mips",
+                                            "exhaustive_parallel_speedup"};
+  const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup"};
 
   std::string json = "{\n  \"schema\": \"sep-bench-v1\",\n";
   json += "  \"host\": {\"hardware_threads\": " + std::to_string(threads) + "},\n";
@@ -232,8 +257,27 @@ int main(int argc, char** argv) {
 
   if (!opt.compare.empty()) {
     const std::string baseline = ReadFile(opt.compare);
+    // Parallel speedups compare meaningfully only between multi-threaded
+    // hosts; a baseline recorded on (or a check run on) a single hardware
+    // thread would fail them for reasons unrelated to the change under test.
+    double baseline_threads = 0;
+    if (!JsonNumber(baseline, "hardware_threads", &baseline_threads)) {
+      std::fprintf(stderr, "bench_report: baseline lacks host.hardware_threads; "
+                           "treating it as single-threaded\n");
+      baseline_threads = 1;
+    }
     int failures = 0;
     for (const std::string& name : guarded) {
+      const bool parallel_guard =
+          std::find(parallel_guards.begin(), parallel_guards.end(), name) !=
+          parallel_guards.end();
+      if (parallel_guard && (baseline_threads <= 1 || threads <= 1)) {
+        std::fprintf(stderr,
+                     "bench_report: note: skipping %s (baseline host %d thread(s), "
+                     "this host %d thread(s))\n",
+                     name.c_str(), static_cast<int>(baseline_threads), threads);
+        continue;
+      }
       double base = 0;
       if (!JsonNumber(baseline, name, &base) || base <= 0) {
         std::fprintf(stderr, "bench_report: baseline lacks %s; skipping\n", name.c_str());
