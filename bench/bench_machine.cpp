@@ -6,6 +6,7 @@
 #include "src/core/kernel_system.h"
 #include "src/machine/devices.h"
 #include "src/machine/machine.h"
+#include "src/obs/trace.h"
 #include "src/sm11asm/assembler.h"
 
 namespace sep {
@@ -122,6 +123,49 @@ void BM_Assembler(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 300);  // instructions assembled
 }
 BENCHMARK(BM_Assembler);
+
+// Kernel-mediated stepping with the observability layer compiled in. The
+// guests are a pure SWAP ping-pong, so EVERY machine step runs the kernel
+// slow path — trap dispatch, kernel-call accounting, dispatcher, MMU
+// reprogram — which is the densest sequence of trace points the system can
+// produce. TraceOff measures the disabled-tracing tax (one relaxed load +
+// branch per site); TraceOn pays ring pushes plus a periodic drain. The
+// ratio off/on is the `trace_disabled_overhead` metric in BENCH_*.json: it
+// collapses toward 1 only if someone makes the disabled path expensive,
+// which is exactly the regression the guard exists to catch.
+std::unique_ptr<KernelizedSystem> SwapPingPong() {
+  SystemBuilder builder;
+  (void)builder.AddRegime("a", 256, "LOOP: TRAP 0\n      BR LOOP\n");
+  (void)builder.AddRegime("b", 256, "LOOP: TRAP 0\n      BR LOOP\n");
+  auto sys = builder.Build();
+  if (!sys.ok()) {
+    std::abort();
+  }
+  return std::move(sys.value());
+}
+
+void BM_KernelizedStepTraceOff(benchmark::State& state) {
+  auto sys = SwapPingPong();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->Run(4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_KernelizedStepTraceOff);
+
+void BM_KernelizedStepTraceOn(benchmark::State& state) {
+  auto sys = SwapPingPong();
+  obs::Recorder().Start(std::size_t{1} << 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->Run(4096));
+    // Drain inside the timed region: a live consumer is part of the cost of
+    // tracing, and an undrained ring would degenerate into cheap drops.
+    benchmark::DoNotOptimize(obs::Recorder().Drain());
+  }
+  obs::Recorder().Stop();
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_KernelizedStepTraceOn);
 
 void BM_StateHash(benchmark::State& state) {
   auto machine = BareMachine();

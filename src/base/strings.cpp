@@ -1,8 +1,11 @@
 #include "src/base/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sep {
 
@@ -91,6 +94,38 @@ std::string Hex(std::uint16_t word) {
   char buf[8];
   std::snprintf(buf, sizeof(buf), "0x%04X", word);
   return buf;
+}
+
+std::optional<long long> ParseInt(std::string_view text, long long min, long long max,
+                                  int base) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    return std::nullopt;  // strtoll would skip leading whitespace; we don't
+  }
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, base);
+  if (end == buf.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  if (value < min || value > max) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    return std::nullopt;
+  }
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || errno == ERANGE || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 std::string Format(const char* fmt, ...) {

@@ -5,6 +5,7 @@
 #define SRC_BASE_STRINGS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,22 @@ std::string Hex(std::uint16_t word);
 
 // printf-style formatting into a std::string.
 std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Strict numeric parsing for CLI input. Unlike atoi/strtol-with-nullptr,
+// these reject empty input, leading/trailing junk ("12x", " 7", "1e3" for
+// integers) and out-of-range values instead of silently returning 0 — a
+// silent zero turns "--tolerance abc" into a hard-fail gate and
+// "--jobs x" into a zero-thread run. nullopt means "not a number you may
+// act on"; the caller prints usage and exits non-zero.
+//
+// ParseInt accepts an optional leading '-'/'+' and, with base 0, the usual
+// 0x/0 prefixes; the value must lie in [min, max].
+std::optional<long long> ParseInt(std::string_view text, long long min, long long max,
+                                  int base = 10);
+
+// ParseDouble accepts what strtod accepts, minus inf/nan and minus any
+// trailing junk; the result must be finite.
+std::optional<double> ParseDouble(std::string_view text);
 
 }  // namespace sep
 

@@ -11,6 +11,8 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/base/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sep {
 
@@ -205,6 +207,12 @@ constexpr std::size_t kLevelChunk = 64;
 // Φ-equal pairs checked per ParallelFor batch.
 constexpr std::size_t kPairChunk = 512;
 
+// Trace payload words are 16-bit; saturate rather than wrap so a reader can
+// tell "at least 65535" from a small value.
+Word SaturateWord(std::size_t value) {
+  return static_cast<Word>(std::min<std::size_t>(value, 0xFFFF));
+}
+
 class ExhaustiveRun {
  public:
   ExhaustiveRun(const SharedSystem& initial, const ExhaustiveOptions& options)
@@ -236,6 +244,19 @@ class ExhaustiveRun {
     report_.peak_state_bytes = store_.bytes();
     for (const Scratch& sc : scratch_) {
       report_.restore_count += sc.restores;
+    }
+    if (obs::Enabled()) {
+      obs::Metrics().GetGauge("exhaustive.states").Set(report_.states_explored);
+      obs::Metrics().GetGauge("exhaustive.transitions").Set(report_.transitions);
+      obs::Metrics().GetGauge("exhaustive.pairs_checked").Set(report_.pairs_checked);
+      obs::Metrics().GetGauge("exhaustive.restore_count").Set(report_.restore_count);
+      obs::Metrics().GetGauge("exhaustive.peak_state_bytes").Set(report_.peak_state_bytes);
+      // Per-worker restore counts expose load imbalance across the pool.
+      for (std::size_t w = 0; w < scratch_.size(); ++w) {
+        obs::Metrics()
+            .GetGauge(Format("exhaustive.worker%zu.restores", w))
+            .Set(scratch_[w].restores);
+      }
     }
     return std::move(report_);
   }
@@ -432,6 +453,13 @@ class ExhaustiveRun {
       level.swap(frontier_);
       frontier_.clear();
 
+      // One heartbeat per BFS level: tick carries the store size (states may
+      // exceed a Word), a0/a1 carry the saturated level/frontier widths.
+      if (obs::Enabled()) {
+        obs::Emit(obs::Category::kChecker, obs::Code::kHeartbeat, obs::kColourKernel,
+                  store_.size(), SaturateWord(level.size()), SaturateWord(depth_++));
+      }
+
       for (std::size_t base = 0; base < level.size() && !Done() && !overflowed_;
            base += kLevelChunk) {
         const std::size_t count = std::min(kLevelChunk, level.size() - base);
@@ -616,6 +644,7 @@ class ExhaustiveRun {
   StateStore store_;
   std::vector<std::int32_t> frontier_;
   std::vector<std::int8_t> state_colours_;  // COLOUR(s) per state (CheckPairs)
+  std::size_t depth_ = 0;                   // BFS levels completed (heartbeat)
   bool overflowed_ = false;
   ExhaustiveReport report_;
   ThreadPool pool_;

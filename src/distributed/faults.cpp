@@ -1,16 +1,43 @@
 #include "src/distributed/faults.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace sep {
+
+namespace {
+
+// kNetFaultInjected payload a0: which fault fired.
+enum FaultKind : Word {
+  kFaultDrop = 1,
+  kFaultDuplicate = 2,
+  kFaultCorrupt = 3,
+  kFaultReorder = 4,
+  kFaultDelay = 5,
+};
+
+void NoteFault(FaultKind kind, std::uint64_t offered, Word detail = 0) {
+  static obs::Counter& injected = obs::Metrics().GetCounter("net.faults_injected");
+  obs::Emit(obs::Category::kNet, obs::Code::kNetFaultInjected, obs::kColourKernel, offered,
+            static_cast<Word>(kind), detail);
+  injected.Add();
+}
+
+}  // namespace
 
 FaultPlan::FaultPlan(FaultSpec spec, std::uint64_t seed) : spec_(spec), rng_(seed) {}
 
 FaultPlan::Decision FaultPlan::Decide() {
   Decision d;
   ++counters_.offered;
+  const bool observe = obs::Enabled();
   if (spec_.drop_percent > 0 &&
       rng_.NextChance(static_cast<std::uint64_t>(spec_.drop_percent), 100)) {
     d.drop = true;
     ++counters_.dropped;
+    if (observe) {
+      NoteFault(kFaultDrop, counters_.offered);
+    }
     // A dropped word has no further fate; keep the draw count per word
     // independent of the other categories by deciding them anyway.
   }
@@ -19,6 +46,9 @@ FaultPlan::Decision FaultPlan::Decide() {
     d.duplicate = !d.drop;
     if (d.duplicate) {
       ++counters_.duplicated;
+      if (observe) {
+        NoteFault(kFaultDuplicate, counters_.offered);
+      }
     }
   }
   if (spec_.corrupt_percent > 0 &&
@@ -34,6 +64,9 @@ FaultPlan::Decision FaultPlan::Decide() {
     if (!d.drop) {
       d.corrupt_mask = mask;
       ++counters_.corrupted;
+      if (observe) {
+        NoteFault(kFaultCorrupt, counters_.offered, mask);
+      }
     }
   }
   if (spec_.reorder_percent > 0 &&
@@ -41,6 +74,9 @@ FaultPlan::Decision FaultPlan::Decide() {
     d.reorder = !d.drop;
     if (d.reorder) {
       ++counters_.reordered;
+      if (observe) {
+        NoteFault(kFaultReorder, counters_.offered);
+      }
     }
   }
   if (spec_.delay_percent > 0 &&
@@ -52,6 +88,9 @@ FaultPlan::Decision FaultPlan::Decide() {
     if (!d.drop) {
       d.extra_delay = extra;
       ++counters_.delayed;
+      if (observe) {
+        NoteFault(kFaultDelay, counters_.offered, static_cast<Word>(extra & 0xFFFF));
+      }
     }
   }
   return d;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/hash.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sep {
 
@@ -71,6 +73,10 @@ void ReliableSender::RetransmitWindow() {
     SerializeSegment(segment);
     ++stats_.retransmits;
   }
+  if (obs::Enabled() && !window_.empty()) {
+    static obs::Counter& retransmits = obs::Metrics().GetCounter("net.retransmits");
+    retransmits.Add(window_.size());
+  }
 }
 
 void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) {
@@ -135,6 +141,12 @@ void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) 
       tx_queue_.empty()) {
     dup_acks_ = 0;
     ++stats_.fast_retransmits;
+    if (obs::Enabled()) {
+      static obs::Counter& fast = obs::Metrics().GetCounter("net.fast_retransmits");
+      obs::Emit(obs::Category::kNet, obs::Code::kNetRetransmit, obs::kColourKernel, ctx.now(),
+                static_cast<Word>(window_.size()), window_.front().seq);
+      fast.Add();
+    }
     RetransmitWindow();
     deadline_ = ctx.now() + rto_;
   }
@@ -143,9 +155,19 @@ void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) 
   if (!window_.empty() && deadline_ != 0 && ctx.now() >= deadline_) {
     ++stats_.timeouts;
     ++retries_;
+    if (obs::Enabled()) {
+      static obs::Counter& timeouts = obs::Metrics().GetCounter("net.timeouts");
+      obs::Emit(obs::Category::kNet, obs::Code::kNetTimeout, obs::kColourKernel, ctx.now(),
+                static_cast<Word>(retries_), window_.front().seq);
+      timeouts.Add();
+    }
     if (config_.max_retries > 0 && retries_ > config_.max_retries) {
       dead_ = true;
       stats_.gave_up = 1;
+      if (obs::Enabled()) {
+        static obs::Counter& gave_up = obs::Metrics().GetCounter("net.gave_up");
+        gave_up.Add();
+      }
       tx_queue_.clear();
       return;
     }

@@ -2,8 +2,31 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sep {
+
+namespace {
+
+// Counter references resolve once; bumps are relaxed atomics, and every
+// site is behind obs::Enabled() so a run without observability pays one
+// relaxed load + branch per kernel entry, nothing more.
+struct KernelCounters {
+  obs::Counter& calls = obs::Metrics().GetCounter("kernel.calls");
+  obs::Counter& swaps = obs::Metrics().GetCounter("kernel.swaps");
+  obs::Counter& irq_forwards = obs::Metrics().GetCounter("kernel.irq_forwards");
+  obs::Counter& irq_delivers = obs::Metrics().GetCounter("kernel.irq_delivers");
+  obs::Counter& faults = obs::Metrics().GetCounter("kernel.faults");
+  obs::Counter& mmu_remaps = obs::Metrics().GetCounter("kernel.mmu_remaps");
+};
+
+KernelCounters& Counters() {
+  static KernelCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 SeparationKernel::SeparationKernel(Machine& machine, KernelConfig config)
     : machine_(machine), config_(std::move(config)) {}
@@ -124,6 +147,13 @@ void SeparationKernel::SaveCurrentContext() {
 }
 
 void SeparationKernel::ProgramMmuFor(int regime) {
+  // Colour kColourKernel: reprogramming the map is kernel bookkeeping in
+  // nobody's abstract view (the regime never observes its own page table).
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kMmuRemap, obs::kColourKernel,
+              machine_.tick(), static_cast<Word>(regime));
+    Counters().mmu_remaps.Add();
+  }
   const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(regime)];
   Mmu& mmu = machine_.mmu();
   mmu.DisableAll(CpuMode::kUser);
@@ -238,6 +268,11 @@ void SeparationKernel::DispatchNext(int start_from) {
     const int candidate = ((start_from + i) % n + n) % n;
     if (RegimeRunnable(candidate)) {
       Bump64(kOffSwapCountLo);
+      if (obs::Enabled()) {
+        obs::Emit(obs::Category::kKernel, obs::Code::kDispatch, obs::kColourKernel,
+                  machine_.tick(), static_cast<Word>(candidate));
+        Counters().swaps.Add();
+      }
       RestoreContext(candidate);
       return;
     }
@@ -299,6 +334,15 @@ void SeparationKernel::DeliverPendingInterrupt(int regime) {
   cpu.set_sp(sp);
   cpu.set_pc(vector);
 
+  // Delivery happens only at points anchored to the regime's own execution
+  // (its AWAIT/RETI calls, its resume from AWAIT), so this event IS part of
+  // the regime's canonical per-colour trace — unlike the forward below.
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kIrqDeliver, regime, machine_.tick(),
+              static_cast<Word>(local), vector);
+    Counters().irq_delivers.Add();
+  }
+
   SaveWrite(regime, kSavePending, static_cast<Word>(pending & ~(1u << local)));
   SaveWrite(regime, kSaveFlags,
             static_cast<Word>(SaveRead(regime, kSaveFlags) | kFlagInHandler));
@@ -313,6 +357,14 @@ void SeparationKernel::OnInterrupt(int device_index) {
   Bump64(kOffIrqForwardLo);
 
   const int local = LocalDeviceIndex(owner, device_index);
+  // Colour-tagged with the owner for profiling, but NOT colour-observable:
+  // the forward instant is device time (it depends on how the shared
+  // processor interleaves), and the owner only learns of it at delivery.
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kIrqForward, owner, machine_.tick(),
+              static_cast<Word>(local));
+    Counters().irq_forwards.Add();
+  }
   SaveWrite(owner, kSavePending,
             static_cast<Word>(SaveRead(owner, kSavePending) | (1u << local)));
 
@@ -351,6 +403,15 @@ void SeparationKernel::OnTrap(const TrapInfo& info) {
   }
 
   Bump64(kOffKernelCallLo);
+  // One event per kernel call, tagged with the calling regime: the paper's
+  // COLOUR(s) for a TRAP operation. a1 is R0 at entry (channel id for
+  // SEND/RECV/STAT, local device for SETVEC) — entry arguments only, so the
+  // trace carries exactly what the regime itself put there.
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kKernelCall, CurrentRegime(),
+              machine_.tick(), info.code, machine_.cpu().regs[0]);
+    Counters().calls.Add();
+  }
   switch (info.code) {
     case kCallSwap:
       CallSwap();
@@ -390,6 +451,10 @@ void SeparationKernel::FaultRegime(const std::string& reason) {
   SEP_LOG(kInfo) << "regime " << config_.regimes[static_cast<std::size_t>(cur)].name
                  << " faulted: " << reason;
   Bump64(kOffFaultCountLo);
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kRegimeFault, cur, machine_.tick());
+    Counters().faults.Add();
+  }
   SaveWrite(cur, kSaveFlags, static_cast<Word>(SaveRead(cur, kSaveFlags) | kFlagHalted));
   DispatchNext(cur + 1);
 }

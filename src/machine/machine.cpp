@@ -2,6 +2,8 @@
 
 #include "src/base/logging.h"
 #include "src/machine/interp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sep {
 
@@ -288,6 +290,14 @@ void Machine::HardwareVector(PhysAddr vector) {
 }
 
 void Machine::DispatchTrap(const TrapInfo& info) {
+  if (obs::Enabled()) {
+    static obs::Counter& traps = obs::Metrics().GetCounter("machine.traps");
+    obs::Emit(obs::Category::kMachine, obs::Code::kMachineTrap, obs::kColourKernel, tick_,
+              static_cast<Word>(info.kind),
+              info.kind == TrapInfo::Kind::kMmuFault ? static_cast<Word>(info.fault_addr)
+                                                     : static_cast<Word>(info.code));
+    traps.Add();
+  }
   if (client_ != nullptr) {
     client_->OnTrap(info);
     return;
@@ -331,6 +341,14 @@ StepEvent Machine::StepCpuPhase() {
     devices_[irq]->ClearInterrupt();
     event.kind = StepEvent::Kind::kInterrupt;
     event.device = irq;
+    if (obs::Enabled()) {
+      static obs::Counter& interrupts = obs::Metrics().GetCounter("machine.interrupts");
+      const RegimeId owner = devices_[irq]->owner();
+      obs::Emit(obs::Category::kMachine, obs::Code::kMachineIrq,
+                owner == kNoRegime ? obs::kColourKernel : static_cast<int>(owner), tick_,
+                static_cast<Word>(irq));
+      interrupts.Add();
+    }
     if (client_ != nullptr) {
       client_->OnInterrupt(irq);
     } else {
@@ -382,6 +400,17 @@ StepEvent Machine::ApplyCpuEvent(const CpuEvent& cpu_event) {
   return event;
 }
 
+void Machine::set_predecode_enabled(bool enabled) {
+  predecode_enabled_ = enabled;
+  if (!enabled) {
+    if (obs::Enabled() && !icache_.empty()) {
+      obs::Emit(obs::Category::kMachine, obs::Code::kPredecodeFlush, obs::kColourKernel, tick_,
+                static_cast<Word>(icache_.size()));
+    }
+    icache_.clear();
+  }
+}
+
 __attribute__((noinline)) Machine::IcacheBlock& Machine::EnsureIcacheBlock(PhysAddr phys) {
   if (icache_.empty()) {
     icache_.resize((memory_.size() >> kIcacheBlockShift) + 1);
@@ -405,6 +434,15 @@ __attribute__((noinline)) CpuEvent Machine::ExecuteCpuMiss(MachineBus& bus,
                                                            std::uint32_t offset,
                                                            std::uint32_t limit) {
   ++predecode_misses_;
+  // Refills are the observable face of predecode invalidation (stores,
+  // remaps and restores bump page versions; the next execution lands here).
+  // Already out of line, so the disabled cost is one load + branch per miss.
+  if (obs::Enabled()) {
+    static obs::Counter& refills = obs::Metrics().GetCounter("machine.predecode_refills");
+    obs::Emit(obs::Category::kMachine, obs::Code::kPredecodeFill, obs::kColourKernel, tick_,
+              static_cast<Word>(phys >> kIcacheBlockShift));
+    refills.Add();
+  }
   std::optional<DecodedInsn> decoded = Decode(memory_.Read(phys));
   if (!decoded.has_value()) {
     entry.version = 0;  // don't cache invalid opcodes

@@ -175,12 +175,7 @@ class Machine {
   // on or off; see docs/PERFORMANCE.md for the invalidation protocol. The
   // cache is derived state: it is not cloned, hashed, or snapshotted.
 
-  void set_predecode_enabled(bool enabled) {
-    predecode_enabled_ = enabled;
-    if (!enabled) {
-      icache_.clear();
-    }
-  }
+  void set_predecode_enabled(bool enabled);
   bool predecode_enabled() const { return predecode_enabled_; }
 
   // Fast-path statistics (tests assert on invalidation behaviour).

@@ -1,0 +1,51 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace sep {
+namespace obs {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, true, static_cast<std::int64_t>(counter.value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, false, gauge.value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge.Set(0);
+  }
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace sep

@@ -1,0 +1,79 @@
+// Process-wide counter/gauge metrics registry.
+//
+// Instrumented layers register named metrics once (function-local static
+// lookup, mutex only on first touch) and bump them with relaxed atomics on
+// slow paths. The registry is append-only for the process lifetime, so a
+// returned Counter/Gauge reference stays valid forever and hot sites never
+// re-acquire the registry lock.
+//
+// Naming convention: dotted lowercase paths, "layer.metric", e.g.
+// "kernel.swaps", "machine.traps", "exhaustive.restore_count",
+// "net.retransmits". docs/OBSERVABILITY.md lists every metric.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sep {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+struct MetricSample {
+  std::string name;
+  bool is_counter = true;
+  std::int64_t value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+
+  // Name-sorted snapshot of every registered metric.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Zeroes all counters and gauges (tests, and tool runs that want a clean
+  // per-run dump). Registration survives; references stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps: values never move once created.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+MetricsRegistry& Metrics();
+
+}  // namespace obs
+}  // namespace sep
+
+#endif  // SRC_OBS_METRICS_H_

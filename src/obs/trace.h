@@ -1,0 +1,186 @@
+// Colour-tagged event tracing for the kernelized machine.
+//
+// Rushby's separation argument is about each regime's VIEW of the shared
+// machine; this module makes a view observable. Every instrumented layer
+// (kernel, machine, exhaustive checker, distributed network) emits small
+// fixed-size events into a process-wide lock-free bounded ring buffer, and
+// every event carries the regime colour on whose behalf the work was done
+// (or kColourKernel for kernel-internal bookkeeping that is in nobody's
+// abstract view — exactly the state PerturbNonColour is free to randomize).
+//
+// The colour tag is itself subject to the paper's security argument: the
+// per-colour canonical trace (export.h) of a regime in the shared machine
+// must be byte-identical to its trace when running alone — a trace that
+// leaked another colour's activity would BE a channel. The trace-equivalence
+// test (tests/obs_trace_equivalence_test.cpp) checks exactly this.
+//
+// Cost model: tracing must never touch Machine::RunThreaded's per-
+// instruction hot path, so there are NO per-instruction trace points —
+// only slow paths (traps, interrupts, kernel calls, cache refills) carry
+// them, each guarded by a single relaxed atomic load + branch when tracing
+// is disabled. Defining SEP_OBS_DISABLED at compile time removes even that.
+// The ring itself is a Vyukov-style bounded MPMC queue: producers claim
+// cells with a CAS and never block; a full ring drops events (counted)
+// rather than stalling the machine.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace sep {
+namespace obs {
+
+// Colour of events performed by the kernel (or machine) on its own behalf:
+// dispatch bookkeeping, MMU reprogramming, counter maintenance. Excluded
+// from every per-colour view.
+inline constexpr int kColourKernel = -1;
+
+enum class Category : std::uint8_t {
+  kKernel = 0,   // separation-kernel events
+  kMachine = 1,  // SM-11 machine events (traps, interrupts, caches)
+  kChecker = 2,  // exhaustive-checker progress
+  kNet = 3,      // distributed network / reliable channels
+};
+
+// Event codes. The canonical per-colour trace (export.h) includes only the
+// codes ColourObservable() admits: events anchored to the regime's OWN
+// instruction/kernel-call stream. Device-time events (interrupt forwarding,
+// device activity) are colour-tagged for profiling but excluded from the
+// canonical view, because their position relative to the regime's stream
+// depends on how the shared processor interleaves — the same reason Φ^c
+// normalizes "awaiting" and "resume-work" into one abstract state.
+enum class Code : std::uint16_t {
+  // kernel (colour = regime the work is attributable to)
+  kKernelCall = 0,    // a0 = trap code, a1 = R0 at entry
+  kIrqDeliver = 1,    // a0 = local device index, a1 = handler vector
+  kRegimeFault = 2,   // a0 = fault ordinal (see kernel.cpp), a1 = 0
+  kIrqForward = 3,    // a0 = local device index (colour = owner; device-time)
+  kDispatch = 4,      // a0 = incoming regime (kColourKernel)
+  kMmuRemap = 5,      // a0 = regime whose mapping was programmed (kColourKernel)
+  // machine
+  kMachineTrap = 16,      // a0 = TrapInfo kind, a1 = code/fault addr
+  kMachineIrq = 17,       // a0 = device slot (colour = device owner; device-time)
+  kPredecodeFill = 18,    // a0 = phys page of the refilled entry
+  kPredecodeFlush = 19,   // cache disabled / cleared
+  // checker
+  kHeartbeat = 32,        // tick = states interned, a0 = level width (lo16), a1 = depth
+  // net
+  kNetRetransmit = 48,    // a0 = link/port id
+  kNetTimeout = 49,       // a0 = link/port id
+  kNetFaultInjected = 50, // a0 = fault kind (FaultCounters ordinal)
+};
+
+// True for events that belong to a regime's canonical per-colour view.
+constexpr bool ColourObservable(Code code) {
+  return code == Code::kKernelCall || code == Code::kIrqDeliver ||
+         code == Code::kRegimeFault;
+}
+
+struct TraceEvent {
+  std::uint64_t tick = 0;  // machine tick (or monotone site-local counter)
+  std::int16_t colour = kColourKernel;
+  Category category = Category::kKernel;
+  Code code = Code::kKernelCall;
+  Word a0 = 0;
+  Word a1 = 0;
+};
+
+// Bounded lock-free MPMC ring (Vyukov). Producers never block: a full ring
+// rejects the event. Draining is done by one thread at a time (the
+// exporters), which is all the tooling needs.
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two; minimum 2.
+  explicit TraceRing(std::size_t capacity);
+
+  bool TryPush(const TraceEvent& event);
+  bool TryPop(TraceEvent* out);
+
+  std::size_t capacity() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    TraceEvent event;
+  };
+  std::vector<Cell> cells_;
+  std::uint64_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producers
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer
+};
+
+// The process-wide recorder: a TraceRing plus the global enabled flag the
+// instrumentation sites check. Start() installs a fresh ring and enables
+// recording; Stop() disables and leaves the ring drainable.
+class TraceRecorder {
+ public:
+  // Default ring: 64Ki events (~1 MiB).
+  void Start(std::size_t capacity = 1u << 16);
+  void Stop();
+
+  // Drains every recorded event, oldest first. Also callable while
+  // recording (the ring is MPMC), but the exporters stop first.
+  std::vector<TraceEvent> Drain();
+
+  // Events rejected because the ring was full since Start().
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  void Emit(const TraceEvent& event);
+
+ private:
+  std::shared_ptr<TraceRing> ring_;
+  std::atomic<std::uint64_t> dropped_{0};
+  // Guards ring_ replacement against concurrent Emit: Start/Stop happen
+  // while producers are quiescent in every current use, but keep the
+  // pointer swap well-defined regardless.
+  std::atomic<bool> draining_{false};
+};
+
+TraceRecorder& Recorder();
+
+// The one flag every instrumentation site checks before doing anything.
+extern std::atomic<bool> g_trace_enabled;
+
+inline bool Enabled() {
+#ifdef SEP_OBS_DISABLED
+  return false;
+#else
+  return g_trace_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+// Convenience emitter used by all instrumentation sites. Near-zero when
+// disabled: one relaxed load and a predictable branch.
+inline void Emit(Category category, Code code, int colour, std::uint64_t tick, Word a0 = 0,
+                 Word a1 = 0) {
+#ifdef SEP_OBS_DISABLED
+  (void)category;
+  (void)code;
+  (void)colour;
+  (void)tick;
+  (void)a0;
+  (void)a1;
+#else
+  if (!Enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.tick = tick;
+  event.colour = static_cast<std::int16_t>(colour);
+  event.category = category;
+  event.code = code;
+  event.a0 = a0;
+  event.a1 = a1;
+  Recorder().Emit(event);
+#endif
+}
+
+}  // namespace obs
+}  // namespace sep
+
+#endif  // SRC_OBS_TRACE_H_

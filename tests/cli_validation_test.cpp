@@ -1,0 +1,83 @@
+// End-to-end CLI input validation: every tool must reject malformed numeric
+// arguments with a non-zero exit and a usage message, and must exit 0 on
+// --help. Runs the real binaries as subprocesses (SEP_TOOLS_DIR is injected
+// by tests/CMakeLists.txt); each rejection here was a silent-zero bug when
+// the tools still used atoi/strtod with no end-pointer checks.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace sep {
+namespace {
+
+std::string Tool(const char* name) { return std::string(SEP_TOOLS_DIR) + "/" + name; }
+
+// Runs `cmd` silenced, returns the exit code (-1 if it did not exit cleanly).
+int RunTool(const std::string& cmd) {
+  const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(CliValidation, HelpExitsZeroEverywhere) {
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --help"), 0);
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --help"), 0);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --help"), 0);
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --help"), 0);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --help"), 0);
+}
+
+TEST(CliValidation, Sm11RunRejectsBadNumbers) {
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --steps 12x prog.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --steps 0 prog.s"), 2);      // must be >= 1
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --dump 0x10000 4 prog.s"), 2);  // > 16-bit
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --bogus prog.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sm11run")), 2);  // no program
+}
+
+TEST(CliValidation, SepcheckRejectsBadNumbers) {
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --jobs x --all"), 2);
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --jobs -1 --all"), 2);
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --words 0 guest.s"), 2);  // must be >= 1
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --devices 9999 guest.s"), 2);
+}
+
+TEST(CliValidation, ChaosRunRejectsBadNumbers) {
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " -5"), 2);       // the atoi(-5) trap
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " abc"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " 12 34 56"), 2); // too many positionals
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " 0"), 2);        // zero packets
+}
+
+TEST(CliValidation, BenchReportRejectsBadNumbers) {
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance abc"), 2);
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance -0.5"), 2);
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --jobs x"), 2);
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --bogus"), 2);
+}
+
+TEST(CliValidation, BenchReportRejectsMalformedBaseline) {
+  // A --compare file without the sep-bench-v1 schema marker must be a clean
+  // exit-2 diagnostic (pre-flight, before any benchmark runs), not a crash
+  // or a silently-empty comparison.
+  const std::string path = testing::TempDir() + "/not_a_baseline.json";
+  std::ofstream(path) << "{\"schema\": \"something-else\"}\n";
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --compare " + path), 2);
+  EXPECT_EQ(RunTool(Tool("bench_report") + " --compare /nonexistent/baseline.json"), 2);
+}
+
+TEST(CliValidation, SepTraceRejectsBadArguments) {
+  EXPECT_EQ(RunTool(Tool("sep_trace")), 2);  // no guests
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --steps abc guest.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --colour 99 guest.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --format bogus guest.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --format canonical guest.s"), 2);  // no --colour
+}
+
+}  // namespace
+}  // namespace sep

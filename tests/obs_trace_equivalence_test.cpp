@@ -1,0 +1,166 @@
+// E17: per-colour trace equivalence — the observability layer's colour
+// tagging is itself subject to the paper's security argument.
+//
+// The canonical per-colour trace (obs::CanonicalColourTrace) of a regime in
+// the SHARED kernelized machine must be byte-identical to the trace of the
+// same guest running ALONE as the sole regime of its own kernel. Events that
+// appear in, vanish from, or move within a regime's canonical trace because
+// strangers share the processor would BE an information channel — the
+// dynamic analogue of Φ^c equality across deployments (E11).
+//
+// The negative control runs the shared machine under an injected kernel
+// defect (broadcast_interrupts: every regime learns of every interrupt) and
+// demands the victim's trace now DIFFER — a trace check that could not see
+// the defect would be vacuous.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/kernel_system.h"
+#include "src/machine/devices.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace sep {
+namespace {
+
+// Interrupt-driven echo guest (same shape as the E11 guests): AWAITs, and
+// the handler transmits every received word + 1. All interrupt deliveries
+// are anchored to the guest's own kernel-call stream: the first delivery
+// lands right after IE is enabled (the guest runs uninterleaved from boot in
+// both deployments), later ones chain at RETI while the input queue drains.
+constexpr char kEcho[] = R"(
+        .EQU DEV, 0xE000
+START:  CLR R0
+        MOV #HANDLER, R1
+        TRAP 4          ; SETVEC
+        MOV #DEV, R4
+        MOV #0x40, (R4) ; RCSR IE
+LOOP:   TRAP 6          ; AWAIT
+        BR LOOP
+HANDLER:
+        MOV #DEV, R4
+        MOV 1(R4), R2   ; RBUF
+        INC R2
+WAITTX: MOV 2(R4), R3   ; XCSR
+        BIT #0x80, R3
+        BEQ WAITTX
+        MOV R2, 3(R4)   ; XBUF
+        TRAP 5          ; RETI
+)";
+
+struct TraceRun {
+  std::string canonical;           // canonical colour-0 trace
+  std::vector<obs::TraceEvent> events;
+  std::vector<Word> output;        // colour 0's transmitted words
+};
+
+// Runs `guests` guests (all kEcho, one serial line each) for `steps` machine
+// steps with the given stimulus injected into EVERY guest's receiver before
+// the run, recording the trace. Returns colour 0's canonical trace.
+TraceRun RunEchoSystem(int guests, const std::vector<Word>& stimulus, std::size_t steps,
+                       const KernelFaults* faults = nullptr) {
+  SystemBuilder builder;
+  std::vector<int> slots;
+  for (int g = 0; g < guests; ++g) {
+    slots.push_back(builder.AddDevice(std::make_unique<SerialLine>(
+        "slu" + std::to_string(g), 16 + g * 2, 4, /*transmit_delay=*/2)));
+  }
+  for (int g = 0; g < guests; ++g) {
+    Result<int> regime =
+        builder.AddRegime("guest" + std::to_string(g), 512, kEcho, {slots[g]});
+    EXPECT_TRUE(regime.ok()) << regime.error();
+  }
+  if (faults != nullptr) {
+    builder.WithFaults(*faults);
+  }
+  Result<std::unique_ptr<KernelizedSystem>> system = builder.Build();
+  EXPECT_TRUE(system.ok()) << system.error();
+
+  for (int g = 0; g < guests; ++g) {
+    for (Word w : stimulus) {
+      (*system)->machine().device(slots[g]).InjectInput(w);
+    }
+  }
+
+  obs::Recorder().Start(std::size_t{1} << 16);
+  (*system)->Run(steps);
+  obs::Recorder().Stop();
+
+  TraceRun run;
+  run.events = obs::Recorder().Drain();
+  run.canonical = obs::CanonicalColourTrace(run.events, 0);
+  run.output = (*system)->machine().device(slots[0]).DrainOutput();
+  return run;
+}
+
+// THE headline property: the victim regime's canonical trace in the shared
+// deployment is byte-identical to its trace running alone.
+TEST(ObsTraceEquivalence, SharedTraceEqualsAloneTrace) {
+  const std::vector<Word> stimulus = {10, 20, 30, 40};
+  const TraceRun shared = RunEchoSystem(/*guests=*/2, stimulus, /*steps=*/20000);
+  const TraceRun alone = RunEchoSystem(/*guests=*/1, stimulus, /*steps=*/20000);
+
+  // Sanity: both deployments actually did the work (echoed every word)...
+  EXPECT_EQ(shared.output, (std::vector<Word>{11, 21, 31, 41}));
+  EXPECT_EQ(alone.output, (std::vector<Word>{11, 21, 31, 41}));
+  // ...and the trace is not vacuously empty: one delivery per word reached
+  // colour 0's canonical view.
+  EXPECT_NE(shared.canonical.find("irq-deliver"), std::string::npos);
+  EXPECT_NE(shared.canonical.find("kernel-call"), std::string::npos);
+
+  // The security check proper: byte equality.
+  EXPECT_EQ(shared.canonical, alone.canonical)
+      << "shared:\n" << shared.canonical << "\nalone:\n" << alone.canonical;
+}
+
+// Three-guest variant: more strangers, same victim view.
+TEST(ObsTraceEquivalence, ThreeGuestSharedTraceEqualsAloneTrace) {
+  const std::vector<Word> stimulus = {7, 8, 9};
+  const TraceRun shared = RunEchoSystem(/*guests=*/3, stimulus, /*steps=*/30000);
+  const TraceRun alone = RunEchoSystem(/*guests=*/1, stimulus, /*steps=*/30000);
+  EXPECT_EQ(shared.canonical, alone.canonical);
+}
+
+// Negative control: under the broadcast_interrupts kernel defect every
+// regime's pending mask sees every interrupt, so the victim receives
+// spurious deliveries — its canonical trace MUST change, or this check
+// could never catch a real isolation failure.
+TEST(ObsTraceEquivalence, DefectiveKernelBreaksTraceEquivalence) {
+  const std::vector<Word> stimulus = {10, 20, 30, 40};
+  KernelFaults faults;
+  faults.broadcast_interrupts = true;
+  const TraceRun shared = RunEchoSystem(/*guests=*/2, stimulus, /*steps=*/20000, &faults);
+  const TraceRun alone = RunEchoSystem(/*guests=*/1, stimulus, /*steps=*/20000);
+
+  EXPECT_NE(shared.canonical, alone.canonical)
+      << "broadcast_interrupts went unnoticed by the canonical trace";
+}
+
+// The kernel-internal row (dispatch, MMU remaps) legitimately differs across
+// deployments — which is exactly why kColourKernel events are excluded from
+// every canonical view. Guard that exclusion.
+TEST(ObsTraceEquivalence, KernelInternalEventsStayOutOfColourViews) {
+  const std::vector<Word> stimulus = {5};
+  const TraceRun shared = RunEchoSystem(/*guests=*/2, stimulus, /*steps=*/10000);
+  EXPECT_EQ(shared.canonical.find("dispatch"), std::string::npos);
+  EXPECT_EQ(shared.canonical.find("mmu-remap"), std::string::npos);
+  EXPECT_EQ(shared.canonical.find("irq-forward"), std::string::npos);
+
+  bool saw_kernel_internal = false;
+  for (const obs::TraceEvent& e : shared.events) {
+    if (e.colour == obs::kColourKernel &&
+        (e.code == obs::Code::kDispatch || e.code == obs::Code::kMmuRemap)) {
+      saw_kernel_internal = true;
+    }
+    // No canonical-view code may ever carry the kernel colour.
+    if (obs::ColourObservable(e.code)) {
+      EXPECT_NE(e.colour, obs::kColourKernel) << "observable event without a regime colour";
+    }
+  }
+  EXPECT_TRUE(saw_kernel_internal) << "instrumentation lost the kernel-internal events";
+}
+
+}  // namespace
+}  // namespace sep

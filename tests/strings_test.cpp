@@ -1,0 +1,69 @@
+// Strict CLI numeric parsing (sep::ParseInt / sep::ParseDouble). The whole
+// point of these helpers is what they REJECT: atoi-style silent zeroes are
+// how "--tolerance abc" became a hard-fail gate and "--jobs x" a zero-thread
+// run before the CLIs moved to strict parsing.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+
+namespace sep {
+namespace {
+
+TEST(ParseInt, AcceptsPlainDecimal) {
+  EXPECT_EQ(ParseInt("0", 0, 100), 0);
+  EXPECT_EQ(ParseInt("42", 0, 100), 42);
+  EXPECT_EQ(ParseInt("+7", 0, 100), 7);
+  EXPECT_EQ(ParseInt("-5", -10, 10), -5);
+}
+
+TEST(ParseInt, BoundsAreInclusive) {
+  EXPECT_EQ(ParseInt("1", 1, 8), 1);
+  EXPECT_EQ(ParseInt("8", 1, 8), 8);
+  EXPECT_EQ(ParseInt("0", 1, 8), std::nullopt);
+  EXPECT_EQ(ParseInt("9", 1, 8), std::nullopt);
+}
+
+TEST(ParseInt, RejectsJunk) {
+  EXPECT_EQ(ParseInt("", 0, 100), std::nullopt);
+  EXPECT_EQ(ParseInt("abc", 0, 100), std::nullopt);
+  EXPECT_EQ(ParseInt("12x", 0, 100), std::nullopt);   // the atoi("12x")==12 trap
+  EXPECT_EQ(ParseInt("1e3", 0, 10000), std::nullopt); // exponents are not integers
+  EXPECT_EQ(ParseInt(" 7", 0, 100), std::nullopt);    // no leading whitespace
+  EXPECT_EQ(ParseInt("7 ", 0, 100), std::nullopt);    // no trailing whitespace
+  EXPECT_EQ(ParseInt("-", -10, 10), std::nullopt);
+  EXPECT_EQ(ParseInt("--5", -10, 10), std::nullopt);
+}
+
+TEST(ParseInt, RejectsOverflow) {
+  EXPECT_EQ(ParseInt("99999999999999999999", 0, 100), std::nullopt);  // > LLONG_MAX
+  EXPECT_EQ(ParseInt("-99999999999999999999", -100, 100), std::nullopt);
+}
+
+TEST(ParseInt, BaseZeroTakesPrefixes) {
+  EXPECT_EQ(ParseInt("0x10", 0, 100, 0), 16);
+  EXPECT_EQ(ParseInt("010", 0, 100, 0), 8);   // octal, classic strtol base 0
+  EXPECT_EQ(ParseInt("10", 0, 100, 0), 10);
+  // Base 10 stays strict: "0x10" is junk, not 0-followed-by-x10.
+  EXPECT_EQ(ParseInt("0x10", 0, 100), std::nullopt);
+}
+
+TEST(ParseDouble, AcceptsFiniteNumbers) {
+  EXPECT_EQ(ParseDouble("0.05"), 0.05);
+  EXPECT_EQ(ParseDouble("-2.5"), -2.5);
+  EXPECT_EQ(ParseDouble("1e-3"), 1e-3);
+  EXPECT_EQ(ParseDouble("3"), 3.0);
+}
+
+TEST(ParseDouble, RejectsJunkAndNonFinite) {
+  EXPECT_EQ(ParseDouble(""), std::nullopt);
+  EXPECT_EQ(ParseDouble("abc"), std::nullopt);
+  EXPECT_EQ(ParseDouble("1.5x"), std::nullopt);   // the strtod-trailing-junk trap
+  EXPECT_EQ(ParseDouble(" 1.0"), std::nullopt);
+  EXPECT_EQ(ParseDouble("inf"), std::nullopt);    // strtod accepts these; a
+  EXPECT_EQ(ParseDouble("nan"), std::nullopt);    // tolerance must be finite
+  EXPECT_EQ(ParseDouble("-inf"), std::nullopt);
+  EXPECT_EQ(ParseDouble("1e400"), std::nullopt);  // overflows to infinity
+}
+
+}  // namespace
+}  // namespace sep

@@ -15,6 +15,7 @@
 // metric.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +24,23 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/strings.h"
+
 namespace {
+
+constexpr char kUsage[] =
+    "usage: bench_report [--bindir DIR] [--out FILE] [--compare FILE]\n"
+    "                    [--tolerance F] [--jobs N] [--smoke] [--help]\n"
+    "\n"
+    "Runs the benchmark binaries under DIR, writes a sep-bench-v1 JSON\n"
+    "report, and (with --compare) fails on guarded-metric regressions\n"
+    "beyond the tolerance (default 0.25). --jobs bounds sepcheck\n"
+    "parallelism; --smoke trades precision for runtime.\n";
+
+int UsageError(const char* message, const char* value) {
+  std::fprintf(stderr, "bench_report: %s: %s\n%s", message, value, kUsage);
+  return 2;
+}
 
 struct Options {
   std::string bindir = ".";
@@ -150,15 +167,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--compare") {
       opt.compare = next();
     } else if (arg == "--tolerance") {
-      opt.tolerance = std::strtod(next().c_str(), nullptr);
+      const std::string value = next();
+      const std::optional<double> parsed = sep::ParseDouble(value);
+      if (!parsed.has_value() || *parsed < 0) {
+        return UsageError("--tolerance needs a non-negative number", value.c_str());
+      }
+      opt.tolerance = *parsed;
     } else if (arg == "--jobs") {
-      opt.jobs = std::atoi(next().c_str());
+      const std::string value = next();
+      const std::optional<long long> parsed = sep::ParseInt(value, 1, 4096);
+      if (!parsed.has_value()) {
+        return UsageError("--jobs needs an integer in [1, 4096]", value.c_str());
+      }
+      opt.jobs = static_cast<int>(*parsed);
     } else if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
     } else {
+      return UsageError("unknown argument", arg.c_str());
+    }
+  }
+
+  // Validate the baseline BEFORE running minutes of benchmarks: a missing
+  // file or a non-baseline JSON document should fail immediately, not after
+  // the work is done.
+  std::string baseline;
+  if (!opt.compare.empty()) {
+    baseline = ReadFile(opt.compare);
+    if (baseline.find("\"schema\": \"sep-bench-v1\"") == std::string::npos) {
       std::fprintf(stderr,
-                   "usage: bench_report [--bindir DIR] [--out FILE] [--compare FILE]\n"
-                   "                    [--tolerance F] [--jobs N] [--smoke]\n");
+                   "bench_report: %s is not a sep-bench-v1 baseline (missing schema marker)\n",
+                   opt.compare.c_str());
       return 2;
     }
   }
@@ -170,7 +211,7 @@ int main(int argc, char** argv) {
 
   const std::string machine =
       opt.bindir + "/bench/bench_machine --benchmark_format=json --benchmark_min_time=" +
-      min_time + " --benchmark_filter='BM_InstructionThroughput'";
+      min_time + " --benchmark_filter='BM_InstructionThroughput|BM_KernelizedStep'";
   const std::string separability =
       opt.bindir +
       "/bench/bench_separability --notables --benchmark_format=json --benchmark_min_time=" +
@@ -191,6 +232,8 @@ int main(int argc, char** argv) {
 
   const double cached = Metric(m1, "BM_InstructionThroughput");
   const double uncached = Metric(m1, "BM_InstructionThroughputNoCache");
+  const double trace_off = Metric(m1, "BM_KernelizedStepTraceOff");
+  const double trace_on = Metric(m1, "BM_KernelizedStepTraceOn");
   const double ex_serial = Metric(m2, "BM_ExhaustiveCheck");
   const double ex_parallel = Metric(m2, "BM_ExhaustiveCheckParallel");
   const double ex_kernelized = Metric(m2, "BM_ExhaustiveKernelized");
@@ -200,6 +243,13 @@ int main(int argc, char** argv) {
   metrics["insn_throughput_cached_ips"] = cached;
   metrics["insn_throughput_uncached_ips"] = uncached;
   metrics["predecode_speedup"] = cached / uncached;
+  metrics["kernelized_step_trace_off_ips"] = trace_off;
+  metrics["kernelized_step_trace_on_ips"] = trace_on;
+  // Kernel-call-dense stepping with tracing compiled in but DISABLED,
+  // relative to the same workload with the recorder live. The disabled path
+  // must stay a relaxed load + branch per slow-path site; if it grows real
+  // work, this ratio collapses toward 1 and the guard below fires.
+  metrics["trace_disabled_overhead"] = trace_off / trace_on;
   metrics["exhaustive_serial_sps"] = ex_serial;
   metrics["exhaustive_parallel_sps"] = ex_parallel;
   metrics["exhaustive_parallel_speedup"] = ex_parallel / ex_serial;
@@ -222,7 +272,8 @@ int main(int argc, char** argv) {
   // honestly <= 1 and says nothing about the design.
   const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
                                             "exhaustive_sps_per_mips",
-                                            "exhaustive_parallel_speedup"};
+                                            "exhaustive_parallel_speedup",
+                                            "trace_disabled_overhead"};
   const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup"};
 
   std::string json = "{\n  \"schema\": \"sep-bench-v1\",\n";
@@ -232,6 +283,14 @@ int main(int argc, char** argv) {
   json += "  \"metrics\": {\n";
   bool first = true;
   for (const auto& [name, value] : metrics) {
+    // A zero-duration run or a missing counter would put inf/nan into the
+    // report, which is not JSON and poisons every later comparison. Skip the
+    // metric with a note instead; JsonNumber treats absence as "skip".
+    if (!std::isfinite(value)) {
+      std::fprintf(stderr, "bench_report: note: %s is non-finite (%g); omitted from report\n",
+                   name.c_str(), value);
+      continue;
+    }
     char line[160];
     std::snprintf(line, sizeof line, "%s    \"%s\": %.6g", first ? "" : ",\n", name.c_str(),
                   value);
@@ -256,7 +315,6 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.compare.empty()) {
-    const std::string baseline = ReadFile(opt.compare);
     // Parallel speedups compare meaningfully only between multi-threaded
     // hosts; a baseline recorded on (or a check run on) a single hardware
     // thread would fail them for reasons unrelated to the change under test.
@@ -284,6 +342,11 @@ int main(int argc, char** argv) {
         continue;
       }
       const double current = metrics[name];
+      if (!std::isfinite(current)) {
+        std::fprintf(stderr, "bench_report: note: %s is non-finite here; skipping\n",
+                     name.c_str());
+        continue;
+      }
       const double floor = base * (1.0 - opt.tolerance);
       if (current < floor) {
         std::fprintf(stderr,

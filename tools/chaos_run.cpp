@@ -2,7 +2,7 @@
 // "network" links misbehave at escalating rates, and reports what the wire
 // did versus what the hosts saw.
 //
-//   chaos_run [packets] [seed]
+//   chaos_run [--trace FILE] [--metrics FILE] [packets] [seed]
 //
 // For each fault rate the harness prints wire-level counters (drops,
 // corruptions, ...), protocol effort (segments, retransmits, timeouts) and
@@ -10,12 +10,21 @@
 // to the fault-free baseline. Rates climb until the protocol gives up, so
 // the output shows both the tolerated envelope and the failure mode beyond
 // it (with bounded retries the line is declared dead rather than wedged).
+//
+// --trace FILE writes a Chrome trace-event JSON of the run's network events
+// (retransmits, timeouts, injected faults); --metrics FILE writes the flat
+// metrics dump. Either flag turns the recorder on for the whole run.
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "src/base/strings.h"
 #include "src/components/snfe_receive.h"
 #include "src/distributed/reliable.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 
 namespace sep {
 namespace {
@@ -39,9 +48,69 @@ bool SameStream(const std::vector<Frame>& a, const std::vector<Frame>& b) {
   return true;
 }
 
+constexpr char kUsage[] =
+    "usage: chaos_run [--trace FILE] [--metrics FILE] [packets] [seed]\n"
+    "  packets: 1..4096 (default 16); seed: u64, 0x-prefix ok\n";
+
+int UsageError(const char* message, const char* value) {
+  std::fprintf(stderr, "chaos_run: %s: %s\n%s", message, value, kUsage);
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 int Main(int argc, char** argv) {
-  const int packets = argc > 1 ? std::atoi(argv[1]) : 16;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0xC4A05ULL;
+  int packets = 16;
+  std::uint64_t seed = 0xC4A05ULL;
+  std::string trace_path;
+  std::string metrics_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--trace") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--trace needs a file", arg.c_str());
+      trace_path = value;
+    } else if (arg == "--metrics") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--metrics needs a file", arg.c_str());
+      metrics_path = value;
+    } else if (positional == 0) {
+      const std::optional<long long> parsed = ParseInt(arg, 1, 4096);
+      if (!parsed.has_value()) {
+        return UsageError("packets must be an integer in [1, 4096]", arg.c_str());
+      }
+      packets = static_cast<int>(*parsed);
+      ++positional;
+    } else if (positional == 1) {
+      const std::optional<long long> parsed = ParseInt(arg, 0, LLONG_MAX, 0);
+      if (!parsed.has_value()) {
+        return UsageError("seed must be a non-negative integer", arg.c_str());
+      }
+      seed = static_cast<std::uint64_t>(*parsed);
+      ++positional;
+    } else {
+      return UsageError("unexpected argument", arg.c_str());
+    }
+  }
+
+  const bool observe = !trace_path.empty() || !metrics_path.empty();
+  if (observe) {
+    obs::Recorder().Start(std::size_t{1} << 18);
+  }
 
   const std::vector<Frame> baseline = Baseline(packets);
   std::printf("chaos_run: %d packets, seed 0x%llX, baseline %zu packets delivered\n\n",
@@ -96,6 +165,21 @@ int Main(int argc, char** argv) {
 
   std::printf("\nretransmit counts monotone with fault rate: %s\n",
               monotone ? "yes" : "NO");
+
+  if (observe) {
+    obs::Recorder().Stop();
+    const std::vector<obs::TraceEvent> events = obs::Recorder().Drain();
+    if (!trace_path.empty() && !WriteFile(trace_path, obs::ChromeTraceJson(events))) {
+      return 2;
+    }
+    if (!metrics_path.empty() && !WriteFile(metrics_path, obs::MetricsText())) {
+      return 2;
+    }
+    if (obs::Recorder().dropped() > 0) {
+      std::fprintf(stderr, "chaos_run: note: trace ring dropped %llu event(s)\n",
+                   static_cast<unsigned long long>(obs::Recorder().dropped()));
+    }
+  }
   return monotone ? 0 : 1;
 }
 

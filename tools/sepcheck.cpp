@@ -41,11 +41,18 @@ using sepcheck::MachineSemanticallyLeaks;
 using sepcheck::RegimeView;
 using sepcheck::SystemAnalysis;
 
+constexpr char kUsage[] =
+    "usage: sepcheck --all [--json] [--probe] [--jobs N]\n"
+    "       sepcheck [--words N] [--devices N] [--bare] [--json] program.s\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: sepcheck --all [--json] [--probe] [--jobs N]\n"
-               "       sepcheck [--words N] [--devices N] [--bare] [--json] program.s\n");
+  std::fputs(kUsage, stderr);
   return 2;
+}
+
+int UsageError(const char* message, const char* value) {
+  std::fprintf(stderr, "sepcheck: %s: %s\n", message, value);
+  return Usage();
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -193,11 +200,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--bare") {
       bare = true;
     } else if (arg == "--words" && i + 1 < argc) {
-      words = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+      // Base 0: 0x... and octal literals are natural for partition sizes.
+      const std::optional<long long> parsed = sep::ParseInt(argv[++i], 1, 1 << 22, 0);
+      if (!parsed.has_value()) {
+        return sep::UsageError("--words needs a positive word count", argv[i]);
+      }
+      words = static_cast<std::uint32_t>(*parsed);
     } else if (arg == "--devices" && i + 1 < argc) {
-      devices = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+      const std::optional<long long> parsed = sep::ParseInt(argv[++i], 0, 256, 0);
+      if (!parsed.has_value()) {
+        return sep::UsageError("--devices needs an integer in [0, 256]", argv[i]);
+      }
+      devices = static_cast<int>(*parsed);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+      // 0 = all hardware threads (ThreadPool convention).
+      const std::optional<long long> parsed = sep::ParseInt(argv[++i], 0, 4096, 0);
+      if (!parsed.has_value()) {
+        return sep::UsageError("--jobs needs an integer in [0, 4096]", argv[i]);
+      }
+      jobs = static_cast<int>(*parsed);
+    } else if (arg == "--help") {
+      std::fputs(sep::kUsage, stdout);
+      return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {

@@ -6,7 +6,9 @@
 //   sm11run --steps N prog.s      step budget (default 100000)
 //   sm11run --dump ADDR COUNT     print a memory range after the run
 //   sm11run --listing prog.s      print the assembler listing and exit
-//   sm11run --trace prog.s        disassemble each instruction as it runs
+//   sm11run --disasm prog.s       disassemble each instruction as it runs
+//   sm11run --trace FILE prog.s   write a Chrome trace-event JSON of the run
+//   sm11run --metrics FILE prog.s write the flat metrics dump of the run
 //
 // The program's serial line (if it uses one) is the process's stdin/stdout:
 // input bytes are injected into the device before the run; transmitted
@@ -24,6 +26,8 @@
 #include "src/base/strings.h"
 #include "src/machine/devices.h"
 #include "src/machine/machine.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/sm11asm/assembler.h"
 
 namespace {
@@ -32,18 +36,22 @@ struct Options {
   std::string path;
   bool as_regime = false;
   bool listing = false;
-  bool trace = false;
+  bool disasm = false;
   std::size_t steps = 100000;
   bool dump = false;
   unsigned dump_addr = 0;
   unsigned dump_count = 0;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
-void Usage() {
-  std::fprintf(stderr,
-               "usage: sm11run [--regime] [--steps N] [--dump ADDR COUNT] [--listing] "
-               "[--trace] prog.s\n");
-  std::exit(2);
+constexpr char kUsage[] =
+    "usage: sm11run [--regime] [--steps N] [--dump ADDR COUNT] [--listing]\n"
+    "               [--disasm] [--trace FILE] [--metrics FILE] prog.s\n";
+
+int UsageError(const char* message, const char* value) {
+  std::fprintf(stderr, "sm11run: %s: %s\n%s", message, value, kUsage);
+  return 2;
 }
 
 sep::Result<std::string> ReadFile(const std::string& path) {
@@ -84,7 +92,7 @@ int RunBare(const sep::AssembledProgram& program, const Options& options) {
 
   std::size_t executed = 0;
   while (executed < options.steps && !machine.halted()) {
-    if (options.trace && !machine.waiting()) {
+    if (options.disasm && !machine.waiting()) {
       const Word pc = machine.cpu().pc();
       std::optional<Word> w0 = machine.PeekVirt(pc);
       if (w0.has_value()) {
@@ -159,6 +167,17 @@ int RunRegime(const std::string& source, const Options& options) {
 
 }  // namespace
 
+int WriteFileOrDie(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sm11run: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
 int main(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -167,22 +186,42 @@ int main(int argc, char** argv) {
       options.as_regime = true;
     } else if (arg == "--listing") {
       options.listing = true;
-    } else if (arg == "--trace") {
-      options.trace = true;
+    } else if (arg == "--disasm") {
+      options.disasm = true;
+    } else if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      options.metrics_path = argv[++i];
     } else if (arg == "--steps" && i + 1 < argc) {
-      options.steps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+      const std::optional<long long> parsed = sep::ParseInt(argv[++i], 1, 1LL << 40, 0);
+      if (!parsed.has_value()) {
+        return UsageError("--steps needs a positive step count", argv[i]);
+      }
+      options.steps = static_cast<std::size_t>(*parsed);
     } else if (arg == "--dump" && i + 2 < argc) {
       options.dump = true;
-      options.dump_addr = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
-      options.dump_count = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      const std::optional<long long> addr = sep::ParseInt(argv[++i], 0, 0xFFFF, 0);
+      if (!addr.has_value()) {
+        return UsageError("--dump ADDR must be a 16-bit address", argv[i]);
+      }
+      const std::optional<long long> count = sep::ParseInt(argv[++i], 0, 0x10000, 0);
+      if (!count.has_value()) {
+        return UsageError("--dump COUNT must be in [0, 65536]", argv[i]);
+      }
+      options.dump_addr = static_cast<unsigned>(*addr);
+      options.dump_count = static_cast<unsigned>(*count);
     } else if (!arg.empty() && arg[0] != '-') {
       options.path = arg;
     } else {
-      Usage();
+      return UsageError("unknown or incomplete argument", arg.c_str());
     }
   }
   if (options.path.empty()) {
-    Usage();
+    std::fputs(kUsage, stderr);
+    return 2;
   }
 
   sep::Result<std::string> source = ReadFile(options.path);
@@ -201,5 +240,23 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  return options.as_regime ? RunRegime(*source, options) : RunBare(*program, options);
+
+  const bool observe = !options.trace_path.empty() || !options.metrics_path.empty();
+  if (observe) {
+    sep::obs::Recorder().Start(std::size_t{1} << 18);
+  }
+  const int rc = options.as_regime ? RunRegime(*source, options) : RunBare(*program, options);
+  if (observe) {
+    sep::obs::Recorder().Stop();
+    const std::vector<sep::obs::TraceEvent> events = sep::obs::Recorder().Drain();
+    if (!options.trace_path.empty()) {
+      const int wrc = WriteFileOrDie(options.trace_path, sep::obs::ChromeTraceJson(events));
+      if (wrc != 0) return wrc;
+    }
+    if (!options.metrics_path.empty()) {
+      const int wrc = WriteFileOrDie(options.metrics_path, sep::obs::MetricsText());
+      if (wrc != 0) return wrc;
+    }
+  }
+  return rc;
 }
