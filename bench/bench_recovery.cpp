@@ -1,0 +1,147 @@
+// Recovery-cost benchmark: what a checkpoint interval buys and costs.
+//
+// Each BM_RecoveryChaos iteration sweeps a FIXED pool of seeded crash
+// episodes over a recoverable tunnel (src/distributed/recoverable.h): a
+// word stream crosses the four-node pipeline while both crashable endpoints
+// die under a NodeFaultPlan and restart from their newest checkpoint. The
+// headline counter is `recovery_ticks_p99` — the 99th percentile of ticks
+// of forward progress a crash discards (crashed_at - last_checkpoint_at),
+// pooled over every recovery in the sweep. The simulation is fully
+// deterministic, so the counter is a pure design property (checkpoint
+// cadence vs rollback depth), independent of host speed — which is what
+// lets bench_report guard it across machines.
+//
+// The arg is the checkpoint interval in node quanta: p99 rollback depth
+// scales with it, throughput pays for shorter intervals with more
+// checkpoint serializations.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/distributed/faults.h"
+#include "src/distributed/recoverable.h"
+
+namespace sep {
+namespace {
+
+class WordSource : public Process {
+ public:
+  explicit WordSource(int count) {
+    words_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      words_.push_back(static_cast<Word>(i * 37 + 11));
+    }
+  }
+  std::string name() const override { return "word-source"; }
+  void Step(NodeContext& ctx) override {
+    if (next_ < words_.size() && ctx.Send(0, words_[next_])) {
+      ++next_;
+    }
+  }
+  bool Finished() const override { return next_ >= words_.size(); }
+  const std::vector<Word>& words() const { return words_; }
+
+ private:
+  std::vector<Word> words_;
+  std::size_t next_ = 0;
+};
+
+class WordSink : public Process {
+ public:
+  std::string name() const override { return "word-sink"; }
+  void Step(NodeContext& ctx) override {
+    while (std::optional<Word> w = ctx.Receive(0)) {
+      got_.push_back(*w);
+    }
+  }
+  const std::vector<Word>& got() const { return got_; }
+
+ private:
+  std::vector<Word> got_;
+};
+
+struct Episode {
+  std::size_t delivered = 0;
+  bool intact = false;
+  std::vector<Tick> lost_ticks;  // one sample per recovery
+};
+
+Episode RunEpisode(Tick checkpoint_interval, std::uint64_t seed, int words) {
+  Network net;
+  const int src = net.AddNode(std::make_unique<WordSource>(words));
+  const int dst = net.AddNode(std::make_unique<WordSink>());
+  TunnelRecoveryOptions recovery;
+  recovery.checkpoint_interval = checkpoint_interval;
+  const RecoverableTunnel tunnel =
+      SpliceRecoverableTunnel(net, src, dst, {}, recovery, /*capacity=*/64, /*latency=*/2);
+
+  NodeFaultSpec spec;
+  spec.crash_percent = 2;
+  spec.max_crashes = 2;
+  spec.min_restart_delay = 4;
+  spec.max_restart_delay = 24;
+  net.InjectNodeFaults(tunnel.ingress_node, spec, seed);
+  net.InjectNodeFaults(tunnel.egress_node, spec, seed ^ 0xFEEDULL);
+
+  const auto& sink = static_cast<WordSink&>(net.process(dst));
+  const auto& source = static_cast<WordSource&>(net.process(src));
+  for (int burst = 0; burst < 30 && sink.got().size() < source.words().size(); ++burst) {
+    net.Run(2000);
+  }
+
+  Episode episode;
+  episode.delivered = sink.got().size();
+  episode.intact = sink.got() == source.words();
+  for (const Network::NodeRecoveryEvent& event : net.recovery_log()) {
+    episode.lost_ticks.push_back(event.lost_ticks);
+  }
+  return episode;
+}
+
+void BM_RecoveryChaos(benchmark::State& state) {
+  const Tick interval = static_cast<Tick>(state.range(0));
+  constexpr int kEpisodes = 64;
+  constexpr int kWords = 40;
+
+  std::vector<Tick> pooled;
+  std::size_t delivered = 0;
+  std::uint64_t recoveries = 0;
+  bool all_intact = true;
+  for (auto _ : state) {
+    pooled.clear();
+    delivered = 0;
+    recoveries = 0;
+    for (int ep = 0; ep < kEpisodes; ++ep) {
+      const Episode episode = RunEpisode(interval, 0x5EED0000ULL + ep, kWords);
+      delivered += episode.delivered;
+      recoveries += episode.lost_ticks.size();
+      all_intact = all_intact && episode.intact;
+      pooled.insert(pooled.end(), episode.lost_ticks.begin(), episode.lost_ticks.end());
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+  if (!all_intact) {
+    state.SkipWithError("a recovery episode lost data");
+    return;
+  }
+
+  std::sort(pooled.begin(), pooled.end());
+  const double p99 =
+      pooled.empty()
+          ? 0.0
+          : static_cast<double>(pooled[static_cast<std::size_t>(
+                std::ceil(0.99 * static_cast<double>(pooled.size())) - 1)]);
+  state.counters["recovery_ticks_p99"] = p99;
+  state.counters["recoveries"] = static_cast<double>(recoveries);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * delivered);
+}
+BENCHMARK(BM_RecoveryChaos)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sep
+
+BENCHMARK_MAIN();

@@ -124,4 +124,46 @@ SnfeLossyTopology BuildSnfePairReliable(Network& net, CensorStrictness strictnes
   return topo;
 }
 
+SnfeRecoverableTopology BuildSnfePairRecoverable(Network& net, CensorStrictness strictness,
+                                                 const FaultSpec& net_faults,
+                                                 std::uint64_t fault_seed,
+                                                 const TunnelRecoveryOptions& recovery,
+                                                 int packet_count, std::uint64_t key,
+                                                 const ReliableConfig& reliable) {
+  SnfeRecoverableTopology topo;
+  SnfePairTopology& pair = topo.pair;
+
+  pair.transmit.host = net.AddNode(std::make_unique<HostSource>(packet_count, /*seed=*/42));
+  pair.transmit.red = net.AddNode(std::make_unique<RedHost>());
+  pair.transmit.crypto = net.AddNode(std::make_unique<CryptoBox>(key));
+  pair.transmit.censor = net.AddNode(std::make_unique<Censor>(strictness));
+  pair.transmit.black = net.AddNode(std::make_unique<BlackHost>());
+  pair.black_rx = net.AddNode(std::make_unique<BlackReceiver>());
+  pair.crypto_rx = net.AddNode(std::make_unique<CryptoBox>(key));
+  pair.censor_rx = net.AddNode(std::make_unique<Censor>(strictness));
+  pair.red_rx = net.AddNode(std::make_unique<RedReceiver>());
+  pair.host_rx = net.AddNode(std::make_unique<HostSink>());
+  pair.transmit.network = pair.black_rx;
+
+  net.Connect(pair.transmit.host, pair.transmit.red, 512, 1, "host-line");
+  net.Connect(pair.transmit.red, pair.transmit.crypto, 512, 1, "red-crypto");
+  net.Connect(pair.transmit.red, pair.transmit.censor, 512, 1, "bypass-tx");
+  net.Connect(pair.transmit.censor, pair.transmit.black, 512, 1, "censor-black");
+  net.Connect(pair.transmit.crypto, pair.transmit.black, 512, 1, "crypto-black");
+  // "The network" is an adversarial medium whose relay MACHINES die too:
+  // the recoverable tunnel's crashable endpoints sit between the two black
+  // sides, with the wire-fault schedule on the lossy middle.
+  topo.tunnel = SpliceRecoverableTunnel(net, pair.transmit.black, pair.black_rx, reliable,
+                                        recovery, /*capacity=*/512, /*latency=*/3,
+                                        "the-network");
+  net.InjectFaults(topo.tunnel.data_link, net_faults, fault_seed);
+  net.InjectFaults(topo.tunnel.ack_link, net_faults, fault_seed ^ 0x5A5A5A5A5A5A5A5AULL);
+  net.Connect(pair.black_rx, pair.crypto_rx, 512, 1, "blackrx-crypto");
+  net.Connect(pair.black_rx, pair.censor_rx, 512, 1, "bypass-rx");
+  net.Connect(pair.censor_rx, pair.red_rx, 512, 1, "censor-redrx");
+  net.Connect(pair.crypto_rx, pair.red_rx, 512, 1, "crypto-redrx");
+  net.Connect(pair.red_rx, pair.host_rx, 512, 1, "host-line-rx");
+  return topo;
+}
+
 }  // namespace sep

@@ -20,6 +20,7 @@
 
 #include "src/components/snfe.h"
 #include "src/distributed/faults.h"
+#include "src/distributed/recoverable.h"
 #include "src/distributed/reliable.h"
 
 namespace sep {
@@ -97,6 +98,26 @@ SnfeLossyTopology BuildSnfePairReliable(Network& net, CensorStrictness strictnes
                                         const FaultSpec& net_faults, std::uint64_t fault_seed,
                                         int packet_count = 16, std::uint64_t key = 0xC0FFEE,
                                         const ReliableConfig& reliable = {});
+
+// The SNFE pair with a CRASH-SURVIVABLE network in the middle: the
+// black->black-rx hop runs through a recoverable tunnel
+// (src/distributed/recoverable.h) whose two crashable endpoints may be
+// killed with ScheduleCrash / InjectNodeFaults while the data and ACK lines
+// carry the given wire-fault schedule. Experiment E18: for any crash
+// schedule the endpoints recover from, the receiving host's packet stream
+// is byte-identical to the undisturbed run.
+struct SnfeRecoverableTopology {
+  SnfePairTopology pair;
+  RecoverableTunnel tunnel;
+};
+
+SnfeRecoverableTopology BuildSnfePairRecoverable(Network& net, CensorStrictness strictness,
+                                                 const FaultSpec& net_faults,
+                                                 std::uint64_t fault_seed,
+                                                 const TunnelRecoveryOptions& recovery = {},
+                                                 int packet_count = 16,
+                                                 std::uint64_t key = 0xC0FFEE,
+                                                 const ReliableConfig& reliable = {});
 
 }  // namespace sep
 

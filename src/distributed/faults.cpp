@@ -96,4 +96,31 @@ FaultPlan::Decision FaultPlan::Decide() {
   return d;
 }
 
+NodeFaultPlan::NodeFaultPlan(NodeFaultSpec spec, std::uint64_t seed) : spec_(spec), rng_(seed) {}
+
+NodeFaultPlan::Decision NodeFaultPlan::Decide() {
+  Decision d;
+  ++counters_.quanta;
+  const bool exhausted =
+      spec_.max_crashes > 0 && counters_.crashes >= static_cast<std::uint64_t>(spec_.max_crashes);
+  if (spec_.crash_percent > 0 && !exhausted &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.crash_percent), 100)) {
+    d.crash = true;
+    const Tick lo = spec_.min_restart_delay > 0 ? spec_.min_restart_delay : 1;
+    const Tick hi = spec_.max_restart_delay > lo ? spec_.max_restart_delay : lo;
+    d.restart_delay = static_cast<Tick>(
+        rng_.NextInRange(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    ++counters_.crashes;
+    return d;  // a crashed node cannot also stall
+  }
+  if (spec_.stall_percent > 0 &&
+      rng_.NextChance(static_cast<std::uint64_t>(spec_.stall_percent), 100)) {
+    const Tick max_stall = spec_.max_stall > 0 ? spec_.max_stall : 1;
+    d.stall_ticks =
+        static_cast<Tick>(rng_.NextInRange(1, static_cast<std::int64_t>(max_stall)));
+    ++counters_.stalls;
+  }
+  return d;
+}
+
 }  // namespace sep

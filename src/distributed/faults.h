@@ -100,6 +100,58 @@ class FaultPlan {
   FaultCounters counters_;
 };
 
+// --- node faults -------------------------------------------------------------
+//
+// The link-level FaultPlan makes the WIRES hostile; a NodeFaultPlan makes the
+// MACHINES mortal. Real distributed systems lose whole nodes, not just words:
+// a node can crash-stop (losing all volatile state, coming back only through
+// checkpoint recovery — see Network::EnableRecovery) or stall (freeze for a
+// few quanta with state intact, the classic "GC pause"). Crashes are the
+// failure mode the paper's "ideal physically distributed system" must survive
+// for the security argument to carry over to real deployments.
+
+// Per-quantum node fault probabilities, in percent.
+struct NodeFaultSpec {
+  int crash_percent = 0;       // crash-stop instead of this quantum
+  int stall_percent = 0;       // freeze (state intact) for stall ticks
+  Tick max_stall = 4;          // stall drawn uniformly from [1, max]
+  Tick min_restart_delay = 8;  // reboot time drawn uniformly from
+  Tick max_restart_delay = 32; //   [min, max] ticks after a crash
+  int max_crashes = 0;         // stop crashing after this many; 0 = unlimited
+
+  bool Any() const { return crash_percent > 0 || stall_percent > 0; }
+};
+
+// What the scheduler did to the node, cumulatively.
+struct NodeFaultCounters {
+  std::uint64_t quanta = 0;   // fault decisions drawn
+  std::uint64_t crashes = 0;
+  std::uint64_t stalls = 0;
+};
+
+// A seeded schedule of node-fault decisions: one Decide() per quantum the
+// node would otherwise run. Deterministic for a fixed (spec, seed).
+class NodeFaultPlan {
+ public:
+  NodeFaultPlan(NodeFaultSpec spec, std::uint64_t seed);
+
+  struct Decision {
+    bool crash = false;
+    Tick restart_delay = 0;  // valid when crash
+    Tick stall_ticks = 0;    // nonzero = stall this long (state intact)
+  };
+
+  Decision Decide();
+
+  const NodeFaultSpec& spec() const { return spec_; }
+  const NodeFaultCounters& counters() const { return counters_; }
+
+ private:
+  NodeFaultSpec spec_;
+  Rng rng_;
+  NodeFaultCounters counters_;
+};
+
 }  // namespace sep
 
 #endif  // SRC_DISTRIBUTED_FAULTS_H_

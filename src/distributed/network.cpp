@@ -1,10 +1,37 @@
 #include "src/distributed/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sep {
+
+namespace {
+
+void NoteCrash(int node, Tick now, Tick restart_delay) {
+  static obs::Counter& crashes = obs::Metrics().GetCounter("net.node_crashes");
+  crashes.Add();
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kNet, obs::Code::kNetNodeCrash, obs::kColourKernel, now,
+              static_cast<Word>(node), static_cast<Word>(restart_delay & 0xFFFF));
+  }
+}
+
+void NoteRestore(int node, Tick now, bool cold, Tick lost_ticks) {
+  static obs::Counter& restores = obs::Metrics().GetCounter("net.node_restores");
+  static obs::Counter& recovery = obs::Metrics().GetCounter("net.recovery_ticks");
+  restores.Add();
+  recovery.Add(lost_ticks);
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kNet, obs::Code::kNetNodeRestore, obs::kColourKernel, now,
+              static_cast<Word>(node), cold ? 1 : 0);
+  }
+}
+
+}  // namespace
 
 bool Link::Push(Word w, Tick now) {
   if (Space() == 0) {
@@ -71,11 +98,47 @@ bool Network::Step() {
     link->Advance(now_);
   }
   bool any_alive = false;
-  for (Node& node : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    // A dead node counts as alive — the run must not terminate while a
+    // restart is pending — but executes nothing until its delay elapses.
+    if (!node.status.up) {
+      any_alive = true;
+      if (now_ >= node.status.down_until) {
+        RestartNode(node, static_cast<int>(i));
+      }
+      continue;  // the restart tick itself is spent rebooting, not stepping
+    }
     if (node.process->Finished()) {
       continue;
     }
     any_alive = true;
+    // Scripted crashes fire at the start of the quantum: the node never
+    // executes the tick it dies on.
+    if (!node.scripted_crashes.empty()) {
+      auto due = std::find_if(node.scripted_crashes.begin(), node.scripted_crashes.end(),
+                              [this](const Node::ScriptedCrash& c) { return now_ >= c.at; });
+      if (due != node.scripted_crashes.end()) {
+        const Tick delay = due->restart_delay;
+        node.scripted_crashes.erase(due);
+        CrashNode(node, static_cast<int>(i), delay);
+        continue;
+      }
+    }
+    if (node.fault_plan) {
+      const NodeFaultPlan::Decision d = node.fault_plan->Decide();
+      if (d.crash) {
+        CrashNode(node, static_cast<int>(i), d.restart_delay);
+        continue;
+      }
+      if (d.stall_ticks > 0) {
+        node.status.stalled_until = now_ + d.stall_ticks;
+        ++node.status.stalls;
+      }
+    }
+    if (node.status.stalled_until > now_) {
+      continue;  // frozen, state intact
+    }
     std::vector<Link*> in;
     in.reserve(node.in_links.size());
     for (int id : node.in_links) {
@@ -88,8 +151,98 @@ bool Network::Step() {
     }
     NodeContext ctx(std::move(in), std::move(out), now_);
     node.process->Step(ctx);
+    ++node.executed_quanta;
+    if (node.recoverable && node.checkpoint_interval > 0 &&
+        node.executed_quanta % node.checkpoint_interval == 0) {
+      TakeCheckpoint(node);
+    }
   }
   return any_alive;
+}
+
+bool Network::EnableRecovery(int node, Tick checkpoint_interval) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  std::vector<Word> genesis;
+  if (!n.process->Checkpoint(genesis)) {
+    return false;
+  }
+  n.recoverable = true;
+  n.checkpoint_interval = checkpoint_interval;
+  n.genesis = std::move(genesis);
+  n.checkpoint.reset();
+  return true;
+}
+
+void Network::InjectNodeFaults(int node, const NodeFaultSpec& spec, std::uint64_t seed) {
+  nodes_[static_cast<std::size_t>(node)].fault_plan = std::make_unique<NodeFaultPlan>(spec, seed);
+}
+
+void Network::ScheduleCrash(int node, Tick at, Tick restart_delay) {
+  nodes_[static_cast<std::size_t>(node)].scripted_crashes.push_back({at, restart_delay});
+}
+
+void Network::CrashNow(int node, Tick restart_delay) {
+  CrashNode(nodes_[static_cast<std::size_t>(node)], node, restart_delay);
+}
+
+void Network::CrashNode(Node& node, int index, Tick restart_delay) {
+  node.status.up = false;
+  node.status.crashed_at = now_;
+  node.status.down_until = now_ + (restart_delay > 0 ? restart_delay : 1);
+  node.status.stalled_until = 0;
+  ++node.status.crashes;
+  // Flush every incident link: words in flight to a dead port have nobody
+  // listening, and words the dead incarnation pushed must not reach peers
+  // as ghosts of a session that no longer exists.
+  for (int id : node.in_links) {
+    links_[static_cast<std::size_t>(id)]->Reset(now_);
+  }
+  for (int id : node.out_links) {
+    links_[static_cast<std::size_t>(id)]->Reset(now_);
+  }
+  NoteCrash(index, now_, node.status.down_until - now_);
+}
+
+void Network::RestartNode(Node& node, int index) {
+  // A node that was never enrolled in recovery stays down forever — there is
+  // no image to rebuild it from. Its status still records the crash.
+  if (!node.recoverable) {
+    return;
+  }
+  const bool cold = !node.checkpoint.has_value();
+  const std::vector<Word>& image = cold ? node.genesis : *node.checkpoint;
+  if (!node.process->Restore(std::span<const Word>(image))) {
+    return;  // malformed image: stay down rather than run corrupted state
+  }
+  if (cold) {
+    node.process->OnColdRestart();
+    ++node.status.cold_starts;
+  } else {
+    ++node.status.restores;
+  }
+  // In-links may have accumulated traffic addressed to the dead incarnation
+  // while the node was down; the reborn process must start from silence.
+  for (int id : node.in_links) {
+    links_[static_cast<std::size_t>(id)]->Reset(now_);
+  }
+  node.status.up = true;
+  const Tick recovered_from = cold ? 0 : node.status.last_checkpoint_at;
+  const Tick lost = node.status.crashed_at > recovered_from
+                        ? node.status.crashed_at - recovered_from
+                        : 0;
+  node.status.last_recovery_ticks = lost;
+  recovery_log_.push_back(NodeRecoveryEvent{index, node.status.crashed_at, now_, lost, cold});
+  NoteRestore(index, now_, cold, lost);
+}
+
+void Network::TakeCheckpoint(Node& node) {
+  std::vector<Word> image;
+  if (!node.process->Checkpoint(image)) {
+    return;
+  }
+  node.checkpoint = std::move(image);
+  node.status.last_checkpoint_at = now_;
+  ++node.status.checkpoints;
 }
 
 std::size_t Network::Run(std::size_t max_steps) {

@@ -14,9 +14,11 @@
 #ifndef SRC_DISTRIBUTED_NETWORK_H_
 #define SRC_DISTRIBUTED_NETWORK_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,28 @@ class Process {
   virtual void Step(NodeContext& ctx) = 0;
   // True once the process will never act again (lets runs terminate early).
   virtual bool Finished() const { return false; }
+
+  // --- crash–restart survivability ------------------------------------------
+  //
+  // A process that can survive a node crash serializes its COMPLETE dynamic
+  // state into words (src/distributed/recovery.h helpers) and rebuilds
+  // itself from such an image. Checkpoint is non-const on purpose: taking a
+  // checkpoint is a commit point (e.g. a reliable receiver releases ACKs
+  // only for checkpointed data — the classic write-ahead rule), so the
+  // process may need to advance commit bookkeeping as part of the snapshot.
+  // The default "not recoverable" keeps every existing process unchanged.
+  virtual bool Checkpoint(std::vector<Word>& out) {
+    (void)out;
+    return false;
+  }
+  virtual bool Restore(std::span<const Word> state) {
+    (void)state;
+    return false;
+  }
+  // Called after a COLD restart — a restore from the genesis (boot) image
+  // because no periodic checkpoint existed. Sessions with peers are gone;
+  // this is the hook to re-handshake them (reliable-channel resync).
+  virtual void OnColdRestart() {}
 };
 
 // One-directional word pipe with capacity and delivery latency. A link may
@@ -83,6 +107,21 @@ class Link {
   // exactly the old prefix pop.
   void Advance(Tick now);
 
+  // Flush: deterministically discards every word in the wire (in flight AND
+  // ready). Called when an endpoint crashes — words addressed to a dead port
+  // have nobody listening, and words the dead incarnation pushed must not be
+  // delivered to the reborn process as ghosts. The installed FaultPlan (the
+  // wire's own misbehaviour) survives a reset; only traffic dies.
+  void Reset(Tick now) {
+    in_flight_.clear();
+    ready_.clear();
+    ++resets_;
+    last_reset_ = now;
+  }
+
+  std::uint64_t resets() const { return resets_; }
+  Tick last_reset() const { return last_reset_; }
+
   // --- fault injection -------------------------------------------------------
 
   void InstallFaults(FaultSpec spec, std::uint64_t seed) {
@@ -105,6 +144,8 @@ class Link {
   std::deque<InFlight> in_flight_;
   std::deque<Word> ready_;
   std::uint64_t total_pushed_ = 0;
+  std::uint64_t resets_ = 0;
+  Tick last_reset_ = 0;
   std::unique_ptr<FaultPlan> faults_;
 };
 
@@ -196,15 +237,93 @@ class Network {
   // `from` have ANY declared path to `to`?).
   bool Reachable(int from, int to) const;
 
+  // --- crash–restart survivability ------------------------------------------
+  //
+  // A node enrolled in recovery takes a genesis image immediately (the boot
+  // state) and, if `checkpoint_interval` is nonzero, a fresh checkpoint every
+  // that many executed quanta. When the node crashes — via an installed
+  // NodeFaultPlan, a ScheduleCrash entry, or CrashNow — every incident link
+  // is Reset (no ghosts), the node goes dark for its restart delay, and on
+  // restart it is rebuilt from the newest checkpoint (warm) or the genesis
+  // image (cold; OnColdRestart fires so sessions can re-handshake).
+
+  // Everything observable about one node's health.
+  struct NodeStatus {
+    bool up = true;
+    Tick stalled_until = 0;      // > now: frozen with state intact
+    Tick down_until = 0;         // > now: dead, waiting to restart
+    Tick crashed_at = 0;         // tick of the most recent crash
+    Tick last_checkpoint_at = 0; // tick of the most recent checkpoint
+    std::uint64_t crashes = 0;
+    std::uint64_t restores = 0;     // warm restarts (from a checkpoint)
+    std::uint64_t cold_starts = 0;  // restarts from the genesis image
+    std::uint64_t checkpoints = 0;
+    std::uint64_t stalls = 0;
+    Tick last_recovery_ticks = 0;  // work lost: crashed_at - last checkpoint
+  };
+
+  // One completed crash→restart cycle, in order of occurrence.
+  struct NodeRecoveryEvent {
+    int node = 0;
+    Tick crashed_at = 0;
+    Tick restarted_at = 0;
+    Tick lost_ticks = 0;  // crashed_at - checkpoint the node restarted from
+    bool cold = false;    // true when no checkpoint existed (genesis restore)
+  };
+
+  // Enrols `node` in checkpoint recovery. Takes the genesis image now;
+  // `checkpoint_interval` = 0 means genesis-only (every restart is cold).
+  // Returns false if the process does not implement Checkpoint.
+  bool EnableRecovery(int node, Tick checkpoint_interval);
+
+  // Installs a seeded per-quantum crash/stall schedule on `node`.
+  void InjectNodeFaults(int node, const NodeFaultSpec& spec, std::uint64_t seed);
+
+  // Deterministic scripted crash: the node dies at the start of its quantum
+  // on the first tick >= `at`, then restarts after `restart_delay` ticks.
+  void ScheduleCrash(int node, Tick at, Tick restart_delay);
+
+  // Immediate crash (testing hook).
+  void CrashNow(int node, Tick restart_delay);
+
+  bool NodeUp(int node) const { return nodes_[static_cast<std::size_t>(node)].status.up; }
+  const NodeStatus& node_status(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].status;
+  }
+  const std::vector<NodeRecoveryEvent>& recovery_log() const { return recovery_log_; }
+  const NodeFaultCounters* NodeFaultCountersFor(int node) const {
+    const auto& plan = nodes_[static_cast<std::size_t>(node)].fault_plan;
+    return plan ? &plan->counters() : nullptr;
+  }
+
  private:
   struct Node {
     std::unique_ptr<Process> process;
     std::vector<int> in_links;
     std::vector<int> out_links;
+    // Recovery state (engaged only via EnableRecovery / InjectNodeFaults).
+    NodeStatus status;
+    bool recoverable = false;
+    Tick checkpoint_interval = 0;
+    std::uint64_t executed_quanta = 0;
+    std::vector<Word> genesis;
+    std::optional<std::vector<Word>> checkpoint;
+    std::unique_ptr<NodeFaultPlan> fault_plan;
+    struct ScriptedCrash {
+      Tick at;
+      Tick restart_delay;
+    };
+    std::vector<ScriptedCrash> scripted_crashes;
   };
+
+  void CrashNode(Node& node, int index, Tick restart_delay);
+  void RestartNode(Node& node, int index);
+  void TakeCheckpoint(Node& node);
+
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Edge> edges_;
+  std::vector<NodeRecoveryEvent> recovery_log_;
   Tick now_ = 0;
 };
 

@@ -1,0 +1,92 @@
+#include "src/distributed/recoverable.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace sep {
+
+namespace {
+
+// The lossy middle of the pipeline: survives wire faults AND endpoint
+// crashes. One word per segment is what makes replayed segments
+// byte-identical to their first incarnation (deterministic segmentation).
+ReliableConfig TunnelConfig(ReliableConfig base, const TunnelRecoveryOptions& recovery) {
+  base.max_segment_words = 1;
+  base.resync = recovery.resync;
+  base.ack_commit = recovery.ack_commit;  // consumed by the egress receiver
+  return base;
+}
+
+// The local feed/deliver hops: perfect wires, but their in-flight words die
+// with a crashing endpoint (Link::Reset), so they need retransmission too.
+// No redundancy — nothing corrupts here, losses come only from crashes.
+ReliableConfig LocalConfig(const TunnelRecoveryOptions& recovery, bool crashable_receiver) {
+  ReliableConfig config;
+  config.max_segment_words = 1;
+  config.window_segments = 16;
+  config.redundancy = 1;
+  config.resync = recovery.resync;
+  // The write-ahead rule binds exactly where the RECEIVER can crash: the
+  // feed's receiver is the crashable ingress; the deliver hop's receiver is
+  // the immortal relay-out, which may acknowledge immediately.
+  config.ack_commit = crashable_receiver && recovery.ack_commit;
+  return config;
+}
+
+}  // namespace
+
+RecoverableTunnel SpliceRecoverableTunnel(Network& net, int from, int to,
+                                          const ReliableConfig& config,
+                                          const TunnelRecoveryOptions& recovery,
+                                          std::size_t capacity, Tick latency,
+                                          const std::string& name) {
+  ReliableConfig mid = TunnelConfig(config, recovery);
+  ReliableConfig feed = LocalConfig(recovery, /*crashable_receiver=*/true);
+  const ReliableConfig deliver = LocalConfig(recovery, /*crashable_receiver=*/false);
+  if (recovery.checkpoint_interval == 0 && recovery.ack_commit) {
+    // Genesis-only mode: with no checkpoints there is no commit point, so
+    // under the write-ahead rule NOTHING is ever acknowledged and nothing
+    // ever leaves a sender window. Size the windows feeding the crashable
+    // endpoints to hold the whole stream, or delivery would cap at one
+    // window's worth of words.
+    mid.window_segments = std::max<std::size_t>(mid.window_segments, 4096);
+    feed.window_segments = std::max<std::size_t>(feed.window_segments, 4096);
+  }
+
+  RecoverableTunnel tunnel;
+  tunnel.relay_in_node =
+      net.AddNode(std::make_unique<ReliableIngress>(name + "-relay-in", feed));
+  tunnel.ingress_node =
+      net.AddNode(std::make_unique<RecoverableIngress>(name + "-ingress", feed, mid));
+  tunnel.egress_node =
+      net.AddNode(std::make_unique<RecoverableEgress>(name + "-egress", mid, deliver));
+  tunnel.relay_out_node =
+      net.AddNode(std::make_unique<ReliableEgress>(name + "-relay-out", deliver));
+
+  // Connect order fixes port numbers; it must match the Step() port maps in
+  // ReliableIngress/Egress and RecoverableIngress/Egress exactly.
+  net.Connect(from, tunnel.relay_in_node, 512, 1, name + "-in");               // relay-in  in0
+  net.Connect(tunnel.relay_in_node, tunnel.ingress_node, 512, 1, name + "-feed");      // ingress in0
+  tunnel.data_link = net.Connect(tunnel.ingress_node, tunnel.egress_node, capacity, latency,
+                                 name + "-data");                              // ingress out0, egress in0
+  tunnel.ack_link = net.Connect(tunnel.egress_node, tunnel.ingress_node, capacity, latency,
+                                name + "-ack");                                // egress out0, ingress in1
+  net.Connect(tunnel.ingress_node, tunnel.relay_in_node, 512, 1, name + "-feed-ack");  // ingress out1, relay-in in1
+  net.Connect(tunnel.egress_node, tunnel.relay_out_node, 512, 1, name + "-deliver");   // egress out1, relay-out in0
+  net.Connect(tunnel.relay_out_node, tunnel.egress_node, 512, 1, name + "-deliver-ack");  // egress in1
+  net.Connect(tunnel.relay_out_node, to, 512, 1, name + "-out");               // relay-out out1
+
+  net.EnableRecovery(tunnel.ingress_node, recovery.checkpoint_interval);
+  net.EnableRecovery(tunnel.egress_node, recovery.checkpoint_interval);
+  return tunnel;
+}
+
+const RecoverableIngress& TunnelIngress(Network& net, const RecoverableTunnel& tunnel) {
+  return static_cast<const RecoverableIngress&>(net.process(tunnel.ingress_node));
+}
+
+const RecoverableEgress& TunnelEgress(Network& net, const RecoverableTunnel& tunnel) {
+  return static_cast<const RecoverableEgress&>(net.process(tunnel.egress_node));
+}
+
+}  // namespace sep

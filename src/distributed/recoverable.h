@@ -1,0 +1,203 @@
+// Crash-survivable reliable tunnels.
+//
+// SpliceReliableTunnel (reliable.h) survives a hostile WIRE; this header
+// survives hostile MACHINES: the tunnel endpoints themselves may crash-stop
+// under a NodeFaultPlan, losing all volatile state, and the stream must
+// still come out byte-identical at the far end (experiment E18).
+//
+// The construction is a four-node pipeline in which every hop adjacent to a
+// crashable node is retransmission-capable:
+//
+//   from -> relay-in ==feed==> INGRESS ==data/ack==> EGRESS ==deliver==> relay-out -> to
+//            (immortal)       (crashable)  (lossy)  (crashable)          (immortal)
+//
+// Three rules make recovery exact rather than merely likely:
+//
+//   1. ACK-COMMIT (write-ahead): a crashable receiver acknowledges only data
+//      covered by its newest checkpoint. Anything a rollback forgets is
+//      still unacknowledged in the peer sender's window, so the peer simply
+//      retransmits it. Disable it (TunnelRecoveryOptions::ack_commit=false,
+//      the chaos sweep's negative fixture) and a crash silently truncates
+//      the stream.
+//   2. DETERMINISTIC SEGMENTATION: one payload word per segment, so segment
+//      k always carries stream word k-1 regardless of arrival timing. A
+//      replayed segment is byte-identical to its first incarnation, and the
+//      immortal relays discard replays as ordinary duplicates.
+//   3. SESSION RESYNC: a cold-restarted endpoint (no checkpoint existed)
+//      announces a fresh session over the SYN/SYNREQ handshake instead of
+//      silently reusing sequence numbers it no longer remembers.
+//
+// Checkpoint images use the recovery.h word format; Network::EnableRecovery
+// stores them and drives the crash/restart lifecycle. docs/RESILIENCE.md §6.
+#ifndef SRC_DISTRIBUTED_RECOVERABLE_H_
+#define SRC_DISTRIBUTED_RECOVERABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/distributed/network.h"
+#include "src/distributed/recovery.h"
+#include "src/distributed/reliable.h"
+
+namespace sep {
+
+// Checkpoint image version tag (first word of every endpoint image).
+inline constexpr Word kRecoverableImageVersion = 1;
+
+// Sender-side crashable endpoint. Ports (wire in declaration order):
+//   in0  = framed feed data from the immortal relay-in
+//   in1  = ACK words from the egress (lossy reverse line)
+//   out0 = framed data onto the lossy line
+//   out1 = feed ACK words back to relay-in
+class RecoverableIngress : public Process {
+ public:
+  RecoverableIngress(std::string name, ReliableConfig feed, ReliableConfig tunnel)
+      : name_(std::move(name)), feed_rx_(feed), tunnel_tx_(tunnel) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override {
+    feed_rx_.Pump(ctx, /*data_in_port=*/0, /*ack_out_port=*/1);
+    while (std::optional<Word> w = feed_rx_.NextWord()) {
+      tunnel_tx_.SendWord(*w);
+    }
+    tunnel_tx_.Pump(ctx, /*data_out_port=*/0, /*ack_in_port=*/1);
+  }
+
+  bool Checkpoint(std::vector<Word>& out) override {
+    CkptWriter w(out);
+    w.U16(kRecoverableImageVersion);
+    feed_rx_.Checkpoint(w);
+    tunnel_tx_.Checkpoint(w);
+    return true;
+  }
+  bool Restore(std::span<const Word> state) override {
+    CkptReader r(state);
+    if (r.U16() != kRecoverableImageVersion) {
+      return false;
+    }
+    feed_rx_.Restore(r);
+    tunnel_tx_.Restore(r);
+    if (!r.AtEnd()) {
+      return false;
+    }
+    // EVERY restart — warm or cold — announces itself to both peers: the
+    // announcement revives senders that had given the line up for dead and
+    // kicks retransmission immediately instead of waiting out a timer. The
+    // incarnation counter lives HERE, not in the image: it counts restarts,
+    // which is exactly what a checkpoint must not roll back.
+    const Word nonce = static_cast<Word>(++restarts_);
+    feed_rx_.StartResync(nonce);
+    tunnel_tx_.StartResync(nonce);
+    return true;
+  }
+  void OnColdRestart() override { ++cold_restarts_; }
+
+  const ReliableReceiver& feed_receiver() const { return feed_rx_; }
+  const ReliableSender& tunnel_sender() const { return tunnel_tx_; }
+  std::uint64_t cold_restarts() const { return cold_restarts_; }
+
+ private:
+  std::string name_;
+  ReliableReceiver feed_rx_;
+  ReliableSender tunnel_tx_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t cold_restarts_ = 0;
+};
+
+// Receiver-side crashable endpoint. Ports (declaration order):
+//   in0  = framed data from the lossy line
+//   in1  = deliver ACK words from relay-out
+//   out0 = ACK words back onto the lossy line
+//   out1 = framed deliver data to relay-out
+class RecoverableEgress : public Process {
+ public:
+  RecoverableEgress(std::string name, ReliableConfig tunnel, ReliableConfig deliver)
+      : name_(std::move(name)), tunnel_rx_(tunnel), deliver_tx_(deliver) {}
+
+  std::string name() const override { return name_; }
+  void Step(NodeContext& ctx) override {
+    tunnel_rx_.Pump(ctx, /*data_in_port=*/0, /*ack_out_port=*/0);
+    while (std::optional<Word> w = tunnel_rx_.NextWord()) {
+      deliver_tx_.SendWord(*w);
+    }
+    deliver_tx_.Pump(ctx, /*data_out_port=*/1, /*ack_in_port=*/1);
+  }
+
+  bool Checkpoint(std::vector<Word>& out) override {
+    CkptWriter w(out);
+    w.U16(kRecoverableImageVersion);
+    tunnel_rx_.Checkpoint(w);
+    deliver_tx_.Checkpoint(w);
+    return true;
+  }
+  bool Restore(std::span<const Word> state) override {
+    CkptReader r(state);
+    if (r.U16() != kRecoverableImageVersion) {
+      return false;
+    }
+    tunnel_rx_.Restore(r);
+    deliver_tx_.Restore(r);
+    if (!r.AtEnd()) {
+      return false;
+    }
+    const Word nonce = static_cast<Word>(++restarts_);
+    tunnel_rx_.StartResync(nonce);
+    deliver_tx_.StartResync(nonce);
+    return true;
+  }
+  void OnColdRestart() override { ++cold_restarts_; }
+
+  const ReliableReceiver& tunnel_receiver() const { return tunnel_rx_; }
+  const ReliableSender& deliver_sender() const { return deliver_tx_; }
+  std::uint64_t cold_restarts() const { return cold_restarts_; }
+
+ private:
+  std::string name_;
+  ReliableReceiver tunnel_rx_;
+  ReliableSender deliver_tx_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t cold_restarts_ = 0;
+};
+
+// Recovery policy for the two crashable endpoints of a spliced tunnel.
+struct TunnelRecoveryOptions {
+  // Quanta between checkpoints; 0 = genesis-only (every restart is cold).
+  Tick checkpoint_interval = 16;
+  // The write-ahead rule. Turning it off is the DELIBERATELY BROKEN
+  // configuration the chaos sweep must catch (chaos_run --break-resync).
+  bool ack_commit = true;
+  // SYN/SYNREQ handshake on cold restart.
+  bool resync = true;
+};
+
+// Node/link ids of a spliced crash-survivable tunnel.
+struct RecoverableTunnel {
+  int relay_in_node = -1;   // immortal ReliableIngress facing `from`
+  int ingress_node = -1;    // crashable endpoint (enrolled in recovery)
+  int egress_node = -1;     // crashable endpoint (enrolled in recovery)
+  int relay_out_node = -1;  // immortal ReliableEgress facing `to`
+  int data_link = -1;       // ingress -> egress (inject wire faults here)
+  int ack_link = -1;        // egress -> ingress (and/or here)
+};
+
+// Replaces what would have been Connect(from, to) with the four-node
+// crash-survivable pipeline. Call at the point in the wiring order where
+// Connect(from, to) would have been (port numbering on `from`/`to` is then
+// unchanged). Both crashable endpoints are enrolled via
+// Network::EnableRecovery before this returns, so they can be crashed
+// (ScheduleCrash / InjectNodeFaults) immediately.
+RecoverableTunnel SpliceRecoverableTunnel(Network& net, int from, int to,
+                                          const ReliableConfig& config = {},
+                                          const TunnelRecoveryOptions& recovery = {},
+                                          std::size_t capacity = 512, Tick latency = 1,
+                                          const std::string& name = "rtunnel");
+
+// Convenience accessors (valid for the lifetime of `net`).
+const RecoverableIngress& TunnelIngress(Network& net, const RecoverableTunnel& tunnel);
+const RecoverableEgress& TunnelEgress(Network& net, const RecoverableTunnel& tunnel);
+
+}  // namespace sep
+
+#endif  // SRC_DISTRIBUTED_RECOVERABLE_H_

@@ -1,0 +1,117 @@
+// Checkpoint serialization for crash–restart survivable processes.
+//
+// A Process that wants to survive a Network-level crash (see
+// Network::EnableRecovery) serializes its COMPLETE dynamic state into a flat
+// word vector — the same currency Machine::SnapshotFullInto uses — so a
+// checkpoint is just words, storable anywhere and diffable in tests. These
+// two helpers keep the encodings uniform: every multi-word quantity is
+// little-endian in 16-bit limbs, every container is length-prefixed, and a
+// malformed image turns the reader sticky-invalid instead of running off the
+// end (the restart path must reject a truncated checkpoint, not act on it).
+//
+// docs/RESILIENCE.md §6 documents the checkpoint format contract.
+#ifndef SRC_DISTRIBUTED_RECOVERY_H_
+#define SRC_DISTRIBUTED_RECOVERY_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace sep {
+
+// Appends fields to a checkpoint image.
+class CkptWriter {
+ public:
+  explicit CkptWriter(std::vector<Word>& out) : out_(out) {}
+
+  void U16(Word v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    out_.push_back(static_cast<Word>(v & 0xFFFF));
+    out_.push_back(static_cast<Word>(v >> 16));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void Flag(bool v) { out_.push_back(v ? 1 : 0); }
+
+  template <typename Container>  // vector<Word> or deque<Word>
+  void Words(const Container& c) {
+    U32(static_cast<std::uint32_t>(c.size()));
+    for (Word w : c) {
+      out_.push_back(w);
+    }
+  }
+
+  void MaybeWord(const std::optional<Word>& v) {
+    Flag(v.has_value());
+    U16(v.value_or(0));
+  }
+
+ private:
+  std::vector<Word>& out_;
+};
+
+// Reads fields back. Sticky-invalid on overrun: every accessor returns 0
+// once `ok()` is false, and a well-formed restore ends with ok() && AtEnd().
+class CkptReader {
+ public:
+  explicit CkptReader(std::span<const Word> data) : data_(data) {}
+
+  Word U16() { return Take(); }
+  std::uint32_t U32() {
+    const std::uint32_t lo = Take();
+    const std::uint32_t hi = Take();
+    return lo | (hi << 16);
+  }
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    const std::uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  bool Flag() { return Take() != 0; }
+
+  template <typename Container>  // vector<Word> or deque<Word>
+  void Words(Container& c) {
+    const std::uint32_t count = U32();
+    if (count > Remaining()) {
+      ok_ = false;
+      c.clear();
+      return;
+    }
+    c.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+  }
+
+  std::optional<Word> MaybeWord() {
+    const bool has = Flag();
+    const Word v = Take();
+    return has ? std::optional<Word>(v) : std::nullopt;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  Word Take() {
+    if (!ok_ || pos_ >= data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  std::span<const Word> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sep
+
+#endif  // SRC_DISTRIBUTED_RECOVERY_H_

@@ -79,6 +79,85 @@ void ReliableSender::RetransmitWindow() {
   }
 }
 
+void ReliableSender::QueueSyn(Word nonce, Word first_seq) {
+  Word frame[4] = {kRelSyn, nonce, first_seq, 0};
+  frame[3] = RelChecksum(frame, 3);
+  for (int copy = 0; copy < std::max(1, config_.redundancy); ++copy) {
+    tx_queue_.insert(tx_queue_.end(), frame, frame + 4);
+  }
+  ++stats_.syns_sent;
+}
+
+void ReliableSender::HandleSynReq(Word nonce) {
+  if (last_synreq_nonce_.has_value() && *last_synreq_nonce_ == nonce) {
+    return;  // redundant copy of a request already honoured
+  }
+  last_synreq_nonce_ = nonce;
+  ++stats_.synreqs_handled;
+  if (dead_) {
+    // The peer demonstrably restarted: the line is alive again.
+    dead_ = false;
+    retries_ = 0;
+    rto_ = config_.initial_rto;
+    ++stats_.revivals;
+  }
+  // Echo the nonce into a disjoint space so the answering SYN cannot collide
+  // with a nonce this sender used for its own cold restarts.
+  pending_syn_ = static_cast<Word>(nonce | 0x8000);
+  kick_ = true;
+  dup_acks_ = 0;
+  deadline_ = 0;
+}
+
+void ReliableSender::StartResync(Word nonce) {
+  // A restart is a fresh incarnation of the line: forget the give-up verdict
+  // and every timer, and replay the whole window under the new session.
+  dead_ = false;
+  retries_ = 0;
+  rto_ = config_.initial_rto;
+  deadline_ = 0;
+  dup_acks_ = 0;
+  tx_queue_.clear();
+  kick_ = true;
+  if (config_.resync) {
+    pending_syn_ = nonce;
+  }
+}
+
+void ReliableSender::Checkpoint(CkptWriter& w) const {
+  w.Words(outbox_);
+  w.U32(static_cast<std::uint32_t>(window_.size()));
+  for (const Segment& segment : window_) {
+    w.U16(segment.seq);
+    w.Words(segment.payload);
+  }
+  w.U16(next_seq_);
+  w.U16(last_cum_);
+}
+
+void ReliableSender::Restore(CkptReader& r) {
+  r.Words(outbox_);
+  const std::uint32_t count = r.U32();
+  window_.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    Segment segment;
+    segment.seq = r.U16();
+    r.Words(segment.payload);
+    segment.queued = true;  // its wire words died with the old incarnation
+    window_.push_back(std::move(segment));
+  }
+  next_seq_ = r.U16();
+  last_cum_ = r.U16();
+  tx_queue_.clear();
+  ack_rx_.clear();
+  rto_ = config_.initial_rto;
+  deadline_ = 0;
+  retries_ = 0;
+  dup_acks_ = 0;
+  dead_ = false;
+  kick_ = true;  // retransmit the restored window as soon as possible
+}
+
 void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) {
   // 1. Ingest cumulative ACKs (the reverse line is lossy too: frames can be
   // corrupt or missing; the checksum rejects mangled ones and retransmission
@@ -87,6 +166,20 @@ void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) 
     ack_rx_.push_back(*w);
   }
   while (!ack_rx_.empty()) {
+    if (ack_rx_.front() == kRelSynReq) {
+      // Peer restart announcement: [kRelSynReq, nonce, checksum].
+      if (ack_rx_.size() < 3) {
+        break;
+      }
+      if (ChecksumDeque(ack_rx_, 2) != ack_rx_[2]) {
+        ack_rx_.pop_front();
+        ++stats_.acks_rejected;
+        continue;
+      }
+      HandleSynReq(ack_rx_[1]);
+      ack_rx_.erase(ack_rx_.begin(), ack_rx_.begin() + 3);
+      continue;
+    }
     if (ack_rx_.front() != kRelAck) {
       ack_rx_.pop_front();
       continue;
@@ -106,6 +199,26 @@ void ReliableSender::Pump(NodeContext& ctx, int data_out_port, int ack_in_port) 
 
   if (dead_) {
     return;  // the line was declared dead; nothing more will be sent
+  }
+
+  // 1b. Session restart: announce the new session (SYN first on the wire),
+  // then replay the whole window under it. Waits for the tx queue to drain
+  // so an in-progress frame is never truncated.
+  if ((pending_syn_.has_value() || kick_) && tx_queue_.empty()) {
+    if (pending_syn_.has_value()) {
+      QueueSyn(*pending_syn_, window_.empty() ? next_seq_ : window_.front().seq);
+      pending_syn_.reset();
+    }
+    if (kick_) {
+      kick_ = false;
+      for (const Segment& segment : window_) {
+        SerializeSegment(segment);
+        ++stats_.retransmits;
+      }
+      if (!window_.empty()) {
+        deadline_ = ctx.now() + rto_;
+      }
+    }
   }
 
   // 2. Pack queued payload words into new segments while the window allows.
@@ -190,6 +303,34 @@ ReliableReceiver::ReliableReceiver(ReliableConfig config) : config_(config) {}
 
 void ReliableReceiver::ParseFrames() {
   while (!rx_buffer_.empty()) {
+    if (rx_buffer_.front() == kRelSyn) {
+      // Session announcement: [kRelSyn, nonce, first_seq, checksum]. The
+      // peer's stream now begins at first_seq; sequence numbers before it
+      // belong to a session nobody remembers. Only ever jump FORWARD —
+      // a replayed base behind expected_ is the exactly-once path (the
+      // peer re-sends, we discard duplicates), and moving backward would
+      // re-deliver words the application already consumed.
+      if (rx_buffer_.size() < 4) {
+        return;
+      }
+      if (ChecksumDeque(rx_buffer_, 3) != rx_buffer_[3]) {
+        rx_buffer_.pop_front();
+        ++stats_.corrupt_discarded;
+        continue;
+      }
+      const Word nonce = rx_buffer_[1];
+      const Word first = rx_buffer_[2];
+      if (config_.resync && (!last_syn_nonce_.has_value() || *last_syn_nonce_ != nonce)) {
+        last_syn_nonce_ = nonce;
+        if (SeqBefore(expected_, first)) {
+          expected_ = first;
+          ++stats_.session_resyncs;
+        }
+        ack_pending_ = true;  // answer with our cumulative to align the peer
+      }
+      rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + 4);
+      continue;
+    }
     if (rx_buffer_.front() != kRelData) {
       rx_buffer_.pop_front();
       ++stats_.resyncs;
@@ -239,8 +380,22 @@ void ReliableReceiver::Pump(NodeContext& ctx, int data_in_port, int ack_out_port
   }
   ParseFrames();
 
+  // A restart announcement outranks ACK traffic on the reverse line.
+  if (pending_synreq_.has_value() && ack_tx_.empty()) {
+    Word frame[3] = {kRelSynReq, *pending_synreq_, 0};
+    frame[2] = RelChecksum(frame, 2);
+    for (int copy = 0; copy < std::max(1, config_.redundancy); ++copy) {
+      ack_tx_.insert(ack_tx_.end(), frame, frame + 3);
+    }
+    pending_synreq_.reset();
+    ++stats_.synreqs_sent;
+  }
+
   if (ack_pending_ && ack_tx_.empty()) {
-    const Word cumulative = static_cast<Word>(expected_ - 1);
+    // With ack_commit, the cumulative value lags expected_: only data the
+    // newest checkpoint covers is acknowledged (AckValue), so a rollback
+    // never forgets anything the peer has stopped guarding.
+    const Word cumulative = AckValue();
     Word frame[3] = {kRelAck, cumulative, 0};
     frame[2] = RelChecksum(frame, 2);
     for (int copy = 0; copy < std::max(1, config_.redundancy); ++copy) {
@@ -251,6 +406,41 @@ void ReliableReceiver::Pump(NodeContext& ctx, int data_in_port, int ack_out_port
   }
   while (!ack_tx_.empty() && ctx.Send(ack_out_port, ack_tx_.front())) {
     ack_tx_.pop_front();
+  }
+}
+
+void ReliableReceiver::Checkpoint(CkptWriter& w) {
+  if (config_.ack_commit) {
+    // The commit point: everything received in order up to this instant is
+    // now durable and therefore (and only therefore) acknowledgeable. Only
+    // an ADVANCING commit is announced — re-ACKing an unchanged cumulative
+    // at every checkpoint would read as duplicate-ACK loss signals to the
+    // peer and keep resetting its retransmission machinery.
+    const Word newly_committed = static_cast<Word>(expected_ - 1);
+    if (newly_committed != committed_) {
+      committed_ = newly_committed;
+      ack_pending_ = true;
+    }
+  }
+  w.Words(delivered_);
+  w.U16(expected_);
+  w.U16(committed_);
+}
+
+void ReliableReceiver::Restore(CkptReader& r) {
+  r.Words(delivered_);
+  expected_ = r.U16();
+  committed_ = r.U16();
+  rx_buffer_.clear();  // raw wire words died with the old incarnation
+  ack_tx_.clear();
+  ack_pending_ = true;  // re-announce our cumulative to the peer
+}
+
+void ReliableReceiver::StartResync(Word nonce) {
+  rx_buffer_.clear();
+  ack_tx_.clear();
+  if (config_.resync) {
+    pending_synreq_ = nonce;
   }
 }
 

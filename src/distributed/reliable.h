@@ -47,6 +47,7 @@
 
 #include "src/base/types.h"
 #include "src/distributed/network.h"
+#include "src/distributed/recovery.h"
 
 namespace sep {
 
@@ -54,6 +55,11 @@ namespace sep {
 // checksum, not the marker, is what actually authenticates a frame).
 inline constexpr Word kRelData = 0xD47A;
 inline constexpr Word kRelAck = 0xAC4B;
+// Session resynchronisation (crash–restart survivability; RESILIENCE.md §6):
+//   SYN    := [kRelSyn, nonce, first_seq, checksum]   sender -> receiver
+//   SYNREQ := [kRelSynReq, nonce, checksum]           receiver -> sender
+inline constexpr Word kRelSyn = 0x5A17;
+inline constexpr Word kRelSynReq = 0x5A99;
 
 // Serial (wrap-around) sequence comparison: is `a` strictly before `b`?
 inline bool SeqBefore(Word a, Word b) {
@@ -81,6 +87,17 @@ struct ReliableConfig {
   // Consecutive timeouts of the same window before the sender declares the
   // line dead. 0 = never give up.
   int max_retries = 0;
+  // Session resynchronisation: a cold-restarted endpoint announces a fresh
+  // session (SYN / SYNREQ handshake) instead of silently reusing sequence
+  // numbers from a state it no longer remembers. Off by default so plain
+  // tunnels are wire-identical to before.
+  bool resync = false;
+  // Ack-commit (receiver side, the write-ahead rule of crash recovery): the
+  // receiver acknowledges only data covered by its newest checkpoint, so
+  // everything a rollback forgets is still in the peer's window and gets
+  // retransmitted. MUST be on for a crashable receiver — the chaos sweep's
+  // negative fixture demonstrates the data loss when it is off.
+  bool ack_commit = false;
 };
 
 struct ReliableSenderStats {
@@ -91,6 +108,9 @@ struct ReliableSenderStats {
   std::uint64_t acks_received = 0;      // valid ACK frames processed
   std::uint64_t acks_rejected = 0;      // ACK frames failing the checksum
   std::uint64_t gave_up = 0;            // 1 once the line is declared dead
+  std::uint64_t syns_sent = 0;          // session announcements queued
+  std::uint64_t synreqs_handled = 0;    // peer restarts we resynced for
+  std::uint64_t revivals = 0;           // dead lines revived by a resync
 };
 
 struct ReliableReceiverStats {
@@ -100,6 +120,8 @@ struct ReliableReceiverStats {
   std::uint64_t corrupt_discarded = 0;     // checksum failures
   std::uint64_t resyncs = 0;               // words skipped hunting for a frame
   std::uint64_t acks_sent = 0;
+  std::uint64_t session_resyncs = 0;       // SYN frames that moved expected_
+  std::uint64_t synreqs_sent = 0;          // restart announcements queued
 };
 
 // The sending end. Feed payload words with SendWord(); call Pump() once per
@@ -126,6 +148,19 @@ class ReliableSender {
     return window_.empty() ? std::nullopt : std::optional<Word>(window_.front().seq);
   }
 
+  // --- crash–restart survivability ----------------------------------------
+  // Serializes the protocol state a restart must not forget: unsegmented
+  // outbox, the unacknowledged window, sequence counters. Volatile wire
+  // state (tx queue, timers, dup-ack tallies) and the stats are NOT part of
+  // the image: the former is regenerated by retransmission, the latter
+  // belong to the observer, staying monotone across restarts.
+  void Checkpoint(CkptWriter& w) const;
+  // Rebuilds from a checkpointed image; the whole window is queued for
+  // retransmission and the line is revived if it had given up.
+  void Restore(CkptReader& r);
+  // Cold restart: announce a fresh session to the peer (config.resync).
+  void StartResync(Word nonce);
+
  private:
   struct Segment {
     Word seq = 0;
@@ -135,7 +170,9 @@ class ReliableSender {
 
   void SerializeSegment(const Segment& segment);
   void HandleAck(Word cumulative);
+  void HandleSynReq(Word nonce);
   void RetransmitWindow();
+  void QueueSyn(Word nonce, Word first_seq);
 
   ReliableConfig config_;
   std::deque<Word> outbox_;     // payload words not yet segmented
@@ -149,6 +186,9 @@ class ReliableSender {
   Word last_cum_ = 0;  // newest cumulative ACK value seen
   int dup_acks_ = 0;   // consecutive ACKs repeating last_cum_ without progress
   bool dead_ = false;
+  bool kick_ = false;  // restart/resync: retransmit the window when possible
+  std::optional<Word> pending_syn_;       // session announcement to send
+  std::optional<Word> last_synreq_nonce_; // dedup for peer-restart requests
   ReliableSenderStats stats_;
 };
 
@@ -172,15 +212,32 @@ class ReliableReceiver {
   std::size_t pending_words() const { return delivered_.size(); }
   const ReliableReceiverStats& stats() const { return stats_; }
 
+  // --- crash–restart survivability ----------------------------------------
+  // Serializes undrained delivered words + sequence state, and COMMITS: with
+  // config.ack_commit, everything received in order up to this instant
+  // becomes acknowledgeable only now (the write-ahead rule). Raw un-parsed
+  // wire words are deliberately left out — they were never acknowledged, so
+  // the peer retransmits them after a rollback.
+  void Checkpoint(CkptWriter& w);
+  void Restore(CkptReader& r);
+  // Cold restart: ask the peer sender to re-announce its session base.
+  void StartResync(Word nonce);
+
  private:
   void ParseFrames();
+  Word AckValue() const {
+    return config_.ack_commit ? committed_ : static_cast<Word>(expected_ - 1);
+  }
 
   ReliableConfig config_;
   std::deque<Word> rx_buffer_;   // raw words off the data line
   std::deque<Word> delivered_;   // in-order payload stream for the app
   std::deque<Word> ack_tx_;      // serialized ACK words awaiting link space
   Word expected_ = 1;            // next in-order sequence number
+  Word committed_ = 0;           // newest checkpointed seq (ack_commit mode)
   bool ack_pending_ = false;
+  std::optional<Word> pending_synreq_;  // restart announcement to send
+  std::optional<Word> last_syn_nonce_;  // dedup for peer session announcements
   ReliableReceiverStats stats_;
 };
 

@@ -35,6 +35,10 @@ const char* CodeName(Code code) {
       return "net-timeout";
     case Code::kNetFaultInjected:
       return "net-fault";
+    case Code::kNetNodeCrash:
+      return "net-node-crash";
+    case Code::kNetNodeRestore:
+      return "net-node-restore";
   }
   return "unknown";
 }

@@ -73,6 +73,8 @@ enum class Code : std::uint16_t {
   kNetRetransmit = 48,    // a0 = link/port id
   kNetTimeout = 49,       // a0 = link/port id
   kNetFaultInjected = 50, // a0 = fault kind (FaultCounters ordinal)
+  kNetNodeCrash = 51,     // a0 = node id, a1 = restart delay (lo16)
+  kNetNodeRestore = 52,   // a0 = node id, a1 = 1 cold / 0 warm
 };
 
 // True for events that belong to a regime's canonical per-colour view.

@@ -54,6 +54,15 @@ TEST(CliValidation, ChaosRunRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("chaos_run") + " 0"), 2);        // zero packets
 }
 
+TEST(CliValidation, ChaosRunRejectsBadSweepArguments) {
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --seed-range 5"), 2);      // no ..
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --seed-range 9..3"), 2);   // reversed
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --seed-range a..b"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --seed-range"), 2);        // missing value
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --seed-range 0..1 --rate 99"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --replay /nonexistent/path.sched"), 2);
+}
+
 TEST(CliValidation, BenchReportRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance abc"), 2);
   EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance -0.5"), 2);

@@ -216,6 +216,9 @@ int main(int argc, char** argv) {
       opt.bindir +
       "/bench/bench_separability --notables --benchmark_format=json --benchmark_min_time=" +
       min_time + " --benchmark_filter='BM_Exhaustive'";
+  const std::string recovery =
+      opt.bindir + "/bench/bench_recovery --benchmark_format=json --benchmark_min_time=" +
+      min_time + " --benchmark_filter='BM_RecoveryChaos'";
 
   std::fprintf(stderr, "bench_report: running bench_machine...\n");
   const std::map<std::string, double> m1 = ParseItemsPerSecond(Capture(machine));
@@ -224,6 +227,9 @@ int main(int argc, char** argv) {
   const std::map<std::string, double> m2 = ParseItemsPerSecond(separability_json);
   const std::map<std::string, double> m2_bytes =
       ParseBenchField(separability_json, "bytes_per_state");
+  std::fprintf(stderr, "bench_report: running bench_recovery...\n");
+  const std::map<std::string, double> m3 =
+      ParseBenchField(Capture(recovery), "recovery_ticks_p99");
   std::fprintf(stderr, "bench_report: timing sepcheck...\n");
   const std::string sepcheck = opt.bindir + "/tools/sepcheck --all";
   const double sepcheck_serial = BestSeconds(sepcheck + " > /dev/null", sepcheck_runs);
@@ -263,6 +269,11 @@ int main(int argc, char** argv) {
   metrics["exhaustive_sps_per_mips"] = ex_kernelized / (cached / 1e6);
   metrics["sepcheck_all_seconds"] = sepcheck_serial;
   metrics["sepcheck_jobs_seconds"] = sepcheck_parallel;
+  // 99th-percentile ticks of forward progress a node crash discards, at the
+  // default checkpoint interval (16 quanta). The chaos simulation is fully
+  // deterministic, so this is a design property of the checkpoint cadence —
+  // host-independent, guardable, and LOWER is better (see below).
+  metrics["recovery_ticks_p99"] = Metric(m3, "BM_RecoveryChaos/16");
 
   // Ratios only: absolute rates swing with host speed, ratios are the
   // design-level claims (the cache pays; the state store is compact; the
@@ -273,8 +284,11 @@ int main(int argc, char** argv) {
   const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
                                             "exhaustive_sps_per_mips",
                                             "exhaustive_parallel_speedup",
-                                            "trace_disabled_overhead"};
+                                            "trace_disabled_overhead", "recovery_ticks_p99"};
   const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup"};
+  // Cost metrics regress UPWARD: the guard fires when the value exceeds the
+  // baseline by the tolerance, not when it falls below it.
+  const std::vector<std::string> lower_is_better = {"recovery_ticks_p99"};
 
   std::string json = "{\n  \"schema\": \"sep-bench-v1\",\n";
   json += "  \"host\": {\"hardware_threads\": " + std::to_string(threads) + "},\n";
@@ -345,6 +359,21 @@ int main(int argc, char** argv) {
       if (!std::isfinite(current)) {
         std::fprintf(stderr, "bench_report: note: %s is non-finite here; skipping\n",
                      name.c_str());
+        continue;
+      }
+      const bool inverted = std::find(lower_is_better.begin(), lower_is_better.end(), name) !=
+                            lower_is_better.end();
+      if (inverted) {
+        const double ceiling = base * (1.0 + opt.tolerance);
+        if (current > ceiling) {
+          std::fprintf(stderr,
+                       "bench_report: REGRESSION %s: %.3f > %.3f (baseline %.3f + %.0f%%)\n",
+                       name.c_str(), current, ceiling, base, opt.tolerance * 100);
+          ++failures;
+        } else {
+          std::fprintf(stderr, "bench_report: ok %s: %.3f (baseline %.3f)\n", name.c_str(),
+                       current, base);
+        }
         continue;
       }
       const double floor = base * (1.0 - opt.tolerance);

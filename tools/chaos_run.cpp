@@ -14,6 +14,20 @@
 // --trace FILE writes a Chrome trace-event JSON of the run's network events
 // (retransmits, timeouts, injected faults); --metrics FILE writes the flat
 // metrics dump. Either flag turns the recorder on for the whole run.
+//
+// CRASH-CHAOS SCHEDULER (experiment E18). --seed-range A..B switches to the
+// sweep mode: for every seed in [A, B] the SNFE pair runs over a CRASH-
+// SURVIVABLE tunnel (src/distributed/recoverable.h) whose two relay machines
+// die under a seeded NodeFaultPlan while the wire carries drop+corrupt
+// chaos. Each seed deterministically fixes the whole (crash-point x
+// restart-delay x link-fault) schedule; the verdict per seed is whether the
+// receiving host's stream was byte-identical to the undisturbed baseline.
+// Any failing seed makes the exit status non-zero; with --record FILE the
+// failing schedule (the crashes the run actually performed) is greedily
+// shrunk to a minimal still-failing schedule and appended to FILE, which
+// --replay FILE re-executes to confirm the failure reproduces exactly.
+// --break-resync disables the write-ahead ack-commit rule and the restart
+// handshake — the deliberately broken configuration the sweep must catch.
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +64,17 @@ bool SameStream(const std::vector<Frame>& a, const std::vector<Frame>& b) {
 
 constexpr char kUsage[] =
     "usage: chaos_run [--trace FILE] [--metrics FILE] [packets] [seed]\n"
-    "  packets: 1..4096 (default 16); seed: u64, 0x-prefix ok\n";
+    "       chaos_run --seed-range A..B [--rate PCT] [--record FILE]\n"
+    "                 [--break-resync] [packets]\n"
+    "       chaos_run --replay FILE\n"
+    "  packets: 1..4096 (default 16); seed: u64, 0x-prefix ok\n"
+    "  --seed-range A..B  crash-chaos sweep over seeds A..B (inclusive)\n"
+    "  --rate PCT         wire drop+corrupt percentage for the sweep (0..45,\n"
+    "                     default 20)\n"
+    "  --record FILE      append each failing seed's shrunk crash schedule\n"
+    "  --replay FILE      re-run recorded schedules; fails unless every one\n"
+    "                     reproduces its failure\n"
+    "  --break-resync     disable ack-commit + restart resync (negative fixture)\n";
 
 int UsageError(const char* message, const char* value) {
   std::fprintf(stderr, "chaos_run: %s: %s\n%s", message, value, kUsage);
@@ -68,11 +92,256 @@ bool WriteFile(const std::string& path, const std::string& data) {
   return true;
 }
 
+// --- crash-chaos sweep (E18) -------------------------------------------------
+
+// One crash of a tunnel endpoint, in replay-file coordinates.
+struct ExplicitCrash {
+  bool ingress = false;  // else egress
+  Tick at = 0;
+  Tick delay = 0;
+};
+
+struct CrashChaosResult {
+  bool identical = false;
+  std::uint64_t crashes = 0;
+  std::uint64_t cold = 0;
+  std::vector<ExplicitCrash> performed;  // what the run actually did
+};
+
+// Runs the SNFE pair over the recoverable tunnel under one chaos schedule:
+// seeded NodeFaultPlans when `script` is null, the exact scripted crashes
+// otherwise (same wire seed either way — that is what makes a recorded
+// schedule replayable).
+CrashChaosResult RunCrashChaos(int packets, int rate, std::uint64_t seed, bool broken,
+                               const std::vector<ExplicitCrash>* script,
+                               const std::vector<Frame>& baseline) {
+  Network net;
+  TunnelRecoveryOptions recovery;
+  if (broken) {
+    recovery.ack_commit = false;
+    recovery.resync = false;
+  }
+  SnfeRecoverableTopology topo =
+      BuildSnfePairRecoverable(net, CensorStrictness::kSyntax, FaultSpec::DropCorrupt(rate),
+                               seed ^ 0xD00DULL, recovery, packets);
+  if (script == nullptr) {
+    NodeFaultSpec spec;
+    spec.crash_percent = 1;
+    spec.max_crashes = 2;
+    spec.min_restart_delay = 4;
+    spec.max_restart_delay = 24;
+    net.InjectNodeFaults(topo.tunnel.ingress_node, spec, seed);
+    net.InjectNodeFaults(topo.tunnel.egress_node, spec, seed ^ 0xFEEDULL);
+  } else {
+    for (const ExplicitCrash& crash : *script) {
+      net.ScheduleCrash(crash.ingress ? topo.tunnel.ingress_node : topo.tunnel.egress_node,
+                        crash.at, crash.delay);
+    }
+  }
+
+  const auto& sink = static_cast<HostSink&>(net.process(topo.pair.host_rx));
+  for (int burst = 0; burst < 60 && sink.packets().size() < baseline.size(); ++burst) {
+    net.Run(2000);  // early exit once everything arrived; chaos needs slack
+  }
+
+  CrashChaosResult result;
+  result.identical = SameStream(sink.packets(), baseline);
+  result.crashes = net.node_status(topo.tunnel.ingress_node).crashes +
+                   net.node_status(topo.tunnel.egress_node).crashes;
+  for (const Network::NodeRecoveryEvent& event : net.recovery_log()) {
+    result.performed.push_back({event.node == topo.tunnel.ingress_node, event.crashed_at,
+                                event.restarted_at - event.crashed_at});
+    result.cold += event.cold ? 1 : 0;
+  }
+  return result;
+}
+
+// Greedy shrink: drop crashes one at a time while the failure persists. The
+// result is 1-minimal — removing any single remaining crash makes the run
+// pass again.
+std::vector<ExplicitCrash> ShrinkSchedule(int packets, int rate, std::uint64_t seed,
+                                          bool broken, const std::vector<Frame>& baseline,
+                                          std::vector<ExplicitCrash> schedule) {
+  bool progress = true;
+  while (progress && schedule.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      std::vector<ExplicitCrash> candidate = schedule;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!RunCrashChaos(packets, rate, seed, broken, &candidate, baseline).identical) {
+        schedule = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+std::string FormatSchedule(std::uint64_t seed, int rate, int packets, bool broken,
+                           const std::vector<ExplicitCrash>& schedule) {
+  std::string line = Format("seed %llu rate %d packets %d broken %d",
+                            static_cast<unsigned long long>(seed), rate, packets,
+                            broken ? 1 : 0);
+  for (const ExplicitCrash& crash : schedule) {
+    line += Format(" crash %s %llu %llu", crash.ingress ? "ingress" : "egress",
+                   static_cast<unsigned long long>(crash.at),
+                   static_cast<unsigned long long>(crash.delay));
+  }
+  line += "\n";
+  return line;
+}
+
+bool AppendFile(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+int SweepMain(std::uint64_t seed_lo, std::uint64_t seed_hi, int packets, int rate,
+              bool broken, const std::string& record_path) {
+  const std::vector<Frame> baseline = Baseline(packets);
+  std::printf("chaos_run: crash-chaos sweep, seeds %llu..%llu, %d packets, %d%% "
+              "drop+corrupt%s\n",
+              static_cast<unsigned long long>(seed_lo),
+              static_cast<unsigned long long>(seed_hi), packets, rate,
+              broken ? ", ack-commit/resync DISABLED" : "");
+
+  std::uint64_t failed = 0;
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    const CrashChaosResult run = RunCrashChaos(packets, rate, seed, broken, nullptr, baseline);
+    std::printf("seed %-8llu crashes %llu (%llu cold)  %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(run.crashes),
+                static_cast<unsigned long long>(run.cold),
+                run.identical ? "PASS" : "FAIL");
+    if (run.identical) {
+      continue;
+    }
+    ++failed;
+    // Confirm the failure is reproducible from the performed crashes alone,
+    // then shrink to a minimal failing schedule.
+    std::vector<ExplicitCrash> schedule = run.performed;
+    if (!schedule.empty() &&
+        !RunCrashChaos(packets, rate, seed, broken, &schedule, baseline).identical) {
+      schedule = ShrinkSchedule(packets, rate, seed, broken, baseline, schedule);
+    }
+    const std::string line = FormatSchedule(seed, rate, packets, broken, schedule);
+    std::printf("  failing schedule (shrunk): %s", line.c_str());
+    if (!record_path.empty() && !AppendFile(record_path, line)) {
+      return 2;
+    }
+  }
+
+  const std::uint64_t total = seed_hi - seed_lo + 1;
+  std::printf("sweep: %llu/%llu seeds passed\n",
+              static_cast<unsigned long long>(total - failed),
+              static_cast<unsigned long long>(total));
+  return failed == 0 ? 0 : 1;
+}
+
+int ReplayMain(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_run: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string data;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+
+  int line_no = 0;
+  std::uint64_t reproduced = 0, total = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t eol = data.find('\n', pos);
+    const std::string line = data.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? data.size() : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    // Tokenize and strictly parse: "seed S rate R packets P broken B
+    // [crash ingress|egress AT DELAY]..."
+    std::vector<std::string> tok;
+    std::size_t start = 0;
+    while (start < line.size()) {
+      const std::size_t end = line.find(' ', start);
+      tok.push_back(line.substr(start, end == std::string::npos ? end : end - start));
+      start = end == std::string::npos ? line.size() : end + 1;
+    }
+    const auto bad = [&](const char* what) {
+      std::fprintf(stderr, "chaos_run: %s:%d: malformed schedule (%s)\n", path.c_str(),
+                   line_no, what);
+      return 2;
+    };
+    if (tok.size() < 8 || tok[0] != "seed" || tok[2] != "rate" || tok[4] != "packets" ||
+        tok[6] != "broken") {
+      return bad("header");
+    }
+    const std::optional<long long> seed = ParseInt(tok[1], 0, LLONG_MAX, 0);
+    const std::optional<long long> rate = ParseInt(tok[3], 0, 45);
+    const std::optional<long long> packets = ParseInt(tok[5], 1, 4096);
+    const std::optional<long long> broken = ParseInt(tok[7], 0, 1);
+    if (!seed || !rate || !packets || !broken) {
+      return bad("numeric field");
+    }
+    std::vector<ExplicitCrash> schedule;
+    for (std::size_t i = 8; i < tok.size(); i += 4) {
+      if (i + 3 >= tok.size() || tok[i] != "crash" ||
+          (tok[i + 1] != "ingress" && tok[i + 1] != "egress")) {
+        return bad("crash entry");
+      }
+      const std::optional<long long> at = ParseInt(tok[i + 2], 0, LLONG_MAX);
+      const std::optional<long long> delay = ParseInt(tok[i + 3], 1, LLONG_MAX);
+      if (!at || !delay) {
+        return bad("crash numerics");
+      }
+      schedule.push_back({tok[i + 1] == "ingress", static_cast<Tick>(*at),
+                          static_cast<Tick>(*delay)});
+    }
+
+    ++total;
+    const std::vector<Frame> baseline = Baseline(static_cast<int>(*packets));
+    const CrashChaosResult run =
+        RunCrashChaos(static_cast<int>(*packets), static_cast<int>(*rate),
+                      static_cast<std::uint64_t>(*seed), *broken != 0, &schedule, baseline);
+    const bool ok = !run.identical;  // a recorded FAILURE must fail again
+    reproduced += ok ? 1 : 0;
+    std::printf("replay seed %-8llu crashes %zu  %s\n",
+                static_cast<unsigned long long>(*seed), schedule.size(),
+                ok ? "REPRODUCED" : "NOT REPRODUCED");
+  }
+  std::printf("replay: %llu/%llu schedules reproduced their failure\n",
+              static_cast<unsigned long long>(reproduced),
+              static_cast<unsigned long long>(total));
+  if (total == 0) {
+    std::fprintf(stderr, "chaos_run: %s holds no schedules\n", path.c_str());
+    return 2;
+  }
+  return reproduced == total ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   int packets = 16;
   std::uint64_t seed = 0xC4A05ULL;
   std::string trace_path;
   std::string metrics_path;
+  std::string record_path;
+  std::string replay_path;
+  bool sweep = false;
+  std::uint64_t seed_lo = 0, seed_hi = 0;
+  int rate = 20;
+  bool break_resync = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +357,41 @@ int Main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return UsageError("--metrics needs a file", arg.c_str());
       metrics_path = value;
+    } else if (arg == "--seed-range") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--seed-range needs A..B", arg.c_str());
+      const std::string range = value;
+      const std::size_t dots = range.find("..");
+      if (dots == std::string::npos) {
+        return UsageError("--seed-range must be A..B", range.c_str());
+      }
+      const std::optional<long long> lo = ParseInt(range.substr(0, dots), 0, LLONG_MAX, 0);
+      const std::optional<long long> hi = ParseInt(range.substr(dots + 2), 0, LLONG_MAX, 0);
+      if (!lo || !hi || *hi < *lo || *hi - *lo >= (1 << 20)) {
+        return UsageError("--seed-range must be A..B with A <= B, span < 2^20",
+                          range.c_str());
+      }
+      seed_lo = static_cast<std::uint64_t>(*lo);
+      seed_hi = static_cast<std::uint64_t>(*hi);
+      sweep = true;
+    } else if (arg == "--rate") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--rate needs a percentage", arg.c_str());
+      const std::optional<long long> parsed = ParseInt(value, 0, 45);
+      if (!parsed.has_value()) {
+        return UsageError("--rate must be an integer in [0, 45]", value);
+      }
+      rate = static_cast<int>(*parsed);
+    } else if (arg == "--record") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--record needs a file", arg.c_str());
+      record_path = value;
+    } else if (arg == "--replay") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--replay needs a file", arg.c_str());
+      replay_path = value;
+    } else if (arg == "--break-resync") {
+      break_resync = true;
     } else if (positional == 0) {
       const std::optional<long long> parsed = ParseInt(arg, 1, 4096);
       if (!parsed.has_value()) {
@@ -105,6 +409,13 @@ int Main(int argc, char** argv) {
     } else {
       return UsageError("unexpected argument", arg.c_str());
     }
+  }
+
+  if (!replay_path.empty()) {
+    return ReplayMain(replay_path);
+  }
+  if (sweep) {
+    return SweepMain(seed_lo, seed_hi, packets, rate, break_resync, record_path);
   }
 
   const bool observe = !trace_path.empty() || !metrics_path.empty();
