@@ -56,6 +56,9 @@ std::string Finding::ToString() const {
     out += Format(" \"%s\"", instruction.c_str());
   }
   out += Format(": %s", kind.c_str());
+  if (!condition.empty()) {
+    out += Format(" <%s>", condition.c_str());
+  }
   if (!region.empty()) {
     out += Format(" [%s]", region.c_str());
   }
@@ -82,6 +85,9 @@ std::string Finding::ToJson() const {
   out += Format(",\"unit\":\"%s\"", JsonEscape(unit).c_str());
   out += Format(",\"kind\":\"%s\"", JsonEscape(kind).c_str());
   out += Format(",\"severity\":\"%s\"", SeverityName(severity));
+  if (!condition.empty()) {
+    out += Format(",\"condition\":\"%s\"", JsonEscape(condition).c_str());
+  }
   if (line >= 0) out += Format(",\"line\":%d", line);
   if (address >= 0) out += Format(",\"address\":%d", address);
   if (!instruction.empty()) {

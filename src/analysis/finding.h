@@ -36,6 +36,10 @@ struct Finding {
   std::vector<Word> witness;  // CFG witness path from entry (addresses)
   FindingSeverity severity = FindingSeverity::kError;
   std::string discharge_reason;  // non-empty when severity == kDischarged
+  // Separability condition this finding is an open/annotated obligation of
+  // (a slug from src/sepcheck/obligations.h), or empty for findings outside
+  // the six-condition ledger (e.g. annotation-audit findings).
+  std::string condition;
 
   bool Blocking() const { return severity == FindingSeverity::kError; }
 

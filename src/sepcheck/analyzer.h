@@ -2,11 +2,17 @@
 //
 // AnalyzeProgram proves, per instruction, which memory region every read
 // and write can touch, using a worklist dataflow over the CFG with the
-// interval domain of absdomain.h. Accesses that stay inside the regime's
-// own partition (or its mapped device-register window) are silent; anything
-// else — out-of-partition addresses, unprovable (TOP) addresses, writes over
-// the program's own code, kernel calls with unverifiable or foreign channel
-// arguments — becomes a Finding with a CFG witness path.
+// domain of absdomain.h: intervals sharpened by condition-code branch
+// refinement (CMP/TST feeding BEQ/BNE/BCS/BCC and friends narrow both
+// edges), difference constraints between registers, and depth-1
+// call-string contexts (each JSR site is analyzed in its own context, so
+// returns do not smear all call sites together). Every access the analysis
+// bounds emits a proved Obligation naming the separability condition it
+// discharges; anything it cannot bound — out-of-partition addresses,
+// unprovable (TOP) addresses, writes over the program's own code, kernel
+// calls with unverifiable or foreign channel arguments — becomes a Finding
+// with a CFG witness path and an open (or annotation-discharged)
+// obligation.
 //
 // AnalyzeSystem runs every regime of a configuration and then checks the
 // wire-cutting discipline of the paper's Section 4: each channel object is
@@ -28,6 +34,7 @@
 #include "src/kernel/config.h"
 #include "src/sepcheck/annotations.h"
 #include "src/sepcheck/cfg.h"
+#include "src/sepcheck/obligations.h"
 #include "src/sm11asm/assembler.h"
 
 namespace sep::sepcheck {
@@ -56,6 +63,11 @@ struct ProgramAnalysis {
   // (channel, end) pairs this program's kernel calls can address, where
   // end 0 = X1/sender and 1 = X2/receiver. Input to the wire-cut check.
   std::set<std::pair<int, int>> ring_touches;
+  // The proof-obligation ledger: one record per proof step, naming the
+  // separability condition it discharges. Open obligations correspond 1:1
+  // to blocking findings; conditions with no relevant site carry a vacuous
+  // proved record so every certified unit covers all six conditions.
+  std::vector<Obligation> obligations;
 
   bool Certified() const { return sep::Certified(findings); }
 };
@@ -82,6 +94,9 @@ struct SystemSpec {
 
 struct SystemAnalysis {
   std::vector<Finding> findings;  // per-regime findings + wire-cut findings
+  // Per-regime ledgers concatenated, followed by the system-level wire-cut
+  // obligations (channel exclusivity of every addressed ring object).
+  std::vector<Obligation> obligations;
   bool certified = false;
 };
 

@@ -25,10 +25,16 @@ Annotations ParseAnnotations(const std::string& source) {
       std::string rest = Trim(text.substr(std::string("disjoint-channel").size()));
       char* end = nullptr;
       long channel = std::strtol(rest.c_str(), &end, 0);
-      if (end == rest.c_str() || channel < 0) continue;  // malformed: ignore
+      if (end == rest.c_str() || channel < 0) {
+        out.unknown_directives.emplace_back(line_number, text);  // malformed
+        continue;
+      }
       std::string reason = Trim(std::string(end));
       out.disjoint_channels[static_cast<int>(channel)] =
           reason.empty() ? "ends declared time-disjoint" : reason;
+      out.disjoint_channel_lines.emplace(static_cast<int>(channel), line_number);
+    } else {
+      out.unknown_directives.emplace_back(line_number, text);
     }
   }
   return out;

@@ -11,11 +11,17 @@
 // every run-time behaviour — is byte-identical with or without them. The
 // finding is still reported, marked discharged, exactly like the paper's
 // flagged-then-argued-away SWAP.
+//
+// Annotations are audited, not merely consumed: a directive the parser does
+// not recognize, and a `trust` that discharges nothing, each produce a
+// `stale-annotation` finding (a typo'd discharge line must weaken the audit
+// trail loudly, never silently).
 #ifndef SEP_SEPCHECK_ANNOTATIONS_H_
 #define SEP_SEPCHECK_ANNOTATIONS_H_
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace sep::sepcheck {
 
@@ -26,12 +32,20 @@ struct Annotations {
   // `disjoint-channel <k>` directives: channel index -> reason. Discharges
   // the shared-channel-object finding for that channel (the SWAP analogue).
   std::map<int, std::string> disjoint_channels;
+  // Source line of each disjoint-channel directive, for audit findings.
+  std::map<int, int> disjoint_channel_lines;
+  // `sepcheck:` comments the parser did not recognize (unknown directive,
+  // malformed arguments): source line -> the offending text. The analyzer
+  // reports each as a stale-annotation finding.
+  std::vector<std::pair<int, std::string>> unknown_directives;
 
-  bool Empty() const { return trusted_lines.empty() && disjoint_channels.empty(); }
+  bool Empty() const {
+    return trusted_lines.empty() && disjoint_channels.empty() &&
+           unknown_directives.empty();
+  }
 };
 
-// Scans assembly source for `sepcheck:` comment directives. Unknown
-// directives are ignored (they may belong to a future analyzer version).
+// Scans assembly source for `sepcheck:` comment directives.
 Annotations ParseAnnotations(const std::string& source);
 
 }  // namespace sep::sepcheck

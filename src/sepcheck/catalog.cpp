@@ -71,6 +71,62 @@ LOOP:   INC R3
         TRAP 7
 )";
 
+// Annotation-audit fixture: a typo'd directive and a trust that discharges
+// nothing. Both must surface as stale-annotation findings — a silent
+// annotation layer would let a mistyped discharge weaken the audit trail.
+constexpr char kFixtureStaleAnnotation[] = R"(
+; sepcheck: trsut the loop is bounded (typo: not a directive)
+START:  MOV #1, R1
+        MOV R1, @0x80       ; sepcheck: trust in-partition store (discharges nothing)
+        TRAP 7
+)";
+
+// Wrong-discharge fixture: the trust annotation CLAIMS the table walk is
+// bounded, but nothing bounds it — the cursor runs past TBL into SECRET
+// and ships it down the channel. Statically the annotation discharges the
+// finding (sepcheck takes the analyst at their word); the semantic probe
+// is the backstop that catches the lie.
+constexpr char kFixtureWrongDischarge[] = R"(
+; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4)
+START:  MOV #TBL, R4
+LOOP:   MOV (R4), R1        ; sepcheck: trust reads stay inside TBL's four words (WRONG: nothing bounds the walk)
+        JSR SENDW
+        INC R4
+        TRAP 0
+        BR LOOP
+SENDW:  CLR R0
+        TRAP 1
+        TST R0
+        BNE SDONE
+        TRAP 0
+        BR SENDW
+SDONE:  RTS
+        .ORG 0x30
+TBL:    .WORD 1
+        .WORD 2
+        .WORD 3
+        .WORD 4
+SECRET: .WORD 0
+)";
+
+// Intentional-trust fixture: the receiver's cursor is genuinely unbounded
+// by anything in THIS program — the bound lives in the peer's protocol
+// (exactly 20 words). This is the legitimate use of `trust` that survives
+// branch refinement: a cross-program invariant the per-program analysis
+// cannot see.
+constexpr char kFixtureIntentionalTrust[] = R"(
+START:  MOV #0x100, R4
+LOOP:   CLR R0
+        TRAP 2
+        TST R0
+        BEQ YIELD
+        MOV R1, (R4)        ; sepcheck: trust peer sends exactly 20 words; cursor stays within [0x100,0x113]
+        INC R4
+        BR LOOP
+YIELD:  TRAP 0
+        BR LOOP
+)";
+
 SystemSpec::Regime Regime(const std::string& name, const char* source,
                           int device_slots = 0) {
   SystemSpec::Regime r;
@@ -155,7 +211,9 @@ std::vector<CatalogEntry> BuildCatalog() {
                        Channel("censor->black", 1, 2)};
     e.spec.cut_channels = true;
     e.expect_certified = true;
-    e.expect_discharged = true;  // black's unbounded packet stores remain
+    // Nothing left to discharge: branch refinement proves black's packet
+    // stores bounded, and the cut wires leave no shared ring object.
+    e.expect_discharged = false;
     out.push_back(e);
   }
 
@@ -247,6 +305,48 @@ std::vector<CatalogEntry> BuildCatalog() {
     e.spec.name = "fixture-self-modify";
     e.spec.regimes = {Regime("rogue", kFixtureSelfModify)};
     e.expect_certified = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "fixture-stale-annotation";
+    e.spec.name = "fixture-stale-annotation";
+    e.spec.regimes = {Regime("rogue", kFixtureStaleAnnotation)};
+    e.expect_certified = false;  // two stale-annotation findings block
+    out.push_back(e);
+  }
+
+  // --- annotation abuse: statically discharged, semantically caught ---
+  {
+    CatalogEntry e;
+    e.name = "fixture-wrong-discharge";
+    e.spec.name = "fixture-wrong-discharge";
+    e.spec.regimes = {Regime("red", kFixtureWrongDischarge),
+                      Regime("black", kQuickstartBlack)};
+    e.spec.channels = {Channel("red->black", 0, 1)};
+    e.spec.cut_channels = false;  // the leak must travel the deployed wire
+    e.expect_certified = true;  // the (wrong) trust annotation discharges it
+    e.expect_discharged = true;
+    e.has_probe = true;
+    e.probe.secret_regime = 0;
+    e.probe.secret_addrs = {0x34};  // SECRET, swept up by the unbounded walk
+    e.probe.observer_regime = 1;
+    e.probe.steps = 8000;
+    e.probe_expect_leak = true;  // the probe catches the false discharge
+    out.push_back(e);
+  }
+
+  // --- the intentional residue: a cross-program bound only trust can carry ---
+  {
+    CatalogEntry e;
+    e.name = "fixture-intentional-trust";
+    e.spec.name = "fixture-intentional-trust";
+    e.spec.regimes = {Regime("red", kQuickstartRed),
+                      Regime("collector", kFixtureIntentionalTrust)};
+    e.spec.channels = {Channel("red->collector", 0, 1)};
+    e.spec.cut_channels = true;
+    e.expect_certified = true;
+    e.expect_discharged = true;  // exactly the one annotated store
     out.push_back(e);
   }
 

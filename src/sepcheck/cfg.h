@@ -7,10 +7,12 @@
 // JMP/JSR through a register — is REJECTED (a finding, with no successors),
 // not analyzed: sepcheck refuses to certify what it cannot follow.
 //
-// RTS is modelled context-insensitively: every RTS may return to the
-// continuation of every JSR in the program. Sound (the real return address
-// is always one of them, absent stack smashing — which the stack-write
-// checks flag separately) but deliberately imprecise.
+// At the CFG level every RTS lists the continuation of every JSR as a
+// successor — sound (the real return address is always one of them, absent
+// stack smashing, which the stack-write checks flag separately). The
+// dataflow in analyzer.cpp sharpens this with depth-1 call-string contexts:
+// each JSR site opens its own analysis context and an RTS propagates only
+// to the return points of the contexts that actually called it.
 #ifndef SEP_SEPCHECK_CFG_H_
 #define SEP_SEPCHECK_CFG_H_
 

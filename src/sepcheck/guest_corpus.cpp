@@ -124,27 +124,27 @@ DROPS:  .WORD 0
 )";
 
 // Black regime: pairs censored headers (channel 2) with ciphertext words
-// (channel 1) into 4-word packets at 0x100. The packet pointer R5 grows
-// without a static bound, so each store carries a discharge: the channel
-// supply (6 packets in the deployed system) keeps it inside the partition.
+// (channel 1) into 4-word packets at PKTS. The packet area is explicitly
+// bounded: STOREW compares the cursor against the last packet word before
+// every store, so sepcheck proves the writes stay inside [PKTS, PKTE)
+// without any trust annotation. The deployed supply (6 packets = 24 words)
+// exactly fills the area, so the guard never fires at run time.
 const char kSnfeBlack[] = R"(
-START:  MOV #0x100, R5
+        .EQU PKTS, 0x100      ; packet area: 24 words
+        .EQU PKTE, 0x118
+START:  MOV #PKTS, R5
 LOOP:   MOV #2, R0
         JSR RECVC
-        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
-        INC R5
+        JSR STOREW
         MOV #2, R0
         JSR RECVC
-        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
-        INC R5
+        JSR STOREW
         MOV #2, R0
         JSR RECVC
-        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
-        INC R5
+        JSR STOREW
         MOV #1, R0
         JSR RECVC
-        MOV R1, (R5)          ; sepcheck: trust bounded by channel supply (6 packets = 24 words)
-        INC R5
+        JSR STOREW
         BR LOOP
 RECVC:  MOV R0, R4
 RLOOP:  MOV R4, R0
@@ -154,14 +154,20 @@ RLOOP:  MOV R4, R0
         TRAP 0
         BR RLOOP
 RDONE:  RTS
+; store R1 at the packet cursor unless the area is full
+STOREW: CMP #PKTE-1, R5
+        BCS SFULL             ; cursor beyond the last packet word: drop
+        MOV R1, (R5)
+        INC R5
+SFULL:  RTS
 )";
 
-// Guard regime. The HIGH->LOW buffer walk (R4 over BUF) has no static
-// length bound — sepcheck genuinely cannot prove the copy stays inside
-// BUF's 32 words, and a HIGH peer sending len > 32 would overrun it (the
-// kernel's MMU would fault the guard at the partition edge; no isolation
-// breach, but a real robustness finding). The deployed peers bound
-// messages well below 32 words, recorded here as the discharge.
+// Guard regime. The HIGH->LOW buffer walk (R4 over BUF) takes its length
+// from the peer, so the cursor is compared against BUF's last word before
+// every buffer access: a HIGH peer sending len > 32 has its excess words
+// consumed but not stored. sepcheck's branch refinement proves both the
+// fill and the release walk stay inside BUF's 32 words — no trust
+// annotation needed (earlier versions discharged these stores by hand).
 const char kGuardGuard[] = R"(
 ; sepcheck: disjoint-channel 0 kernel ring discipline keeps the ends time-disjoint (paper s4)
 ; sepcheck: disjoint-channel 1 kernel ring discipline keeps the ends time-disjoint (paper s4)
@@ -207,9 +213,11 @@ HRCV2:  MOV #FROM_HIGH, R0
         TRAP 2
         TST R0
         BEQ HWAIT
-        MOV R1, (R4)        ; sepcheck: trust deployed peers bound len well below BUF's 32 words
+        CMP #BUF+31, R4
+        BCS HSKIP           ; cursor past BUF's last word: consume, don't store
+        MOV R1, (R4)
         INC R4
-        DEC R5
+HSKIP:  DEC R5
         BR HRCV
 HWAIT:  TRAP 0
         BR HRCV2
@@ -222,7 +230,9 @@ REVIEW: MOV BUF, R2         ; the watch-officer rule: first word is 'U'?
         MOV #BUF, R4
 RLOOP:  TST R3
         BEQ YIELD
-        MOV (R4), R1        ; sepcheck: trust deployed peers bound len well below BUF's 32 words
+        CMP #BUF+31, R4
+        BCS YIELD           ; never read past BUF's last word
+        MOV (R4), R1
         MOV #TO_LOW, R0
         JSR SENDB
         INC R4
@@ -265,7 +275,9 @@ RLOOP:  MOV #2, R0          ; channel 2: guard -> low
         TRAP 2
         TST R0
         BEQ RYIELD
-        MOV R1, (R4)        ; sepcheck: trust guard releases at most one bounded message
+        CMP #0x13F, R4
+        BCS RYIELD          ; collect area full (64 words)
+        MOV R1, (R4)
         INC R4
         BR RLOOP
 RYIELD: TRAP 0
@@ -314,7 +326,9 @@ RLOOP:  MOV #3, R0          ; channel 3: guard -> high
         TRAP 2
         TST R0
         BEQ RYIELD
-        MOV R1, (R4)        ; sepcheck: trust low side sends one bounded message
+        CMP #0x13F, R4
+        BCS RYIELD          ; collect area full (64 words)
+        MOV R1, (R4)
         INC R4
         BR RLOOP
 RYIELD: TRAP 0

@@ -1,0 +1,103 @@
+// Machine-discharged proof obligations for the paper's six separability
+// conditions.
+//
+// The paper's Appendix reduces security of the shared machine to six
+// conditions. sepcheck used to certify guests with a bare verdict; the
+// obligation engine instead records, for every load, store and kernel call
+// the analyzer reasons about, WHICH condition the proof step discharges and
+// HOW it was discharged:
+//
+//   * proved    — the abstract interpreter bounded the operation itself;
+//   * annotated — the analyzer flagged it and an analyst `; sepcheck:`
+//                 annotation discharged it (the paper's flagged-then-
+//                 argued-away SWAP pattern);
+//   * open      — neither: the obligation blocks certification and is in
+//                 1:1 correspondence with a blocking Finding.
+//
+// A certified guest therefore ships an auditable condition-by-condition
+// ledger (rendered as JSON by `sepcheck --obligations out.json` and gated
+// by tools/check_obligations) instead of a bare CERTIFIED verdict. See
+// docs/STATIC_ANALYSIS.md and EXPERIMENTS.md E19.
+#ifndef SEP_SEPCHECK_OBLIGATIONS_H_
+#define SEP_SEPCHECK_OBLIGATIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace sep::sepcheck {
+
+// The six separability conditions of the paper's Appendix, in its order.
+enum class Condition {
+  kMemoryPartition = 0,   // every access stays inside the regime's partition
+  kChannelExclusivity,    // each channel-ring object has one addressing regime
+  kIoExclusivity,         // device windows are touched only by their owner
+  kInterruptRouting,      // interrupts vector only into owned handlers
+  kRegisterSave,          // register file saved/restored across switches
+  kKernelCallLegality,    // TRAPs enter the kernel only at legal entries
+};
+inline constexpr int kConditionCount = 6;
+
+// Stable machine-readable slug, e.g. "memory-partition".
+const char* ConditionSlug(Condition c);
+
+enum class ObligationStatus {
+  kProved = 0,
+  kAnnotated,
+  kOpen,
+};
+const char* ObligationStatusSlug(ObligationStatus s);
+
+// One proof obligation: a site (or a whole-unit vacuous fact) tied to the
+// condition it discharges.
+struct Obligation {
+  Condition condition = Condition::kMemoryPartition;
+  ObligationStatus status = ObligationStatus::kProved;
+  std::string unit;         // regime / system name
+  int address = -1;         // machine address, or -1 for unit-level facts
+  int line = -1;            // 1-based source line, or -1
+  std::string instruction;  // disassembled site, if any
+  std::string detail;       // what was proved, or what remains open
+  std::string discharge_reason;  // analyst's reason when status == annotated
+
+  std::string ToJson() const;  // single-line JSON object
+};
+
+// Per-condition status counts for one ledger.
+struct ObligationSummary {
+  int counts[kConditionCount][3] = {};
+
+  void Add(const Obligation& o) {
+    ++counts[static_cast<int>(o.condition)][static_cast<int>(o.status)];
+  }
+  int Open() const {
+    int n = 0;
+    for (const auto& by_status : counts) n += by_status[2];
+    return n;
+  }
+  // True iff every condition has at least one obligation record.
+  bool CoversAllConditions() const {
+    for (const auto& by_status : counts) {
+      if (by_status[0] + by_status[1] + by_status[2] == 0) return false;
+    }
+    return true;
+  }
+  std::string ToJson() const;
+};
+
+// The ledger of one catalogue entry (or one standalone file).
+struct EntryObligations {
+  std::string entry;
+  bool certified = false;
+  std::vector<Obligation> obligations;
+};
+
+// Schema tag of the JSON document; tools/check_obligations and
+// docs/obligations.schema.json must agree with it.
+inline constexpr char kObligationsSchemaTag[] = "sepcheck-obligations-v1";
+
+// Renders the full obligations document (pretty-printed, stable order).
+std::string RenderObligationsJson(const std::vector<EntryObligations>& entries);
+
+}  // namespace sep::sepcheck
+
+#endif  // SEP_SEPCHECK_OBLIGATIONS_H_

@@ -45,6 +45,69 @@ TEST(CliValidation, SepcheckRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("sepcheck") + " --jobs -1 --all"), 2);
   EXPECT_EQ(RunTool(Tool("sepcheck") + " --words 0 guest.s"), 2);  // must be >= 1
   EXPECT_EQ(RunTool(Tool("sepcheck") + " --devices 9999 guest.s"), 2);
+  // --obligations needs a real path operand, not a following flag.
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --all --obligations"), 2);
+  EXPECT_EQ(RunTool(Tool("sepcheck") + " --all --obligations --json"), 2);
+}
+
+// Runs `cmd` exactly as given (the caller owns any redirections), returns
+// the exit code.
+int RunToolRaw(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+// Reads a whole file; empty string if it cannot be opened.
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+TEST(CliValidation, SepcheckParallelRunIsByteIdenticalToSerial) {
+  // The findings text and the obligation ledger must not depend on --jobs:
+  // entries are analyzed in parallel but buffered and emitted in catalogue
+  // order.
+  const std::string dir = testing::TempDir();
+  const std::string serial = dir + "/sepcheck_serial.out";
+  const std::string parallel = dir + "/sepcheck_parallel.out";
+  const std::string serial_obl = dir + "/sepcheck_serial.json";
+  const std::string parallel_obl = dir + "/sepcheck_parallel.json";
+  ASSERT_EQ(RunToolRaw(Tool("sepcheck") + " --all --obligations " + serial_obl +
+                       " > " + serial + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunToolRaw(Tool("sepcheck") + " --all --jobs 4 --obligations " +
+                       parallel_obl + " > " + parallel + " 2>/dev/null"),
+            0);
+  const std::string serial_text = Slurp(serial);
+  ASSERT_FALSE(serial_text.empty());
+  EXPECT_EQ(serial_text, Slurp(parallel));
+  const std::string ledger = Slurp(serial_obl);
+  ASSERT_FALSE(ledger.empty());
+  EXPECT_EQ(ledger, Slurp(parallel_obl));
+}
+
+TEST(CliValidation, CheckObligationsGatesTheLedger) {
+  const std::string dir = testing::TempDir();
+  const std::string ledger = dir + "/obligations.json";
+  ASSERT_EQ(RunTool(Tool("sepcheck") + " --all --obligations " + ledger), 0);
+  EXPECT_EQ(RunTool(Tool("check_obligations") + " " + ledger), 0);
+  EXPECT_EQ(RunTool(Tool("check_obligations") + " /nonexistent/ledger.json"), 2);
+  EXPECT_EQ(RunTool(Tool("check_obligations")), 2);
+
+  // A ledger claiming certification with an open obligation must fail.
+  const std::string forged = dir + "/forged.json";
+  std::string text = Slurp(ledger);
+  const std::string from = "\"status\":\"proved\"";
+  const std::size_t at = text.find(from);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, from.size(), "\"status\":\"open\"");
+  std::ofstream(forged) << text;
+  EXPECT_EQ(RunTool(Tool("check_obligations") + " " + forged), 1);
 }
 
 TEST(CliValidation, ChaosRunRejectsBadNumbers) {

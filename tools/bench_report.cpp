@@ -269,6 +269,12 @@ int main(int argc, char** argv) {
   metrics["exhaustive_sps_per_mips"] = ex_kernelized / (cached / 1e6);
   metrics["sepcheck_all_seconds"] = sepcheck_serial;
   metrics["sepcheck_jobs_seconds"] = sepcheck_parallel;
+  // Full static-analysis catalogue passes per second, per million emulated
+  // instructions per second. Normalizing by the host's machine speed makes
+  // this track the analyzer's own cost (relational joins, widening, branch
+  // refinement), not the CPU it ran on, so a precision feature that blows up
+  // fixpoint iteration counts fires the guard even on a faster machine.
+  metrics["sepcheck_all_per_mips"] = (1.0 / sepcheck_serial) / (cached / 1e6);
   // 99th-percentile ticks of forward progress a node crash discards, at the
   // default checkpoint interval (16 quanta). The chaos simulation is fully
   // deterministic, so this is a design property of the checkpoint cadence —
@@ -284,7 +290,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
                                             "exhaustive_sps_per_mips",
                                             "exhaustive_parallel_speedup",
-                                            "trace_disabled_overhead", "recovery_ticks_p99"};
+                                            "trace_disabled_overhead", "recovery_ticks_p99",
+                                            "sepcheck_all_per_mips"};
   const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup"};
   // Cost metrics regress UPWARD: the guard fires when the value exceeds the
   // baseline by the tolerance, not when it falls below it.

@@ -1,0 +1,504 @@
+// check_obligations: schema + consistency gate for sepcheck's proof-
+// obligation ledger.
+//
+//   check_obligations [--schema docs/obligations.schema.json] ledger.json
+//
+// Validates a document written by `sepcheck --obligations FILE` against the
+// checked-in schema (docs/obligations.schema.json) and enforces the
+// cross-record rules a generic schema checker cannot express:
+//
+//   * the per-entry summary and `open` count equal the counts recomputed
+//     from the obligation records;
+//   * an `annotated` obligation carries a non-empty discharge reason;
+//   * a certified entry has zero open obligations and at least one record
+//     for every one of the paper's six separability conditions.
+//
+// With --schema the schema file's "$id" must match the document's schema
+// tag, so the two cannot drift apart silently. Exit 0 iff the ledger is
+// valid; 1 on validation failure; 2 on usage or I/O errors.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/sepcheck/obligations.h"
+
+namespace sep {
+namespace {
+
+// --- minimal JSON parser ------------------------------------------------------
+//
+// Just enough JSON for the ledger: objects, arrays, strings (with the
+// escapes sepcheck emits), integers, booleans. Objects keep insertion
+// order so duplicate keys can be rejected.
+
+struct JsonValue;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  long long number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  JsonMembers members;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    ok_ = ParseValue(out);
+    SkipSpace();
+    if (ok_ && pos_ != text_.size()) Fail("trailing content");
+    return ok_;
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& what) {
+    if (ok_) error_ = Format("offset %zu: %s", pos_, what.c_str());
+    ok_ = false;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(Format("expected '%c'", c));
+    return false;
+  }
+  bool ParseLiteral(const char* word, JsonValue& out, JsonValue::Kind kind,
+                    bool boolean) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      Fail(Format("bad literal, expected %s", word));
+      return false;
+    }
+    pos_ += n;
+    out.kind = kind;
+    out.boolean = boolean;
+    return true;
+  }
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // The ledger never emits \u escapes; accept and keep them raw.
+            out += "\\u";
+            break;
+          default:
+            Fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kObject;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          std::string key;
+          if (!ParseString(key)) return false;
+          if (out.Find(key) != nullptr) {
+            Fail(Format("duplicate key \"%s\"", key.c_str()));
+            return false;
+          }
+          if (!Consume(':')) return false;
+          JsonValue v;
+          if (!ParseValue(v)) return false;
+          out.members.emplace_back(std::move(key), std::move(v));
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kArray;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue v;
+          if (!ParseValue(v)) return false;
+          out.items.push_back(std::move(v));
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume(']');
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.str);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
+      default: {
+        out.kind = JsonValue::Kind::kNumber;
+        std::size_t end = pos_;
+        if (end < text_.size() && text_[end] == '-') ++end;
+        while (end < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[end]))) {
+          ++end;
+        }
+        if (end == pos_ || (text_[pos_] == '-' && end == pos_ + 1)) {
+          Fail("bad token");
+          return false;
+        }
+        out.number = std::stoll(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return true;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// --- ledger validation --------------------------------------------------------
+
+constexpr const char* kConditions[] = {
+    "memory-partition",  "channel-exclusivity", "io-exclusivity",
+    "interrupt-routing", "register-save",       "kernel-call-legality",
+};
+constexpr const char* kStatuses[] = {"proved", "annotated", "open"};
+
+int IndexOf(const char* const* table, int n, const std::string& s) {
+  for (int i = 0; i < n; ++i) {
+    if (s == table[i]) return i;
+  }
+  return -1;
+}
+
+class Validator {
+ public:
+  bool Validate(const JsonValue& doc) {
+    if (doc.kind != JsonValue::Kind::kObject) {
+      return Problem("top level", "document is not a JSON object");
+    }
+    CheckKeys(doc, "top level", {"schema", "conditions", "entries"});
+    const JsonValue* schema = doc.Find("schema");
+    if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+        schema->str != sepcheck::kObligationsSchemaTag) {
+      Problem("top level", Format("\"schema\" must be \"%s\"",
+                                  sepcheck::kObligationsSchemaTag));
+    }
+    const JsonValue* conditions = doc.Find("conditions");
+    if (conditions == nullptr || conditions->kind != JsonValue::Kind::kArray ||
+        conditions->items.size() != 6) {
+      Problem("top level", "\"conditions\" must list the six conditions");
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        if (conditions->items[static_cast<std::size_t>(i)].str != kConditions[i]) {
+          Problem("top level",
+                  Format("conditions[%d] must be \"%s\"", i, kConditions[i]));
+        }
+      }
+    }
+    const JsonValue* entries = doc.Find("entries");
+    if (entries == nullptr || entries->kind != JsonValue::Kind::kArray) {
+      return Problem("top level", "\"entries\" must be an array");
+    }
+    for (const JsonValue& entry : entries->items) ValidateEntry(entry);
+    return problems_ == 0;
+  }
+
+  int problems() const { return problems_; }
+
+ private:
+  bool Problem(const std::string& where, const std::string& what) {
+    std::fprintf(stderr, "check_obligations: %s: %s\n", where.c_str(),
+                 what.c_str());
+    ++problems_;
+    return false;
+  }
+
+  void CheckKeys(const JsonValue& obj, const std::string& where,
+                 const std::vector<std::string>& allowed) {
+    for (const auto& [key, value] : obj.members) {
+      bool known = false;
+      for (const std::string& a : allowed) known = known || key == a;
+      if (!known) Problem(where, Format("unknown key \"%s\"", key.c_str()));
+    }
+  }
+
+  void ValidateEntry(const JsonValue& entry) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      Problem("entries", "entry is not an object");
+      return;
+    }
+    const JsonValue* name = entry.Find("entry");
+    const std::string where =
+        name != nullptr && name->kind == JsonValue::Kind::kString && !name->str.empty()
+            ? name->str
+            : "(unnamed entry)";
+    if (where == "(unnamed entry)") {
+      Problem(where, "\"entry\" must be a non-empty string");
+    }
+    CheckKeys(entry, where, {"entry", "certified", "open", "summary", "obligations"});
+    const JsonValue* certified = entry.Find("certified");
+    if (certified == nullptr || certified->kind != JsonValue::Kind::kBool) {
+      Problem(where, "\"certified\" must be a boolean");
+      return;
+    }
+    const JsonValue* obligations = entry.Find("obligations");
+    if (obligations == nullptr || obligations->kind != JsonValue::Kind::kArray) {
+      Problem(where, "\"obligations\" must be an array");
+      return;
+    }
+
+    // Recompute the per-condition counts from the records.
+    int counts[6][3] = {};
+    for (const JsonValue& o : obligations->items) {
+      ValidateObligation(o, where, counts);
+    }
+    int open = 0;
+    bool covered = true;
+    for (const auto& by_status : counts) {
+      open += by_status[2];
+      covered = covered && by_status[0] + by_status[1] + by_status[2] > 0;
+    }
+
+    const JsonValue* open_field = entry.Find("open");
+    if (open_field == nullptr || open_field->kind != JsonValue::Kind::kNumber ||
+        open_field->number != open) {
+      Problem(where, Format("\"open\" must equal the recomputed count %d", open));
+    }
+    ValidateSummary(entry.Find("summary"), where, counts);
+
+    // The certification gate: a certified unit must carry a fully
+    // discharged ledger that touches every condition.
+    if (certified->boolean) {
+      if (open != 0) {
+        Problem(where, Format("certified entry has %d open obligation(s)", open));
+      }
+      if (!covered) {
+        Problem(where, "certified entry does not cover all six conditions");
+      }
+    }
+  }
+
+  void ValidateObligation(const JsonValue& o, const std::string& where,
+                          int (&counts)[6][3]) {
+    if (o.kind != JsonValue::Kind::kObject) {
+      Problem(where, "obligation is not an object");
+      return;
+    }
+    CheckKeys(o, where,
+              {"condition", "status", "unit", "address", "line", "instruction",
+               "detail", "discharge"});
+    const JsonValue* condition = o.Find("condition");
+    const JsonValue* status = o.Find("status");
+    const int c = condition != nullptr && condition->kind == JsonValue::Kind::kString
+                      ? IndexOf(kConditions, 6, condition->str)
+                      : -1;
+    const int s = status != nullptr && status->kind == JsonValue::Kind::kString
+                      ? IndexOf(kStatuses, 3, status->str)
+                      : -1;
+    if (c < 0) {
+      Problem(where, "obligation \"condition\" is not one of the six conditions");
+    }
+    if (s < 0) {
+      Problem(where, "obligation \"status\" must be proved/annotated/open");
+    }
+    if (c >= 0 && s >= 0) ++counts[c][s];
+
+    const JsonValue* unit = o.Find("unit");
+    if (unit == nullptr || unit->kind != JsonValue::Kind::kString || unit->str.empty()) {
+      Problem(where, "obligation \"unit\" must be a non-empty string");
+    }
+    const JsonValue* address = o.Find("address");
+    if (address != nullptr && (address->kind != JsonValue::Kind::kNumber ||
+                               address->number < 0 || address->number > 0xFFFF)) {
+      Problem(where, "obligation \"address\" must be a machine address");
+    }
+    const JsonValue* line = o.Find("line");
+    if (line != nullptr &&
+        (line->kind != JsonValue::Kind::kNumber || line->number < 1)) {
+      Problem(where, "obligation \"line\" must be a positive line number");
+    }
+    const JsonValue* discharge = o.Find("discharge");
+    if (s == 1 && (discharge == nullptr ||
+                   discharge->kind != JsonValue::Kind::kString ||
+                   discharge->str.empty())) {
+      Problem(where, "annotated obligation lacks a discharge reason");
+    }
+  }
+
+  void ValidateSummary(const JsonValue* summary, const std::string& where,
+                       const int (&counts)[6][3]) {
+    if (summary == nullptr || summary->kind != JsonValue::Kind::kObject) {
+      Problem(where, "\"summary\" must be an object");
+      return;
+    }
+    std::vector<std::string> allowed;
+    for (const char* c : kConditions) allowed.emplace_back(c);
+    CheckKeys(*summary, where, allowed);
+    for (int c = 0; c < 6; ++c) {
+      const JsonValue* per = summary->Find(kConditions[c]);
+      if (per == nullptr || per->kind != JsonValue::Kind::kObject) {
+        Problem(where, Format("summary lacks \"%s\"", kConditions[c]));
+        continue;
+      }
+      for (int s = 0; s < 3; ++s) {
+        const JsonValue* n = per->Find(kStatuses[s]);
+        if (n == nullptr || n->kind != JsonValue::Kind::kNumber ||
+            n->number != counts[c][s]) {
+          Problem(where, Format("summary[%s][%s] must equal the recomputed %d",
+                                kConditions[c], kStatuses[s], counts[c][s]));
+        }
+      }
+    }
+  }
+
+  int problems_ = 0;
+};
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: check_obligations [--schema docs/obligations.schema.json] "
+      "ledger.json\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+}  // namespace sep
+
+int main(int argc, char** argv) {
+  std::string ledger_path;
+  std::string schema_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--help") {
+      sep::Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && ledger_path.empty()) {
+      ledger_path = arg;
+    } else {
+      return sep::Usage();
+    }
+  }
+  if (ledger_path.empty()) return sep::Usage();
+
+  if (!schema_path.empty()) {
+    // Drift guard: the checked-in schema must describe the same document
+    // version this validator (and sepcheck) implements.
+    std::string schema_text;
+    if (!sep::ReadFile(schema_path, schema_text)) {
+      std::fprintf(stderr, "check_obligations: cannot open %s\n",
+                   schema_path.c_str());
+      return 2;
+    }
+    const std::string want =
+        sep::Format("\"$id\": \"%s\"", sep::sepcheck::kObligationsSchemaTag);
+    if (schema_text.find(want) == std::string::npos) {
+      std::fprintf(stderr,
+                   "check_obligations: %s does not declare $id %s — schema and "
+                   "tool have drifted\n",
+                   schema_path.c_str(), sep::sepcheck::kObligationsSchemaTag);
+      return 1;
+    }
+  }
+
+  std::string text;
+  if (!sep::ReadFile(ledger_path, text)) {
+    std::fprintf(stderr, "check_obligations: cannot open %s\n", ledger_path.c_str());
+    return 2;
+  }
+  sep::JsonValue doc;
+  sep::JsonParser parser(text);
+  if (!parser.Parse(doc)) {
+    std::fprintf(stderr, "check_obligations: %s: JSON parse error: %s\n",
+                 ledger_path.c_str(), parser.error().c_str());
+    return 1;
+  }
+  sep::Validator validator;
+  if (!validator.Validate(doc)) {
+    std::fprintf(stderr, "check_obligations: %s: %d problem(s)\n",
+                 ledger_path.c_str(), validator.problems());
+    return 1;
+  }
+  std::printf("check_obligations: %s: OK (%zu entries)\n", ledger_path.c_str(),
+              doc.Find("entries")->items.size());
+  return 0;
+}

@@ -1,6 +1,7 @@
 // sepcheck: static separability linter for SM-11 guest programs.
 //
-//   sepcheck --all [--json] [--probe] [--jobs N]   lint the in-tree catalogue
+//   sepcheck --all [--json] [--probe] [--jobs N] [--obligations FILE]
+//                                                  lint the in-tree catalogue
 //   sepcheck [options] program.s                   lint one assembly file
 //
 // File-mode options:
@@ -9,12 +10,18 @@
 //   --bare        bare-machine program: HALT legal, TRAPs not kernel calls
 //   --json        machine-readable findings (JSON lines)
 //
+// Both modes accept --obligations FILE: write the proof-obligation ledger
+// (every load/store/kernel-call proof step, tagged with the separability
+// condition it discharges) as JSON to FILE. The document's schema is
+// docs/obligations.schema.json; tools/check_obligations validates it.
+//
 // --all exits 0 iff every catalogue entry meets its expectation: real
 // guests certify (possibly via discharged findings), negative fixtures are
 // flagged. With --probe it additionally runs the machine-level two-run
 // semantic probe on entries that carry one and checks the expected verdict
 // (the EXPERIMENTS.md E14 table). --jobs N analyzes entries on N threads
-// (0 = all hardware threads); output stays in catalogue order.
+// (0 = all hardware threads); output — the findings text and the ledger —
+// stays in catalogue order, byte-identical to a serial run.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,13 +44,16 @@ using sepcheck::AnalyzeSystem;
 using sepcheck::BuildEntrySystem;
 using sepcheck::Catalog;
 using sepcheck::CatalogEntry;
+using sepcheck::EntryObligations;
 using sepcheck::MachineSemanticallyLeaks;
 using sepcheck::RegimeView;
+using sepcheck::RenderObligationsJson;
 using sepcheck::SystemAnalysis;
 
 constexpr char kUsage[] =
-    "usage: sepcheck --all [--json] [--probe] [--jobs N]\n"
-    "       sepcheck [--words N] [--devices N] [--bare] [--json] program.s\n";
+    "usage: sepcheck --all [--json] [--probe] [--jobs N] [--obligations FILE]\n"
+    "       sepcheck [--words N] [--devices N] [--bare] [--json]\n"
+    "                [--obligations FILE] program.s\n";
 
 int Usage() {
   std::fputs(kUsage, stderr);
@@ -79,7 +89,19 @@ struct EntryOutcome {
   std::string out;  // stdout text
   std::string err;  // stderr text
   bool ok = false;
+  EntryObligations ledger;
 };
+
+// Writes `text` to `path`; reports and fails loudly on error.
+bool WriteFileOrComplain(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "sepcheck: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
 
 EntryOutcome CheckEntry(const CatalogEntry& entry, bool json, bool probe) {
   EntryOutcome r;
@@ -91,6 +113,9 @@ EntryOutcome CheckEntry(const CatalogEntry& entry, bool json, bool probe) {
   const int discharged = DischargedCount(analysis->findings);
   r.ok = analysis->certified == entry.expect_certified &&
          (!entry.expect_discharged || discharged > 0);
+  r.ledger.entry = entry.name;
+  r.ledger.certified = analysis->certified;
+  r.ledger.obligations = analysis->obligations;
 
   std::string semantic = "-";
   if (probe && entry.has_probe) {
@@ -126,7 +151,7 @@ EntryOutcome CheckEntry(const CatalogEntry& entry, bool json, bool probe) {
   return r;
 }
 
-int RunAll(bool json, bool probe, int jobs) {
+int RunAll(bool json, bool probe, int jobs, const std::string& obligations_path) {
   // Materialize the catalogue before fanning out; entry analysis itself is
   // pure (clone-based machine runs, no shared mutable state).
   const std::vector<CatalogEntry>& catalog = Catalog();
@@ -142,6 +167,16 @@ int RunAll(bool json, bool probe, int jobs) {
     if (!r.out.empty()) std::fputs(r.out.c_str(), stdout);
     if (!r.ok) ++failures;
   }
+  if (!obligations_path.empty()) {
+    // Ledgers are collected in catalogue order, so the document is
+    // byte-identical regardless of --jobs.
+    std::vector<EntryObligations> ledgers;
+    ledgers.reserve(outcomes.size());
+    for (EntryOutcome& r : outcomes) ledgers.push_back(std::move(r.ledger));
+    if (!WriteFileOrComplain(obligations_path, RenderObligationsJson(ledgers))) {
+      return 2;
+    }
+  }
   if (!json) {
     std::printf("%d of %zu catalogue entries off expectation\n", failures, catalog.size());
   }
@@ -149,7 +184,7 @@ int RunAll(bool json, bool probe, int jobs) {
 }
 
 int RunFile(const std::string& path, std::uint32_t words, int devices, bool bare,
-            bool json) {
+            bool json, const std::string& obligations_path) {
   Result<std::string> source = ReadFile(path);
   if (!source.ok()) {
     std::fprintf(stderr, "%s\n", source.error().c_str());
@@ -167,6 +202,15 @@ int RunFile(const std::string& path, std::uint32_t words, int devices, bool bare
   view.device_window_words = static_cast<std::uint32_t>(devices) * 8;
   view.bare = bare;
   sepcheck::ProgramAnalysis analysis = AnalyzeProgram(*program, *source, view);
+  if (!obligations_path.empty()) {
+    EntryObligations ledger;
+    ledger.entry = path;
+    ledger.certified = analysis.Certified();
+    ledger.obligations = analysis.obligations;
+    if (!WriteFileOrComplain(obligations_path, RenderObligationsJson({ledger}))) {
+      return 2;
+    }
+  }
   std::printf("%s", FormatFindings(analysis.findings, json).c_str());
   if (!json) {
     std::printf("%s: %s (%zu finding(s), %d discharged)\n", path.c_str(),
@@ -188,6 +232,7 @@ int main(int argc, char** argv) {
   int devices = 0;
   int jobs = 1;
   std::string path;
+  std::string obligations_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -212,6 +257,12 @@ int main(int argc, char** argv) {
         return sep::UsageError("--devices needs an integer in [0, 256]", argv[i]);
       }
       devices = static_cast<int>(*parsed);
+    } else if (arg == "--obligations" && i + 1 < argc) {
+      obligations_path = argv[++i];
+      if (obligations_path.empty() || obligations_path[0] == '-') {
+        return sep::UsageError("--obligations needs an output file path",
+                               obligations_path.c_str());
+      }
     } else if (arg == "--jobs" && i + 1 < argc) {
       // 0 = all hardware threads (ThreadPool convention).
       const std::optional<long long> parsed = sep::ParseInt(argv[++i], 0, 4096, 0);
@@ -230,10 +281,10 @@ int main(int argc, char** argv) {
   }
 
   if (all) {
-    return sep::RunAll(json, probe, jobs);
+    return sep::RunAll(json, probe, jobs, obligations_path);
   }
   if (path.empty()) {
     return sep::Usage();
   }
-  return sep::RunFile(path, words, devices, bare, json);
+  return sep::RunFile(path, words, devices, bare, json, obligations_path);
 }
