@@ -328,6 +328,29 @@ void BM_ExhaustiveKernelized(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveKernelized);
 
+// The same kernelized exploration on the work-stealing frontier with all
+// hardware threads. Against BM_ExhaustiveKernelized this yields
+// `exhaustive_steal_speedup` in bench_report — the multicore claim of the
+// stealing scheduler, guarded like exhaustive_parallel_speedup (and, like
+// it, skipped on single-core hosts where the honest value is <= 1).
+void BM_ExhaustiveKernelizedSteal(benchmark::State& state) {
+  auto system = BuildCycleConfig();
+  ExhaustiveOptions options;
+  options.max_states = 8192;
+  options.threads = 0;  // all hardware threads
+  std::size_t states = 0;
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    ExhaustiveReport report = CheckSeparabilityExhaustive(*system, options);
+    benchmark::DoNotOptimize(report.states_explored);
+    states += report.states_explored;
+    steals += report.steal_count;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
+  state.counters["steals"] = static_cast<double>(steals);
+}
+BENCHMARK(BM_ExhaustiveKernelizedSteal);
+
 }  // namespace
 }  // namespace sep
 

@@ -62,6 +62,47 @@ class ThreadPool {
     ParallelForPooled(n, fn);
   }
 
+  // Grained variant: workers claim [i, i+grain) index blocks per atomic
+  // fetch instead of one index at a time, cutting contention on the shared
+  // cursor when bodies are cheap. Iteration order within a block is
+  // ascending; block assignment is unspecified. grain == 1 is exactly the
+  // plain overload.
+  template <typename Body>
+  void ParallelFor(std::size_t n, std::size_t grain, Body&& body) {
+    if (grain <= 1 || workers_.empty() || n <= grain) {
+      ParallelFor(n, body);
+      return;
+    }
+    const std::size_t blocks = (n + grain - 1) / grain;
+    ParallelFor(blocks, [&](std::size_t block) {
+      const std::size_t begin = block * grain;
+      const std::size_t end = begin + grain < n ? begin + grain : n;
+      for (std::size_t i = begin; i < end; ++i) {
+        body(i);
+      }
+    });
+  }
+
+  // Batch size that adapts to both pool width and problem width: small
+  // enough that every thread gets several blocks (load balance against
+  // uneven bodies), large enough to amortize the shared cursor. The old
+  // checker used a fixed 64-state dispatch batch, which starved wide pools
+  // on narrow BFS levels.
+  static std::size_t AdaptiveGrain(std::size_t n, int threads) {
+    if (threads <= 1 || n == 0) {
+      return n == 0 ? 1 : n;
+    }
+    // Aim for ~4 blocks per thread, clamped to [1, 1024].
+    std::size_t grain = n / (static_cast<std::size_t>(threads) * 4);
+    if (grain < 1) {
+      grain = 1;
+    }
+    if (grain > 1024) {
+      grain = 1024;
+    }
+    return grain;
+  }
+
   // Index of the calling thread within this pool's parallelism: 0 for the
   // thread that owns the pool (and runs inline / participates in jobs),
   // 1..workers for pool workers. Callers use it to pick a scratch slot that

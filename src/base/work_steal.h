@@ -1,0 +1,281 @@
+// Work-stealing frontier scheduling for the exhaustive checker.
+//
+// The level-synchronous BFS of PR 3/4 funnelled every intern through one
+// merge thread and dispatched expansion work in fixed 64-state batches, so
+// `exhaustive_parallel_speedup` never moved off 1.0: workers spent most of
+// each level waiting at the batch barrier. This header replaces that with
+// the classic explicit-state-exploration shape (multi-core SPIN lineage):
+//
+//   * StealDeque — a Chase–Lev double-ended queue of 64-bit items. The
+//     owning worker pushes and pops at the bottom (LIFO, cache-warm);
+//     idle workers steal from the top (FIFO, oldest work first). Memory
+//     ordering follows Lê et al. "Correct and Efficient Work-Stealing for
+//     Weak Memory Models", but uses seq_cst operations on the top/bottom
+//     pair instead of standalone fences: ThreadSanitizer does not model
+//     atomic_thread_fence, and the CI tsan matrix job must be able to
+//     reason about this structure. At the checker's work granularity
+//     (one state expansion is tens of microseconds) the difference is
+//     noise.
+//
+//   * StealScheduler — one deque per worker, a pending-work counter for
+//     termination detection, and seeded pseudo-random victim selection.
+//     The seed is the schedule-perturbation hook: different seeds yield
+//     different steal orders, and the determinism tests assert that the
+//     checker's report is byte-identical across all of them (the report
+//     is produced by a canonical post-pass, never by scheduling luck —
+//     see src/core/exhaustive.cpp).
+//
+// Determinism contract: nothing in this header is deterministic. Callers
+// must treat item processing order as adversarial and derive any
+// deterministic output from a canonical replay of recorded results.
+#ifndef SRC_BASE_WORK_STEAL_H_
+#define SRC_BASE_WORK_STEAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/base/thread_pool.h"
+
+namespace sep {
+
+// Chase–Lev work-stealing deque of int64 items. Push/Pop are owner-only;
+// TrySteal may be called from any thread. Grows without bound (old buffers
+// are retired, not freed, until destruction, so a thief holding a stale
+// buffer pointer always reads valid memory).
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity = 256) {
+    std::size_t cap = 8;
+    while (cap < capacity) {
+      cap *= 2;
+    }
+    buffer_.store(NewBuffer(cap), std::memory_order_relaxed);
+  }
+
+  ~StealDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) {
+      delete b;
+    }
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  // Owner only.
+  void Push(std::int64_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->mask)) {
+      buf = Grow(buf, t, b);
+    }
+    buf->cells[static_cast<std::size_t>(b) & buf->mask].store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only. Takes the most recently pushed item (LIFO).
+  bool Pop(std::int64_t* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      *out = buf->cells[static_cast<std::size_t>(b) & buf->mask].load(std::memory_order_relaxed);
+      return true;
+    }
+    if (t == b) {
+      // Last item: race a potential thief for it.
+      *out = buf->cells[static_cast<std::size_t>(b) & buf->mask].load(std::memory_order_relaxed);
+      const bool won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                    std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return won;
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return false;
+  }
+
+  enum class StealResult { kGot, kEmpty, kLost };
+
+  // Any thread. Takes the oldest item (FIFO).
+  StealResult TrySteal(std::int64_t* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return StealResult::kEmpty;
+    }
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    const std::int64_t item =
+        buf->cells[static_cast<std::size_t>(t) & buf->mask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return StealResult::kLost;
+    }
+    *out = item;
+    return StealResult::kGot;
+  }
+
+  // Approximate; exact when no other thread is active.
+  std::size_t SizeApprox() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::int64_t>[]> cells;
+  };
+
+  static Buffer* NewBuffer(std::size_t cap) {
+    Buffer* b = new Buffer;
+    b->mask = cap - 1;
+    b->cells = std::make_unique<std::atomic<std::int64_t>[]>(cap);
+    return b;
+  }
+
+  Buffer* Grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* grown = NewBuffer((old->mask + 1) * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      grown->cells[static_cast<std::size_t>(i) & grown->mask].store(
+          old->cells[static_cast<std::size_t>(i) & old->mask].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    buffer_.store(grown, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still hold the old pointer
+    return grown;
+  }
+
+  std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+// One deque per worker plus termination detection. Usage:
+//
+//   StealScheduler sched(pool.size(), seed);
+//   sched.Seed(item0);               // before Run, single-threaded
+//   sched.Run(pool, [&](std::int64_t item, int worker) {
+//     ...;                           // may call sched.Emit(worker, child)
+//   });
+//
+// Run returns once every seeded and emitted item has been processed.
+// Workers prefer their own deque (LIFO), then steal from victims in a
+// per-worker pseudo-random order derived from `seed` — vary the seed to
+// perturb the schedule without touching the workload.
+class StealScheduler {
+ public:
+  StealScheduler(int workers, std::uint64_t seed) : lanes_(static_cast<std::size_t>(workers)) {
+    SEP_CHECK(workers >= 1);
+    for (std::size_t w = 0; w < lanes_.size(); ++w) {
+      lanes_[w] = std::make_unique<Lane>();
+      // Odd-forced xorshift seed per worker; Mix64 decorrelates worker ids.
+      lanes_[w]->rng = Mix64(seed ^ (0x9E3779B97F4A7C15ULL * (w + 1))) | 1;
+    }
+  }
+
+  // Single-threaded, before Run. Items are dealt round-robin across lanes
+  // so a wide seed set starts balanced even before any steal happens.
+  void Seed(std::int64_t item) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    lanes_[seed_cursor_]->deque.Push(item);
+    seed_cursor_ = (seed_cursor_ + 1) % lanes_.size();
+  }
+
+  // From inside Run's body only: `worker` must be the body's worker index.
+  void Emit(int worker, std::int64_t item) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    lanes_[static_cast<std::size_t>(worker)]->deque.Push(item);
+  }
+
+  template <typename Body>
+  void Run(ThreadPool& pool, Body&& body) {
+    SEP_CHECK(static_cast<std::size_t>(pool.size()) == lanes_.size());
+    pool.ParallelFor(lanes_.size(), [&](std::size_t w) { WorkerLoop(static_cast<int>(w), body); });
+  }
+
+  std::uint64_t steal_count() const {
+    std::uint64_t total = 0;
+    for (const auto& lane : lanes_) {
+      total += lane->steals;
+    }
+    return total;
+  }
+
+  std::uint64_t processed(int worker) const {
+    return lanes_[static_cast<std::size_t>(worker)]->processed;
+  }
+
+ private:
+  struct alignas(64) Lane {
+    StealDeque deque;
+    std::uint64_t rng = 1;
+    std::uint64_t steals = 0;
+    std::uint64_t processed = 0;
+  };
+
+  static std::uint64_t NextRng(std::uint64_t& x) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  }
+
+  template <typename Body>
+  void WorkerLoop(int w, Body& body) {
+    Lane& lane = *lanes_[static_cast<std::size_t>(w)];
+    const std::size_t n = lanes_.size();
+    for (;;) {
+      std::int64_t item;
+      if (lane.deque.Pop(&item)) {
+        body(item, w);
+        ++lane.processed;
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (n > 1) {
+        // One randomized pass over the other lanes; kLost retries within
+        // the pass (someone has work — contend for it).
+        bool got = false;
+        for (std::size_t attempt = 0; attempt < 2 * n && !got; ++attempt) {
+          const std::size_t victim = (w + 1 + NextRng(lane.rng) % (n - 1)) % n;
+          switch (lanes_[victim]->deque.TrySteal(&item)) {
+            case StealDeque::StealResult::kGot:
+              ++lane.steals;
+              got = true;
+              break;
+            case StealDeque::StealResult::kLost:
+            case StealDeque::StealResult::kEmpty:
+              break;
+          }
+        }
+        if (got) {
+          body(item, w);
+          ++lane.processed;
+          pending_.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+      }
+      if (pending_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::int64_t> pending_{0};
+  std::size_t seed_cursor_ = 0;
+};
+
+}  // namespace sep
+
+#endif  // SRC_BASE_WORK_STEAL_H_

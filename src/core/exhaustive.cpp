@@ -1,8 +1,12 @@
 #include "src/core/exhaustive.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <utility>
 
@@ -11,6 +15,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/base/thread_pool.h"
+#include "src/base/work_steal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -19,192 +24,54 @@ namespace sep {
 namespace {
 
 // The checker is parallel but its report is deterministic BY CONSTRUCTION,
-// not by locking: workers compute pure per-state / per-pair results into
-// preallocated slots, and a single merge thread replays those results in the
-// canonical order the serial checker would have produced them. All shared
-// structures (the state store, the report, the frontier) are touched only by
-// the merge thread, or read-only while a ParallelFor is in flight. A run with
-// options.threads == 1 takes the same code path with an inline loop, so
-// "serial" is not a separate implementation that could drift.
+// in two layers:
+//
+//   1. Work-stealing exploration (schedule-dependent, result-pure). Workers
+//      pull states from per-worker Chase–Lev deques (src/base/work_steal.h),
+//      expand them, and intern every successor into a sharded
+//      content-addressed store (ShardedStateStore below). A state's packed
+//      id and shard are pure functions of its serialized content, never of
+//      the interning thread. Each fresh state is expanded exactly once (the
+//      thread whose intern was fresh re-enqueues it). Workers record, per
+//      expanded state, the packed ids of its successors plus any FAILED
+//      per-transition checks; passing checks are never materialized — the
+//      check sequence of a successor is synthesizable from its ordinal.
+//
+//   2. Canonical replay (schedule-independent). After the stealing pool
+//      drains, a single merge thread replays the exact level-synchronous
+//      serial algorithm over the recorded successor lists: same FIFO id
+//      assignment, same kLevelChunk dispatch granularity, same
+//      overflow-before-intern and max_violations early-stop semantics, same
+//      per-level heartbeat trace events. The replay therefore produces the
+//      report — ids, violation order, truncation points, transition counts —
+//      that a 1-thread run of the pre-stealing checker produced, regardless
+//      of thread count or steal schedule. If the replay needs a state the
+//      stealing phase never expanded (early stop drained it), it expands it
+//      on demand on the merge thread. If the stealing phase overshot a
+//      truncated run (discovered more states than the canonical set), the
+//      store is rebuilt with only canonical states in canonical order so
+//      peak_state_bytes stays schedule-independent too.
+//
+// Pair checking reuses the same stealing pool: the replay drives dispatch
+// in waves and consumes outcomes with the serial kPairChunk stop semantics.
+//
+// restore_count reports the SERIAL-EQUIVALENT schedule cost (the number of
+// RestoreFullState calls the canonical serial schedule performs), which is
+// what makes it comparable across thread counts; the actual per-worker
+// restore counts — which include stealing overshoot — are exported as
+// per-worker gauges instead.
 //
 // No live SharedSystem is retained per explored state. Each state exists
-// only as its serialized FullState() words in the StateStore below; workers
-// reconstruct live machines on demand (RestoreFullState) into per-worker
-// scratch instances. Peak memory is therefore O(serialized words) — and
-// because the store deduplicates content chunks across states, typically far
-// less than one full serialization per state.
+// only as its serialized FullState() words; workers reconstruct live
+// machines on demand (RestoreFullState) into per-worker scratch instances.
 
-// Compact interned storage for serialized states.
-//
-// Layout: serializations are cut into kChunkWords-word chunks at fixed
-// offsets and each distinct chunk is stored once in a flat arena
-// (`chunk_words_`). A state is its sequence of chunk ids plus its exact word
-// count (serializations vary in length when device queues grow). Reachable
-// states of one system differ in a handful of memory pages, so chunk
-// interning stores the common content once; per state the store holds
-// ~(words / kChunkWords) chunk ids instead of the words themselves.
-//
-// Both hash tables keep precomputed 64-bit hashes in flat arrays
-// (`chunk_hashes_`, `state_hashes_`), so a probe compares hashes first and
-// never re-hashes stored content.
-class StateStore {
- public:
-  static constexpr std::size_t kChunkWords = 64;
-
-  std::size_t size() const { return state_lens_.size(); }
-  std::uint64_t state_hash(std::int32_t id) const {
-    return state_hashes_[static_cast<std::size_t>(id)];
-  }
-
-  // Read-only probe; safe concurrently with other probes (workers run it
-  // against the frozen store while a level expands).
-  std::int32_t Find(std::uint64_t hash, const Word* key, std::size_t count) const {
-    return state_index_.Find(
-        hash, [&](std::int32_t id) { return StateEquals(id, hash, key, count); });
-  }
-
-  // Merge-thread only. Returns the id of an equal existing state or interns
-  // a new one.
-  std::int32_t Intern(std::uint64_t hash, const Word* key, std::size_t count) {
-    const std::int32_t found = Find(hash, key, count);
-    if (found >= 0) {
-      return found;
-    }
-    const std::int32_t id = static_cast<std::int32_t>(size());
-    for (std::size_t base = 0; base < count; base += kChunkWords) {
-      state_chunks_.push_back(InternChunk(key + base, std::min(kChunkWords, count - base)));
-    }
-    state_offsets_.push_back(static_cast<std::uint32_t>(state_chunks_.size()));
-    state_lens_.push_back(static_cast<std::uint32_t>(count));
-    state_hashes_.push_back(hash);
-    state_index_.Insert(hash, id, [&](std::int32_t existing) {
-      return state_hashes_[static_cast<std::size_t>(existing)];
-    });
-    return id;
-  }
-
-  // Reconstructs state `id`'s serialized words into `out`.
-  void Materialize(std::int32_t id, std::vector<Word>& out) const {
-    const std::size_t i = static_cast<std::size_t>(id);
-    out.clear();
-    out.reserve(state_lens_[i]);
-    for (std::uint32_t c = (i == 0 ? 0 : state_offsets_[i - 1]); c < state_offsets_[i]; ++c) {
-      const std::uint32_t chunk = state_chunks_[c];
-      out.insert(out.end(), chunk_words_.begin() + chunk_offsets_[chunk],
-                 chunk_words_.begin() + chunk_offsets_[chunk + 1]);
-    }
-  }
-
-  // Resident footprint: arenas, per-state tables and hash indexes.
-  std::size_t bytes() const {
-    return chunk_words_.capacity() * sizeof(Word) +
-           chunk_offsets_.capacity() * sizeof(std::uint32_t) +
-           chunk_hashes_.capacity() * sizeof(std::uint64_t) +
-           state_chunks_.capacity() * sizeof(std::uint32_t) +
-           state_offsets_.capacity() * sizeof(std::uint32_t) +
-           state_lens_.capacity() * sizeof(std::uint32_t) +
-           state_hashes_.capacity() * sizeof(std::uint64_t) + state_index_.bytes() +
-           chunk_index_.bytes();
-  }
-
- private:
-  bool StateEquals(std::int32_t id, std::uint64_t hash, const Word* key,
-                   std::size_t count) const {
-    const std::size_t i = static_cast<std::size_t>(id);
-    if (state_hashes_[i] != hash || state_lens_[i] != count) {
-      return false;
-    }
-    std::size_t pos = 0;
-    for (std::uint32_t c = (i == 0 ? 0 : state_offsets_[i - 1]); c < state_offsets_[i]; ++c) {
-      const std::uint32_t chunk = state_chunks_[c];
-      const std::size_t len = chunk_offsets_[chunk + 1] - chunk_offsets_[chunk];
-      if (std::memcmp(chunk_words_.data() + chunk_offsets_[chunk], key + pos,
-                      len * sizeof(Word)) != 0) {
-        return false;
-      }
-      pos += len;
-    }
-    return true;
-  }
-
-  std::uint32_t InternChunk(const Word* words, std::size_t count) {
-    const std::uint64_t hash = HashWords(words, count);
-    const std::int32_t found = chunk_index_.Find(hash, [&](std::int32_t id) {
-      const std::size_t i = static_cast<std::size_t>(id);
-      return chunk_hashes_[i] == hash &&
-             chunk_offsets_[i + 1] - chunk_offsets_[i] == count &&
-             std::memcmp(chunk_words_.data() + chunk_offsets_[i], words,
-                         count * sizeof(Word)) == 0;
-    });
-    if (found >= 0) {
-      return static_cast<std::uint32_t>(found);
-    }
-    const std::int32_t id = static_cast<std::int32_t>(chunk_hashes_.size());
-    chunk_words_.insert(chunk_words_.end(), words, words + count);
-    chunk_offsets_.push_back(static_cast<std::uint32_t>(chunk_words_.size()));
-    chunk_hashes_.push_back(hash);
-    chunk_index_.Insert(hash, id, [&](std::int32_t existing) {
-      return chunk_hashes_[static_cast<std::size_t>(existing)];
-    });
-    return static_cast<std::uint32_t>(id);
-  }
-
-  // Chunk arena: chunk i occupies chunk_words_[chunk_offsets_[i] ..
-  // chunk_offsets_[i + 1]).
-  std::vector<Word> chunk_words_;
-  std::vector<std::uint32_t> chunk_offsets_{0};
-  std::vector<std::uint64_t> chunk_hashes_;
-  HashIndex chunk_index_;
-
-  // Per-state tables: state i's chunk ids occupy state_chunks_[
-  // state_offsets_[i - 1] .. state_offsets_[i]) (0 for i == 0).
-  std::vector<std::uint32_t> state_chunks_;
-  std::vector<std::uint32_t> state_offsets_;
-  std::vector<std::uint32_t> state_lens_;
-  std::vector<std::uint64_t> state_hashes_;
-  HashIndex state_index_;
-};
-
-// One Check() call, precomputed on a worker. The description is built only
-// on failure; passing checks never surface it.
-struct CheckRecord {
-  int condition = 0;
-  int colour = kColourNone;
-  bool ok = true;
-  std::string description;
-};
-
-// One successor transition, precomputed on a worker. The serialized
-// successor lives in the owning ExpandResult's flat `words` buffer unless
-// the worker already matched it against the frozen state store.
-struct SuccessorRec {
-  std::uint32_t check_begin = 0;
-  std::uint32_t check_end = 0;
-  std::int32_t frozen_id = -1;  // >= 0: already interned before this level
-  std::uint64_t hash = 0;
-  std::uint32_t key_begin = 0;
-  std::uint32_t key_end = 0;
-};
-
-// All successors of one expanded state. Flat buffers; cleared (capacity
-// retained) per chunk rather than reallocated.
-struct ExpandResult {
-  std::vector<CheckRecord> checks;
-  std::vector<SuccessorRec> succs;
-  std::vector<Word> words;
-
-  void Clear() {
-    checks.clear();
-    succs.clear();
-    words.clear();
-  }
-};
-
-// States expanded per ParallelFor batch. Bounds both the memory held in
-// not-yet-merged serializations and the work wasted past the max_violations
-// cutoff.
+constexpr std::size_t kChunkWords = 64;
+// States merged per canonical-replay batch. This is the granularity at
+// which the serial checker dispatched expansion work, and the goldens pin
+// its stop semantics (restore counts, truncation points), so the replay
+// keeps it even though the stealing pool no longer batches.
 constexpr std::size_t kLevelChunk = 64;
-// Φ-equal pairs checked per ParallelFor batch.
+// Φ-equal pairs merged per canonical-replay batch (same role).
 constexpr std::size_t kPairChunk = 512;
 
 // Trace payload words are 16-bit; saturate rather than wrap so a reader can
@@ -213,11 +80,263 @@ Word SaturateWord(std::size_t value) {
   return static_cast<Word>(std::min<std::size_t>(value, 0xFFFF));
 }
 
+// Compact interned storage for serialized states, sharded for concurrent
+// growth. Serializations are cut into kChunkWords-word chunks at fixed
+// offsets; each distinct chunk is stored once. Chunks and states live in
+// separate shard spaces, each routed by the top bits of the content hash
+// (ShardForHash), so the layout of a finished store is a pure function of
+// the state SET — identical for every steal schedule.
+//
+// A state record is its packed chunk-ref list plus exact word count. Because
+// chunk ids are content-addressed within a run, two equal serializations
+// always produce identical ref lists, so state equality is a cheap ref-list
+// memcmp that never touches the chunk shards (no nested locks).
+//
+// Capacity determinism: every growable vector starts from a fixed reserved
+// base large enough that growth is pure doubling (appends are ≤ kChunkWords
+// words), making each shard's capacity — and thus bytes() — a function of
+// its final contents, not of insertion order.
+class ShardedStateStore {
+ public:
+  ShardedStateStore() {
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      state_data_[s].chunk_refs.reserve(1024);
+      state_data_[s].ref_offsets.reserve(256);
+      state_data_[s].lens.reserve(256);
+      state_data_[s].hashes.reserve(256);
+      chunk_data_[s].words.reserve(4096);
+      chunk_data_[s].offsets.reserve(256);
+      chunk_data_[s].hashes.reserve(256);
+    }
+  }
+
+  std::size_t states() const { return state_count_.load(std::memory_order_relaxed); }
+
+  // Any thread. Returns the packed id of the chunk with this content,
+  // interning it if new.
+  std::uint32_t InternChunk(std::uint64_t hash, const Word* words, std::size_t count) {
+    const std::size_t s = ShardForHash(hash);
+    ChunkShardData& d = chunk_data_[s];
+    const auto [packed, fresh] = chunk_index_.FindOrInsert(
+        hash,
+        [&](std::int32_t local) {
+          const std::size_t i = static_cast<std::size_t>(local);
+          return d.hashes[i] == hash && d.offsets[i + 1] - d.offsets[i] == count &&
+                 std::memcmp(d.words.data() + d.offsets[i], words, count * sizeof(Word)) == 0;
+        },
+        [&]() {
+          const std::size_t local = d.hashes.size();
+          SEP_CHECK(local <= kShardLocalMax);
+          d.words.insert(d.words.end(), words, words + count);
+          d.offsets.push_back(static_cast<std::uint32_t>(d.words.size()));
+          d.hashes.push_back(hash);
+          return local;
+        },
+        [&](std::int32_t existing) { return d.hashes[static_cast<std::size_t>(existing)]; });
+    (void)fresh;
+    return static_cast<std::uint32_t>(packed);
+  }
+
+  struct InternedState {
+    std::int32_t id;
+    bool fresh;
+  };
+
+  // Any thread. `refs` is the state's packed chunk-ref list; `len` its exact
+  // word count; `hash` the hash of the full serialization.
+  InternedState InternState(std::uint64_t hash, const std::uint32_t* refs, std::size_t nrefs,
+                            std::size_t len) {
+    const std::size_t s = ShardForHash(hash);
+    StateShardData& d = state_data_[s];
+    const auto [packed, fresh] = state_index_.FindOrInsert(
+        hash,
+        [&](std::int32_t local) {
+          const std::size_t i = static_cast<std::size_t>(local);
+          return d.hashes[i] == hash && d.lens[i] == len &&
+                 d.ref_offsets[i + 1] - d.ref_offsets[i] == nrefs &&
+                 std::memcmp(d.chunk_refs.data() + d.ref_offsets[i], refs,
+                             nrefs * sizeof(std::uint32_t)) == 0;
+        },
+        [&]() {
+          const std::size_t local = d.hashes.size();
+          SEP_CHECK(local <= kShardLocalMax);
+          d.chunk_refs.insert(d.chunk_refs.end(), refs, refs + nrefs);
+          d.ref_offsets.push_back(static_cast<std::uint32_t>(d.chunk_refs.size()));
+          d.lens.push_back(static_cast<std::uint32_t>(len));
+          d.hashes.push_back(hash);
+          return local;
+        },
+        [&](std::int32_t existing) { return d.hashes[static_cast<std::size_t>(existing)]; });
+    if (fresh) {
+      state_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return {packed, fresh};
+  }
+
+  // After the last intern, lock-free reads: the phase barrier between
+  // exploration and pair checking provides the happens-before edge.
+  void Freeze() { frozen_ = true; }
+
+  // Reconstructs state `packed`'s serialized words into `out` (its chunk-ref
+  // list lands in `refs`). Thread-safe: locks shards unless frozen.
+  void MaterializeState(std::int32_t packed, std::vector<std::uint32_t>& refs,
+                        std::vector<Word>& out) const {
+    const std::size_t s = ShardOfId(packed);
+    const std::size_t local = LocalOfId(packed);
+    const StateShardData& d = state_data_[s];
+    std::size_t len = 0;
+    {
+      std::unique_lock<std::mutex> lock;
+      if (!frozen_) {
+        lock = std::unique_lock<std::mutex>(state_index_.shard(s).mu);
+      }
+      refs.assign(d.chunk_refs.begin() + d.ref_offsets[local],
+                  d.chunk_refs.begin() + d.ref_offsets[local + 1]);
+      len = d.lens[local];
+    }
+    out.clear();
+    out.reserve(len);
+    for (const std::uint32_t ref : refs) {
+      const std::size_t cs = ShardOfId(static_cast<std::int32_t>(ref));
+      const std::size_t cl = LocalOfId(static_cast<std::int32_t>(ref));
+      const ChunkShardData& cd = chunk_data_[cs];
+      std::unique_lock<std::mutex> lock;
+      if (!frozen_) {
+        lock = std::unique_lock<std::mutex>(chunk_index_.shard(cs).mu);
+      }
+      out.insert(out.end(), cd.words.begin() + cd.offsets[cl], cd.words.begin() + cd.offsets[cl + 1]);
+    }
+    SEP_CHECK(out.size() == len);
+  }
+
+  std::uint64_t StateHash(std::int32_t packed) const {
+    return state_data_[ShardOfId(packed)].hashes[LocalOfId(packed)];
+  }
+
+  std::size_t shard_max_load() const { return state_index_.max_load(); }
+
+  // Resident footprint: arenas, per-state tables and hash indexes.
+  std::size_t bytes() const {
+    std::size_t total = state_index_.bytes() + chunk_index_.bytes();
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      const StateShardData& sd = state_data_[s];
+      const ChunkShardData& cd = chunk_data_[s];
+      total += sd.chunk_refs.capacity() * sizeof(std::uint32_t) +
+               sd.ref_offsets.capacity() * sizeof(std::uint32_t) +
+               sd.lens.capacity() * sizeof(std::uint32_t) +
+               sd.hashes.capacity() * sizeof(std::uint64_t) +
+               cd.words.capacity() * sizeof(Word) +
+               cd.offsets.capacity() * sizeof(std::uint32_t) +
+               cd.hashes.capacity() * sizeof(std::uint64_t);
+    }
+    return total;
+  }
+
+ private:
+  struct StateShardData {
+    // State i's chunk refs occupy chunk_refs[ref_offsets[i] ..
+    // ref_offsets[i + 1]).
+    std::vector<std::uint32_t> chunk_refs;
+    std::vector<std::uint32_t> ref_offsets{0};
+    std::vector<std::uint32_t> lens;
+    std::vector<std::uint64_t> hashes;
+  };
+  struct ChunkShardData {
+    // Chunk i occupies words[offsets[i] .. offsets[i + 1]).
+    std::vector<Word> words;
+    std::vector<std::uint32_t> offsets{0};
+    std::vector<std::uint64_t> hashes;
+  };
+
+  ShardedIndex state_index_;
+  ShardedIndex chunk_index_;
+  std::array<StateShardData, kShardCount> state_data_;
+  std::array<ChunkShardData, kShardCount> chunk_data_;
+  std::atomic<std::size_t> state_count_{0};
+  bool frozen_ = false;
+};
+
+// Per-worker direct-mapped cache of hot chunks. Most successors of one
+// state share almost all chunks with it, so this makes the common-chunk
+// intern path lock-free. Sound by construction: a hit requires a full
+// content memcmp, never hash identity alone — a silent collision in a
+// verification tool is not an acceptable failure mode.
+struct ChunkCache {
+  static constexpr std::size_t kEntries = 512;
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::int64_t ref = -1;
+    std::uint32_t len = 0;
+  };
+  std::vector<Entry> entries = std::vector<Entry>(kEntries);
+  std::vector<Word> words = std::vector<Word>(kEntries * kChunkWords);
+};
+
+std::uint32_t InternChunkCached(ShardedStateStore& store, ChunkCache& cache, const Word* words,
+                                std::size_t count) {
+  const std::uint64_t hash = HashWords(words, count);
+  // Shard routing consumes the TOP hash bits; the cache slot uses the low
+  // bits so cache placement and shard placement stay independent.
+  ChunkCache::Entry& e = cache.entries[hash & (ChunkCache::kEntries - 1)];
+  Word* const slot = cache.words.data() + (hash & (ChunkCache::kEntries - 1)) * kChunkWords;
+  if (e.ref >= 0 && e.hash == hash && e.len == count &&
+      std::memcmp(slot, words, count * sizeof(Word)) == 0) {
+    return static_cast<std::uint32_t>(e.ref);
+  }
+  const std::uint32_t ref = store.InternChunk(hash, words, count);
+  e.hash = hash;
+  e.ref = ref;
+  e.len = static_cast<std::uint32_t>(count);
+  std::memcpy(slot, words, count * sizeof(Word));
+  return ref;
+}
+
+// One FAILED check, recorded by a worker. Passing checks are never stored:
+// the canonical replay synthesizes the full check sequence (it is a pure
+// function of the successor ordinal / pair-task structure) and splices the
+// recorded failures in at their ordinal positions.
+struct FailRec {
+  std::uint32_t ordinal = 0;  // check position within the expansion / task
+  std::int16_t condition = 0;
+  std::int16_t colour = kColourNone;
+  std::string description;
+};
+
+// One expanded state: a slice of the owning worker's flat succs/fails logs.
+struct ExpandRec {
+  std::int32_t from = -1;  // packed state id
+  std::uint32_t succ_begin = 0;
+  std::uint32_t succ_end = 0;
+  std::uint32_t fail_begin = 0;
+  std::uint32_t fail_end = 0;
+};
+
+// Append-only per-worker recording; owned by exactly one pool thread during
+// exploration, read by the merge thread after the pool barrier.
+struct WorkerLog {
+  std::vector<ExpandRec> recs;
+  std::vector<std::int32_t> succs;        // packed successor ids
+  std::vector<std::uint8_t> succ_checks;  // checks evaluated per successor
+  std::vector<FailRec> fails;             // ordinal = successor ordinal
+};
+
 class ExhaustiveRun {
  public:
   ExhaustiveRun(const SharedSystem& initial, const ExhaustiveOptions& options)
-      : options_(options), initial_(initial.Clone()), pool_(options.threads) {
+      : options_(options),
+        initial_(initial.Clone()),
+        store_(std::make_unique<ShardedStateStore>()),
+        pool_(options.threads) {
     scratch_.resize(static_cast<std::size_t>(pool_.size()));
+    logs_.resize(static_cast<std::size_t>(pool_.size()));
+    colours_ = initial_->ColourCount();
+    units_ = initial_->UnitCount();
+    // Successors per expansion: the operation, each input value into each
+    // unit, each unit's activity. Constant per system/options, which is what
+    // lets the replay reconstruct the serial restore schedule exactly.
+    fanout_ = 1 + static_cast<std::size_t>(units_) *
+                      static_cast<std::size_t>(options_.inputs_per_unit) +
+              static_cast<std::size_t>(units_);
   }
 
   ExhaustiveReport Run() {
@@ -236,27 +355,49 @@ class ExhaustiveRun {
       return std::move(report_);
     }
 
-    Explore(*init_key);
-    if (report_.complete || store_.size() <= options_.max_states) {
+    const std::int32_t initial_id = InternKey(*init_key);
+    Explore(initial_id);
+    BuildLocator();
+    ReplayExplore(initial_id);
+    if (canon_to_packed_.size() != store_->states()) {
+      // Truncated run overshoot: the stealing pool discovered states the
+      // canonical schedule never admits. Rebuild the store with only
+      // canonical states, in canonical order, so peak_state_bytes is a
+      // function of the canonical set alone.
+      RebuildStore();
+    }
+    store_->Freeze();
+    if (report_.complete || canon_to_packed_.size() <= options_.max_states) {
       CheckPairs();
     }
-    report_.states_explored = store_.size();
-    report_.peak_state_bytes = store_.bytes();
-    for (const Scratch& sc : scratch_) {
-      report_.restore_count += sc.restores;
+
+    report_.states_explored = canon_to_packed_.size();
+    report_.peak_state_bytes = store_->bytes();
+    report_.restore_count = sim_restores_;
+    report_.shard_max_load = store_->shard_max_load();
+    report_.worker_expanded.resize(scratch_.size());
+    for (std::size_t w = 0; w < scratch_.size(); ++w) {
+      report_.worker_expanded[w] = logs_[w].recs.size();
     }
-    if (obs::Enabled()) {
-      obs::Metrics().GetGauge("exhaustive.states").Set(report_.states_explored);
-      obs::Metrics().GetGauge("exhaustive.transitions").Set(report_.transitions);
-      obs::Metrics().GetGauge("exhaustive.pairs_checked").Set(report_.pairs_checked);
-      obs::Metrics().GetGauge("exhaustive.restore_count").Set(report_.restore_count);
-      obs::Metrics().GetGauge("exhaustive.peak_state_bytes").Set(report_.peak_state_bytes);
-      // Per-worker restore counts expose load imbalance across the pool.
-      for (std::size_t w = 0; w < scratch_.size(); ++w) {
-        obs::Metrics()
-            .GetGauge(Format("exhaustive.worker%zu.restores", w))
-            .Set(scratch_[w].restores);
-      }
+    // Gauges are always on (like every other module's counters); only the
+    // trace recorder is gated by obs::Enabled().
+    obs::Metrics().GetGauge("exhaustive.states").Set(report_.states_explored);
+    obs::Metrics().GetGauge("exhaustive.transitions").Set(report_.transitions);
+    obs::Metrics().GetGauge("exhaustive.pairs_checked").Set(report_.pairs_checked);
+    obs::Metrics().GetGauge("exhaustive.restore_count").Set(report_.restore_count);
+    obs::Metrics().GetGauge("exhaustive.peak_state_bytes").Set(report_.peak_state_bytes);
+    obs::Metrics().GetGauge("exhaustive.steal_count").Set(report_.steal_count);
+    obs::Metrics().GetGauge("exhaustive.shard_max_load").Set(report_.shard_max_load);
+    // Per-worker counters expose exploration balance across the pool:
+    // `expanded` is stealing-phase work done, `restores` the actual (not
+    // serial-equivalent) reconstruction count including overshoot.
+    for (std::size_t w = 0; w < scratch_.size(); ++w) {
+      obs::Metrics()
+          .GetGauge(Format("exhaustive.worker%zu.expanded", w))
+          .Set(report_.worker_expanded[w]);
+      obs::Metrics()
+          .GetGauge(Format("exhaustive.worker%zu.restores", w))
+          .Set(scratch_[w].restores);
     }
     return std::move(report_);
   }
@@ -270,10 +411,14 @@ class ExhaustiveRun {
     std::unique_ptr<SharedSystem> work;  // mutated per successor / per probe
     std::vector<Word> key_a;             // materialized serializations
     std::vector<Word> key_b;
-    std::vector<Word> ser;   // successor serialization scratch
+    std::vector<Word> ser;    // successor serialization scratch
     std::vector<Word> phi_a;  // abstraction scratch
     std::vector<Word> phi_b;
     std::vector<std::vector<Word>> before_phi;  // per-colour Φ of the from state
+    std::vector<std::uint32_t> refs_a;          // chunk-ref scratch (materialize)
+    std::vector<std::uint32_t> refs_b;
+    std::vector<std::uint32_t> intern_refs;  // chunk-ref scratch (intern)
+    ChunkCache cache;
     std::uint64_t restores = 0;
   };
 
@@ -282,7 +427,7 @@ class ExhaustiveRun {
     if (sc.base == nullptr) {
       sc.base = initial_->Clone();
       sc.work = initial_->Clone();
-      sc.before_phi.resize(static_cast<std::size_t>(initial_->ColourCount()));
+      sc.before_phi.resize(static_cast<std::size_t>(colours_));
     }
     return sc;
   }
@@ -293,38 +438,22 @@ class ExhaustiveRun {
     ++sc.restores;
   }
 
-  // --- merge-thread-only state mutation ---
-
-  void Check(int condition, int colour, bool ok, const std::string& description) {
-    auto& stats = report_.conditions[static_cast<std::size_t>(condition)];
-    ++stats.checks;
-    if (!ok) {
-      ++stats.violations;
-      if (static_cast<int>(report_.violations.size()) < options_.max_violations) {
-        report_.violations.push_back({condition, colour, 0, description});
-      }
+  // Chunks `key` and interns the state; any thread. The merge thread calls
+  // it through worker slot 0's scratch.
+  std::int32_t InternKey(const std::vector<Word>& key) {
+    Scratch& sc = ScratchHere();
+    sc.intern_refs.clear();
+    for (std::size_t base = 0; base < key.size(); base += kChunkWords) {
+      sc.intern_refs.push_back(InternChunkCached(*store_, sc.cache, key.data() + base,
+                                                 std::min(kChunkWords, key.size() - base)));
     }
+    const std::uint64_t hash = HashWords(key.data(), key.size());
+    return store_
+        ->InternState(hash, sc.intern_refs.data(), sc.intern_refs.size(), key.size())
+        .id;
   }
 
-  void Replay(const std::vector<CheckRecord>& checks, std::uint32_t begin, std::uint32_t end) {
-    for (std::uint32_t i = begin; i < end; ++i) {
-      const CheckRecord& r = checks[i];
-      Check(r.condition, r.colour, r.ok, r.description);
-    }
-  }
-
-  bool Done() const {
-    return static_cast<int>(report_.violations.size()) >= options_.max_violations;
-  }
-
-  // --- worker-side pure computation ---
-
-  // Records one check outcome; the description is rendered only on failure.
-  template <typename MakeDescription>
-  static void Record(std::vector<CheckRecord>& out, int condition, int colour, bool ok,
-                     MakeDescription&& description) {
-    out.push_back({condition, colour, ok, ok ? std::string() : description()});
-  }
+  // --- worker-side pure computation (stealing phase) ---
 
   // Appends Φ^colour of `sys` into `buf` (cleared first) and compares it
   // against `expected`.
@@ -335,43 +464,58 @@ class ExhaustiveRun {
     return buf == expected;
   }
 
-  // One successor of the state held in sc.base / sc.key_a: reconstruct it in
-  // sc.work, apply `mutate`, record the per-transition checks, serialize the
-  // result and match it against the frozen store. Reads shared state only
-  // through const methods; safe to run concurrently.
+  // One successor of the state held in sc.base / sc.key_a: reconstruct it
+  // in sc.work, apply `mutate`, record FAILED checks only, serialize,
+  // intern into the sharded store and log the packed id. If the intern was
+  // fresh, hand the state to the scheduler (exactly one thread sees fresh).
   template <typename Mutate, typename PerColourCheck>
-  void Successor(Scratch& sc, ExpandResult& out, Mutate mutate, PerColourCheck check) {
+  void Successor(Scratch& sc, WorkerLog& log, const ExpandRec& rec, StealScheduler* sched,
+                 int lane, Mutate mutate, PerColourCheck check) {
+    const std::uint32_t ordinal = static_cast<std::uint32_t>(log.succs.size()) - rec.succ_begin;
     Restore(*sc.work, sc.key_a, sc);
     mutate(*sc.work);
-    SuccessorRec rec;
-    rec.check_begin = static_cast<std::uint32_t>(out.checks.size());
-    check(*sc.work, sc, out.checks);
-    rec.check_end = static_cast<std::uint32_t>(out.checks.size());
+    // The number of checks a successor contributes is NOT a pure function
+    // of its ordinal: a from-state whose active colour is outside the
+    // regime range (e.g. kernel mode) is checked against every colour, not
+    // colours-1 of them. Record the actual count for the replay.
+    log.succ_checks.push_back(check(*sc.work, sc, ordinal));
     sc.ser.clear();
     sc.work->AppendFullState(sc.ser);
-    rec.hash = HashWords(sc.ser.data(), sc.ser.size());
-    // Drop serializations of already-interned states early: the store is
-    // frozen during expansion, so a hit here is still a hit at merge time.
-    rec.frozen_id = store_.Find(rec.hash, sc.ser.data(), sc.ser.size());
-    if (rec.frozen_id < 0) {
-      rec.key_begin = static_cast<std::uint32_t>(out.words.size());
-      out.words.insert(out.words.end(), sc.ser.begin(), sc.ser.end());
-      rec.key_end = static_cast<std::uint32_t>(out.words.size());
+    sc.intern_refs.clear();
+    for (std::size_t base = 0; base < sc.ser.size(); base += kChunkWords) {
+      sc.intern_refs.push_back(InternChunkCached(*store_, sc.cache, sc.ser.data() + base,
+                                                 std::min(kChunkWords, sc.ser.size() - base)));
     }
-    out.succs.push_back(rec);
+    const std::uint64_t hash = HashWords(sc.ser.data(), sc.ser.size());
+    const ShardedStateStore::InternedState interned =
+        store_->InternState(hash, sc.intern_refs.data(), sc.intern_refs.size(), sc.ser.size());
+    log.succs.push_back(interned.id);
+    if (interned.fresh) {
+      if (store_->states() >= options_.max_states) {
+        // Budget heuristic only: the replay decides the true overflow point.
+        stop_.store(true, std::memory_order_relaxed);
+      }
+      if (sched != nullptr && !stop_.load(std::memory_order_relaxed)) {
+        sched->Emit(lane, interned.id);
+      }
+    }
   }
 
   // Every successor of one state, in the canonical order the serial checker
   // generates them: the operation, then each input value into each unit,
-  // then each unit's activity.
-  void ExpandState(std::int32_t from, ExpandResult& out) {
+  // then each unit's activity. `sched == nullptr` is the merge thread's
+  // backfill path (record only, no scheduling).
+  void ExpandOne(std::int32_t from, StealScheduler* sched, int lane) {
     Scratch& sc = ScratchHere();
-    store_.Materialize(from, sc.key_a);
-    Restore(*sc.base, sc.key_a, sc);
+    WorkerLog& log = logs_[static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex())];
+    ExpandRec rec;
+    rec.from = from;
+    rec.succ_begin = static_cast<std::uint32_t>(log.succs.size());
+    rec.fail_begin = static_cast<std::uint32_t>(log.fails.size());
 
-    const int colours = initial_->ColourCount();
-    const int units = initial_->UnitCount();
-    for (int c = 0; c < colours; ++c) {
+    store_->MaterializeState(from, sc.refs_a, sc.key_a);
+    Restore(*sc.base, sc.key_a, sc);
+    for (int c = 0; c < colours_; ++c) {
       sc.before_phi[static_cast<std::size_t>(c)].clear();
       sc.base->AppendAbstract(c, sc.before_phi[static_cast<std::size_t>(c)]);
     }
@@ -379,112 +523,205 @@ class ExhaustiveRun {
     // (a) the operation NEXTOP(s).
     const int active = sc.base->Colour();
     Successor(
-        sc, out, [](SharedSystem& sys) { sys.ExecuteOperation(); },
-        [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
-          for (int c = 0; c < colours; ++c) {
-            if (c != active) {
-              const bool ok =
-                  SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
-              Record(checks, 2, c, ok, [&] {
-                return Format("operation of colour %d changed Φ of colour %d", active, c);
-              });
+        sc, log, rec, sched, lane, [](SharedSystem& sys) { sys.ExecuteOperation(); },
+        [&](const SharedSystem& after, Scratch& s, std::uint32_t ordinal) -> std::uint8_t {
+          std::uint8_t checks = 0;
+          for (int c = 0; c < colours_; ++c) {
+            if (c == active) {
+              continue;
+            }
+            ++checks;
+            if (!SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)])) {
+              log.fails.push_back(
+                  {ordinal, 2, static_cast<std::int16_t>(c),
+                   Format("operation of colour %d changed Φ of colour %d", active, c)});
             }
           }
+          return checks;
         });
 
     // (b) every input in the alphabet, into every unit.
-    for (int unit = 0; unit < units; ++unit) {
+    for (int unit = 0; unit < units_; ++unit) {
       const int owner = initial_->UnitColour(unit);
       for (int value = 1; value <= options_.inputs_per_unit; ++value) {
         Successor(
-            sc, out, [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
-            [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
-              for (int c = 0; c < colours; ++c) {
-                if (c != owner) {
-                  const bool ok =
-                      SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
-                  Record(checks, 4, c, ok, [&] {
-                    return Format("input to unit %d visible to colour %d", unit, c);
-                  });
+            sc, log, rec, sched, lane,
+            [&](SharedSystem& sys) { sys.InjectInput(unit, static_cast<Word>(value)); },
+            [&](const SharedSystem& after, Scratch& s, std::uint32_t ordinal) -> std::uint8_t {
+              std::uint8_t checks = 0;
+              for (int c = 0; c < colours_; ++c) {
+                if (c == owner) {
+                  continue;
+                }
+                ++checks;
+                if (!SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)])) {
+                  log.fails.push_back({ordinal, 4, static_cast<std::int16_t>(c),
+                                       Format("input to unit %d visible to colour %d", unit, c)});
                 }
               }
+              return checks;
             });
       }
     }
 
     // (c) every unit's activity.
-    for (int unit = 0; unit < units; ++unit) {
+    for (int unit = 0; unit < units_; ++unit) {
       const int owner = initial_->UnitColour(unit);
       Successor(
-          sc, out,
+          sc, log, rec, sched, lane,
           [&](SharedSystem& sys) {
             sys.StepUnit(unit);
             (void)sys.DrainOutput(unit);  // keep the state space bounded
           },
-          [&](const SharedSystem& after, Scratch& s, std::vector<CheckRecord>& checks) {
-            for (int c = 0; c < colours; ++c) {
-              if (c != owner) {
-                const bool ok =
-                    SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)]);
-                Record(checks, 4, c, ok, [&] {
-                  return Format("activity of unit %d visible to colour %d", unit, c);
-                });
+          [&](const SharedSystem& after, Scratch& s, std::uint32_t ordinal) -> std::uint8_t {
+            std::uint8_t checks = 0;
+            for (int c = 0; c < colours_; ++c) {
+              if (c == owner) {
+                continue;
+              }
+              ++checks;
+              if (!SamePhi(after, c, s.phi_b, s.before_phi[static_cast<std::size_t>(c)])) {
+                log.fails.push_back(
+                    {ordinal, 4, static_cast<std::int16_t>(c),
+                     Format("activity of unit %d visible to colour %d", unit, c)});
               }
             }
+            return checks;
           });
+    }
+
+    rec.succ_end = static_cast<std::uint32_t>(log.succs.size());
+    rec.fail_end = static_cast<std::uint32_t>(log.fails.size());
+    log.recs.push_back(rec);
+    const std::size_t new_fails = rec.fail_end - rec.fail_begin;
+    if (new_fails > 0 &&
+        fail_count_.fetch_add(new_fails, std::memory_order_relaxed) + new_fails >=
+            static_cast<std::size_t>(options_.max_violations)) {
+      // Violation-budget heuristic; again, the replay decides the true cut.
+      stop_.store(true, std::memory_order_relaxed);
     }
   }
 
-  void Explore(const std::vector<Word>& init_key) {
-    {
-      const std::uint64_t hash = HashWords(init_key.data(), init_key.size());
-      const std::int32_t id = store_.Intern(hash, init_key.data(), init_key.size());
-      frontier_.push_back(id);
-    }
+  void Explore(std::int32_t initial_id) {
+    StealScheduler sched(pool_.size(), options_.steal_seed);
+    sched.Seed(initial_id);
+    sched.Run(pool_, [&](std::int64_t item, int lane) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        return;  // drained, not expanded; the replay backfills if needed
+      }
+      ExpandOne(static_cast<std::int32_t>(item), &sched, lane);
+    });
+    report_.steal_count += sched.steal_count();
+  }
 
-    // Level-synchronous BFS. The serial checker pops a FIFO frontier, so
-    // expanding level by level and merging each level in frontier order
-    // assigns every state the same index the serial run would. Once the
-    // state budget overflows, expansion stops immediately — the rest of the
-    // level would only grow a report already marked incomplete.
+  // --- canonical replay (merge thread only) ---
+
+  // Maps a packed id to its slot in a lazily grown per-shard table
+  // (backfill interns states after the tables were first sized).
+  static std::int64_t& SlotIn(std::array<std::vector<std::int64_t>, kShardCount>& table,
+                              std::int32_t packed) {
+    std::vector<std::int64_t>& shard = table[ShardOfId(packed)];
+    const std::size_t local = LocalOfId(packed);
+    if (local >= shard.size()) {
+      shard.resize(local + 1, -1);
+    }
+    return shard[local];
+  }
+
+  void BuildLocator() {
+    for (std::size_t w = 0; w < logs_.size(); ++w) {
+      for (std::size_t r = 0; r < logs_[w].recs.size(); ++r) {
+        SlotIn(locator_, logs_[w].recs[r].from) =
+            static_cast<std::int64_t>((w << 40) | r);
+      }
+    }
+  }
+
+  // Guarantees an ExpandRec exists for `packed`: states drained by an early
+  // stop are expanded here, on the merge thread, record-only.
+  std::int64_t EnsureRecord(std::int32_t packed) {
+    std::int64_t loc = SlotIn(locator_, packed);
+    if (loc < 0) {
+      ExpandOne(packed, nullptr, 0);
+      const std::size_t w = static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex());
+      loc = static_cast<std::int64_t>((w << 40) | (logs_[w].recs.size() - 1));
+      SlotIn(locator_, packed) = loc;
+    }
+    return loc;
+  }
+
+  bool Done() const {
+    return static_cast<int>(report_.violations.size()) >= options_.max_violations;
+  }
+
+  void CountViolation(const FailRec& f) {
+    ++report_.conditions[static_cast<std::size_t>(f.condition)].violations;
+    if (static_cast<int>(report_.violations.size()) < options_.max_violations) {
+      report_.violations.push_back({f.condition, f.colour, 0, f.description});
+    }
+  }
+
+  // Replays the serial level-synchronous BFS over the recorded successor
+  // lists, assigning canonical ids in the serial FIFO order and reproducing
+  // its exact merge semantics: kLevelChunk dispatch granularity (restores
+  // are counted per dispatched chunk), no early-stop inside one state's
+  // successor list except budget overflow, overflow checked before intern,
+  // per-level heartbeat with the canonical store size.
+  void ReplayExplore(std::int32_t initial_id) {
+    SlotIn(canon_of_, initial_id) = 0;
+    canon_to_packed_.push_back(initial_id);
+    frontier_.push_back(0);
+
     std::vector<std::int32_t> level;
-    std::vector<ExpandResult> records(kLevelChunk);
     while (!frontier_.empty() && !Done() && !overflowed_) {
       level.swap(frontier_);
       frontier_.clear();
 
-      // One heartbeat per BFS level: tick carries the store size (states may
-      // exceed a Word), a0/a1 carry the saturated level/frontier widths.
+      // One heartbeat per BFS level: tick carries the canonical store size
+      // (states may exceed a Word), a0/a1 the saturated level width/depth.
       if (obs::Enabled()) {
         obs::Emit(obs::Category::kChecker, obs::Code::kHeartbeat, obs::kColourKernel,
-                  store_.size(), SaturateWord(level.size()), SaturateWord(depth_++));
+                  canon_to_packed_.size(), SaturateWord(level.size()), SaturateWord(depth_++));
       }
 
       for (std::size_t base = 0; base < level.size() && !Done() && !overflowed_;
            base += kLevelChunk) {
         const std::size_t count = std::min(kLevelChunk, level.size() - base);
+        // The serial schedule expands the whole chunk before merging it.
+        sim_restores_ += count * (1 + fanout_);
         for (std::size_t i = 0; i < count; ++i) {
-          records[i].Clear();
+          EnsureRecord(canon_to_packed_[static_cast<std::size_t>(level[base + i])]);
         }
-        pool_.ParallelFor(count, [&](std::size_t i) { ExpandState(level[base + i], records[i]); });
         for (std::size_t i = 0; i < count && !Done() && !overflowed_; ++i) {
-          for (const SuccessorRec& rec : records[i].succs) {
+          const std::int64_t loc =
+              SlotIn(locator_, canon_to_packed_[static_cast<std::size_t>(level[base + i])]);
+          const WorkerLog& log = logs_[static_cast<std::size_t>(loc >> 40)];
+          const ExpandRec rec = log.recs[static_cast<std::size_t>(loc & ((1LL << 40) - 1))];
+          std::uint32_t fi = rec.fail_begin;
+          const std::uint32_t nsuccs = rec.succ_end - rec.succ_begin;
+          for (std::uint32_t ord = 0; ord < nsuccs; ++ord) {
             ++report_.transitions;
-            Replay(records[i].checks, rec.check_begin, rec.check_end);
-            if (rec.frozen_id >= 0) {
-              continue;  // known state; nothing to intern
+            // Splice in the checks: cond 2 for the operation successor,
+            // cond 4 otherwise, with the per-successor count the worker
+            // actually evaluated; recorded failures land at their ordinals.
+            const int cond = ord == 0 ? 2 : 4;
+            report_.conditions[static_cast<std::size_t>(cond)].checks +=
+                log.succ_checks[rec.succ_begin + ord];
+            while (fi < rec.fail_end && log.fails[fi].ordinal == ord) {
+              CountViolation(log.fails[fi]);
+              ++fi;
             }
-            const Word* key = records[i].words.data() + rec.key_begin;
-            const std::size_t len = rec.key_end - rec.key_begin;
-            const std::int32_t existing = store_.Find(rec.hash, key, len);
-            if (existing >= 0) {
-              continue;  // duplicate within this level
+            const std::int32_t sp = log.succs[rec.succ_begin + ord];
+            std::int64_t& canon = SlotIn(canon_of_, sp);
+            if (canon < 0) {
+              if (canon_to_packed_.size() >= options_.max_states) {
+                overflowed_ = true;
+                break;
+              }
+              canon = static_cast<std::int64_t>(canon_to_packed_.size());
+              canon_to_packed_.push_back(sp);
+              frontier_.push_back(static_cast<std::int32_t>(canon));
             }
-            if (store_.size() >= options_.max_states) {
-              overflowed_ = true;
-              break;
-            }
-            frontier_.push_back(store_.Intern(rec.hash, key, len));
           }
         }
       }
@@ -492,14 +729,46 @@ class ExhaustiveRun {
     report_.complete = frontier_.empty() && !overflowed_ && !Done();
   }
 
+  // Re-interns only the canonical states, in canonical order, into a fresh
+  // store. Every vector's growth then depends on the canonical sequence
+  // alone, so bytes() matches what the serial schedule's store reports.
+  void RebuildStore() {
+    auto rebuilt = std::make_unique<ShardedStateStore>();
+    std::vector<std::uint32_t> refs;
+    std::vector<std::uint32_t> new_refs;
+    std::vector<Word> key;
+    for (std::int32_t& packed : canon_to_packed_) {
+      store_->MaterializeState(packed, refs, key);
+      new_refs.clear();
+      for (std::size_t base = 0; base < key.size(); base += kChunkWords) {
+        const std::size_t n = std::min(kChunkWords, key.size() - base);
+        new_refs.push_back(rebuilt->InternChunk(HashWords(key.data() + base, n), key.data() + base, n));
+      }
+      const ShardedStateStore::InternedState interned = rebuilt->InternState(
+          HashWords(key.data(), key.size()), new_refs.data(), new_refs.size(), key.size());
+      SEP_CHECK(interned.fresh);
+      packed = interned.id;
+    }
+    store_ = std::move(rebuilt);
+    // Worker chunk caches hold refs into the dropped store; nothing interns
+    // chunks after this point (the pair phase only materializes), so they
+    // are never consulted again.
+  }
+
+  // --- pair phase: same stealing pool, canonical replay of outcomes ---
+
   // The checks of conditions 6, 1, 3 and 5 for one Φ-equal pair, in the
-  // serial checker's order. `a` and `b` are reconstructed per probe; the
-  // previous implementation heap-cloned two live machines per probe instead.
-  void CheckPair(int c, std::int32_t a, std::int32_t b, std::vector<CheckRecord>& out) {
+  // serial checker's order; records failures by check position. `a`/`b`
+  // are canonical ids.
+  void CheckPairRecord(int c, std::int32_t a, std::int32_t b, std::vector<FailRec>& out) {
     Scratch& sc = ScratchHere();
-    const int units = initial_->UnitCount();
-    store_.Materialize(a, sc.key_a);
-    store_.Materialize(b, sc.key_b);
+    std::uint32_t pos = 0;
+    auto fail = [&](int cond, std::string description) {
+      out.push_back({pos, static_cast<std::int16_t>(cond), static_cast<std::int16_t>(c),
+                     std::move(description)});
+    };
+    store_->MaterializeState(canon_to_packed_[static_cast<std::size_t>(a)], sc.refs_a, sc.key_a);
+    store_->MaterializeState(canon_to_packed_[static_cast<std::size_t>(b)], sc.refs_b, sc.key_b);
 
     // Conditions 6 and 1: same colour + same Φ^c.
     if (state_colours_[static_cast<std::size_t>(a)] == c &&
@@ -508,22 +777,23 @@ class ExhaustiveRun {
       Restore(*sc.work, sc.key_b, sc);
       const OperationId na = sc.base->NextOperation();
       const OperationId nb = sc.work->NextOperation();
-      const bool same_op = na == nb;
-      Record(out, 6, c, same_op, [&] {
-        return Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
-                      na.ToString().c_str(), nb.ToString().c_str());
-      });
+      if (na != nb) {
+        fail(6, Format("NEXTOP differs for Φ-equal states of colour %d: %s vs %s", c,
+                       na.ToString().c_str(), nb.ToString().c_str()));
+      }
+      ++pos;
       sc.base->ExecuteOperation();
       sc.work->ExecuteOperation();
       sc.phi_a.clear();
       sc.base->AppendAbstract(c, sc.phi_a);
-      Record(out, 1, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
-        return Format("operation effect on colour %d differs across Φ-equal states", c);
-      });
+      if (!SamePhi(*sc.work, c, sc.phi_b, sc.phi_a)) {
+        fail(1, Format("operation effect on colour %d differs across Φ-equal states", c));
+      }
+      ++pos;
     }
 
     // Conditions 3 and 5 for each unit of colour c.
-    for (int unit = 0; unit < units; ++unit) {
+    for (int unit = 0; unit < units_; ++unit) {
       if (initial_->UnitColour(unit) != c) {
         continue;
       }
@@ -534,9 +804,10 @@ class ExhaustiveRun {
         sc.work->InjectInput(unit, static_cast<Word>(value));
         sc.phi_a.clear();
         sc.base->AppendAbstract(c, sc.phi_a);
-        Record(out, 3, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
-          return Format("input effect on colour %d differs across Φ-equal states", c);
-        });
+        if (!SamePhi(*sc.work, c, sc.phi_b, sc.phi_a)) {
+          fail(3, Format("input effect on colour %d differs across Φ-equal states", c));
+        }
+        ++pos;
       }
       Restore(*sc.base, sc.key_a, sc);
       Restore(*sc.work, sc.key_b, sc);
@@ -544,40 +815,92 @@ class ExhaustiveRun {
       sc.work->StepUnit(unit);
       sc.phi_a.clear();
       sc.base->AppendAbstract(c, sc.phi_a);
-      Record(out, 3, c, SamePhi(*sc.work, c, sc.phi_b, sc.phi_a), [&] {
-        return Format("unit activity on colour %d differs across Φ-equal states", c);
-      });
-      Record(out, 5, c, sc.base->DrainOutput(unit) == sc.work->DrainOutput(unit), [&] {
-        return Format("output of colour %d differs across Φ-equal states", c);
-      });
+      if (!SamePhi(*sc.work, c, sc.phi_b, sc.phi_a)) {
+        fail(3, Format("unit activity on colour %d differs across Φ-equal states", c));
+      }
+      ++pos;
+      if (sc.base->DrainOutput(unit) != sc.work->DrainOutput(unit)) {
+        fail(5, Format("output of colour %d differs across Φ-equal states", c));
+      }
+      ++pos;
     }
   }
 
+  // Replays one pair task's check sequence, splicing recorded failures in
+  // by position. Mirrors CheckPairRecord's structure exactly.
+  void ReplayPairTask(int c, std::int32_t a, std::int32_t b, const std::vector<FailRec>& fails) {
+    std::uint32_t pos = 0;
+    std::size_t fi = 0;
+    auto check = [&](int cond) {
+      ++report_.conditions[static_cast<std::size_t>(cond)].checks;
+      if (fi < fails.size() && fails[fi].ordinal == pos) {
+        CountViolation(fails[fi]);
+        ++fi;
+      }
+      ++pos;
+    };
+    if (state_colours_[static_cast<std::size_t>(a)] == c &&
+        state_colours_[static_cast<std::size_t>(b)] == c) {
+      check(6);
+      check(1);
+    }
+    for (int unit = 0; unit < units_; ++unit) {
+      if (initial_->UnitColour(unit) != c) {
+        continue;
+      }
+      for (int value = 1; value <= options_.inputs_per_unit; ++value) {
+        check(3);
+      }
+      check(3);
+      check(5);
+    }
+  }
+
+  // RestoreFullState calls one pair task costs the serial schedule.
+  std::uint64_t PairTaskCost(int c, std::int32_t a, std::int32_t b,
+                             std::uint64_t units_of_colour) const {
+    const std::uint64_t both =
+        state_colours_[static_cast<std::size_t>(a)] == c &&
+                state_colours_[static_cast<std::size_t>(b)] == c
+            ? 2
+            : 0;
+    return both + units_of_colour * (2 * static_cast<std::uint64_t>(options_.inputs_per_unit) + 2);
+  }
+
   // Conditions with a two-state antecedent, over every Φ-equal pair.
+  // Workers compute outcomes on the stealing pool in waves; the merge
+  // thread consumes them with the serial kPairChunk stop semantics, so the
+  // report (including which pair hits the max_violations cut) is identical
+  // to the serial schedule's.
   void CheckPairs() {
-    const int colours = initial_->ColourCount();
-    const std::size_t n = store_.size();
+    const std::size_t n = canon_to_packed_.size();
 
     struct PairTask {
       std::int32_t a;
       std::int32_t b;
     };
-    // Hoisted across colours and chunks; cleared with capacity retained.
+    // Wave width is a dispatch knob only (larger = less barrier overhead,
+    // more post-cut overshoot); the replay's chunk semantics — and with
+    // them every report field — do not depend on it, so it MAY scale with
+    // the pool. Always a multiple of kPairChunk.
+    const std::size_t wave_cap =
+        kPairChunk * std::clamp<std::size_t>(static_cast<std::size_t>(pool_.size()) * 4, 1, 32);
     std::vector<std::vector<Word>> phis(n);
     std::vector<int> order(n);
     state_colours_.assign(n, kColourNone);
     std::vector<PairTask> tasks;
-    std::vector<std::vector<CheckRecord>> outcomes(kPairChunk);
+    std::vector<std::vector<FailRec>> outcomes(wave_cap);
     bool colours_known = false;
 
-    for (int c = 0; c < colours && !Done(); ++c) {
+    for (int c = 0; c < colours_ && !Done(); ++c) {
       // Group reachable states by Φ^c. Each worker reconstructs the state
       // in its scratch system, computes Φ^c once into the per-state slot
-      // and (on the first colour) records COLOUR(s) so CheckPair can test
-      // its condition-6/1 antecedent without a restore.
-      pool_.ParallelFor(n, [&](std::size_t i) {
+      // and (on the first colour) records COLOUR(s) so the pair probes can
+      // test their condition-6/1 antecedent without a restore. Grain adapts
+      // to pool and problem width (the old fixed batch starved wide pools).
+      pool_.ParallelFor(n, ThreadPool::AdaptiveGrain(n, pool_.size()), [&](std::size_t i) {
         Scratch& sc = ScratchHere();
-        store_.Materialize(static_cast<std::int32_t>(i), sc.key_a);
+        store_->MaterializeState(canon_to_packed_[i], sc.refs_a, sc.key_a);
         Restore(*sc.base, sc.key_a, sc);
         if (!colours_known) {
           state_colours_[i] = static_cast<std::int8_t>(sc.base->Colour());
@@ -586,6 +909,14 @@ class ExhaustiveRun {
         sc.base->AppendAbstract(c, phis[i]);
       });
       colours_known = true;
+      sim_restores_ += n;
+
+      std::uint64_t units_of_colour = 0;
+      for (int unit = 0; unit < units_; ++unit) {
+        if (initial_->UnitColour(unit) == c) {
+          ++units_of_colour;
+        }
+      }
 
       // Enumerate pairs in the serial order: groups by ascending Φ key (the
       // order a std::map would iterate), members by ascending state id,
@@ -619,21 +950,39 @@ class ExhaustiveRun {
         begin = end;
       }
 
+      std::size_t dispatched = 0;
+      std::size_t wave_begin = 0;
       for (std::size_t base = 0; base < tasks.size() && !Done(); base += kPairChunk) {
         const std::size_t count = std::min(kPairChunk, tasks.size() - base);
-        for (std::size_t i = 0; i < count; ++i) {
-          outcomes[i].clear();
+        if (base == dispatched) {
+          // Replay fully consumed the previous wave; compute the next one
+          // on the stealing pool.
+          wave_begin = dispatched;
+          const std::size_t wave_end = std::min(tasks.size(), wave_begin + wave_cap);
+          for (std::size_t slot = 0; slot < wave_end - wave_begin; ++slot) {
+            outcomes[slot].clear();
+          }
+          StealScheduler sched(pool_.size(), options_.steal_seed + ++wave_counter_);
+          for (std::size_t t = wave_begin; t < wave_end; ++t) {
+            sched.Seed(static_cast<std::int64_t>(t));
+          }
+          sched.Run(pool_, [&](std::int64_t t, int /*lane*/) {
+            const PairTask& task = tasks[static_cast<std::size_t>(t)];
+            CheckPairRecord(c, task.a, task.b, outcomes[static_cast<std::size_t>(t) - wave_begin]);
+          });
+          report_.steal_count += sched.steal_count();
+          dispatched = wave_end;
         }
-        pool_.ParallelFor(count, [&](std::size_t i) {
-          const PairTask& t = tasks[base + i];
-          CheckPair(c, t.a, t.b, outcomes[i]);
-        });
+        for (std::size_t i = 0; i < count; ++i) {
+          sim_restores_ += PairTaskCost(c, tasks[base + i].a, tasks[base + i].b, units_of_colour);
+        }
         for (std::size_t i = 0; i < count; ++i) {
           if (Done()) {
             return;
           }
           ++report_.pairs_checked;
-          Replay(outcomes[i], 0, static_cast<std::uint32_t>(outcomes[i].size()));
+          ReplayPairTask(c, tasks[base + i].a, tasks[base + i].b,
+                         outcomes[base + i - wave_begin]);
         }
       }
     }
@@ -641,14 +990,27 @@ class ExhaustiveRun {
 
   const ExhaustiveOptions& options_;
   std::unique_ptr<SharedSystem> initial_;
-  StateStore store_;
-  std::vector<std::int32_t> frontier_;
-  std::vector<std::int8_t> state_colours_;  // COLOUR(s) per state (CheckPairs)
-  std::size_t depth_ = 0;                   // BFS levels completed (heartbeat)
-  bool overflowed_ = false;
-  ExhaustiveReport report_;
+  std::unique_ptr<ShardedStateStore> store_;
+  int colours_ = 0;
+  int units_ = 0;
+  std::size_t fanout_ = 0;
   ThreadPool pool_;
   std::vector<Scratch> scratch_;
+  std::vector<WorkerLog> logs_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> fail_count_{0};
+
+  // Merge-thread-only canonical state.
+  std::array<std::vector<std::int64_t>, kShardCount> canon_of_;   // packed -> canon id
+  std::array<std::vector<std::int64_t>, kShardCount> locator_;    // packed -> (worker, rec)
+  std::vector<std::int32_t> canon_to_packed_;                     // canon id -> packed
+  std::vector<std::int32_t> frontier_;                            // canon ids
+  std::vector<std::int8_t> state_colours_;  // COLOUR(s) per canon id (CheckPairs)
+  std::size_t depth_ = 0;                   // BFS levels completed (heartbeat)
+  std::uint64_t sim_restores_ = 0;          // serial-equivalent restore count
+  std::uint64_t wave_counter_ = 0;
+  bool overflowed_ = false;
+  ExhaustiveReport report_;
 };
 
 }  // namespace

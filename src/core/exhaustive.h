@@ -45,10 +45,15 @@ struct ExhaustiveOptions {
   std::size_t max_pairs_per_group = 4096;
   int max_violations = 16;
   // Worker threads for frontier expansion and pair checking (0 = all
-  // hardware threads). The report is byte-identical for every thread count:
-  // workers record check outcomes per state/pair and a sequential merge
-  // replays them in canonical order (see docs/PERFORMANCE.md).
+  // hardware threads). Expansion runs on a work-stealing frontier with a
+  // sharded concurrent store; the report is nonetheless byte-identical for
+  // every thread count: workers record pure per-state / per-pair outcomes
+  // and a canonical replay renumbers states and reproduces the serial
+  // schedule exactly (see docs/PERFORMANCE.md §6).
   int threads = 1;
+  // Perturbs the steal-victim order (not the workload). Any seed must yield
+  // a byte-identical report; the schedule-perturbation tests sweep this.
+  std::uint64_t steal_seed = 0;
 };
 
 struct ExhaustiveReport {
@@ -62,10 +67,19 @@ struct ExhaustiveReport {
   // tables and hash indexes) at the end of the run — the checker keeps no
   // live machine per state, so this is the scaling-relevant number.
   std::size_t peak_state_bytes = 0;
-  // Number of RestoreFullState calls: live systems reconstructed on demand
-  // into thread-local scratch instances. Deterministic for a given system
-  // and options (each expansion/pair task performs a fixed number).
+  // RestoreFullState calls of the SERIAL-EQUIVALENT schedule: the canonical
+  // replay reconstructs exactly how many restores the serial dispatch order
+  // performs, so this is deterministic for a given system and options
+  // regardless of thread count or steal schedule. Actual per-worker restore
+  // counts (which include stealing overshoot on truncated runs) are
+  // exported as `exhaustive.workerN.restores` gauges instead.
   std::uint64_t restore_count = 0;
+  // Exploration-balance diagnostics (schedule-dependent by nature; compare
+  // them across runs only qualitatively). Also exported as gauges so
+  // `sep_trace --format metrics` shows them.
+  std::uint64_t steal_count = 0;          // successful deque steals, both phases
+  std::size_t shard_max_load = 0;         // most populated state shard
+  std::vector<std::uint64_t> worker_expanded;  // stealing-phase expansions per worker
 
   bool Passed() const { return violations.empty(); }
   std::string Summary() const;

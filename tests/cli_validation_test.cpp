@@ -149,6 +149,9 @@ TEST(CliValidation, SepTraceRejectsBadArguments) {
   EXPECT_EQ(RunTool(Tool("sep_trace") + " --colour 99 guest.s"), 2);
   EXPECT_EQ(RunTool(Tool("sep_trace") + " --format bogus guest.s"), 2);
   EXPECT_EQ(RunTool(Tool("sep_trace") + " --format canonical guest.s"), 2);  // no --colour
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --exhaustive abc guest.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --exhaustive 0 guest.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sep_trace") + " --exhaustive -5 guest.s"), 2);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/base/thread_pool.h"
 #include "src/core/exhaustive.h"
 #include "src/core/kernel_system.h"
 #include "src/model/toy_systems.h"
@@ -130,6 +131,48 @@ TEST(StorageEquivalence, KernelizedSkipRestoreMatchesGolden) {
 TEST(StorageEquivalence, TinySystemsMatchGolden) {
   EXPECT_EQ(Check(TinyTwoUserSystem(false), 1), kGoldenTinySecure);
   EXPECT_EQ(Check(TinyTwoUserSystem(true), 1), kGoldenTinyLeaky);
+}
+
+TEST(StorageEquivalence, SchedulePerturbationKeepsReportsByteIdentical) {
+  // The steal-victim order is a function of steal_seed; sweeping it at
+  // several thread counts perturbs which worker expands which state and in
+  // what order. The canonical post-pass must erase all of it: every
+  // rendering equals the serial golden byte for byte.
+  auto good = BuildHalting();
+  KernelFaults faults;
+  faults.skip_register_restore = true;
+  auto leaky = BuildHalting(faults);
+
+  int hw = ThreadPool::HardwareThreads();
+  if (hw < 2) {
+    hw = 4;  // oversubscribe on 1-core hosts: stealing still interleaves
+  }
+  for (int threads : {1, 2, hw}) {
+    for (std::uint64_t seed : {0ull, 1ull, 0xDEADBEEFull, 0x9E3779B97F4A7C15ull}) {
+      ExhaustiveOptions options;
+      options.threads = threads;
+      options.steal_seed = seed;
+      EXPECT_EQ(Render(CheckSeparabilityExhaustive(*good, options)), kGoldenGood)
+          << "threads=" << threads << " seed=" << seed;
+      EXPECT_EQ(Render(CheckSeparabilityExhaustive(*leaky, options)), kGoldenSkipRestore)
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+TEST(StorageEquivalence, SchedulePerturbationOnWiderStateSpace) {
+  // Same sweep over the tiny system's 3528-state space: wide enough that
+  // parallel workers genuinely race on shard inserts and steal from each
+  // other, so a schedule-dependence bug cannot hide behind an 11-state
+  // chain that one worker swallows whole.
+  for (std::uint64_t seed : {1ull, 0xC0FFEEull}) {
+    ExhaustiveOptions options;
+    options.threads = 4;
+    options.steal_seed = seed;
+    EXPECT_EQ(Render(CheckSeparabilityExhaustive(TinyTwoUserSystem(false), options)),
+              kGoldenTinySecure)
+        << "seed=" << seed;
+  }
 }
 
 TEST(StorageEquivalence, StoreDiagnosticsAreDeterministic) {

@@ -1,0 +1,230 @@
+// Race-condition stress for the work-stealing frontier plumbing: the
+// Chase–Lev deque, the scheduler's termination detection and the sharded
+// intern index. These are the three structures the exhaustive checker
+// trusts for exactly-once expansion; the CI tsan matrix job runs this
+// binary under ThreadSanitizer to certify them (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/base/arena.h"
+#include "src/base/hash.h"
+#include "src/base/thread_pool.h"
+#include "src/base/work_steal.h"
+
+namespace sep {
+namespace {
+
+TEST(StealDeque, OwnerPopsLifo) {
+  StealDeque dq;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    dq.Push(i);
+  }
+  for (std::int64_t i = 99; i >= 0; --i) {
+    std::int64_t item = -1;
+    ASSERT_TRUE(dq.Pop(&item));
+    EXPECT_EQ(item, i);
+  }
+  std::int64_t item;
+  EXPECT_FALSE(dq.Pop(&item));
+}
+
+TEST(StealDeque, ThiefStealsFifo) {
+  StealDeque dq;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    dq.Push(i);
+  }
+  for (std::int64_t i = 0; i < 10; ++i) {
+    std::int64_t item = -1;
+    ASSERT_EQ(dq.TrySteal(&item), StealDeque::StealResult::kGot);
+    EXPECT_EQ(item, i);
+  }
+  std::int64_t item;
+  EXPECT_EQ(dq.TrySteal(&item), StealDeque::StealResult::kEmpty);
+}
+
+TEST(StealDeque, GrowsPastInitialCapacity) {
+  StealDeque dq(8);
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    dq.Push(i);
+  }
+  EXPECT_EQ(dq.SizeApprox(), 4096u);
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    std::int64_t item = -1;
+    ASSERT_EQ(dq.TrySteal(&item), StealDeque::StealResult::kGot);
+    EXPECT_EQ(item, i);
+  }
+}
+
+// Owner pushes and pops while thieves hammer TrySteal: every pushed item
+// must be consumed exactly once, whether by the owner or by a thief. This
+// is the test that exercises the last-item CAS race and buffer growth under
+// concurrent readers.
+TEST(StealDeque, ConcurrentStealExactlyOnce) {
+  constexpr std::int64_t kItems = 20000;
+  constexpr int kThieves = 3;
+  StealDeque dq(8);  // tiny start so growth happens mid-race
+  std::atomic<std::int64_t> consumed{0};
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) {
+    s.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::int64_t item;
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.TrySteal(&item) == StealDeque::StealResult::kGot) {
+          seen[static_cast<std::size_t>(item)].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::int64_t item;
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    dq.Push(i);
+    if ((i & 3) == 0 && dq.Pop(&item)) {
+      seen[static_cast<std::size_t>(item)].fetch_add(1, std::memory_order_relaxed);
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (dq.Pop(&item)) {
+    seen[static_cast<std::size_t>(item)].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (consumed.load(std::memory_order_acquire) < kItems) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) {
+    th.join();
+  }
+
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+// Every seeded and emitted item is processed exactly once and Run only
+// returns after all of them — including items emitted from stolen work.
+TEST(StealScheduler, ProcessesEveryEmittedItemExactlyOnce) {
+  ThreadPool pool(4);
+  StealScheduler sched(pool.size(), /*seed=*/42);
+  // A binary fan-out: item i < kLeafBase emits 2i+1 and 2i+2.
+  constexpr std::int64_t kLeafBase = 4095;  // full tree: ids 0..2*kLeafBase
+  std::vector<std::atomic<int>> seen(2 * kLeafBase + 1);
+  for (auto& s : seen) {
+    s.store(0, std::memory_order_relaxed);
+  }
+  sched.Seed(0);
+  sched.Run(pool, [&](std::int64_t item, int worker) {
+    seen[static_cast<std::size_t>(item)].fetch_add(1, std::memory_order_relaxed);
+    if (item < kLeafBase) {
+      sched.Emit(worker, 2 * item + 1);
+      sched.Emit(worker, 2 * item + 2);
+    }
+  });
+  std::uint64_t processed = 0;
+  for (int w = 0; w < pool.size(); ++w) {
+    processed += sched.processed(w);
+  }
+  EXPECT_EQ(processed, seen.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(StealScheduler, SingleWorkerDegradesToSerialLoop) {
+  ThreadPool pool(1);
+  StealScheduler sched(pool.size(), /*seed=*/0);
+  int count = 0;
+  sched.Seed(0);
+  sched.Run(pool, [&](std::int64_t item, int worker) {
+    ++count;
+    if (item < 99) {
+      sched.Emit(worker, item + 1);
+    }
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sched.steal_count(), 0u);
+}
+
+TEST(ShardedIndexTest, PackedIdRoundTrip) {
+  for (std::size_t s : {std::size_t{0}, std::size_t{5}, kShardCount - 1}) {
+    for (std::size_t l : {std::size_t{0}, std::size_t{77}, kShardLocalMax}) {
+      const std::int32_t packed = PackShardId(s, l);
+      EXPECT_GE(packed, 0);  // sign bit stays clear: -1 remains a sentinel
+      EXPECT_EQ(ShardOfId(packed), s);
+      EXPECT_EQ(LocalOfId(packed), l);
+    }
+  }
+  EXPECT_EQ(ShardForHash(~0ull), kShardCount - 1);
+  EXPECT_EQ(ShardForHash(0ull), 0u);
+}
+
+// N threads intern overlapping ranges of keys concurrently, forcing both
+// shard-index growth and duplicate insert races. Afterwards: exact dedup
+// (size == distinct keys) and agreement (every thread got the same packed
+// id for the same key).
+TEST(ShardedIndexTest, ConcurrentGrowthDedupsExactly) {
+  constexpr std::uint64_t kKeys = 8192;
+  constexpr int kThreads = 4;
+  ShardedIndex index;
+  // Per-shard record storage guarded by the shard mutex via the callbacks.
+  std::array<std::vector<std::uint64_t>, kShardCount> records;
+
+  std::vector<std::vector<std::int32_t>> ids(
+      kThreads, std::vector<std::int32_t>(kKeys, -1));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the key space at a different stride so insert
+      // order differs per thread and collisions interleave.
+      for (std::uint64_t n = 0; n < kKeys; ++n) {
+        const std::uint64_t key = (n * (2 * static_cast<std::uint64_t>(t) + 1)) % kKeys;
+        const std::uint64_t hash = Mix64(key + 1);
+        const std::size_t shard = ShardForHash(hash);
+        auto [packed, inserted] = index.FindOrInsert(
+            hash, [&](std::int32_t local) { return records[shard][static_cast<std::size_t>(local)] == key; },
+            [&] {
+              records[shard].push_back(key);
+              return records[shard].size() - 1;
+            },
+            [&](std::int32_t local) {
+              return Mix64(records[shard][static_cast<std::size_t>(local)] + 1);
+            });
+        ids[static_cast<std::size_t>(t)][key] = packed;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(index.size(), kKeys);
+  EXPECT_LE(index.max_load(), kKeys);
+  EXPECT_GT(index.bytes(), 0u);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::int32_t expected = ids[0][key];
+    ASSERT_GE(expected, 0);
+    EXPECT_EQ(records[ShardOfId(expected)][LocalOfId(expected)], key);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[static_cast<std::size_t>(t)][key], expected)
+          << "thread " << t << " key " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sep

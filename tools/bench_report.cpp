@@ -243,6 +243,7 @@ int main(int argc, char** argv) {
   const double ex_serial = Metric(m2, "BM_ExhaustiveCheck");
   const double ex_parallel = Metric(m2, "BM_ExhaustiveCheckParallel");
   const double ex_kernelized = Metric(m2, "BM_ExhaustiveKernelized");
+  const double ex_steal = Metric(m2, "BM_ExhaustiveKernelizedSteal");
   const double bytes_per_state = Metric(m2_bytes, "BM_ExhaustiveKernelized");
 
   std::map<std::string, double> metrics;
@@ -260,6 +261,13 @@ int main(int argc, char** argv) {
   metrics["exhaustive_parallel_sps"] = ex_parallel;
   metrics["exhaustive_parallel_speedup"] = ex_parallel / ex_serial;
   metrics["exhaustive_kernelized_sps"] = ex_kernelized;
+  metrics["exhaustive_steal_sps"] = ex_steal;
+  // Work-stealing frontier vs the serial schedule on the full kernelized
+  // exploration. On a >= 4-core host the design target is >= 2.5; on a
+  // single-core host the honest value is <= 1 and the guard is skipped
+  // with a printed note (see parallel_guards below). BENCH_3..BENCH_7
+  // baselines predate this metric and were recorded on 1-core hosts.
+  metrics["exhaustive_steal_speedup"] = ex_steal / ex_kernelized;
   // Compact-store density: full kernelized machine states per MiB of state
   // store. A pure data-layout property, independent of host speed.
   metrics["exhaustive_states_per_mib"] = (1024.0 * 1024.0) / bytes_per_state;
@@ -290,9 +298,11 @@ int main(int argc, char** argv) {
   const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
                                             "exhaustive_sps_per_mips",
                                             "exhaustive_parallel_speedup",
+                                            "exhaustive_steal_speedup",
                                             "trace_disabled_overhead", "recovery_ticks_p99",
                                             "sepcheck_all_per_mips"};
-  const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup"};
+  const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup",
+                                                    "exhaustive_steal_speedup"};
   // Cost metrics regress UPWARD: the guard fires when the value exceeds the
   // baseline by the tolerance, not when it falls below it.
   const std::vector<std::string> lower_is_better = {"recovery_ticks_p99"};

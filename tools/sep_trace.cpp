@@ -6,12 +6,20 @@
 //   sep_trace --steps N ...               step budget (default 20000)
 //   sep_trace --colour C ...              restrict the export to one colour
 //   sep_trace --format chrome|text|canonical|metrics
+//   sep_trace --exhaustive N ...          also run the exhaustive checker
 //   sep_trace --out FILE ...              write there instead of stdout
 //
 // `--format canonical` emits the canonical per-colour trace (requires
 // --colour): the timestamp-free, colour-observable event stream whose byte
 // equality across deployments is the per-colour trace-equivalence check of
 // docs/OBSERVABILITY.md and EXPERIMENTS.md E17.
+//
+// `--exhaustive N` runs the exhaustive separability checker (state budget
+// N, all hardware threads) on the built system before exporting, so
+// `--format metrics` includes the `exhaustive.*` gauges — states,
+// transitions, steal_count, shard_max_load and the per-worker
+// expansion/restore counters that show how evenly the work-stealing
+// frontier spread the exploration (docs/PERFORMANCE.md §6).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -20,6 +28,7 @@
 
 #include "src/base/result.h"
 #include "src/base/strings.h"
+#include "src/core/exhaustive.h"
 #include "src/core/kernel_system.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
@@ -29,9 +38,11 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: sep_trace [--steps N] [--colour C] [--format chrome|text|canonical|metrics]\n"
-    "                 [--out FILE] guest.s [guest.s ...]\n"
+    "                 [--exhaustive N] [--out FILE] guest.s [guest.s ...]\n"
     "  Runs each guest as one regime of a shared separation kernel with the\n"
-    "  trace recorder on, then exports the recorded events.\n";
+    "  trace recorder on, then exports the recorded events. --exhaustive N\n"
+    "  additionally runs the exhaustive checker (state budget N) so --format\n"
+    "  metrics includes the exhaustive.* exploration-balance gauges.\n";
 
 int UsageError(const char* message, const char* value) {
   std::fprintf(stderr, "sep_trace: %s: %s\n%s", message, value, kUsage);
@@ -54,6 +65,7 @@ enum class Format { kChrome, kText, kCanonical, kMetrics };
 
 int main(int argc, char** argv) {
   std::size_t steps = 20000;
+  std::size_t exhaustive_states = 0;  // 0 = skip the exhaustive checker
   int colour = -2;  // -2 = unset; obs::kColourKernel is -1
   Format format = Format::kChrome;
   std::string out_path;
@@ -90,6 +102,12 @@ int main(int argc, char** argv) {
       } else {
         return UsageError("--format must be chrome|text|canonical|metrics", value.c_str());
       }
+    } else if (arg == "--exhaustive" && i + 1 < argc) {
+      const std::optional<long long> parsed = sep::ParseInt(argv[++i], 1, 1LL << 30, 0);
+      if (!parsed.has_value()) {
+        return UsageError("--exhaustive needs a positive state budget", argv[i]);
+      }
+      exhaustive_states = static_cast<std::size_t>(*parsed);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -135,6 +153,21 @@ int main(int argc, char** argv) {
   const std::size_t executed = (*system)->Run(steps);
   sep::obs::Recorder().Stop();
   std::vector<sep::obs::TraceEvent> events = sep::obs::Recorder().Drain();
+
+  if (exhaustive_states > 0) {
+    // A fresh build of the same configuration: the traced run above has
+    // already advanced (*system); the checker wants the initial state.
+    sep::Result<std::unique_ptr<sep::KernelizedSystem>> fresh = builder.Build();
+    if (!fresh.ok()) {
+      std::fprintf(stderr, "sep_trace: %s\n", fresh.error().c_str());
+      return 2;
+    }
+    sep::ExhaustiveOptions options;
+    options.max_states = exhaustive_states;
+    options.threads = 0;  // all hardware threads: exercise the stealing pool
+    const sep::ExhaustiveReport report = sep::CheckSeparabilityExhaustive(**fresh, options);
+    std::fprintf(stderr, "sep_trace: exhaustive: %s\n", report.Summary().c_str());
+  }
 
   // --colour filters the chrome/text exports too, so one regime's full
   // timeline (observable and device-time events alike) can be inspected.
