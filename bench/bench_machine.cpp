@@ -65,6 +65,42 @@ void BM_InstructionThroughputNoCache(benchmark::State& state) {
 }
 BENCHMARK(BM_InstructionThroughputNoCache);
 
+// Batched execution with the predecode cache on but the superblock layer
+// off: every instruction still pays the per-step entry validation the
+// superblocks hoist to trace entry. The ratio of BM_InstructionThroughput
+// to this is the `superblock_speedup` metric in BENCH_*.json.
+void BM_InstructionThroughputNoSuperblock(benchmark::State& state) {
+  auto machine = BareMachine();
+  machine->set_superblock_enabled(false);
+  Result<AssembledProgram> program = Assemble(kThroughputLoop);
+  machine->memory().LoadImage(0, program->words);
+  machine->cpu().set_sp(0x1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine->Run(4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_InstructionThroughputNoSuperblock);
+
+// Invalidation storm: the whole derived state (predecoded blocks and any
+// stitched superblocks) is flushed before every batch, so the measured cost
+// is dominated by re-decode and trace rebuild rather than steady-state
+// dispatch. Guards against regressions in rebuild cost that the warm
+// benchmarks above can never see.
+void BM_InstructionThroughputInvalidationStorm(benchmark::State& state) {
+  auto machine = BareMachine();
+  Result<AssembledProgram> program = Assemble(kThroughputLoop);
+  machine->memory().LoadImage(0, program->words);
+  machine->cpu().set_sp(0x1000);
+  for (auto _ : state) {
+    machine->set_predecode_enabled(false);  // drops icache + superblocks
+    machine->set_predecode_enabled(true);
+    benchmark::DoNotOptimize(machine->Run(4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_InstructionThroughputInvalidationStorm);
+
 // Unbatched single-step API (what the separability checker drives): pays
 // per-step event plumbing and interrupt polling but still hits the
 // predecode cache.
@@ -166,6 +202,22 @@ void BM_KernelizedStepTraceOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_KernelizedStepTraceOn);
+
+// Cold-start/invalidation-storm variant of the kernelized stepper: the
+// warm benches above only ever exercise a hot predecode cache, so a
+// regression that made refills expensive would be invisible there. Here the
+// derived caches are flushed before every batch — every regime swap and
+// trap path re-decodes from scratch.
+void BM_KernelizedStepInvalidationStorm(benchmark::State& state) {
+  auto sys = SwapPingPong();
+  for (auto _ : state) {
+    sys->machine().set_predecode_enabled(false);
+    sys->machine().set_predecode_enabled(true);
+    benchmark::DoNotOptimize(sys->Run(4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_KernelizedStepInvalidationStorm);
 
 void BM_StateHash(benchmark::State& state) {
   auto machine = BareMachine();

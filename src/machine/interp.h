@@ -431,6 +431,71 @@ inline bool BranchTaken(Opcode op, const Psw& psw) {
   }
 }
 
+// True when executing `insn` can store to memory: a writing opcode whose
+// destination operand is memory-addressed. The machine's superblock layer
+// rechecks covered-page versions after exactly these instructions, which is
+// what makes hoisting the per-step version compares to trace entry sound
+// against self-modifying code (see machine.cpp).
+inline bool MayWriteMemory(const DecodedInsn& insn) {
+  switch (insn.opcode) {
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kBic:
+    case Opcode::kBis:
+    case Opcode::kXor:
+    case Opcode::kClr:
+    case Opcode::kInc:
+    case Opcode::kDec:
+    case Opcode::kNeg:
+    case Opcode::kCom:
+    case Opcode::kAsr:
+    case Opcode::kAsl:
+      return insn.dst.mode != AddrMode::kReg;
+    default:
+      // CMP/BIT/TST only read; branches, NOP and every generic-form opcode
+      // are never stitched into a superblock.
+      return false;
+  }
+}
+
+// True when executing `insn` can touch data memory at all — any operand
+// that Resolve() would place in Loc::kMemory (sources in deferred or
+// indexed mode; destinations in anything but register mode, since an
+// immediate-mode destination is absolute addressing). Instructions for
+// which this is false cannot fault and cannot store: the superblock layer
+// runs them through a lean in-trace handler with no event plumbing and no
+// post-store version recheck (see machine.cpp).
+inline bool MayTouchMemory(const DecodedInsn& insn) {
+  switch (insn.opcode) {
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kCmp:
+    case Opcode::kBit:
+    case Opcode::kBic:
+    case Opcode::kBis:
+    case Opcode::kXor:
+      if (insn.src.mode == AddrMode::kRegDeferred || insn.src.mode == AddrMode::kIndexed) {
+        return true;
+      }
+      return insn.dst.mode != AddrMode::kReg;
+    case Opcode::kClr:
+    case Opcode::kInc:
+    case Opcode::kDec:
+    case Opcode::kNeg:
+    case Opcode::kCom:
+    case Opcode::kTst:
+    case Opcode::kAsr:
+    case Opcode::kAsl:
+      return insn.dst.mode != AddrMode::kReg;
+    default:
+      // Branches and NOP have no operands; every other opcode is generic
+      // form and never stitched.
+      return false;
+  }
+}
+
 // Executes a decoded instruction whose instruction word has already been
 // consumed (ctx.st PC points past it). Commits the scratch state unless the
 // instruction aborted.

@@ -99,6 +99,10 @@ enum DirectForm : std::uint8_t {
   kFormTst,
   kFormAsr,
   kFormAsl,
+  // Not produced by ClassifyForm: installed on a predecoded entry that
+  // anchors a superblock, so the ordinary dispatch jump lands in the
+  // superblock entry sequence with zero extra cost on non-anchored entries.
+  kFormSbEnter,
 };
 
 bool UsesPcOperand(const OperandSpec& spec) {
@@ -206,6 +210,14 @@ std::uint8_t ClassifyForm(const DecodedInsn& insn) {
 
 Machine::Machine(const MachineConfig& config) : config_(config), memory_(config.memory_words) {
   SEP_CHECK(config.io_base >= config.memory_words);
+  // The superblock counters only bump inside batched Run of device-free
+  // machines; register them eagerly (registration is independent of the
+  // obs enable flag) so the metrics inventory is the same in every
+  // deployment — a kernelized sep_trace dump reports them as 0 rather
+  // than omitting them.
+  obs::Metrics().GetCounter("machine.superblock_builds");
+  obs::Metrics().GetCounter("machine.superblock_side_exits");
+  obs::Metrics().GetCounter("machine.superblock_invalidations");
 }
 
 std::unique_ptr<Machine> Machine::Clone() const {
@@ -403,12 +415,228 @@ StepEvent Machine::ApplyCpuEvent(const CpuEvent& cpu_event) {
 void Machine::set_predecode_enabled(bool enabled) {
   predecode_enabled_ = enabled;
   if (!enabled) {
+    // Superblocks anchor into icache entries, so they go first.
+    InvalidateAllSuperblocks();
     if (obs::Enabled() && !icache_.empty()) {
       obs::Emit(obs::Category::kMachine, obs::Code::kPredecodeFlush, obs::kColourKernel, tick_,
                 static_cast<Word>(icache_.size()));
     }
     icache_.clear();
   }
+}
+
+void Machine::set_superblock_enabled(bool enabled) {
+  superblock_enabled_ = enabled;
+  if (!enabled) {
+    InvalidateAllSuperblocks();
+  }
+}
+
+void Machine::InvalidateSuperblock(Superblock* sb) {
+  PredecodedInsn* const entry = sb->entry;
+  entry->sb = nullptr;
+  entry->form = sb->orig_form;
+  entry->handler = nullptr;
+  entry->heat = 0;
+  ++superblock_invalidations_;
+  if (obs::Enabled()) {
+    static obs::Counter& invalidations =
+        obs::Metrics().GetCounter("machine.superblock_invalidations");
+    obs::Emit(obs::Category::kMachine, obs::Code::kSuperblockInvalidate, obs::kColourKernel,
+              tick_, sb->entry_pc);
+    invalidations.Add();
+  }
+  const std::uint32_t slot = sb->slot;
+  if (slot + 1 != superblocks_.size()) {
+    superblocks_[slot] = std::move(superblocks_.back());
+    superblocks_[slot]->slot = slot;
+  }
+  superblocks_.pop_back();
+}
+
+void Machine::InvalidateAllSuperblocks() {
+  if (superblocks_.empty()) {
+    return;
+  }
+  superblock_invalidations_ += superblocks_.size();
+  if (obs::Enabled()) {
+    static obs::Counter& invalidations =
+        obs::Metrics().GetCounter("machine.superblock_invalidations");
+    obs::Emit(obs::Category::kMachine, obs::Code::kSuperblockInvalidate, obs::kColourKernel,
+              tick_, static_cast<Word>(superblocks_.size()));
+    invalidations.Add(superblocks_.size());
+  }
+  for (const auto& sb : superblocks_) {
+    sb->entry->sb = nullptr;
+    sb->entry->form = sb->orig_form;
+    sb->entry->handler = nullptr;
+    sb->entry->heat = 0;
+  }
+  superblocks_.clear();
+}
+
+// Walks the predicted path from a hot taken-branch target and stitches a
+// superblock. Purely static: reads the live mapping and memory through the
+// same checks the per-step dispatch applies, so every instruction admitted
+// here would also pass the per-step fast path at build time. Prediction:
+// unconditional branches follow the branch, conditional branches follow the
+// taken edge when it points backward (loop-closing) and fall through
+// otherwise; the trace ends at the first generic-form instruction, unmapped
+// word, guard-budget overflow, or revisit of a stitched PC.
+__attribute__((noinline)) void Machine::BuildSuperblockAt(Word entry_pc, CpuMode mode,
+                                                          PredecodedInsn& entry) {
+  auto sb = std::make_unique<Superblock>();
+  sb->entry_pc = entry_pc;
+  sb->mode = mode;
+
+  auto add_version_guards = [&](PhysAddr first, PhysAddr last) {
+    for (std::size_t index = PhysicalMemory::VersionIndex(first);
+         index <= PhysicalMemory::VersionIndex(last); ++index) {
+      bool known = false;
+      for (const Superblock::VersionGuard& g : sb->version_guards) {
+        if (g.index == index) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        if (sb->version_guards.size() >= kSuperblockMaxVersionGuards) {
+          return false;
+        }
+        sb->version_guards.push_back(
+            {static_cast<std::uint32_t>(index), memory_.version_data()[index]});
+      }
+    }
+    return true;
+  };
+
+  Word pc = entry_pc;
+  while (sb->insns.size() < kSuperblockMaxInsns) {
+    // Re-apply the per-step fast-path preconditions at `pc`.
+    const std::uint32_t vp = static_cast<std::uint32_t>(pc) >> kPageBits;
+    const PageRegister& pr = mmu_.page(mode, static_cast<int>(vp & 0x7));
+    const std::uint32_t limit =
+        pr.access == PageAccess::kNone ? 0 : (pr.length < kPageWords ? pr.length : kPageWords);
+    const std::uint32_t offset = pc & (kPageWords - 1);
+    if (offset >= limit) {
+      break;
+    }
+    const PhysAddr phys = pr.base + offset;
+    if (!memory_.InRange(phys)) {
+      break;
+    }
+    std::optional<DecodedInsn> decoded = Decode(memory_.Read(phys));
+    if (!decoded.has_value()) {
+      break;
+    }
+    const std::uint32_t length = static_cast<std::uint32_t>(decoded->length);
+    if (offset + length > limit || !memory_.InRange(phys + length - 1)) {
+      break;
+    }
+    const std::uint8_t form = ClassifyForm(*decoded);
+    if (form == kFormGeneric) {
+      break;
+    }
+
+    // Record the mapping this instruction fetches through. One virtual page
+    // resolves to one PageRegister for the whole build (nothing runs between
+    // iterations), so a revisit can never conflict.
+    bool guarded = false;
+    for (const Superblock::PageGuard& g : sb->page_guards) {
+      if (g.vpage == vp) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      sb->page_guards.push_back({vp, pr.base, limit});
+    }
+    if (!add_version_guards(phys, phys + length - 1)) {
+      break;
+    }
+
+    SuperblockInsn si;
+    si.insn = *decoded;
+    for (std::uint32_t i = 1; i < length; ++i) {
+      si.ext[i - 1] = memory_.Read(phys + static_cast<PhysAddr>(i));
+    }
+    si.pc = pc;
+    si.form = form;
+    si.may_write = interp::MayWriteMemory(*decoded);
+    si.can_fault = interp::MayTouchMemory(*decoded);
+
+    const bool is_branch = form >= kFormBr && form <= kFormBle;
+    const Word fall = static_cast<Word>(pc + length);
+    Word next;
+    if (is_branch) {
+      const Word taken = static_cast<Word>(fall + decoded->branch_offset);
+      next = (decoded->opcode == Opcode::kBr || taken <= pc) ? taken : fall;
+    } else {
+      next = fall;
+    }
+
+    // Resolve the successor inside the trace so far (loop closure / rejoin).
+    std::int32_t next_index = -1;
+    for (std::size_t i = 0; i < sb->insns.size(); ++i) {
+      if (sb->insns[i].pc == next) {
+        next_index = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    if (next == entry_pc) {
+      next_index = 0;
+    } else if (next == pc) {
+      next_index = static_cast<std::int32_t>(sb->insns.size());  // self-loop
+    }
+
+    if (is_branch) {
+      // A straight-line successor is the next slot; filled as -1 now and
+      // fixed below if the build stops before appending it.
+      si.next_index = next_index >= 0 ? next_index
+                                      : static_cast<std::int32_t>(sb->insns.size()) + 1;
+    }
+    sb->insns.push_back(si);
+
+    if (next_index >= 0) {
+      break;  // trace closed into itself
+    }
+    pc = next;
+  }
+
+  // Branches whose predicted successor was never appended exit the trace.
+  for (SuperblockInsn& si : sb->insns) {
+    if (si.next_index >= static_cast<std::int32_t>(sb->insns.size())) {
+      si.next_index = -1;
+    }
+  }
+
+  if (sb->insns.size() < kSuperblockMinInsns) {
+    return;  // heat wraps around and retries eventually
+  }
+
+  const Word trace_len = static_cast<Word>(sb->insns.size());
+  // Sentinel trailer: running off the end of the trace lands here and its
+  // handler (the kFormGeneric slot of the in-trace table) re-enters the
+  // ordinary dispatch — so straight-line handlers advance with no
+  // end-of-trace compare. Never executed, so only form matters.
+  SuperblockInsn sentinel;
+  sentinel.form = kFormGeneric;
+  sb->insns.push_back(sentinel);
+
+  sb->orig_form = entry.form;
+  sb->entry = &entry;
+  sb->slot = static_cast<std::uint32_t>(superblocks_.size());
+  entry.sb = sb.get();
+  entry.form = kFormSbEnter;
+  entry.handler = nullptr;
+  ++superblock_builds_;
+  if (obs::Enabled()) {
+    static obs::Counter& builds = obs::Metrics().GetCounter("machine.superblock_builds");
+    obs::Emit(obs::Category::kMachine, obs::Code::kSuperblockBuild, obs::kColourKernel, tick_,
+              entry_pc, trace_len);
+    builds.Add();
+  }
+  superblocks_.push_back(std::move(sb));
 }
 
 __attribute__((noinline)) Machine::IcacheBlock& Machine::EnsureIcacheBlock(PhysAddr phys) {
@@ -434,6 +662,11 @@ __attribute__((noinline)) CpuEvent Machine::ExecuteCpuMiss(MachineBus& bus,
                                                            std::uint32_t offset,
                                                            std::uint32_t limit) {
   ++predecode_misses_;
+  // A refill rewrites the entry's decode and form, so a superblock anchored
+  // here (its covered content just changed — that is why we missed) must go.
+  if (entry.sb != nullptr) [[unlikely]] {
+    InvalidateSuperblock(entry.sb);
+  }
   // Refills are the observable face of predecode invalidation (stores,
   // remaps and restores bump page versions; the next execution lands here).
   // Already out of line, so the disabled cost is one load + branch per miss.
@@ -589,6 +822,18 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
   std::uint32_t cur_limit = 0;
   const std::uint64_t* const page_versions = memory_.version_data();
   const PhysAddr mem_size = static_cast<PhysAddr>(memory_.size());
+  // Superblock execution state: set by run_sb_enter, read only by the sb
+  // handlers and their shared exit labels below. Every stitched instruction
+  // is by construction a predecode hit, so in-trace handlers count only
+  // `steps`; SEP_SB_FLUSH credits `hits` with the delta when the trace is
+  // left. `sb_len` is the stitched length (sentinel excluded) used by the
+  // loop-back budget check.
+  Superblock* cur_sb = nullptr;
+  SuperblockInsn* sb_base = nullptr;
+  SuperblockInsn* sb_cur = nullptr;
+  std::size_t sb_len = 0;
+  std::size_t sb_steps_base = 0;
+  std::uint64_t sb_exits = 0;
 
   // Order must match DirectForm.
   static const void* const kForms[] = {
@@ -597,7 +842,32 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
       &&form_bge,     &&form_bgt, &&form_ble, &&form_mov, &&form_add, &&form_sub,
       &&form_cmp,     &&form_bit, &&form_bic, &&form_bis, &&form_xor, &&form_clr,
       &&form_inc,     &&form_dec, &&form_neg, &&form_com, &&form_tst, &&form_asr,
-      &&form_asl,
+      &&form_asl,     &&run_sb_enter,
+  };
+
+  // Superblock in-trace handlers, same DirectForm order, two tables: the
+  // full-plumbing one for instructions that can touch data memory (fault
+  // and/or store), and a lean one — no event reset, no event check, no
+  // post-store recheck — for instructions that provably cannot
+  // (interp::MayTouchMemory, chosen per instruction at build time).
+  // kFormGeneric and kFormSbEnter are never stitched; their slots
+  // re-dispatch defensively (the generic slot is also the sentinel
+  // trailer's handler, i.e. the normal off-the-end exit).
+  static const void* const kSbForms[] = {
+      &&run_sb_off_end, &&sb_nop, &&sb_br,  &&sb_beq, &&sb_bne, &&sb_bmi,
+      &&sb_bpl,         &&sb_bcs, &&sb_bcc, &&sb_bvs, &&sb_bvc, &&sb_blt,
+      &&sb_bge,         &&sb_bgt, &&sb_ble, &&sb_mov, &&sb_add, &&sb_sub,
+      &&sb_cmp,         &&sb_bit, &&sb_bic, &&sb_bis, &&sb_xor, &&sb_clr,
+      &&sb_inc,         &&sb_dec, &&sb_neg, &&sb_com, &&sb_tst, &&sb_asr,
+      &&sb_asl,         &&run_sb_off_end,
+  };
+  static const void* const kSbFormsNf[] = {
+      &&run_sb_off_end, &&sb_nop_nf, &&sb_br,     &&sb_beq,    &&sb_bne,    &&sb_bmi,
+      &&sb_bpl,         &&sb_bcs,    &&sb_bcc,    &&sb_bvs,    &&sb_bvc,    &&sb_blt,
+      &&sb_bge,         &&sb_bgt,    &&sb_ble,    &&sb_mov_nf, &&sb_add_nf, &&sb_sub_nf,
+      &&sb_cmp_nf,      &&sb_bit_nf, &&sb_bic_nf, &&sb_bis_nf, &&sb_xor_nf, &&sb_clr_nf,
+      &&sb_inc_nf,      &&sb_dec_nf, &&sb_neg_nf, &&sb_com_nf, &&sb_tst_nf, &&sb_asr_nf,
+      &&sb_asl_nf,      &&run_sb_off_end,
   };
 
 #define SEP_SYNC_OUT() (st.regs[kPc] = pc, st.psw = psw, cpu_ = st)
@@ -605,8 +875,10 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
 
   // The per-step validation from ExecuteCpuT, ending in the threaded jump.
   // `steps`/`hits` are committed here so handlers and slow paths reached
-  // from the jump must not count them again.
-#define SEP_DISPATCH()                                                                 \
+  // from the jump must not count them again. HOOK runs after the entry is
+  // validated and before the jump; the taken-branch dispatch uses it for
+  // hot-edge accounting, every other site passes a no-op.
+#define SEP_DISPATCH_CORE(HOOK)                                                        \
   do {                                                                                 \
     if (steps >= max_steps || halted_) goto run_done;                                  \
     if (waiting_) [[unlikely]] goto run_idle;                                          \
@@ -641,9 +913,26 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
       goto run_generic;                                                                \
     ++hits;                                                                            \
     ++steps;                                                                           \
+    HOOK;                                                                              \
     if (entry->handler == nullptr) [[unlikely]] entry->handler = kForms[entry->form];  \
     goto* entry->handler;                                                              \
   } while (0)
+
+#define SEP_DISPATCH() SEP_DISPATCH_CORE((void)0)
+
+  // Hot-edge accounting on a validated taken-branch target: when the target
+  // entry's heat crosses the threshold, a superblock is stitched and anchored
+  // on it (form becomes kFormSbEnter), so the jump below enters it at once.
+#define SEP_EDGE_HOOK()                                                                \
+  if (superblock_enabled_ && entry->sb == nullptr) {                                   \
+    if (++entry->heat == kSuperblockHeatThreshold) [[unlikely]] {                      \
+      BuildSuperblockAt(pc, psw.mode(), *entry);                                       \
+    }                                                                                  \
+  }
+
+  // Taken branches dispatch through their own expansion (own indirect-branch
+  // site, like every other handler tail) with the hot-edge hook armed.
+#define SEP_DISPATCH_EDGE() SEP_DISPATCH_CORE(SEP_EDGE_HOOK())
 
 // One direct handler per predecoded opcode. The DirectStepT bail (PC
 // operand) cannot trigger here — ClassifyForm maps those to kFormGeneric —
@@ -660,22 +949,36 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
   }                                                                                   \
   goto run_predecoded_slow;
 
+// Branch handlers inline DirectStepT's branch path (compute the successor,
+// always kOk) so the taken edge is visible: it dispatches with the hot-edge
+// hook, the fall-through edge dispatches plainly.
+#define SEP_BRANCH_HANDLER(label, OP)                                                 \
+  label: {                                                                            \
+    Word next = static_cast<Word>(pc + entry->insn.length);                           \
+    if (interp::BranchTaken(Opcode::OP, psw)) {                                       \
+      pc = static_cast<Word>(next + entry->insn.branch_offset);                       \
+      SEP_DISPATCH_EDGE();                                                            \
+    }                                                                                 \
+    pc = next;                                                                        \
+    SEP_DISPATCH();                                                                   \
+  }
+
   SEP_DISPATCH();
 
   SEP_HANDLER(form_nop, kNop)
-  SEP_HANDLER(form_br, kBr)
-  SEP_HANDLER(form_beq, kBeq)
-  SEP_HANDLER(form_bne, kBne)
-  SEP_HANDLER(form_bmi, kBmi)
-  SEP_HANDLER(form_bpl, kBpl)
-  SEP_HANDLER(form_bcs, kBcs)
-  SEP_HANDLER(form_bcc, kBcc)
-  SEP_HANDLER(form_bvs, kBvs)
-  SEP_HANDLER(form_bvc, kBvc)
-  SEP_HANDLER(form_blt, kBlt)
-  SEP_HANDLER(form_bge, kBge)
-  SEP_HANDLER(form_bgt, kBgt)
-  SEP_HANDLER(form_ble, kBle)
+  SEP_BRANCH_HANDLER(form_br, kBr)
+  SEP_BRANCH_HANDLER(form_beq, kBeq)
+  SEP_BRANCH_HANDLER(form_bne, kBne)
+  SEP_BRANCH_HANDLER(form_bmi, kBmi)
+  SEP_BRANCH_HANDLER(form_bpl, kBpl)
+  SEP_BRANCH_HANDLER(form_bcs, kBcs)
+  SEP_BRANCH_HANDLER(form_bcc, kBcc)
+  SEP_BRANCH_HANDLER(form_bvs, kBvs)
+  SEP_BRANCH_HANDLER(form_bvc, kBvc)
+  SEP_BRANCH_HANDLER(form_blt, kBlt)
+  SEP_BRANCH_HANDLER(form_bge, kBge)
+  SEP_BRANCH_HANDLER(form_bgt, kBgt)
+  SEP_BRANCH_HANDLER(form_ble, kBle)
   SEP_HANDLER(form_mov, kMov)
   SEP_HANDLER(form_add, kAdd)
   SEP_HANDLER(form_sub, kSub)
@@ -694,6 +997,223 @@ std::size_t Machine::RunThreaded(std::size_t max_steps) {
   SEP_HANDLER(form_asl, kAsl)
 
 #undef SEP_HANDLER
+#undef SEP_BRANCH_HANDLER
+
+  // ------------------------------------------------------------------
+  // Superblock execution. run_sb_enter is reached through the ordinary
+  // dispatch (the anchor entry's form is kFormSbEnter), so the entry
+  // instruction itself is already validated and counted. The guards hoist
+  // what the per-step dispatch would otherwise re-derive for every stitched
+  // instruction: the PSW mode and page mappings cannot change inside the
+  // trace (no client, no devices, page registers are not guest-addressable,
+  // and only generic-form instructions — never stitched — can flip the
+  // mode), and the version guards pin every covered 64-word page, rechecked
+  // after each instruction that can store (sb_cur->may_write) so
+  // self-modifying code stops the trace before the next stale instruction
+  // executes. Loop-closing traces (next_index >= 0) therefore iterate
+  // entirely inside the trace with no re-entry guard at all.
+  //
+  // The step budget is hoisted too: entry admits the trace only when a full
+  // straight-line pass fits (steps + sb_len <= max_steps, after the anchor
+  // undo), and every in-trace control transfer re-proves the next pass fits
+  // before taking it — so straight-line handlers run with no budget check,
+  // and nothing in-trace can set halted_ or waiting_ (HALT and WAIT are
+  // generic forms, never stitched).
+
+  // In-trace handler for non-branch direct forms that can touch data
+  // memory: execute with event plumbing, recheck covered pages after a
+  // possible store, advance (running off the end lands on the sentinel
+  // trailer, whose handler is the off-end exit — no end compare). The
+  // DirectStepT bail (PC operand) is impossible by stitching construction;
+  // the defensive exit re-dispatches the unexecuted pc.
+#define SEP_SB_HANDLER(label, OP)                                                     \
+  label:                                                                              \
+  event = {};                                                                         \
+  if (interp::DirectStepT<MachineBus, Opcode::OP>(regs, psw, pc, bus, sb_cur->insn,   \
+                                                  sb_cur->ext.data(), &event))        \
+      [[likely]] {                                                                    \
+    ++steps;                                                                          \
+    if (event.kind != CpuEventKind::kOk) [[unlikely]] goto run_apply_event;           \
+    if (sb_cur->may_write) goto run_sb_write_check;                                   \
+    ++sb_cur;                                                                         \
+    goto* sb_cur->handler;                                                            \
+  }                                                                                   \
+  goto run_sb_off_end;
+
+  // Lean variant for instructions that provably cannot fault or store
+  // (register/immediate operands only — interp::MayTouchMemory false): no
+  // event plumbing, no recheck. This is the common case in hot loops.
+#define SEP_SB_HANDLER_NF(label, OP)                                                  \
+  label:                                                                              \
+  if (interp::DirectStepT<MachineBus, Opcode::OP>(regs, psw, pc, bus, sb_cur->insn,   \
+                                                  sb_cur->ext.data(), &event))        \
+      [[likely]] {                                                                    \
+    ++steps;                                                                          \
+    ++sb_cur;                                                                         \
+    goto* sb_cur->handler;                                                            \
+  }                                                                                   \
+  goto run_sb_off_end;
+
+  // In-trace branch: compute the successor exactly as DirectStepT does
+  // (always kOk, no bus traffic), then either stay inside the trace along
+  // the predicted edge — re-proving the budget admits another pass — or
+  // side-exit to the ordinary dispatch.
+#define SEP_SB_BRANCH_HANDLER(label, OP)                                              \
+  label: {                                                                            \
+    Word next = static_cast<Word>(pc + sb_cur->insn.length);                          \
+    if (interp::BranchTaken(Opcode::OP, psw)) {                                       \
+      next = static_cast<Word>(next + sb_cur->insn.branch_offset);                    \
+    }                                                                                 \
+    pc = next;                                                                        \
+  }                                                                                   \
+  ++steps;                                                                            \
+  {                                                                                   \
+    const std::int32_t ni = sb_cur->next_index;                                       \
+    if (ni < 0) [[unlikely]] goto run_sb_off_end;                                     \
+    SuperblockInsn* const nxt = sb_base + ni;                                         \
+    if (pc != nxt->pc) [[unlikely]] goto run_sb_side_exit;                            \
+    if (steps + sb_len > max_steps) [[unlikely]] goto run_sb_off_end;                 \
+    sb_cur = nxt;                                                                     \
+    goto* sb_cur->handler;                                                            \
+  }
+
+  SEP_SB_HANDLER(sb_nop, kNop)
+  SEP_SB_BRANCH_HANDLER(sb_br, kBr)
+  SEP_SB_BRANCH_HANDLER(sb_beq, kBeq)
+  SEP_SB_BRANCH_HANDLER(sb_bne, kBne)
+  SEP_SB_BRANCH_HANDLER(sb_bmi, kBmi)
+  SEP_SB_BRANCH_HANDLER(sb_bpl, kBpl)
+  SEP_SB_BRANCH_HANDLER(sb_bcs, kBcs)
+  SEP_SB_BRANCH_HANDLER(sb_bcc, kBcc)
+  SEP_SB_BRANCH_HANDLER(sb_bvs, kBvs)
+  SEP_SB_BRANCH_HANDLER(sb_bvc, kBvc)
+  SEP_SB_BRANCH_HANDLER(sb_blt, kBlt)
+  SEP_SB_BRANCH_HANDLER(sb_bge, kBge)
+  SEP_SB_BRANCH_HANDLER(sb_bgt, kBgt)
+  SEP_SB_BRANCH_HANDLER(sb_ble, kBle)
+  SEP_SB_HANDLER(sb_mov, kMov)
+  SEP_SB_HANDLER(sb_add, kAdd)
+  SEP_SB_HANDLER(sb_sub, kSub)
+  SEP_SB_HANDLER(sb_cmp, kCmp)
+  SEP_SB_HANDLER(sb_bit, kBit)
+  SEP_SB_HANDLER(sb_bic, kBic)
+  SEP_SB_HANDLER(sb_bis, kBis)
+  SEP_SB_HANDLER(sb_xor, kXor)
+  SEP_SB_HANDLER(sb_clr, kClr)
+  SEP_SB_HANDLER(sb_inc, kInc)
+  SEP_SB_HANDLER(sb_dec, kDec)
+  SEP_SB_HANDLER(sb_neg, kNeg)
+  SEP_SB_HANDLER(sb_com, kCom)
+  SEP_SB_HANDLER(sb_tst, kTst)
+  SEP_SB_HANDLER(sb_asr, kAsr)
+  SEP_SB_HANDLER(sb_asl, kAsl)
+
+  SEP_SB_HANDLER_NF(sb_nop_nf, kNop)
+  SEP_SB_HANDLER_NF(sb_mov_nf, kMov)
+  SEP_SB_HANDLER_NF(sb_add_nf, kAdd)
+  SEP_SB_HANDLER_NF(sb_sub_nf, kSub)
+  SEP_SB_HANDLER_NF(sb_cmp_nf, kCmp)
+  SEP_SB_HANDLER_NF(sb_bit_nf, kBit)
+  SEP_SB_HANDLER_NF(sb_bic_nf, kBic)
+  SEP_SB_HANDLER_NF(sb_bis_nf, kBis)
+  SEP_SB_HANDLER_NF(sb_xor_nf, kXor)
+  SEP_SB_HANDLER_NF(sb_clr_nf, kClr)
+  SEP_SB_HANDLER_NF(sb_inc_nf, kInc)
+  SEP_SB_HANDLER_NF(sb_dec_nf, kDec)
+  SEP_SB_HANDLER_NF(sb_neg_nf, kNeg)
+  SEP_SB_HANDLER_NF(sb_com_nf, kCom)
+  SEP_SB_HANDLER_NF(sb_tst_nf, kTst)
+  SEP_SB_HANDLER_NF(sb_asr_nf, kAsr)
+  SEP_SB_HANDLER_NF(sb_asl_nf, kAsl)
+
+#undef SEP_SB_HANDLER
+#undef SEP_SB_HANDLER_NF
+#undef SEP_SB_BRANCH_HANDLER
+
+  // Credits `hits` with every instruction retired since trace entry and
+  // leaves superblock mode. In-trace handlers bump only `steps`, and every
+  // stitched instruction is a predecode hit by construction, so the delta
+  // is exact.
+#define SEP_SB_FLUSH() (hits += steps - sb_steps_base, cur_sb = nullptr)
+
+run_sb_enter: {
+  Superblock* const sb = entry->sb;
+  if (pc != sb->entry_pc || psw.mode() != sb->mode) [[unlikely]] {
+    // A different virtual window (or mode) onto the anchor's physical word:
+    // the entry decode is valid for it — dispatch just checked — so execute
+    // it through its original handler; the superblock stays installed.
+    goto* kForms[sb->orig_form];
+  }
+  // Budget fit: the dispatch counted the anchor (steps includes it); a full
+  // straight-line pass of the trace executes sb_len instructions in its
+  // place. If that cannot fit, run this step the ordinary way — the
+  // remaining budget is finished per-step with exact accounting.
+  const std::size_t len = sb->insns.size() - 1;  // sentinel excluded
+  if (steps + len > max_steps + 1) [[unlikely]] {
+    goto* kForms[sb->orig_form];
+  }
+  for (const Superblock::PageGuard& g : sb->page_guards) {
+    const PageRegister& pr = mmu_.page(sb->mode, static_cast<int>(g.vpage & 0x7));
+    const std::uint32_t lim = pr.access == PageAccess::kNone
+                                  ? 0
+                                  : (pr.length < kPageWords ? pr.length : kPageWords);
+    if (pr.base != g.base || lim != g.limit) [[unlikely]] goto run_sb_stale;
+  }
+  for (const Superblock::VersionGuard& g : sb->version_guards) {
+    if (page_versions[g.index] != g.version) [[unlikely]] goto run_sb_stale;
+  }
+  if (sb->insns[0].handler == nullptr) [[unlikely]] {
+    for (SuperblockInsn& si : sb->insns) {
+      si.handler = si.can_fault ? kSbForms[si.form] : kSbFormsNf[si.form];
+    }
+  }
+  // Dispatch counted the anchor instruction before jumping here; the sb
+  // handlers re-count every stitched instruction (anchor included), so
+  // undo it and mark the baseline for SEP_SB_FLUSH.
+  --hits;
+  --steps;
+  cur_sb = sb;
+  sb_len = len;
+  sb_steps_base = steps;
+  sb_base = sb->insns.data();
+  sb_cur = sb_base;
+  goto* sb_cur->handler;
+}
+
+run_sb_stale:
+  // An entry guard failed: a covered page was remapped or rewritten. Tear
+  // the superblock down and run the anchor instruction the ordinary way
+  // (its own decode was validated by the dispatch that got us here).
+  InvalidateSuperblock(entry->sb);
+  if (entry->handler == nullptr) entry->handler = kForms[entry->form];
+  goto* entry->handler;
+
+run_sb_write_check:
+  // A stitched store retired: if it hit a covered page, every later trace
+  // instruction may be stale — stop before the next one executes. All
+  // previously executed instructions used pre-store content, exactly like
+  // the per-step path (whose version compare also runs at the next fetch).
+  for (const Superblock::VersionGuard& g : cur_sb->version_guards) {
+    if (page_versions[g.index] != g.version) [[unlikely]] {
+      InvalidateSuperblock(cur_sb);
+      SEP_SB_FLUSH();
+      SEP_DISPATCH();
+    }
+  }
+  ++sb_cur;
+  goto* sb_cur->handler;
+
+run_sb_off_end:
+  // Trace exhausted, budget boundary, or a defensive bail: back to the
+  // per-step dispatch.
+  SEP_SB_FLUSH();
+  SEP_DISPATCH();
+
+run_sb_side_exit:
+  // A stitched branch went against its predicted edge.
+  ++sb_exits;
+  SEP_SB_FLUSH();
+  SEP_DISPATCH();
 
 form_generic:
   // Cached but with no direct handler: run it through the scratch path.
@@ -724,8 +1244,11 @@ run_miss:
   SEP_DISPATCH();
 
 run_apply_event:
-  // The step that produced `event` is already counted. ApplyCpuEvent works
-  // on cpu_ (trap dispatch rewrites PC/PSW/stack), so sync around it.
+  // The step that produced `event` is already counted. A faulting stitched
+  // instruction arrives here still in superblock mode; settle the hit
+  // accounting before the ordinary path resumes. ApplyCpuEvent works on
+  // cpu_ (trap dispatch rewrites PC/PSW/stack), so sync around it.
+  if (cur_sb != nullptr) [[unlikely]] SEP_SB_FLUSH();
   SEP_SYNC_OUT();
   (void)ApplyCpuEvent(event);
   SEP_SYNC_IN();
@@ -735,16 +1258,36 @@ run_idle:
   // Nothing can ever wake the CPU: the remaining steps are idle ticks.
   SEP_SYNC_OUT();
   predecode_hits_ += hits;
+  if (sb_exits != 0) {
+    superblock_side_exits_ += sb_exits;
+    if (obs::Enabled()) {
+      static obs::Counter& side_exits =
+          obs::Metrics().GetCounter("machine.superblock_side_exits");
+      side_exits.Add(sb_exits);
+    }
+  }
   tick_ += max_steps;
   return max_steps;
 
 run_done:
   SEP_SYNC_OUT();
   predecode_hits_ += hits;
+  if (sb_exits != 0) {
+    superblock_side_exits_ += sb_exits;
+    if (obs::Enabled()) {
+      static obs::Counter& side_exits =
+          obs::Metrics().GetCounter("machine.superblock_side_exits");
+      side_exits.Add(sb_exits);
+    }
+  }
   tick_ += steps;
   return steps;
 
+#undef SEP_SB_FLUSH
 #undef SEP_DISPATCH
+#undef SEP_DISPATCH_EDGE
+#undef SEP_EDGE_HOOK
+#undef SEP_DISPATCH_CORE
 #undef SEP_SYNC_OUT
 #undef SEP_SYNC_IN
 }

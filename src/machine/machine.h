@@ -182,6 +182,28 @@ class Machine {
   std::uint64_t predecode_hits() const { return predecode_hits_; }
   std::uint64_t predecode_misses() const { return predecode_misses_; }
 
+  // --- superblock trace cache ---
+  //
+  // On top of the predecode cache, RunThreaded stitches the instructions
+  // reached from a hot taken-branch target into a superblock: a straight-line
+  // trace that crosses predicted branch directions. The PSW-mode and
+  // MMU-mapping checks are hoisted to superblock entry, and the per-64-word-
+  // page version checks are hoisted into entry guards plus a recheck after
+  // each instruction that can store to memory — so inside the trace no
+  // per-instruction revalidation runs at all. Any guard failure (store into
+  // a covered page, MMU remap, RestoreWords changing covered content) tears
+  // the superblock down and execution re-enters the per-step slow path;
+  // traces are bit-identical to repeated Step(). Like the predecode cache,
+  // superblocks are derived state: never cloned, hashed, or snapshotted.
+
+  void set_superblock_enabled(bool enabled);
+  bool superblock_enabled() const { return superblock_enabled_; }
+
+  std::uint64_t superblock_builds() const { return superblock_builds_; }
+  std::uint64_t superblock_side_exits() const { return superblock_side_exits_; }
+  std::uint64_t superblock_invalidations() const { return superblock_invalidations_; }
+  std::size_t superblock_count() const { return superblocks_.size(); }
+
   // Hash over the complete machine state (excluding the step counter, which
   // is bookkeeping rather than architectural state).
   std::uint64_t StateHash() const;
@@ -210,6 +232,8 @@ class Machine {
   // while the page versions of the covered words are unchanged. `form`
   // indexes the threaded Run loop's handler table (0 = generic slow path);
   // it is derived from the decode at refill time.
+  struct Superblock;
+
   struct PredecodedInsn {
     DecodedInsn insn;
     std::array<Word, 2> ext{};
@@ -220,7 +244,60 @@ class Machine {
     const void* handler = nullptr;
     std::uint64_t version = 0;       // page version of the insn word; 0 = empty
     std::uint64_t version_last = 0;  // page version of the last covered word
+    // Superblock anchored at this entry (owner: superblocks_). While set,
+    // `form` is kFormSbEnter and the original form lives in sb->orig_form.
+    Superblock* sb = nullptr;
+    // Taken-branch-target heat; a superblock build triggers when it crosses
+    // kSuperblockHeatThreshold. Survives refills, reset on invalidation.
+    std::uint16_t heat = 0;
   };
+
+  // One instruction of a superblock trace: the predecoded form plus the
+  // virtual PC it was stitched at and, for branches, the index of the
+  // predicted successor inside the trace (-1 = trace exit).
+  struct SuperblockInsn {
+    DecodedInsn insn;
+    std::array<Word, 2> ext{};
+    Word pc = 0;
+    std::int32_t next_index = -1;
+    const void* handler = nullptr;  // sb handler label, resolved on first entry
+    std::uint8_t form = 0;
+    bool may_write = false;  // memory-destination opcode: recheck versions after
+    bool can_fault = false;  // touches data memory: needs event plumbing
+  };
+
+  struct Superblock {
+    // Entry guard: the virtual-page mappings the trace was stitched through.
+    // `limit` is the effective fetchable length (0 when the page was
+    // unmapped — impossible at build time, kept for symmetry).
+    struct PageGuard {
+      std::uint32_t vpage = 0;
+      PhysAddr base = 0;
+      std::uint32_t limit = 0;
+    };
+    // Entry guard: version of every 64-word physical page covered by the
+    // stitched instruction words. Checked on entry and after every
+    // may_write instruction, replacing the per-step version/version_last
+    // compares for the whole trace.
+    struct VersionGuard {
+      std::uint32_t index = 0;  // addr >> PhysicalMemory::kVersionPageShift
+      std::uint64_t version = 0;
+    };
+
+    Word entry_pc = 0;
+    CpuMode mode = CpuMode::kKernel;
+    std::uint8_t orig_form = 0;  // entry's DirectForm before kFormSbEnter
+    std::uint32_t slot = 0;      // index in superblocks_ (swap-erase fixup)
+    PredecodedInsn* entry = nullptr;
+    std::vector<SuperblockInsn> insns;
+    std::vector<PageGuard> page_guards;
+    std::vector<VersionGuard> version_guards;
+  };
+
+  static constexpr std::uint16_t kSuperblockHeatThreshold = 16;
+  static constexpr std::size_t kSuperblockMaxInsns = 64;
+  static constexpr std::size_t kSuperblockMaxVersionGuards = 16;
+  static constexpr std::size_t kSuperblockMinInsns = 2;
 
   // Cache blocks are allocated lazily per touched code region so clones and
   // non-executing machines pay nothing.
@@ -271,6 +348,18 @@ class Machine {
   // across steps. Step-for-step identical to repeated Step().
   std::size_t RunThreaded(std::size_t max_steps);
 
+  // Statically walks the predicted path from `entry_pc` (a hot taken-branch
+  // target) through the live mapping and memory, and installs a superblock
+  // on `entry` if at least kSuperblockMinInsns direct-form instructions can
+  // be stitched. On failure the entry is left untouched (heat wraps and
+  // retries eventually).
+  void BuildSuperblockAt(Word entry_pc, CpuMode mode, PredecodedInsn& entry);
+  // Tears one superblock down: restores the anchor entry's original form and
+  // swap-erases the registry slot. The Superblock is freed — callers must
+  // not touch it afterwards.
+  void InvalidateSuperblock(Superblock* sb);
+  void InvalidateAllSuperblocks();
+
   IcacheBlock& EnsureIcacheBlock(PhysAddr phys);
 
   MachineConfig config_;
@@ -287,6 +376,12 @@ class Machine {
   bool predecode_enabled_ = true;
   std::uint64_t predecode_hits_ = 0;
   std::uint64_t predecode_misses_ = 0;
+
+  std::vector<std::unique_ptr<Superblock>> superblocks_;
+  bool superblock_enabled_ = true;
+  std::uint64_t superblock_builds_ = 0;
+  std::uint64_t superblock_side_exits_ = 0;
+  std::uint64_t superblock_invalidations_ = 0;
 };
 
 }  // namespace sep

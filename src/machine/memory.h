@@ -151,6 +151,14 @@ class PhysicalMemory {
     return versions_[addr >> kVersionPageShift];
   }
 
+  // Index of `addr`'s version page in the raw table below. The machine's
+  // superblock guards record (index, version) pairs over every page a
+  // stitched trace covers, so one entry check replaces the per-step
+  // version/version_last compares for the whole range.
+  static constexpr std::size_t VersionIndex(PhysAddr addr) {
+    return addr >> kVersionPageShift;
+  }
+
   // Raw version table, indexed by addr >> kVersionPageShift. The table never
   // reallocates after construction, so hot loops may hold the pointer across
   // steps instead of re-walking the vector.

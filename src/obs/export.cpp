@@ -39,6 +39,10 @@ const char* CodeName(Code code) {
       return "net-node-crash";
     case Code::kNetNodeRestore:
       return "net-node-restore";
+    case Code::kSuperblockBuild:
+      return "superblock-build";
+    case Code::kSuperblockInvalidate:
+      return "superblock-invalidate";
   }
   return "unknown";
 }

@@ -67,6 +67,8 @@ enum class Code : std::uint16_t {
   kMachineIrq = 17,       // a0 = device slot (colour = device owner; device-time)
   kPredecodeFill = 18,    // a0 = phys page of the refilled entry
   kPredecodeFlush = 19,   // cache disabled / cleared
+  kSuperblockBuild = 20,      // a0 = entry PC, a1 = trace length (insns)
+  kSuperblockInvalidate = 21, // a0 = entry PC (or count for a bulk flush)
   // checker
   kHeartbeat = 32,        // tick = states interned, a0 = level width (lo16), a1 = depth
   // net

@@ -40,6 +40,17 @@ TEST(CliValidation, Sm11RunRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("sm11run")), 2);  // no program
 }
 
+TEST(CliValidation, Sm11RunValidatesSuperblockFlag) {
+  // Strict on|off: anything else is a usage error, and a missing value must
+  // not silently swallow the program path.
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --superblock yes prog.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --superblock 1 prog.s"), 2);
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --superblock"), 2);
+  // Valid values reach the file loader (exit 1: prog.s does not exist).
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --superblock on prog.s"), 1);
+  EXPECT_EQ(RunTool(Tool("sm11run") + " --superblock off prog.s"), 1);
+}
+
 TEST(CliValidation, SepcheckRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("sepcheck") + " --jobs x --all"), 2);
   EXPECT_EQ(RunTool(Tool("sepcheck") + " --jobs -1 --all"), 2);

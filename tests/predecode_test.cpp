@@ -117,6 +117,34 @@ TEST(PredecodeParity, RunMatchesRepeatedStep) {
   EXPECT_TRUE(batched->halted());
 }
 
+// The same batched-vs-stepped workload swept with superblocks on and off:
+// the superblock layer rides on the predecode cache, so the predecode-only
+// configuration must stay bit-identical to both Step() and the full stack
+// (traps, RTI and all direct forms included via the mixed program).
+TEST(PredecodeParity, RunSweepsSuperblocksOnOff) {
+  auto sb_on = MakeBareMachine();
+  auto sb_off = MakeBareMachine();
+  auto stepped = MakeBareMachine();
+  sb_off->set_superblock_enabled(false);
+  stepped->set_predecode_enabled(false);
+  LoadMixedProgram(*sb_on);
+  LoadMixedProgram(*sb_off);
+  LoadMixedProgram(*stepped);
+  while (!stepped->halted()) {
+    const std::size_t a = sb_on->Run(64);
+    const std::size_t b = sb_off->Run(64);
+    ASSERT_EQ(a, b);
+    for (std::size_t i = 0; i < a; ++i) {
+      stepped->Step();
+    }
+    ASSERT_EQ(sb_on->StateHash(), stepped->StateHash());
+    ASSERT_EQ(sb_off->StateHash(), stepped->StateHash());
+  }
+  EXPECT_TRUE(sb_on->halted());
+  EXPECT_GE(sb_on->superblock_builds(), 1u);
+  EXPECT_EQ(sb_off->superblock_builds(), 0u);
+}
+
 // Self-modifying code: the loop rewrites the instruction ahead of it (an INC
 // becomes a DEC), so a stale cache entry would produce the wrong register
 // value. The page-version check must catch the store.

@@ -238,8 +238,11 @@ int main(int argc, char** argv) {
 
   const double cached = Metric(m1, "BM_InstructionThroughput");
   const double uncached = Metric(m1, "BM_InstructionThroughputNoCache");
+  const double no_superblock = Metric(m1, "BM_InstructionThroughputNoSuperblock");
+  const double insn_storm = Metric(m1, "BM_InstructionThroughputInvalidationStorm");
   const double trace_off = Metric(m1, "BM_KernelizedStepTraceOff");
   const double trace_on = Metric(m1, "BM_KernelizedStepTraceOn");
+  const double kernelized_storm = Metric(m1, "BM_KernelizedStepInvalidationStorm");
   const double ex_serial = Metric(m2, "BM_ExhaustiveCheck");
   const double ex_parallel = Metric(m2, "BM_ExhaustiveCheckParallel");
   const double ex_kernelized = Metric(m2, "BM_ExhaustiveKernelized");
@@ -250,6 +253,16 @@ int main(int argc, char** argv) {
   metrics["insn_throughput_cached_ips"] = cached;
   metrics["insn_throughput_uncached_ips"] = uncached;
   metrics["predecode_speedup"] = cached / uncached;
+  metrics["insn_throughput_nosb_ips"] = no_superblock;
+  // Batched Run with superblocks on vs the same predecoded engine with them
+  // off: the win from hoisting per-instruction entry validation to trace
+  // entry. A dimensionless ratio, so it guards across host speeds.
+  metrics["superblock_speedup"] = cached / no_superblock;
+  // Flush-every-batch throughput: dominated by re-decode and superblock
+  // rebuild cost. Absolute (host-speed-dependent), so unguarded; recorded to
+  // make rebuild-cost regressions visible in the committed history.
+  metrics["insn_throughput_storm_ips"] = insn_storm;
+  metrics["kernelized_step_storm_ips"] = kernelized_storm;
   metrics["kernelized_step_trace_off_ips"] = trace_off;
   metrics["kernelized_step_trace_on_ips"] = trace_on;
   // Kernel-call-dense stepping with tracing compiled in but DISABLED,
@@ -295,7 +308,8 @@ int main(int argc, char** argv) {
   // Parallel-speedup guards are skipped when either the baseline host or
   // this one has a single hardware thread — on such hosts the speedup is
   // honestly <= 1 and says nothing about the design.
-  const std::vector<std::string> guarded = {"predecode_speedup", "exhaustive_states_per_mib",
+  const std::vector<std::string> guarded = {"predecode_speedup", "superblock_speedup",
+                                            "exhaustive_states_per_mib",
                                             "exhaustive_sps_per_mips",
                                             "exhaustive_parallel_speedup",
                                             "exhaustive_steal_speedup",

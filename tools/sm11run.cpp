@@ -43,11 +43,13 @@ struct Options {
   unsigned dump_count = 0;
   std::string trace_path;
   std::string metrics_path;
+  bool superblock = true;
 };
 
 constexpr char kUsage[] =
     "usage: sm11run [--regime] [--steps N] [--dump ADDR COUNT] [--listing]\n"
-    "               [--disasm] [--trace FILE] [--metrics FILE] prog.s\n";
+    "               [--disasm] [--trace FILE] [--metrics FILE]\n"
+    "               [--superblock on|off] prog.s\n";
 
 int UsageError(const char* message, const char* value) {
   std::fprintf(stderr, "sm11run: %s: %s\n%s", message, value, kUsage);
@@ -69,6 +71,7 @@ int RunBare(const sep::AssembledProgram& program, const Options& options) {
   MachineConfig config;
   config.memory_words = 1u << 15;
   Machine machine(config);
+  machine.set_superblock_enabled(options.superblock);
   for (int page = 0; page < 4; ++page) {
     machine.mmu().SetPage(CpuMode::kKernel, page,
                           {static_cast<PhysAddr>(page) * kPageWords, kPageWords,
@@ -137,6 +140,7 @@ int RunRegime(const std::string& source, const Options& options) {
     std::fprintf(stderr, "error: %s\n", system.error().c_str());
     return 1;
   }
+  (*system)->machine().set_superblock_enabled(options.superblock);
   if (!isatty(0)) {
     int c;
     while ((c = std::getchar()) != EOF) {
@@ -195,6 +199,15 @@ int main(int argc, char** argv) {
       options.trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       options.metrics_path = argv[++i];
+    } else if (arg == "--superblock" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "on") {
+        options.superblock = true;
+      } else if (value == "off") {
+        options.superblock = false;
+      } else {
+        return UsageError("--superblock must be 'on' or 'off'", argv[i]);
+      }
     } else if (arg == "--steps" && i + 1 < argc) {
       const std::optional<long long> parsed = sep::ParseInt(argv[++i], 1, 1LL << 40, 0);
       if (!parsed.has_value()) {
