@@ -190,6 +190,14 @@ int SystemBuilder::AddChannel(const std::string& name, int sender, int receiver,
   return static_cast<int>(kernel_config_.channels.size()) - 1;
 }
 
+int SystemBuilder::AddSharedRing(const std::string& name, int producer, int consumer,
+                                 std::uint32_t capacity) {
+  // data_base is assigned at Build() time, once all regime partitions and
+  // the kernel partition have been carved.
+  kernel_config_.shared_rings.push_back(SharedRingConfig{name, producer, consumer, capacity, 0});
+  return static_cast<int>(kernel_config_.shared_rings.size()) - 1;
+}
+
 SystemBuilder& SystemBuilder::CutChannels(bool cut) {
   kernel_config_.cut_channels = cut;
   return *this;
@@ -201,13 +209,19 @@ SystemBuilder& SystemBuilder::WithFaults(const KernelFaults& faults) {
 }
 
 Result<std::unique_ptr<KernelizedSystem>> SystemBuilder::Build() {
-  // The kernel partition is carved after all regime partitions.
+  // The kernel partition is carved after all regime partitions, and shared-
+  // ring data regions after the kernel partition (outside every partition:
+  // reachable only through the MMU windows the kernel programs).
   kernel_config_.kernel_base = next_base_;
   kernel_config_.kernel_words = RequiredKernelWords(kernel_config_);
-  if (kernel_config_.kernel_base + kernel_config_.kernel_words > machine_config_.memory_words) {
+  PhysAddr ring_base = kernel_config_.kernel_base + kernel_config_.kernel_words;
+  for (SharedRingConfig& ring : kernel_config_.shared_rings) {
+    ring.data_base = ring_base;
+    ring_base += ring.capacity;
+  }
+  if (ring_base > machine_config_.memory_words) {
     return Err(Format("partitions exceed physical memory (%u words needed, %zu present)",
-                      kernel_config_.kernel_base + kernel_config_.kernel_words,
-                      machine_config_.memory_words));
+                      ring_base, machine_config_.memory_words));
   }
 
   auto machine = std::make_unique<Machine>(machine_config_);

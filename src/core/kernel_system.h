@@ -91,6 +91,13 @@ class SystemBuilder {
   // Declares a one-directional channel; returns the channel index.
   int AddChannel(const std::string& name, int sender, int receiver, std::uint32_t capacity = 16);
 
+  // Declares a shared-memory ring channel (zero-copy doorbell fabric). The
+  // data region is carved from physical memory at Build() time, after the
+  // kernel partition; capacity must be a power of two in [8, 8192]. Returns
+  // the ring index.
+  int AddSharedRing(const std::string& name, int producer, int consumer,
+                    std::uint32_t capacity = 256);
+
   SystemBuilder& CutChannels(bool cut);
   SystemBuilder& WithFaults(const KernelFaults& faults);
 

@@ -21,6 +21,7 @@ std::uint32_t RequiredKernelWords(const KernelConfig& config) {
   for (const ChannelConfig& channel : config.channels) {
     words += ChannelStride(channel);
   }
+  words += static_cast<std::uint32_t>(config.shared_rings.size()) * kSharedRingCtlStride;
   return words;
 }
 
@@ -34,6 +35,15 @@ std::uint32_t ChannelRingOffset(const KernelConfig& config, int index, int which
     offset += 2 + config.channels[index].capacity;
   }
   return offset;
+}
+
+std::uint32_t SharedRingCtlOffset(const KernelConfig& config, int index) {
+  std::uint32_t offset =
+      kSaveAreaBase + static_cast<std::uint32_t>(config.regimes.size()) * kSaveAreaStride;
+  for (const ChannelConfig& channel : config.channels) {
+    offset += ChannelStride(channel);
+  }
+  return offset + static_cast<std::uint32_t>(index) * kSharedRingCtlStride;
 }
 
 Result<> ValidateConfig(const KernelConfig& config, std::size_t memory_words, int device_count) {
@@ -56,6 +66,9 @@ Result<> ValidateConfig(const KernelConfig& config, std::size_t memory_words, in
   };
   std::vector<Extent> extents;
   extents.push_back({config.kernel_base, config.kernel_words, "kernel"});
+  for (const SharedRingConfig& ring : config.shared_rings) {
+    extents.push_back({ring.data_base, ring.capacity, "ring " + ring.name});
+  }
   for (const RegimeConfig& regime : config.regimes) {
     if (regime.mem_words == 0) {
       return Err("regime " + regime.name + " has an empty partition");
@@ -117,6 +130,40 @@ Result<> ValidateConfig(const KernelConfig& config, std::size_t memory_words, in
     }
     if (channel.capacity == 0 || channel.capacity > 4096) {
       return Err("channel " + channel.name + " has unreasonable capacity");
+    }
+  }
+
+  // Shared rings: distinct endpoints, power-of-two capacity, bounded window
+  // and doorbell budgets per regime.
+  std::vector<int> windows(config.regimes.size(), 0);
+  std::vector<int> doorbells(config.regimes.size(), 0);
+  for (const SharedRingConfig& ring : config.shared_rings) {
+    if (ring.producer < 0 || ring.producer >= static_cast<int>(config.regimes.size()) ||
+        ring.consumer < 0 || ring.consumer >= static_cast<int>(config.regimes.size())) {
+      return Err("shared ring " + ring.name + " has an out-of-range endpoint");
+    }
+    if (ring.producer == ring.consumer) {
+      return Err("shared ring " + ring.name + " connects a regime to itself");
+    }
+    if (ring.capacity < 8 || ring.capacity > kPageWords ||
+        (ring.capacity & (ring.capacity - 1)) != 0) {
+      return Err("shared ring " + ring.name +
+                 " capacity must be a power of two in [8, 8192]");
+    }
+    ++windows[static_cast<std::size_t>(ring.producer)];
+    ++windows[static_cast<std::size_t>(ring.consumer)];
+    ++doorbells[static_cast<std::size_t>(ring.consumer)];
+  }
+  for (std::size_t r = 0; r < config.regimes.size(); ++r) {
+    if (windows[r] > kMaxSharedRingsPerRegime) {
+      return Err("regime " + config.regimes[r].name + " maps too many shared-ring windows");
+    }
+    // Doorbell lines are numbered after the regime's local devices and share
+    // the pending mask / vector slots with them.
+    if (config.regimes[r].device_slots.size() + static_cast<std::size_t>(doorbells[r]) >
+        kMaxDevicesPerRegime) {
+      return Err("regime " + config.regimes[r].name +
+                 " has too many devices + ring doorbells");
     }
   }
   return Ok();

@@ -34,6 +34,25 @@ struct ChannelConfig {
   std::uint32_t capacity = 16;  // words buffered in the kernel partition
 };
 
+// A shared-memory ring channel: a producer/consumer data ring living in its
+// own physical region OUTSIDE both partitions, mapped read-write into the
+// producer's address space and read-only into the consumer's. The head/tail
+// indices live in kernel-owned words (the regimes cannot touch them); a
+// RINGPUT that takes the ring from empty to non-empty raises the consumer's
+// doorbell interrupt line. This is the paper's "explicit communication line"
+// scaled to bulk traffic: the payload never crosses a trap boundary.
+struct SharedRingConfig {
+  std::string name;
+  int producer = -1;  // regime index; maps the data window read-write
+  int consumer = -1;  // regime index; maps the data window read-only
+  // Data words in the ring. Power of two, 8..8192, so slot arithmetic is a
+  // mask and one MMU page can map the whole window.
+  std::uint32_t capacity = 256;
+  // Physical base of the data region; carved by SystemBuilder outside every
+  // partition (including the kernel's).
+  PhysAddr data_base = 0;
+};
+
 // Deliberate defects, injectable for checker-validation experiments (E3).
 // A production build would not carry these; here they are the ground truth
 // for "does Proof of Separability actually detect insecurity?".
@@ -68,6 +87,7 @@ struct KernelConfig {
   std::uint32_t kernel_words = 0;  // partition length
   std::vector<RegimeConfig> regimes;
   std::vector<ChannelConfig> channels;
+  std::vector<SharedRingConfig> shared_rings;
   // When true, every channel is "cut" in the paper's Section 4 sense: the
   // sender's references go to one ring (X1) and the receiver's to another
   // (X2). The kernel code paths are textually identical; only the aliasing
@@ -123,15 +143,70 @@ inline constexpr std::uint16_t kCallAwait = 6;   // suspend until an owned inter
 inline constexpr std::uint16_t kCallHalt = 7;    // regime is finished
 inline constexpr std::uint16_t kCallGetId = 8;   // -> R0 = own regime index
 
+// Batched scatter-gather channel calls. R0=channel, R1=descriptor table
+// vaddr (pairs of [addr, len] in the caller's partition), R2=descriptor
+// count. One RingIntact validation per batch, one header update per batch.
+// SENDV is all-or-nothing: R0 = words sent (0 when the ring lacks space for
+// the whole batch — a counted backpressure stall). RECVV scatters up to the
+// descriptors' total and returns R0 = words received (partial is fine).
+inline constexpr std::uint16_t kCallSendv = 9;
+inline constexpr std::uint16_t kCallRecvv = 10;
+// Shared-ring doorbell calls. RINGPUT: R0=ring, R1=words published (the
+// producer has already written them into the mapped window at its mirrored
+// tail) -> R0=1, or 0 when free space is insufficient (counted stall); the
+// empty->non-empty transition raises the consumer's doorbell line. RINGGET:
+// R0=ring, R1=words released by the consumer -> R0=1 (over-release is a
+// regime fault); draining the ring clears the doorbell pending bit.
+// RINGSTAT: R0=ring -> R0=occupancy, R1=free space, R2=high-watermark
+// (RINGSTAT is the one kernel call that clobbers R2).
+inline constexpr std::uint16_t kCallRingPut = 11;
+inline constexpr std::uint16_t kCallRingGet = 12;
+inline constexpr std::uint16_t kCallRingStat = 13;
+
+// Bounds of one SENDV/RECVV batch: at most this many payload words and
+// descriptor pairs per trap. Keeps the kernel's per-call work bounded, like
+// every other SUE call.
+inline constexpr std::uint32_t kMaxBatchWords = 64;
+inline constexpr std::uint32_t kMaxBatchDescriptors = 8;
+
+// Shared-ring kernel control words, appended after the channel ring area
+// (absent entirely when no shared rings are configured, so classic layouts
+// are bit-identical). Per ring: head, tail, high-watermark, one reserved
+// word. head/tail are free-running 16-bit counters — occupancy is
+// Word(tail - head), the slot of logical index i is i & (capacity - 1) —
+// so a full ring (occupancy == capacity) is never ambiguous with empty.
+inline constexpr std::uint32_t kSharedRingCtlStride = 4;
+inline constexpr std::uint32_t kSharedRingHead = 0;
+inline constexpr std::uint32_t kSharedRingTail = 1;
+inline constexpr std::uint32_t kSharedRingWatermark = 2;
+
+// MMU placement of shared-ring data windows: a regime's j-th ring window
+// (in shared_rings declaration order, producer or consumer end) occupies
+// page kSharedRingPageBase + j. Pages 0 (partition) and 7 (devices) stay as
+// before; at most kMaxSharedRingsPerRegime windows per regime.
+inline constexpr int kSharedRingPageBase = 4;
+inline constexpr int kMaxSharedRingsPerRegime = 3;
+
+// Doorbell interrupt lines share the regime's pending mask and vector slots
+// with its devices: ring doorbells are numbered after the last local device,
+// so device_slots.size() + consumer-ring count must stay <= kMaxDevicesPerRegime.
+
 // Number of kernel-partition words the given configuration needs; the
 // channel area begins after the save areas, each channel occupying two
-// rings of (2 + capacity) words (head, count, data...).
+// rings of (2 + capacity) words (head, count, data...), followed by
+// kSharedRingCtlStride control words per shared ring.
 std::uint32_t RequiredKernelWords(const KernelConfig& config);
 
 // Word offset (from kernel_base) of channel `index`'s ring `which` (0 = X1 /
 // sender end, 1 = X2 / receiver end). With cut_channels == false both ends
 // alias ring 0 — the paper's shared object X.
 std::uint32_t ChannelRingOffset(const KernelConfig& config, int index, int which);
+
+// Word offset (from kernel_base) of shared ring `index`'s control words.
+std::uint32_t SharedRingCtlOffset(const KernelConfig& config, int index);
+
+// Virtual base address of MMU page `page` (13-bit page offsets).
+inline constexpr VirtAddr PageVBase(int page) { return static_cast<VirtAddr>(page) << 13; }
 
 // Structural validation: bounds, overlaps, device contiguity, endpoints.
 // `memory_words`/`device_count` describe the machine this will run on.

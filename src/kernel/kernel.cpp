@@ -19,6 +19,7 @@ struct KernelCounters {
   obs::Counter& irq_delivers = obs::Metrics().GetCounter("kernel.irq_delivers");
   obs::Counter& faults = obs::Metrics().GetCounter("kernel.faults");
   obs::Counter& mmu_remaps = obs::Metrics().GetCounter("kernel.mmu_remaps");
+  obs::Counter& channel_stalls = obs::Metrics().GetCounter("kernel.channel_stall");
 };
 
 KernelCounters& Counters() {
@@ -61,7 +62,12 @@ Result<> SeparationKernel::Boot() {
     SaveWrite(static_cast<int>(r), kSavePsw, psw.bits());
   }
 
-  // Channel ring headers are already zero (head = 0, count = 0).
+  // Channel ring headers are already zero (head = 0, count = 0), as are the
+  // shared-ring control words. Zero the shared-ring data windows too: they
+  // live outside the kernel partition.
+  for (const SharedRingConfig& ring : config_.shared_rings) {
+    machine_.memory().Fill(ring.data_base, ring.capacity, 0);
+  }
 
   machine_.mmu().DisableAll(CpuMode::kKernel);
   machine_.set_client(this);
@@ -97,6 +103,39 @@ bool SeparationKernel::AllRegimesHalted() const {
 
 Word SeparationKernel::ChannelCount(int channel, int end) const {
   return KRead(ChannelRingOffset(config_, channel, end) + 1);
+}
+
+Word SeparationKernel::SharedRingOccupancy(int ring) const {
+  const std::uint32_t ctl = SharedRingCtlOffset(config_, ring);
+  return static_cast<Word>(KRead(ctl + kSharedRingTail) - KRead(ctl + kSharedRingHead));
+}
+
+Word SeparationKernel::SharedRingWatermark(int ring) const {
+  return KRead(SharedRingCtlOffset(config_, ring) + kSharedRingWatermark);
+}
+
+int SeparationKernel::DoorbellLine(int regime, int ring) const {
+  int ordinal = 0;
+  for (std::size_t i = 0; i < config_.shared_rings.size(); ++i) {
+    if (config_.shared_rings[i].consumer != regime) {
+      continue;
+    }
+    if (static_cast<int>(i) == ring) {
+      return static_cast<int>(
+                 config_.regimes[static_cast<std::size_t>(regime)].device_slots.size()) +
+             ordinal;
+    }
+    ++ordinal;
+  }
+  return -1;
+}
+
+int SeparationKernel::DoorbellLineCount(int regime) const {
+  int count = 0;
+  for (const SharedRingConfig& ring : config_.shared_rings) {
+    count += ring.consumer == regime ? 1 : 0;
+  }
+  return count;
 }
 
 int SeparationKernel::DeviceOwner(int slot) const {
@@ -163,6 +202,21 @@ void SeparationKernel::ProgramMmuFor(int regime) {
     const std::uint32_t span =
         static_cast<std::uint32_t>(rc.device_slots.size()) * kDeviceRegSpan;
     mmu.SetPage(CpuMode::kUser, 7, {base, span, PageAccess::kReadWrite});
+  }
+  // Shared-ring data windows: the regime's j-th ring (declaration order,
+  // either end) on page kSharedRingPageBase + j — read-write for the
+  // producer, read-only for the consumer. Head/tail never appear here; only
+  // the kernel can move them.
+  int window = 0;
+  for (const SharedRingConfig& ring : config_.shared_rings) {
+    const bool producer = ring.producer == regime;
+    if (!producer && ring.consumer != regime) {
+      continue;
+    }
+    mmu.SetPage(CpuMode::kUser, kSharedRingPageBase + window,
+                {ring.data_base, ring.capacity,
+                 producer ? PageAccess::kReadWrite : PageAccess::kReadOnly});
+    ++window;
   }
   if (config_.faults.shared_mmu_window && regime != 0) {
     // Injected defect: a read window onto regime 0's partition.
@@ -440,6 +494,21 @@ void SeparationKernel::OnTrap(const TrapInfo& info) {
     case kCallGetId:
       CallGetId();
       return;
+    case kCallSendv:
+      CallSendv();
+      return;
+    case kCallRecvv:
+      CallRecvv();
+      return;
+    case kCallRingPut:
+      CallRingPut();
+      return;
+    case kCallRingGet:
+      CallRingGet();
+      return;
+    case kCallRingStat:
+      CallRingStat();
+      return;
     default:
       FaultRegime(Format("unknown kernel call %u", info.code));
       return;
@@ -470,6 +539,9 @@ std::uint32_t SeparationKernel::RingBase(int channel, int end) const {
 }
 
 bool SeparationKernel::RingPush(std::uint32_t ring_base, std::uint32_t capacity, Word value) {
+  if (capacity == 0) {
+    return false;  // defensive: a zero-capacity ring has no slot arithmetic
+  }
   const Word head = KRead(ring_base);
   const Word count = KRead(ring_base + 1);
   if (count >= capacity) {
@@ -481,12 +553,18 @@ bool SeparationKernel::RingPush(std::uint32_t ring_base, std::uint32_t capacity,
 }
 
 bool SeparationKernel::RingIntact(std::uint32_t ring_base, std::uint32_t capacity) const {
+  if (capacity == 0) {
+    return false;  // nothing about a zero-capacity ring can be trusted
+  }
   const Word head = KRead(ring_base);
   const Word count = KRead(ring_base + 1);
   return head < capacity && count <= capacity;
 }
 
 bool SeparationKernel::RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value) {
+  if (capacity == 0) {
+    return false;  // defensive: never reached behind a RingIntact check
+  }
   const Word head = KRead(ring_base);
   const Word count = KRead(ring_base + 1);
   if (count == 0) {
@@ -496,6 +574,36 @@ bool SeparationKernel::RingPop(std::uint32_t ring_base, std::uint32_t capacity, 
   KWrite(ring_base, static_cast<Word>((head + 1) % capacity));
   KWrite(ring_base + 1, static_cast<Word>(count - 1));
   return true;
+}
+
+void SeparationKernel::RingPushBatch(std::uint32_t ring_base, std::uint32_t capacity,
+                                     const std::vector<Word>& words) {
+  const std::uint32_t head = KRead(ring_base);
+  const std::uint32_t count = KRead(ring_base + 1);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    KWrite(ring_base + 2 + (head + count + static_cast<std::uint32_t>(i)) % capacity,
+           words[i]);
+  }
+  KWrite(ring_base + 1, static_cast<Word>(count + words.size()));
+}
+
+void SeparationKernel::RingPopBatch(std::uint32_t ring_base, std::uint32_t capacity,
+                                    std::uint32_t n, std::vector<Word>& out) {
+  const std::uint32_t head = KRead(ring_base);
+  const std::uint32_t count = KRead(ring_base + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(KRead(ring_base + 2 + (head + i) % capacity));
+  }
+  KWrite(ring_base, static_cast<Word>((head + n) % capacity));
+  KWrite(ring_base + 1, static_cast<Word>(count - n));
+}
+
+void SeparationKernel::NoteChannelStall(Word id, Word requested) {
+  if (obs::Enabled()) {
+    obs::Emit(obs::Category::kKernel, obs::Code::kChannelStall, CurrentRegime(),
+              machine_.tick(), id, requested);
+    Counters().channel_stalls.Add();
+  }
 }
 
 void SeparationKernel::CallSend() {
@@ -516,7 +624,11 @@ void SeparationKernel::CallSend() {
     FaultRegime(Format("SEND found channel %d ring corrupted", target));
     return;
   }
-  cpu.regs[0] = RingPush(RingBase(target, 0), cap, cpu.regs[1]) ? 1 : 0;
+  const bool pushed = RingPush(RingBase(target, 0), cap, cpu.regs[1]);
+  if (!pushed) {
+    NoteChannelStall(static_cast<Word>(channel), 1);
+  }
+  cpu.regs[0] = pushed ? 1 : 0;
 }
 
 void SeparationKernel::CallRecv() {
@@ -570,7 +682,11 @@ void SeparationKernel::CallSetVec() {
   const int cur = CurrentRegime();
   CpuState& cpu = machine_.cpu();
   const Word local = cpu.regs[0];
-  if (local >= config_.regimes[static_cast<std::size_t>(cur)].device_slots.size()) {
+  // Legal lines: the regime's local devices, then its ring doorbells.
+  const std::size_t lines =
+      config_.regimes[static_cast<std::size_t>(cur)].device_slots.size() +
+      static_cast<std::size_t>(DoorbellLineCount(cur));
+  if (local >= lines) {
     FaultRegime(Format("SETVEC for nonexistent local device %u", local));
     return;
   }
@@ -642,6 +758,228 @@ void SeparationKernel::CallHaltRegime() {
 }
 
 void SeparationKernel::CallGetId() { machine_.cpu().regs[0] = CurrentRegime(); }
+
+// --- batched channel fabric ---------------------------------------------------
+
+bool SeparationKernel::ReadSgDescriptors(int regime, std::vector<SgExtent>& out,
+                                         std::uint32_t* total) {
+  const CpuState& cpu = machine_.cpu();
+  const RegimeConfig& rc = config_.regimes[static_cast<std::size_t>(regime)];
+  const Word table = cpu.regs[1];
+  const Word n = cpu.regs[2];
+  if (n == 0 || n > kMaxBatchDescriptors) {
+    FaultRegime(Format("scatter-gather descriptor count %u out of range", n));
+    return false;
+  }
+  if (static_cast<std::uint32_t>(table) + 2u * n > rc.mem_words) {
+    FaultRegime(Format("descriptor table %04X outside partition", table));
+    return false;
+  }
+  *total = 0;
+  for (Word i = 0; i < n; ++i) {
+    const Word addr = machine_.PhysRead(rc.mem_base + table + 2u * i);
+    const Word len = machine_.PhysRead(rc.mem_base + table + 2u * i + 1);
+    if (len == 0) {
+      FaultRegime(Format("zero-length scatter-gather descriptor %u", i));
+      return false;
+    }
+    if (static_cast<std::uint32_t>(addr) + len > rc.mem_words) {
+      FaultRegime(Format("scatter-gather payload %04X+%u outside partition", addr, len));
+      return false;
+    }
+    *total += len;
+    if (*total > kMaxBatchWords) {
+      FaultRegime(Format("scatter-gather batch exceeds %u words", kMaxBatchWords));
+      return false;
+    }
+    out.push_back({rc.mem_base + addr, len});
+  }
+  return true;
+}
+
+void SeparationKernel::CallSendv() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int channel = cpu.regs[0];
+  if (channel >= static_cast<int>(config_.channels.size()) ||
+      config_.channels[static_cast<std::size_t>(channel)].sender != cur) {
+    FaultRegime(Format("SENDV on channel %d not owned as sender", channel));
+    return;
+  }
+  std::vector<SgExtent> extents;
+  std::uint32_t total = 0;
+  if (!ReadSgDescriptors(cur, extents, &total)) {
+    return;  // already faulted
+  }
+  int target = channel;
+  if (config_.faults.misroute_channels && config_.channels.size() > 1) {
+    target = (channel + 1) % static_cast<int>(config_.channels.size());
+  }
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(target)].capacity;
+  const std::uint32_t base = RingBase(target, 0);
+  // ONE intactness validation and one header read cover the whole batch.
+  if (!RingIntact(base, cap)) {
+    FaultRegime(Format("SENDV found channel %d ring corrupted", target));
+    return;
+  }
+  const Word count = KRead(base + 1);
+  if (static_cast<std::uint32_t>(count) + total > cap) {
+    // All-or-nothing: a batch that does not fit is a backpressure stall, not
+    // a partial transfer — the caller retries the whole batch.
+    NoteChannelStall(static_cast<Word>(channel), static_cast<Word>(total));
+    cpu.regs[0] = 0;
+    return;
+  }
+  std::vector<Word> words;
+  words.reserve(total);
+  for (const SgExtent& extent : extents) {
+    for (std::uint32_t i = 0; i < extent.words; ++i) {
+      words.push_back(machine_.PhysRead(extent.base + i));
+    }
+  }
+  RingPushBatch(base, cap, words);
+  cpu.regs[0] = static_cast<Word>(total);
+}
+
+void SeparationKernel::CallRecvv() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int channel = cpu.regs[0];
+  if (channel >= static_cast<int>(config_.channels.size()) ||
+      config_.channels[static_cast<std::size_t>(channel)].receiver != cur) {
+    FaultRegime(Format("RECVV on channel %d not owned as receiver", channel));
+    return;
+  }
+  std::vector<SgExtent> extents;
+  std::uint32_t total = 0;
+  if (!ReadSgDescriptors(cur, extents, &total)) {
+    return;  // already faulted
+  }
+  const std::uint32_t cap = config_.channels[static_cast<std::size_t>(channel)].capacity;
+  const std::uint32_t base = RingBase(channel, 1);
+  if (!RingIntact(base, cap)) {
+    FaultRegime(Format("RECVV found channel %d ring corrupted", channel));
+    return;
+  }
+  const Word count = KRead(base + 1);
+  const std::uint32_t n = count < total ? count : total;
+  std::vector<Word> words;
+  words.reserve(n);
+  RingPopBatch(base, cap, n, words);
+  std::size_t w = 0;
+  for (const SgExtent& extent : extents) {
+    for (std::uint32_t i = 0; i < extent.words && w < words.size(); ++i) {
+      machine_.PhysWrite(extent.base + i, words[w++]);
+    }
+  }
+  cpu.regs[0] = static_cast<Word>(n);
+}
+
+void SeparationKernel::CallRingPut() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int ring = cpu.regs[0];
+  if (ring >= static_cast<int>(config_.shared_rings.size()) ||
+      config_.shared_rings[static_cast<std::size_t>(ring)].producer != cur) {
+    FaultRegime(Format("RINGPUT on ring %d not owned as producer", ring));
+    return;
+  }
+  const SharedRingConfig& rc = config_.shared_rings[static_cast<std::size_t>(ring)];
+  const std::uint32_t ctl = SharedRingCtlOffset(config_, ring);
+  const Word head = KRead(ctl + kSharedRingHead);
+  const Word tail = KRead(ctl + kSharedRingTail);
+  const std::uint32_t occupancy = static_cast<Word>(tail - head);
+  if (occupancy > rc.capacity) {
+    FaultRegime(Format("RINGPUT found ring %d indices corrupted", ring));
+    return;
+  }
+  const Word n = cpu.regs[1];
+  if (n == 0 || n > rc.capacity) {
+    FaultRegime(Format("RINGPUT of %u words on ring %d", n, ring));
+    return;
+  }
+  if (occupancy + n > rc.capacity) {
+    NoteChannelStall(static_cast<Word>(0x8000 | ring), n);
+    cpu.regs[0] = 0;
+    return;
+  }
+  KWrite(ctl + kSharedRingTail, static_cast<Word>(tail + n));
+  const Word after = static_cast<Word>(occupancy + n);
+  if (after > KRead(ctl + kSharedRingWatermark)) {
+    KWrite(ctl + kSharedRingWatermark, after);
+  }
+  cpu.regs[0] = 1;
+  if (occupancy == 0) {
+    // Empty -> non-empty: raise the consumer's doorbell line. Delivery stays
+    // anchored to the CONSUMER's own execution (its AWAIT return, its RETI
+    // chain, its resume from dispatch), exactly like a device interrupt.
+    const int line = DoorbellLine(rc.consumer, ring);
+    SaveWrite(rc.consumer, kSavePending,
+              static_cast<Word>(SaveRead(rc.consumer, kSavePending) | (1u << line)));
+  }
+}
+
+void SeparationKernel::CallRingGet() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int ring = cpu.regs[0];
+  if (ring >= static_cast<int>(config_.shared_rings.size()) ||
+      config_.shared_rings[static_cast<std::size_t>(ring)].consumer != cur) {
+    FaultRegime(Format("RINGGET on ring %d not owned as consumer", ring));
+    return;
+  }
+  const SharedRingConfig& rc = config_.shared_rings[static_cast<std::size_t>(ring)];
+  const std::uint32_t ctl = SharedRingCtlOffset(config_, ring);
+  const Word head = KRead(ctl + kSharedRingHead);
+  const Word tail = KRead(ctl + kSharedRingTail);
+  const std::uint32_t occupancy = static_cast<Word>(tail - head);
+  if (occupancy > rc.capacity) {
+    FaultRegime(Format("RINGGET found ring %d indices corrupted", ring));
+    return;
+  }
+  const Word n = cpu.regs[1];
+  if (n == 0 || n > occupancy) {
+    // Releasing words that were never published would let the consumer walk
+    // head past tail — a protocol violation, not flow control.
+    FaultRegime(Format("RINGGET releasing %u of %u words on ring %d", n,
+                       static_cast<unsigned>(occupancy), ring));
+    return;
+  }
+  KWrite(ctl + kSharedRingHead, static_cast<Word>(head + n));
+  cpu.regs[0] = 1;
+  if (n == occupancy) {
+    // Drained: lower the doorbell so the next publish re-raises it on its
+    // empty -> non-empty edge.
+    const int line = DoorbellLine(cur, ring);
+    SaveWrite(cur, kSavePending,
+              static_cast<Word>(SaveRead(cur, kSavePending) & ~(1u << line)));
+  }
+}
+
+void SeparationKernel::CallRingStat() {
+  const int cur = CurrentRegime();
+  CpuState& cpu = machine_.cpu();
+  const int ring = cpu.regs[0];
+  if (ring >= static_cast<int>(config_.shared_rings.size())) {
+    FaultRegime(Format("RINGSTAT on nonexistent ring %d", ring));
+    return;
+  }
+  const SharedRingConfig& rc = config_.shared_rings[static_cast<std::size_t>(ring)];
+  if (rc.producer != cur && rc.consumer != cur) {
+    FaultRegime(Format("RINGSTAT on ring %d without endpoint rights", ring));
+    return;
+  }
+  const std::uint32_t ctl = SharedRingCtlOffset(config_, ring);
+  const std::uint32_t occupancy =
+      static_cast<Word>(KRead(ctl + kSharedRingTail) - KRead(ctl + kSharedRingHead));
+  if (occupancy > rc.capacity) {
+    FaultRegime(Format("RINGSTAT found ring %d indices corrupted", ring));
+    return;
+  }
+  cpu.regs[0] = static_cast<Word>(occupancy);
+  cpu.regs[1] = static_cast<Word>(rc.capacity - occupancy);
+  cpu.regs[2] = KRead(ctl + kSharedRingWatermark);
+}
 
 // --- checker support ----------------------------------------------------------
 
@@ -716,6 +1054,26 @@ std::vector<Word> SeparationKernel::AbstractProjection(int colour) const {
       AppendRingLogical(static_cast<int>(i), 1, out);
     }
   }
+
+  // 6. Shared rings the regime maps. The whole data window is in BOTH
+  // endpoints' views (the producer maps it read-write, the consumer
+  // read-only over every slot), as are the kernel-owned indices and the
+  // watermark RINGSTAT surfaces. Like an uncut classic channel, a shared
+  // ring is a deliberate shared object: the wire-cutting discipline, not the
+  // perturbation argument, is what discharges it.
+  for (std::size_t i = 0; i < config_.shared_rings.size(); ++i) {
+    const SharedRingConfig& ring = config_.shared_rings[i];
+    if (ring.producer != colour && ring.consumer != colour) {
+      continue;
+    }
+    const std::uint32_t ctl = SharedRingCtlOffset(config_, static_cast<int>(i));
+    out.push_back(KRead(ctl + kSharedRingHead));
+    out.push_back(KRead(ctl + kSharedRingTail));
+    out.push_back(KRead(ctl + kSharedRingWatermark));
+    for (std::uint32_t k = 0; k < ring.capacity; ++k) {
+      out.push_back(machine_.PhysRead(ring.data_base + k));
+    }
+  }
   return out;
 }
 
@@ -747,7 +1105,11 @@ void SeparationKernel::PerturbNonColour(int colour, Rng& rng) {
               static_cast<Word>((rng.Next() & 0x00FF) | 0x8000));
     SaveWrite(static_cast<int>(r), kSaveFlags, static_cast<Word>(rng.Next() & 0xF));
     SaveWrite(static_cast<int>(r), kSavePending,
-              static_cast<Word>(rng.Next() & ((1u << rc.device_slots.size()) - 1)));
+              static_cast<Word>(rng.Next() &
+                                ((1u << (rc.device_slots.size() +
+                                         static_cast<std::size_t>(DoorbellLineCount(
+                                             static_cast<int>(r))))) -
+                                 1)));
     for (std::uint32_t d = 0; d < kMaxDevicesPerRegime; ++d) {
       SaveWrite(static_cast<int>(r), kSaveVectors + d,
                 static_cast<Word>(rng.NextBelow(rc.mem_words)));
@@ -770,6 +1132,25 @@ void SeparationKernel::PerturbNonColour(int colour, Rng& rng) {
       }
     } else if (!mine) {
       PerturbRing(static_cast<int>(i), 0, rng);
+    }
+  }
+
+  // Shared rings touching neither endpoint == colour are entirely outside
+  // the colour's view: randomize indices (keeping occupancy <= capacity, the
+  // representation invariant) and the whole data window.
+  for (std::size_t i = 0; i < config_.shared_rings.size(); ++i) {
+    const SharedRingConfig& ring = config_.shared_rings[i];
+    if (ring.producer == colour || ring.consumer == colour) {
+      continue;
+    }
+    const std::uint32_t ctl = SharedRingCtlOffset(config_, static_cast<int>(i));
+    const Word head = static_cast<Word>(rng.Next() & 0xFFFF);
+    KWrite(ctl + kSharedRingHead, head);
+    KWrite(ctl + kSharedRingTail,
+           static_cast<Word>(head + rng.NextBelow(ring.capacity + 1)));
+    KWrite(ctl + kSharedRingWatermark, static_cast<Word>(rng.NextBelow(ring.capacity + 1)));
+    for (std::uint32_t k = 0; k < ring.capacity; ++k) {
+      machine_.PhysWrite(ring.data_base + k, static_cast<Word>(rng.Next() & 0xFFFF));
     }
   }
 

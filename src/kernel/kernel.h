@@ -88,12 +88,16 @@ class SeparationKernel : public MachineClient {
   // Channel occupancy of the ring the given end uses (0 = sender, 1 = recv).
   Word ChannelCount(int channel, int end) const;
 
+  // Shared-ring occupancy / high-watermark (kernel control words).
+  Word SharedRingOccupancy(int ring) const;
+  Word SharedRingWatermark(int ring) const;
+
   // Owner regime of a machine device slot, or -1.
   int DeviceOwner(int slot) const;
 
   // Number of distinct kernel entry points (trap codes + interrupt + fault
   // paths); reported by the kernel-size experiment E10.
-  static int EntryPointCount() { return 9 + 3; }
+  static int EntryPointCount() { return 14 + 3; }
 
   // True when the current regime has deferred kernel work (AWAIT completion
   // or delivery of an interrupt that arrived while it was switched out).
@@ -172,16 +176,53 @@ class SeparationKernel : public MachineClient {
   void CallAwait();
   void CallHaltRegime();
   void CallGetId();
+  void CallSendv();
+  void CallRecvv();
+  void CallRingPut();
+  void CallRingGet();
+  void CallRingStat();
   void FaultRegime(const std::string& reason);
+
+  // Backpressure accounting: a send-side operation found its channel/ring
+  // without room. Observability only (counter + trace event, never machine
+  // state): the stall is the caller's own observation — R0 = 0 — so it needs
+  // no kernel-partition word and cannot disturb any other colour's view.
+  // Event a0 is the channel id (0x8000 | ring for shared rings), a1 the
+  // requested word count.
+  void NoteChannelStall(Word id, Word requested);
 
   // Channel ring helpers (operate on kernel partition words).
   std::uint32_t RingBase(int channel, int end) const;
   bool RingPush(std::uint32_t ring_base, std::uint32_t capacity, Word value);
   bool RingPop(std::uint32_t ring_base, std::uint32_t capacity, Word* value);
+  // Batched variants: read the header once, move `words.size()` (or `n`)
+  // payload words, write the header once. The caller has already verified
+  // RingIntact and that the batch fits (push) / is available (pop).
+  void RingPushBatch(std::uint32_t ring_base, std::uint32_t capacity,
+                     const std::vector<Word>& words);
+  void RingPopBatch(std::uint32_t ring_base, std::uint32_t capacity, std::uint32_t n,
+                    std::vector<Word>& out);
   // Representation invariant of a ring header: head < capacity and
-  // count <= capacity. Violated only by memory corruption; every kernel
-  // call that consults a ring verifies this before trusting it.
+  // count <= capacity (and capacity itself non-zero, so slot arithmetic is
+  // total). Violated only by memory corruption; every kernel call that
+  // consults a ring verifies this before trusting it.
   bool RingIntact(std::uint32_t ring_base, std::uint32_t capacity) const;
+
+  // Reads R2 scatter-gather descriptors at regime vaddr R1 and resolves them
+  // to physical extents inside the caller's partition. Returns false (after
+  // faulting the regime) on any malformed table: bad count, table or payload
+  // outside the partition, zero-length entry, batch above kMaxBatchWords.
+  struct SgExtent {
+    PhysAddr base;
+    std::uint32_t words;
+  };
+  bool ReadSgDescriptors(int regime, std::vector<SgExtent>& out, std::uint32_t* total);
+
+  // Shared-ring doorbell bookkeeping. A regime's windows are numbered in
+  // shared_rings declaration order (producer or consumer end); a consumer's
+  // doorbell line is device_slots.size() + its consumer-ordinal.
+  int DoorbellLine(int regime, int ring) const;
+  int DoorbellLineCount(int regime) const;
 
   int LocalDeviceIndex(int regime, int slot) const;
 

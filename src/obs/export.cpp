@@ -19,6 +19,8 @@ const char* CodeName(Code code) {
       return "dispatch";
     case Code::kMmuRemap:
       return "mmu-remap";
+    case Code::kChannelStall:
+      return "channel-stall";
     case Code::kMachineTrap:
       return "machine-trap";
     case Code::kMachineIrq:

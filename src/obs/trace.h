@@ -62,6 +62,13 @@ enum class Code : std::uint16_t {
   kIrqForward = 3,    // a0 = local device index (colour = owner; device-time)
   kDispatch = 4,      // a0 = incoming regime (kColourKernel)
   kMmuRemap = 5,      // a0 = regime whose mapping was programmed (kColourKernel)
+  // Backpressure: a send-side call found its channel/ring without room.
+  // Colour-tagged with the stalled sender for profiling but NOT colour-
+  // observable: the caller already sees the stall in R0 = 0, and occupancy
+  // depends on the peer's drain rate — putting it in the canonical view
+  // would re-introduce the very interleaving-dependence Φ^c removes.
+  kChannelStall = 6,  // a0 = channel id (0x8000|ring for shared rings), a1 = words
+
   // machine
   kMachineTrap = 16,      // a0 = TrapInfo kind, a1 = code/fault addr
   kMachineIrq = 17,       // a0 = device slot (colour = device owner; device-time)

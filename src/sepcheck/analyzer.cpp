@@ -43,7 +43,9 @@ enum Site {
   kSiteTrapRegisterSave = 4,
   kSiteControl = 5,
   kSiteSetvec = 6,
+  kSiteSgTable = 7,
   kSiteChannelBase = 100,
+  kSiteRingBase = 200,
 };
 
 // Comparison predicate between the two CMP sides (source vs destination),
@@ -111,7 +113,21 @@ class ProgramAnalyzer {
  public:
   ProgramAnalyzer(const AssembledProgram& program, const std::string& source,
                   const RegimeView& view)
-      : program_(program), view_(view), annotations_(ParseAnnotations(source)) {}
+      : program_(program), view_(view), annotations_(ParseAnnotations(source)) {
+    // Mirror ProgramMmuFor: this regime's shared-ring data windows, in
+    // shared_rings declaration order, at pages kSharedRingPageBase..;
+    // producer read-write, consumer read-only.
+    int window = 0;
+    for (std::size_t k = 0; k < view_.shared_rings.size(); ++k) {
+      const SharedRingConfig& ring = view_.shared_rings[k];
+      const bool producer = ring.producer == view_.index;
+      if (!producer && ring.consumer != view_.index) continue;
+      ring_windows_.push_back(RingWindow{
+          static_cast<int>(k), PageVBase(kSharedRingPageBase + window), ring.capacity,
+          producer});
+      ++window;
+    }
+  }
 
   ProgramAnalysis Run() {
     std::vector<Word> roots = {program_.EntryPoint()};
@@ -810,6 +826,25 @@ class ProgramAnalyzer {
         s.regs[0] = AbsVal::Const(static_cast<Word>(view_.index));
         s.rel.Drop(0);
         break;
+      case kCallSendv:
+      case kCallRecvv:
+        // R0 = words moved: 0 on stall (SENDV) up to the batch bound.
+        s.regs[0] = AbsVal::Range(0, kMaxBatchWords);
+        s.rel.Drop(0);
+        break;
+      case kCallRingPut:
+      case kCallRingGet:
+        s.regs[0] = AbsVal::Range(0, 1);  // 1 = committed, 0 = stall
+        s.rel.Drop(0);
+        break;
+      case kCallRingStat:
+        s.regs[0] = AbsVal::Top();  // occupancy
+        s.regs[1] = AbsVal::Top();  // free slots
+        s.regs[2] = AbsVal::Top();  // high watermark
+        s.rel.Drop(0);
+        s.rel.Drop(1);
+        s.rel.Drop(2);
+        break;
       default:
         break;  // SWAP/SETVEC preserve registers; HALT/RETI do not return
     }
@@ -1002,6 +1037,28 @@ class ProgramAnalyzer {
                     static_cast<unsigned>(view_.device_window_words)));
       return;  // own device-register window
     }
+    for (const RingWindow& w : ring_windows_) {
+      if (a.lo < w.vbase || a.hi >= w.vbase + w.words) continue;
+      const SharedRingConfig& rc = view_.shared_rings[static_cast<std::size_t>(w.ring)];
+      if (write && !w.writable) {
+        // The MMU would fault this at run time; statically it is a
+        // violation of the ring's one-directional discipline.
+        Finding f = MakeFinding(
+            node, "ring-window-write",
+            Format("store into shared ring %d (\"%s\") through the CONSUMER's "
+                   "read-only window; only the producer may write payload",
+                   w.ring, rc.name.c_str()));
+        f.region = a.ToString() + Format(": shared-ring %d data window", w.ring);
+        Report(std::move(f), Condition::kChannelExclusivity, site);
+        return;
+      }
+      Proved(node, Condition::kChannelExclusivity, site,
+             Format("%s %s stays inside the regime's own shared-ring %d "
+                    "(\"%s\") %s window",
+                    rw, a.ToString().c_str(), w.ring, rc.name.c_str(),
+                    w.writable ? "read-write producer" : "read-only consumer"));
+      return;  // own shared-ring data window
+    }
     Finding f = MakeFinding(node, Format("out-of-regime-%s", rw),
                             Format("%s outside the regime's memory map", rw));
     f.region = a.ToString() + ": " + DescribeRegion(a);
@@ -1011,7 +1068,11 @@ class ProgramAnalyzer {
   void CheckChannelCall(const CfgNode& node, const AbsState& s, std::uint16_t code) {
     const AbsVal chan = EffectiveReg(s, 0);
     const int nchan = static_cast<int>(view_.channels.size());
-    const char* call = code == kCallSend ? "SEND" : code == kCallRecv ? "RECV" : "STAT";
+    const char* call = code == kCallSend    ? "SEND"
+                       : code == kCallRecv  ? "RECV"
+                       : code == kCallSendv ? "SENDV"
+                       : code == kCallRecvv ? "RECVV"
+                                            : "STAT";
     if (chan.IsTop() || chan.Width() > kMaxChannelFanout) {
       Finding f = MakeFinding(
           node, "unprovable-channel",
@@ -1032,8 +1093,8 @@ class ProgramAnalyzer {
         continue;
       }
       const ChannelConfig& cc = view_.channels[k];
-      const bool sends = code == kCallSend;
-      const bool recvs = code == kCallRecv;
+      const bool sends = code == kCallSend || code == kCallSendv;
+      const bool recvs = code == kCallRecv || code == kCallRecvv;
       const bool is_sender = cc.sender == view_.index;
       const bool is_receiver = cc.receiver == view_.index;
       if ((sends && !is_sender) || (recvs && !is_receiver) ||
@@ -1061,6 +1122,81 @@ class ProgramAnalyzer {
     }
   }
 
+  // SENDV/RECVV descriptor table: R2 entries of (vaddr, words) pairs at
+  // regime vaddr R1, all inside the caller's partition. The kernel
+  // re-validates every entry at run time and faults on any violation; what
+  // can be discharged statically is the table extent itself (the payload
+  // extents are memory CONTENTS, which the domain does not track).
+  void CheckSgTable(const CfgNode& node, const AbsState& s) {
+    const AbsVal count = EffectiveReg(s, 2);
+    if (count.IsTop() || count.lo == 0 || count.hi > kMaxBatchDescriptors) {
+      Finding f = MakeFinding(
+          node, "sg-bad-count",
+          Format("descriptor count R2 = %s not provably in [1, %d]; the kernel "
+                 "faults the regime on a bad count",
+                 count.ToString().c_str(), kMaxBatchDescriptors));
+      f.region = "scatter-gather descriptor table";
+      Report(std::move(f), Condition::kKernelCallLegality, kSiteSgTable);
+      return;
+    }
+    const AbsVal table = EffectiveReg(s, 1);
+    // The kernel reads [R1, R1 + 2*R2 - 1] on the caller's behalf.
+    const AbsVal span = AbsVal::Add(
+        table, AbsVal::Range(0, 2 * count.hi - 1));
+    CheckAccess(node, span, /*write=*/false, kSiteSgTable,
+                Condition::kMemoryPartition);
+  }
+
+  void CheckSharedRingCall(const CfgNode& node, const AbsState& s, std::uint16_t code) {
+    const AbsVal ring = EffectiveReg(s, 0);
+    const int nrings = static_cast<int>(view_.shared_rings.size());
+    const char* call = code == kCallRingPut   ? "RINGPUT"
+                       : code == kCallRingGet ? "RINGGET"
+                                              : "RINGSTAT";
+    if (ring.IsTop() || ring.Width() > kMaxChannelFanout) {
+      Finding f = MakeFinding(
+          node, "unprovable-ring",
+          Format("%s ring index cannot be bounded (R0 = %s)", call,
+                 ring.ToString().c_str()));
+      f.region = "kernel shared-ring table";
+      Report(std::move(f), Condition::kChannelExclusivity, kSiteRingBase - 1);
+      return;
+    }
+    for (std::uint32_t k = ring.lo; k <= ring.hi; ++k) {
+      const int site = kSiteRingBase + static_cast<int>(k);
+      if (k >= static_cast<std::uint32_t>(nrings)) {
+        Finding f = MakeFinding(
+            node, "ring-out-of-range",
+            Format("%s on shared ring %u but only %d configured", call, k, nrings));
+        f.region = "kernel shared-ring table";
+        Report(std::move(f), Condition::kChannelExclusivity, site);
+        continue;
+      }
+      const SharedRingConfig& rc = view_.shared_rings[k];
+      const bool is_producer = rc.producer == view_.index;
+      const bool is_consumer = rc.consumer == view_.index;
+      if ((code == kCallRingPut && !is_producer) ||
+          (code == kCallRingGet && !is_consumer) ||
+          (code == kCallRingStat && !is_producer && !is_consumer)) {
+        Finding f = MakeFinding(
+            node, "ring-not-owned",
+            Format("%s on shared ring %u (\"%s\") owned by other regimes", call, k,
+                   rc.name.c_str()));
+        f.region = Format("shared ring %u %s end", k,
+                          code == kCallRingPut ? "producer" : "consumer");
+        Report(std::move(f), Condition::kChannelExclusivity, site);
+        continue;
+      }
+      Proved(node, Condition::kChannelExclusivity, site,
+             Format("%s on shared ring %u (\"%s\"): this regime is the "
+                    "configured %s end",
+                    call, k, rc.name.c_str(),
+                    code == kCallRingPut || (code == kCallRingStat && is_producer)
+                        ? "producer"
+                        : "consumer"));
+    }
+  }
+
   void CheckTrap(const CfgNode& node, const AbsState& s) {
     const std::uint16_t code = node.insn.trap_code;
     if (view_.bare) return;
@@ -1076,6 +1212,16 @@ class ProgramAnalyzer {
       case kCallRecv:
       case kCallStat:
         CheckChannelCall(node, s, code);
+        break;
+      case kCallSendv:
+      case kCallRecvv:
+        CheckChannelCall(node, s, code);
+        CheckSgTable(node, s);
+        break;
+      case kCallRingPut:
+      case kCallRingGet:
+      case kCallRingStat:
+        CheckSharedRingCall(node, s, code);
         break;
       case kCallSetVec: {
         const AbsVal dev = EffectiveReg(s, 0);
@@ -1241,6 +1387,14 @@ class ProgramAnalyzer {
   std::vector<Obligation> obligations_;
   std::map<std::tuple<Word, int, int>, std::size_t> obligation_index_;
   std::set<std::pair<int, int>> ring_touches_;
+  // This regime's shared-ring data windows (MMU pages kSharedRingPageBase..).
+  struct RingWindow {
+    int ring;
+    std::uint32_t vbase;
+    std::uint32_t words;
+    bool writable;  // producer end; the consumer's window is read-only
+  };
+  std::vector<RingWindow> ring_windows_;
 };
 
 }  // namespace
@@ -1272,6 +1426,7 @@ Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec) {
         static_cast<std::uint32_t>(regime.device_slots) * kDeviceRegSpan;
     view.device_slots = regime.device_slots;
     view.channels = spec.channels;
+    view.shared_rings = spec.shared_rings;
     ProgramAnalysis pa = AnalyzeProgram(*program, regime.source, view);
     for (Finding& f : pa.findings) out.findings.push_back(std::move(f));
     for (Obligation& o : pa.obligations) out.obligations.push_back(std::move(o));
@@ -1285,6 +1440,13 @@ Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec) {
       auto line = ann.disjoint_channel_lines.find(k);
       if (line != ann.disjoint_channel_lines.end()) {
         merged.disjoint_channel_lines.emplace(k, line->second);
+      }
+    }
+    for (const auto& [k, reason] : ann.shared_rings) {
+      merged.shared_rings.emplace(k, reason);
+      auto line = ann.shared_ring_lines.find(k);
+      if (line != ann.shared_ring_lines.end()) {
+        merged.shared_ring_lines.emplace(k, line->second);
       }
     }
   }
@@ -1339,6 +1501,48 @@ Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec) {
     out.findings.push_back(std::move(f));
   }
 
+  // Shared rings are, BY CONSTRUCTION, one memory object mapped into both
+  // endpoints: the producer writes payload through its read-write window,
+  // the consumer reads it through its read-only one. No wire-cutting
+  // applies — the object is shared whether or not any instruction touches
+  // it (the MMU maps it at boot) — so every configured ring is flagged,
+  // and the analyst discharges it with a `shared-ring <k>` annotation
+  // arguing the MMU's asymmetric mapping plus the kernel's head/tail
+  // ownership discipline keep the object one-directional.
+  for (std::size_t k = 0; k < spec.shared_rings.size(); ++k) {
+    const SharedRingConfig& rc = spec.shared_rings[k];
+    Finding f;
+    f.tool = "sepcheck";
+    f.unit = spec.name;
+    f.kind = "shared-ring-object";
+    f.condition = ConditionSlug(Condition::kChannelExclusivity);
+    auto name_of = [&spec](int r) {
+      return r >= 0 && r < static_cast<int>(spec.regimes.size())
+                 ? spec.regimes[static_cast<std::size_t>(r)].name
+                 : Format("#%d", r);
+    };
+    f.region = Format("shared ring %zu (\"%s\") data object", k, rc.name.c_str());
+    f.message = Format(
+        "shared ring: one %u-word object is mapped into %s (read-write) and "
+        "%s (read-only); syntactic separability cannot be concluded",
+        rc.capacity, name_of(rc.producer).c_str(), name_of(rc.consumer).c_str());
+    auto it = merged.shared_rings.find(static_cast<int>(k));
+    if (it != merged.shared_rings.end()) {
+      f.severity = FindingSeverity::kDischarged;
+      f.discharge_reason = it->second;
+    }
+    Obligation o;
+    o.condition = Condition::kChannelExclusivity;
+    o.unit = spec.name;
+    o.status = f.severity == FindingSeverity::kDischarged
+                   ? ObligationStatus::kAnnotated
+                   : ObligationStatus::kOpen;
+    o.detail = f.kind + ": " + f.message;
+    o.discharge_reason = f.discharge_reason;
+    out.obligations.push_back(std::move(o));
+    out.findings.push_back(std::move(f));
+  }
+
   // Audit the wire-cut annotation layer: a disjoint-channel directive for a
   // channel the configuration does not even have can discharge nothing.
   for (const auto& [k, reason] : merged.disjoint_channels) {
@@ -1353,6 +1557,20 @@ Result<SystemAnalysis> AnalyzeSystem(const SystemSpec& spec) {
         "disjoint-channel %d (\"%s\") names a channel this configuration "
         "does not have (%zu configured)",
         k, reason.c_str(), spec.channels.size());
+    out.findings.push_back(std::move(f));
+  }
+  for (const auto& [k, reason] : merged.shared_rings) {
+    if (k < static_cast<int>(spec.shared_rings.size())) continue;
+    Finding f;
+    f.tool = "sepcheck";
+    f.unit = spec.name;
+    f.kind = "stale-annotation";
+    auto line = merged.shared_ring_lines.find(k);
+    if (line != merged.shared_ring_lines.end()) f.line = line->second;
+    f.message = Format(
+        "shared-ring %d (\"%s\") names a ring this configuration does not "
+        "have (%zu configured)",
+        k, reason.c_str(), spec.shared_rings.size());
     out.findings.push_back(std::move(f));
   }
 

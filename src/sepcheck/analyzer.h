@@ -48,6 +48,11 @@ struct RegimeView {
   std::uint32_t device_window_words = 0;  // page 7 span; 0 = no devices
   int device_slots = 0;                   // local devices (SETVEC bound)
   std::vector<ChannelConfig> channels;    // full channel table of the config
+  // Full shared-ring table of the config. Rings with this regime as an
+  // endpoint map a data window at pages kSharedRingPageBase.. (producer
+  // read-write, consumer read-only), and RINGPUT/RINGGET/RINGSTAT calls
+  // are checked against endpoint ownership.
+  std::vector<SharedRingConfig> shared_rings;
   // Bare machine mode: HALT/WAIT/RTI are legal and TRAPs vector to the
   // program's own handlers instead of the kernel (used by tools on
   // standalone programs; regime analysis leaves this false).
@@ -89,6 +94,7 @@ struct SystemSpec {
   std::string name = "system";
   std::vector<Regime> regimes;
   std::vector<ChannelConfig> channels;
+  std::vector<SharedRingConfig> shared_rings;
   bool cut_channels = true;
 };
 

@@ -33,6 +33,19 @@ Annotations ParseAnnotations(const std::string& source) {
       out.disjoint_channels[static_cast<int>(channel)] =
           reason.empty() ? "ends declared time-disjoint" : reason;
       out.disjoint_channel_lines.emplace(static_cast<int>(channel), line_number);
+    } else if (StartsWith(text, "shared-ring")) {
+      std::string rest = Trim(text.substr(std::string("shared-ring").size()));
+      char* end = nullptr;
+      long ring = std::strtol(rest.c_str(), &end, 0);
+      if (end == rest.c_str() || ring < 0) {
+        out.unknown_directives.emplace_back(line_number, text);  // malformed
+        continue;
+      }
+      std::string reason = Trim(std::string(end));
+      out.shared_rings[static_cast<int>(ring)] =
+          reason.empty() ? "one-directional by MMU asymmetry + head/tail ownership"
+                         : reason;
+      out.shared_ring_lines.emplace(static_cast<int>(ring), line_number);
     } else {
       out.unknown_directives.emplace_back(line_number, text);
     }

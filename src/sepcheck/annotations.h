@@ -34,6 +34,15 @@ struct Annotations {
   std::map<int, std::string> disjoint_channels;
   // Source line of each disjoint-channel directive, for audit findings.
   std::map<int, int> disjoint_channel_lines;
+  // `shared-ring <k>` directives: shared-ring index -> reason. A shared
+  // ring is BY CONSTRUCTION one memory object mapped into both endpoints
+  // (producer read-write, consumer read-only), so the analyzer flags every
+  // configured ring; the analyst discharges it by arguing the MMU's
+  // asymmetric mapping plus the kernel's head/tail ownership discipline
+  // (only the producer's RINGPUT advances tail, only the consumer's
+  // RINGGET advances head) keep the object one-directional.
+  std::map<int, std::string> shared_rings;
+  std::map<int, int> shared_ring_lines;
   // `sepcheck:` comments the parser did not recognize (unknown directive,
   // malformed arguments): source line -> the offending text. The analyzer
   // reports each as a stale-annotation finding.
@@ -41,7 +50,7 @@ struct Annotations {
 
   bool Empty() const {
     return trusted_lines.empty() && disjoint_channels.empty() &&
-           unknown_directives.empty();
+           shared_rings.empty() && unknown_directives.empty();
   }
 };
 

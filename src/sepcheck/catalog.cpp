@@ -127,6 +127,83 @@ YIELD:  TRAP 0
         BR LOOP
 )";
 
+// Zero-copy fabric pair: the producer ships two extents in ONE SENDV trap
+// (static descriptor table, so every bound is a constant the analyzer
+// proves), the consumer drains them with one RECVV.
+constexpr char kFixtureBatchedProducer[] = R"(
+START:  CLR R0              ; channel 0
+        MOV #0x20, R1       ; descriptor table
+        MOV #2, R2          ; two extents
+        TRAP 9              ; SENDV: both extents in one trap
+        TRAP 0
+        TRAP 7
+        .ORG 0x20
+TBL:    .WORD 0x30          ; extent 0: 3 words at 0x30
+        .WORD 3
+        .WORD 0x40          ; extent 1: 5 words at 0x40
+        .WORD 5
+)";
+
+constexpr char kFixtureBatchedConsumer[] = R"(
+START:  CLR R0              ; channel 0
+        MOV #0x20, R1       ; descriptor table
+        MOV #1, R2          ; one extent
+        TRAP 10             ; RECVV: up to 8 words into the buffer
+        TRAP 0
+        TRAP 7
+        .ORG 0x20
+TBL:    .WORD 0x30          ; 8-word receive buffer at 0x30
+        .WORD 8
+)";
+
+// Shared-ring doorbell pair. The ring data object is mapped read-write
+// into the producer at 0x8000 and read-only into the consumer at the same
+// virtual base; only RINGPUT advances tail, only RINGGET advances head.
+constexpr char kFixtureRingProducer[] = R"(
+; sepcheck: shared-ring 0 producer-only tail advance + read-only consumer window keep the object one-directional
+START:  MOV #7, R1
+        MOV R1, @0x8000     ; payload into the producer's read-write window
+        CLR R0              ; ring 0
+        MOV #1, R1          ; publish one word
+        TRAP 11             ; RINGPUT: doorbell on the empty -> non-empty edge
+        TRAP 0
+        TRAP 7
+)";
+
+constexpr char kFixtureRingConsumer[] = R"(
+START:  CLR R0              ; ring 0
+        TRAP 13             ; RINGSTAT: R0 = occupancy
+        TST R0
+        BEQ YIELD
+        MOV @0x8000, R2     ; read the payload through the read-only window
+        CLR R0
+        MOV #1, R1
+        TRAP 12             ; RINGGET: release the slot back to the producer
+        TRAP 7
+YIELD:  TRAP 0
+        BR START
+)";
+
+// The same producer WITHOUT the shared-ring discharge: the flagged shared
+// object stays an open obligation.
+constexpr char kFixtureRingProducerUnannotated[] = R"(
+START:  MOV #7, R1
+        MOV R1, @0x8000
+        CLR R0
+        MOV #1, R1
+        TRAP 11
+        TRAP 0
+        TRAP 7
+)";
+
+// Consumer that WRITES through its read-only ring window: the MMU faults
+// it at run time; sepcheck flags it statically.
+constexpr char kFixtureRingConsumerWrite[] = R"(
+START:  MOV #1, R1
+        MOV R1, @0x8000     ; store through the READ-ONLY consumer window
+        TRAP 7
+)";
+
 SystemSpec::Regime Regime(const std::string& name, const char* source,
                           int device_slots = 0) {
   SystemSpec::Regime r;
@@ -144,6 +221,15 @@ ChannelConfig Channel(const std::string& name, int sender, int receiver) {
   c.receiver = receiver;
   c.capacity = 16;
   return c;
+}
+
+SharedRingConfig SharedRing(const std::string& name, int producer, int consumer) {
+  SharedRingConfig r;
+  r.name = name;
+  r.producer = producer;
+  r.consumer = consumer;
+  r.capacity = 8;  // minimum legal capacity; data_base is carved at Build()
+  return r;
 }
 
 std::vector<CatalogEntry> BuildCatalog() {
@@ -273,6 +359,54 @@ std::vector<CatalogEntry> BuildCatalog() {
     out.push_back(e);
   }
 
+  // --- zero-copy channel fabric (batched + shared-ring doorbell) ---
+  {
+    CatalogEntry e;
+    e.name = "batched-pair";
+    e.spec.name = "batched-pair";
+    e.spec.regimes = {Regime("producer", kFixtureBatchedProducer),
+                      Regime("consumer", kFixtureBatchedConsumer)};
+    e.spec.channels = {Channel("producer->consumer", 0, 1)};
+    e.spec.cut_channels = true;  // X1/X2 split: nothing to discharge
+    e.expect_certified = true;
+    e.expect_discharged = false;
+    out.push_back(e);
+  }
+  {
+    CatalogEntry e;
+    e.name = "shared-ring-pair";
+    e.spec.name = "shared-ring-pair";
+    e.spec.regimes = {Regime("producer", kFixtureRingProducer),
+                      Regime("consumer", kFixtureRingConsumer)};
+    e.spec.shared_rings = {SharedRing("producer->consumer", 0, 1)};
+    e.expect_certified = true;
+    e.expect_discharged = true;  // the ring object is flagged, then argued away
+    out.push_back(e);
+  }
+  {
+    // Negative: the SAME shared-ring system without the discharge — the
+    // inherently-shared data object stays an open obligation.
+    CatalogEntry e;
+    e.name = "fixture-shared-ring-undischarged";
+    e.spec.name = "fixture-shared-ring-undischarged";
+    e.spec.regimes = {Regime("producer", kFixtureRingProducerUnannotated),
+                      Regime("consumer", kFixtureRingConsumer)};
+    e.spec.shared_rings = {SharedRing("producer->consumer", 0, 1)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+  {
+    // Negative: consumer stores through its read-only ring window.
+    CatalogEntry e;
+    e.name = "fixture-ring-consumer-write";
+    e.spec.name = "fixture-ring-consumer-write";
+    e.spec.regimes = {Regime("producer", kFixtureRingProducer),
+                      Regime("rogue", kFixtureRingConsumerWrite)};
+    e.spec.shared_rings = {SharedRing("producer->rogue", 0, 1)};
+    e.expect_certified = false;
+    out.push_back(e);
+  }
+
   // --- negative fixtures: must be flagged ---
   {
     CatalogEntry e;
@@ -381,6 +515,9 @@ Result<std::unique_ptr<KernelizedSystem>> BuildEntrySystem(const CatalogEntry& e
   }
   for (const ChannelConfig& c : entry.spec.channels) {
     builder.AddChannel(c.name, c.sender, c.receiver, c.capacity);
+  }
+  for (const SharedRingConfig& ring : entry.spec.shared_rings) {
+    builder.AddSharedRing(ring.name, ring.producer, ring.consumer, ring.capacity);
   }
   builder.CutChannels(entry.spec.cut_channels);
   return builder.Build();

@@ -137,6 +137,16 @@ TEST(CliValidation, ChaosRunRejectsBadSweepArguments) {
   EXPECT_EQ(RunTool(Tool("chaos_run") + " --replay /nonexistent/path.sched"), 2);
 }
 
+TEST(CliValidation, ChaosRunValidatesBatchWords) {
+  // The batched-fabric segment size must be a real integer in [1, 64]
+  // (kMaxBatchWords); rejections are usage errors, not silent clamps.
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --batch-words 0"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --batch-words -5"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --batch-words abc"), 2);
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --batch-words 65"), 2);  // > kMaxBatchWords
+  EXPECT_EQ(RunTool(Tool("chaos_run") + " --batch-words"), 2);     // missing value
+}
+
 TEST(CliValidation, BenchReportRejectsBadNumbers) {
   EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance abc"), 2);
   EXPECT_EQ(RunTool(Tool("bench_report") + " --tolerance -0.5"), 2);

@@ -297,5 +297,286 @@ YIELD:  TRAP 0
 INSTANTIATE_TEST_SUITE_P(Capacities, ChannelCapacitySweep,
                          ::testing::Values(1u, 2u, 3u, 8u, 29u, 30u, 31u, 64u));
 
+// --- corrupted ring headers ---------------------------------------------------
+//
+// The kernel consults RingIntact before trusting any channel ring header; a
+// corrupted head or count (a hardware fault in the kernel partition — no
+// regime can reach it through the MMU) must become a COUNTED regime fault at
+// the next SEND/RECV/STAT, never slot arithmetic on garbage or a spin.
+
+enum class RingCall { kSend, kRecv, kStat };
+enum class RingDamage { kHeadPastCapacity, kCountPastCapacity };
+
+class CorruptRingSweep
+    : public ::testing::TestWithParam<std::tuple<RingCall, RingDamage>> {};
+
+TEST_P(CorruptRingSweep, PerturbedHeaderFaultsCallerOnly) {
+  const auto [call, damage] = GetParam();
+  // Only the regime exercising the call-under-test touches the ring; the
+  // peer just yields, so the fault provably belongs to that caller.
+  constexpr char kSender[] = R"(
+LOOP:   MOV #5, R1
+        CLR R0
+        TRAP 1          ; SEND
+        TRAP 0
+        BR LOOP
+)";
+  constexpr char kReceiver[] = R"(
+LOOP:   CLR R0
+        TRAP 2          ; RECV
+        TRAP 0
+        BR LOOP
+)";
+  constexpr char kAuditor[] = R"(
+LOOP:   CLR R0
+        TRAP 3          ; STAT
+        TRAP 0
+        BR LOOP
+)";
+  SystemBuilder builder;
+  ASSERT_TRUE(builder
+                  .AddRegime("producer", 512, call == RingCall::kSend ? kSender : kIdle)
+                  .ok());
+  ASSERT_TRUE(builder
+                  .AddRegime("consumer", 512,
+                             call == RingCall::kRecv
+                                 ? kReceiver
+                                 : (call == RingCall::kStat ? kAuditor : kIdle))
+                  .ok());
+  builder.AddChannel("c", 0, 1, 4);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(300);
+  ASSERT_EQ((*sys)->kernel().FaultCount(), 0u);
+
+  const KernelConfig& config = (*sys)->kernel().config();
+  // cut_channels is off: both ends alias ring 0, so one smash covers every
+  // caller. head is word 0 of the header, count word 1.
+  const PhysAddr header = config.kernel_base + ChannelRingOffset(config, 0, 0);
+  (*sys)->machine().PhysWrite(header + (damage == RingDamage::kHeadPastCapacity ? 0 : 1),
+                              0xFFFF);
+  (*sys)->Run(600);
+
+  // The caller faulted at its next trap; nobody looped forever, nobody did
+  // modular arithmetic on the garbage, and the fault was counted.
+  EXPECT_EQ((*sys)->kernel().FaultCount(), 1u);
+  const int victim = call == RingCall::kSend ? 0 : 1;
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(victim))
+      << "caller should be halted by the intactness check";
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1 - victim)) << "bystander regime harmed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CallsAndDamage, CorruptRingSweep,
+    ::testing::Combine(::testing::Values(RingCall::kSend, RingCall::kRecv, RingCall::kStat),
+                       ::testing::Values(RingDamage::kHeadPastCapacity,
+                                         RingDamage::kCountPastCapacity)),
+    [](const ::testing::TestParamInfo<std::tuple<RingCall, RingDamage>>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case RingCall::kSend: name = "Send"; break;
+        case RingCall::kRecv: name = "Recv"; break;
+        case RingCall::kStat: name = "Stat"; break;
+      }
+      name += std::get<1>(info.param) == RingDamage::kHeadPastCapacity ? "HeadSmashed"
+                                                                       : "CountSmashed";
+      return name;
+    });
+
+// A zero-capacity channel can never reach the ring helpers: configuration
+// validation rejects it at Build, so the RingPush/RingPop/RingIntact
+// capacity==0 guards are pure defence in depth.
+TEST(KernelEdge, ZeroCapacityChannelRejectedAtBuild) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("a", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("b", 256, kIdle).ok());
+  builder.AddChannel("degenerate", 0, 1, 0);
+  auto sys = builder.Build();
+  EXPECT_FALSE(sys.ok());
+}
+
+// --- shared-ring call edges ---------------------------------------------------
+
+TEST(KernelEdge, RingGetOverReleaseFaults) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 512, R"(
+        MOV #0x77, R2
+        MOV R2, @0x8000
+        CLR R0
+        MOV #1, R1
+        TRAP 11         ; publish one word
+YIELD:  TRAP 0
+        BR YIELD
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+        CLR R0
+        MOV #2, R1
+        TRAP 12         ; release TWO: head would walk past tail
+        TRAP 7
+)").ok());
+  builder.AddSharedRing("r", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(500);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(1));
+  EXPECT_GE((*sys)->kernel().FaultCount(), 1u);
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(0));
+}
+
+TEST(KernelEdge, RingGetOfZeroWordsFaults) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+        CLR R0
+        CLR R1
+        TRAP 12         ; n == 0 is a protocol violation, not a no-op
+        TRAP 7
+)").ok());
+  builder.AddSharedRing("r", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(300);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(1));
+  EXPECT_GE((*sys)->kernel().FaultCount(), 1u);
+}
+
+TEST(KernelEdge, RingCallsWithoutEndpointRightsFault) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 256, kIdle).ok());
+  ASSERT_TRUE(builder.AddRegime("snoop", 512, R"(
+        CLR R0
+        TRAP 13         ; RINGSTAT on a ring snoop is no endpoint of
+        TRAP 7
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("forger", 512, R"(
+        CLR R0
+        MOV #1, R1
+        TRAP 11         ; RINGPUT without being the producer
+        TRAP 7
+)").ok());
+  builder.AddSharedRing("r", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(500);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(2));
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(3));
+  EXPECT_GE((*sys)->kernel().FaultCount(), 2u);
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+}
+
+TEST(KernelEdge, CorruptedSharedRingIndicesFaultNextCall) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("producer", 512, R"(
+LOOP:   MOV #1, R2
+        MOV R2, @0x8000
+        CLR R0
+        MOV #1, R1
+        TRAP 11
+        TRAP 0
+        BR LOOP
+)").ok());
+  ASSERT_TRUE(builder.AddRegime("consumer", 512, R"(
+LOOP:   CLR R0
+        TRAP 13         ; poll occupancy
+        TST R0
+        BEQ YIELD
+        CLR R0
+        MOV #1, R1
+        TRAP 12
+YIELD:  TRAP 0
+        BR LOOP
+)").ok());
+  builder.AddSharedRing("r", 0, 1, 8);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(300);
+  ASSERT_EQ((*sys)->kernel().FaultCount(), 0u);
+
+  // Make occupancy = Word(tail - head) exceed the capacity: a state no legal
+  // RINGPUT/RINGGET sequence can reach (hardware fault model, as above).
+  const KernelConfig& config = (*sys)->kernel().config();
+  const PhysAddr ctl = config.kernel_base + SharedRingCtlOffset(config, 0);
+  (*sys)->machine().PhysWrite(ctl + kSharedRingHead, 0);
+  (*sys)->machine().PhysWrite(ctl + kSharedRingTail, 9);  // occupancy 9 > cap 8
+  (*sys)->Run(600);
+
+  EXPECT_GE((*sys)->kernel().FaultCount(), 1u);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0) || (*sys)->kernel().RegimeHalted(1))
+      << "somebody must have tripped the corrupted-indices check";
+}
+
+// --- malformed scatter-gather tables ------------------------------------------
+
+struct SendvCase {
+  const char* name;
+  const char* source;
+};
+
+class SendvAbuseSweep : public ::testing::TestWithParam<SendvCase> {};
+
+TEST_P(SendvAbuseSweep, MalformedDescriptorsFaultSender) {
+  SystemBuilder builder;
+  ASSERT_TRUE(builder.AddRegime("rogue", 512, GetParam().source).ok());
+  ASSERT_TRUE(builder.AddRegime("peer", 256, kIdle).ok());
+  builder.AddChannel("c", 0, 1, 64);
+  auto sys = builder.Build();
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  (*sys)->Run(300);
+  EXPECT_TRUE((*sys)->kernel().RegimeHalted(0));
+  EXPECT_GE((*sys)->kernel().FaultCount(), 1u);
+  EXPECT_FALSE((*sys)->kernel().RegimeHalted(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, SendvAbuseSweep,
+    ::testing::Values(
+        SendvCase{"ZeroDescriptors", R"(
+        CLR R0
+        MOV #0x40, R1
+        CLR R2          ; descriptor count 0
+        TRAP 9
+)"},
+        SendvCase{"CountAboveLimit", R"(
+        CLR R0
+        MOV #0x40, R1
+        MOV #9, R2      ; kMaxBatchDescriptors is 8
+        TRAP 9
+)"},
+        SendvCase{"TableOutsidePartition", R"(
+        CLR R0
+        MOV #0x1FE, R1  ; 2 words short of the 512-word partition end
+        MOV #3, R2      ; 6 table words would run past it
+        TRAP 9
+)"},
+        SendvCase{"ZeroLengthExtent", R"(
+        CLR R0
+        MOV #TBL, R1
+        MOV #1, R2
+        TRAP 9
+TBL:    .WORD 0x100
+        .WORD 0         ; zero-length extent
+)"},
+        SendvCase{"PayloadOutsidePartition", R"(
+        CLR R0
+        MOV #TBL, R1
+        MOV #1, R2
+        TRAP 9
+TBL:    .WORD 0x1F0
+        .WORD 32        ; 0x1F0 + 32 > 512-word partition
+)"},
+        SendvCase{"BatchAboveSixtyFourWords", R"(
+        CLR R0
+        MOV #TBL, R1
+        MOV #2, R2
+        TRAP 9
+TBL:    .WORD 0x100
+        .WORD 40
+        .WORD 0x140
+        .WORD 40        ; 80 words total > kMaxBatchWords
+)"}),
+    [](const ::testing::TestParamInfo<SendvCase>& info) { return info.param.name; });
+
 }  // namespace
 }  // namespace sep

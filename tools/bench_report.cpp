@@ -219,6 +219,9 @@ int main(int argc, char** argv) {
   const std::string recovery =
       opt.bindir + "/bench/bench_recovery --benchmark_format=json --benchmark_min_time=" +
       min_time + " --benchmark_filter='BM_RecoveryChaos'";
+  const std::string channels =
+      opt.bindir + "/bench/bench_channels --benchmark_format=json --benchmark_min_time=" +
+      min_time + " --benchmark_filter='BM_Channel'";
 
   std::fprintf(stderr, "bench_report: running bench_machine...\n");
   const std::map<std::string, double> m1 = ParseItemsPerSecond(Capture(machine));
@@ -230,6 +233,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bench_report: running bench_recovery...\n");
   const std::map<std::string, double> m3 =
       ParseBenchField(Capture(recovery), "recovery_ticks_p99");
+  std::fprintf(stderr, "bench_report: running bench_channels...\n");
+  const std::map<std::string, double> m4 = ParseItemsPerSecond(Capture(channels));
   std::fprintf(stderr, "bench_report: timing sepcheck...\n");
   const std::string sepcheck = opt.bindir + "/tools/sepcheck --all";
   const double sepcheck_serial = BestSeconds(sepcheck + " > /dev/null", sepcheck_runs);
@@ -248,6 +253,11 @@ int main(int argc, char** argv) {
   const double ex_kernelized = Metric(m2, "BM_ExhaustiveKernelized");
   const double ex_steal = Metric(m2, "BM_ExhaustiveKernelizedSteal");
   const double bytes_per_state = Metric(m2_bytes, "BM_ExhaustiveKernelized");
+  const double chan_classic = Metric(m4, "BM_ChannelClassicWords");
+  const double chan_batched = Metric(m4, "BM_ChannelBatchedWords");
+  const double chan_ring = Metric(m4, "BM_ChannelSharedRingWords");
+  const double chan_xnode_plain = Metric(m4, "BM_ChannelTunnelPlainWords");
+  const double chan_xnode_batched = Metric(m4, "BM_ChannelTunnelBatchedWords");
 
   std::map<std::string, double> metrics;
   metrics["insn_throughput_cached_ips"] = cached;
@@ -288,6 +298,24 @@ int main(int argc, char** argv) {
   // per second: normalizes checker throughput by the host's machine speed so
   // the ratio tracks checker overhead, not the CPU it ran on.
   metrics["exhaustive_sps_per_mips"] = ex_kernelized / (cached / 1e6);
+  // Delivered words/second over each kernel channel transport (absolute,
+  // host-speed-dependent, unguarded) and the dimensionless ratios against the
+  // one-word-per-trap baseline (guarded): a SENDV/RECVV batch amortizes the
+  // kernel-call slow path over up to 64 words and the shared ring adds
+  // zero-copy publication on top, so both ratios are design claims that hold
+  // on any host. Design floor for channel_batch_speedup is 8x.
+  metrics["channel_classic_wps"] = chan_classic;
+  metrics["channel_batched_wps"] = chan_batched;
+  metrics["channel_ring_wps"] = chan_ring;
+  metrics["channel_batch_speedup"] = chan_batched / chan_classic;
+  metrics["channel_ring_speedup"] = chan_ring / chan_classic;
+  // Cross-node words/second through the reliable tunnel. The network
+  // simulation is tick-deterministic, so the plain-vs-Batched() ratio is a
+  // pure framing property (segment size x window depth), exactly stable
+  // across hosts — guarded; the absolute rates are not.
+  metrics["channel_xnode_plain_wps"] = chan_xnode_plain;
+  metrics["channel_xnode_batched_wps"] = chan_xnode_batched;
+  metrics["channel_xnode_batch_speedup"] = chan_xnode_batched / chan_xnode_plain;
   metrics["sepcheck_all_seconds"] = sepcheck_serial;
   metrics["sepcheck_jobs_seconds"] = sepcheck_parallel;
   // Full static-analysis catalogue passes per second, per million emulated
@@ -314,7 +342,9 @@ int main(int argc, char** argv) {
                                             "exhaustive_parallel_speedup",
                                             "exhaustive_steal_speedup",
                                             "trace_disabled_overhead", "recovery_ticks_p99",
-                                            "sepcheck_all_per_mips"};
+                                            "sepcheck_all_per_mips", "channel_batch_speedup",
+                                            "channel_ring_speedup",
+                                            "channel_xnode_batch_speedup"};
   const std::vector<std::string> parallel_guards = {"exhaustive_parallel_speedup",
                                                     "exhaustive_steal_speedup"};
   // Cost metrics regress UPWARD: the guard fires when the value exceeds the

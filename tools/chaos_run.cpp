@@ -37,6 +37,7 @@
 #include "src/base/strings.h"
 #include "src/components/snfe_receive.h"
 #include "src/distributed/reliable.h"
+#include "src/kernel/config.h"  // kMaxBatchWords bounds --batch-words
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 
@@ -63,11 +64,14 @@ bool SameStream(const std::vector<Frame>& a, const std::vector<Frame>& b) {
 }
 
 constexpr char kUsage[] =
-    "usage: chaos_run [--trace FILE] [--metrics FILE] [packets] [seed]\n"
+    "usage: chaos_run [--trace FILE] [--metrics FILE] [--batch-words N]\n"
+    "                 [packets] [seed]\n"
     "       chaos_run --seed-range A..B [--rate PCT] [--record FILE]\n"
     "                 [--break-resync] [packets]\n"
     "       chaos_run --replay FILE\n"
     "  packets: 1..4096 (default 16); seed: u64, 0x-prefix ok\n"
+    "  --batch-words N    tunnel segment size in payload words (1..64,\n"
+    "                     default 2); 16 matches ReliableConfig::Batched()\n"
     "  --seed-range A..B  crash-chaos sweep over seeds A..B (inclusive)\n"
     "  --rate PCT         wire drop+corrupt percentage for the sweep (0..45,\n"
     "                     default 20)\n"
@@ -341,6 +345,7 @@ int Main(int argc, char** argv) {
   bool sweep = false;
   std::uint64_t seed_lo = 0, seed_hi = 0;
   int rate = 20;
+  int batch_words = 2;
   bool break_resync = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -374,6 +379,14 @@ int Main(int argc, char** argv) {
       seed_lo = static_cast<std::uint64_t>(*lo);
       seed_hi = static_cast<std::uint64_t>(*hi);
       sweep = true;
+    } else if (arg == "--batch-words") {
+      const char* value = next();
+      if (value == nullptr) return UsageError("--batch-words needs a count", arg.c_str());
+      const std::optional<long long> parsed = ParseInt(value, 1, kMaxBatchWords);
+      if (!parsed.has_value()) {
+        return UsageError("--batch-words must be an integer in [1, 64]", value);
+      }
+      batch_words = static_cast<int>(*parsed);
     } else if (arg == "--rate") {
       const char* value = next();
       if (value == nullptr) return UsageError("--rate needs a percentage", arg.c_str());
@@ -440,6 +453,9 @@ int Main(int argc, char** argv) {
     // window with p ~ 0.15, so 64 consecutive failures (~3e-6) never happen
     // inside the envelope, while at 30%+ (p ~ 0.01) the line dies quickly.
     config.max_retries = 64;
+    // Tunnel segment size: default 2 (the chaos-envelope sweet spot);
+    // --batch-words 16 runs the soak with the Batched() preset's frames.
+    config.max_segment_words = static_cast<std::size_t>(batch_words);
     SnfeLossyTopology topo =
         BuildSnfePairReliable(net, CensorStrictness::kSyntax, FaultSpec::DropCorrupt(rate),
                               seed + static_cast<std::uint64_t>(rate), packets,
